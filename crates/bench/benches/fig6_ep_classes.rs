@@ -1,0 +1,45 @@
+//! Figure 6 bench: prints the EP class sweep (the figure's series), then
+//! benchmarks one EP comparison end-to-end at a test-sized class so
+//! `cargo bench` tracks the wall cost of the whole harness path.
+
+use benchsuite::ep::{self, EpClass, EpConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let device = bench::tesla();
+
+    println!("\nFigure 6 — EP speedups over serial CPU (measured; paper slowdowns 20.5/5.7/2.3/1.1%):");
+    match bench::fig6::compute(&device) {
+        Ok(rows) => {
+            for r in &rows {
+                println!(
+                    "  class {:<2} ({:>8} pairs): OpenCL {:>6.1}x  HPL {:>6.1}x  slowdown {:>6.2}% {}",
+                    r.class,
+                    r.pairs,
+                    r.opencl_speedup,
+                    r.hpl_speedup,
+                    r.hpl_slowdown_percent,
+                    if r.verified { "" } else { "[MISMATCH]" }
+                );
+            }
+        }
+        Err(e) => eprintln!("  fig6 computation failed: {e}"),
+    }
+
+    c.bench_function("fig6/ep_class_s_full_comparison", |b| {
+        let cfg = EpConfig::class(EpClass::S);
+        b.iter(|| {
+            let report = ep::run(black_box(&cfg), &device).expect("EP run succeeds");
+            assert!(report.verified);
+            black_box(report)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig6
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Figure 7 bench: prints the five-benchmark speedup chart, then
+//! benchmarks the per-benchmark comparison paths at test scale.
+
+use bench::fig7::{self, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    let device = bench::tesla();
+
+    println!("\nFigure 7 — speedups over serial CPU (measured || paper OpenCL):");
+    match fig7::compute(&device, Scale::Paper) {
+        Ok(reports) => {
+            for r in &reports {
+                println!(
+                    "  {:<10} OpenCL {:>6.1}x  HPL {:>6.1}x || paper {:>5.1}x {}",
+                    r.name,
+                    r.opencl_speedup(),
+                    r.hpl_speedup(),
+                    fig7::paper_speedup(r.name).unwrap_or(f64::NAN),
+                    if r.verified { "" } else { "[MISMATCH]" }
+                );
+            }
+        }
+        Err(e) => eprintln!("  fig7 computation failed: {e}"),
+    }
+
+    let mut group = c.benchmark_group("fig7_test_scale");
+    group.sample_size(10);
+    group.bench_function("floyd_comparison", |b| {
+        let cfg = benchsuite::floyd::FloydConfig::default();
+        b.iter(|| black_box(benchsuite::floyd::run(&cfg, &device).expect("floyd run")))
+    });
+    group.bench_function("transpose_comparison", |b| {
+        let cfg = benchsuite::transpose::TransposeConfig::default();
+        b.iter(|| black_box(benchsuite::transpose::run(&cfg, &device).expect("transpose run")))
+    });
+    group.bench_function("spmv_comparison", |b| {
+        let cfg = benchsuite::spmv::SpmvConfig::default();
+        b.iter(|| black_box(benchsuite::spmv::run(&cfg, &device).expect("spmv run")))
+    });
+    group.bench_function("reduction_comparison", |b| {
+        let cfg = benchsuite::reduction::ReductionConfig::default();
+        b.iter(|| black_box(benchsuite::reduction::run(&cfg, &device).expect("reduction run")))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig7
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Figure 8 bench: prints HPL's slowdown vs OpenCL per benchmark, then
+//! benchmarks the two quantities whose difference *is* the figure — an HPL
+//! cached-kernel eval and the equivalent manual OpenCL dispatch — as real
+//! measured wall time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpl::prelude::*;
+use std::hint::black_box;
+
+fn saxpy(y: &Array<f64, 1>, x: &Array<f64, 1>, a: &Double) {
+    y.at(idx()).assign(a.v() * x.at(idx()) + y.at(idx()));
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let device = bench::tesla();
+
+    println!("\nFigure 8 — HPL slowdown vs OpenCL (measured; paper: typically < 4%):");
+    match bench::fig7::compute(&device, bench::fig7::Scale::Paper) {
+        Ok(reports) => {
+            for r in bench::fig8::derive(&reports) {
+                println!(
+                    "  {:<10} {:>6.2}%   ({:>6.2}% with transfers)",
+                    r.benchmark, r.slowdown_percent, r.slowdown_with_transfers_percent
+                );
+            }
+        }
+        Err(e) => eprintln!("  fig8 computation failed: {e}"),
+    }
+
+    // the host-side dispatch costs that separate HPL from raw OpenCL
+    let n = 4096;
+    let y = Array::<f64, 1>::from_vec([n], vec![1.0; n]);
+    let x = Array::<f64, 1>::from_vec([n], vec![2.0; n]);
+    let a = Double::new(3.0);
+    // warm the cache so the loop below measures steady-state dispatch
+    hpl::eval(saxpy).device(&device).run((&y, &x, &a)).expect("warmup eval");
+
+    c.bench_function("fig8/hpl_cached_eval_dispatch", |b| {
+        b.iter(|| {
+            let p = hpl::eval(saxpy).device(&device).run((&y, &x, &a)).expect("eval");
+            assert!(p.cache_hit);
+            black_box(p)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig8
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figure 9 bench: prints the Tesla-vs-Quadro portability comparison (EP
+//! excluded on the Quadro — no fp64), then benchmarks one benchmark's full
+//! comparison on each device at test scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig9(c: &mut Criterion) {
+    println!("\nFigure 9 — HPL overhead on both GPUs (measured; paper <= ~3.5%):");
+    match bench::fig9::compute() {
+        Ok(rows) => {
+            for r in &rows {
+                println!(
+                    "  {:<10} Tesla {:>6.2}%   Quadro {:>6.2}%",
+                    r.benchmark, r.tesla_percent, r.quadro_percent
+                );
+            }
+            assert!(
+                !rows.iter().any(|r| r.benchmark == "EP"),
+                "EP must be excluded on the fp64-less Quadro"
+            );
+        }
+        Err(e) => eprintln!("  fig9 computation failed: {e}"),
+    }
+
+    let tesla = bench::tesla();
+    let quadro = bench::quadro();
+    let cfg = benchsuite::floyd::FloydConfig::default();
+
+    let mut group = c.benchmark_group("fig9_floyd_by_device");
+    group.sample_size(10);
+    group.bench_function("tesla", |b| {
+        b.iter(|| black_box(benchsuite::floyd::run(&cfg, &tesla).expect("floyd on tesla")))
+    });
+    group.bench_function("quadro", |b| {
+        b.iter(|| black_box(benchsuite::floyd::run(&cfg, &quadro).expect("floyd on quadro")))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig9
+}
+criterion_main!(benches);

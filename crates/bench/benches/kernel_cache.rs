@@ -1,0 +1,81 @@
+//! Kernel-cache bench (§V-B): measures the real wall cost of a first
+//! invocation (capture + codegen + backend build + launch) against a
+//! cached invocation of the same kernel — the mechanism the paper credits
+//! for diluting HPL's overhead — plus the ablation comparisons from
+//! DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpl::prelude::*;
+use std::hint::black_box;
+
+fn probe_kernel(out: &Array<f32, 1>, input: &Array<f32, 1>) {
+    let x = Float::new(0.0);
+    x.assign(input.at(idx()));
+    for_(0, 4, |_j| {
+        x.assign(x.v() * 1.5f32 + 0.25f32);
+    });
+    out.at(idx()).assign(x.v());
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let device = bench::tesla();
+
+    println!("\nKernel cache (paper §V-B), EP class W first vs second invocation:");
+    match bench::caching::compute(&device) {
+        Ok(r) => {
+            println!(
+                "  first:  {:.6} s ({:.6} s front-end)\n  second: {:.6} s ({:.6} s front-end)",
+                r.first_seconds, r.first_front_seconds, r.second_seconds, r.second_front_seconds
+            );
+        }
+        Err(e) => eprintln!("  caching computation failed: {e}"),
+    }
+
+    println!("\nAblations:");
+    match bench::ablation::transfers(&device) {
+        Ok(a) => println!(
+            "  transfer minimisation: {} vs {} uploads ({:.6} vs {:.6} modeled s)",
+            a.minimised_h2d, a.naive_h2d, a.minimised_seconds, a.naive_seconds
+        ),
+        Err(e) => eprintln!("  transfer ablation failed: {e}"),
+    }
+    match bench::ablation::transpose_naive_vs_tiled(&device) {
+        Ok((naive, tiled)) => println!(
+            "  transpose coalescing: naive {naive:.6} s vs tiled {tiled:.6} s ({:.1}x)",
+            naive / tiled
+        ),
+        Err(e) => eprintln!("  transpose ablation failed: {e}"),
+    }
+
+    let n = 1024;
+    let out = Array::<f32, 1>::new([n]);
+    let input = Array::<f32, 1>::from_vec([n], vec![1.0; n]);
+
+    let mut group = c.benchmark_group("kernel_cache");
+    group.sample_size(20);
+    group.bench_function("first_invocation", |b| {
+        b.iter(|| {
+            hpl::clear_kernel_cache();
+            let p = hpl::eval(probe_kernel).device(&device).run((&out, &input)).expect("eval");
+            assert!(!p.cache_hit);
+            black_box(p)
+        })
+    });
+    group.bench_function("cached_invocation", |b| {
+        // warm once, then measure hits only
+        hpl::eval(probe_kernel).device(&device).run((&out, &input)).expect("warmup");
+        b.iter(|| {
+            let p = hpl::eval(probe_kernel).device(&device).run((&out, &input)).expect("eval");
+            assert!(p.cache_hit);
+            black_box(p)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cache
+}
+criterion_main!(benches);

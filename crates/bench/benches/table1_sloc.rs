@@ -1,0 +1,43 @@
+//! Table I bench: prints the SLOC comparison (the table itself), then
+//! benchmarks the counting pipeline so `cargo bench` tracks regressions in
+//! the programmability instrument.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    // print the table rows once (the artifact this bench regenerates)
+    println!("\nTable I — SLOCs (measured || paper):");
+    for r in bench::table1::compute() {
+        println!(
+            "  {:<18} OpenCL {:>4}  HPL {:>4}  ({:>4.1}% reduction) || paper {:>5}/{:>4} ({:.1}%)",
+            r.benchmark,
+            r.opencl_sloc,
+            r.hpl_sloc,
+            r.reduction_percent(),
+            r.paper_opencl,
+            r.paper_hpl,
+            r.paper_reduction_percent()
+        );
+    }
+
+    c.bench_function("table1/compute_all_rows", |b| {
+        b.iter(|| {
+            let rows = bench::table1::compute();
+            assert_eq!(rows.len(), 5);
+            black_box(rows)
+        })
+    });
+
+    let big_source = include_str!("../../oclsim/src/clc/sema.rs");
+    c.bench_function("table1/sloc_count_large_rust_file", |b| {
+        b.iter(|| black_box(sloc::count(black_box(big_source), sloc::Language::Rust)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_table1
+}
+criterion_main!(benches);

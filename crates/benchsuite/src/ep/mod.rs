@@ -1,0 +1,267 @@
+//! NAS EP (Embarrassingly Parallel) benchmark.
+//!
+//! Generates pairs of uniform deviates with the NAS 46-bit linear
+//! congruential generator, converts them to Gaussian deviates with the
+//! Marsaglia polar method, and tallies the deviates into square annuli.
+//! The paper runs classes W/A/B/C (2^25–2^32 pairs); the simulated device
+//! cannot execute that many interpreted pairs in reasonable wall time, so
+//! the classes are scaled down by a factor of 2^6–2^9 (see DESIGN.md); EP's
+//! speedup is nearly size-independent, which is what Figure 6 shows.
+
+pub mod hpl_version;
+pub mod opencl_version;
+
+use crate::common::{close, BenchReport};
+
+/// NAS LCG multiplier 5^13.
+pub const EP_A: u64 = 1_220_703_125;
+/// NAS seed.
+pub const EP_SEED: u64 = 271_828_183;
+/// Modulus 2^46.
+pub const EP_MOD: u64 = 1 << 46;
+
+/// Scaled problem classes (paper classes with sizes reduced for the
+/// simulated device; relative growth between classes preserved).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpClass {
+    /// Test-sized.
+    S,
+    /// Paper W = 2^25 pairs; scaled to 2^19.
+    W,
+    /// Paper A = 2^28 pairs; scaled to 2^21.
+    A,
+    /// Paper B = 2^30 pairs; scaled to 2^22.
+    B,
+    /// Paper C = 2^32 pairs; scaled to 2^23.
+    C,
+}
+
+impl EpClass {
+    /// log2 of the number of pairs.
+    pub fn log2_pairs(self) -> u32 {
+        match self {
+            EpClass::S => 12,
+            EpClass::W => 19,
+            EpClass::A => 21,
+            EpClass::B => 22,
+            EpClass::C => 23,
+        }
+    }
+
+    /// Number of Gaussian pairs to generate.
+    pub fn pairs(self) -> usize {
+        1usize << self.log2_pairs()
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EpClass::S => "S",
+            EpClass::W => "W",
+            EpClass::A => "A",
+            EpClass::B => "B",
+            EpClass::C => "C",
+        }
+    }
+}
+
+/// EP configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EpConfig {
+    /// Problem class.
+    pub class: EpClass,
+    /// Pairs each work-item generates.
+    pub pairs_per_thread: usize,
+}
+
+impl Default for EpConfig {
+    fn default() -> Self {
+        EpConfig { class: EpClass::S, pairs_per_thread: 16 }
+    }
+}
+
+impl EpConfig {
+    /// A configuration for `class` with the default chunking.
+    pub fn class(class: EpClass) -> Self {
+        EpConfig { class, pairs_per_thread: 16 }
+    }
+
+    /// Number of work-items.
+    pub fn threads(&self) -> usize {
+        (self.class.pairs() / self.pairs_per_thread).max(1)
+    }
+}
+
+/// Benchmark output: annulus counts and deviate sums.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpResult {
+    /// Counts per square annulus.
+    pub q: [i64; 10],
+    /// Sum of the X deviates.
+    pub sx: f64,
+    /// Sum of the Y deviates.
+    pub sy: f64,
+}
+
+impl EpResult {
+    /// Compare against another result (counts exactly, sums to fp
+    /// tolerance).
+    pub fn matches(&self, other: &EpResult) -> bool {
+        self.q == other.q && close(self.sx, other.sx, 1e-12) && close(self.sy, other.sy, 1e-12)
+    }
+}
+
+/// One NAS LCG step: `x <- a*x mod 2^46`.
+#[inline]
+pub fn lcg_next(x: u64) -> u64 {
+    ((EP_A as u128 * x as u128) % EP_MOD as u128) as u64
+}
+
+/// Jump the stream `k` steps ahead of `seed`: `a^k * seed mod 2^46`.
+pub fn lcg_skip(seed: u64, k: u64) -> u64 {
+    let mut result = seed as u128;
+    let mut base = EP_A as u128;
+    let mut k = k;
+    let m = EP_MOD as u128;
+    while k > 0 {
+        if k & 1 == 1 {
+            result = result * base % m;
+        }
+        base = base * base % m;
+        k >>= 1;
+    }
+    result as u64
+}
+
+/// Per-thread starting seeds (thread `t` starts `2 * pairs_per_thread * t`
+/// steps into the stream).
+pub fn thread_seeds(cfg: &EpConfig) -> Vec<u64> {
+    (0..cfg.threads())
+        .map(|t| lcg_skip(EP_SEED, 2 * cfg.pairs_per_thread as u64 * t as u64))
+        .collect()
+}
+
+/// Serial native-Rust reference, structured per-thread-chunk so its
+/// floating-point accumulation order matches the device versions exactly.
+pub fn serial(cfg: &EpConfig) -> EpResult {
+    let seeds = thread_seeds(cfg);
+    let mut q = [0i64; 10];
+    let mut sx = 0.0f64;
+    let mut sy = 0.0f64;
+    for &seed in &seeds {
+        let mut x = seed;
+        let mut lsx = 0.0f64;
+        let mut lsy = 0.0f64;
+        for _ in 0..cfg.pairs_per_thread {
+            x = lcg_next(x);
+            let u1 = x as f64 / EP_MOD as f64;
+            x = lcg_next(x);
+            let u2 = x as f64 / EP_MOD as f64;
+            let a = 2.0 * u1 - 1.0;
+            let b = 2.0 * u2 - 1.0;
+            let t = a * a + b * b;
+            if t <= 1.0 {
+                let f = (-2.0 * t.ln() / t).sqrt();
+                let gx = a * f;
+                let gy = b * f;
+                lsx += gx;
+                lsy += gy;
+                let l = (gx.abs().max(gy.abs()) as i32).min(9) as usize;
+                q[l] += 1;
+            }
+        }
+        sx += lsx;
+        sy += lsy;
+    }
+    EpResult { q, sx, sy }
+}
+
+/// Reduce per-thread outputs into an [`EpResult`] (device versions).
+pub fn reduce_outputs(sx: &[f64], sy: &[f64], q: &[i32]) -> EpResult {
+    let mut result = EpResult { q: [0; 10], sx: 0.0, sy: 0.0 };
+    for (i, (&x, &y)) in sx.iter().zip(sy).enumerate() {
+        result.sx += x;
+        result.sy += y;
+        for l in 0..10 {
+            result.q[l] += q[i * 10 + l] as i64;
+        }
+    }
+    result
+}
+
+/// Run the full comparison (serial reference, OpenCL + serial-CPU
+/// baseline, HPL) on `device` and assemble the Figure 6/7 row.
+pub fn run(cfg: &EpConfig, device: &oclsim::Device) -> Result<BenchReport, crate::Error> {
+    let reference = serial(cfg);
+
+    let (ocl_result, opencl) = opencl_version::run(cfg, device)?;
+    let serial_modeled_seconds = opencl_version::modeled_serial_seconds(cfg)?;
+    let (hpl_result, hpl) = hpl_version::run(cfg, device)?;
+
+    let verified = reference.matches(&ocl_result) && reference.matches(&hpl_result);
+    Ok(BenchReport { name: "EP", opencl, hpl, serial_modeled_seconds, verified })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_skip_matches_stepping() {
+        let mut x = EP_SEED;
+        for k in 0..100u64 {
+            assert_eq!(lcg_skip(EP_SEED, k), x, "k={k}");
+            x = lcg_next(x);
+        }
+    }
+
+    #[test]
+    fn lcg_values_stay_in_range() {
+        let mut x = EP_SEED;
+        for _ in 0..1000 {
+            x = lcg_next(x);
+            assert!(x < EP_MOD);
+            assert!(x > 0, "LCG must not collapse to zero");
+        }
+    }
+
+    #[test]
+    fn thread_seeds_partition_the_stream() {
+        let cfg = EpConfig { class: EpClass::S, pairs_per_thread: 8 };
+        let seeds = thread_seeds(&cfg);
+        assert_eq!(seeds.len(), cfg.threads());
+        // seed[1] is exactly 16 steps past seed[0]
+        let mut x = seeds[0];
+        for _ in 0..16 {
+            x = lcg_next(x);
+        }
+        assert_eq!(x, seeds[1]);
+    }
+
+    #[test]
+    fn serial_results_are_plausible() {
+        let cfg = EpConfig::default();
+        let r = serial(&cfg);
+        let total: i64 = r.q.iter().sum();
+        let pairs = cfg.class.pairs() as f64;
+        // acceptance rate of the polar method is pi/4 ~ 0.785
+        let rate = total as f64 / pairs;
+        assert!((rate - 0.785).abs() < 0.02, "acceptance rate {rate}");
+        // Gaussian sums hover near zero relative to the count
+        assert!(r.sx.abs() < pairs.sqrt() * 4.0);
+        assert!(r.q[0] > r.q[2], "most deviates fall in the innermost annuli");
+    }
+
+    #[test]
+    fn class_sizes_are_ordered() {
+        assert!(EpClass::W.pairs() < EpClass::A.pairs());
+        assert!(EpClass::A.pairs() < EpClass::B.pairs());
+        assert!(EpClass::B.pairs() < EpClass::C.pairs());
+    }
+
+    #[test]
+    fn serial_is_deterministic() {
+        let cfg = EpConfig::default();
+        assert_eq!(serial(&cfg), serial(&cfg));
+    }
+}

@@ -1,0 +1,191 @@
+//! EP — hand-written OpenCL version (the Table I / Figure 6–8 baseline).
+//!
+//! Deliberately written in classic OpenCL host style, the way the NAS/SHOC
+//! C sources the paper measured are written: every API call is followed by
+//! an explicit status check, the build log is surfaced on compilation
+//! failure, buffers are created/released explicitly, and each argument is
+//! bound by index. Together with `kernels/ep.cl` this file is what the
+//! programmability study counts against the HPL version.
+
+use oclsim::{Buffer, CommandQueue, Context, Device, Error, MemAccess, Program};
+
+use super::{reduce_outputs, thread_seeds, EpConfig, EpResult};
+use crate::common::{serial_device, RunMetrics};
+
+/// The hand-written kernel source.
+pub const SOURCE: &str = include_str!("../kernels/ep.cl");
+
+const ARG_SEEDS: usize = 0;
+const ARG_SX: usize = 1;
+const ARG_SY: usize = 2;
+const ARG_Q: usize = 3;
+const ARG_PPT: usize = 4;
+
+/// Run EP with manual OpenCL on `device`.
+pub fn run(cfg: &EpConfig, device: &Device) -> Result<(EpResult, RunMetrics), Error> {
+    let threads = cfg.threads();
+    let seeds = thread_seeds(cfg);
+    let mut metrics = RunMetrics::default();
+
+    // ---- environment setup ------------------------------------------------
+    let context = match Context::new(std::slice::from_ref(device)) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("ep: clCreateContext failed: {e}");
+            return Err(e);
+        }
+    };
+    let queue = match CommandQueue::new(&context, device) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("ep: clCreateCommandQueue failed: {e}");
+            return Err(e);
+        }
+    };
+
+    // ---- program load and build --------------------------------------------
+    let program = Program::from_source(&context, SOURCE);
+    if let Err(e) = program.build("") {
+        eprintln!("ep: clBuildProgram failed, build log:\n{}", program.build_log());
+        return Err(e);
+    }
+    metrics.build_seconds = program.build_duration().as_secs_f64();
+    let kernel = match program.kernel("ep") {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("ep: clCreateKernel failed: {e}");
+            return Err(e);
+        }
+    };
+
+    // ---- buffer creation ----------------------------------------------------
+    let seeds_bytes = 8 * threads;
+    let sums_bytes = 8 * threads;
+    let q_bytes = 4 * threads * 10;
+    let seeds_buf = create_buffer(&context, "seeds", seeds_bytes, MemAccess::ReadOnly)?;
+    let sx_buf = create_buffer(&context, "sx", sums_bytes, MemAccess::ReadWrite)?;
+    let sy_buf = create_buffer(&context, "sy", sums_bytes, MemAccess::ReadWrite)?;
+    let q_buf = create_buffer(&context, "q", q_bytes, MemAccess::ReadWrite)?;
+
+    // ---- host -> device transfers ---------------------------------------------
+    match queue.enqueue_write(&seeds_buf, 0, &seeds) {
+        Ok(ev) => metrics.transfer_modeled_seconds += ev.modeled_seconds(),
+        Err(e) => {
+            eprintln!("ep: clEnqueueWriteBuffer(seeds) failed: {e}");
+            return Err(e);
+        }
+    }
+
+    // ---- argument binding ----------------------------------------------------
+    kernel.set_arg_buffer(ARG_SEEDS, &seeds_buf)?;
+    kernel.set_arg_buffer(ARG_SX, &sx_buf)?;
+    kernel.set_arg_buffer(ARG_SY, &sy_buf)?;
+    kernel.set_arg_buffer(ARG_Q, &q_buf)?;
+    kernel.set_arg_scalar(ARG_PPT, cfg.pairs_per_thread as i32)?;
+
+    // ---- launch -----------------------------------------------------------------
+    let global = [threads];
+    let local = [64.min(threads)];
+    let event = match queue.enqueue_ndrange(&kernel, &global, Some(&local)) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("ep: clEnqueueNDRangeKernel failed: {e}");
+            return Err(e);
+        }
+    };
+    queue.finish();
+    metrics.kernel_modeled_seconds += event.modeled_seconds();
+
+    // ---- device -> host transfers --------------------------------------------------
+    let (sx, ev) = queue.enqueue_read::<f64>(&sx_buf, 0, threads)?;
+    metrics.transfer_modeled_seconds += ev.modeled_seconds();
+    let (sy, ev) = queue.enqueue_read::<f64>(&sy_buf, 0, threads)?;
+    metrics.transfer_modeled_seconds += ev.modeled_seconds();
+    let (q, ev) = queue.enqueue_read::<i32>(&q_buf, 0, threads * 10)?;
+    metrics.transfer_modeled_seconds += ev.modeled_seconds();
+
+    // ---- cleanup ----------------------------------------------------------------------
+    context.release_buffer(seeds_buf);
+    context.release_buffer(sx_buf);
+    context.release_buffer(sy_buf);
+    context.release_buffer(q_buf);
+
+    let result = reduce_outputs(&sx, &sy, &q);
+    Ok((result, metrics))
+}
+
+fn create_buffer(
+    context: &Context,
+    name: &str,
+    bytes: usize,
+    access: MemAccess,
+) -> Result<Buffer, Error> {
+    match context.create_buffer(bytes, access) {
+        Ok(b) => Ok(b),
+        Err(e) => {
+            eprintln!("ep: clCreateBuffer({name}, {bytes} bytes) failed: {e}");
+            Err(e)
+        }
+    }
+}
+
+/// Modeled seconds of the serial single-core CPU baseline (the same kernel
+/// executed under the 1-core CPU profile; see DESIGN.md).
+pub fn modeled_serial_seconds(cfg: &EpConfig) -> Result<f64, Error> {
+    let (result, metrics) = run(cfg, serial_device())?;
+    // sanity: the serial device computes the same answer
+    debug_assert!(result.q.iter().sum::<i64>() > 0);
+    Ok(metrics.kernel_modeled_seconds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oclsim::{DeviceProfile, Platform};
+
+    #[test]
+    fn opencl_matches_serial_reference() {
+        let cfg = EpConfig::default();
+        let device = Platform::default_platform().default_accelerator().unwrap();
+        let (result, metrics) = run(&cfg, &device).unwrap();
+        let reference = super::super::serial(&cfg);
+        assert!(reference.matches(&result), "\nref {reference:?}\ngot {result:?}");
+        assert!(metrics.kernel_modeled_seconds > 0.0);
+        assert!(metrics.build_seconds > 0.0);
+        assert!(metrics.transfer_modeled_seconds > 0.0);
+    }
+
+    #[test]
+    fn serial_cpu_profile_is_much_slower() {
+        let cfg = EpConfig::default();
+        let device = Platform::default_platform().default_accelerator().unwrap();
+        let (_, gpu) = run(&cfg, &device).unwrap();
+        let serial = modeled_serial_seconds(&cfg).unwrap();
+        // EP is embarrassingly parallel: the Tesla-class GPU must win big
+        assert!(
+            serial / gpu.kernel_modeled_seconds > 20.0,
+            "speedup only {}",
+            serial / gpu.kernel_modeled_seconds
+        );
+    }
+
+    #[test]
+    fn ep_rejected_on_fp64_less_device() {
+        // the paper excludes EP from the Quadro FX 380 experiment because
+        // the device lacks double support; the runtime enforces that
+        let cfg = EpConfig::default();
+        let quadro = oclsim::Device::new(DeviceProfile::quadro_fx380());
+        let err = run(&cfg, &quadro).unwrap_err();
+        assert!(matches!(err, Error::UnsupportedCapability(_)), "{err}");
+    }
+
+    #[test]
+    fn buffers_released_after_run() {
+        let cfg = EpConfig::default();
+        let device = Platform::default_platform().default_accelerator().unwrap();
+        // the run creates its own context, so a second run must not
+        // accumulate allocations anywhere
+        let (_, _) = run(&cfg, &device).unwrap();
+        let (_, _) = run(&cfg, &device).unwrap();
+    }
+}

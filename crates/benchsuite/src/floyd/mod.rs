@@ -1,0 +1,147 @@
+//! Floyd–Warshall all-pairs shortest paths.
+//!
+//! The paper runs the AMD APP SDK version on 1024 nodes (512 on the
+//! Quadro); scaled here to 256/128 nodes — the algorithm launches one
+//! kernel per intermediate vertex, so the scaling is quadratic per launch
+//! and linear in launches.
+
+pub mod hpl_version;
+pub mod opencl_version;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::common::BenchReport;
+
+/// "No edge" marker: large but safely below overflow when two are added.
+pub const INF: u32 = 1 << 29;
+
+/// Floyd–Warshall configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FloydConfig {
+    /// Number of graph nodes.
+    pub nodes: usize,
+    /// RNG seed for the random graph.
+    pub seed: u64,
+}
+
+impl Default for FloydConfig {
+    fn default() -> Self {
+        FloydConfig { nodes: 64, seed: 7 }
+    }
+}
+
+impl FloydConfig {
+    /// The scaled counterpart of the paper's 1024-node graph (Fig. 7).
+    pub fn paper_scaled() -> Self {
+        FloydConfig { nodes: 256, seed: 7 }
+    }
+
+    /// The scaled counterpart of the 512-node portability run (Fig. 9).
+    pub fn paper_scaled_small() -> Self {
+        FloydConfig { nodes: 128, seed: 7 }
+    }
+}
+
+/// Generate a random directed graph as a dense adjacency matrix with ~25%
+/// edge density and weights in 1..100.
+pub fn generate_graph(cfg: &FloydConfig) -> Vec<u32> {
+    let n = cfg.nodes;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut dist = vec![INF; n * n];
+    for (i, d) in dist.iter_mut().enumerate() {
+        let (y, x) = (i / n, i % n);
+        if y == x {
+            *d = 0;
+        } else if rng.random::<f32>() < 0.25 {
+            *d = rng.random_range(1..100);
+        }
+    }
+    dist
+}
+
+/// Serial native-Rust reference (classic triple loop).
+pub fn serial(dist: &[u32], n: usize) -> Vec<u32> {
+    let mut d = dist.to_vec();
+    for k in 0..n {
+        for y in 0..n {
+            for x in 0..n {
+                let through = d[y * n + k] + d[k * n + x];
+                if through < d[y * n + x] {
+                    d[y * n + x] = through;
+                }
+            }
+        }
+    }
+    d
+}
+
+/// Run the full comparison on `device` and assemble the Figure 7 row.
+pub fn run(cfg: &FloydConfig, device: &oclsim::Device) -> Result<BenchReport, crate::Error> {
+    let graph = generate_graph(cfg);
+    let reference = serial(&graph, cfg.nodes);
+
+    let (ocl_result, opencl) = opencl_version::run(cfg, &graph, device)?;
+    let serial_modeled_seconds = opencl_version::modeled_serial_seconds(cfg, &graph)?;
+    let (hpl_result, hpl) = hpl_version::run(cfg, &graph, device)?;
+
+    let verified = reference == ocl_result && reference == hpl_result;
+    Ok(BenchReport { name: "Floyd", opencl, hpl, serial_modeled_seconds, verified })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_has_zero_diagonal_and_bounded_weights() {
+        let cfg = FloydConfig { nodes: 16, seed: 1 };
+        let g = generate_graph(&cfg);
+        for i in 0..16 {
+            assert_eq!(g[i * 16 + i], 0);
+        }
+        assert!(g.iter().all(|&w| w == 0 || w == INF || (1..100).contains(&w)));
+        assert!(g.iter().any(|&w| w != INF && w != 0), "some edges exist");
+    }
+
+    #[test]
+    fn serial_shortest_paths_on_known_graph() {
+        // 0 -> 1 (5), 1 -> 2 (3), 0 -> 2 (100): best 0->2 is 8
+        let n = 3;
+        let mut g = vec![INF; 9];
+        g[0] = 0;
+        g[4] = 0;
+        g[8] = 0;
+        g[1] = 5;
+        g[5] = 3;
+        g[2] = 100;
+        let d = serial(&g, n);
+        assert_eq!(d[2], 8);
+        assert_eq!(d[1], 5);
+        assert_eq!(d[3], INF, "no path 1 -> 0");
+    }
+
+    #[test]
+    fn triangle_inequality_holds_after_serial() {
+        let cfg = FloydConfig { nodes: 24, seed: 3 };
+        let g = generate_graph(&cfg);
+        let d = serial(&g, cfg.nodes);
+        let n = cfg.nodes;
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    assert!(
+                        d[i * n + j] <= d[i * n + k].saturating_add(d[k * n + j]),
+                        "triangle inequality violated at ({i},{j},{k})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = FloydConfig::default();
+        assert_eq!(generate_graph(&cfg), generate_graph(&cfg));
+    }
+}

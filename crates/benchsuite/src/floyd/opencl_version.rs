@@ -1,0 +1,135 @@
+//! Floyd–Warshall — hand-written OpenCL version (Table I baseline).
+//!
+//! Classic OpenCL host style, as in the AMD APP SDK sample the paper
+//! measured: explicit context/queue setup with status checks, program
+//! build with build-log reporting, one buffer, n kernel launches (one per
+//! intermediate vertex) with per-launch argument rebinding, explicit
+//! read-back and cleanup.
+
+use oclsim::{CommandQueue, Context, Device, Error, MemAccess, Program};
+
+use super::FloydConfig;
+use crate::common::{serial_device, RunMetrics};
+
+/// The hand-written kernel source.
+pub const SOURCE: &str = include_str!("../kernels/floyd.cl");
+
+const ARG_DIST: usize = 0;
+const ARG_N: usize = 1;
+const ARG_K: usize = 2;
+
+/// Run Floyd–Warshall with manual OpenCL on `device`.
+pub fn run(
+    cfg: &FloydConfig,
+    graph: &[u32],
+    device: &Device,
+) -> Result<(Vec<u32>, RunMetrics), Error> {
+    let n = cfg.nodes;
+    let mut metrics = RunMetrics::default();
+
+    // ---- environment setup ------------------------------------------------
+    let context = match Context::new(std::slice::from_ref(device)) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("floyd: clCreateContext failed: {e}");
+            return Err(e);
+        }
+    };
+    let queue = match CommandQueue::new(&context, device) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("floyd: clCreateCommandQueue failed: {e}");
+            return Err(e);
+        }
+    };
+
+    // ---- program load and build --------------------------------------------
+    let program = Program::from_source(&context, SOURCE);
+    if let Err(e) = program.build("") {
+        eprintln!("floyd: clBuildProgram failed, build log:\n{}", program.build_log());
+        return Err(e);
+    }
+    metrics.build_seconds = program.build_duration().as_secs_f64();
+    let kernel = match program.kernel("floyd_pass") {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("floyd: clCreateKernel failed: {e}");
+            return Err(e);
+        }
+    };
+
+    // ---- buffer creation and upload -----------------------------------------
+    let dist_bytes = 4 * n * n;
+    let dist_buf = match context.create_buffer(dist_bytes, MemAccess::ReadWrite) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("floyd: clCreateBuffer(dist, {dist_bytes} bytes) failed: {e}");
+            return Err(e);
+        }
+    };
+    match queue.enqueue_write(&dist_buf, 0, graph) {
+        Ok(ev) => metrics.transfer_modeled_seconds += ev.modeled_seconds(),
+        Err(e) => {
+            eprintln!("floyd: clEnqueueWriteBuffer(dist) failed: {e}");
+            return Err(e);
+        }
+    }
+
+    // ---- n passes: one launch per intermediate vertex -----------------------------
+    kernel.set_arg_buffer(ARG_DIST, &dist_buf)?;
+    kernel.set_arg_scalar(ARG_N, n as i32)?;
+    let tile = 16.min(n);
+    let global = [n, n];
+    let local = [tile, tile];
+    for k in 0..n {
+        kernel.set_arg_scalar(ARG_K, k as i32)?;
+        match queue.enqueue_ndrange(&kernel, &global, Some(&local)) {
+            Ok(ev) => metrics.kernel_modeled_seconds += ev.modeled_seconds(),
+            Err(e) => {
+                eprintln!("floyd: clEnqueueNDRangeKernel(k={k}) failed: {e}");
+                return Err(e);
+            }
+        }
+    }
+    queue.finish();
+
+    // ---- read back and cleanup -------------------------------------------------------
+    let (result, ev) = queue.enqueue_read::<u32>(&dist_buf, 0, n * n)?;
+    metrics.transfer_modeled_seconds += ev.modeled_seconds();
+    context.release_buffer(dist_buf);
+
+    Ok((result, metrics))
+}
+
+/// Modeled seconds of the serial CPU baseline.
+pub fn modeled_serial_seconds(cfg: &FloydConfig, graph: &[u32]) -> Result<f64, Error> {
+    let (_, metrics) = run(cfg, graph, serial_device())?;
+    Ok(metrics.kernel_modeled_seconds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floyd::{generate_graph, serial};
+    use oclsim::Platform;
+
+    #[test]
+    fn opencl_matches_serial_reference() {
+        let cfg = FloydConfig { nodes: 32, seed: 11 };
+        let graph = generate_graph(&cfg);
+        let device = Platform::default_platform().default_accelerator().unwrap();
+        let (result, metrics) = run(&cfg, &graph, &device).unwrap();
+        assert_eq!(result, serial(&graph, cfg.nodes));
+        assert!(metrics.kernel_modeled_seconds > 0.0);
+    }
+
+    #[test]
+    fn many_launches_accumulate_time() {
+        let device = Platform::default_platform().default_accelerator().unwrap();
+        let small = FloydConfig { nodes: 16, seed: 1 };
+        let big = FloydConfig { nodes: 64, seed: 1 };
+        let (_, ms) = run(&small, &generate_graph(&small), &device).unwrap();
+        let (_, mb) = run(&big, &generate_graph(&big), &device).unwrap();
+        assert!(mb.kernel_modeled_seconds > ms.kernel_modeled_seconds * 3.0);
+    }
+}

@@ -1,0 +1,55 @@
+// NAS EP (embarrassingly parallel) kernel, hand-written OpenCL baseline.
+// Each work-item owns a pre-seeded chunk of the NAS linear congruential
+// stream, generates pairs of uniforms, applies the Marsaglia polar method,
+// and tallies Gaussian deviates into square annuli.
+
+#define EP_MOD_MASK 70368744177663UL
+#define EP_R46 70368744177664.0
+#define EP_LO_MASK 8388607UL
+
+ulong lcg_next(ulong x) {
+    ulong a = 1220703125UL;
+    ulong x1 = x >> 23;
+    ulong x0 = x & EP_LO_MASK;
+    ulong t = (((a * x1) & EP_LO_MASK) << 23) + a * x0;
+    return t & EP_MOD_MASK;
+}
+
+__kernel void ep(__global const ulong* seeds,
+                 __global double* sx,
+                 __global double* sy,
+                 __global int* q,
+                 const int pairs_per_thread) {
+    int tid = (int)get_global_id(0);
+    ulong x = seeds[tid];
+    double lsx = 0.0;
+    double lsy = 0.0;
+    int qcnt[10];
+    for (int i = 0; i < 10; i++) {
+        qcnt[i] = 0;
+    }
+    for (int i = 0; i < pairs_per_thread; i++) {
+        x = lcg_next(x);
+        double u1 = (double)x / EP_R46;
+        x = lcg_next(x);
+        double u2 = (double)x / EP_R46;
+        double a = 2.0 * u1 - 1.0;
+        double b = 2.0 * u2 - 1.0;
+        double t = a * a + b * b;
+        if (t <= 1.0) {
+            double f = sqrt(-2.0 * log(t) / t);
+            double gx = a * f;
+            double gy = b * f;
+            lsx += gx;
+            lsy += gy;
+            int l = (int)fmax(fabs(gx), fabs(gy));
+            l = min(l, 9);
+            qcnt[l] += 1;
+        }
+    }
+    sx[tid] = lsx;
+    sy[tid] = lsy;
+    for (int i = 0; i < 10; i++) {
+        q[tid * 10 + i] = qcnt[i];
+    }
+}

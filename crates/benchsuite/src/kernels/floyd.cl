@@ -1,0 +1,10 @@
+// Floyd-Warshall all-pairs shortest paths, hand-written OpenCL baseline
+// (AMD APP SDK style: one kernel launch per intermediate vertex k).
+
+__kernel void floyd_pass(__global uint* dist, const int n, const int k) {
+    int x = (int)get_global_id(0);
+    int y = (int)get_global_id(1);
+    uint direct = dist[y * n + x];
+    uint through = dist[y * n + k] + dist[k * n + x];
+    dist[y * n + x] = min(direct, through);
+}

@@ -1,0 +1,42 @@
+// Single-precision sum reduction, hand-written OpenCL baseline (SHOC
+// style): each work-item first accumulates PER_THREAD elements with
+// group-strided loads (so the tree cost amortises), then a per-group tree
+// reduction in local memory produces one partial sum per work-group; the
+// host adds the partials.
+
+#define GROUP 256
+#define PER_THREAD 8
+
+__kernel void reduce_sum(__global const float* in, __global float* partials) {
+    __local float sdata[GROUP];
+    int lid = (int)get_local_id(0);
+    int base = (int)get_group_id(0) * (GROUP * PER_THREAD) + lid;
+
+    float acc = 0.0f;
+    for (int j = 0; j < PER_THREAD; j++) {
+        acc += in[base + j * GROUP];
+    }
+    sdata[lid] = acc;
+    barrier(CLK_LOCAL_MEM_FENCE);
+
+    for (int s = GROUP / 2; s > 0; s >>= 1) {
+        if (lid < s) {
+            sdata[lid] += sdata[lid + s];
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (lid == 0) {
+        partials[(int)get_group_id(0)] = sdata[0];
+    }
+}
+
+// The serial baseline of Figures 6/7 is plain sequential code; this
+// single-work-item kernel mirrors the paper's serial C++ sum loop so the
+// CPU-profile timing model prices exactly that loop.
+__kernel void serial_sum(__global const float* in, __global float* out, const int n) {
+    float acc = 0.0f;
+    for (int i = 0; i < n; i++) {
+        acc += in[i];
+    }
+    out[0] = acc;
+}

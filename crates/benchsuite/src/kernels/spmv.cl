@@ -1,0 +1,36 @@
+// Sparse matrix-vector product over CSR, hand-written OpenCL baseline
+// (SHOC csr-vector style): one work-group of M lanes per matrix row,
+// strided accumulation, then a tree reduction in local memory. This is the
+// shape of the paper's Figure 5(b).
+
+#define M 8
+
+__kernel void spmv(__global const float* val,
+                   __global const float* vec,
+                   __global const int* cols,
+                   __global const int* rowptr,
+                   __global float* out) {
+    int row = (int)get_group_id(0);
+    int lane = (int)get_local_id(0);
+    int end = rowptr[row + 1];
+    __local float sdata[M];
+
+    float mySum = 0.0f;
+    for (int j = rowptr[row] + lane; j < end; j += M) {
+        mySum += val[j] * vec[cols[j]];
+    }
+    sdata[lane] = mySum;
+    barrier(CLK_LOCAL_MEM_FENCE);
+
+    if (lane < 4) {
+        sdata[lane] += sdata[lane + 4];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    if (lane < 2) {
+        sdata[lane] += sdata[lane + 2];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    if (lane == 0) {
+        out[row] = sdata[0] + sdata[1];
+    }
+}

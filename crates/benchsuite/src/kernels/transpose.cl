@@ -1,0 +1,23 @@
+// Tiled matrix transpose, hand-written OpenCL baseline (AMD APP SDK
+// style): each work-group stages a BLOCK x BLOCK tile in local memory so
+// both the reads and the writes to global memory are contiguous.
+
+#define BLOCK 16
+
+__kernel void transpose(__global float* dst,
+                        __global const float* src,
+                        const int h,
+                        const int w) {
+    __local float tile[256];
+    int gx = (int)get_global_id(0);
+    int gy = (int)get_global_id(1);
+    int lx = (int)get_local_id(0);
+    int ly = (int)get_local_id(1);
+
+    tile[ly * BLOCK + lx] = src[gy * w + gx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+
+    int ox = (int)get_group_id(1) * BLOCK + lx;
+    int oy = (int)get_group_id(0) * BLOCK + ly;
+    dst[oy * h + ox] = tile[lx * BLOCK + ly];
+}

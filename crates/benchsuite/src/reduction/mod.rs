@@ -1,0 +1,108 @@
+//! Single-precision sum reduction (SHOC).
+//!
+//! The paper adds 16M floats; scaled here to 1M. The device versions
+//! produce one partial per work-group of [`GROUP`] elements (local tree
+//! reduction) and the host adds the partials. The input values are small
+//! integers so every summation order gives the exact same float — which
+//! lets verification demand bitwise equality.
+
+pub mod hpl_version;
+pub mod opencl_version;
+
+use crate::common::BenchReport;
+
+/// Work-group size of the device reduction.
+pub const GROUP: usize = 256;
+
+/// Elements each work-item accumulates before the local-memory tree
+/// (SHOC-style; amortises the tree and loop overhead).
+pub const PER_THREAD: usize = 8;
+
+/// Input elements consumed by one work-group.
+pub const CHUNK: usize = GROUP * PER_THREAD;
+
+/// Reduction configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ReductionConfig {
+    /// Number of input elements; must be a multiple of [`GROUP`].
+    pub n: usize,
+}
+
+impl Default for ReductionConfig {
+    fn default() -> Self {
+        ReductionConfig { n: 64 * CHUNK }
+    }
+}
+
+impl ReductionConfig {
+    /// Scaled counterpart of the paper's 16M-element run (Fig. 7): 8M.
+    pub fn paper_scaled() -> Self {
+        ReductionConfig { n: 1 << 23 }
+    }
+
+    /// A smaller size for the portability run (Fig. 9).
+    pub fn paper_scaled_small() -> Self {
+        ReductionConfig { n: 1 << 22 }
+    }
+
+    fn validate(&self) {
+        assert!(self.n % CHUNK == 0, "n must be a multiple of the {CHUNK}-element group chunk");
+    }
+}
+
+/// Deterministic input whose elements are small zero-centred integers:
+/// every partial sum in any grouping stays tiny and exactly representable,
+/// so all summation orders give the bitwise-identical result even at
+/// millions of elements.
+pub fn generate_input(cfg: &ReductionConfig) -> Vec<f32> {
+    cfg.validate();
+    (0..cfg.n).map(|i| ((i * 2_654_435_761) % 17) as f32 - 8.0).collect()
+}
+
+/// Serial native-Rust reference.
+pub fn serial(data: &[f32]) -> f32 {
+    data.iter().sum()
+}
+
+/// Run the full comparison on `device` and assemble the Figure 7 row.
+pub fn run(cfg: &ReductionConfig, device: &oclsim::Device) -> Result<BenchReport, crate::Error> {
+    let data = generate_input(cfg);
+    let reference = serial(&data);
+
+    let (ocl_result, opencl) = opencl_version::run(cfg, &data, device)?;
+    let serial_modeled_seconds = opencl_version::modeled_serial_seconds(cfg, &data)?;
+    let (hpl_result, hpl) = hpl_version::run(cfg, &data, device)?;
+
+    let verified = ocl_result == reference && hpl_result == reference;
+    Ok(BenchReport { name: "reduction", opencl, hpl, serial_modeled_seconds, verified })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_is_exactly_summable() {
+        let cfg = ReductionConfig { n: CHUNK * 4 };
+        let data = generate_input(&cfg);
+        assert!(data.iter().all(|&x| (-8.0..=8.0).contains(&x) && x.fract() == 0.0));
+        // zero-centred residues: running sums stay tiny, so f32 summation
+        // is exact in any order
+        let total: f64 = data.iter().map(|&x| x as f64).sum();
+        assert!(total.abs() < 1e4, "total {total}");
+        let forward: f32 = data.iter().sum();
+        let backward: f32 = data.iter().rev().sum();
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn non_group_multiple_rejected() {
+        let _ = generate_input(&ReductionConfig { n: 100 });
+    }
+
+    #[test]
+    fn serial_sum_known_case() {
+        assert_eq!(serial(&[1.0, 2.0, 3.5]), 6.5);
+    }
+}

@@ -1,0 +1,174 @@
+//! Reduction — hand-written OpenCL version (SHOC style; Table I baseline).
+//!
+//! Classic OpenCL host style: explicit setup with status checks, build-log
+//! reporting, explicit buffers/transfers/argument binding, host-side final
+//! pass over the per-group partials, explicit cleanup.
+
+use oclsim::{CommandQueue, Context, Device, Error, MemAccess, Program};
+
+use super::{ReductionConfig, CHUNK, GROUP};
+use crate::common::{serial_device, RunMetrics};
+
+/// The hand-written kernel source.
+pub const SOURCE: &str = include_str!("../kernels/reduction.cl");
+
+const ARG_IN: usize = 0;
+const ARG_PARTIALS: usize = 1;
+
+/// Run the reduction with manual OpenCL on `device`.
+pub fn run(
+    cfg: &ReductionConfig,
+    data: &[f32],
+    device: &Device,
+) -> Result<(f32, RunMetrics), Error> {
+    let n = cfg.n;
+    let groups = n / CHUNK;
+    let mut metrics = RunMetrics::default();
+
+    // ---- environment setup ------------------------------------------------
+    let context = match Context::new(std::slice::from_ref(device)) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("reduction: clCreateContext failed: {e}");
+            return Err(e);
+        }
+    };
+    let queue = match CommandQueue::new(&context, device) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("reduction: clCreateCommandQueue failed: {e}");
+            return Err(e);
+        }
+    };
+
+    // ---- program load and build --------------------------------------------
+    let program = Program::from_source(&context, SOURCE);
+    if let Err(e) = program.build("") {
+        eprintln!("reduction: clBuildProgram failed, build log:\n{}", program.build_log());
+        return Err(e);
+    }
+    metrics.build_seconds = program.build_duration().as_secs_f64();
+    let kernel = match program.kernel("reduce_sum") {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("reduction: clCreateKernel failed: {e}");
+            return Err(e);
+        }
+    };
+
+    // ---- buffers and upload ------------------------------------------------------
+    let in_bytes = 4 * n;
+    let in_buf = match context.create_buffer(in_bytes, MemAccess::ReadOnly) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("reduction: clCreateBuffer(in, {in_bytes} bytes) failed: {e}");
+            return Err(e);
+        }
+    };
+    let partials_buf = match context.create_buffer(4 * groups, MemAccess::ReadWrite) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("reduction: clCreateBuffer(partials) failed: {e}");
+            return Err(e);
+        }
+    };
+    match queue.enqueue_write(&in_buf, 0, data) {
+        Ok(ev) => metrics.transfer_modeled_seconds += ev.modeled_seconds(),
+        Err(e) => {
+            eprintln!("reduction: clEnqueueWriteBuffer(in) failed: {e}");
+            return Err(e);
+        }
+    }
+
+    // ---- argument binding and launch --------------------------------------------
+    kernel.set_arg_buffer(ARG_IN, &in_buf)?;
+    kernel.set_arg_buffer(ARG_PARTIALS, &partials_buf)?;
+    let global = [n / super::PER_THREAD];
+    let local = [GROUP];
+    let event = match queue.enqueue_ndrange(&kernel, &global, Some(&local)) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("reduction: clEnqueueNDRangeKernel failed: {e}");
+            return Err(e);
+        }
+    };
+    queue.finish();
+    metrics.kernel_modeled_seconds += event.modeled_seconds();
+
+    // ---- read back, final host pass, cleanup ------------------------------------------
+    let (partials, ev) = queue.enqueue_read::<f32>(&partials_buf, 0, groups)?;
+    metrics.transfer_modeled_seconds += ev.modeled_seconds();
+    let result: f32 = partials.iter().sum();
+    context.release_buffer(in_buf);
+    context.release_buffer(partials_buf);
+
+    Ok((result, metrics))
+}
+
+/// Modeled seconds of the serial CPU baseline: the paper's baseline is a
+/// plain sequential sum loop, so it is priced with the single-work-item
+/// `serial_sum` kernel on the 1-core CPU profile rather than the tree
+/// kernel (which a serial program would never run).
+pub fn modeled_serial_seconds(cfg: &ReductionConfig, data: &[f32]) -> Result<f64, Error> {
+    let device = serial_device();
+    let context = Context::new(std::slice::from_ref(device))?;
+    let queue = CommandQueue::new(&context, device)?;
+    let program = Program::from_source(&context, SOURCE);
+    program.build("")?;
+    let kernel = program.kernel("serial_sum")?;
+    let in_buf = context.create_buffer(4 * cfg.n, MemAccess::ReadOnly)?;
+    queue.enqueue_write(&in_buf, 0, data)?;
+    let out_buf = context.create_buffer(4, MemAccess::ReadWrite)?;
+    kernel.set_arg_buffer(0, &in_buf)?;
+    kernel.set_arg_buffer(1, &out_buf)?;
+    kernel.set_arg_scalar(2, cfg.n as i32)?;
+    let event = queue.enqueue_ndrange(&kernel, &[1], Some(&[1]))?;
+    // sanity: the serial loop computes the same sum
+    let (result, _) = queue.enqueue_read::<f32>(&out_buf, 0, 1)?;
+    debug_assert_eq!(result[0], data.iter().sum::<f32>());
+    context.release_buffer(in_buf);
+    context.release_buffer(out_buf);
+    Ok(event.modeled_seconds())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduction::{generate_input, serial};
+    use oclsim::Platform;
+
+    #[test]
+    fn opencl_matches_serial_reference() {
+        let cfg = ReductionConfig { n: CHUNK * 8 };
+        let data = generate_input(&cfg);
+        let device = Platform::default_platform().default_accelerator().unwrap();
+        let (result, metrics) = run(&cfg, &data, &device).unwrap();
+        assert_eq!(result, serial(&data));
+        assert!(metrics.kernel_modeled_seconds > 0.0);
+        assert!(metrics.build_seconds > 0.0);
+    }
+
+    #[test]
+    fn reduction_is_memory_bound_on_gpu() {
+        let cfg = ReductionConfig::default();
+        let data = generate_input(&cfg);
+        let device = Platform::default_platform().default_accelerator().unwrap();
+        let (_, m) = run(&cfg, &data, &device).unwrap();
+        // one coalesced pass over the input: transfers dominate the total
+        assert!(m.transfer_modeled_seconds > m.kernel_modeled_seconds);
+    }
+
+    #[test]
+    fn serial_baseline_is_the_sequential_loop() {
+        let cfg = ReductionConfig::default();
+        let data = generate_input(&cfg);
+        let device = Platform::default_platform().default_accelerator().unwrap();
+        let serial_s = modeled_serial_seconds(&cfg, &data).unwrap();
+        let (_, gpu) = run(&cfg, &data, &device).unwrap();
+        let speedup = serial_s / gpu.kernel_modeled_seconds;
+        assert!(
+            (2.0..200.0).contains(&speedup),
+            "reduction speedup out of plausible range: {speedup}"
+        );
+    }
+}

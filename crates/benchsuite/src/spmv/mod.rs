@@ -1,0 +1,174 @@
+//! Sparse matrix–vector product over CSR (the paper's §IV-C example and
+//! SHOC benchmark).
+//!
+//! The paper uses a 16K×16K matrix with 1% non-zeros (8K×8K on the
+//! Quadro); scaled here to 2K×2K / 1K×1K with the same density. One
+//! work-group of [`M`] lanes cooperates on each row, as in Figure 5(b).
+
+pub mod hpl_version;
+pub mod opencl_version;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::common::BenchReport;
+
+/// Lanes per row (the paper's `M`).
+pub const M: usize = 8;
+
+/// Spmv configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SpmvConfig {
+    /// Square matrix dimension.
+    pub n: usize,
+    /// Fraction of non-zero entries.
+    pub density: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SpmvConfig {
+    fn default() -> Self {
+        SpmvConfig { n: 256, density: 0.01, seed: 42 }
+    }
+}
+
+impl SpmvConfig {
+    /// Scaled counterpart of the paper's 16K×16K, 1% non-zeros (Fig. 7): 8K×8K.
+    pub fn paper_scaled() -> Self {
+        SpmvConfig { n: 8192, density: 0.01, seed: 42 }
+    }
+
+    /// Scaled counterpart of the 8K×8K portability run (Fig. 9): 4K×4K.
+    pub fn paper_scaled_small() -> Self {
+        SpmvConfig { n: 4096, density: 0.01, seed: 42 }
+    }
+}
+
+/// A CSR matrix plus a dense input vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrProblem {
+    /// Non-zero values.
+    pub val: Vec<f32>,
+    /// Column index per non-zero.
+    pub cols: Vec<i32>,
+    /// Row start offsets (length n+1).
+    pub rowptr: Vec<i32>,
+    /// Dense input vector.
+    pub vec: Vec<f32>,
+}
+
+/// Generate a random CSR matrix with ~`density` non-zeros per row
+/// (at least one per row, so every row exercises the kernel).
+pub fn generate(cfg: &SpmvConfig) -> CsrProblem {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.n;
+    let per_row = ((n as f64 * cfg.density).round() as usize).max(1);
+    let mut val = Vec::with_capacity(n * per_row);
+    let mut cols = Vec::with_capacity(n * per_row);
+    let mut rowptr = Vec::with_capacity(n + 1);
+    rowptr.push(0i32);
+    for _ in 0..n {
+        // jittered count per row: 50%..150% of the target density
+        let count = rng.random_range(per_row.div_ceil(2)..=per_row + per_row / 2).min(n);
+        let mut row_cols: Vec<i32> = (0..count).map(|_| rng.random_range(0..n as i32)).collect();
+        row_cols.sort_unstable();
+        row_cols.dedup();
+        for c in row_cols {
+            cols.push(c);
+            val.push(rng.random_range(-1.0f32..1.0));
+        }
+        rowptr.push(cols.len() as i32);
+    }
+    let vec = (0..n).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+    CsrProblem { val, cols, rowptr, vec }
+}
+
+/// Serial native-Rust reference — the paper's Figure 5(a) loop.
+pub fn serial(p: &CsrProblem) -> Vec<f32> {
+    let n = p.rowptr.len() - 1;
+    let mut out = vec![0.0f32; n];
+    for i in 0..n {
+        for j in p.rowptr[i] as usize..p.rowptr[i + 1] as usize {
+            out[i] += p.val[j] * p.vec[p.cols[j] as usize];
+        }
+    }
+    out
+}
+
+/// Compare two result vectors with a floating-point tolerance (the device
+/// versions reduce in tree order, the serial version left-to-right; rows
+/// whose terms cancel can make *relative* error meaningless, so the
+/// tolerance is absolute against the ~unit-magnitude row terms).
+pub fn results_match(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(&x, &y)| (x - y).abs() <= 2e-4)
+}
+
+/// Run the full comparison on `device` and assemble the Figure 7 row.
+pub fn run(cfg: &SpmvConfig, device: &oclsim::Device) -> Result<BenchReport, crate::Error> {
+    let problem = generate(cfg);
+    let reference = serial(&problem);
+
+    let (ocl_result, opencl) = opencl_version::run(cfg, &problem, device)?;
+    let serial_modeled_seconds = opencl_version::modeled_serial_seconds(cfg, &problem)?;
+    let (hpl_result, hpl) = hpl_version::run(cfg, &problem, device)?;
+
+    let verified = results_match(&reference, &ocl_result) && results_match(&reference, &hpl_result);
+    Ok(BenchReport { name: "spmv", opencl, hpl, serial_modeled_seconds, verified })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_structure_is_valid() {
+        let cfg = SpmvConfig { n: 100, density: 0.05, seed: 1 };
+        let p = generate(&cfg);
+        assert_eq!(p.rowptr.len(), 101);
+        assert_eq!(p.rowptr[0], 0);
+        assert_eq!(*p.rowptr.last().unwrap() as usize, p.val.len());
+        assert_eq!(p.val.len(), p.cols.len());
+        for w in p.rowptr.windows(2) {
+            assert!(w[0] <= w[1], "rowptr must be non-decreasing");
+            assert!(w[1] - w[0] >= 1, "every row has at least one non-zero");
+        }
+        assert!(p.cols.iter().all(|&c| (0..100).contains(&c)));
+        // columns sorted within each row
+        for i in 0..100 {
+            let row = &p.cols[p.rowptr[i] as usize..p.rowptr[i + 1] as usize];
+            assert!(row.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn serial_spmv_identity_like() {
+        // diagonal matrix times vector = scaled vector
+        let p = CsrProblem {
+            val: vec![2.0, 3.0, 4.0],
+            cols: vec![0, 1, 2],
+            rowptr: vec![0, 1, 2, 3],
+            vec: vec![1.0, 10.0, 100.0],
+        };
+        assert_eq!(serial(&p), vec![2.0, 30.0, 400.0]);
+    }
+
+    #[test]
+    fn density_roughly_respected() {
+        let cfg = SpmvConfig { n: 1000, density: 0.01, seed: 9 };
+        let p = generate(&cfg);
+        let nnz = p.val.len() as f64;
+        let total = (cfg.n * cfg.n) as f64;
+        let density = nnz / total;
+        assert!((0.004..0.02).contains(&density), "density {density}");
+    }
+
+    #[test]
+    fn results_match_tolerates_fp_reassociation() {
+        assert!(results_match(&[1.0, 2.0], &[1.0 + 1e-6, 2.0]));
+        assert!(!results_match(&[1.0, 2.0], &[1.1, 2.0]));
+        assert!(!results_match(&[1.0], &[1.0, 2.0]));
+        // near-zero sums from cancellation still match
+        assert!(results_match(&[1e-7], &[-1e-7]));
+    }
+}

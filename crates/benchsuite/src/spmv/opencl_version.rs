@@ -1,0 +1,165 @@
+//! Spmv — hand-written OpenCL version (SHOC csr-vector style; Table I
+//! baseline).
+//!
+//! Classic OpenCL host style: explicit setup with status checks, build-log
+//! reporting, five buffers with individual creation checks, four uploads,
+//! index-by-index argument binding, explicit cleanup.
+
+use oclsim::{Buffer, CommandQueue, Context, Device, Error, MemAccess, Program};
+
+use super::{CsrProblem, SpmvConfig, M};
+use crate::common::{serial_device, RunMetrics};
+
+/// The hand-written kernel source.
+pub const SOURCE: &str = include_str!("../kernels/spmv.cl");
+
+const ARG_VAL: usize = 0;
+const ARG_VEC: usize = 1;
+const ARG_COLS: usize = 2;
+const ARG_ROWPTR: usize = 3;
+const ARG_OUT: usize = 4;
+
+/// Run spmv with manual OpenCL on `device`.
+pub fn run(
+    cfg: &SpmvConfig,
+    p: &CsrProblem,
+    device: &Device,
+) -> Result<(Vec<f32>, RunMetrics), Error> {
+    let n = cfg.n;
+    let mut metrics = RunMetrics::default();
+
+    // ---- environment setup ------------------------------------------------
+    let context = match Context::new(std::slice::from_ref(device)) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("spmv: clCreateContext failed: {e}");
+            return Err(e);
+        }
+    };
+    let queue = match CommandQueue::new(&context, device) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("spmv: clCreateCommandQueue failed: {e}");
+            return Err(e);
+        }
+    };
+
+    // ---- program load and build --------------------------------------------
+    let program = Program::from_source(&context, SOURCE);
+    if let Err(e) = program.build("") {
+        eprintln!("spmv: clBuildProgram failed, build log:\n{}", program.build_log());
+        return Err(e);
+    }
+    metrics.build_seconds = program.build_duration().as_secs_f64();
+    let kernel = match program.kernel("spmv") {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("spmv: clCreateKernel failed: {e}");
+            return Err(e);
+        }
+    };
+
+    // ---- buffer creation ----------------------------------------------------
+    let val_buf = create_buffer(&context, "val", 4 * p.val.len(), MemAccess::ReadOnly)?;
+    let vec_buf = create_buffer(&context, "vec", 4 * n, MemAccess::ReadOnly)?;
+    let cols_buf = create_buffer(&context, "cols", 4 * p.cols.len(), MemAccess::ReadOnly)?;
+    let rowptr_buf = create_buffer(&context, "rowptr", 4 * (n + 1), MemAccess::ReadOnly)?;
+    let out_buf = create_buffer(&context, "out", 4 * n, MemAccess::ReadWrite)?;
+
+    // ---- host -> device transfers ----------------------------------------------
+    for (name, result) in [
+        ("val", queue.enqueue_write(&val_buf, 0, &p.val)),
+        ("vec", queue.enqueue_write(&vec_buf, 0, &p.vec)),
+        ("cols", queue.enqueue_write(&cols_buf, 0, &p.cols)),
+        ("rowptr", queue.enqueue_write(&rowptr_buf, 0, &p.rowptr)),
+    ] {
+        match result {
+            Ok(ev) => metrics.transfer_modeled_seconds += ev.modeled_seconds(),
+            Err(e) => {
+                eprintln!("spmv: clEnqueueWriteBuffer({name}) failed: {e}");
+                return Err(e);
+            }
+        }
+    }
+
+    // ---- argument binding and launch ----------------------------------------------
+    kernel.set_arg_buffer(ARG_VAL, &val_buf)?;
+    kernel.set_arg_buffer(ARG_VEC, &vec_buf)?;
+    kernel.set_arg_buffer(ARG_COLS, &cols_buf)?;
+    kernel.set_arg_buffer(ARG_ROWPTR, &rowptr_buf)?;
+    kernel.set_arg_buffer(ARG_OUT, &out_buf)?;
+    let global = [n * M];
+    let local = [M];
+    let event = match queue.enqueue_ndrange(&kernel, &global, Some(&local)) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("spmv: clEnqueueNDRangeKernel failed: {e}");
+            return Err(e);
+        }
+    };
+    queue.finish();
+    metrics.kernel_modeled_seconds += event.modeled_seconds();
+
+    // ---- read back and cleanup -------------------------------------------------------
+    let (result, ev) = queue.enqueue_read::<f32>(&out_buf, 0, n)?;
+    metrics.transfer_modeled_seconds += ev.modeled_seconds();
+    context.release_buffer(val_buf);
+    context.release_buffer(vec_buf);
+    context.release_buffer(cols_buf);
+    context.release_buffer(rowptr_buf);
+    context.release_buffer(out_buf);
+
+    Ok((result, metrics))
+}
+
+fn create_buffer(
+    context: &Context,
+    name: &str,
+    bytes: usize,
+    access: MemAccess,
+) -> Result<Buffer, Error> {
+    match context.create_buffer(bytes, access) {
+        Ok(b) => Ok(b),
+        Err(e) => {
+            eprintln!("spmv: clCreateBuffer({name}, {bytes} bytes) failed: {e}");
+            Err(e)
+        }
+    }
+}
+
+/// Modeled seconds of the serial CPU baseline.
+pub fn modeled_serial_seconds(cfg: &SpmvConfig, p: &CsrProblem) -> Result<f64, Error> {
+    let (_, metrics) = run(cfg, p, serial_device())?;
+    Ok(metrics.kernel_modeled_seconds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmv::{generate, results_match, serial};
+    use oclsim::Platform;
+
+    #[test]
+    fn opencl_matches_serial_reference() {
+        let cfg = SpmvConfig { n: 128, density: 0.05, seed: 5 };
+        let p = generate(&cfg);
+        let device = Platform::default_platform().default_accelerator().unwrap();
+        let (result, metrics) = run(&cfg, &p, &device).unwrap();
+        assert!(results_match(&serial(&p), &result));
+        assert!(metrics.kernel_modeled_seconds > 0.0);
+    }
+
+    #[test]
+    fn spmv_speedup_is_modest() {
+        // irregular gathers keep spmv memory-bound: the paper reports only
+        // ~5.4x over the serial CPU, the smallest of the five benchmarks
+        let cfg = SpmvConfig::default();
+        let p = generate(&cfg);
+        let device = Platform::default_platform().default_accelerator().unwrap();
+        let (_, gpu) = run(&cfg, &p, &device).unwrap();
+        let serial_s = modeled_serial_seconds(&cfg, &p).unwrap();
+        let speedup = serial_s / gpu.kernel_modeled_seconds;
+        assert!(speedup < 120.0, "spmv speedup implausibly high: {speedup}");
+        assert!(speedup > 0.5, "GPU should not lose by much: {speedup}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Tiled matrix transpose.
+//!
+//! The paper transposes a 16K×16K matrix (5K×5K on the Quadro); scaled
+//! here to 1K×1K / 320×320. The optimised kernel stages BLOCK×BLOCK tiles
+//! in local memory so both global reads and writes coalesce — the paper's
+//! footnote 1 distinguishes this from the naive one-liner of Figure 10.
+
+pub mod hpl_version;
+pub mod opencl_version;
+
+use crate::common::BenchReport;
+
+/// Tile edge used by both device versions.
+pub const BLOCK: usize = 16;
+
+/// Transpose configuration (matrix is `rows` × `cols`).
+#[derive(Debug, Clone, Copy)]
+pub struct TransposeConfig {
+    /// Rows of the source matrix; must be a multiple of [`BLOCK`].
+    pub rows: usize,
+    /// Columns of the source matrix; must be a multiple of [`BLOCK`].
+    pub cols: usize,
+}
+
+impl Default for TransposeConfig {
+    fn default() -> Self {
+        TransposeConfig { rows: 128, cols: 64 }
+    }
+}
+
+impl TransposeConfig {
+    /// Scaled counterpart of the paper's 16K×16K run (Fig. 7): 2K×2K.
+    pub fn paper_scaled() -> Self {
+        TransposeConfig { rows: 2048, cols: 2048 }
+    }
+
+    /// Scaled counterpart of the 5K×5K portability run (Fig. 9): 1K×1K.
+    pub fn paper_scaled_small() -> Self {
+        TransposeConfig { rows: 1024, cols: 1024 }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.rows % BLOCK == 0 && self.cols % BLOCK == 0,
+            "matrix dimensions must be multiples of the {BLOCK}-element tile"
+        );
+    }
+}
+
+/// Deterministic source matrix.
+pub fn generate_matrix(cfg: &TransposeConfig) -> Vec<f32> {
+    cfg.validate();
+    (0..cfg.rows * cfg.cols).map(|i| (i % 1013) as f32 * 0.5).collect()
+}
+
+/// Serial native-Rust reference.
+pub fn serial(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    let mut dst = vec![0.0f32; rows * cols];
+    for y in 0..rows {
+        for x in 0..cols {
+            dst[x * rows + y] = src[y * cols + x];
+        }
+    }
+    dst
+}
+
+/// Run the full comparison on `device` and assemble the Figure 7 row.
+pub fn run(cfg: &TransposeConfig, device: &oclsim::Device) -> Result<BenchReport, crate::Error> {
+    let src = generate_matrix(cfg);
+    let reference = serial(&src, cfg.rows, cfg.cols);
+
+    let (ocl_result, opencl) = opencl_version::run(cfg, &src, device)?;
+    let serial_modeled_seconds = opencl_version::modeled_serial_seconds(cfg, &src)?;
+    let (hpl_result, hpl) = hpl_version::run(cfg, &src, device)?;
+
+    let verified = reference == ocl_result && reference == hpl_result;
+    Ok(BenchReport { name: "transpose", opencl, hpl, serial_modeled_seconds, verified })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_transpose_is_involutive() {
+        let cfg = TransposeConfig { rows: 32, cols: 16 };
+        let src = generate_matrix(&cfg);
+        let once = serial(&src, cfg.rows, cfg.cols);
+        let twice = serial(&once, cfg.cols, cfg.rows);
+        assert_eq!(src, twice);
+    }
+
+    #[test]
+    fn serial_transpose_moves_elements() {
+        let src = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 2x3
+        // transpose of a 2x3 laid out row-major... use BLOCK-free serial
+        let dst = serial(&src, 2, 3);
+        assert_eq!(dst, vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiples")]
+    fn non_tile_multiple_rejected() {
+        let cfg = TransposeConfig { rows: 30, cols: 16 };
+        let _ = generate_matrix(&cfg);
+    }
+}

@@ -1,0 +1,147 @@
+//! Matrix transpose — hand-written OpenCL version (Table I baseline).
+//!
+//! Classic OpenCL host style, as in the AMD APP SDK sample the paper
+//! measured: explicit setup with status checks, build-log reporting,
+//! explicit buffers/transfers/argument binding/cleanup.
+
+use oclsim::{CommandQueue, Context, Device, Error, MemAccess, Program};
+
+use super::{TransposeConfig, BLOCK};
+use crate::common::{serial_device, RunMetrics};
+
+/// The hand-written kernel source.
+pub const SOURCE: &str = include_str!("../kernels/transpose.cl");
+
+const ARG_DST: usize = 0;
+const ARG_SRC: usize = 1;
+const ARG_H: usize = 2;
+const ARG_W: usize = 3;
+
+/// Run the tiled transpose with manual OpenCL on `device`.
+pub fn run(
+    cfg: &TransposeConfig,
+    src: &[f32],
+    device: &Device,
+) -> Result<(Vec<f32>, RunMetrics), Error> {
+    let (h, w) = (cfg.rows, cfg.cols);
+    let mut metrics = RunMetrics::default();
+
+    // ---- environment setup ------------------------------------------------
+    let context = match Context::new(std::slice::from_ref(device)) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("transpose: clCreateContext failed: {e}");
+            return Err(e);
+        }
+    };
+    let queue = match CommandQueue::new(&context, device) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("transpose: clCreateCommandQueue failed: {e}");
+            return Err(e);
+        }
+    };
+
+    // ---- program load and build --------------------------------------------
+    let program = Program::from_source(&context, SOURCE);
+    if let Err(e) = program.build("") {
+        eprintln!("transpose: clBuildProgram failed, build log:\n{}", program.build_log());
+        return Err(e);
+    }
+    metrics.build_seconds = program.build_duration().as_secs_f64();
+    let kernel = match program.kernel("transpose") {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("transpose: clCreateKernel failed: {e}");
+            return Err(e);
+        }
+    };
+
+    // ---- buffers and upload ----------------------------------------------------
+    let bytes = 4 * h * w;
+    let src_buf = match context.create_buffer(bytes, MemAccess::ReadOnly) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("transpose: clCreateBuffer(src, {bytes} bytes) failed: {e}");
+            return Err(e);
+        }
+    };
+    let dst_buf = match context.create_buffer(bytes, MemAccess::ReadWrite) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("transpose: clCreateBuffer(dst, {bytes} bytes) failed: {e}");
+            return Err(e);
+        }
+    };
+    match queue.enqueue_write(&src_buf, 0, src) {
+        Ok(ev) => metrics.transfer_modeled_seconds += ev.modeled_seconds(),
+        Err(e) => {
+            eprintln!("transpose: clEnqueueWriteBuffer(src) failed: {e}");
+            return Err(e);
+        }
+    }
+
+    // ---- argument binding and launch --------------------------------------------
+    kernel.set_arg_buffer(ARG_DST, &dst_buf)?;
+    kernel.set_arg_buffer(ARG_SRC, &src_buf)?;
+    kernel.set_arg_scalar(ARG_H, h as i32)?;
+    kernel.set_arg_scalar(ARG_W, w as i32)?;
+    let global = [w, h];
+    let local = [BLOCK, BLOCK];
+    let event = match queue.enqueue_ndrange(&kernel, &global, Some(&local)) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("transpose: clEnqueueNDRangeKernel failed: {e}");
+            return Err(e);
+        }
+    };
+    queue.finish();
+    metrics.kernel_modeled_seconds += event.modeled_seconds();
+
+    // ---- read back and cleanup ------------------------------------------------------
+    let (result, ev) = queue.enqueue_read::<f32>(&dst_buf, 0, h * w)?;
+    metrics.transfer_modeled_seconds += ev.modeled_seconds();
+    context.release_buffer(src_buf);
+    context.release_buffer(dst_buf);
+
+    Ok((result, metrics))
+}
+
+/// Modeled seconds of the serial CPU baseline.
+pub fn modeled_serial_seconds(cfg: &TransposeConfig, src: &[f32]) -> Result<f64, Error> {
+    let (_, metrics) = run(cfg, src, serial_device())?;
+    Ok(metrics.kernel_modeled_seconds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transpose::{generate_matrix, serial};
+    use oclsim::Platform;
+
+    #[test]
+    fn opencl_matches_serial_reference() {
+        let cfg = TransposeConfig { rows: 64, cols: 32 };
+        let src = generate_matrix(&cfg);
+        let device = Platform::default_platform().default_accelerator().unwrap();
+        let (result, metrics) = run(&cfg, &src, &device).unwrap();
+        assert_eq!(result, serial(&src, cfg.rows, cfg.cols));
+        assert!(metrics.kernel_modeled_seconds > 0.0);
+    }
+
+    #[test]
+    fn transfers_dominate_kernel_time() {
+        // the paper singles transpose out: transfer time is long compared
+        // to the transposition itself (§V-B end)
+        let cfg = TransposeConfig { rows: 256, cols: 256 };
+        let src = generate_matrix(&cfg);
+        let device = Platform::default_platform().default_accelerator().unwrap();
+        let (_, m) = run(&cfg, &src, &device).unwrap();
+        assert!(
+            m.transfer_modeled_seconds > m.kernel_modeled_seconds,
+            "transfer {} vs kernel {}",
+            m.transfer_modeled_seconds,
+            m.kernel_modeled_seconds
+        );
+    }
+}

@@ -1,0 +1,607 @@
+//! HPL arrays: `Array<type, ndim [, memoryFlag]>` of §III-A.
+//!
+//! One type serves three roles, as in the paper:
+//!
+//! - created in **host code**, it owns host storage plus lazily-created
+//!   device buffers with validity tracking (the transfer minimiser);
+//! - passed as a **kernel argument**, `at()` records element accesses;
+//! - created **inside a kernel**, it declares a private (default) or
+//!   `__local` array.
+//!
+//! Host code indexes with `get`/`set` (the paper's parentheses — a visible
+//! reminder that host accesses carry overhead), kernels with `at` (the
+//! paper's brackets).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{MappedMutexGuard, Mutex, MutexGuard};
+
+use oclsim::{Buffer, Device, MemAccess};
+
+use crate::error::{Error, Result};
+use crate::expr::{Expr, IntoExpr};
+use crate::ir::{MemFlag, Node};
+use crate::kernel::{is_recording, record_array_decl, try_with_recorder};
+use crate::runtime::runtime;
+use crate::scalar::HplScalar;
+
+static NEXT_ARRAY_ID: AtomicU64 = AtomicU64::new(1);
+
+struct DeviceCopy {
+    device: Device,
+    buffer: Buffer,
+    valid: bool,
+}
+
+struct HostState<T> {
+    data: Vec<T>,
+    host_valid: bool,
+    copies: Vec<DeviceCopy>,
+}
+
+impl<T> Drop for HostState<T> {
+    fn drop(&mut self) {
+        // return the device allocations to their contexts' accounting
+        for c in self.copies.drain(..) {
+            runtime().entry(&c.device).context.release_buffer(c.buffer);
+        }
+    }
+}
+
+enum Repr<T> {
+    Host(Mutex<HostState<T>>),
+    /// Declared inside a kernel while recording; no storage.
+    KernelDecl,
+}
+
+/// An HPL array of `T` with `N` dimensions. Cheap to clone (shared handle).
+pub struct Array<T: HplScalar, const N: usize> {
+    id: u64,
+    dims: [usize; N],
+    mem: MemFlag,
+    repr: Arc<Repr<T>>,
+}
+
+impl<T: HplScalar, const N: usize> Clone for Array<T, N> {
+    fn clone(&self) -> Self {
+        Array { id: self.id, dims: self.dims, mem: self.mem, repr: Arc::clone(&self.repr) }
+    }
+}
+
+impl<T: HplScalar, const N: usize> Array<T, N> {
+    fn check_dims(dims: [usize; N]) {
+        assert!(N >= 1 && N <= 3, "HPL arrays have 1 to 3 dimensions");
+        assert!(dims.iter().all(|&d| d > 0), "array dimensions must be positive: {dims:?}");
+    }
+
+    fn new_with(dims: [usize; N], mem: MemFlag, data: Option<Vec<T>>) -> Array<T, N> {
+        Self::check_dims(dims);
+        let id = NEXT_ARRAY_ID.fetch_add(1, Ordering::Relaxed);
+        if is_recording() {
+            assert!(
+                data.is_none(),
+                "arrays declared inside kernels cannot take initial host data"
+            );
+            assert!(
+                mem != MemFlag::Constant && mem != MemFlag::Global,
+                "arrays declared inside kernels are private (default) or Local"
+            );
+            record_array_decl(id, T::CTYPE, mem, &dims);
+            return Array { id, dims, mem, repr: Arc::new(Repr::KernelDecl) };
+        }
+        assert!(
+            mem != MemFlag::Local && mem != MemFlag::Private,
+            "Local/Private arrays only exist inside kernels; host arrays are Global or Constant"
+        );
+        let len = dims.iter().product::<usize>();
+        let data = match data {
+            Some(d) => {
+                assert_eq!(d.len(), len, "initial data length does not match the dimensions");
+                d
+            }
+            None => vec![T::default(); len],
+        };
+        Array {
+            id,
+            dims,
+            mem,
+            repr: Arc::new(Repr::Host(Mutex::new(HostState {
+                data,
+                host_valid: true,
+                copies: Vec::new(),
+            }))),
+        }
+    }
+
+    /// Create an array. On the host this allocates zero-initialised global
+    /// storage; inside a kernel it declares a **private** per-work-item
+    /// array (the paper's rule for unflagged in-kernel declarations).
+    pub fn new(dims: [usize; N]) -> Array<T, N> {
+        let mem = if is_recording() { MemFlag::Private } else { MemFlag::Global };
+        Self::new_with(dims, mem, None)
+    }
+
+    /// Declare a `__local` (scratchpad) array. Only valid inside a kernel.
+    pub fn local(dims: [usize; N]) -> Array<T, N> {
+        assert!(
+            is_recording(),
+            "Array::local declares work-group scratchpad and is only valid inside a kernel"
+        );
+        Self::new_with(dims, MemFlag::Local, None)
+    }
+
+    /// Create a host array placed in **constant** memory when used by
+    /// kernels (host-writable, kernel-read-only).
+    pub fn constant(dims: [usize; N]) -> Array<T, N> {
+        Self::new_with(dims, MemFlag::Constant, None)
+    }
+
+    /// Create a host array initialised from `data` (the paper's
+    /// constructor taking a pointer to existing storage).
+    pub fn from_vec(dims: [usize; N], data: Vec<T>) -> Array<T, N> {
+        Self::new_with(dims, MemFlag::Global, Some(data))
+    }
+
+    /// The dimensions.
+    pub fn dims(&self) -> [usize; N] {
+        self.dims
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Always false (dimensions are positive).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The memory flag.
+    pub fn mem_flag(&self) -> MemFlag {
+        self.mem
+    }
+
+    pub(crate) fn handle_id(&self) -> u64 {
+        self.id
+    }
+
+    fn host_state(&self) -> &Mutex<HostState<T>> {
+        match &*self.repr {
+            Repr::Host(s) => s,
+            Repr::KernelDecl => panic!(
+                "host access to an array declared inside a kernel; kernel-local arrays \
+                 have no host storage"
+            ),
+        }
+    }
+
+    // ---- kernel-side access -------------------------------------------------
+
+    /// Index the array inside a kernel (the paper's bracket indexing).
+    /// 1-D arrays take one index, 2-D a pair, 3-D a triple.
+    pub fn at(&self, index: impl KernelIndex<N>) -> Expr<T> {
+        let idxs = index.index_nodes();
+        let resolved = try_with_recorder(|r| {
+            if let Some(&param) = r.array_params.get(&self.id) {
+                Some(Node::ParamElem { param, idxs: idxs.clone() })
+            } else {
+                r.local_arrays.get(&self.id).map(|&decl| Node::LocalElem { decl, idxs: idxs.clone() })
+            }
+        });
+        match resolved {
+            Some(Some(node)) => Expr::from_node(Arc::new(node)),
+            Some(None) => panic!(
+                "array is used inside the kernel but is neither a kernel argument nor \
+                 declared inside the kernel: HPL kernels only communicate with the host \
+                 through their arguments (§III-C)"
+            ),
+            None => panic!("Array::at records a kernel access and is only valid inside a kernel"),
+        }
+    }
+
+    // ---- host-side access -----------------------------------------------------
+
+    /// Read one element in host code (the paper's parenthesis indexing).
+    /// Synchronises from the device if the host copy is stale.
+    pub fn get(&self, index: impl HostIndex<N>) -> T {
+        assert!(!is_recording(), "host indexing (get) inside a kernel; use at()");
+        let i = self.linear(index.host_index());
+        let mut st = self.host_state().lock();
+        self.sync_host(&mut st).expect("device-to-host synchronisation failed");
+        st.data[i]
+    }
+
+    /// Write one element in host code; invalidates device copies.
+    pub fn set(&self, index: impl HostIndex<N>, v: T) {
+        assert!(!is_recording(), "host indexing (set) inside a kernel; use at().assign()");
+        let i = self.linear(index.host_index());
+        let mut st = self.host_state().lock();
+        self.sync_host(&mut st).expect("device-to-host synchronisation failed");
+        st.data[i] = v;
+        st.host_valid = true;
+        for c in &mut st.copies {
+            c.valid = false;
+        }
+    }
+
+    /// Copy the whole array into a Vec (synchronising if needed). The
+    /// paper's `data()` raw-pointer access, adapted to safe Rust.
+    pub fn to_vec(&self) -> Vec<T> {
+        let mut st = self.host_state().lock();
+        self.sync_host(&mut st).expect("device-to-host synchronisation failed");
+        st.data.clone()
+    }
+
+    /// Run `f` over the host data (synchronising first). Cheaper than
+    /// [`Array::to_vec`] for read-only scans.
+    pub fn with_data<R>(&self, f: impl FnOnce(&[T]) -> R) -> R {
+        let mut st = self.host_state().lock();
+        self.sync_host(&mut st).expect("device-to-host synchronisation failed");
+        f(&st.data)
+    }
+
+    /// Borrow the host data read-only (the paper's `data()` accessor,
+    /// adapted to safe Rust: a guard instead of a raw pointer).
+    /// Synchronises from the device first if the host copy is stale; the
+    /// array is locked while the guard lives.
+    pub fn data(&self) -> MappedMutexGuard<'_, [T]> {
+        let mut st = self.host_state().lock();
+        self.sync_host(&mut st).expect("device-to-host synchronisation failed");
+        MutexGuard::map(st, |st| st.data.as_mut_slice())
+    }
+
+    /// Borrow the host data mutably. Synchronises first; when the guard is
+    /// dropped, every device copy is invalidated (the runtime cannot know
+    /// which elements were written).
+    pub fn data_mut(&self) -> HostDataMut<'_, T> {
+        let mut st = self.host_state().lock();
+        self.sync_host(&mut st).expect("device-to-host synchronisation failed");
+        HostDataMut { guard: st }
+    }
+
+    /// Overwrite the entire contents from a slice; device copies are
+    /// invalidated without being synchronised first.
+    pub fn write_from(&self, data: &[T]) {
+        let mut st = self.host_state().lock();
+        assert_eq!(data.len(), st.data.len(), "write_from length mismatch");
+        st.data.copy_from_slice(data);
+        st.host_valid = true;
+        for c in &mut st.copies {
+            c.valid = false;
+        }
+    }
+
+    /// Fill every element with `v` (host side).
+    pub fn fill(&self, v: T) {
+        let mut st = self.host_state().lock();
+        st.data.iter_mut().for_each(|x| *x = v);
+        st.host_valid = true;
+        for c in &mut st.copies {
+            c.valid = false;
+        }
+    }
+
+    fn linear(&self, idx: [usize; N]) -> usize {
+        let mut lin = 0usize;
+        for d in 0..N {
+            assert!(
+                idx[d] < self.dims[d],
+                "index {:?} out of bounds for dims {:?}",
+                idx,
+                self.dims
+            );
+            lin = lin * self.dims[d] + idx[d];
+        }
+        lin
+    }
+
+    // ---- coherence machinery (the transfer minimiser) ---------------------------
+
+    /// Bring the host copy up to date from whichever device copy is valid.
+    fn sync_host(&self, st: &mut HostState<T>) -> Result<()> {
+        if st.host_valid {
+            return Ok(());
+        }
+        let copy = st
+            .copies
+            .iter()
+            .find(|c| c.valid)
+            .ok_or_else(|| Error::Internal("array has no valid copy anywhere".into()))?;
+        let queue = &runtime().entry(&copy.device).queue;
+        let (data, ev) = queue.enqueue_read::<T>(&copy.buffer, 0, st.data.len())?;
+        runtime().note_d2h(st.data.len() * std::mem::size_of::<T>(), ev.modeled_seconds());
+        st.data = data;
+        st.host_valid = true;
+        Ok(())
+    }
+
+    /// Make sure a valid device copy exists on `device`; returns the buffer
+    /// and the modeled seconds of any transfer performed (0.0 on a
+    /// coherence hit — the case HPL's analysis exists to maximise).
+    pub(crate) fn ensure_on_device(&self, device: &Device, needs_data: bool) -> Result<(Buffer, f64)> {
+        let mut st = self.host_state().lock();
+        // make the host copy current first if the data lives on another device
+        if needs_data && !st.host_valid && !st.copies.iter().any(|c| c.valid && &c.device == device) {
+            self.sync_host(&mut st)?;
+        }
+        let entry = runtime().entry(device);
+        let pos = match st.copies.iter().position(|c| &c.device == device) {
+            Some(p) => p,
+            None => {
+                let bytes = st.data.len() * std::mem::size_of::<T>();
+                let buffer = entry.context.create_buffer(bytes, MemAccess::ReadWrite)?;
+                st.copies.push(DeviceCopy { device: device.clone(), buffer, valid: false });
+                st.copies.len() - 1
+            }
+        };
+        if st.copies[pos].valid || !needs_data {
+            let buf = st.copies[pos].buffer.clone();
+            st.copies[pos].valid = st.copies[pos].valid || !needs_data;
+            return Ok((buf, 0.0));
+        }
+        // host is valid here (ensured above)
+        let buffer = st.copies[pos].buffer.clone();
+        let ev = entry.queue.enqueue_write(&buffer, 0, &st.data)?;
+        runtime().note_h2d(st.data.len() * std::mem::size_of::<T>(), ev.modeled_seconds());
+        st.copies[pos].valid = true;
+        Ok((buffer, ev.modeled_seconds()))
+    }
+
+    /// Mark the copy on `device` as the only valid one (called after a
+    /// kernel wrote through this array).
+    pub(crate) fn mark_device_written(&self, device: &Device) {
+        let mut st = self.host_state().lock();
+        st.host_valid = false;
+        for c in &mut st.copies {
+            c.valid = &c.device == device;
+        }
+    }
+
+    /// True if the copy on `device` is present and valid (test hook for the
+    /// transfer minimiser).
+    pub fn device_copy_valid(&self, device: &Device) -> bool {
+        let st = self.host_state().lock();
+        st.copies.iter().any(|c| c.valid && &c.device == device)
+    }
+
+    /// True if the host copy is current (test hook).
+    pub fn host_copy_valid(&self) -> bool {
+        self.host_state().lock().host_valid
+    }
+}
+
+impl<T: HplScalar, const N: usize> std::fmt::Debug for Array<T, N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Array<{}, {}>({:?}, {:?})", T::CTYPE.cl_name(), N, self.dims, self.mem)
+    }
+}
+
+/// Write guard returned by [`Array::data_mut`]: dereferences to the host
+/// slice and invalidates all device copies when dropped.
+pub struct HostDataMut<'a, T> {
+    guard: MutexGuard<'a, HostState<T>>,
+}
+
+impl<T> std::ops::Deref for HostDataMut<'_, T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        &self.guard.data
+    }
+}
+
+impl<T> std::ops::DerefMut for HostDataMut<'_, T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        &mut self.guard.data
+    }
+}
+
+impl<T> Drop for HostDataMut<'_, T> {
+    fn drop(&mut self) {
+        self.guard.host_valid = true;
+        for c in &mut self.guard.copies {
+            c.valid = false;
+        }
+    }
+}
+
+/// Kernel index argument(s) for an `N`-dimensional array.
+pub trait KernelIndex<const N: usize> {
+    /// The recorded index expressions, outermost dimension first.
+    fn index_nodes(self) -> Vec<Arc<Node>>;
+}
+
+impl<I: IntoExpr<i32>> KernelIndex<1> for I {
+    fn index_nodes(self) -> Vec<Arc<Node>> {
+        vec![self.into_expr().node()]
+    }
+}
+
+impl<I: IntoExpr<i32>, J: IntoExpr<i32>> KernelIndex<2> for (I, J) {
+    fn index_nodes(self) -> Vec<Arc<Node>> {
+        vec![self.0.into_expr().node(), self.1.into_expr().node()]
+    }
+}
+
+impl<I: IntoExpr<i32>, J: IntoExpr<i32>, K: IntoExpr<i32>> KernelIndex<3> for (I, J, K) {
+    fn index_nodes(self) -> Vec<Arc<Node>> {
+        vec![self.0.into_expr().node(), self.1.into_expr().node(), self.2.into_expr().node()]
+    }
+}
+
+/// Host index argument(s) for an `N`-dimensional array.
+pub trait HostIndex<const N: usize> {
+    /// The concrete index, outermost dimension first.
+    fn host_index(self) -> [usize; N];
+}
+
+impl HostIndex<1> for usize {
+    fn host_index(self) -> [usize; 1] {
+        [self]
+    }
+}
+
+impl HostIndex<2> for (usize, usize) {
+    fn host_index(self) -> [usize; 2] {
+        [self.0, self.1]
+    }
+}
+
+impl HostIndex<3> for (usize, usize, usize) {
+    fn host_index(self) -> [usize; 3] {
+        [self.0, self.1, self.2]
+    }
+}
+
+impl<const N: usize> HostIndex<N> for [usize; N] {
+    fn host_index(self) -> [usize; N] {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::capture;
+    use crate::predef::idx;
+
+    #[test]
+    fn host_array_get_set() {
+        let a = Array::<f32, 1>::new([10]);
+        assert_eq!(a.len(), 10);
+        assert_eq!(a.get(3), 0.0);
+        a.set(3, 1.5);
+        assert_eq!(a.get(3), 1.5);
+        assert_eq!(a.to_vec()[3], 1.5);
+    }
+
+    #[test]
+    fn two_dimensional_row_major() {
+        let a = Array::<i32, 2>::from_vec([2, 3], vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(a.get((0, 0)), 1);
+        assert_eq!(a.get((0, 2)), 3);
+        assert_eq!(a.get((1, 0)), 4);
+        assert_eq!(a.get([1, 2]), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn host_bounds_checked() {
+        let a = Array::<i32, 1>::new([4]);
+        let _ = a.get(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_rejected() {
+        let _ = Array::<i32, 1>::new([0]);
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        let r = std::panic::catch_unwind(|| Array::<i32, 1>::from_vec([3], vec![1, 2]));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = Array::<i32, 1>::new([4]);
+        let b = a.clone();
+        b.set(0, 9);
+        assert_eq!(a.get(0), 9);
+    }
+
+    #[test]
+    fn fill_and_write_from() {
+        let a = Array::<f64, 1>::new([4]);
+        a.fill(2.0);
+        assert_eq!(a.to_vec(), vec![2.0; 4]);
+        a.write_from(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.to_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn kernel_local_array_records_decl() {
+        let k = capture("t".into(), || {
+            let s = Array::<f32, 1>::local([32]);
+            s.at(idx()).assign(1.0f32);
+            let p = Array::<f32, 1>::new([8]); // private inside kernel
+            p.at(0).assign(2.0f32);
+        });
+        use crate::ir::HStmt;
+        assert!(
+            matches!(k.body[0], HStmt::DeclArray { mem: MemFlag::Local, .. }),
+            "{:?}",
+            k.body[0]
+        );
+        assert!(matches!(k.body[2], HStmt::DeclArray { mem: MemFlag::Private, .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "only valid inside a kernel")]
+    fn local_on_host_panics() {
+        let _ = Array::<f32, 1>::local([8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "only valid inside a kernel")]
+    fn at_on_host_panics() {
+        let a = Array::<f32, 1>::new([8]);
+        let _ = a.at(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "neither a kernel argument nor declared")]
+    fn unregistered_array_in_kernel_panics() {
+        let a = Array::<f32, 1>::new([8]);
+        capture("t".into(), || {
+            let _ = a.at(0);
+        });
+    }
+
+    #[test]
+    fn dropping_an_array_releases_device_memory_accounting() {
+        // use the quadro so concurrent tests (which run on the default
+        // tesla) cannot perturb the accounting
+        let device = runtime().device_named("quadro").expect("quadro present");
+        let before = runtime().entry(&device).context.allocated_bytes();
+        {
+            let a = Array::<f64, 1>::from_vec([1024], vec![1.0; 1024]);
+            let (_buf, _) = a.ensure_on_device(&device, true).unwrap();
+            let during = runtime().entry(&device).context.allocated_bytes();
+            assert_eq!(during, before + 8 * 1024);
+        }
+        let after = runtime().entry(&device).context.allocated_bytes();
+        assert_eq!(after, before, "allocation must be returned on drop");
+    }
+
+    #[test]
+    fn data_guard_reads_and_locks() {
+        let a = Array::<i32, 1>::from_vec([4], vec![1, 2, 3, 4]);
+        {
+            let d = a.data();
+            assert_eq!(&*d, &[1, 2, 3, 4]);
+        }
+        // lock released: normal access works again
+        assert_eq!(a.get(0), 1);
+    }
+
+    #[test]
+    fn data_mut_invalidates_device_copies_on_drop() {
+        let a = Array::<i32, 1>::from_vec([4], vec![1, 2, 3, 4]);
+        {
+            let mut d = a.data_mut();
+            d[2] = 99;
+        }
+        assert_eq!(a.get(2), 99);
+        assert!(a.host_copy_valid());
+    }
+
+    #[test]
+    fn with_data_scans_without_copy() {
+        let a = Array::<i32, 1>::from_vec([5], vec![1, 2, 3, 4, 5]);
+        let sum = a.with_data(|d| d.iter().sum::<i32>());
+        assert_eq!(sum, 15);
+    }
+}

@@ -1,0 +1,353 @@
+//! OpenCL C code generation from the recorded kernel IR.
+//!
+//! This is HPL's backend of the paper's §III: "our current implementation
+//! of the library generates OpenCL C versions of the HPL kernels, which are
+//! then compiled to binary with the OpenCL compiler". Array parameters are
+//! emitted as pointers plus trailing `int` size arguments (one per
+//! dimension), which is how multi-dimensional indexing is flattened.
+
+use std::fmt::Write;
+use std::sync::Arc;
+
+use crate::ir::{CType, HStmt, MemFlag, Node, ParamKind, RecordedKernel};
+
+/// Generate the complete OpenCL C source for a recorded kernel.
+pub fn generate(kernel: &RecordedKernel) -> String {
+    let written = kernel.written_params();
+    let mut src = String::with_capacity(1024);
+    let _ = write!(src, "__kernel void {}(", kernel.name);
+
+    let mut parts: Vec<String> = Vec::new();
+    for (i, p) in kernel.params.iter().enumerate() {
+        match &p.kind {
+            ParamKind::Array { cty, mem, .. } => {
+                let space = match mem {
+                    MemFlag::Constant => "__constant",
+                    _ => "__global",
+                };
+                let constness = if written[i] || *mem == MemFlag::Constant { "" } else { "const " };
+                parts.push(format!("{space} {constness}{}* p{i}", cty.cl_name()));
+            }
+            ParamKind::Scalar { cty } => parts.push(format!("{} p{i}", cty.cl_name())),
+        }
+    }
+    // trailing dimension arguments, in parameter order
+    for (i, p) in kernel.params.iter().enumerate() {
+        if let ParamKind::Array { ndim, .. } = &p.kind {
+            for d in 0..*ndim {
+                parts.push(format!("const int p{i}_d{d}"));
+            }
+        }
+    }
+    let _ = write!(src, "{}", parts.join(", "));
+    src.push_str(") {\n");
+    gen_block(&mut src, &kernel.body, kernel, 1);
+    src.push_str("}\n");
+    src
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn gen_block(out: &mut String, stmts: &[HStmt], k: &RecordedKernel, level: usize) {
+    for s in stmts {
+        gen_stmt(out, s, k, level);
+    }
+}
+
+fn gen_stmt(out: &mut String, s: &HStmt, k: &RecordedKernel, level: usize) {
+    indent(out, level);
+    match s {
+        HStmt::DeclScalar { var, cty, init } => {
+            match init {
+                Some(e) => {
+                    let _ = writeln!(out, "{} v{var} = {};", cty.cl_name(), expr(e, k));
+                }
+                None => {
+                    let _ = writeln!(out, "{} v{var};", cty.cl_name());
+                }
+            };
+        }
+        HStmt::DeclArray { decl, cty, mem, dims } => {
+            let space = match mem {
+                MemFlag::Local => "__local ",
+                _ => "",
+            };
+            let total: usize = dims.iter().product();
+            let _ = writeln!(out, "{space}{} a{decl}[{total}];", cty.cl_name());
+        }
+        HStmt::Assign { lhs, rhs } => {
+            let _ = writeln!(out, "{} = {};", expr(lhs, k), expr(rhs, k));
+        }
+        HStmt::CompoundAssign { lhs, op, rhs } => {
+            let _ = writeln!(out, "{} {}= {};", expr(lhs, k), op.token(), expr(rhs, k));
+        }
+        HStmt::If { cond, then_blk, else_blk } => {
+            let _ = writeln!(out, "if ({}) {{", expr(cond, k));
+            gen_block(out, then_blk, k, level + 1);
+            indent(out, level);
+            if else_blk.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                gen_block(out, else_blk, k, level + 1);
+                indent(out, level);
+                out.push_str("}\n");
+            }
+        }
+        HStmt::For { var, cty, declares, from, to, step, body } => {
+            let decl = if *declares { format!("{} ", cty.cl_name()) } else { String::new() };
+            let _ = writeln!(
+                out,
+                "for ({decl}v{var} = {}; v{var} < {}; v{var} += {}) {{",
+                expr(from, k),
+                expr(to, k),
+                expr(step, k)
+            );
+            gen_block(out, body, k, level + 1);
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        HStmt::While { cond, body } => {
+            let _ = writeln!(out, "while ({}) {{", expr(cond, k));
+            gen_block(out, body, k, level + 1);
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        HStmt::Barrier { local, global } => {
+            let flags = match (local, global) {
+                (true, true) => "CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE",
+                (false, true) => "CLK_GLOBAL_MEM_FENCE",
+                _ => "CLK_LOCAL_MEM_FENCE",
+            };
+            let _ = writeln!(out, "barrier({flags});");
+        }
+        HStmt::ReturnVoid => {
+            out.push_str("return;\n");
+        }
+    }
+}
+
+/// Flatten a multi-dimensional index against runtime dim arguments
+/// (`p{i}_d{d}`) for parameters, or against compile-time dims for
+/// kernel-local arrays.
+fn linear_index(idxs: &[Arc<Node>], dim_name: &dyn Fn(usize) -> String, k: &RecordedKernel) -> String {
+    let mut s = format!("({})", expr(&idxs[0], k));
+    for (d, i) in idxs.iter().enumerate().skip(1) {
+        s = format!("({s} * {} + ({}))", dim_name(d), expr(i, k));
+    }
+    s
+}
+
+fn expr(n: &Node, k: &RecordedKernel) -> String {
+    match n {
+        Node::LitI(v, cty) => match cty {
+            CType::I64 => format!("{v}L"),
+            CType::I32 => {
+                if *v < 0 {
+                    format!("({v})")
+                } else {
+                    format!("{v}")
+                }
+            }
+            _ => format!("(({}){v})", cty.cl_name()),
+        },
+        Node::LitU(v, cty) => match cty {
+            CType::U64 => format!("{v}UL"),
+            CType::U32 => format!("{v}u"),
+            _ => format!("(({}){v})", cty.cl_name()),
+        },
+        Node::LitF(v, cty) => {
+            let mut body = format!("{v:?}");
+            if !body.contains('.') && !body.contains('e') && !body.contains("inf") && !body.contains("NaN")
+            {
+                body.push_str(".0");
+            }
+            if *cty == CType::F32 {
+                format!("{body}f")
+            } else {
+                body
+            }
+        }
+        Node::LitBool(b) => if *b { "1" } else { "0" }.to_string(),
+        Node::ScalarParam(i) => format!("p{i}"),
+        Node::Var(v, _) => format!("v{v}"),
+        Node::Predef(p) => p.cl_expr(),
+        Node::ParamElem { param, idxs } => {
+            let name = |d: usize| format!("p{param}_d{d}");
+            format!("p{param}[{}]", linear_index(idxs, &name, k))
+        }
+        Node::LocalElem { decl, idxs } => {
+            // kernel-local dims are compile-time constants
+            let dims = find_local_dims(k, *decl);
+            let name = |d: usize| format!("{}", dims[d]);
+            format!("a{decl}[{}]", linear_index(idxs, &name, k))
+        }
+        Node::Bin { op, l, r } => {
+            format!("({} {} {})", expr(l, k), op.token(), expr(r, k))
+        }
+        Node::Neg(e) => format!("(-({}))", expr(e, k)),
+        Node::Not(e) => format!("(!({}))", expr(e, k)),
+        Node::Cast { to, e } => format!("(({})({}))", to.cl_name(), expr(e, k)),
+        Node::Call { name, args } => {
+            let args: Vec<String> = args.iter().map(|a| expr(a, k)).collect();
+            format!("{name}({})", args.join(", "))
+        }
+        Node::Ternary { cond, t, f } => {
+            format!("(({}) ? ({}) : ({}))", expr(cond, k), expr(t, k), expr(f, k))
+        }
+    }
+}
+
+fn find_local_dims(k: &RecordedKernel, decl: u32) -> Vec<usize> {
+    fn walk(stmts: &[HStmt], decl: u32) -> Option<Vec<usize>> {
+        for s in stmts {
+            match s {
+                HStmt::DeclArray { decl: d, dims, .. } if *d == decl => return Some(dims.clone()),
+                HStmt::If { then_blk, else_blk, .. } => {
+                    if let Some(r) = walk(then_blk, decl).or_else(|| walk(else_blk, decl)) {
+                        return Some(r);
+                    }
+                }
+                HStmt::For { body, .. } | HStmt::While { body, .. } => {
+                    if let Some(r) = walk(body, decl) {
+                        return Some(r);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+    walk(&k.body, decl).unwrap_or_else(|| panic!("local array a{decl} has no declaration"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::Array;
+    use crate::kernel::{barrier, capture, for_, if_, LOCAL};
+    use crate::predef::{idx, lidx};
+    use crate::scalar::{Double, HplScalar};
+
+    fn register_arrays<T: HplScalar, const N: usize>(arrays: &[&Array<T, N>]) {
+        // test-only registration of arrays as parameters
+        for a in arrays {
+            crate::kernel::with_recorder(|r| {
+                let p = r.params.len();
+                r.params.push(crate::ir::ParamRecord {
+                    kind: ParamKind::Array { cty: T::CTYPE, ndim: N, mem: a.mem_flag() },
+                });
+                r.array_params.insert(a.handle_id(), p);
+            });
+        }
+    }
+
+    #[test]
+    fn saxpy_source_shape() {
+        let y = Array::<f64, 1>::new([8]);
+        let x = Array::<f64, 1>::new([8]);
+        let k = capture("saxpy".into(), || {
+            register_arrays(&[&y, &x]);
+            let a = Double::new(3.0);
+            y.at(idx()).assign(a.v() * x.at(idx()) + y.at(idx()));
+        });
+        let src = generate(&k);
+        assert!(src.contains("__kernel void saxpy("), "{src}");
+        assert!(src.contains("__global double* p0"), "y is written: not const\n{src}");
+        assert!(src.contains("__global const double* p1"), "x is read-only\n{src}");
+        assert!(src.contains("const int p0_d0"), "dim args appended\n{src}");
+        assert!(src.contains("get_global_id(0)"), "{src}");
+        // a was captured as a literal (not a registered param)
+        assert!(src.contains("3.0"), "{src}");
+    }
+
+    #[test]
+    fn local_array_and_barrier() {
+        let k = capture("red".into(), || {
+            let s = Array::<f32, 1>::local([32]);
+            s.at(lidx()).assign(1.0f32);
+            barrier(LOCAL);
+            if_(lidx().eq_(0), || {
+                s.at(0).assign(s.at(0) + s.at(1));
+            });
+        });
+        let src = generate(&k);
+        assert!(src.contains("__local float a1[32];"), "{src}");
+        assert!(src.contains("barrier(CLK_LOCAL_MEM_FENCE);"), "{src}");
+        assert!(src.contains("if ("), "{src}");
+    }
+
+    #[test]
+    fn two_dimensional_flattening() {
+        let m = Array::<f32, 2>::new([4, 8]);
+        let k = capture("t".into(), || {
+            register_arrays(&[&m]);
+            m.at((idx(), 0)).assign(m.at((0, idx())));
+        });
+        let src = generate(&k);
+        assert!(src.contains("p0_d1"), "row-major flattening uses dim 1:\n{src}");
+    }
+
+    #[test]
+    fn for_loop_forms() {
+        let k = capture("t".into(), || {
+            for_(0, 10, |i| {
+                let _ = i;
+            });
+        });
+        let src = generate(&k);
+        assert!(src.contains("for (int v1 = 0; v1 < 10; v1 += 1)"), "{src}");
+
+        let k = capture("t".into(), || {
+            let j = crate::scalar::Int::var();
+            crate::kernel::for_var(&j, 0, 8, 2, || {});
+        });
+        let src = generate(&k);
+        assert!(src.contains("int v1;"), "user variable declared separately:\n{src}");
+        assert!(src.contains("for (v1 = 0; v1 < 8; v1 += 2)"), "{src}");
+    }
+
+    #[test]
+    fn float_literals_keep_type_suffixes() {
+        let k = capture("t".into(), || {
+            let a = crate::scalar::Float::new(0.0);
+            let b = crate::scalar::Double::new(0.0);
+            a.assign(1.5f32);
+            b.assign(2.0f64);
+            a.assign(3f32); // integral-valued float must still print as float
+        });
+        let src = generate(&k);
+        assert!(src.contains("1.5f"), "{src}");
+        assert!(src.contains("= 2.0;"), "{src}");
+        assert!(src.contains("3.0f"), "{src}");
+    }
+
+    #[test]
+    fn generated_source_compiles_under_oclsim() {
+        let y = Array::<f32, 1>::new([64]);
+        let x = Array::<f32, 1>::new([64]);
+        let k = capture("combined".into(), || {
+            register_arrays(&[&y, &x]);
+            let s = Array::<f32, 1>::local([16]);
+            let acc = crate::scalar::Float::new(0.0);
+            for_(0, 4, |j| {
+                acc.assign_add(x.at(idx() * 4 + j));
+            });
+            s.at(lidx()).assign(acc.v());
+            barrier(LOCAL);
+            if_(lidx().eq_(0), || {
+                y.at(crate::predef::gidx()).assign(s.at(0));
+            });
+        });
+        let src = generate(&k);
+        let device = oclsim::Device::new(oclsim::DeviceProfile::tesla_c2050());
+        let ctx = oclsim::Context::new(&[device]).unwrap();
+        let prog = oclsim::Program::from_source(&ctx, &src);
+        prog.build("").unwrap_or_else(|e| panic!("generated source must compile: {e}\n{src}"));
+        assert_eq!(prog.kernel_names().unwrap(), vec!["combined".to_string()]);
+    }
+}

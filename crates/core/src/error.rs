@@ -1,0 +1,62 @@
+//! HPL error type.
+
+use std::fmt;
+
+/// Errors surfaced by the HPL runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// An error reported by the OpenCL backend (`oclsim`).
+    Backend(oclsim::Error),
+    /// The eval request was malformed (bad domains, missing device, ...).
+    InvalidEval(String),
+    /// An internal invariant failed.
+    Internal(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Backend(e) => write!(f, "backend error: {e}"),
+            Error::InvalidEval(msg) => write!(f, "invalid eval: {msg}"),
+            Error::Internal(msg) => write!(f, "internal HPL error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Backend(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<oclsim::Error> for Error {
+    fn from(e: oclsim::Error) -> Error {
+        Error::Backend(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_errors_convert_and_display() {
+        let e: Error = oclsim::Error::NoSuchKernel("k".into()).into();
+        assert!(e.to_string().contains("`k`"));
+        assert!(matches!(e, Error::Backend(_)));
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error as _;
+        let e: Error = oclsim::Error::InvalidLaunch("x".into()).into();
+        assert!(e.source().is_some());
+        assert!(Error::Internal("y".into()).source().is_none());
+    }
+}

@@ -1,0 +1,350 @@
+//! Typed kernel expressions and their operators.
+//!
+//! [`Expr<T>`] wraps a recorded IR node with a compile-time element type,
+//! so kernels get Rust's type checking on top of the runtime capture: you
+//! cannot add a `float` expression to a `double` expression without an
+//! explicit [`Expr::cast`], exactly as in C++ HPL where the template types
+//! enforce it.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use crate::ir::{HBinOp, HStmt, Node};
+use crate::kernel::with_recorder;
+use crate::scalar::{HplScalar, Scalar};
+
+/// A kernel expression of element type `T` (`bool` for conditions).
+pub struct Expr<T> {
+    node: Arc<Node>,
+    _t: PhantomData<T>,
+}
+
+impl<T> Clone for Expr<T> {
+    fn clone(&self) -> Self {
+        Expr { node: Arc::clone(&self.node), _t: PhantomData }
+    }
+}
+
+impl<T> Expr<T> {
+    /// Wrap a raw node (crate-internal plumbing).
+    pub(crate) fn from_node(node: Arc<Node>) -> Expr<T> {
+        Expr { node, _t: PhantomData }
+    }
+
+    /// The underlying IR node.
+    pub(crate) fn node(&self) -> Arc<Node> {
+        Arc::clone(&self.node)
+    }
+
+    fn is_lvalue(&self) -> bool {
+        matches!(&*self.node, Node::Var(..) | Node::ParamElem { .. } | Node::LocalElem { .. })
+    }
+}
+
+/// Conversion into a kernel expression of element type `T`. Implemented by
+/// expressions themselves, by plain Rust values (captured as literals), and
+/// by HPL scalars.
+pub trait IntoExpr<T> {
+    /// Build the expression.
+    fn into_expr(self) -> Expr<T>;
+}
+
+impl<T> IntoExpr<T> for Expr<T> {
+    fn into_expr(self) -> Expr<T> {
+        self
+    }
+}
+
+impl<T> IntoExpr<T> for &Expr<T> {
+    fn into_expr(self) -> Expr<T> {
+        self.clone()
+    }
+}
+
+impl<T: HplScalar> IntoExpr<T> for T {
+    fn into_expr(self) -> Expr<T> {
+        Expr::from_node(Arc::new(self.lit_node()))
+    }
+}
+
+impl<T: HplScalar> IntoExpr<T> for &Scalar<T> {
+    fn into_expr(self) -> Expr<T> {
+        self.v()
+    }
+}
+
+impl<T: HplScalar> IntoExpr<T> for Scalar<T> {
+    fn into_expr(self) -> Expr<T> {
+        self.v()
+    }
+}
+
+fn bin<T>(op: HBinOp, l: Arc<Node>, r: Arc<Node>) -> Expr<T> {
+    Expr::from_node(Arc::new(Node::Bin { op, l, r }))
+}
+
+// ---- arithmetic operators ---------------------------------------------------
+
+macro_rules! impl_arith {
+    ($($trait:ident :: $method:ident => $op:ident),* $(,)?) => {
+        $(
+            impl<T: HplScalar, R: IntoExpr<T>> std::ops::$trait<R> for Expr<T> {
+                type Output = Expr<T>;
+                fn $method(self, rhs: R) -> Expr<T> {
+                    bin(HBinOp::$op, self.node(), rhs.into_expr().node())
+                }
+            }
+            impl<T: HplScalar, R: IntoExpr<T>> std::ops::$trait<R> for &Expr<T> {
+                type Output = Expr<T>;
+                fn $method(self, rhs: R) -> Expr<T> {
+                    bin(HBinOp::$op, self.node(), rhs.into_expr().node())
+                }
+            }
+        )*
+    };
+}
+impl_arith!(
+    Add::add => Add,
+    Sub::sub => Sub,
+    Mul::mul => Mul,
+    Div::div => Div,
+    Rem::rem => Rem,
+    BitAnd::bitand => BitAnd,
+    BitOr::bitor => BitOr,
+    BitXor::bitxor => BitXor,
+    Shl::shl => Shl,
+    Shr::shr => Shr,
+);
+
+// literal on the left: `2.0 * expr`
+macro_rules! impl_left_literal {
+    ($($t:ty),*) => {
+        $(
+            impl std::ops::Add<Expr<$t>> for $t {
+                type Output = Expr<$t>;
+                fn add(self, rhs: Expr<$t>) -> Expr<$t> {
+                    bin(HBinOp::Add, self.into_expr().node(), rhs.node())
+                }
+            }
+            impl std::ops::Sub<Expr<$t>> for $t {
+                type Output = Expr<$t>;
+                fn sub(self, rhs: Expr<$t>) -> Expr<$t> {
+                    bin(HBinOp::Sub, self.into_expr().node(), rhs.node())
+                }
+            }
+            impl std::ops::Mul<Expr<$t>> for $t {
+                type Output = Expr<$t>;
+                fn mul(self, rhs: Expr<$t>) -> Expr<$t> {
+                    bin(HBinOp::Mul, self.into_expr().node(), rhs.node())
+                }
+            }
+            impl std::ops::Div<Expr<$t>> for $t {
+                type Output = Expr<$t>;
+                fn div(self, rhs: Expr<$t>) -> Expr<$t> {
+                    bin(HBinOp::Div, self.into_expr().node(), rhs.node())
+                }
+            }
+        )*
+    };
+}
+impl_left_literal!(i8, u8, i16, u16, i32, u32, i64, u64, f32, f64);
+
+impl<T: HplScalar> std::ops::Neg for Expr<T> {
+    type Output = Expr<T>;
+    fn neg(self) -> Expr<T> {
+        Expr::from_node(Arc::new(Node::Neg(self.node())))
+    }
+}
+
+// ---- comparisons and logic -----------------------------------------------------
+
+impl<T: HplScalar> Expr<T> {
+    /// `self < rhs`
+    pub fn lt(&self, rhs: impl IntoExpr<T>) -> Expr<bool> {
+        bin(HBinOp::Lt, self.node(), rhs.into_expr().node())
+    }
+
+    /// `self <= rhs`
+    pub fn le(&self, rhs: impl IntoExpr<T>) -> Expr<bool> {
+        bin(HBinOp::Le, self.node(), rhs.into_expr().node())
+    }
+
+    /// `self > rhs`
+    pub fn gt(&self, rhs: impl IntoExpr<T>) -> Expr<bool> {
+        bin(HBinOp::Gt, self.node(), rhs.into_expr().node())
+    }
+
+    /// `self >= rhs`
+    pub fn ge(&self, rhs: impl IntoExpr<T>) -> Expr<bool> {
+        bin(HBinOp::Ge, self.node(), rhs.into_expr().node())
+    }
+
+    /// `self == rhs`
+    pub fn eq_(&self, rhs: impl IntoExpr<T>) -> Expr<bool> {
+        bin(HBinOp::Eq, self.node(), rhs.into_expr().node())
+    }
+
+    /// `self != rhs`
+    pub fn ne_(&self, rhs: impl IntoExpr<T>) -> Expr<bool> {
+        bin(HBinOp::Ne, self.node(), rhs.into_expr().node())
+    }
+
+    /// Explicit conversion to another element type: `(U)(self)`.
+    pub fn cast<U: HplScalar>(&self) -> Expr<U> {
+        Expr::from_node(Arc::new(Node::Cast { to: U::CTYPE, e: self.node() }))
+    }
+
+    /// `cond ? self : other` — requires the receiver via [`Expr::select`]
+    /// on the condition for readability; kept here for symmetric access.
+    pub fn select_with(cond: Expr<bool>, t: impl IntoExpr<T>, f: impl IntoExpr<T>) -> Expr<T> {
+        Expr::from_node(Arc::new(Node::Ternary {
+            cond: cond.node(),
+            t: t.into_expr().node(),
+            f: f.into_expr().node(),
+        }))
+    }
+}
+
+impl Expr<bool> {
+    /// Logical `&&` (short-circuit in the generated code).
+    pub fn and(&self, rhs: Expr<bool>) -> Expr<bool> {
+        bin(HBinOp::And, self.node(), rhs.node())
+    }
+
+    /// Logical `||`.
+    pub fn or(&self, rhs: Expr<bool>) -> Expr<bool> {
+        bin(HBinOp::Or, self.node(), rhs.node())
+    }
+
+    /// Logical negation.
+    pub fn not(&self) -> Expr<bool> {
+        Expr::from_node(Arc::new(Node::Not(self.node())))
+    }
+
+    /// `self ? t : f`.
+    pub fn select<T: HplScalar>(&self, t: impl IntoExpr<T>, f: impl IntoExpr<T>) -> Expr<T> {
+        Expr::<T>::select_with(self.clone(), t, f)
+    }
+}
+
+// ---- assignment -----------------------------------------------------------------
+
+impl<T: HplScalar> Expr<T> {
+    fn check_lvalue(&self, what: &str) {
+        assert!(
+            self.is_lvalue(),
+            "{what} requires an assignable expression (a variable or an array element), \
+             got a computed value"
+        );
+    }
+
+    /// Record `self = rhs;`. `self` must be an array element or variable.
+    pub fn assign(&self, rhs: impl IntoExpr<T>) {
+        self.check_lvalue("assign");
+        let rhs = rhs.into_expr();
+        with_recorder(|r| r.push_stmt(HStmt::Assign { lhs: self.node(), rhs: rhs.node() }));
+    }
+
+    fn compound(&self, op: HBinOp, rhs: impl IntoExpr<T>) {
+        self.check_lvalue("compound assignment");
+        let rhs = rhs.into_expr();
+        with_recorder(|r| {
+            r.push_stmt(HStmt::CompoundAssign { lhs: self.node(), op, rhs: rhs.node() })
+        });
+    }
+
+    /// Record `self += rhs;`.
+    pub fn assign_add(&self, rhs: impl IntoExpr<T>) {
+        self.compound(HBinOp::Add, rhs)
+    }
+
+    /// Record `self -= rhs;`.
+    pub fn assign_sub(&self, rhs: impl IntoExpr<T>) {
+        self.compound(HBinOp::Sub, rhs)
+    }
+
+    /// Record `self *= rhs;`.
+    pub fn assign_mul(&self, rhs: impl IntoExpr<T>) {
+        self.compound(HBinOp::Mul, rhs)
+    }
+
+    /// Record `self /= rhs;`.
+    pub fn assign_div(&self, rhs: impl IntoExpr<T>) {
+        self.compound(HBinOp::Div, rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::CType;
+    use crate::kernel::capture;
+    use crate::predef::idx;
+
+    fn lit_i(v: i64) -> Node {
+        Node::LitI(v, CType::I32)
+    }
+
+    #[test]
+    fn arithmetic_builds_tree() {
+        let e = 2i32.into_expr() + 3 * 4i32.into_expr();
+        let Node::Bin { op: HBinOp::Add, l, r } = &*e.node() else { panic!() };
+        assert_eq!(**l, lit_i(2));
+        assert!(matches!(&**r, Node::Bin { op: HBinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn mixed_literal_sides() {
+        let e: Expr<f64> = 2.0 * 3.0f64.into_expr() + 1.0;
+        assert!(matches!(&*e.node(), Node::Bin { op: HBinOp::Add, .. }));
+        let e: Expr<f32> = 1.5f32.into_expr() - 0.5;
+        assert!(matches!(&*e.node(), Node::Bin { op: HBinOp::Sub, .. }));
+    }
+
+    #[test]
+    fn comparisons_yield_bool_exprs() {
+        let c = 1i32.into_expr().lt(2).and(3i32.into_expr().ge(3)).or(4i32.into_expr().eq_(5).not());
+        assert!(matches!(&*c.node(), Node::Bin { op: HBinOp::Or, .. }));
+    }
+
+    #[test]
+    fn cast_node() {
+        let e = 1i32.into_expr().cast::<f64>();
+        assert!(matches!(&*e.node(), Node::Cast { to: CType::F64, .. }));
+    }
+
+    #[test]
+    fn select_builds_ternary() {
+        let e: Expr<i32> = 1i32.into_expr().lt(2).select(10, 20);
+        assert!(matches!(&*e.node(), Node::Ternary { .. }));
+    }
+
+    #[test]
+    fn assignment_records_statement() {
+        let k = capture("t".into(), || {
+            let i = crate::scalar::Int::new(0);
+            i.v().assign(idx() + 1);
+            i.v().assign_add(2);
+        });
+        assert!(matches!(k.body[1], HStmt::Assign { .. }));
+        assert!(matches!(k.body[2], HStmt::CompoundAssign { op: HBinOp::Add, .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "assignable")]
+    fn assigning_to_computed_value_panics() {
+        capture("t".into(), || {
+            (1i32.into_expr() + 2).assign(3);
+        });
+    }
+
+    #[test]
+    fn neg_and_bitops() {
+        let e = -(1i32.into_expr());
+        assert!(matches!(&*e.node(), Node::Neg(_)));
+        let e = (1i32.into_expr() & 3) | (4i32.into_expr() ^ 5);
+        assert!(matches!(&*e.node(), Node::Bin { op: HBinOp::BitOr, .. }));
+        let e = 8u32.into_expr() >> 2u32;
+        assert!(matches!(&*e.node(), Node::Bin { op: HBinOp::Shr, .. }));
+    }
+}

@@ -1,0 +1,310 @@
+//! The HPL kernel intermediate representation.
+//!
+//! When a kernel function runs in *capture mode* (under [`crate::eval()`]),
+//! every operation on HPL data types records a node of this IR instead of
+//! computing anything. The code generator ([`crate::codegen`]) then prints
+//! the IR as OpenCL C, which the `oclsim` backend compiles — exactly the
+//! paper's architecture, where HPL "builds from the original C++
+//! expressions code that can be compiled at runtime for the desired
+//! device".
+
+use std::sync::Arc;
+
+/// OpenCL-facing element types HPL arrays and scalars can have.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CType {
+    I8,
+    U8,
+    I16,
+    U16,
+    I32,
+    U32,
+    I64,
+    U64,
+    F32,
+    F64,
+}
+
+impl CType {
+    /// The OpenCL C spelling.
+    pub fn cl_name(self) -> &'static str {
+        match self {
+            CType::I8 => "char",
+            CType::U8 => "uchar",
+            CType::I16 => "short",
+            CType::U16 => "ushort",
+            CType::I32 => "int",
+            CType::U32 => "uint",
+            CType::I64 => "long",
+            CType::U64 => "ulong",
+            CType::F32 => "float",
+            CType::F64 => "double",
+        }
+    }
+
+    /// True for `float`/`double`.
+    pub fn is_float(self) -> bool {
+        matches!(self, CType::F32 | CType::F64)
+    }
+}
+
+/// The memory kind of an HPL array (the paper's `memoryFlag` template
+/// argument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MemFlag {
+    /// Device global memory (the default).
+    #[default]
+    Global,
+    /// Per-work-group scratchpad; only meaningful inside kernels.
+    Local,
+    /// Host-writable, kernel-read-only memory.
+    Constant,
+    /// Work-item private memory (arrays declared inside kernels without a
+    /// flag).
+    Private,
+}
+
+/// The predefined kernel variables of §III-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Predef {
+    /// `idx`/`idy`/`idz`: global id in dimension 0/1/2.
+    GlobalId(u8),
+    /// `lidx`/`lidy`/`lidz`: local id within the group.
+    LocalId(u8),
+    /// `gidx`/`gidy`/`gidz`: group id.
+    GroupId(u8),
+    /// `szx`/`szy`/`szz`: global domain size.
+    GlobalSize(u8),
+    /// `lszx`/`lszy`/`lszz`: local domain size.
+    LocalSize(u8),
+    /// `ngroupsx`/...: number of groups.
+    NumGroups(u8),
+}
+
+impl Predef {
+    /// The OpenCL C expression this variable maps to.
+    pub fn cl_expr(self) -> String {
+        let (f, d) = match self {
+            Predef::GlobalId(d) => ("get_global_id", d),
+            Predef::LocalId(d) => ("get_local_id", d),
+            Predef::GroupId(d) => ("get_group_id", d),
+            Predef::GlobalSize(d) => ("get_global_size", d),
+            Predef::LocalSize(d) => ("get_local_size", d),
+            Predef::NumGroups(d) => ("get_num_groups", d),
+        };
+        format!("((int){f}({d}))")
+    }
+}
+
+/// Binary operators in the recorded IR (printed verbatim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+}
+
+impl HBinOp {
+    /// OpenCL C operator token.
+    pub fn token(self) -> &'static str {
+        match self {
+            HBinOp::Add => "+",
+            HBinOp::Sub => "-",
+            HBinOp::Mul => "*",
+            HBinOp::Div => "/",
+            HBinOp::Rem => "%",
+            HBinOp::Lt => "<",
+            HBinOp::Le => "<=",
+            HBinOp::Gt => ">",
+            HBinOp::Ge => ">=",
+            HBinOp::Eq => "==",
+            HBinOp::Ne => "!=",
+            HBinOp::And => "&&",
+            HBinOp::Or => "||",
+            HBinOp::BitAnd => "&",
+            HBinOp::BitOr => "|",
+            HBinOp::BitXor => "^",
+            HBinOp::Shl => "<<",
+            HBinOp::Shr => ">>",
+        }
+    }
+}
+
+/// A recorded expression node. Reference-counted so Rust-side expression
+/// values can be cloned freely while recording.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    LitI(i64, CType),
+    LitU(u64, CType),
+    LitF(f64, CType),
+    LitBool(bool),
+    /// A scalar kernel parameter (by parameter index).
+    ScalarParam(usize),
+    /// A kernel-local scalar variable.
+    Var(u32, CType),
+    /// A predefined work-item variable.
+    Predef(Predef),
+    /// `array[i0][i1]...` — array is a parameter index.
+    ParamElem { param: usize, idxs: Vec<Arc<Node>> },
+    /// Element of an array declared inside the kernel (by declaration id).
+    LocalElem { decl: u32, idxs: Vec<Arc<Node>> },
+    Bin { op: HBinOp, l: Arc<Node>, r: Arc<Node> },
+    Neg(Arc<Node>),
+    Not(Arc<Node>),
+    Cast { to: CType, e: Arc<Node> },
+    /// Built-in function call (sqrt, exp, ...): printed as `name(args...)`.
+    Call { name: &'static str, args: Vec<Arc<Node>> },
+    /// Ternary `cond ? t : f`.
+    Ternary { cond: Arc<Node>, t: Arc<Node>, f: Arc<Node> },
+}
+
+/// A recorded statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HStmt {
+    /// Declaration of a kernel-local scalar: `int v3 = init;`
+    DeclScalar { var: u32, cty: CType, init: Option<Arc<Node>> },
+    /// Declaration of a kernel-local array (private or `__local`).
+    DeclArray { decl: u32, cty: CType, mem: MemFlag, dims: Vec<usize> },
+    /// `lhs = rhs;` — lhs must be a Var / ParamElem / LocalElem node.
+    Assign { lhs: Arc<Node>, rhs: Arc<Node> },
+    /// `lhs op= rhs;`
+    CompoundAssign { lhs: Arc<Node>, op: HBinOp, rhs: Arc<Node> },
+    If { cond: Arc<Node>, then_blk: Vec<HStmt>, else_blk: Vec<HStmt> },
+    /// `for (var = from; var < to; var += step) body`. `declares` is true
+    /// when the loop variable is fresh (declared in the for-init) rather
+    /// than a user-declared kernel variable.
+    For {
+        var: u32,
+        cty: CType,
+        declares: bool,
+        from: Arc<Node>,
+        to: Arc<Node>,
+        step: Arc<Node>,
+        body: Vec<HStmt>,
+    },
+    While { cond: Arc<Node>, body: Vec<HStmt> },
+    /// `barrier(flags)`
+    Barrier { local: bool, global: bool },
+    /// `return;` (early exit for the work-item)
+    ReturnVoid,
+}
+
+/// The kind of one kernel parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamKind {
+    Array { cty: CType, ndim: usize, mem: MemFlag },
+    Scalar { cty: CType },
+}
+
+/// A kernel parameter record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamRecord {
+    pub kind: ParamKind,
+}
+
+/// A fully recorded kernel, ready for code generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordedKernel {
+    pub name: String,
+    pub params: Vec<ParamRecord>,
+    pub body: Vec<HStmt>,
+}
+
+impl RecordedKernel {
+    /// Parameter indices of array parameters the kernel writes (syntactic
+    /// analysis over the recorded IR; used for `const` qualification and as
+    /// a cross-check of the backend's transfer analysis).
+    pub fn written_params(&self) -> Vec<bool> {
+        let mut written = vec![false; self.params.len()];
+        fn walk(stmts: &[HStmt], written: &mut [bool]) {
+            for s in stmts {
+                match s {
+                    HStmt::Assign { lhs, .. } | HStmt::CompoundAssign { lhs, .. } => {
+                        if let Node::ParamElem { param, .. } = &**lhs {
+                            written[*param] = true;
+                        }
+                    }
+                    HStmt::If { then_blk, else_blk, .. } => {
+                        walk(then_blk, written);
+                        walk(else_blk, written);
+                    }
+                    HStmt::For { body, .. } | HStmt::While { body, .. } => walk(body, written),
+                    _ => {}
+                }
+            }
+        }
+        walk(&self.body, &mut written);
+        written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predef_spelling() {
+        assert_eq!(Predef::GlobalId(0).cl_expr(), "((int)get_global_id(0))");
+        assert_eq!(Predef::NumGroups(2).cl_expr(), "((int)get_num_groups(2))");
+    }
+
+    #[test]
+    fn written_params_analysis() {
+        let idx = Arc::new(Node::Predef(Predef::GlobalId(0)));
+        let read = Arc::new(Node::ParamElem { param: 1, idxs: vec![idx.clone()] });
+        let write = Arc::new(Node::ParamElem { param: 0, idxs: vec![idx] });
+        let k = RecordedKernel {
+            name: "k".into(),
+            params: vec![
+                ParamRecord { kind: ParamKind::Array { cty: CType::F32, ndim: 1, mem: MemFlag::Global } },
+                ParamRecord { kind: ParamKind::Array { cty: CType::F32, ndim: 1, mem: MemFlag::Global } },
+            ],
+            body: vec![HStmt::Assign { lhs: write, rhs: read }],
+        };
+        assert_eq!(k.written_params(), vec![true, false]);
+    }
+
+    #[test]
+    fn written_params_inside_control_flow() {
+        let idx = Arc::new(Node::Predef(Predef::GlobalId(0)));
+        let write = Arc::new(Node::ParamElem { param: 0, idxs: vec![idx.clone()] });
+        let k = RecordedKernel {
+            name: "k".into(),
+            params: vec![ParamRecord {
+                kind: ParamKind::Array { cty: CType::F32, ndim: 1, mem: MemFlag::Global },
+            }],
+            body: vec![HStmt::If {
+                cond: Arc::new(Node::LitBool(true)),
+                then_blk: vec![HStmt::CompoundAssign {
+                    lhs: write,
+                    op: HBinOp::Add,
+                    rhs: Arc::new(Node::LitF(1.0, CType::F32)),
+                }],
+                else_blk: vec![],
+            }],
+        };
+        assert_eq!(k.written_params(), vec![true]);
+    }
+
+    #[test]
+    fn ctype_names() {
+        assert_eq!(CType::F64.cl_name(), "double");
+        assert_eq!(CType::U32.cl_name(), "uint");
+        assert!(CType::F32.is_float() && !CType::I32.is_float());
+    }
+}

@@ -1,0 +1,134 @@
+//! Kernel math functions (§III-B: "HPL provides a series of functions to
+//! perform typical computations … within the kernels").
+//!
+//! All functions build IR call nodes; they are only meaningful inside a
+//! kernel. Functions taking one floating-point expression work for both
+//! `f32` and `f64`; the backend dispatches on the operand type.
+
+use std::sync::Arc;
+
+use crate::expr::{Expr, IntoExpr};
+use crate::ir::Node;
+use crate::scalar::HplScalar;
+
+/// Floating-point element types (`f32`/`f64`).
+pub trait HplFloat: HplScalar {}
+impl HplFloat for f32 {}
+impl HplFloat for f64 {}
+
+fn call1<T>(name: &'static str, a: Expr<T>) -> Expr<T> {
+    Expr::from_node(Arc::new(Node::Call { name, args: vec![a.node()] }))
+}
+
+fn call2<T>(name: &'static str, a: Expr<T>, b: Expr<T>) -> Expr<T> {
+    Expr::from_node(Arc::new(Node::Call { name, args: vec![a.node(), b.node()] }))
+}
+
+macro_rules! unary_math {
+    ($($(#[$doc:meta])* $rust:ident => $cl:literal),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $rust<T: HplFloat>(e: impl IntoExpr<T>) -> Expr<T> {
+                call1($cl, e.into_expr())
+            }
+        )*
+    };
+}
+
+unary_math! {
+    /// Square root.
+    sqrt => "sqrt",
+    /// Reciprocal square root.
+    rsqrt => "rsqrt",
+    /// Absolute value.
+    fabs => "fabs",
+    /// Natural exponential.
+    exp => "exp",
+    /// Natural logarithm.
+    log => "log",
+    /// Base-2 logarithm.
+    log2 => "log2",
+    /// Sine.
+    sin => "sin",
+    /// Cosine.
+    cos => "cos",
+    /// Tangent.
+    tan => "tan",
+    /// Round towards negative infinity.
+    floor => "floor",
+    /// Round towards positive infinity.
+    ceil => "ceil",
+    /// Round towards zero.
+    trunc => "trunc",
+    /// Round to nearest.
+    round => "round",
+}
+
+/// `x` raised to the power `y`.
+pub fn pow<T: HplFloat>(x: impl IntoExpr<T>, y: impl IntoExpr<T>) -> Expr<T> {
+    call2("pow", x.into_expr(), y.into_expr())
+}
+
+/// Floating-point remainder.
+pub fn fmod<T: HplFloat>(x: impl IntoExpr<T>, y: impl IntoExpr<T>) -> Expr<T> {
+    call2("fmod", x.into_expr(), y.into_expr())
+}
+
+/// Maximum of two floating-point expressions.
+pub fn fmax<T: HplFloat>(x: impl IntoExpr<T>, y: impl IntoExpr<T>) -> Expr<T> {
+    call2("fmax", x.into_expr(), y.into_expr())
+}
+
+/// Minimum of two floating-point expressions.
+pub fn fmin<T: HplFloat>(x: impl IntoExpr<T>, y: impl IntoExpr<T>) -> Expr<T> {
+    call2("fmin", x.into_expr(), y.into_expr())
+}
+
+/// Fused/contracted multiply-add `x*y + z`.
+pub fn mad<T: HplFloat>(x: impl IntoExpr<T>, y: impl IntoExpr<T>, z: impl IntoExpr<T>) -> Expr<T> {
+    Expr::from_node(Arc::new(Node::Call {
+        name: "mad",
+        args: vec![x.into_expr().node(), y.into_expr().node(), z.into_expr().node()],
+    }))
+}
+
+/// Integer maximum.
+pub fn max<T: HplScalar>(x: impl IntoExpr<T>, y: impl IntoExpr<T>) -> Expr<T> {
+    call2("max", x.into_expr(), y.into_expr())
+}
+
+/// Integer minimum.
+pub fn min<T: HplScalar>(x: impl IntoExpr<T>, y: impl IntoExpr<T>) -> Expr<T> {
+    call2("min", x.into_expr(), y.into_expr())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_nodes_have_expected_names() {
+        let e = sqrt(2.0f64.into_expr());
+        let Node::Call { name, args } = &*e.node() else { panic!() };
+        assert_eq!(*name, "sqrt");
+        assert_eq!(args.len(), 1);
+
+        let e = pow(2.0f32, 3.0f32);
+        let Node::Call { name, args } = &*e.node() else { panic!() };
+        assert_eq!(*name, "pow");
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn math_composes_with_operators() {
+        let e = sqrt(2.0f64.into_expr() * 3.0) + log(10.0f64.into_expr());
+        assert!(matches!(&*e.node(), Node::Bin { .. }));
+    }
+
+    #[test]
+    fn mad_takes_three_args() {
+        let e = mad(1.0f32, 2.0f32, 3.0f32);
+        let Node::Call { args, .. } = &*e.node() else { panic!() };
+        assert_eq!(args.len(), 3);
+    }
+}

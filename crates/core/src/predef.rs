@@ -1,0 +1,117 @@
+//! The predefined kernel variables of §III-B: global/local/group ids and
+//! domain sizes, exposed as expression builders.
+
+use std::sync::Arc;
+
+use crate::expr::Expr;
+use crate::ir::{Node, Predef};
+
+fn predef(p: Predef) -> Expr<i32> {
+    Expr::from_node(Arc::new(Node::Predef(p)))
+}
+
+/// Global id in the first dimension (paper: `idx`).
+pub fn idx() -> Expr<i32> {
+    predef(Predef::GlobalId(0))
+}
+/// Global id in the second dimension (paper: `idy`).
+pub fn idy() -> Expr<i32> {
+    predef(Predef::GlobalId(1))
+}
+/// Global id in the third dimension (paper: `idz`).
+pub fn idz() -> Expr<i32> {
+    predef(Predef::GlobalId(2))
+}
+
+/// Local id within the group, first dimension (paper: `lidx`).
+pub fn lidx() -> Expr<i32> {
+    predef(Predef::LocalId(0))
+}
+/// Local id within the group, second dimension (paper: `lidy`).
+pub fn lidy() -> Expr<i32> {
+    predef(Predef::LocalId(1))
+}
+/// Local id within the group, third dimension (paper: `lidz`).
+pub fn lidz() -> Expr<i32> {
+    predef(Predef::LocalId(2))
+}
+
+/// Group id, first dimension (paper: `gidx`).
+pub fn gidx() -> Expr<i32> {
+    predef(Predef::GroupId(0))
+}
+/// Group id, second dimension (paper: `gidy`).
+pub fn gidy() -> Expr<i32> {
+    predef(Predef::GroupId(1))
+}
+/// Group id, third dimension (paper: `gidz`).
+pub fn gidz() -> Expr<i32> {
+    predef(Predef::GroupId(2))
+}
+
+/// Global domain size, first dimension (paper: `szx`).
+pub fn szx() -> Expr<i32> {
+    predef(Predef::GlobalSize(0))
+}
+/// Global domain size, second dimension (paper: `szy`).
+pub fn szy() -> Expr<i32> {
+    predef(Predef::GlobalSize(1))
+}
+/// Global domain size, third dimension (paper: `szz`).
+pub fn szz() -> Expr<i32> {
+    predef(Predef::GlobalSize(2))
+}
+
+/// Local domain size, first dimension (paper: `lszx`).
+pub fn lszx() -> Expr<i32> {
+    predef(Predef::LocalSize(0))
+}
+/// Local domain size, second dimension (paper: `lszy`).
+pub fn lszy() -> Expr<i32> {
+    predef(Predef::LocalSize(1))
+}
+/// Local domain size, third dimension (paper: `lszz`).
+pub fn lszz() -> Expr<i32> {
+    predef(Predef::LocalSize(2))
+}
+
+/// Number of groups, first dimension (paper: `ngroupsx`).
+pub fn ngroupsx() -> Expr<i32> {
+    predef(Predef::NumGroups(0))
+}
+/// Number of groups, second dimension (paper: `ngroupsy`).
+pub fn ngroupsy() -> Expr<i32> {
+    predef(Predef::NumGroups(1))
+}
+/// Number of groups, third dimension (paper: `ngroupsz`).
+pub fn ngroupsz() -> Expr<i32> {
+    predef(Predef::NumGroups(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predefs_build_expected_nodes() {
+        for (e, p) in [
+            (idx(), Predef::GlobalId(0)),
+            (idy(), Predef::GlobalId(1)),
+            (idz(), Predef::GlobalId(2)),
+            (lidx(), Predef::LocalId(0)),
+            (gidy(), Predef::GroupId(1)),
+            (szx(), Predef::GlobalSize(0)),
+            (lszz(), Predef::LocalSize(2)),
+            (ngroupsx(), Predef::NumGroups(0)),
+        ] {
+            assert_eq!(*e.node(), Node::Predef(p));
+        }
+    }
+
+    #[test]
+    fn predefs_compose_without_recording() {
+        // building expressions from predefs must not require an active
+        // recorder (only statements do)
+        let _ = idx() * 2 + lidx();
+    }
+}

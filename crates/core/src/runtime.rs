@@ -1,0 +1,184 @@
+//! The HPL runtime: device discovery, per-device contexts and queues, and
+//! global transfer accounting.
+//!
+//! The paper's HPL hides "the manual setup of the environment, management
+//! of the buffers … and the transfers between them" behind the library;
+//! this module is that hidden machinery.
+
+use std::sync::OnceLock;
+
+use parking_lot::Mutex;
+
+use oclsim::{CommandQueue, Context, Device, DeviceType, Platform};
+
+/// One usable device with its context and queue.
+pub struct DeviceEntry {
+    /// The simulated device.
+    pub device: Device,
+    /// A context private to this device (so each device's memory capacity
+    /// is enforced independently).
+    pub context: Context,
+    /// The in-order queue used for transfers and kernel launches.
+    pub queue: CommandQueue,
+}
+
+/// Cumulative host↔device transfer statistics, used by tests and by the
+/// transfer-minimisation ablation bench.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TransferStats {
+    /// Host→device transfer count.
+    pub h2d_count: u64,
+    /// Host→device bytes moved.
+    pub h2d_bytes: u64,
+    /// Device→host transfer count.
+    pub d2h_count: u64,
+    /// Device→host bytes moved.
+    pub d2h_bytes: u64,
+    /// Modeled seconds spent on all transfers.
+    pub modeled_seconds: f64,
+}
+
+/// The global HPL runtime.
+pub struct Runtime {
+    platform: Platform,
+    entries: Vec<DeviceEntry>,
+    default_device: usize,
+    stats: Mutex<TransferStats>,
+}
+
+static RUNTIME: OnceLock<Runtime> = OnceLock::new();
+
+/// Access the global runtime (initialised on first use with the default
+/// platform: Tesla-class GPU, Quadro-class GPU, CPU).
+pub fn runtime() -> &'static Runtime {
+    RUNTIME.get_or_init(|| Runtime::new(Platform::default_platform()))
+}
+
+impl Runtime {
+    fn new(platform: Platform) -> Runtime {
+        let entries: Vec<DeviceEntry> = platform
+            .devices()
+            .iter()
+            .map(|d| {
+                let context = Context::new(std::slice::from_ref(d))
+                    .expect("single-device context creation cannot fail");
+                let queue = CommandQueue::new(&context, d)
+                    .expect("queue creation on own context cannot fail");
+                DeviceEntry { device: d.clone(), context, queue }
+            })
+            .collect();
+        let default_device = entries
+            .iter()
+            .position(|e| e.device.device_type() != DeviceType::Cpu)
+            .unwrap_or(0);
+        Runtime { platform, entries, default_device, stats: Mutex::new(TransferStats::default()) }
+    }
+
+    /// The underlying platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// All devices, in discovery order.
+    pub fn devices(&self) -> Vec<Device> {
+        self.entries.iter().map(|e| e.device.clone()).collect()
+    }
+
+    /// The default execution device: "the first device found in the system
+    /// that is not a standard general-purpose CPU" (§III-C).
+    pub fn default_device(&self) -> Device {
+        self.entries[self.default_device].device.clone()
+    }
+
+    /// The entry (context + queue) for a device.
+    pub fn entry(&self, device: &Device) -> &DeviceEntry {
+        self.entries
+            .iter()
+            .find(|e| &e.device == device)
+            .unwrap_or_else(|| panic!("device `{}` is not managed by the HPL runtime", device.name()))
+    }
+
+    /// Find a device by a case-insensitive name fragment (convenience for
+    /// examples and benches: `device_named("quadro")`).
+    pub fn device_named(&self, fragment: &str) -> Option<Device> {
+        let frag = fragment.to_lowercase();
+        self.entries
+            .iter()
+            .map(|e| &e.device)
+            .find(|d| d.name().to_lowercase().contains(&frag))
+            .cloned()
+    }
+
+    /// Record a host→device transfer.
+    pub(crate) fn note_h2d(&self, bytes: usize, modeled_seconds: f64) {
+        let mut s = self.stats.lock();
+        s.h2d_count += 1;
+        s.h2d_bytes += bytes as u64;
+        s.modeled_seconds += modeled_seconds;
+    }
+
+    /// Record a device→host transfer.
+    pub(crate) fn note_d2h(&self, bytes: usize, modeled_seconds: f64) {
+        let mut s = self.stats.lock();
+        s.d2h_count += 1;
+        s.d2h_bytes += bytes as u64;
+        s.modeled_seconds += modeled_seconds;
+    }
+
+    /// Snapshot the cumulative transfer statistics.
+    pub fn transfer_stats(&self) -> TransferStats {
+        *self.stats.lock()
+    }
+
+    /// Reset the transfer statistics (benchmark harness bookkeeping).
+    pub fn reset_transfer_stats(&self) {
+        *self.stats.lock() = TransferStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_discovers_paper_devices() {
+        let rt = runtime();
+        assert_eq!(rt.devices().len(), 3);
+        assert_eq!(rt.default_device().device_type(), DeviceType::Gpu);
+        assert!(rt.default_device().name().contains("Tesla"));
+    }
+
+    #[test]
+    fn device_lookup_by_name() {
+        let rt = runtime();
+        assert!(rt.device_named("quadro").is_some());
+        assert!(rt.device_named("TESLA").is_some());
+        assert!(rt.device_named("does-not-exist").is_none());
+    }
+
+    #[test]
+    fn entries_pair_queue_and_device() {
+        let rt = runtime();
+        for d in rt.devices() {
+            let e = rt.entry(&d);
+            assert_eq!(e.queue.device(), &d);
+            assert!(e.context.contains(&d));
+        }
+    }
+
+    #[test]
+    fn transfer_stats_accumulate_and_reset() {
+        let rt = runtime();
+        rt.reset_transfer_stats();
+        rt.note_h2d(100, 1e-6);
+        rt.note_d2h(50, 2e-6);
+        let s = rt.transfer_stats();
+        assert_eq!(s.h2d_count, 1);
+        assert_eq!(s.h2d_bytes, 100);
+        assert_eq!(s.d2h_count, 1);
+        assert_eq!(s.d2h_bytes, 50);
+        assert!(s.modeled_seconds > 2.9e-6);
+        rt.reset_transfer_stats();
+        assert_eq!(rt.transfer_stats(), TransferStats::default());
+    }
+}

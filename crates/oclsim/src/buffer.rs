@@ -1,0 +1,333 @@
+//! Device global/constant memory objects.
+//!
+//! Storage is a slice of `AtomicU32` words. This keeps concurrent kernel
+//! execution free of Rust-level data races without per-access locking:
+//! relaxed word-sized atomics compile to plain loads and stores on every
+//! mainstream ISA. OpenCL gives no coherence guarantees for cross-work-group
+//! races, so racing relaxed accesses here is a faithful (and sound) model:
+//! the worst outcome is a torn 64-bit value, which is already permitted
+//! behaviour for racy OpenCL programs.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::types::DeviceScalar;
+
+/// Host visibility/usage flags, a simplified `CL_MEM_*`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemAccess {
+    /// Kernels may only read the buffer.
+    ReadOnly,
+    /// Kernels may only write the buffer.
+    WriteOnly,
+    /// Kernels may read and write (default).
+    ReadWrite,
+}
+
+static NEXT_BUFFER_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A device memory allocation. Cheap to clone (shared handle).
+#[derive(Debug, Clone)]
+pub struct Buffer {
+    inner: Arc<BufferInner>,
+}
+
+#[derive(Debug)]
+struct BufferInner {
+    id: u64,
+    len_bytes: usize,
+    access: MemAccess,
+    words: Box<[AtomicU32]>,
+}
+
+impl Buffer {
+    /// Allocate a buffer of `len_bytes` bytes, zero-initialised.
+    ///
+    /// Normally called through [`crate::context::Context::create_buffer`],
+    /// which also enforces the device memory capacity.
+    pub fn new(len_bytes: usize, access: MemAccess) -> Buffer {
+        let words = len_bytes.div_ceil(4);
+        let storage: Box<[AtomicU32]> = (0..words).map(|_| AtomicU32::new(0)).collect();
+        Buffer {
+            inner: Arc::new(BufferInner {
+                id: NEXT_BUFFER_ID.fetch_add(1, Ordering::Relaxed),
+                len_bytes,
+                access,
+                words: storage,
+            }),
+        }
+    }
+
+    /// Unique id of the allocation.
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// Size in bytes as requested at allocation.
+    pub fn len_bytes(&self) -> usize {
+        self.inner.len_bytes
+    }
+
+    /// Access flags.
+    pub fn access(&self) -> MemAccess {
+        self.inner.access
+    }
+
+    fn check_range(&self, offset: usize, len: usize) -> Result<()> {
+        if offset.checked_add(len).is_none_or(|end| end > self.inner.len_bytes) {
+            return Err(Error::InvalidBufferAccess(format!(
+                "range {offset}..{} exceeds buffer of {} bytes",
+                offset.saturating_add(len),
+                self.inner.len_bytes
+            )));
+        }
+        Ok(())
+    }
+
+    /// Copy host bytes into the buffer at `offset`.
+    pub fn write_bytes(&self, offset: usize, data: &[u8]) -> Result<()> {
+        self.check_range(offset, data.len())?;
+        let words = &self.inner.words;
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let byte_addr = offset + pos;
+            let word_idx = byte_addr / 4;
+            let in_word = byte_addr % 4;
+            let n = (4 - in_word).min(data.len() - pos);
+            if n == 4 {
+                let w = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap());
+                words[word_idx].store(w, Ordering::Relaxed);
+            } else {
+                // partial word: read-modify-write the affected bytes
+                let mut mask = 0u32;
+                let mut val = 0u32;
+                for k in 0..n {
+                    mask |= 0xFFu32 << ((in_word + k) * 8);
+                    val |= (data[pos + k] as u32) << ((in_word + k) * 8);
+                }
+                words[word_idx]
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |w| {
+                        Some((w & !mask) | val)
+                    })
+                    .expect("fetch_update closure never returns None");
+            }
+            pos += n;
+        }
+        Ok(())
+    }
+
+    /// Copy bytes from the buffer at `offset` into `out`.
+    pub fn read_bytes(&self, offset: usize, out: &mut [u8]) -> Result<()> {
+        self.check_range(offset, out.len())?;
+        let words = &self.inner.words;
+        let mut pos = 0usize;
+        while pos < out.len() {
+            let byte_addr = offset + pos;
+            let word_idx = byte_addr / 4;
+            let in_word = byte_addr % 4;
+            let n = (4 - in_word).min(out.len() - pos);
+            let w = words[word_idx].load(Ordering::Relaxed).to_le_bytes();
+            out[pos..pos + n].copy_from_slice(&w[in_word..in_word + n]);
+            pos += n;
+        }
+        Ok(())
+    }
+
+    /// Typed write of a whole slice starting at element `elem_offset`.
+    pub fn write_slice<T: DeviceScalar>(&self, elem_offset: usize, data: &[T]) -> Result<()> {
+        let esize = std::mem::size_of::<T>();
+        let mut bytes = vec![0u8; data.len() * esize];
+        for (i, v) in data.iter().enumerate() {
+            let b = v.to_bits64().to_le_bytes();
+            bytes[i * esize..(i + 1) * esize].copy_from_slice(&b[..esize]);
+        }
+        self.write_bytes(elem_offset * esize, &bytes)
+    }
+
+    /// Typed read of `len` elements starting at element `elem_offset`.
+    pub fn read_vec<T: DeviceScalar>(&self, elem_offset: usize, len: usize) -> Result<Vec<T>> {
+        let esize = std::mem::size_of::<T>();
+        let mut bytes = vec![0u8; len * esize];
+        self.read_bytes(elem_offset * esize, &mut bytes)?;
+        Ok((0..len)
+            .map(|i| {
+                let mut raw = [0u8; 8];
+                raw[..esize].copy_from_slice(&bytes[i * esize..(i + 1) * esize]);
+                T::from_bits64(u64::from_le_bytes(raw))
+            })
+            .collect())
+    }
+
+    /// Zero the entire buffer.
+    pub fn fill_zero(&self) {
+        for w in self.inner.words.iter() {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+
+    // ---- device-side accessors used by the interpreter ------------------
+
+    /// Whether a device access of `size` bytes at `byte_addr` is in range
+    /// and naturally aligned.
+    #[inline]
+    pub(crate) fn device_access_ok(&self, byte_addr: u64, size: usize) -> bool {
+        byte_addr % size as u64 == 0
+            && (byte_addr as usize).checked_add(size).is_some_and(|e| e <= self.inner.len_bytes)
+    }
+
+    /// Load `size` (1/2/4/8) bytes at `byte_addr`, zero-extended into u64.
+    /// Caller must have validated with [`Buffer::device_access_ok`].
+    #[inline]
+    pub(crate) fn device_load(&self, byte_addr: u64, size: usize) -> u64 {
+        let words = &self.inner.words;
+        let word_idx = (byte_addr / 4) as usize;
+        match size {
+            8 => {
+                let lo = words[word_idx].load(Ordering::Relaxed) as u64;
+                let hi = words[word_idx + 1].load(Ordering::Relaxed) as u64;
+                lo | (hi << 32)
+            }
+            4 => words[word_idx].load(Ordering::Relaxed) as u64,
+            2 => {
+                let sh = (byte_addr % 4) * 8;
+                ((words[word_idx].load(Ordering::Relaxed) >> sh) & 0xFFFF) as u64
+            }
+            1 => {
+                let sh = (byte_addr % 4) * 8;
+                ((words[word_idx].load(Ordering::Relaxed) >> sh) & 0xFF) as u64
+            }
+            _ => unreachable!("scalar sizes are 1/2/4/8"),
+        }
+    }
+
+    /// Store the low `size` bytes of `bits` at `byte_addr`.
+    /// Caller must have validated with [`Buffer::device_access_ok`].
+    #[inline]
+    pub(crate) fn device_store(&self, byte_addr: u64, size: usize, bits: u64) {
+        let words = &self.inner.words;
+        let word_idx = (byte_addr / 4) as usize;
+        match size {
+            8 => {
+                words[word_idx].store(bits as u32, Ordering::Relaxed);
+                words[word_idx + 1].store((bits >> 32) as u32, Ordering::Relaxed);
+            }
+            4 => words[word_idx].store(bits as u32, Ordering::Relaxed),
+            2 | 1 => {
+                let sh = (byte_addr % 4) * 8;
+                let mask = if size == 2 { 0xFFFFu32 } else { 0xFFu32 } << sh;
+                let val = ((bits as u32) << sh) & mask;
+                words[word_idx]
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |w| {
+                        Some((w & !mask) | val)
+                    })
+                    .expect("fetch_update closure never returns None");
+            }
+            _ => unreachable!("scalar sizes are 1/2/4/8"),
+        }
+    }
+
+    /// Atomic 32-bit add at `byte_addr` (for `atomic_add` & friends);
+    /// returns the previous value.
+    #[inline]
+    pub(crate) fn device_atomic_add_u32(&self, byte_addr: u64, operand: u32) -> u32 {
+        let word_idx = (byte_addr / 4) as usize;
+        self.inner.words[word_idx].fetch_add(operand, Ordering::Relaxed)
+    }
+
+    /// Atomic 32-bit compare-exchange; returns the previous value.
+    #[inline]
+    pub(crate) fn device_atomic_cmpxchg_u32(&self, byte_addr: u64, expected: u32, new: u32) -> u32 {
+        let word_idx = (byte_addr / 4) as usize;
+        match self.inner.words[word_idx].compare_exchange(
+            expected,
+            new,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(prev) | Err(prev) => prev,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_typed() {
+        let b = Buffer::new(64, MemAccess::ReadWrite);
+        b.write_slice(0, &[1.5f32, -2.0, 3.25]).unwrap();
+        assert_eq!(b.read_vec::<f32>(0, 3).unwrap(), vec![1.5, -2.0, 3.25]);
+        b.write_slice(2, &[9.0f32]).unwrap();
+        assert_eq!(b.read_vec::<f32>(0, 3).unwrap(), vec![1.5, -2.0, 9.0]);
+    }
+
+    #[test]
+    fn round_trip_f64_and_i64() {
+        let b = Buffer::new(64, MemAccess::ReadWrite);
+        b.write_slice(0, &[1.25f64, -0.5]).unwrap();
+        assert_eq!(b.read_vec::<f64>(0, 2).unwrap(), vec![1.25, -0.5]);
+        b.write_slice(2, &[-42i64]).unwrap();
+        assert_eq!(b.read_vec::<i64>(2, 1).unwrap(), vec![-42]);
+    }
+
+    #[test]
+    fn unaligned_byte_writes() {
+        let b = Buffer::new(16, MemAccess::ReadWrite);
+        b.write_bytes(1, &[0xAA, 0xBB, 0xCC, 0xDD, 0xEE]).unwrap();
+        let mut out = [0u8; 7];
+        b.read_bytes(0, &mut out).unwrap();
+        assert_eq!(out, [0x00, 0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0x00]);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let b = Buffer::new(8, MemAccess::ReadWrite);
+        assert!(b.write_bytes(5, &[0; 4]).is_err());
+        let mut out = [0u8; 4];
+        assert!(b.read_bytes(6, &mut out).is_err());
+        assert!(b.write_bytes(usize::MAX, &[0]).is_err(), "overflow guarded");
+    }
+
+    #[test]
+    fn device_load_store_all_sizes() {
+        let b = Buffer::new(32, MemAccess::ReadWrite);
+        b.device_store(0, 8, 0x1122334455667788);
+        assert_eq!(b.device_load(0, 8), 0x1122334455667788);
+        assert_eq!(b.device_load(0, 4), 0x55667788);
+        assert_eq!(b.device_load(4, 4), 0x11223344);
+        b.device_store(9, 1, 0xFF);
+        assert_eq!(b.device_load(9, 1), 0xFF);
+        assert_eq!(b.device_load(8, 1), 0x00);
+        b.device_store(10, 2, 0xBEEF);
+        assert_eq!(b.device_load(10, 2), 0xBEEF);
+        assert_eq!(b.device_load(8, 4), 0xBEEF_FF00);
+    }
+
+    #[test]
+    fn device_access_bounds_and_alignment() {
+        let b = Buffer::new(12, MemAccess::ReadWrite);
+        assert!(b.device_access_ok(8, 4));
+        assert!(!b.device_access_ok(9, 4), "misaligned");
+        assert!(!b.device_access_ok(12, 4), "past end");
+        assert!(!b.device_access_ok(8, 8), "straddles end");
+        assert!(b.device_access_ok(11, 1));
+    }
+
+    #[test]
+    fn atomic_add() {
+        let b = Buffer::new(8, MemAccess::ReadWrite);
+        b.write_slice(0, &[10u32]).unwrap();
+        assert_eq!(b.device_atomic_add_u32(0, 5), 10);
+        assert_eq!(b.read_vec::<u32>(0, 1).unwrap()[0], 15);
+    }
+
+    #[test]
+    fn zero_len_buffer() {
+        let b = Buffer::new(0, MemAccess::ReadOnly);
+        assert_eq!(b.len_bytes(), 0);
+        assert!(b.write_bytes(0, &[]).is_ok());
+        assert!(b.write_bytes(0, &[1]).is_err());
+    }
+}

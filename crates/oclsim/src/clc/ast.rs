@@ -1,0 +1,205 @@
+//! Abstract syntax tree for the OpenCL C subset.
+
+use crate::types::ScalarType;
+
+/// OpenCL address spaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddrSpace {
+    /// `__global`: device memory visible to every work-item.
+    Global,
+    /// `__local`: per-work-group scratchpad.
+    Local,
+    /// `__constant`: host-writable, kernel-read-only memory.
+    Constant,
+    /// `__private`: per-work-item registers/stack (the default).
+    Private,
+}
+
+impl AddrSpace {
+    /// OpenCL C spelling.
+    pub fn cl_name(self) -> &'static str {
+        match self {
+            AddrSpace::Global => "__global",
+            AddrSpace::Local => "__local",
+            AddrSpace::Constant => "__constant",
+            AddrSpace::Private => "__private",
+        }
+    }
+}
+
+/// A (possibly pointer) type as written in source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClType {
+    Void,
+    Scalar(ScalarType),
+    /// One level of pointer indirection with an address space.
+    Ptr(AddrSpace, ScalarType),
+}
+
+/// Binary operators (also used as the `op` of compound assignment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Eq,
+    Ne,
+    LogAnd,
+    LogOr,
+}
+
+impl BinOp {
+    /// True for operators whose result is `bool`/`int` 0-or-1.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+
+    /// True for `&&` / `||`.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::LogAnd | BinOp::LogOr)
+    }
+}
+
+/// Prefix unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-e`
+    Neg,
+    /// `+e` (no-op, kept for fidelity)
+    Plus,
+    /// `!e`
+    Not,
+    /// `~e`
+    BitNot,
+    /// `++e`
+    PreInc,
+    /// `--e`
+    PreDec,
+    /// `*e`
+    Deref,
+    /// `&e`
+    AddrOf,
+}
+
+/// Postfix `++` / `--`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PostOp {
+    Inc,
+    Dec,
+}
+
+/// Expressions. Assignments are expressions syntactically (as in C);
+/// semantic analysis restricts them to statement-like positions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    IntLit { value: u64, unsigned: bool, long: bool },
+    FloatLit { value: f64, f32: bool },
+    Ident(String),
+    Bin { op: BinOp, l: Box<Expr>, r: Box<Expr> },
+    Un { op: UnOp, e: Box<Expr> },
+    Post { op: PostOp, e: Box<Expr> },
+    Assign { op: Option<BinOp>, target: Box<Expr>, value: Box<Expr> },
+    Ternary { cond: Box<Expr>, t: Box<Expr>, f: Box<Expr> },
+    Call { name: String, args: Vec<Expr> },
+    Index { base: Box<Expr>, index: Box<Expr> },
+    Cast { ty: ClType, e: Box<Expr> },
+}
+
+/// One variable declared by a declaration statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Declarator {
+    pub name: String,
+    /// `Some(len_expr)` for `T name[len]` array declarators.
+    pub array_len: Option<Expr>,
+    /// Extra pointer level on the declarator (`T *name`).
+    pub is_pointer: bool,
+    pub init: Option<Expr>,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    pub kind: StmtKind,
+    pub line: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `__local float s[N];`, `int i = 0, j;` ...
+    Decl { space: AddrSpace, base: ScalarType, decls: Vec<Declarator> },
+    Expr(Expr),
+    If { cond: Expr, then_blk: Vec<Stmt>, else_blk: Vec<Stmt> },
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Expr>,
+        body: Vec<Stmt>,
+    },
+    While { cond: Expr, body: Vec<Stmt> },
+    DoWhile { body: Vec<Stmt>, cond: Expr },
+    Return(Option<Expr>),
+    Break,
+    Continue,
+    Block(Vec<Stmt>),
+    /// `;`
+    Empty,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    pub name: String,
+    pub ty: ClType,
+    /// `const`-qualified (informational; `__constant` is what matters).
+    pub is_const: bool,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    pub name: String,
+    pub is_kernel: bool,
+    pub ret: ClType,
+    pub params: Vec<Param>,
+    pub body: Vec<Stmt>,
+    pub line: usize,
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TranslationUnit {
+    pub funcs: Vec<FuncDef>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::LogAnd.is_logical());
+        assert!(!BinOp::BitAnd.is_logical());
+    }
+
+    #[test]
+    fn addr_space_names() {
+        assert_eq!(AddrSpace::Global.cl_name(), "__global");
+        assert_eq!(AddrSpace::Private.cl_name(), "__private");
+    }
+}

@@ -1,0 +1,372 @@
+//! Tokenizer for (preprocessed) OpenCL C.
+
+use crate::error::{Error, Result};
+
+/// Operators and punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    AmpAssign,
+    PipeAssign,
+    CaretAssign,
+    ShlAssign,
+    ShrAssign,
+    Shl,
+    Shr,
+    AmpAmp,
+    PipePipe,
+    PlusPlus,
+    MinusMinus,
+    Question,
+    Colon,
+    Dot,
+}
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are resolved by the parser).
+    Ident(String),
+    /// Integer literal with `u`/`U` and `l`/`L` suffix flags.
+    IntLit { value: u64, unsigned: bool, long: bool },
+    /// Floating literal; `f32` is true when an `f`/`F` suffix was present.
+    FloatLit { value: f64, f32: bool },
+    /// Operator / punctuation.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+/// A token together with its (1-based) source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+/// Tokenize `src`, which must already be preprocessed.
+pub fn lex(src: &str) -> Result<Vec<Spanned>> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    macro_rules! push {
+        ($t:expr) => {
+            toks.push(Spanned { tok: $t, line })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                push!(Tok::Ident(src[start..i].to_string()));
+            }
+            _ if c.is_ascii_digit()
+                || (c == '.' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit()) =>
+            {
+                let (tok, len) = lex_number(&src[i..], line)?;
+                push!(tok);
+                i += len;
+            }
+            _ => {
+                let (p, len) = lex_punct(&bytes[i..])
+                    .ok_or_else(|| Error::BuildFailure(format!(
+                        "lexer, line {line}: unexpected character `{c}`"
+                    )))?;
+                push!(Tok::Punct(p));
+                i += len;
+            }
+        }
+    }
+    toks.push(Spanned { tok: Tok::Eof, line });
+    Ok(toks)
+}
+
+fn lex_number(s: &str, line: usize) -> Result<(Tok, usize)> {
+    let bytes = s.as_bytes();
+    // hexadecimal
+    if s.len() >= 2 && (s.starts_with("0x") || s.starts_with("0X")) {
+        let mut i = 2;
+        while i < bytes.len() && (bytes[i] as char).is_ascii_hexdigit() {
+            i += 1;
+        }
+        if i == 2 {
+            return Err(Error::BuildFailure(format!("lexer, line {line}: bad hex literal")));
+        }
+        let value = u64::from_str_radix(&s[2..i], 16)
+            .map_err(|_| Error::BuildFailure(format!("lexer, line {line}: hex literal overflows")))?;
+        let (unsigned, long, slen) = int_suffix(&bytes[i..]);
+        return Ok((Tok::IntLit { value, unsigned, long }, i + slen));
+    }
+
+    let mut i = 0;
+    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+        i += 1;
+    }
+    let mut is_float = false;
+    if i < bytes.len() && bytes[i] == b'.' {
+        is_float = true;
+        i += 1;
+        while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+            i += 1;
+        }
+    }
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+            is_float = true;
+            i = j;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    if is_float {
+        let value: f64 = s[..i]
+            .parse()
+            .map_err(|_| Error::BuildFailure(format!("lexer, line {line}: bad float literal")))?;
+        let f32suffix = i < bytes.len() && (bytes[i] == b'f' || bytes[i] == b'F');
+        let len = i + if f32suffix { 1 } else { 0 };
+        Ok((Tok::FloatLit { value, f32: f32suffix }, len))
+    } else {
+        let value: u64 = s[..i]
+            .parse()
+            .map_err(|_| Error::BuildFailure(format!("lexer, line {line}: int literal overflows")))?;
+        let (unsigned, long, slen) = int_suffix(&bytes[i..]);
+        Ok((Tok::IntLit { value, unsigned, long }, i + slen))
+    }
+}
+
+fn int_suffix(bytes: &[u8]) -> (bool, bool, usize) {
+    let mut unsigned = false;
+    let mut long = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'u' | b'U' if !unsigned => unsigned = true,
+            b'l' | b'L' if !long => long = true,
+            _ => break,
+        }
+        i += 1;
+    }
+    (unsigned, long, i)
+}
+
+fn lex_punct(bytes: &[u8]) -> Option<(Punct, usize)> {
+    use Punct::*;
+    let three = |a, b, c| bytes.len() >= 3 && bytes[0] == a && bytes[1] == b && bytes[2] == c;
+    let two = |a, b| bytes.len() >= 2 && bytes[0] == a && bytes[1] == b;
+    if three(b'<', b'<', b'=') {
+        return Some((ShlAssign, 3));
+    }
+    if three(b'>', b'>', b'=') {
+        return Some((ShrAssign, 3));
+    }
+    if two(b'<', b'<') {
+        return Some((Shl, 2));
+    }
+    if two(b'>', b'>') {
+        return Some((Shr, 2));
+    }
+    if two(b'<', b'=') {
+        return Some((Le, 2));
+    }
+    if two(b'>', b'=') {
+        return Some((Ge, 2));
+    }
+    if two(b'=', b'=') {
+        return Some((EqEq, 2));
+    }
+    if two(b'!', b'=') {
+        return Some((Ne, 2));
+    }
+    if two(b'&', b'&') {
+        return Some((AmpAmp, 2));
+    }
+    if two(b'|', b'|') {
+        return Some((PipePipe, 2));
+    }
+    if two(b'+', b'+') {
+        return Some((PlusPlus, 2));
+    }
+    if two(b'-', b'-') {
+        return Some((MinusMinus, 2));
+    }
+    if two(b'+', b'=') {
+        return Some((PlusAssign, 2));
+    }
+    if two(b'-', b'=') {
+        return Some((MinusAssign, 2));
+    }
+    if two(b'*', b'=') {
+        return Some((StarAssign, 2));
+    }
+    if two(b'/', b'=') {
+        return Some((SlashAssign, 2));
+    }
+    if two(b'%', b'=') {
+        return Some((PercentAssign, 2));
+    }
+    if two(b'&', b'=') {
+        return Some((AmpAssign, 2));
+    }
+    if two(b'|', b'=') {
+        return Some((PipeAssign, 2));
+    }
+    if two(b'^', b'=') {
+        return Some((CaretAssign, 2));
+    }
+    let one = match bytes.first()? {
+        b'(' => LParen,
+        b')' => RParen,
+        b'{' => LBrace,
+        b'}' => RBrace,
+        b'[' => LBracket,
+        b']' => RBracket,
+        b';' => Semi,
+        b',' => Comma,
+        b'+' => Plus,
+        b'-' => Minus,
+        b'*' => Star,
+        b'/' => Slash,
+        b'%' => Percent,
+        b'&' => Amp,
+        b'|' => Pipe,
+        b'^' => Caret,
+        b'~' => Tilde,
+        b'!' => Bang,
+        b'<' => Lt,
+        b'>' => Gt,
+        b'=' => Assign,
+        b'?' => Question,
+        b':' => Colon,
+        b'.' => Dot,
+        _ => return None,
+    };
+    Some((one, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn identifiers_and_punct() {
+        let t = kinds("__kernel void f(int a) { a += 1; }");
+        assert_eq!(t[0], Tok::Ident("__kernel".into()));
+        assert_eq!(t[1], Tok::Ident("void".into()));
+        assert!(t.contains(&Tok::Punct(Punct::PlusAssign)));
+        assert_eq!(*t.last().unwrap(), Tok::Eof);
+    }
+
+    #[test]
+    fn integer_literals() {
+        assert_eq!(kinds("42")[0], Tok::IntLit { value: 42, unsigned: false, long: false });
+        assert_eq!(kinds("42u")[0], Tok::IntLit { value: 42, unsigned: true, long: false });
+        assert_eq!(kinds("42UL")[0], Tok::IntLit { value: 42, unsigned: true, long: true });
+        assert_eq!(kinds("0x1F")[0], Tok::IntLit { value: 31, unsigned: false, long: false });
+        assert_eq!(
+            kinds("0xFFFFFFFFFFFFFFFF")[0],
+            Tok::IntLit { value: u64::MAX, unsigned: false, long: false }
+        );
+    }
+
+    #[test]
+    fn float_literals() {
+        assert_eq!(kinds("1.5")[0], Tok::FloatLit { value: 1.5, f32: false });
+        assert_eq!(kinds("1.5f")[0], Tok::FloatLit { value: 1.5, f32: true });
+        assert_eq!(kinds(".25")[0], Tok::FloatLit { value: 0.25, f32: false });
+        assert_eq!(kinds("2e3")[0], Tok::FloatLit { value: 2000.0, f32: false });
+        assert_eq!(kinds("1.0e-2f")[0], Tok::FloatLit { value: 0.01, f32: true });
+    }
+
+    #[test]
+    fn float_vs_member_access() {
+        // `x.y` must not lex as a float
+        let t = kinds("x.y");
+        assert_eq!(t[0], Tok::Ident("x".into()));
+        assert_eq!(t[1], Tok::Punct(Punct::Dot));
+    }
+
+    #[test]
+    fn maximal_munch_operators() {
+        let t = kinds("a <<= b >> c <= d < e");
+        assert!(t.contains(&Tok::Punct(Punct::ShlAssign)));
+        assert!(t.contains(&Tok::Punct(Punct::Shr)));
+        assert!(t.contains(&Tok::Punct(Punct::Le)));
+        assert!(t.contains(&Tok::Punct(Punct::Lt)));
+        let t = kinds("i++ + ++j");
+        assert_eq!(
+            t.iter().filter(|k| **k == Tok::Punct(Punct::PlusPlus)).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn unexpected_character_diagnosed() {
+        assert!(lex("int a = @;").is_err());
+        assert!(lex("int $x;").is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(kinds(""), vec![Tok::Eof]);
+    }
+}

@@ -1,0 +1,8 @@
+//! The OpenCL C compiler front-end: preprocessor, lexer, parser, and
+//! semantic analysis producing the executable IR in [`crate::exec::ir`].
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod pp;
+pub mod sema;

@@ -1,0 +1,784 @@
+//! Recursive-descent parser for the OpenCL C subset.
+//!
+//! The grammar covers what data-parallel kernels use in practice:
+//! function definitions (kernel and helper), scalar/pointer/array
+//! declarations with address-space qualifiers, the full C expression
+//! grammar (assignment, ternary, binary/unary operators, casts, calls,
+//! indexing, increment/decrement), and `if`/`for`/`while`/`do`/`return`/
+//! `break`/`continue`. Out of scope (diagnosed): structs, switch, goto,
+//! multi-level pointers, function pointers, and vector types.
+
+use crate::clc::ast::*;
+use crate::clc::lexer::{lex, Punct, Spanned, Tok};
+use crate::error::{Error, Result};
+use crate::types::ScalarType;
+
+/// Parse a preprocessed translation unit.
+pub fn parse(src: &str) -> Result<TranslationUnit> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.translation_unit()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek_at(&self, n: usize) -> &Tok {
+        &self.toks[(self.pos + n).min(self.toks.len() - 1)].tok
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::BuildFailure(format!("parser, line {}: {}", self.line(), msg.into()))
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if *self.peek() == Tok::Punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: Punct, what: &str) -> Result<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_ident(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    // ---- types -----------------------------------------------------------
+
+    fn peek_ident(&self) -> Option<&str> {
+        match self.peek() {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Does an identifier start a type (used for cast disambiguation and
+    /// declaration detection)?
+    fn is_type_start(&self, s: &str) -> bool {
+        matches!(
+            s,
+            "void" | "bool" | "char" | "uchar" | "short" | "ushort" | "int" | "uint" | "long"
+                | "ulong" | "float" | "double" | "unsigned" | "signed" | "size_t" | "const"
+                | "volatile" | "__global" | "global" | "__local" | "local" | "__constant"
+                | "constant" | "__private" | "private"
+        )
+    }
+
+    /// Parse optional qualifiers + base scalar type. Returns the address
+    /// space (default `Private`) and scalar type.
+    fn parse_base_type(&mut self) -> Result<(AddrSpace, Option<ScalarType>, bool)> {
+        let mut space = AddrSpace::Private;
+        let mut space_explicit = false;
+        let mut is_const = false;
+        loop {
+            match self.peek_ident() {
+                Some("const") => {
+                    is_const = true;
+                    self.bump();
+                }
+                Some("volatile") | Some("restrict") => {
+                    self.bump();
+                }
+                Some("__global") | Some("global") => {
+                    space = AddrSpace::Global;
+                    space_explicit = true;
+                    self.bump();
+                }
+                Some("__local") | Some("local") => {
+                    space = AddrSpace::Local;
+                    space_explicit = true;
+                    self.bump();
+                }
+                Some("__constant") | Some("constant") => {
+                    space = AddrSpace::Constant;
+                    space_explicit = true;
+                    self.bump();
+                }
+                Some("__private") | Some("private") => {
+                    space = AddrSpace::Private;
+                    space_explicit = true;
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        let _ = space_explicit;
+        let scalar = match self.peek_ident() {
+            Some("void") => {
+                self.bump();
+                None
+            }
+            Some("bool") => {
+                self.bump();
+                Some(ScalarType::Bool)
+            }
+            Some("char") => {
+                self.bump();
+                Some(ScalarType::I8)
+            }
+            Some("uchar") => {
+                self.bump();
+                Some(ScalarType::U8)
+            }
+            Some("short") => {
+                self.bump();
+                Some(ScalarType::I16)
+            }
+            Some("ushort") => {
+                self.bump();
+                Some(ScalarType::U16)
+            }
+            Some("int") => {
+                self.bump();
+                Some(ScalarType::I32)
+            }
+            Some("uint") => {
+                self.bump();
+                Some(ScalarType::U32)
+            }
+            Some("long") => {
+                self.bump();
+                Some(ScalarType::I64)
+            }
+            Some("ulong") => {
+                self.bump();
+                Some(ScalarType::U64)
+            }
+            Some("float") => {
+                self.bump();
+                Some(ScalarType::F32)
+            }
+            Some("double") => {
+                self.bump();
+                Some(ScalarType::F64)
+            }
+            Some("size_t") => {
+                self.bump();
+                Some(ScalarType::U64)
+            }
+            Some("signed") => {
+                self.bump();
+                match self.peek_ident() {
+                    Some("char") => {
+                        self.bump();
+                        Some(ScalarType::I8)
+                    }
+                    Some("short") => {
+                        self.bump();
+                        Some(ScalarType::I16)
+                    }
+                    Some("long") => {
+                        self.bump();
+                        Some(ScalarType::I64)
+                    }
+                    Some("int") => {
+                        self.bump();
+                        Some(ScalarType::I32)
+                    }
+                    _ => Some(ScalarType::I32),
+                }
+            }
+            Some("unsigned") => {
+                self.bump();
+                match self.peek_ident() {
+                    Some("char") => {
+                        self.bump();
+                        Some(ScalarType::U8)
+                    }
+                    Some("short") => {
+                        self.bump();
+                        Some(ScalarType::U16)
+                    }
+                    Some("long") => {
+                        self.bump();
+                        Some(ScalarType::U64)
+                    }
+                    Some("int") => {
+                        self.bump();
+                        Some(ScalarType::U32)
+                    }
+                    _ => Some(ScalarType::U32),
+                }
+            }
+            other => {
+                return Err(self.err(format!("expected a type, found {other:?}")));
+            }
+        };
+        // trailing `const` (e.g. `int const`)
+        while self.eat_ident("const") || self.eat_ident("volatile") {
+            is_const = true;
+        }
+        Ok((space, scalar, is_const))
+    }
+
+    /// Full type including one optional `*` (after which `restrict`/`const`
+    /// are accepted and ignored).
+    fn parse_full_type(&mut self) -> Result<(ClType, bool)> {
+        let (space, scalar, is_const) = self.parse_base_type()?;
+        if self.eat_punct(Punct::Star) {
+            if *self.peek() == Tok::Punct(Punct::Star) {
+                return Err(self.err("multi-level pointers are not supported"));
+            }
+            while self.eat_ident("restrict") || self.eat_ident("const") || self.eat_ident("volatile")
+            {
+            }
+            let st =
+                scalar.ok_or_else(|| self.err("`void*` pointers are not supported"))?;
+            // pointer with no explicit space defaults to global for params
+            Ok((ClType::Ptr(space_or_global(space), st), is_const))
+        } else {
+            match scalar {
+                Some(st) => Ok((ClType::Scalar(st), is_const)),
+                None => Ok((ClType::Void, is_const)),
+            }
+        }
+    }
+
+    // ---- top level --------------------------------------------------------
+
+    fn translation_unit(&mut self) -> Result<TranslationUnit> {
+        let mut tu = TranslationUnit::default();
+        while *self.peek() != Tok::Eof {
+            tu.funcs.push(self.func_def()?);
+        }
+        Ok(tu)
+    }
+
+    fn func_def(&mut self) -> Result<FuncDef> {
+        let line = self.line();
+        let mut is_kernel = false;
+        while self.eat_ident("__kernel") || self.eat_ident("kernel") {
+            is_kernel = true;
+        }
+        // attributes like __attribute__((...)) are not supported
+        let (ret, _) = self.parse_full_type()?;
+        let name = self.expect_ident()?;
+        self.expect_punct(Punct::LParen, "`(` after function name")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(Punct::RParen) {
+            loop {
+                if self.eat_ident("void") && *self.peek() == Tok::Punct(Punct::RParen) {
+                    // `f(void)`
+                    self.bump();
+                    break;
+                }
+                let (ty, is_const) = self.parse_full_type()?;
+                let pname = self.expect_ident()?;
+                if self.eat_punct(Punct::LBracket) {
+                    return Err(self.err("array-typed parameters are not supported; use a pointer"));
+                }
+                params.push(Param { name: pname, ty, is_const });
+                if self.eat_punct(Punct::RParen) {
+                    break;
+                }
+                self.expect_punct(Punct::Comma, "`,` or `)` in parameter list")?;
+            }
+        }
+        self.expect_punct(Punct::LBrace, "function body")?;
+        let body = self.block_body()?;
+        Ok(FuncDef { name, is_kernel, ret, params, body, line })
+    }
+
+    // ---- statements -------------------------------------------------------
+
+    fn block_body(&mut self) -> Result<Vec<Stmt>> {
+        let mut stmts = Vec::new();
+        while !self.eat_punct(Punct::RBrace) {
+            if *self.peek() == Tok::Eof {
+                return Err(self.err("unexpected end of input inside block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    /// A single statement or a `{}` block flattened into a Vec.
+    fn stmt_or_block(&mut self) -> Result<Vec<Stmt>> {
+        if self.eat_punct(Punct::LBrace) {
+            self.block_body()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        let line = self.line();
+        let kind = if self.eat_punct(Punct::Semi) {
+            StmtKind::Empty
+        } else if self.eat_punct(Punct::LBrace) {
+            StmtKind::Block(self.block_body()?)
+        } else if self.eat_ident("if") {
+            self.expect_punct(Punct::LParen, "`(` after if")?;
+            let cond = self.expr()?;
+            self.expect_punct(Punct::RParen, "`)` after if condition")?;
+            let then_blk = self.stmt_or_block()?;
+            let else_blk = if self.eat_ident("else") { self.stmt_or_block()? } else { vec![] };
+            StmtKind::If { cond, then_blk, else_blk }
+        } else if self.eat_ident("for") {
+            self.expect_punct(Punct::LParen, "`(` after for")?;
+            let init = if self.eat_punct(Punct::Semi) {
+                None
+            } else {
+                Some(Box::new(self.decl_or_expr_stmt()?))
+            };
+            let cond = if *self.peek() == Tok::Punct(Punct::Semi) { None } else { Some(self.expr()?) };
+            self.expect_punct(Punct::Semi, "`;` after for condition")?;
+            let step = if *self.peek() == Tok::Punct(Punct::RParen) { None } else { Some(self.expr()?) };
+            self.expect_punct(Punct::RParen, "`)` after for clauses")?;
+            let body = self.stmt_or_block()?;
+            StmtKind::For { init, cond, step, body }
+        } else if self.eat_ident("while") {
+            self.expect_punct(Punct::LParen, "`(` after while")?;
+            let cond = self.expr()?;
+            self.expect_punct(Punct::RParen, "`)` after while condition")?;
+            let body = self.stmt_or_block()?;
+            StmtKind::While { cond, body }
+        } else if self.eat_ident("do") {
+            let body = self.stmt_or_block()?;
+            if !self.eat_ident("while") {
+                return Err(self.err("expected `while` after do-body"));
+            }
+            self.expect_punct(Punct::LParen, "`(` after do..while")?;
+            let cond = self.expr()?;
+            self.expect_punct(Punct::RParen, "`)` after do..while condition")?;
+            self.expect_punct(Punct::Semi, "`;` after do..while")?;
+            StmtKind::DoWhile { body, cond }
+        } else if self.eat_ident("return") {
+            let e = if *self.peek() == Tok::Punct(Punct::Semi) { None } else { Some(self.expr()?) };
+            self.expect_punct(Punct::Semi, "`;` after return")?;
+            StmtKind::Return(e)
+        } else if self.eat_ident("break") {
+            self.expect_punct(Punct::Semi, "`;` after break")?;
+            StmtKind::Break
+        } else if self.eat_ident("continue") {
+            self.expect_punct(Punct::Semi, "`;` after continue")?;
+            StmtKind::Continue
+        } else if self.peek_ident().is_some_and(|s| matches!(s, "switch" | "goto" | "struct" | "union" | "typedef")) {
+            return Err(self.err(format!(
+                "`{}` is not supported by the oclsim OpenCL C subset",
+                self.peek_ident().unwrap()
+            )));
+        } else {
+            return self.decl_or_expr_stmt();
+        };
+        Ok(Stmt { kind, line })
+    }
+
+    /// Used both for normal statements and `for` initialisers.
+    fn decl_or_expr_stmt(&mut self) -> Result<Stmt> {
+        let line = self.line();
+        if self.peek_ident().is_some_and(|s| self.is_type_start(s)) {
+            let (space, scalar, _is_const) = self.parse_base_type()?;
+            let base = scalar.ok_or_else(|| self.err("cannot declare `void` variables"))?;
+            let mut decls = Vec::new();
+            loop {
+                let is_pointer = if self.eat_punct(Punct::Star) {
+                    while self.eat_ident("restrict") || self.eat_ident("const") {}
+                    true
+                } else {
+                    false
+                };
+                let name = self.expect_ident()?;
+                let array_len = if self.eat_punct(Punct::LBracket) {
+                    let e = self.expr()?;
+                    self.expect_punct(Punct::RBracket, "`]` after array length")?;
+                    Some(e)
+                } else {
+                    None
+                };
+                let init = if self.eat_punct(Punct::Assign) { Some(self.assign_expr()?) } else { None };
+                decls.push(Declarator { name, array_len, is_pointer, init });
+                if self.eat_punct(Punct::Semi) {
+                    break;
+                }
+                self.expect_punct(Punct::Comma, "`,` or `;` in declaration")?;
+            }
+            Ok(Stmt { kind: StmtKind::Decl { space, base, decls }, line })
+        } else {
+            let e = self.expr()?;
+            self.expect_punct(Punct::Semi, "`;` after expression statement")?;
+            Ok(Stmt { kind: StmtKind::Expr(e), line })
+        }
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.assign_expr()
+    }
+
+    fn assign_expr(&mut self) -> Result<Expr> {
+        let lhs = self.ternary_expr()?;
+        let op = match self.peek() {
+            Tok::Punct(Punct::Assign) => Some(None),
+            Tok::Punct(Punct::PlusAssign) => Some(Some(BinOp::Add)),
+            Tok::Punct(Punct::MinusAssign) => Some(Some(BinOp::Sub)),
+            Tok::Punct(Punct::StarAssign) => Some(Some(BinOp::Mul)),
+            Tok::Punct(Punct::SlashAssign) => Some(Some(BinOp::Div)),
+            Tok::Punct(Punct::PercentAssign) => Some(Some(BinOp::Rem)),
+            Tok::Punct(Punct::AmpAssign) => Some(Some(BinOp::BitAnd)),
+            Tok::Punct(Punct::PipeAssign) => Some(Some(BinOp::BitOr)),
+            Tok::Punct(Punct::CaretAssign) => Some(Some(BinOp::BitXor)),
+            Tok::Punct(Punct::ShlAssign) => Some(Some(BinOp::Shl)),
+            Tok::Punct(Punct::ShrAssign) => Some(Some(BinOp::Shr)),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let value = self.assign_expr()?;
+            Ok(Expr::Assign { op, target: Box::new(lhs), value: Box::new(value) })
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn ternary_expr(&mut self) -> Result<Expr> {
+        let cond = self.binary_expr(0)?;
+        if self.eat_punct(Punct::Question) {
+            let t = self.expr()?;
+            self.expect_punct(Punct::Colon, "`:` in ternary expression")?;
+            let f = self.ternary_expr()?;
+            Ok(Expr::Ternary { cond: Box::new(cond), t: Box::new(t), f: Box::new(f) })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn peek_binop(&self) -> Option<(BinOp, u8)> {
+        let (op, prec) = match self.peek() {
+            Tok::Punct(Punct::PipePipe) => (BinOp::LogOr, 1),
+            Tok::Punct(Punct::AmpAmp) => (BinOp::LogAnd, 2),
+            Tok::Punct(Punct::Pipe) => (BinOp::BitOr, 3),
+            Tok::Punct(Punct::Caret) => (BinOp::BitXor, 4),
+            Tok::Punct(Punct::Amp) => (BinOp::BitAnd, 5),
+            Tok::Punct(Punct::EqEq) => (BinOp::Eq, 6),
+            Tok::Punct(Punct::Ne) => (BinOp::Ne, 6),
+            Tok::Punct(Punct::Lt) => (BinOp::Lt, 7),
+            Tok::Punct(Punct::Gt) => (BinOp::Gt, 7),
+            Tok::Punct(Punct::Le) => (BinOp::Le, 7),
+            Tok::Punct(Punct::Ge) => (BinOp::Ge, 7),
+            Tok::Punct(Punct::Shl) => (BinOp::Shl, 8),
+            Tok::Punct(Punct::Shr) => (BinOp::Shr, 8),
+            Tok::Punct(Punct::Plus) => (BinOp::Add, 9),
+            Tok::Punct(Punct::Minus) => (BinOp::Sub, 9),
+            Tok::Punct(Punct::Star) => (BinOp::Mul, 10),
+            Tok::Punct(Punct::Slash) => (BinOp::Div, 10),
+            Tok::Punct(Punct::Percent) => (BinOp::Rem, 10),
+            _ => return None,
+        };
+        Some((op, prec))
+    }
+
+    fn binary_expr(&mut self, min_prec: u8) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        while let Some((op, prec)) = self.peek_binop() {
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary_expr(prec + 1)?;
+            lhs = Expr::Bin { op, l: Box::new(lhs), r: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        let op = match self.peek() {
+            Tok::Punct(Punct::Minus) => Some(UnOp::Neg),
+            Tok::Punct(Punct::Plus) => Some(UnOp::Plus),
+            Tok::Punct(Punct::Bang) => Some(UnOp::Not),
+            Tok::Punct(Punct::Tilde) => Some(UnOp::BitNot),
+            Tok::Punct(Punct::PlusPlus) => Some(UnOp::PreInc),
+            Tok::Punct(Punct::MinusMinus) => Some(UnOp::PreDec),
+            Tok::Punct(Punct::Star) => Some(UnOp::Deref),
+            Tok::Punct(Punct::Amp) => Some(UnOp::AddrOf),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let e = self.unary_expr()?;
+            return Ok(Expr::Un { op, e: Box::new(e) });
+        }
+        // cast: `(` followed by a type-start keyword
+        if *self.peek() == Tok::Punct(Punct::LParen) {
+            if let Tok::Ident(s) = self.peek_at(1) {
+                if self.is_type_start(s) {
+                    self.bump(); // (
+                    let (ty, _) = self.parse_full_type()?;
+                    self.expect_punct(Punct::RParen, "`)` after cast type")?;
+                    let e = self.unary_expr()?;
+                    return Ok(Expr::Cast { ty, e: Box::new(e) });
+                }
+            }
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr> {
+        let mut e = self.primary_expr()?;
+        loop {
+            if self.eat_punct(Punct::LBracket) {
+                let index = self.expr()?;
+                self.expect_punct(Punct::RBracket, "`]` after index")?;
+                e = Expr::Index { base: Box::new(e), index: Box::new(index) };
+            } else if self.eat_punct(Punct::PlusPlus) {
+                e = Expr::Post { op: PostOp::Inc, e: Box::new(e) };
+            } else if self.eat_punct(Punct::MinusMinus) {
+                e = Expr::Post { op: PostOp::Dec, e: Box::new(e) };
+            } else if *self.peek() == Tok::Punct(Punct::Dot) {
+                return Err(self.err("member access (structs/vector components) is not supported"));
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr> {
+        let line = self.line();
+        match self.bump() {
+            Tok::IntLit { value, unsigned, long } => Ok(Expr::IntLit { value, unsigned, long }),
+            Tok::FloatLit { value, f32 } => Ok(Expr::FloatLit { value, f32 }),
+            Tok::Ident(name) => {
+                if self.eat_punct(Punct::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(Punct::RParen) {
+                        loop {
+                            args.push(self.assign_expr()?);
+                            if self.eat_punct(Punct::RParen) {
+                                break;
+                            }
+                            self.expect_punct(Punct::Comma, "`,` or `)` in call arguments")?;
+                        }
+                    }
+                    Ok(Expr::Call { name, args })
+                } else {
+                    Ok(Expr::Ident(name))
+                }
+            }
+            Tok::Punct(Punct::LParen) => {
+                let e = self.expr()?;
+                self.expect_punct(Punct::RParen, "`)` closing parenthesised expression")?;
+                Ok(e)
+            }
+            other => Err(Error::BuildFailure(format!(
+                "parser, line {line}: unexpected token {other:?} in expression"
+            ))),
+        }
+    }
+}
+
+fn space_or_global(space: AddrSpace) -> AddrSpace {
+    // an unqualified pointer (only legal for helper-function params in real
+    // OpenCL 1.x when it aliases a global pointer) defaults to global
+    if space == AddrSpace::Private {
+        AddrSpace::Global
+    } else {
+        space
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> TranslationUnit {
+        parse(src).unwrap_or_else(|e| panic!("parse failed: {e}\nsource:\n{src}"))
+    }
+
+    #[test]
+    fn minimal_kernel() {
+        let tu = parse_ok("__kernel void f(__global float* a) { a[0] = 1.0f; }");
+        assert_eq!(tu.funcs.len(), 1);
+        let f = &tu.funcs[0];
+        assert!(f.is_kernel);
+        assert_eq!(f.name, "f");
+        assert_eq!(f.ret, ClType::Void);
+        assert_eq!(f.params[0].ty, ClType::Ptr(AddrSpace::Global, ScalarType::F32));
+        assert_eq!(f.body.len(), 1);
+    }
+
+    #[test]
+    fn saxpy_shape() {
+        let tu = parse_ok(
+            "__kernel void saxpy(__global double* y, __global const double* x, double a) {
+                 int i = get_global_id(0);
+                 y[i] = a * x[i] + y[i];
+             }",
+        );
+        let f = &tu.funcs[0];
+        assert_eq!(f.params.len(), 3);
+        assert_eq!(f.params[2].ty, ClType::Scalar(ScalarType::F64));
+        assert!(matches!(f.body[0].kind, StmtKind::Decl { .. }));
+        assert!(matches!(f.body[1].kind, StmtKind::Expr(Expr::Assign { .. })));
+    }
+
+    #[test]
+    fn precedence() {
+        let tu = parse_ok("void f() { int x = 1 + 2 * 3; }");
+        let StmtKind::Decl { decls, .. } = &tu.funcs[0].body[0].kind else { panic!() };
+        let Some(Expr::Bin { op: BinOp::Add, r, .. }) = &decls[0].init else {
+            panic!("expected + at top: {:?}", decls[0].init)
+        };
+        assert!(matches!(**r, Expr::Bin { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn comparison_binds_looser_than_shift() {
+        let tu = parse_ok("void f(int a) { if (a << 1 < 8) { a = 0; } }");
+        let StmtKind::If { cond, .. } = &tu.funcs[0].body[0].kind else { panic!() };
+        assert!(matches!(cond, Expr::Bin { op: BinOp::Lt, .. }));
+    }
+
+    #[test]
+    fn assignment_right_associative() {
+        let tu = parse_ok("void f(int a, int b) { a = b = 3; }");
+        let StmtKind::Expr(Expr::Assign { value, .. }) = &tu.funcs[0].body[0].kind else {
+            panic!()
+        };
+        assert!(matches!(**value, Expr::Assign { .. }));
+    }
+
+    #[test]
+    fn for_loop_with_decl_init() {
+        let tu = parse_ok("void f(__global int* a, int n) { for (int i = 0; i < n; i++) a[i] = i; }");
+        let StmtKind::For { init, cond, step, body } = &tu.funcs[0].body[0].kind else { panic!() };
+        assert!(matches!(init.as_deref().unwrap().kind, StmtKind::Decl { .. }));
+        assert!(cond.is_some() && step.is_some());
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn for_loop_all_clauses_empty() {
+        let tu = parse_ok("void f() { for (;;) break; }");
+        let StmtKind::For { init, cond, step, .. } = &tu.funcs[0].body[0].kind else { panic!() };
+        assert!(init.is_none() && cond.is_none() && step.is_none());
+    }
+
+    #[test]
+    fn local_array_declaration() {
+        let tu = parse_ok("__kernel void f() { __local float sdata[64]; sdata[0] = 0.0f; }");
+        let StmtKind::Decl { space, base, decls } = &tu.funcs[0].body[0].kind else { panic!() };
+        assert_eq!(*space, AddrSpace::Local);
+        assert_eq!(*base, ScalarType::F32);
+        assert!(decls[0].array_len.is_some());
+    }
+
+    #[test]
+    fn multi_declarator() {
+        let tu = parse_ok("void f() { int i = 0, j, k = 2; }");
+        let StmtKind::Decl { decls, .. } = &tu.funcs[0].body[0].kind else { panic!() };
+        assert_eq!(decls.len(), 3);
+        assert!(decls[0].init.is_some() && decls[1].init.is_none() && decls[2].init.is_some());
+    }
+
+    #[test]
+    fn cast_vs_parenthesised() {
+        let tu = parse_ok("void f(float x) { int a = (int)x; float b = (x) + 1.0f; }");
+        let StmtKind::Decl { decls, .. } = &tu.funcs[0].body[0].kind else { panic!() };
+        assert!(matches!(decls[0].init, Some(Expr::Cast { ty: ClType::Scalar(ScalarType::I32), .. })));
+        let StmtKind::Decl { decls, .. } = &tu.funcs[0].body[1].kind else { panic!() };
+        assert!(matches!(decls[0].init, Some(Expr::Bin { op: BinOp::Add, .. })));
+    }
+
+    #[test]
+    fn ternary_and_logical() {
+        parse_ok("void f(int a, int b) { int c = a > 0 && b < 4 ? a : b; }");
+    }
+
+    #[test]
+    fn do_while_and_while() {
+        parse_ok("void f(int n) { int i = 0; while (i < n) i++; do { i--; } while (i > 0); }");
+    }
+
+    #[test]
+    fn unsigned_multiword_types() {
+        let tu = parse_ok("void f(unsigned int a, unsigned long b, unsigned c) { }");
+        assert_eq!(tu.funcs[0].params[0].ty, ClType::Scalar(ScalarType::U32));
+        assert_eq!(tu.funcs[0].params[1].ty, ClType::Scalar(ScalarType::U64));
+        assert_eq!(tu.funcs[0].params[2].ty, ClType::Scalar(ScalarType::U32));
+    }
+
+    #[test]
+    fn helper_function_and_two_kernels() {
+        let tu = parse_ok(
+            "float sq(float x) { return x * x; }
+             __kernel void k1(__global float* a) { a[0] = sq(2.0f); }
+             kernel void k2(__global float* a) { a[1] = 1.0f; }",
+        );
+        assert_eq!(tu.funcs.len(), 3);
+        assert!(!tu.funcs[0].is_kernel);
+        assert!(tu.funcs[1].is_kernel && tu.funcs[2].is_kernel);
+    }
+
+    #[test]
+    fn pointer_arithmetic_and_deref() {
+        parse_ok("void f(__global float* p, int i) { *(p + i) = *p; }");
+    }
+
+    #[test]
+    fn unsupported_constructs_diagnosed() {
+        assert!(parse("void f() { switch (1) {} }").is_err());
+        assert!(parse("struct S { int a; };").is_err());
+        assert!(parse("void f(float** p) {}").is_err());
+        assert!(parse("void f(float4 v) {}").is_err());
+        assert!(parse("void f() { v.x = 1; }").is_err());
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("void f() {\n int a = ;\n}").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn barrier_call_statement() {
+        parse_ok("__kernel void f() { barrier(CLK_LOCAL_MEM_FENCE); }");
+        parse_ok("__kernel void f() { barrier(CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE); }");
+    }
+
+    #[test]
+    fn compound_assignment_targets() {
+        parse_ok("void f(__global float* a, int i) { a[i] += 1.0f; a[i + 1] *= 2.0f; }");
+    }
+}

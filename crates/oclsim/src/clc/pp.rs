@@ -1,0 +1,281 @@
+//! Minimal C preprocessor for OpenCL C sources.
+//!
+//! Supports what the benchmark kernels (NAS/SHOC/AMD-APP style) need:
+//! `//` and `/* */` comments, line continuations, object-like `#define`,
+//! `#undef`, `#ifdef` / `#ifndef` / `#else` / `#endif`, and `-D` build
+//! options. Function-like macros and `#include` are diagnosed as
+//! unsupported rather than silently mis-expanded.
+
+use std::collections::HashMap;
+
+use crate::error::{Error, Result};
+
+/// Expand preprocessor directives and macros in `source`.
+///
+/// `defines` holds the `-D` build options (name → replacement, empty string
+/// for a bare `-D NAME`).
+pub fn preprocess(source: &str, defines: &HashMap<String, String>) -> Result<String> {
+    let no_comments = strip_comments(source);
+    let joined = join_continuations(&no_comments);
+
+    let mut macros: HashMap<String, String> = defines.clone();
+    let mut out = String::with_capacity(joined.len());
+    // condition stack: (currently_active, any_branch_taken)
+    let mut cond: Vec<(bool, bool)> = Vec::new();
+
+    for (lineno, line) in joined.lines().enumerate() {
+        let active = cond.iter().all(|&(a, _)| a);
+        let trimmed = line.trim_start();
+        if let Some(directive) = trimmed.strip_prefix('#') {
+            let directive = directive.trim_start();
+            let (name, rest) = split_word(directive);
+            match name {
+                "define" if active => {
+                    let (mname, body) = split_word(rest);
+                    if mname.is_empty() {
+                        return Err(pp_err(lineno, "#define without a name"));
+                    }
+                    if body.starts_with('(') || rest.starts_with(&format!("{mname}(")) {
+                        return Err(pp_err(
+                            lineno,
+                            "function-like macros are not supported by oclsim",
+                        ));
+                    }
+                    macros.insert(mname.to_string(), body.trim().to_string());
+                }
+                "undef" if active => {
+                    let (mname, _) = split_word(rest);
+                    macros.remove(mname);
+                }
+                "ifdef" => {
+                    let (mname, _) = split_word(rest);
+                    let taken = active && macros.contains_key(mname);
+                    cond.push((taken, taken));
+                }
+                "ifndef" => {
+                    let (mname, _) = split_word(rest);
+                    let taken = active && !macros.contains_key(mname);
+                    cond.push((taken, taken));
+                }
+                "else" => {
+                    let (a, taken) = cond
+                        .pop()
+                        .ok_or_else(|| pp_err(lineno, "#else without matching #if"))?;
+                    let parent_active = cond.iter().all(|&(x, _)| x);
+                    let _ = a;
+                    cond.push((parent_active && !taken, true));
+                }
+                "endif" => {
+                    cond.pop()
+                        .ok_or_else(|| pp_err(lineno, "#endif without matching #if"))?;
+                }
+                "pragma" => { /* OPENCL EXTENSION pragmas etc. are accepted and ignored */ }
+                "include" => {
+                    return Err(pp_err(lineno, "#include is not supported by oclsim"));
+                }
+                _ if !active => { /* skipped branch: ignore unknown directives */ }
+                other => {
+                    return Err(pp_err(lineno, &format!("unsupported directive #{other}")));
+                }
+            }
+            out.push('\n'); // keep line numbering stable
+            continue;
+        }
+        if active {
+            out.push_str(&expand_line(line, &macros, lineno)?);
+        }
+        out.push('\n');
+    }
+    if !cond.is_empty() {
+        return Err(Error::BuildFailure("unterminated #if block".into()));
+    }
+    Ok(out)
+}
+
+fn pp_err(lineno: usize, msg: &str) -> Error {
+    Error::BuildFailure(format!("preprocessor, line {}: {msg}", lineno + 1))
+}
+
+fn split_word(s: &str) -> (&str, &str) {
+    let s = s.trim_start();
+    let end = s
+        .char_indices()
+        .find(|(_, c)| !(c.is_ascii_alphanumeric() || *c == '_'))
+        .map(|(i, _)| i)
+        .unwrap_or(s.len());
+    (&s[..end], &s[end..])
+}
+
+/// Replace comments with spaces, preserving newlines so diagnostics keep
+/// their line numbers.
+fn strip_comments(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+        } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            i += 2;
+            while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                if bytes[i] == b'\n' {
+                    out.push('\n');
+                }
+                i += 1;
+            }
+            i = (i + 2).min(bytes.len());
+            out.push(' ');
+        } else {
+            out.push(bytes[i] as char);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Join lines ending in a backslash.
+fn join_continuations(src: &str) -> String {
+    src.replace("\\\n", " ")
+}
+
+/// Expand object-like macros in one line, with a recursion guard.
+fn expand_line(line: &str, macros: &HashMap<String, String>, lineno: usize) -> Result<String> {
+    let mut cur = line.to_string();
+    for _ in 0..32 {
+        let (next, changed) = expand_once(&cur, macros);
+        if !changed {
+            return Ok(next);
+        }
+        cur = next;
+    }
+    Err(pp_err(lineno, "macro expansion too deep (recursive #define?)"))
+}
+
+fn expand_once(line: &str, macros: &HashMap<String, String>) -> (String, bool) {
+    let bytes = line.as_bytes();
+    let mut out = String::with_capacity(line.len());
+    let mut changed = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            let word = &line[start..i];
+            if let Some(body) = macros.get(word) {
+                out.push_str(body);
+                changed = true;
+            } else {
+                out.push_str(word);
+            }
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    (out, changed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pp(src: &str) -> String {
+        preprocess(src, &HashMap::new()).unwrap()
+    }
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let src = "int a; // trailing\nint /* mid */ b;\n/* multi\nline */ int c;";
+        let out = pp(src);
+        assert!(out.contains("int a;"));
+        assert!(!out.contains("trailing"));
+        assert!(out.contains("int   b;"));
+        assert!(out.contains("int c;"));
+        assert_eq!(out.lines().count(), src.lines().count(), "line numbering preserved");
+    }
+
+    #[test]
+    fn object_macro_expansion() {
+        let out = pp("#define N 128\n#define TWO_N (N*2)\nint a[TWO_N];\n");
+        assert!(out.contains("int a[(128*2)];"), "{out}");
+    }
+
+    #[test]
+    fn undef_stops_expansion() {
+        let out = pp("#define N 4\n#undef N\nint a = N;\n");
+        assert!(out.contains("int a = N;"));
+    }
+
+    #[test]
+    fn ifdef_branches() {
+        let src = "#define USE_A\n#ifdef USE_A\nint a;\n#else\nint b;\n#endif\n";
+        let out = pp(src);
+        assert!(out.contains("int a;") && !out.contains("int b;"));
+        let src = "#ifdef MISSING\nint a;\n#else\nint b;\n#endif\n";
+        let out = pp(src);
+        assert!(!out.contains("int a;") && out.contains("int b;"));
+    }
+
+    #[test]
+    fn ifndef_and_nested_conditionals() {
+        let src = "#ifndef X\n#ifdef Y\nint a;\n#endif\nint b;\n#endif\n";
+        let out = pp(src);
+        assert!(out.contains("int b;") && !out.contains("int a;"));
+    }
+
+    #[test]
+    fn build_option_defines() {
+        let mut defs = HashMap::new();
+        defs.insert("M".to_string(), "8".to_string());
+        let out = preprocess("int x = M;", &defs).unwrap();
+        assert!(out.contains("int x = 8;"));
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        let out = pp("#define N 9\nint NN = N; int aN = 1;\n");
+        // `NN` and `aN` must not be rewritten; the lone `N` must be
+        assert!(out.contains("int NN = 9;"), "{out}");
+        assert!(out.contains("int aN = 1;"), "{out}");
+    }
+
+    #[test]
+    fn recursive_macro_diagnosed() {
+        let err = preprocess("#define A B\n#define B A\nint x = A;\n", &HashMap::new());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn function_like_macro_rejected() {
+        assert!(preprocess("#define F(x) ((x)*2)\n", &HashMap::new()).is_err());
+    }
+
+    #[test]
+    fn include_rejected_pragma_ignored() {
+        assert!(preprocess("#include \"foo.h\"\n", &HashMap::new()).is_err());
+        assert!(preprocess(
+            "#pragma OPENCL EXTENSION cl_khr_fp64 : enable\nint a;\n",
+            &HashMap::new()
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn line_continuation() {
+        let out = pp("#define LONG 1 + \\\n 2\nint x = LONG;\n");
+        let squeezed: String = out.chars().filter(|c| !c.is_whitespace()).collect();
+        assert!(squeezed.contains("intx=1+2;"), "{out}");
+    }
+
+    #[test]
+    fn unterminated_if_diagnosed() {
+        assert!(preprocess("#ifdef A\nint x;\n", &HashMap::new()).is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! Contexts: allocation scopes tying buffers and programs to devices.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::buffer::{Buffer, MemAccess};
+use crate::device::Device;
+use crate::error::{Error, Result};
+
+/// An execution context over one or more devices, mirroring `cl_context`.
+///
+/// The context tracks how much global memory has been allocated and
+/// enforces the capacity of the smallest member device, which is how the
+/// paper's §V-C "due to its smaller memory we had to reduce the problem
+/// size" constraint shows up in the simulation.
+#[derive(Debug, Clone)]
+pub struct Context {
+    inner: Arc<ContextInner>,
+}
+
+#[derive(Debug)]
+struct ContextInner {
+    devices: Vec<Device>,
+    allocated: AtomicU64,
+    capacity: u64,
+}
+
+impl Context {
+    /// Create a context over `devices`. Fails on an empty device list.
+    pub fn new(devices: &[Device]) -> Result<Context> {
+        if devices.is_empty() {
+            return Err(Error::InvalidOperation("context needs at least one device".into()));
+        }
+        let capacity = devices
+            .iter()
+            .map(|d| d.profile().global_mem_bytes)
+            .min()
+            .expect("non-empty device list");
+        Ok(Context {
+            inner: Arc::new(ContextInner {
+                devices: devices.to_vec(),
+                allocated: AtomicU64::new(0),
+                capacity,
+            }),
+        })
+    }
+
+    /// The devices of this context.
+    pub fn devices(&self) -> &[Device] {
+        &self.inner.devices
+    }
+
+    /// Whether `device` belongs to this context.
+    pub fn contains(&self, device: &Device) -> bool {
+        self.inner.devices.iter().any(|d| d == device)
+    }
+
+    /// Total bytes currently allocated in this context.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.inner.allocated.load(Ordering::Relaxed)
+    }
+
+    /// Global-memory capacity (minimum across member devices).
+    pub fn capacity_bytes(&self) -> u64 {
+        self.inner.capacity
+    }
+
+    /// Allocate a device buffer, accounting against the context capacity.
+    pub fn create_buffer(&self, len_bytes: usize, access: MemAccess) -> Result<Buffer> {
+        let inner = &self.inner;
+        // reserve; roll back on failure
+        let prev = inner.allocated.fetch_add(len_bytes as u64, Ordering::Relaxed);
+        if prev + len_bytes as u64 > inner.capacity {
+            inner.allocated.fetch_sub(len_bytes as u64, Ordering::Relaxed);
+            return Err(Error::OutOfResources(format!(
+                "allocating {len_bytes} bytes would exceed device global memory \
+                 ({} of {} bytes in use)",
+                prev, inner.capacity
+            )));
+        }
+        Ok(Buffer::new(len_bytes, access))
+    }
+
+    /// Allocate and initialise from a host slice in one step
+    /// (the `CL_MEM_COPY_HOST_PTR` idiom).
+    pub fn create_buffer_from<T: crate::types::DeviceScalar>(
+        &self,
+        data: &[T],
+        access: MemAccess,
+    ) -> Result<Buffer> {
+        let buf = self.create_buffer(std::mem::size_of::<T>() * data.len(), access)?;
+        buf.write_slice(0, data)?;
+        Ok(buf)
+    }
+
+    /// Return the accounted bytes for a released buffer. `oclsim` buffers
+    /// are reference-counted; callers that want exact accounting release
+    /// explicitly (dropping the handle alone does not inform the context).
+    pub fn release_buffer(&self, buffer: Buffer) {
+        self.inner.allocated.fetch_sub(buffer.len_bytes() as u64, Ordering::Relaxed);
+        drop(buffer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceProfile;
+
+    fn ctx_with(profile: DeviceProfile) -> Context {
+        Context::new(&[Device::new(profile)]).unwrap()
+    }
+
+    #[test]
+    fn empty_context_rejected() {
+        assert!(Context::new(&[]).is_err());
+    }
+
+    #[test]
+    fn allocation_accounting() {
+        let ctx = ctx_with(DeviceProfile::tesla_c2050());
+        let b = ctx.create_buffer(1000, MemAccess::ReadWrite).unwrap();
+        assert_eq!(ctx.allocated_bytes(), 1000);
+        ctx.release_buffer(b);
+        assert_eq!(ctx.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn capacity_enforced_by_smallest_device() {
+        // Quadro FX 380: 256 MB. One big allocation must fail.
+        let ctx = ctx_with(DeviceProfile::quadro_fx380());
+        assert_eq!(ctx.capacity_bytes(), 256 << 20);
+        let err = ctx.create_buffer(usize::try_from(300u64 << 20).unwrap(), MemAccess::ReadWrite);
+        assert!(matches!(err, Err(Error::OutOfResources(_))));
+        // failed allocation must not leak accounting
+        assert_eq!(ctx.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn buffer_from_host_data() {
+        let ctx = ctx_with(DeviceProfile::tesla_c2050());
+        let b = ctx.create_buffer_from(&[1i32, 2, 3], MemAccess::ReadOnly).unwrap();
+        assert_eq!(b.read_vec::<i32>(0, 3).unwrap(), vec![1, 2, 3]);
+        assert_eq!(ctx.allocated_bytes(), 12);
+    }
+
+    #[test]
+    fn contains_checks_membership() {
+        let d1 = Device::new(DeviceProfile::tesla_c2050());
+        let d2 = Device::new(DeviceProfile::quadro_fx380());
+        let ctx = Context::new(&[d1.clone()]).unwrap();
+        assert!(ctx.contains(&d1));
+        assert!(!ctx.contains(&d2));
+    }
+}

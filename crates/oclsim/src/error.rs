@@ -1,0 +1,96 @@
+//! Error type shared by every layer of the simulated OpenCL platform.
+
+use std::fmt;
+
+/// Errors produced by the `oclsim` runtime, compiler, and executor.
+///
+/// The variants mirror the error classes a real OpenCL implementation
+/// reports (build failures, invalid kernel arguments, launch geometry
+/// errors, resource exhaustion), plus the execution-time faults a simulator
+/// can detect that real hardware silently turns into undefined behaviour
+/// (out-of-bounds accesses, divergent barriers).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Program compilation failed. Contains the build log.
+    BuildFailure(String),
+    /// A kernel with the requested name does not exist in the program.
+    NoSuchKernel(String),
+    /// A kernel argument was not set or has the wrong type.
+    InvalidArg { kernel: String, index: usize, reason: String },
+    /// The launch geometry is invalid (zero sizes, local does not divide
+    /// global, work-group too large, ...).
+    InvalidLaunch(String),
+    /// A device resource limit was exceeded (global/local/constant memory).
+    OutOfResources(String),
+    /// The device cannot run this kernel (e.g. fp64 code on a device
+    /// without fp64 support).
+    UnsupportedCapability(String),
+    /// A work-item accessed memory outside any allocation. Real OpenCL
+    /// makes this undefined behaviour; the simulator traps it.
+    MemoryFault { space: &'static str, offset: u64, len: u64, detail: String },
+    /// `barrier()` was executed with only part of the work-group active.
+    /// Undefined behaviour in OpenCL; trapped here.
+    BarrierDivergence(String),
+    /// Arithmetic fault trapped by the simulator (integer division by zero).
+    ArithmeticFault(String),
+    /// A host-side buffer read/write was out of range or misaligned.
+    InvalidBufferAccess(String),
+    /// Catch-all for API misuse (wrong queue/context pairing etc.).
+    InvalidOperation(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::BuildFailure(log) => write!(f, "program build failure:\n{log}"),
+            Error::NoSuchKernel(name) => write!(f, "no kernel named `{name}` in program"),
+            Error::InvalidArg { kernel, index, reason } => {
+                write!(f, "invalid argument {index} for kernel `{kernel}`: {reason}")
+            }
+            Error::InvalidLaunch(msg) => write!(f, "invalid launch: {msg}"),
+            Error::OutOfResources(msg) => write!(f, "out of resources: {msg}"),
+            Error::UnsupportedCapability(msg) => write!(f, "unsupported capability: {msg}"),
+            Error::MemoryFault { space, offset, len, detail } => write!(
+                f,
+                "memory fault in {space} memory at offset {offset} (len {len}): {detail}"
+            ),
+            Error::BarrierDivergence(msg) => write!(f, "divergent barrier: {msg}"),
+            Error::ArithmeticFault(msg) => write!(f, "arithmetic fault: {msg}"),
+            Error::InvalidBufferAccess(msg) => write!(f, "invalid buffer access: {msg}"),
+            Error::InvalidOperation(msg) => write!(f, "invalid operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = Error::BuildFailure("line 3: expected ';'".into());
+        assert!(e.to_string().contains("expected ';'"));
+        let e = Error::NoSuchKernel("foo".into());
+        assert!(e.to_string().contains("`foo`"));
+        let e = Error::MemoryFault { space: "global", offset: 40, len: 4, detail: "arg 0".into() };
+        let s = e.to_string();
+        assert!(s.contains("global") && s.contains("40"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            Error::InvalidLaunch("x".into()),
+            Error::InvalidLaunch("x".into())
+        );
+        assert_ne!(
+            Error::InvalidLaunch("x".into()),
+            Error::InvalidLaunch("y".into())
+        );
+    }
+}

@@ -1,0 +1,1055 @@
+//! SIMT lock-step interpreter: executes one work-group of a kernel.
+//!
+//! All work-items ("lanes") of the group advance through the statement tree
+//! together; per-lane control flow is realised with divergence masks
+//! ([`super::mask::Mask`]). This gives OpenCL work-group semantics exactly:
+//! `barrier()` is well-defined iff all lanes reach it with the same control
+//! history (enforced — divergence is a trapped error, where real hardware
+//! would deadlock or corrupt), and local memory is coherent within the
+//! group because the group runs on one host thread.
+//!
+//! While executing, the interpreter charges architectural events to
+//! [`GroupStats`]: instruction cycles per active warp and global-memory
+//! transactions per warp after coalescing — the inputs of the timing model.
+
+use crate::clc::ast::AddrSpace;
+use crate::error::{Error, Result};
+use crate::exec::ir::{Builtin, Ex, FuncIr, Module, St};
+use crate::exec::launch::{BoundArg, Geometry};
+use crate::exec::mask::Mask;
+use crate::exec::ops;
+use crate::timing::{CostModel, GroupStats};
+use crate::types::ScalarType;
+
+// ---- pointer encoding --------------------------------------------------------
+// [63:60] tag, [59:48] base (arg index), [47:0] byte offset
+
+const OFF_MASK: u64 = (1 << 48) - 1;
+const BASE_SHIFT: u32 = 48;
+const TAG_SHIFT: u32 = 60;
+const TAG_GLOBAL: u64 = 1;
+const TAG_CONST: u64 = 2;
+const TAG_LOCAL: u64 = 3;
+const TAG_PRIV: u64 = 4;
+
+/// Build the pointer value for kernel argument `arg_idx` in `space`.
+pub fn arg_pointer(arg_idx: usize, space: AddrSpace) -> u64 {
+    let tag = match space {
+        AddrSpace::Global => TAG_GLOBAL,
+        AddrSpace::Constant => TAG_CONST,
+        _ => unreachable!("kernel buffer args are global or constant"),
+    };
+    (tag << TAG_SHIFT) | ((arg_idx as u64) << BASE_SHIFT)
+}
+
+fn local_pointer(byte_offset: usize) -> u64 {
+    (TAG_LOCAL << TAG_SHIFT) | byte_offset as u64
+}
+
+fn priv_pointer(byte_offset: usize) -> u64 {
+    (TAG_PRIV << TAG_SHIFT) | byte_offset as u64
+}
+
+#[inline]
+fn ptr_add(ptr: u64, delta_elems: i64, elem_size: usize) -> u64 {
+    let off = ptr & OFF_MASK;
+    let new = (off as i64).wrapping_add(delta_elems.wrapping_mul(elem_size as i64)) as u64
+        & OFF_MASK;
+    (ptr & !OFF_MASK) | new
+}
+
+/// Execution environment shared by every work-group of a launch.
+pub struct LaunchEnv<'a> {
+    pub module: &'a Module,
+    pub kernel: &'a FuncIr,
+    pub args: &'a [BoundArg],
+    pub geom: Geometry,
+    pub cost: CostModel,
+    pub simd: usize,
+}
+
+/// One function activation record.
+struct Frame {
+    slots: Vec<Vec<u64>>,
+    ret_mask: Mask,
+    ret_val: Vec<u64>,
+    brk_stack: Vec<Mask>,
+    cont_stack: Vec<Mask>,
+}
+
+impl Frame {
+    fn new(func: &FuncIr, nlanes: usize) -> Frame {
+        Frame {
+            slots: func.slots.iter().map(|_| vec![0u64; nlanes]).collect(),
+            ret_mask: Mask::none(nlanes),
+            ret_val: vec![0u64; nlanes],
+            brk_stack: Vec::new(),
+            cont_stack: Vec::new(),
+        }
+    }
+
+    /// Lanes of `active` that are still running (no return/break/continue).
+    fn live(&self, active: &Mask) -> Mask {
+        let mut m = active.clone();
+        m.and_not(&self.ret_mask);
+        if let Some(b) = self.brk_stack.last() {
+            m.and_not(b);
+        }
+        if let Some(c) = self.cont_stack.last() {
+            m.and_not(c);
+        }
+        m
+    }
+}
+
+/// Interpreter state for one work-group.
+pub struct GroupRun<'a> {
+    env: &'a LaunchEnv<'a>,
+    nlanes: usize,
+    /// Per-lane local (within group) ids per dimension.
+    lid: [Vec<u64>; 3],
+    /// Per-lane global ids per dimension.
+    gid: [Vec<u64>; 3],
+    group_id: [u64; 3],
+    local_mem: Vec<u8>,
+    priv_mem: Vec<u8>,
+    priv_stride: usize,
+    pub stats: GroupStats,
+    scratch: Vec<Vec<u64>>,
+    call_depth: usize,
+    /// Direct-mapped cache of recently touched memory segments, used for
+    /// CPU-profile devices (SIMD width 1): a scalar core's caches make
+    /// consecutive accesses to one line cost one memory transaction, where
+    /// a GPU's coalescer needs the accesses to be simultaneous within a
+    /// warp. `None` on wide-SIMT devices.
+    seg_cache: Option<Vec<u64>>,
+}
+
+/// Lines in the CPU segment cache (x 64-byte segments = a 32 KiB L1).
+const SEG_CACHE_LINES: usize = 512;
+
+const MAX_CALL_DEPTH: usize = 64;
+
+impl<'a> GroupRun<'a> {
+    /// Prepare the interpreter for work-group `group` (per-dimension index).
+    pub fn new(env: &'a LaunchEnv<'a>, group: [usize; 3]) -> GroupRun<'a> {
+        let l = env.geom.local;
+        let nlanes = l[0] * l[1] * l[2];
+        let mut lid = [vec![0u64; nlanes], vec![0u64; nlanes], vec![0u64; nlanes]];
+        let mut gid = [vec![0u64; nlanes], vec![0u64; nlanes], vec![0u64; nlanes]];
+        for lane in 0..nlanes {
+            // OpenCL linearisation: dimension 0 fastest
+            let lx = lane % l[0];
+            let ly = (lane / l[0]) % l[1];
+            let lz = lane / (l[0] * l[1]);
+            let lids = [lx, ly, lz];
+            for d in 0..3 {
+                lid[d][lane] = lids[d] as u64;
+                gid[d][lane] = (group[d] * l[d] + lids[d]) as u64;
+            }
+        }
+        GroupRun {
+            env,
+            nlanes,
+            lid,
+            gid,
+            group_id: [group[0] as u64, group[1] as u64, group[2] as u64],
+            local_mem: vec![0u8; env.kernel.local_bytes()],
+            priv_mem: vec![0u8; env.kernel.priv_bytes_per_lane() * nlanes],
+            priv_stride: env.kernel.priv_bytes_per_lane(),
+            stats: GroupStats::default(),
+            scratch: Vec::new(),
+            call_depth: 0,
+            seg_cache: if env.simd == 1 {
+                Some(vec![u64::MAX; SEG_CACHE_LINES])
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Run the kernel body for every lane of this group.
+    pub fn run(&mut self) -> Result<()> {
+        let kernel = self.env.kernel;
+        let mut frame = Frame::new(kernel, self.nlanes);
+        // bind parameters
+        for (i, arg) in self.env.args.iter().enumerate() {
+            let v = match arg {
+                BoundArg::Buffer { space, .. } => arg_pointer(i, *space),
+                BoundArg::Scalar { bits, .. } => *bits,
+            };
+            frame.slots[i].fill(v);
+        }
+        let full = Mask::full(self.nlanes);
+        self.exec_block(&kernel.body, &mut frame, &full)
+    }
+
+    // ---- helpers --------------------------------------------------------
+
+    fn take_scratch(&mut self) -> Vec<u64> {
+        match self.scratch.pop() {
+            Some(mut v) => {
+                debug_assert_eq!(v.len(), self.nlanes);
+                v.iter_mut().for_each(|x| *x = 0);
+                v
+            }
+            None => vec![0u64; self.nlanes],
+        }
+    }
+
+    fn give_scratch(&mut self, v: Vec<u64>) {
+        if self.scratch.len() < 64 {
+            self.scratch.push(v);
+        }
+    }
+
+    #[inline]
+    fn charge(&mut self, cost: u32, mask: &Mask) {
+        let warps = mask.active_warps(self.env.simd) as u64;
+        self.stats.cycles += cost as u64 * warps;
+        self.stats.instructions += warps;
+    }
+
+    /// Charge global-memory transactions for the addresses of active lanes.
+    /// On SIMT devices, accesses coalesce per warp within the segment size;
+    /// on scalar (CPU-profile) devices, a direct-mapped segment cache
+    /// models line reuse across consecutive accesses.
+    fn charge_global(&mut self, addrs: &[u64], size: usize, mask: &Mask) {
+        let seg = self.env.cost.segment_bytes as u64;
+        let mut tx = 0u64;
+        if let Some(cache) = &mut self.seg_cache {
+            for lane in mask.iter() {
+                let a = addrs[lane];
+                let first = a / seg;
+                let last = (a + size as u64 - 1) / seg;
+                for s in first..=last {
+                    let slot = (s as usize) % SEG_CACHE_LINES;
+                    if cache[slot] != s {
+                        cache[slot] = s;
+                        tx += 1;
+                    }
+                }
+            }
+        } else {
+            let simd = self.env.simd;
+            let mut warp_segs: Vec<u64> = Vec::with_capacity(simd);
+            let nwarps = self.nlanes.div_ceil(simd);
+            for w in 0..nwarps {
+                warp_segs.clear();
+                let lo = w * simd;
+                let hi = ((w + 1) * simd).min(self.nlanes);
+                for lane in lo..hi {
+                    if mask.get(lane) {
+                        let a = addrs[lane];
+                        // an access may straddle two segments
+                        warp_segs.push(a / seg);
+                        let last = (a + size as u64 - 1) / seg;
+                        if last != a / seg {
+                            warp_segs.push(last);
+                        }
+                    }
+                }
+                if warp_segs.is_empty() {
+                    continue;
+                }
+                warp_segs.sort_unstable();
+                warp_segs.dedup();
+                tx += warp_segs.len() as u64;
+            }
+        }
+        self.stats.mem_transactions += tx;
+        self.charge(self.env.cost.mem_issue, mask);
+    }
+
+    fn buffer_for(&self, ptr: u64) -> Result<&crate::buffer::Buffer> {
+        let base = ((ptr >> BASE_SHIFT) & 0xFFF) as usize;
+        match self.env.args.get(base) {
+            Some(BoundArg::Buffer { buffer, .. }) => Ok(buffer),
+            _ => Err(Error::MemoryFault {
+                space: "global",
+                offset: ptr & OFF_MASK,
+                len: 0,
+                detail: format!("pointer references argument {base}, which is not a buffer"),
+            }),
+        }
+    }
+
+    fn load_lane(&self, ptr: u64, elem: ScalarType) -> Result<u64> {
+        let size = elem.size();
+        let off = ptr & OFF_MASK;
+        let raw = match ptr >> TAG_SHIFT {
+            TAG_GLOBAL | TAG_CONST => {
+                let buf = self.buffer_for(ptr)?;
+                if !buf.device_access_ok(off, size) {
+                    return Err(Error::MemoryFault {
+                        space: "global",
+                        offset: off,
+                        len: size as u64,
+                        detail: format!("buffer is {} bytes", buf.len_bytes()),
+                    });
+                }
+                buf.device_load(off, size)
+            }
+            TAG_LOCAL => {
+                let off = off as usize;
+                if off % size != 0 || off + size > self.local_mem.len() {
+                    return Err(Error::MemoryFault {
+                        space: "local",
+                        offset: off as u64,
+                        len: size as u64,
+                        detail: format!("local memory is {} bytes", self.local_mem.len()),
+                    });
+                }
+                load_le(&self.local_mem[off..off + size])
+            }
+            TAG_PRIV => {
+                // the caller rewrote the offset to include the lane base
+                let off = off as usize;
+                if off + size > self.priv_mem.len() {
+                    return Err(Error::MemoryFault {
+                        space: "private",
+                        offset: off as u64,
+                        len: size as u64,
+                        detail: "private array overrun".into(),
+                    });
+                }
+                load_le(&self.priv_mem[off..off + size])
+            }
+            _ => {
+                return Err(Error::MemoryFault {
+                    space: "unknown",
+                    offset: off,
+                    len: size as u64,
+                    detail: "dereference of a non-pointer value".into(),
+                })
+            }
+        };
+        // canonicalise: sign-extend signed loads
+        Ok(if elem.is_signed() {
+            ops::cast_bits(raw, unsigned_twin(elem), elem)
+        } else if elem == ScalarType::F32 {
+            raw & 0xFFFF_FFFF
+        } else {
+            raw
+        })
+    }
+
+    fn store_lane(&mut self, ptr: u64, elem: ScalarType, bits: u64) -> Result<()> {
+        let size = elem.size();
+        let off = ptr & OFF_MASK;
+        match ptr >> TAG_SHIFT {
+            TAG_GLOBAL => {
+                let buf = self.buffer_for(ptr)?;
+                if !buf.device_access_ok(off, size) {
+                    return Err(Error::MemoryFault {
+                        space: "global",
+                        offset: off,
+                        len: size as u64,
+                        detail: format!("buffer is {} bytes", buf.len_bytes()),
+                    });
+                }
+                buf.device_store(off, size, bits);
+                Ok(())
+            }
+            TAG_CONST => Err(Error::MemoryFault {
+                space: "constant",
+                offset: off,
+                len: size as u64,
+                detail: "store through a __constant pointer".into(),
+            }),
+            TAG_LOCAL => {
+                let off = off as usize;
+                if off % size != 0 || off + size > self.local_mem.len() {
+                    return Err(Error::MemoryFault {
+                        space: "local",
+                        offset: off as u64,
+                        len: size as u64,
+                        detail: format!("local memory is {} bytes", self.local_mem.len()),
+                    });
+                }
+                store_le(&mut self.local_mem[off..off + size], bits);
+                Ok(())
+            }
+            TAG_PRIV => {
+                let off = off as usize;
+                if off + size > self.priv_mem.len() {
+                    return Err(Error::MemoryFault {
+                        space: "private",
+                        offset: off as u64,
+                        len: size as u64,
+                        detail: "private array overrun".into(),
+                    });
+                }
+                store_le(&mut self.priv_mem[off..off + size], bits);
+                Ok(())
+            }
+            _ => Err(Error::MemoryFault {
+                space: "unknown",
+                offset: off,
+                len: size as u64,
+                detail: "store through a non-pointer value".into(),
+            }),
+        }
+    }
+
+    /// Rewrite a private-space pointer to the lane's own copy.
+    #[inline]
+    fn lane_priv(&self, ptr: u64, lane: usize) -> u64 {
+        (TAG_PRIV << TAG_SHIFT) | ((ptr & OFF_MASK) + (lane * self.priv_stride) as u64)
+    }
+
+    // ---- statement execution ---------------------------------------------
+
+    fn exec_block(&mut self, stmts: &[St], frame: &mut Frame, active: &Mask) -> Result<()> {
+        for st in stmts {
+            let live = frame.live(active);
+            if !live.any() {
+                break;
+            }
+            self.exec_stmt(st, frame, &live)?;
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(&mut self, st: &St, frame: &mut Frame, live: &Mask) -> Result<()> {
+        match st {
+            St::SetSlot { slot, value } => {
+                let v = self.eval(value, live, frame)?;
+                for lane in live.iter() {
+                    frame.slots[*slot][lane] = v[lane];
+                }
+                self.give_scratch(v);
+            }
+            St::Store { addr, elem, space, value } => {
+                let a = self.eval(addr, live, frame)?;
+                let v = self.eval(value, live, frame)?;
+                match space {
+                    AddrSpace::Global | AddrSpace::Constant => {
+                        self.charge_global(&a, elem.size(), live);
+                        for lane in live.iter() {
+                            self.store_lane(a[lane], *elem, v[lane])?;
+                        }
+                    }
+                    AddrSpace::Local => {
+                        self.charge(self.env.cost.local_access, live);
+                        self.stats.local_accesses += live.count() as u64;
+                        for lane in live.iter() {
+                            self.store_lane(a[lane], *elem, v[lane])?;
+                        }
+                    }
+                    AddrSpace::Private => {
+                        self.charge(self.env.cost.int_alu, live);
+                        for lane in live.iter() {
+                            self.store_lane(self.lane_priv(a[lane], lane), *elem, v[lane])?;
+                        }
+                    }
+                }
+                self.give_scratch(a);
+                self.give_scratch(v);
+            }
+            St::If { cond, then_blk, else_blk } => {
+                let c = self.eval(cond, live, frame)?;
+                self.charge(1, live); // branch
+                let mut t_mask = live.clone();
+                t_mask.and_truthy(&c);
+                let mut f_mask = live.clone();
+                f_mask.and_falsy(&c);
+                self.give_scratch(c);
+                if t_mask.any() {
+                    self.exec_block(then_blk, frame, &t_mask)?;
+                }
+                if f_mask.any() {
+                    self.exec_block(else_blk, frame, &f_mask)?;
+                }
+            }
+            St::Loop { cond, body, step, check_first } => {
+                let mut loop_active = live.clone();
+                if *check_first {
+                    let c = self.eval(cond, &loop_active, frame)?;
+                    self.charge(1, &loop_active);
+                    loop_active.and_truthy(&c);
+                    self.give_scratch(c);
+                }
+                while loop_active.any() {
+                    frame.brk_stack.push(Mask::none(self.nlanes));
+                    frame.cont_stack.push(Mask::none(self.nlanes));
+                    self.exec_block(body, frame, &loop_active)?;
+                    let brk = frame.brk_stack.pop().expect("pushed above");
+                    frame.cont_stack.pop();
+                    loop_active.and_not(&brk);
+                    loop_active.and_not(&frame.ret_mask);
+                    if !loop_active.any() {
+                        break;
+                    }
+                    // `continue` lanes rejoin for the step and next test
+                    self.exec_block(step, frame, &loop_active)?;
+                    loop_active.and_not(&frame.ret_mask);
+                    if !loop_active.any() {
+                        break;
+                    }
+                    let c = self.eval(cond, &loop_active, frame)?;
+                    self.charge(1, &loop_active);
+                    loop_active.and_truthy(&c);
+                    self.give_scratch(c);
+                }
+            }
+            St::Return(val) => {
+                if let Some(v) = val {
+                    let bits = self.eval(v, live, frame)?;
+                    for lane in live.iter() {
+                        frame.ret_val[lane] = bits[lane];
+                    }
+                    self.give_scratch(bits);
+                }
+                frame.ret_mask.or(live);
+            }
+            St::Break => {
+                let b = frame
+                    .brk_stack
+                    .last_mut()
+                    .expect("sema guarantees break is inside a loop");
+                b.or(live);
+            }
+            St::Continue => {
+                let c = frame
+                    .cont_stack
+                    .last_mut()
+                    .expect("sema guarantees continue is inside a loop");
+                c.or(live);
+            }
+            St::Barrier { .. } => {
+                // every lane of the group must reach the barrier together;
+                // lanes that returned or diverged make it undefined
+                // behaviour in OpenCL — trapped here
+                if self.call_depth == 0 {
+                    if live.count() != self.nlanes {
+                        return Err(Error::BarrierDivergence(format!(
+                            "barrier reached by {}/{} work-items of the group",
+                            live.count(),
+                            self.nlanes
+                        )));
+                    }
+                } else if live.count() != self.nlanes {
+                    return Err(Error::BarrierDivergence(
+                        "barrier inside a helper function reached under divergent control flow"
+                            .into(),
+                    ));
+                }
+                self.stats.barriers += 1;
+                // a barrier synchronises the whole group once — a fixed
+                // cost, not a per-lane one
+                self.stats.cycles += self.env.cost.barrier as u64;
+                self.stats.instructions += 1;
+                // lock-step execution means memory is already consistent
+            }
+            St::ExprSt(e) => {
+                let v = self.eval(e, live, frame)?;
+                self.give_scratch(v);
+            }
+        }
+        Ok(())
+    }
+
+    // ---- expression evaluation ---------------------------------------------
+
+    fn eval(&mut self, e: &Ex, mask: &Mask, frame: &Frame) -> Result<Vec<u64>> {
+        match e {
+            Ex::Const { bits, .. } => {
+                let mut out = self.take_scratch();
+                out.fill(*bits);
+                Ok(out)
+            }
+            Ex::Slot { slot, .. } => {
+                let mut out = self.take_scratch();
+                out.copy_from_slice(&frame.slots[*slot]);
+                Ok(out)
+            }
+            Ex::LocalBase { alloc, .. } => {
+                let off = self.env.kernel.local_allocs[*alloc].byte_offset;
+                let mut out = self.take_scratch();
+                out.fill(local_pointer(off));
+                Ok(out)
+            }
+            Ex::PrivBase { alloc, .. } => {
+                let off = self.env.kernel.priv_allocs[*alloc].byte_offset;
+                let mut out = self.take_scratch();
+                out.fill(priv_pointer(off));
+                Ok(out)
+            }
+            Ex::PtrAdd { ptr, offset, elem_size } => {
+                let mut p = self.eval(ptr, mask, frame)?;
+                let o = self.eval(offset, mask, frame)?;
+                self.charge(self.env.cost.int_alu, mask);
+                for lane in mask.iter() {
+                    p[lane] = ptr_add(p[lane], o[lane] as i64, *elem_size);
+                }
+                self.give_scratch(o);
+                Ok(p)
+            }
+            Ex::Load { addr, elem, space } => {
+                let a = self.eval(addr, mask, frame)?;
+                let mut out = self.take_scratch();
+                match space {
+                    AddrSpace::Global | AddrSpace::Constant => {
+                        self.charge_global(&a, elem.size(), mask);
+                    }
+                    AddrSpace::Local => {
+                        self.charge(self.env.cost.local_access, mask);
+                        self.stats.local_accesses += mask.count() as u64;
+                    }
+                    AddrSpace::Private => {
+                        self.charge(self.env.cost.int_alu, mask);
+                    }
+                }
+                for lane in mask.iter() {
+                    let ptr = if *space == AddrSpace::Private {
+                        self.lane_priv(a[lane], lane)
+                    } else {
+                        a[lane]
+                    };
+                    out[lane] = self.load_lane(ptr, *elem)?;
+                }
+                self.give_scratch(a);
+                Ok(out)
+            }
+            Ex::Bin { op, ty, l, r } => {
+                let a = self.eval(l, mask, frame)?;
+                let mut b = self.eval(r, mask, frame)?;
+                self.charge(bin_cost(&self.env.cost, *op, *ty), mask);
+                for lane in mask.iter() {
+                    b[lane] = ops::bin_op(*op, *ty, a[lane], b[lane])?;
+                }
+                self.give_scratch(a);
+                Ok(b)
+            }
+            Ex::Cmp { op, ty, l, r } => {
+                let a = self.eval(l, mask, frame)?;
+                let mut b = self.eval(r, mask, frame)?;
+                self.charge(self.env.cost.int_alu, mask);
+                for lane in mask.iter() {
+                    b[lane] = ops::cmp_op(*op, *ty, a[lane], b[lane]);
+                }
+                self.give_scratch(a);
+                Ok(b)
+            }
+            Ex::LogAnd { l, r } => {
+                let mut a = self.eval(l, mask, frame)?;
+                let mut rhs_mask = mask.clone();
+                rhs_mask.and_truthy(&a);
+                if rhs_mask.any() {
+                    let b = self.eval(r, &rhs_mask, frame)?;
+                    for lane in rhs_mask.iter() {
+                        a[lane] = b[lane];
+                    }
+                    self.give_scratch(b);
+                }
+                Ok(a)
+            }
+            Ex::LogOr { l, r } => {
+                let mut a = self.eval(l, mask, frame)?;
+                let mut rhs_mask = mask.clone();
+                rhs_mask.and_falsy(&a);
+                if rhs_mask.any() {
+                    let b = self.eval(r, &rhs_mask, frame)?;
+                    for lane in rhs_mask.iter() {
+                        a[lane] = b[lane];
+                    }
+                    self.give_scratch(b);
+                }
+                Ok(a)
+            }
+            Ex::Un { op, ty, e } => {
+                let mut a = self.eval(e, mask, frame)?;
+                self.charge(self.env.cost.int_alu, mask);
+                for lane in mask.iter() {
+                    a[lane] = ops::un_op(*op, *ty, a[lane]);
+                }
+                Ok(a)
+            }
+            Ex::Cast { from, to, e } => {
+                let mut a = self.eval(e, mask, frame)?;
+                self.charge(self.env.cost.cast, mask);
+                for lane in mask.iter() {
+                    a[lane] = ops::cast_bits(a[lane], *from, *to);
+                }
+                Ok(a)
+            }
+            Ex::Select { cond, t, f, .. } => {
+                let c = self.eval(cond, mask, frame)?;
+                let mut t_mask = mask.clone();
+                t_mask.and_truthy(&c);
+                let mut f_mask = mask.clone();
+                f_mask.and_falsy(&c);
+                self.give_scratch(c);
+                let mut out = self.take_scratch();
+                if t_mask.any() {
+                    let tv = self.eval(t, &t_mask, frame)?;
+                    for lane in t_mask.iter() {
+                        out[lane] = tv[lane];
+                    }
+                    self.give_scratch(tv);
+                }
+                if f_mask.any() {
+                    let fv = self.eval(f, &f_mask, frame)?;
+                    for lane in f_mask.iter() {
+                        out[lane] = fv[lane];
+                    }
+                    self.give_scratch(fv);
+                }
+                self.charge(self.env.cost.int_alu, mask);
+                Ok(out)
+            }
+            Ex::CallBuiltin { b, ty, args } => self.eval_builtin(*b, *ty, args, mask, frame),
+            Ex::CallFunc { func, args, .. } => self.eval_call(*func, args, mask, frame),
+        }
+    }
+
+    fn eval_builtin(
+        &mut self,
+        b: Builtin,
+        ty: ScalarType,
+        args: &[Ex],
+        mask: &Mask,
+        frame: &Frame,
+    ) -> Result<Vec<u64>> {
+        use Builtin::*;
+        if b.is_geometry() {
+            self.charge(self.env.cost.int_alu, mask);
+            let mut out = self.take_scratch();
+            if b == GetWorkDim {
+                out.fill(self.env.geom.work_dim as u64);
+                return Ok(out);
+            }
+            let dims = self.eval(&args[0], mask, frame)?;
+            for lane in mask.iter() {
+                let d = (dims[lane] as u32).min(2) as usize;
+                out[lane] = match b {
+                    GetGlobalId => self.gid[d][lane],
+                    GetLocalId => self.lid[d][lane],
+                    GetGroupId => self.group_id[d],
+                    GetGlobalSize => self.env.geom.global[d] as u64,
+                    GetLocalSize => self.env.geom.local[d] as u64,
+                    GetNumGroups => self.env.geom.num_groups()[d] as u64,
+                    _ => unreachable!(),
+                };
+            }
+            self.give_scratch(dims);
+            return Ok(out);
+        }
+        if b.is_atomic() {
+            return self.eval_atomic(b, ty, args, mask, frame);
+        }
+        // math builtins
+        let cost = math_cost(&self.env.cost, b, ty);
+        match args.len() {
+            1 => {
+                let mut a = self.eval(&args[0], mask, frame)?;
+                self.charge(cost, mask);
+                if b == AbsI {
+                    for lane in mask.iter() {
+                        a[lane] = if ty.is_signed() {
+                            let v = (a[lane] as i64).wrapping_abs();
+                            ops::cast_bits(v as u64, ScalarType::I64, ty)
+                        } else {
+                            a[lane]
+                        };
+                    }
+                } else {
+                    let f = math1_fn(b);
+                    for lane in mask.iter() {
+                        a[lane] = ops::math1(f, ty, a[lane]);
+                    }
+                }
+                Ok(a)
+            }
+            2 => {
+                let a = self.eval(&args[0], mask, frame)?;
+                let mut c = self.eval(&args[1], mask, frame)?;
+                self.charge(cost, mask);
+                if matches!(b, MaxI | MinI) {
+                    for lane in mask.iter() {
+                        c[lane] = int_minmax(b, ty, a[lane], c[lane]);
+                    }
+                } else {
+                    let f = math2_fn(b);
+                    for lane in mask.iter() {
+                        c[lane] = ops::math2(&f, ty, a[lane], c[lane]);
+                    }
+                }
+                self.give_scratch(a);
+                Ok(c)
+            }
+            3 => {
+                let a = self.eval(&args[0], mask, frame)?;
+                let bv = self.eval(&args[1], mask, frame)?;
+                let mut c = self.eval(&args[2], mask, frame)?;
+                self.charge(cost, mask);
+                for lane in mask.iter() {
+                    c[lane] = ops::math3(|x, y, z| x * y + z, ty, a[lane], bv[lane], c[lane]);
+                }
+                self.give_scratch(a);
+                self.give_scratch(bv);
+                Ok(c)
+            }
+            _ => unreachable!("sema checks builtin arities"),
+        }
+    }
+
+    fn eval_atomic(
+        &mut self,
+        b: Builtin,
+        ty: ScalarType,
+        args: &[Ex],
+        mask: &Mask,
+        frame: &Frame,
+    ) -> Result<Vec<u64>> {
+        use Builtin::*;
+        let ptrs = self.eval(&args[0], mask, frame)?;
+        let operands = if args.len() > 1 {
+            Some(self.eval(&args[1], mask, frame)?)
+        } else {
+            None
+        };
+        self.charge(self.env.cost.atomic, mask);
+        self.stats.mem_transactions += mask.count() as u64; // atomics serialise
+        let mut out = self.take_scratch();
+        for lane in mask.iter() {
+            let ptr = ptrs[lane];
+            let operand = operands.as_ref().map(|o| o[lane] as u32).unwrap_or(1);
+            let off = ptr & OFF_MASK;
+            let old = match ptr >> TAG_SHIFT {
+                TAG_GLOBAL => {
+                    let buf = self.buffer_for(ptr)?;
+                    if !buf.device_access_ok(off, 4) {
+                        return Err(Error::MemoryFault {
+                            space: "global",
+                            offset: off,
+                            len: 4,
+                            detail: "atomic out of bounds".into(),
+                        });
+                    }
+                    match b {
+                        AtomicAdd | AtomicInc => buf.device_atomic_add_u32(off, operand),
+                        AtomicSub | AtomicDec => {
+                            buf.device_atomic_add_u32(off, operand.wrapping_neg())
+                        }
+                        AtomicXchg => {
+                            let mut prev = buf.device_load(off, 4) as u32;
+                            loop {
+                                let got = buf.device_atomic_cmpxchg_u32(off, prev, operand);
+                                if got == prev {
+                                    break;
+                                }
+                                prev = got;
+                            }
+                            prev
+                        }
+                        AtomicMin | AtomicMax => {
+                            let mut prev = buf.device_load(off, 4) as u32;
+                            loop {
+                                let new = atomic_minmax(b, ty, prev, operand);
+                                let got = buf.device_atomic_cmpxchg_u32(off, prev, new);
+                                if got == prev {
+                                    break;
+                                }
+                                prev = got;
+                            }
+                            prev
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+                TAG_LOCAL => {
+                    // the group is single-threaded: plain read-modify-write
+                    let off = off as usize;
+                    if off % 4 != 0 || off + 4 > self.local_mem.len() {
+                        return Err(Error::MemoryFault {
+                            space: "local",
+                            offset: off as u64,
+                            len: 4,
+                            detail: "atomic out of bounds".into(),
+                        });
+                    }
+                    let old = load_le(&self.local_mem[off..off + 4]) as u32;
+                    let new = match b {
+                        AtomicAdd | AtomicInc => old.wrapping_add(operand),
+                        AtomicSub | AtomicDec => old.wrapping_sub(operand),
+                        AtomicXchg => operand,
+                        AtomicMin | AtomicMax => atomic_minmax(b, ty, old, operand),
+                        _ => unreachable!(),
+                    };
+                    store_le(&mut self.local_mem[off..off + 4], new as u64);
+                    old
+                }
+                _ => {
+                    return Err(Error::MemoryFault {
+                        space: "unknown",
+                        offset: off,
+                        len: 4,
+                        detail: "atomic on non-global/local pointer".into(),
+                    })
+                }
+            };
+            out[lane] = ops::cast_bits(old as u64, ScalarType::U32, ty);
+        }
+        self.give_scratch(ptrs);
+        if let Some(o) = operands {
+            self.give_scratch(o);
+        }
+        Ok(out)
+    }
+
+    fn eval_call(
+        &mut self,
+        func: usize,
+        args: &[Ex],
+        mask: &Mask,
+        frame: &Frame,
+    ) -> Result<Vec<u64>> {
+        if self.call_depth >= MAX_CALL_DEPTH {
+            return Err(Error::InvalidOperation(
+                "device call stack overflow (recursion is not supported in OpenCL C)".into(),
+            ));
+        }
+        let callee = &self.env.module.funcs[func];
+        let mut callee_frame = Frame::new(callee, self.nlanes);
+        for (i, a) in args.iter().enumerate() {
+            let v = self.eval(a, mask, frame)?;
+            callee_frame.slots[i].copy_from_slice(&v);
+            self.give_scratch(v);
+        }
+        self.charge(2, mask); // call overhead
+        self.call_depth += 1;
+        let result = self.exec_block(&callee.body, &mut callee_frame, mask);
+        self.call_depth -= 1;
+        result?;
+        let mut out = self.take_scratch();
+        out.copy_from_slice(&callee_frame.ret_val);
+        Ok(out)
+    }
+}
+
+#[inline]
+fn load_le(bytes: &[u8]) -> u64 {
+    let mut raw = [0u8; 8];
+    raw[..bytes.len()].copy_from_slice(bytes);
+    u64::from_le_bytes(raw)
+}
+
+#[inline]
+fn store_le(bytes: &mut [u8], bits: u64) {
+    let raw = bits.to_le_bytes();
+    bytes.copy_from_slice(&raw[..bytes.len()]);
+}
+
+fn unsigned_twin(t: ScalarType) -> ScalarType {
+    match t {
+        ScalarType::I8 => ScalarType::U8,
+        ScalarType::I16 => ScalarType::U16,
+        ScalarType::I32 => ScalarType::U32,
+        ScalarType::I64 => ScalarType::U64,
+        other => other,
+    }
+}
+
+fn bin_cost(cm: &CostModel, op: crate::exec::ir::BOp, ty: ScalarType) -> u32 {
+    use crate::exec::ir::BOp::*;
+    if ty.is_float() {
+        let base = match op {
+            Add | Sub | Mul => cm.f32_alu,
+            Div => cm.f32_div,
+            _ => cm.f32_alu,
+        };
+        cm.float_cost(base, ty)
+    } else {
+        match op {
+            Mul => cm.int_mul,
+            Div | Rem => cm.int_div,
+            _ => cm.int_alu,
+        }
+    }
+}
+
+fn math_cost(cm: &CostModel, b: Builtin, ty: ScalarType) -> u32 {
+    use Builtin::*;
+    let base = match b {
+        Sqrt | Rsqrt => cm.f32_sqrt,
+        Exp | Log | Log2 | Pow | Sin | Cos | Tan => cm.f32_transcendental,
+        Fmod => cm.f32_div,
+        MaxI | MinI | AbsI => return cm.int_alu,
+        _ => cm.f32_alu,
+    };
+    cm.float_cost(base, ty)
+}
+
+fn math1_fn(b: Builtin) -> fn(f64) -> f64 {
+    use Builtin::*;
+    match b {
+        Sqrt => f64::sqrt,
+        Rsqrt => |x| 1.0 / x.sqrt(),
+        Fabs => f64::abs,
+        Exp => f64::exp,
+        Log => f64::ln,
+        Log2 => f64::log2,
+        Sin => f64::sin,
+        Cos => f64::cos,
+        Tan => f64::tan,
+        Floor => f64::floor,
+        Ceil => f64::ceil,
+        Trunc => f64::trunc,
+        Round => f64::round,
+        AbsI => f64::abs, // unreachable in practice: AbsI handled as int below
+        _ => unreachable!("not a unary math builtin: {b:?}"),
+    }
+}
+
+fn math2_fn(b: Builtin) -> impl Fn(f64, f64) -> f64 {
+    use Builtin::*;
+    move |x: f64, y: f64| match b {
+        Pow => x.powf(y),
+        Fmod => x % y,
+        Fmax => x.max(y),
+        Fmin => x.min(y),
+        _ => unreachable!("not a binary math builtin: {b:?}"),
+    }
+}
+
+fn int_minmax(b: Builtin, ty: ScalarType, a: u64, c: u64) -> u64 {
+    let take_a = if ty.is_signed() {
+        let (x, y) = (a as i64, c as i64);
+        if b == Builtin::MaxI {
+            x >= y
+        } else {
+            x <= y
+        }
+    } else if b == Builtin::MaxI {
+        a >= c
+    } else {
+        a <= c
+    };
+    if take_a {
+        a
+    } else {
+        c
+    }
+}
+
+fn atomic_minmax(b: Builtin, ty: ScalarType, old: u32, operand: u32) -> u32 {
+    let take_old = if ty.is_signed() {
+        let (x, y) = (old as i32, operand as i32);
+        if b == Builtin::AtomicMax {
+            x >= y
+        } else {
+            x <= y
+        }
+    } else if b == Builtin::AtomicMax {
+        old >= operand
+    } else {
+        old <= operand
+    };
+    if take_old {
+        old
+    } else {
+        operand
+    }
+}

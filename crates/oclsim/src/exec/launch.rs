@@ -1,0 +1,334 @@
+//! NDRange launch: geometry validation and parallel execution of
+//! work-groups over a host worker pool.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::buffer::{Buffer, MemAccess};
+use crate::clc::ast::AddrSpace;
+use crate::device::Device;
+use crate::error::{Error, Result};
+use crate::exec::interp::{GroupRun, LaunchEnv};
+use crate::exec::ir::{FuncIr, Module, ParamKind};
+use crate::timing::{model_launch, CostModel, GroupStats, TimingBreakdown};
+use crate::types::ScalarType;
+
+/// A kernel argument bound for a launch.
+#[derive(Debug, Clone)]
+pub enum BoundArg {
+    /// A device buffer bound to a `__global` or `__constant` pointer.
+    Buffer { buffer: Buffer, space: AddrSpace },
+    /// A scalar passed by value (canonical bits).
+    Scalar { bits: u64, ty: ScalarType },
+}
+
+/// Launch geometry (global domain, local domain, dimensionality).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    pub global: [usize; 3],
+    pub local: [usize; 3],
+    pub work_dim: u32,
+}
+
+impl Geometry {
+    /// Construct and validate a geometry; `local = None` lets the runtime
+    /// pick a local size (mirroring passing NULL to clEnqueueNDRangeKernel).
+    pub fn new(global: &[usize], local: Option<&[usize]>, device: &Device) -> Result<Geometry> {
+        if global.is_empty() || global.len() > 3 {
+            return Err(Error::InvalidLaunch(format!(
+                "global domain must have 1-3 dimensions, got {}",
+                global.len()
+            )));
+        }
+        if global.iter().any(|&g| g == 0) {
+            return Err(Error::InvalidLaunch("global domain has a zero-sized dimension".into()));
+        }
+        let work_dim = global.len() as u32;
+        let mut g = [1usize; 3];
+        g[..global.len()].copy_from_slice(global);
+
+        let max_wg = device.profile().max_work_group_size;
+        let l = match local {
+            Some(local) => {
+                if local.len() != global.len() {
+                    return Err(Error::InvalidLaunch(
+                        "local domain must have the same number of dimensions as the global domain"
+                            .into(),
+                    ));
+                }
+                let mut l = [1usize; 3];
+                l[..local.len()].copy_from_slice(local);
+                for d in 0..3 {
+                    if l[d] == 0 {
+                        return Err(Error::InvalidLaunch("zero-sized local dimension".into()));
+                    }
+                    if g[d] % l[d] != 0 {
+                        return Err(Error::InvalidLaunch(format!(
+                            "local size {} does not divide global size {} in dimension {d}",
+                            l[d], g[d]
+                        )));
+                    }
+                }
+                l
+            }
+            None => Self::default_local(g, max_wg),
+        };
+        let group_items: usize = l.iter().product();
+        if group_items > max_wg {
+            return Err(Error::InvalidLaunch(format!(
+                "work-group of {group_items} work-items exceeds the device maximum of {max_wg}"
+            )));
+        }
+        Ok(Geometry { global: g, local: l, work_dim })
+    }
+
+    /// The library's default local-domain choice: the largest power of two
+    /// ≤ min(max_wg, global) that divides the global size in dimension 0,
+    /// 1 elsewhere. (This is HPL's "the local domain is chosen by the
+    /// library" behaviour.)
+    fn default_local(global: [usize; 3], max_wg: usize) -> [usize; 3] {
+        let mut l0 = 1usize;
+        let mut candidate = 1usize;
+        while candidate * 2 <= max_wg.min(global[0]) {
+            candidate *= 2;
+            if global[0] % candidate == 0 {
+                l0 = candidate;
+            }
+        }
+        [l0, 1, 1]
+    }
+
+    /// Work-groups per dimension.
+    pub fn num_groups(&self) -> [usize; 3] {
+        [
+            self.global[0] / self.local[0],
+            self.global[1] / self.local[1],
+            self.global[2] / self.local[2],
+        ]
+    }
+
+    /// Total number of work-groups.
+    pub fn total_groups(&self) -> usize {
+        self.num_groups().iter().product()
+    }
+
+    /// Total number of work-items.
+    pub fn total_items(&self) -> usize {
+        self.global.iter().product()
+    }
+}
+
+/// Validate that bound arguments match the kernel signature and the device
+/// can run the kernel.
+pub fn validate_launch(
+    kernel: &FuncIr,
+    args: &[BoundArg],
+    geom: &Geometry,
+    device: &Device,
+) -> Result<()> {
+    let profile = device.profile();
+    if kernel.uses_fp64 && !profile.fp64 {
+        return Err(Error::UnsupportedCapability(format!(
+            "kernel `{}` uses double precision, which `{}` does not support",
+            kernel.name, profile.name
+        )));
+    }
+    if kernel.local_bytes() > profile.local_mem_bytes as usize {
+        return Err(Error::OutOfResources(format!(
+            "kernel `{}` needs {} bytes of local memory; device `{}` has {}",
+            kernel.name,
+            kernel.local_bytes(),
+            profile.name,
+            profile.local_mem_bytes
+        )));
+    }
+    if args.len() != kernel.params.len() {
+        return Err(Error::InvalidArg {
+            kernel: kernel.name.clone(),
+            index: args.len().min(kernel.params.len()),
+            reason: format!(
+                "kernel has {} parameters but {} arguments are bound",
+                kernel.params.len(),
+                args.len()
+            ),
+        });
+    }
+    for (i, (arg, param)) in args.iter().zip(&kernel.params).enumerate() {
+        let fail = |reason: String| Error::InvalidArg { kernel: kernel.name.clone(), index: i, reason };
+        match (&param.kind, arg) {
+            (ParamKind::GlobalPtr { .. }, BoundArg::Buffer { buffer, space: AddrSpace::Global }) => {
+                if param.writes && buffer.access() == MemAccess::ReadOnly {
+                    return Err(fail("kernel writes through this parameter but the buffer is read-only".into()));
+                }
+                if param.reads && buffer.access() == MemAccess::WriteOnly {
+                    return Err(fail("kernel reads through this parameter but the buffer is write-only".into()));
+                }
+            }
+            (ParamKind::ConstantPtr { .. }, BoundArg::Buffer { buffer, space: AddrSpace::Constant }) => {
+                if buffer.len_bytes() > profile.constant_mem_bytes as usize {
+                    return Err(fail(format!(
+                        "constant buffer of {} bytes exceeds the device's {}-byte constant memory",
+                        buffer.len_bytes(),
+                        profile.constant_mem_bytes
+                    )));
+                }
+            }
+            (ParamKind::Scalar(want), BoundArg::Scalar { ty, .. }) => {
+                if want != ty {
+                    return Err(fail(format!(
+                        "scalar argument has type {}, kernel expects {}",
+                        ty.cl_name(),
+                        want.cl_name()
+                    )));
+                }
+            }
+            _ => {
+                return Err(fail("argument kind does not match the parameter".into()));
+            }
+        }
+    }
+    // barriers synchronise within a group; a 1-item group is always fine,
+    // but groups must fit (already checked in Geometry::new against device)
+    let _ = geom;
+    Ok(())
+}
+
+/// Number of host worker threads used to execute work-groups.
+pub fn worker_threads() -> usize {
+    if let Ok(v) = std::env::var("OCLSIM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Execute a validated launch and return the modeled timing.
+pub fn run_ndrange(
+    module: &Module,
+    kernel: &FuncIr,
+    args: &[BoundArg],
+    geom: Geometry,
+    device: &Device,
+) -> Result<TimingBreakdown> {
+    let env = LaunchEnv {
+        module,
+        kernel,
+        args,
+        geom,
+        cost: CostModel::for_device(device.profile()),
+        simd: device.profile().simd_width.max(1) as usize,
+    };
+    let ngroups = geom.num_groups();
+    let total = geom.total_groups();
+
+    let nthreads = worker_threads().min(total).max(1);
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let first_error: Mutex<Option<Error>> = Mutex::new(None);
+    let all_stats: Mutex<Vec<GroupStats>> = Mutex::new(Vec::with_capacity(total));
+
+    let run_worker = || {
+        let mut local_stats: Vec<GroupStats> = Vec::new();
+        loop {
+            if failed.load(Ordering::Relaxed) {
+                break;
+            }
+            let g = next.fetch_add(1, Ordering::Relaxed);
+            if g >= total {
+                break;
+            }
+            let gx = g % ngroups[0];
+            let gy = (g / ngroups[0]) % ngroups[1];
+            let gz = g / (ngroups[0] * ngroups[1]);
+            let mut run = GroupRun::new(&env, [gx, gy, gz]);
+            match run.run() {
+                Ok(()) => local_stats.push(run.stats),
+                Err(e) => {
+                    failed.store(true, Ordering::Relaxed);
+                    let mut slot = first_error.lock();
+                    if slot.is_none() {
+                        *slot = Some(e);
+                    }
+                    break;
+                }
+            }
+        }
+        all_stats.lock().extend(local_stats);
+    };
+
+    if nthreads <= 1 {
+        run_worker();
+    } else {
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..nthreads {
+                scope.spawn(|_| run_worker());
+            }
+        })
+        .expect("worker threads do not panic");
+    }
+
+    if let Some(e) = first_error.lock().take() {
+        return Err(e);
+    }
+    let stats = all_stats.into_inner();
+    Ok(model_launch(device.profile(), &stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceProfile;
+
+    fn dev() -> Device {
+        Device::new(DeviceProfile::tesla_c2050())
+    }
+
+    #[test]
+    fn geometry_defaults() {
+        let g = Geometry::new(&[1000], None, &dev()).unwrap();
+        assert_eq!(g.work_dim, 1);
+        assert_eq!(g.global, [1000, 1, 1]);
+        // largest power of two dividing 1000 under 1024 is 8
+        assert_eq!(g.local, [8, 1, 1]);
+        assert_eq!(g.total_groups(), 125);
+    }
+
+    #[test]
+    fn geometry_pow2_default_local() {
+        let g = Geometry::new(&[4096], None, &dev()).unwrap();
+        assert_eq!(g.local, [1024, 1, 1]);
+        let g = Geometry::new(&[512], None, &dev()).unwrap();
+        assert_eq!(g.local, [512, 1, 1]);
+    }
+
+    #[test]
+    fn geometry_2d() {
+        let g = Geometry::new(&[4, 8], Some(&[2, 4]), &dev()).unwrap();
+        assert_eq!(g.work_dim, 2);
+        assert_eq!(g.global, [4, 8, 1]);
+        assert_eq!(g.local, [2, 4, 1]);
+        assert_eq!(g.num_groups(), [2, 2, 1]);
+        assert_eq!(g.total_items(), 32);
+    }
+
+    #[test]
+    fn geometry_validation_errors() {
+        assert!(Geometry::new(&[], None, &dev()).is_err());
+        assert!(Geometry::new(&[0], None, &dev()).is_err());
+        assert!(Geometry::new(&[10], Some(&[3]), &dev()).is_err(), "3 does not divide 10");
+        assert!(Geometry::new(&[8, 8], Some(&[8]), &dev()).is_err(), "dim mismatch");
+        assert!(
+            Geometry::new(&[2048, 2048], Some(&[2048, 1]), &dev()).is_err(),
+            "group too large"
+        );
+        assert!(Geometry::new(&[1, 2, 3, 4], None, &dev()).is_err());
+    }
+
+    #[test]
+    fn prime_global_gets_local_1() {
+        let g = Geometry::new(&[997], None, &dev()).unwrap();
+        assert_eq!(g.local, [1, 1, 1]);
+    }
+}

@@ -1,0 +1,228 @@
+//! Lane activity masks for SIMT lock-step execution.
+//!
+//! A [`Mask`] tracks which work-items of a work-group are active at the
+//! current point of execution. Structured control flow (if/loop/return/
+//! break/continue) only ever intersects and subtracts masks, which is how
+//! real GPUs manage divergence and reconvergence.
+
+/// A fixed-width bitset over the lanes of one work-group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mask {
+    words: Vec<u64>,
+    nlanes: usize,
+}
+
+impl Mask {
+    /// All `nlanes` lanes active.
+    pub fn full(nlanes: usize) -> Mask {
+        let nwords = nlanes.div_ceil(64);
+        let mut words = vec![u64::MAX; nwords];
+        let rem = nlanes % 64;
+        if rem != 0 {
+            words[nwords - 1] = (1u64 << rem) - 1;
+        }
+        if nlanes == 0 {
+            words.clear();
+        }
+        Mask { words, nlanes }
+    }
+
+    /// No lanes active.
+    pub fn none(nlanes: usize) -> Mask {
+        Mask { words: vec![0; nlanes.div_ceil(64)], nlanes }
+    }
+
+    /// Number of lanes this mask covers.
+    pub fn nlanes(&self) -> usize {
+        self.nlanes
+    }
+
+    /// Is `lane` active?
+    #[inline]
+    pub fn get(&self, lane: usize) -> bool {
+        (self.words[lane / 64] >> (lane % 64)) & 1 != 0
+    }
+
+    /// Activate `lane`.
+    #[inline]
+    pub fn set(&mut self, lane: usize) {
+        self.words[lane / 64] |= 1 << (lane % 64);
+    }
+
+    /// Deactivate `lane`.
+    #[inline]
+    pub fn clear(&mut self, lane: usize) {
+        self.words[lane / 64] &= !(1 << (lane % 64));
+    }
+
+    /// Any lane active?
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|w| *w != 0)
+    }
+
+    /// Number of active lanes.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `self &= other`
+    pub fn and(&mut self, other: &Mask) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// `self &= !other`
+    pub fn and_not(&mut self, other: &Mask) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// `self |= other`
+    pub fn or(&mut self, other: &Mask) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Keep lanes whose entry in `vals` is non-zero (a lowered Bool vector).
+    pub fn and_truthy(&mut self, vals: &[u64]) {
+        for lane in 0..self.nlanes {
+            if self.get(lane) && vals[lane] == 0 {
+                self.clear(lane);
+            }
+        }
+    }
+
+    /// Keep lanes whose entry in `vals` is zero.
+    pub fn and_falsy(&mut self, vals: &[u64]) {
+        for lane in 0..self.nlanes {
+            if self.get(lane) && vals[lane] != 0 {
+                self.clear(lane);
+            }
+        }
+    }
+
+    /// Iterate over active lane indices.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, w)| {
+            let mut w = *w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+
+    /// Number of SIMD batches ("warps") of width `simd` that contain at
+    /// least one active lane — the unit at which instruction cost and
+    /// memory coalescing are charged.
+    pub fn active_warps(&self, simd: usize) -> usize {
+        if simd == 0 {
+            return 0;
+        }
+        let nwarps = self.nlanes.div_ceil(simd);
+        (0..nwarps)
+            .filter(|w| {
+                let lo = w * simd;
+                let hi = ((w + 1) * simd).min(self.nlanes);
+                (lo..hi).any(|l| self.get(l))
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_and_none() {
+        let f = Mask::full(70);
+        assert_eq!(f.count(), 70);
+        assert!(f.get(0) && f.get(69));
+        let n = Mask::none(70);
+        assert_eq!(n.count(), 0);
+        assert!(!n.any());
+    }
+
+    #[test]
+    fn full_exact_word_boundary() {
+        let f = Mask::full(64);
+        assert_eq!(f.count(), 64);
+        assert!(f.get(63));
+        let f = Mask::full(128);
+        assert_eq!(f.count(), 128);
+    }
+
+    #[test]
+    fn set_clear_get() {
+        let mut m = Mask::none(100);
+        m.set(3);
+        m.set(99);
+        assert!(m.get(3) && m.get(99) && !m.get(4));
+        m.clear(3);
+        assert!(!m.get(3));
+        assert_eq!(m.count(), 1);
+    }
+
+    #[test]
+    fn boolean_ops() {
+        let mut a = Mask::none(10);
+        a.set(1);
+        a.set(2);
+        let mut b = Mask::none(10);
+        b.set(2);
+        b.set(3);
+        let mut and = a.clone();
+        and.and(&b);
+        assert_eq!(and.iter().collect::<Vec<_>>(), vec![2]);
+        let mut andnot = a.clone();
+        andnot.and_not(&b);
+        assert_eq!(andnot.iter().collect::<Vec<_>>(), vec![1]);
+        let mut or = a;
+        or.or(&b);
+        assert_eq!(or.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn truthy_filters() {
+        let mut m = Mask::full(4);
+        m.and_truthy(&[1, 0, 5, 0]);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 2]);
+        let mut m = Mask::full(4);
+        m.and_falsy(&[1, 0, 5, 0]);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn iter_crosses_word_boundaries() {
+        let mut m = Mask::none(130);
+        m.set(0);
+        m.set(63);
+        m.set(64);
+        m.set(129);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 63, 64, 129]);
+    }
+
+    #[test]
+    fn warp_counting() {
+        let mut m = Mask::none(64);
+        m.set(0); // warp 0
+        m.set(33); // warp 1 (width 32)
+        assert_eq!(m.active_warps(32), 2);
+        assert_eq!(m.active_warps(64), 1);
+        assert_eq!(Mask::full(64).active_warps(32), 2);
+        assert_eq!(Mask::none(64).active_warps(32), 0);
+        // uneven tail: 65 lanes with simd 32 -> 3 warps
+        assert_eq!(Mask::full(65).active_warps(32), 3);
+        // scalar "warps" (CPU profile)
+        assert_eq!(Mask::full(8).active_warps(1), 8);
+    }
+}

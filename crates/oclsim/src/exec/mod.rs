@@ -1,0 +1,9 @@
+//! The simulated device back-end: executable IR, SIMT lock-step
+//! interpreter, divergence masks, scalar operation semantics, and the
+//! NDRange launcher that spreads work-groups over host threads.
+
+pub mod interp;
+pub mod ir;
+pub mod launch;
+pub mod mask;
+pub mod ops;

@@ -1,0 +1,103 @@
+//! Platform discovery: the entry point of the simulated OpenCL stack.
+//!
+//! A [`Platform`] owns a set of [`Device`]s. The default platform exposes
+//! the paper's testbed: a Tesla-class GPU, a Quadro-class GPU, and the Xeon
+//! host CPU, so code written against `oclsim` sees the same device zoo the
+//! paper's machines provided.
+
+use crate::device::{Device, DeviceProfile, DeviceType};
+
+/// A simulated OpenCL platform: a named collection of devices.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    name: String,
+    devices: Vec<Device>,
+}
+
+impl Platform {
+    /// The default platform, mirroring the paper's testbed (§V-B/§V-C):
+    /// one Tesla C2050/C2070-class GPU, one Quadro FX 380-class GPU and the
+    /// Xeon host as a CPU device, in that order.
+    pub fn default_platform() -> Self {
+        Platform {
+            name: "oclsim (paper testbed)".into(),
+            devices: vec![
+                Device::new(DeviceProfile::tesla_c2050()),
+                Device::new(DeviceProfile::quadro_fx380()),
+                Device::new(DeviceProfile::xeon_host()),
+            ],
+        }
+    }
+
+    /// Build a platform with a custom device list (for tests and ablations).
+    pub fn with_devices(name: impl Into<String>, profiles: Vec<DeviceProfile>) -> Self {
+        Platform {
+            name: name.into(),
+            devices: profiles.into_iter().map(Device::new).collect(),
+        }
+    }
+
+    /// Platform name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All devices of the platform in discovery order.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Devices of a given type.
+    pub fn devices_of_type(&self, ty: DeviceType) -> Vec<Device> {
+        self.devices.iter().filter(|d| d.device_type() == ty).cloned().collect()
+    }
+
+    /// The device HPL selects by default: "the first device found in the
+    /// system that is not a standard general-purpose CPU" (§III-C). Falls
+    /// back to the first device if only CPUs exist.
+    pub fn default_accelerator(&self) -> Option<Device> {
+        self.devices
+            .iter()
+            .find(|d| d.device_type() != DeviceType::Cpu)
+            .or_else(|| self.devices.first())
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_platform_has_paper_devices() {
+        let p = Platform::default_platform();
+        assert_eq!(p.devices().len(), 3);
+        assert_eq!(p.devices_of_type(DeviceType::Gpu).len(), 2);
+        assert_eq!(p.devices_of_type(DeviceType::Cpu).len(), 1);
+    }
+
+    #[test]
+    fn default_accelerator_is_first_non_cpu() {
+        let p = Platform::default_platform();
+        let d = p.default_accelerator().unwrap();
+        assert_eq!(d.device_type(), DeviceType::Gpu);
+        assert!(d.name().contains("Tesla"));
+    }
+
+    #[test]
+    fn cpu_only_platform_falls_back_to_cpu() {
+        let p = Platform::with_devices("cpu-only", vec![DeviceProfile::xeon_host()]);
+        let d = p.default_accelerator().unwrap();
+        assert_eq!(d.device_type(), DeviceType::Cpu);
+    }
+
+    #[test]
+    fn custom_platform_preserves_order() {
+        let p = Platform::with_devices(
+            "two-gpus",
+            vec![DeviceProfile::quadro_fx380(), DeviceProfile::tesla_c2050()],
+        );
+        assert!(p.devices()[0].name().contains("Quadro"));
+        assert!(p.default_accelerator().unwrap().name().contains("Quadro"));
+    }
+}

@@ -1,0 +1,358 @@
+//! Programs and kernels: the `clCreateProgramWithSource` /
+//! `clBuildProgram` / `clCreateKernel` surface of the simulated platform.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::buffer::Buffer;
+use crate::clc::ast::AddrSpace;
+use crate::clc::{parser, pp, sema};
+use crate::context::Context;
+use crate::error::{Error, Result};
+use crate::exec::ir::{FuncId, FuncIr, Module, ParamKind};
+use crate::exec::launch::BoundArg;
+use crate::types::Value;
+
+/// A program created from OpenCL C source, compiled by [`Program::build`].
+#[derive(Clone)]
+pub struct Program {
+    inner: Arc<ProgramInner>,
+}
+
+struct ProgramInner {
+    context: Context,
+    source: String,
+    built: Mutex<Option<Arc<Module>>>,
+    build_log: Mutex<String>,
+    build_time: Mutex<Duration>,
+}
+
+impl Program {
+    /// Create a program from source. Compilation happens in [`Program::build`].
+    pub fn from_source(context: &Context, source: impl Into<String>) -> Program {
+        Program {
+            inner: Arc::new(ProgramInner {
+                context: context.clone(),
+                source: source.into(),
+                built: Mutex::new(None),
+                build_log: Mutex::new(String::new()),
+                build_time: Mutex::new(Duration::ZERO),
+            }),
+        }
+    }
+
+    /// Compile the program. `options` supports `-D NAME[=VALUE]` (and the
+    /// attached `-DNAME[=VALUE]` form); `-cl-*` flags are accepted and
+    /// ignored, as a real driver would for unknown-but-valid options.
+    pub fn build(&self, options: &str) -> Result<()> {
+        let start = std::time::Instant::now();
+        let defines = parse_build_options(options)?;
+        let result = pp::preprocess(&self.inner.source, &defines)
+            .and_then(|src| parser::parse(&src))
+            .and_then(|tu| sema::analyze(&tu));
+        *self.inner.build_time.lock() = start.elapsed();
+        match result {
+            Ok(module) => {
+                *self.inner.built.lock() = Some(Arc::new(module));
+                *self.inner.build_log.lock() = "build successful".into();
+                Ok(())
+            }
+            Err(e) => {
+                let log = e.to_string();
+                *self.inner.build_log.lock() = log.clone();
+                Err(Error::BuildFailure(log))
+            }
+        }
+    }
+
+    /// The build log of the last [`Program::build`] call.
+    pub fn build_log(&self) -> String {
+        self.inner.build_log.lock().clone()
+    }
+
+    /// Wall-clock time the last build took (the paper's "compilation of the
+    /// kernel" cost, which HPL's binary cache amortises).
+    pub fn build_duration(&self) -> Duration {
+        *self.inner.build_time.lock()
+    }
+
+    /// The context this program belongs to.
+    pub fn context(&self) -> &Context {
+        &self.inner.context
+    }
+
+    /// The original source.
+    pub fn source(&self) -> &str {
+        &self.inner.source
+    }
+
+    /// Names of the kernels in the built program.
+    pub fn kernel_names(&self) -> Result<Vec<String>> {
+        let built = self.inner.built.lock();
+        let module = built.as_ref().ok_or_else(|| {
+            Error::InvalidOperation("program has not been built".into())
+        })?;
+        let mut names: Vec<String> = module.kernels.keys().cloned().collect();
+        names.sort();
+        Ok(names)
+    }
+
+    /// Create a kernel object for `name`.
+    pub fn kernel(&self, name: &str) -> Result<Kernel> {
+        let built = self.inner.built.lock();
+        let module = built.as_ref().ok_or_else(|| {
+            Error::InvalidOperation("program has not been built".into())
+        })?;
+        let &func = module
+            .kernels
+            .get(name)
+            .ok_or_else(|| Error::NoSuchKernel(name.to_string()))?;
+        let nargs = module.funcs[func].params.len();
+        Ok(Kernel {
+            inner: Arc::new(KernelInner {
+                module: Arc::clone(module),
+                func,
+                name: name.to_string(),
+                args: Mutex::new(vec![None; nargs]),
+            }),
+        })
+    }
+}
+
+fn parse_build_options(options: &str) -> Result<HashMap<String, String>> {
+    let mut defines = HashMap::new();
+    let mut it = options.split_whitespace().peekable();
+    while let Some(tok) = it.next() {
+        if tok == "-D" {
+            let Some(def) = it.next() else {
+                return Err(Error::BuildFailure("-D without a macro name".into()));
+            };
+            insert_define(&mut defines, def);
+        } else if let Some(def) = tok.strip_prefix("-D") {
+            insert_define(&mut defines, def);
+        } else if tok.starts_with("-cl-") || tok == "-w" || tok == "-Werror" {
+            // accepted and ignored
+        } else {
+            return Err(Error::BuildFailure(format!("unknown build option `{tok}`")));
+        }
+    }
+    Ok(defines)
+}
+
+fn insert_define(defines: &mut HashMap<String, String>, def: &str) {
+    match def.split_once('=') {
+        Some((name, value)) => defines.insert(name.to_string(), value.to_string()),
+        None => defines.insert(def.to_string(), "1".to_string()),
+    };
+}
+
+/// A kernel object with its bound arguments, mirroring `cl_kernel`.
+#[derive(Clone)]
+pub struct Kernel {
+    inner: Arc<KernelInner>,
+}
+
+struct KernelInner {
+    module: Arc<Module>,
+    func: FuncId,
+    name: String,
+    args: Mutex<Vec<Option<BoundArg>>>,
+}
+
+impl Kernel {
+    /// Kernel name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The compiled module (used by the executor).
+    pub(crate) fn module(&self) -> &Arc<Module> {
+        &self.inner.module
+    }
+
+    /// The kernel's IR (used by the executor and by introspection).
+    pub fn func_ir(&self) -> &FuncIr {
+        &self.inner.module.funcs[self.inner.func]
+    }
+
+    /// Number of declared parameters.
+    pub fn num_args(&self) -> usize {
+        self.func_ir().params.len()
+    }
+
+    /// Whether the kernel (transitively) reads through pointer param `i`.
+    pub fn arg_is_read(&self, i: usize) -> bool {
+        self.func_ir().params.get(i).is_some_and(|p| p.reads)
+    }
+
+    /// Whether the kernel (transitively) writes through pointer param `i`.
+    pub fn arg_is_written(&self, i: usize) -> bool {
+        self.func_ir().params.get(i).is_some_and(|p| p.writes)
+    }
+
+    /// Bind a buffer to pointer parameter `index`.
+    pub fn set_arg_buffer(&self, index: usize, buffer: &Buffer) -> Result<()> {
+        let space = match self.param_kind(index)? {
+            ParamKind::GlobalPtr { .. } => AddrSpace::Global,
+            ParamKind::ConstantPtr { .. } => AddrSpace::Constant,
+            other => {
+                return Err(Error::InvalidArg {
+                    kernel: self.inner.name.clone(),
+                    index,
+                    reason: format!("parameter is {other:?}, not a buffer pointer"),
+                })
+            }
+        };
+        self.inner.args.lock()[index] =
+            Some(BoundArg::Buffer { buffer: buffer.clone(), space });
+        Ok(())
+    }
+
+    /// Bind a scalar value to parameter `index`.
+    pub fn set_arg_scalar(&self, index: usize, value: impl Into<Value>) -> Result<()> {
+        let value = value.into();
+        match self.param_kind(index)? {
+            ParamKind::Scalar(want) => {
+                if want != value.scalar_type() {
+                    return Err(Error::InvalidArg {
+                        kernel: self.inner.name.clone(),
+                        index,
+                        reason: format!(
+                            "scalar argument has type {}, kernel expects {}",
+                            value.scalar_type().cl_name(),
+                            want.cl_name()
+                        ),
+                    });
+                }
+            }
+            other => {
+                return Err(Error::InvalidArg {
+                    kernel: self.inner.name.clone(),
+                    index,
+                    reason: format!("parameter is {other:?}, not a scalar"),
+                })
+            }
+        }
+        self.inner.args.lock()[index] =
+            Some(BoundArg::Scalar { bits: value.to_bits(), ty: value.scalar_type() });
+        Ok(())
+    }
+
+    fn param_kind(&self, index: usize) -> Result<ParamKind> {
+        self.func_ir()
+            .params
+            .get(index)
+            .map(|p| p.kind)
+            .ok_or_else(|| Error::InvalidArg {
+                kernel: self.inner.name.clone(),
+                index,
+                reason: format!("kernel has only {} parameters", self.num_args()),
+            })
+    }
+
+    /// Snapshot the bound arguments, failing if any is unset.
+    pub(crate) fn bound_args(&self) -> Result<Vec<BoundArg>> {
+        let args = self.inner.args.lock();
+        args.iter()
+            .enumerate()
+            .map(|(i, a)| {
+                a.clone().ok_or_else(|| Error::InvalidArg {
+                    kernel: self.inner.name.clone(),
+                    index: i,
+                    reason: "argument was never set".into(),
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::MemAccess;
+    use crate::device::{Device, DeviceProfile};
+
+    fn ctx() -> Context {
+        Context::new(&[Device::new(DeviceProfile::tesla_c2050())]).unwrap()
+    }
+
+    const SRC: &str = "__kernel void fill(__global float* out, float v) {
+        out[get_global_id(0)] = v;
+    }";
+
+    #[test]
+    fn build_and_introspect() {
+        let p = Program::from_source(&ctx(), SRC);
+        p.build("").unwrap();
+        assert_eq!(p.kernel_names().unwrap(), vec!["fill".to_string()]);
+        let k = p.kernel("fill").unwrap();
+        assert_eq!(k.num_args(), 2);
+        assert!(k.arg_is_written(0) && !k.arg_is_read(0));
+        assert!(p.build_duration() > Duration::ZERO);
+        assert!(p.build_log().contains("successful"));
+    }
+
+    #[test]
+    fn build_failure_reported_in_log() {
+        let p = Program::from_source(&ctx(), "__kernel void broken( {}");
+        let e = p.build("").unwrap_err();
+        assert!(matches!(e, Error::BuildFailure(_)));
+        assert!(!p.build_log().is_empty());
+        assert!(p.kernel("broken").is_err(), "no kernels on failed build");
+    }
+
+    #[test]
+    fn kernel_before_build_rejected() {
+        let p = Program::from_source(&ctx(), SRC);
+        assert!(p.kernel("fill").is_err());
+    }
+
+    #[test]
+    fn missing_kernel_name() {
+        let p = Program::from_source(&ctx(), SRC);
+        p.build("").unwrap();
+        assert!(matches!(p.kernel("nope"), Err(Error::NoSuchKernel(_))));
+    }
+
+    #[test]
+    fn build_options_defines() {
+        let src = "__kernel void f(__global int* out) { out[0] = N; }";
+        let p = Program::from_source(&ctx(), src);
+        assert!(p.build("").is_err(), "N undefined");
+        let p = Program::from_source(&ctx(), src);
+        p.build("-D N=7").unwrap();
+        let p = Program::from_source(&ctx(), src);
+        p.build("-DN=7 -cl-fast-relaxed-math").unwrap();
+        let p = Program::from_source(&ctx(), src);
+        assert!(p.build("--bogus").is_err());
+    }
+
+    #[test]
+    fn arg_binding_type_checks() {
+        let c = ctx();
+        let p = Program::from_source(&c, SRC);
+        p.build("").unwrap();
+        let k = p.kernel("fill").unwrap();
+        let buf = c.create_buffer(16, MemAccess::ReadWrite).unwrap();
+        k.set_arg_buffer(0, &buf).unwrap();
+        assert!(k.set_arg_buffer(1, &buf).is_err(), "param 1 is a scalar");
+        assert!(k.set_arg_scalar(0, 1.0f32).is_err(), "param 0 is a buffer");
+        assert!(k.set_arg_scalar(1, 1.0f64).is_err(), "double into float param");
+        k.set_arg_scalar(1, 1.0f32).unwrap();
+        assert!(k.set_arg_scalar(2, 0i32).is_err(), "out of range");
+        assert!(k.bound_args().is_ok());
+    }
+
+    #[test]
+    fn unset_args_detected() {
+        let c = ctx();
+        let p = Program::from_source(&c, SRC);
+        p.build("").unwrap();
+        let k = p.kernel("fill").unwrap();
+        let err = k.bound_args().unwrap_err();
+        assert!(err.to_string().contains("never set"));
+    }
+}

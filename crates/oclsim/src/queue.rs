@@ -1,0 +1,233 @@
+//! Command queues and events.
+//!
+//! The simulated queue executes eagerly and in order (so `finish()` is a
+//! semantic no-op), but every operation returns an [`Event`] carrying both
+//! the measured host wall time and the *modeled* device time from the
+//! analytic timing model — the quantity the evaluation figures are built
+//! from.
+
+use std::time::{Duration, Instant};
+
+use crate::buffer::Buffer;
+use crate::context::Context;
+use crate::device::Device;
+use crate::error::{Error, Result};
+use crate::exec::launch::{run_ndrange, validate_launch, Geometry};
+use crate::program::Kernel;
+use crate::timing::{model_transfer, TimingBreakdown};
+use crate::types::DeviceScalar;
+
+/// What an event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandKind {
+    WriteBuffer,
+    ReadBuffer,
+    NdRangeKernel,
+}
+
+/// Profiling record of one enqueued command.
+#[derive(Debug, Clone)]
+pub struct Event {
+    kind: CommandKind,
+    wall: Duration,
+    modeled_seconds: f64,
+    kernel_timing: Option<TimingBreakdown>,
+}
+
+impl Event {
+    /// What the command was.
+    pub fn kind(&self) -> CommandKind {
+        self.kind
+    }
+
+    /// Host wall-clock time the simulation of the command took. This is the
+    /// *simulator's* cost, not the modeled device cost.
+    pub fn wall_time(&self) -> Duration {
+        self.wall
+    }
+
+    /// Modeled device/interconnect time in seconds — the counterpart of
+    /// `CL_PROFILING_COMMAND_END - CL_PROFILING_COMMAND_START`.
+    pub fn modeled_seconds(&self) -> f64 {
+        self.modeled_seconds
+    }
+
+    /// Detailed timing breakdown (kernel launches only).
+    pub fn kernel_timing(&self) -> Option<&TimingBreakdown> {
+        self.kernel_timing.as_ref()
+    }
+}
+
+/// An in-order command queue bound to one device of a context.
+#[derive(Clone)]
+pub struct CommandQueue {
+    context: Context,
+    device: Device,
+}
+
+impl CommandQueue {
+    /// Create a queue for `device`, which must belong to `context`.
+    pub fn new(context: &Context, device: &Device) -> Result<CommandQueue> {
+        if !context.contains(device) {
+            return Err(Error::InvalidOperation(
+                "device does not belong to the queue's context".into(),
+            ));
+        }
+        Ok(CommandQueue { context: context.clone(), device: device.clone() })
+    }
+
+    /// The queue's device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The queue's context.
+    pub fn context(&self) -> &Context {
+        &self.context
+    }
+
+    /// Copy a typed host slice into `buffer` starting at element `offset`.
+    pub fn enqueue_write<T: DeviceScalar>(
+        &self,
+        buffer: &Buffer,
+        offset_elems: usize,
+        data: &[T],
+    ) -> Result<Event> {
+        let start = Instant::now();
+        buffer.write_slice(offset_elems, data)?;
+        Ok(Event {
+            kind: CommandKind::WriteBuffer,
+            wall: start.elapsed(),
+            modeled_seconds: model_transfer(self.device.profile(), std::mem::size_of_val(data)),
+            kernel_timing: None,
+        })
+    }
+
+    /// Copy `len` elements from `buffer` into a fresh Vec.
+    pub fn enqueue_read<T: DeviceScalar>(
+        &self,
+        buffer: &Buffer,
+        offset_elems: usize,
+        len: usize,
+    ) -> Result<(Vec<T>, Event)> {
+        let start = Instant::now();
+        let out = buffer.read_vec::<T>(offset_elems, len)?;
+        let ev = Event {
+            kind: CommandKind::ReadBuffer,
+            wall: start.elapsed(),
+            modeled_seconds: model_transfer(self.device.profile(), len * std::mem::size_of::<T>()),
+            kernel_timing: None,
+        };
+        Ok((out, ev))
+    }
+
+    /// Launch a kernel over `global` (with optional explicit `local`)
+    /// work-items. Blocks until complete (the queue is synchronous).
+    pub fn enqueue_ndrange(
+        &self,
+        kernel: &Kernel,
+        global: &[usize],
+        local: Option<&[usize]>,
+    ) -> Result<Event> {
+        let start = Instant::now();
+        let geom = Geometry::new(global, local, &self.device)?;
+        let args = kernel.bound_args()?;
+        let fir = kernel.func_ir();
+        validate_launch(fir, &args, &geom, &self.device)?;
+        let timing = run_ndrange(kernel.module(), fir, &args, geom, &self.device)?;
+        Ok(Event {
+            kind: CommandKind::NdRangeKernel,
+            wall: start.elapsed(),
+            modeled_seconds: timing.device_seconds,
+            kernel_timing: Some(timing),
+        })
+    }
+
+    /// Wait for all enqueued commands. The simulated queue is synchronous,
+    /// so this is a no-op kept for API fidelity.
+    pub fn finish(&self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::MemAccess;
+    use crate::device::DeviceProfile;
+    use crate::program::Program;
+
+    fn setup() -> (Context, CommandQueue) {
+        let d = Device::new(DeviceProfile::tesla_c2050());
+        let ctx = Context::new(&[d.clone()]).unwrap();
+        let q = CommandQueue::new(&ctx, &d).unwrap();
+        (ctx, q)
+    }
+
+    #[test]
+    fn queue_requires_context_membership() {
+        let d1 = Device::new(DeviceProfile::tesla_c2050());
+        let d2 = Device::new(DeviceProfile::quadro_fx380());
+        let ctx = Context::new(&[d1]).unwrap();
+        assert!(CommandQueue::new(&ctx, &d2).is_err());
+    }
+
+    #[test]
+    fn write_read_round_trip_with_events() {
+        let (ctx, q) = setup();
+        let buf = ctx.create_buffer(64, MemAccess::ReadWrite).unwrap();
+        let ev = q.enqueue_write(&buf, 0, &[1.0f32, 2.0, 3.0]).unwrap();
+        assert_eq!(ev.kind(), CommandKind::WriteBuffer);
+        assert!(ev.modeled_seconds() > 0.0);
+        let (data, ev) = q.enqueue_read::<f32>(&buf, 0, 3).unwrap();
+        assert_eq!(data, vec![1.0, 2.0, 3.0]);
+        assert_eq!(ev.kind(), CommandKind::ReadBuffer);
+    }
+
+    #[test]
+    fn end_to_end_fill_kernel() {
+        let (ctx, q) = setup();
+        let src = "__kernel void fill(__global float* out, float v) {
+            out[get_global_id(0)] = v;
+        }";
+        let p = Program::from_source(&ctx, src);
+        p.build("").unwrap();
+        let k = p.kernel("fill").unwrap();
+        let buf = ctx.create_buffer(4 * 100, MemAccess::ReadWrite).unwrap();
+        k.set_arg_buffer(0, &buf).unwrap();
+        k.set_arg_scalar(1, 2.5f32).unwrap();
+        let ev = q.enqueue_ndrange(&k, &[100], None).unwrap();
+        assert_eq!(ev.kind(), CommandKind::NdRangeKernel);
+        let t = ev.kernel_timing().unwrap();
+        assert!(t.device_seconds > 0.0);
+        assert!(t.totals.instructions > 0);
+        let (data, _) = q.enqueue_read::<f32>(&buf, 0, 100).unwrap();
+        assert!(data.iter().all(|&x| x == 2.5));
+    }
+
+    #[test]
+    fn fp64_kernel_rejected_on_quadro() {
+        let d = Device::new(DeviceProfile::quadro_fx380());
+        let ctx = Context::new(&[d.clone()]).unwrap();
+        let q = CommandQueue::new(&ctx, &d).unwrap();
+        let src = "__kernel void f(__global double* out) { out[get_global_id(0)] = 1.0; }";
+        let p = Program::from_source(&ctx, src);
+        p.build("").unwrap();
+        let k = p.kernel("f").unwrap();
+        let buf = ctx.create_buffer(8 * 4, MemAccess::ReadWrite).unwrap();
+        k.set_arg_buffer(0, &buf).unwrap();
+        let err = q.enqueue_ndrange(&k, &[4], None).unwrap_err();
+        assert!(matches!(err, Error::UnsupportedCapability(_)), "{err}");
+    }
+
+    #[test]
+    fn out_of_bounds_access_trapped() {
+        let (ctx, q) = setup();
+        let src = "__kernel void oob(__global float* out) { out[get_global_id(0) + 1000] = 1.0f; }";
+        let p = Program::from_source(&ctx, src);
+        p.build("").unwrap();
+        let k = p.kernel("oob").unwrap();
+        let buf = ctx.create_buffer(16, MemAccess::ReadWrite).unwrap();
+        k.set_arg_buffer(0, &buf).unwrap();
+        let err = q.enqueue_ndrange(&k, &[4], None).unwrap_err();
+        assert!(matches!(err, Error::MemoryFault { .. }), "{err}");
+    }
+}

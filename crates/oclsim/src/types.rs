@@ -1,0 +1,295 @@
+//! Scalar types and bit-level value representation.
+//!
+//! Every value flowing through the simulated device is stored as the raw
+//! bits of a `u64`. The interpreter's opcodes are statically typed (the
+//! compiler resolves the operand type of every operation), so no runtime
+//! tag is needed on individual lane values — exactly like a register on
+//! real hardware. [`Value`] is the *host-side* tagged representation used
+//! when setting scalar kernel arguments.
+
+/// The scalar element types supported by the simulated device.
+///
+/// This is the OpenCL C scalar type set minus `half`; `size_t` maps to
+/// [`ScalarType::U64`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarType {
+    Bool,
+    I8,
+    U8,
+    I16,
+    U16,
+    I32,
+    U32,
+    I64,
+    U64,
+    F32,
+    F64,
+}
+
+impl ScalarType {
+    /// Size of the type in bytes as laid out in device memory.
+    pub fn size(self) -> usize {
+        match self {
+            ScalarType::Bool | ScalarType::I8 | ScalarType::U8 => 1,
+            ScalarType::I16 | ScalarType::U16 => 2,
+            ScalarType::I32 | ScalarType::U32 | ScalarType::F32 => 4,
+            ScalarType::I64 | ScalarType::U64 | ScalarType::F64 => 8,
+        }
+    }
+
+    /// True for `float` and `double`.
+    pub fn is_float(self) -> bool {
+        matches!(self, ScalarType::F32 | ScalarType::F64)
+    }
+
+    /// True for every integer type including `bool`.
+    pub fn is_integer(self) -> bool {
+        !self.is_float()
+    }
+
+    /// True for signed integer types.
+    pub fn is_signed(self) -> bool {
+        matches!(self, ScalarType::I8 | ScalarType::I16 | ScalarType::I32 | ScalarType::I64)
+    }
+
+    /// OpenCL C spelling of the type.
+    pub fn cl_name(self) -> &'static str {
+        match self {
+            ScalarType::Bool => "bool",
+            ScalarType::I8 => "char",
+            ScalarType::U8 => "uchar",
+            ScalarType::I16 => "short",
+            ScalarType::U16 => "ushort",
+            ScalarType::I32 => "int",
+            ScalarType::U32 => "uint",
+            ScalarType::I64 => "long",
+            ScalarType::U64 => "ulong",
+            ScalarType::F32 => "float",
+            ScalarType::F64 => "double",
+        }
+    }
+
+    /// The type an operand of this type is promoted to by the C "usual
+    /// arithmetic conversions" when combined with `other`.
+    ///
+    /// Small integer types promote to `int` first; then the wider / more
+    /// float-ish type wins; unsigned wins over signed at equal rank.
+    pub fn promote(self, other: ScalarType) -> ScalarType {
+        use ScalarType::*;
+        let a = self.integer_promote();
+        let b = other.integer_promote();
+        if a == F64 || b == F64 {
+            return F64;
+        }
+        if a == F32 || b == F32 {
+            return F32;
+        }
+        // integer-integer: rank, then unsignedness
+        let rank = |t: ScalarType| match t {
+            I32 | U32 => 0,
+            I64 | U64 => 1,
+            _ => unreachable!("integer_promote yields >= int"),
+        };
+        let (hi, lo) = if rank(a) >= rank(b) { (a, b) } else { (b, a) };
+        if rank(hi) > rank(lo) {
+            hi
+        } else {
+            // equal rank: unsigned wins
+            match (hi, lo) {
+                (U32, _) | (_, U32) => U32,
+                (U64, _) | (_, U64) => U64,
+                _ => hi,
+            }
+        }
+    }
+
+    /// C integer promotion: everything smaller than `int` becomes `int`.
+    pub fn integer_promote(self) -> ScalarType {
+        use ScalarType::*;
+        match self {
+            Bool | I8 | U8 | I16 | U16 => I32,
+            t => t,
+        }
+    }
+}
+
+/// Host-side tagged scalar value, used to set kernel arguments and to read
+/// results in tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    Bool(bool),
+    I8(i8),
+    U8(u8),
+    I16(i16),
+    U16(u16),
+    I32(i32),
+    U32(u32),
+    I64(i64),
+    U64(u64),
+    F32(f32),
+    F64(f64),
+}
+
+impl Value {
+    /// The [`ScalarType`] of this value.
+    pub fn scalar_type(self) -> ScalarType {
+        match self {
+            Value::Bool(_) => ScalarType::Bool,
+            Value::I8(_) => ScalarType::I8,
+            Value::U8(_) => ScalarType::U8,
+            Value::I16(_) => ScalarType::I16,
+            Value::U16(_) => ScalarType::U16,
+            Value::I32(_) => ScalarType::I32,
+            Value::U32(_) => ScalarType::U32,
+            Value::I64(_) => ScalarType::I64,
+            Value::U64(_) => ScalarType::U64,
+            Value::F32(_) => ScalarType::F32,
+            Value::F64(_) => ScalarType::F64,
+        }
+    }
+
+    /// Raw 64-bit representation used by the interpreter's register file.
+    pub fn to_bits(self) -> u64 {
+        match self {
+            Value::Bool(b) => b as u64,
+            Value::I8(v) => v as i64 as u64,
+            Value::U8(v) => v as u64,
+            Value::I16(v) => v as i64 as u64,
+            Value::U16(v) => v as u64,
+            Value::I32(v) => v as i64 as u64,
+            Value::U32(v) => v as u64,
+            Value::I64(v) => v as u64,
+            Value::U64(v) => v,
+            Value::F32(v) => v.to_bits() as u64,
+            Value::F64(v) => v.to_bits(),
+        }
+    }
+
+    /// Reconstruct a tagged value from raw bits and a type.
+    pub fn from_bits(bits: u64, ty: ScalarType) -> Value {
+        match ty {
+            ScalarType::Bool => Value::Bool(bits != 0),
+            ScalarType::I8 => Value::I8(bits as i8),
+            ScalarType::U8 => Value::U8(bits as u8),
+            ScalarType::I16 => Value::I16(bits as i16),
+            ScalarType::U16 => Value::U16(bits as u16),
+            ScalarType::I32 => Value::I32(bits as i32),
+            ScalarType::U32 => Value::U32(bits as u32),
+            ScalarType::I64 => Value::I64(bits as i64),
+            ScalarType::U64 => Value::U64(bits),
+            ScalarType::F32 => Value::F32(f32::from_bits(bits as u32)),
+            ScalarType::F64 => Value::F64(f64::from_bits(bits)),
+        }
+    }
+}
+
+macro_rules! impl_from_value {
+    ($($t:ty => $variant:ident),* $(,)?) => {
+        $(impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::$variant(v) }
+        })*
+    };
+}
+impl_from_value!(bool => Bool, i8 => I8, u8 => U8, i16 => I16, u16 => U16,
+                 i32 => I32, u32 => U32, i64 => I64, u64 => U64, f32 => F32, f64 => F64);
+
+/// A type that can live in a device buffer. Implemented for the scalar
+/// types the simulated device understands; it ties a Rust type to its
+/// [`ScalarType`] and provides safe byte-level conversion.
+pub trait DeviceScalar: Copy + Send + Sync + 'static {
+    /// The matching device element type.
+    const SCALAR: ScalarType;
+    /// Raw bit representation (zero/sign facts are irrelevant: round-trips).
+    fn to_bits64(self) -> u64;
+    /// Inverse of [`DeviceScalar::to_bits64`].
+    fn from_bits64(bits: u64) -> Self;
+}
+
+macro_rules! impl_device_scalar {
+    ($($t:ty => $s:ident, |$v:ident| $to:expr, |$b:ident| $from:expr);* $(;)?) => {
+        $(impl DeviceScalar for $t {
+            const SCALAR: ScalarType = ScalarType::$s;
+            fn to_bits64(self) -> u64 { let $v = self; $to }
+            fn from_bits64($b: u64) -> Self { $from }
+        })*
+    };
+}
+impl_device_scalar! {
+    i8  => I8,  |v| v as i64 as u64, |b| b as i8;
+    u8  => U8,  |v| v as u64,        |b| b as u8;
+    i16 => I16, |v| v as i64 as u64, |b| b as i16;
+    u16 => U16, |v| v as u64,        |b| b as u16;
+    i32 => I32, |v| v as i64 as u64, |b| b as i32;
+    u32 => U32, |v| v as u64,        |b| b as u32;
+    i64 => I64, |v| v as u64,        |b| b as i64;
+    u64 => U64, |v| v,               |b| b;
+    f32 => F32, |v| v.to_bits() as u64, |b| f32::from_bits(b as u32);
+    f64 => F64, |v| v.to_bits(),        |b| f64::from_bits(b);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_opencl() {
+        assert_eq!(ScalarType::I8.size(), 1);
+        assert_eq!(ScalarType::U16.size(), 2);
+        assert_eq!(ScalarType::I32.size(), 4);
+        assert_eq!(ScalarType::F32.size(), 4);
+        assert_eq!(ScalarType::F64.size(), 8);
+        assert_eq!(ScalarType::U64.size(), 8);
+    }
+
+    #[test]
+    fn promotion_rules() {
+        use ScalarType::*;
+        assert_eq!(I32.promote(F32), F32);
+        assert_eq!(F32.promote(F64), F64);
+        assert_eq!(I32.promote(U32), U32);
+        assert_eq!(I32.promote(I64), I64);
+        assert_eq!(U32.promote(I64), I64);
+        assert_eq!(U64.promote(I64), U64);
+        assert_eq!(I8.promote(I8), I32, "small ints promote to int");
+        assert_eq!(U16.promote(Bool), I32);
+    }
+
+    #[test]
+    fn value_bits_round_trip() {
+        let cases = [
+            Value::I32(-5),
+            Value::U32(u32::MAX),
+            Value::F32(3.5),
+            Value::F64(-0.0),
+            Value::I64(i64::MIN),
+            Value::Bool(true),
+            Value::I8(-128),
+        ];
+        for v in cases {
+            let bits = v.to_bits();
+            assert_eq!(Value::from_bits(bits, v.scalar_type()), v);
+        }
+    }
+
+    #[test]
+    fn negative_ints_are_sign_extended_in_bits() {
+        // the interpreter relies on sign-extended storage for signed types
+        assert_eq!(Value::I32(-1).to_bits(), u64::MAX);
+        assert_eq!((-1i32).to_bits64(), u64::MAX);
+        assert_eq!(i32::from_bits64(u64::MAX), -1);
+    }
+
+    #[test]
+    fn device_scalar_round_trips() {
+        assert_eq!(f64::from_bits64(2.25f64.to_bits64()), 2.25);
+        assert_eq!(i16::from_bits64((-7i16).to_bits64()), -7);
+        assert_eq!(u8::from_bits64(200u8.to_bits64()), 200);
+    }
+
+    #[test]
+    fn cl_names() {
+        assert_eq!(ScalarType::F32.cl_name(), "float");
+        assert_eq!(ScalarType::U32.cl_name(), "uint");
+        assert_eq!(ScalarType::I64.cl_name(), "long");
+    }
+}

@@ -1,0 +1,36 @@
+//! `sloc` CLI: count source lines of code (Sloccount work-alike).
+//!
+//! Usage: `sloc FILE...` — prints per-file SLOC and the total.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: sloc FILE...");
+        return ExitCode::from(2);
+    }
+    let mut total = 0usize;
+    let mut failed = false;
+    for arg in &args {
+        match sloc::count_file(Path::new(arg)) {
+            Ok(fc) => {
+                println!("{:>8}  {:?}  {}", fc.sloc, fc.language, fc.path);
+                total += fc.sloc;
+            }
+            Err(e) => {
+                eprintln!("sloc: {arg}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if args.len() > 1 {
+        println!("{total:>8}  total");
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

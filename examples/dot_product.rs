@@ -1,0 +1,54 @@
+//! The paper's Figure 4: dot product in two stages — per-group partial
+//! sums on the device (cooperating through `__local` memory and a
+//! barrier), reduced on the host.
+//!
+//! Run with `cargo run --release --example dot_product`.
+
+use hpl::prelude::*;
+
+const N: usize = 256;
+const M: usize = 32;
+const N_GROUP: usize = N / M;
+
+/// Paper Figure 4's `dotp` kernel: thread `idx` multiplies one pair, the
+/// group shares the products through scratchpad memory, and lane 0 of each
+/// group accumulates the partial sum.
+fn dotp(v1: &Array<f32, 1>, v2: &Array<f32, 1>, p_sums: &Array<f32, 1>) {
+    let shared_m = Array::<f32, 1>::local([M]);
+    shared_m.at(lidx()).assign(v1.at(idx()) * v2.at(idx()));
+    barrier(LOCAL);
+    if_(lidx().eq_(0), || {
+        for_(0, M as i32, |i| {
+            p_sums.at(gidx()).assign_add(shared_m.at(i));
+        });
+    });
+}
+
+fn main() -> Result<(), hpl::Error> {
+    // v1 and v2 are filled in with data
+    let v1 = Array::<f32, 1>::from_vec([N], (0..N).map(|i| (i % 7) as f32).collect());
+    let v2 = Array::<f32, 1>::from_vec([N], (0..N).map(|i| (i % 5) as f32).collect());
+    let p_sums = Array::<f32, 1>::new([N_GROUP]);
+
+    eval(dotp).global(&[N]).local(&[M]).run((&v1, &v2, &p_sums))?;
+
+    // second stage: reduce the partial sums in the host
+    let mut result = 0.0f32;
+    for i in 0..N_GROUP {
+        result += p_sums.get(i);
+    }
+    println!("Dot = {result}");
+
+    // check against the host computation
+    let expect: f32 = (0..N).map(|i| ((i % 7) * (i % 5)) as f32).sum();
+    assert_eq!(result, expect);
+    println!("matches host result {expect}");
+
+    // the same computation via the patterns extension (§VII future work)
+    let products = Array::<f32, 1>::new([N]);
+    hpl::patterns::zip_map(&products, &v1, &v2, |a, b| a * b)?;
+    let via_patterns = hpl::patterns::reduce_sum(&products)?;
+    assert_eq!(via_patterns, expect);
+    println!("patterns::zip_map + reduce_sum agree: {via_patterns}");
+    Ok(())
+}

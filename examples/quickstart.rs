@@ -1,0 +1,55 @@
+//! Quickstart: the paper's Figure 3 — SAXPY in HPL.
+//!
+//! Run with `cargo run --release --example quickstart`.
+//!
+//! The kernel is an ordinary Rust function over HPL datatypes. `eval`
+//! records it on first use, generates OpenCL C, compiles it for the
+//! default accelerator, manages every buffer and transfer, and returns a
+//! profile that separates HPL's overhead from the modeled device time.
+
+use hpl::prelude::*;
+
+/// `y = a*x + y`, one element per work-item (paper Figure 3).
+fn saxpy(y: &Array<f64, 1>, x: &Array<f64, 1>, a: &Double) {
+    y.at(idx()).assign(a.v() * x.at(idx()) + y.at(idx()));
+}
+
+fn main() -> Result<(), hpl::Error> {
+    const N: usize = 1000;
+
+    // the vectors and `a` are filled in with data
+    let y = Array::<f64, 1>::from_vec([N], (0..N).map(|i| i as f64).collect());
+    let x = Array::<f64, 1>::from_vec([N], (0..N).map(|i| (2 * i) as f64).collect());
+    let a = Double::new(1.5);
+
+    // parallel evaluation on the default device; the global domain defaults
+    // to the dimensions of the first argument
+    let profile = eval(saxpy).run((&y, &x, &a))?;
+
+    // results are synchronised back on demand
+    for i in [0usize, 1, 500, 999] {
+        let expect = 1.5 * (2 * i) as f64 + i as f64;
+        assert_eq!(y.get(i), expect);
+        println!("y[{i:>3}] = {}", y.get(i));
+    }
+
+    println!("\ndevice:            {}", hpl::runtime().default_device().name());
+    println!("first invocation:  {:.3} ms total", profile.host_seconds * 1e3);
+    println!(
+        "  capture {:.1} µs + codegen {:.1} µs + build {:.1} µs + modeled kernel {:.1} µs",
+        profile.capture_seconds * 1e6,
+        profile.codegen_seconds * 1e6,
+        profile.build_seconds * 1e6,
+        profile.kernel_modeled_seconds * 1e6
+    );
+
+    // a second invocation hits HPL's kernel cache
+    let again = eval(saxpy).run((&y, &x, &a))?;
+    assert!(again.cache_hit);
+    println!("second invocation: cache hit, front-end cost {:.1} µs", {
+        (again.capture_seconds + again.codegen_seconds + again.build_seconds) * 1e6
+    });
+
+    println!("\ngenerated OpenCL C:\n{}", profile.source);
+    Ok(())
+}

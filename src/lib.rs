@@ -1,0 +1,15 @@
+//! Umbrella crate for the HPL reproduction workspace.
+//!
+//! This package exists so that the repository root can host the cross-crate
+//! integration tests in `tests/` and the runnable examples in `examples/`.
+//! The actual functionality lives in the member crates:
+//!
+//! - [`hpl`] — the Heterogeneous Programming Library (the paper's contribution)
+//! - [`oclsim`] — the simulated OpenCL platform HPL runs on
+//! - [`benchsuite`] — the five evaluation benchmarks
+//! - [`sloc`] — the SLOC counter used for the programmability study
+
+pub use benchsuite;
+pub use hpl;
+pub use oclsim;
+pub use sloc;

@@ -1,0 +1,80 @@
+//! Smoke test of the complete evaluation pipeline at test scale: all five
+//! paper benchmarks, each verifying its three implementations against each
+//! other and yielding structurally sane timing reports.
+
+use benchsuite::common::BenchReport;
+
+fn check(report: &BenchReport) {
+    assert!(report.verified, "{}: implementations disagree", report.name);
+    assert!(
+        report.serial_modeled_seconds > 0.0,
+        "{}: serial baseline missing",
+        report.name
+    );
+    assert!(report.opencl.kernel_modeled_seconds > 0.0, "{}", report.name);
+    assert!(report.hpl.kernel_modeled_seconds > 0.0, "{}", report.name);
+    assert!(report.hpl.front_seconds > 0.0, "{}: HPL front-end must be measured", report.name);
+    assert_eq!(report.opencl.front_seconds, 0.0, "{}: OpenCL has no front-end", report.name);
+    assert!(report.opencl_speedup() > 1.0, "{}: the GPU must win", report.name);
+    // no tighter bound on the HPL side here: the test profile is an
+    // unoptimised build, which inflates the measured front-end wall time
+    // far beyond what the release-mode figures see
+    assert!(report.hpl.paper_seconds() > report.hpl.kernel_modeled_seconds, "{}", report.name);
+}
+
+#[test]
+fn ep_full_pipeline() {
+    let device = hpl::runtime().default_device();
+    let cfg = benchsuite::ep::EpConfig::default();
+    let report = benchsuite::ep::run(&cfg, &device).unwrap();
+    assert_eq!(report.name, "EP");
+    check(&report);
+}
+
+#[test]
+fn floyd_full_pipeline() {
+    let device = hpl::runtime().default_device();
+    let cfg = benchsuite::floyd::FloydConfig::default();
+    let report = benchsuite::floyd::run(&cfg, &device).unwrap();
+    assert_eq!(report.name, "Floyd");
+    check(&report);
+}
+
+#[test]
+fn transpose_full_pipeline() {
+    let device = hpl::runtime().default_device();
+    let cfg = benchsuite::transpose::TransposeConfig::default();
+    let report = benchsuite::transpose::run(&cfg, &device).unwrap();
+    assert_eq!(report.name, "transpose");
+    check(&report);
+}
+
+#[test]
+fn spmv_full_pipeline() {
+    let device = hpl::runtime().default_device();
+    let cfg = benchsuite::spmv::SpmvConfig::default();
+    let report = benchsuite::spmv::run(&cfg, &device).unwrap();
+    assert_eq!(report.name, "spmv");
+    check(&report);
+}
+
+#[test]
+fn reduction_full_pipeline() {
+    let device = hpl::runtime().default_device();
+    let cfg = benchsuite::reduction::ReductionConfig::default();
+    let report = benchsuite::reduction::run(&cfg, &device).unwrap();
+    assert_eq!(report.name, "reduction");
+    check(&report);
+}
+
+#[test]
+fn quadro_runs_fp32_benchmarks() {
+    // the portability device handles everything except EP
+    let quadro = hpl::runtime().device_named("quadro").unwrap();
+    let cfg = benchsuite::floyd::FloydConfig { nodes: 32, seed: 5 };
+    let report = benchsuite::floyd::run(&cfg, &quadro).unwrap();
+    check(&report);
+
+    let err = benchsuite::ep::run(&benchsuite::ep::EpConfig::default(), &quadro);
+    assert!(err.is_err(), "EP needs fp64, which the Quadro lacks");
+}

@@ -1,0 +1,145 @@
+//! Failure-injection tests across the stack: capability gates, launch
+//! geometry validation, runtime traps, and misuse of the recording API.
+
+use hpl::prelude::*;
+
+#[test]
+fn fp64_kernel_rejected_on_quadro_through_hpl() {
+    fn dbl(y: &Array<f64, 1>) {
+        y.at(idx()).assign(y.at(idx()) * 2.0f64);
+    }
+    let quadro = hpl::runtime().device_named("quadro").unwrap();
+    let y = Array::<f64, 1>::new([16]);
+    let err = eval(dbl).device(&quadro).run((&y,)).unwrap_err();
+    let hpl::Error::Backend(oclsim::Error::UnsupportedCapability(msg)) = &err else {
+        panic!("expected a capability error, got {err}");
+    };
+    assert!(msg.contains("double precision"), "{msg}");
+
+    // the same kernel runs fine on the Tesla
+    let tesla = hpl::runtime().device_named("tesla").unwrap();
+    eval(dbl).device(&tesla).run((&y,)).unwrap();
+}
+
+#[test]
+fn non_dividing_local_domain_rejected() {
+    fn touch(y: &Array<f32, 1>) {
+        y.at(idx()).assign(1.0f32);
+    }
+    let y = Array::<f32, 1>::new([100]);
+    let err = eval(touch).global(&[100]).local(&[33]).run((&y,)).unwrap_err();
+    assert!(
+        matches!(&err, hpl::Error::Backend(oclsim::Error::InvalidLaunch(_))),
+        "{err}"
+    );
+}
+
+#[test]
+fn work_group_too_large_rejected() {
+    fn touch(y: &Array<f32, 1>) {
+        y.at(idx()).assign(1.0f32);
+    }
+    let y = Array::<f32, 1>::new([4096]);
+    // Tesla's maximum work-group is 1024
+    let err = eval(touch).global(&[4096]).local(&[2048]).run((&y,)).unwrap_err();
+    assert!(matches!(&err, hpl::Error::Backend(oclsim::Error::InvalidLaunch(_))), "{err}");
+}
+
+#[test]
+fn out_of_bounds_kernel_access_trapped() {
+    fn oob(y: &Array<f32, 1>, n: &Int) {
+        y.at(idx() + n.v()).assign(1.0f32);
+    }
+    let y = Array::<f32, 1>::new([16]);
+    let n = Int::new(1000);
+    let err = eval(oob).run((&y, &n)).unwrap_err();
+    assert!(matches!(&err, hpl::Error::Backend(oclsim::Error::MemoryFault { .. })), "{err}");
+}
+
+#[test]
+fn integer_division_by_zero_trapped() {
+    fn div(y: &Array<i32, 1>, d: &Int) {
+        y.at(idx()).assign(100 / d.v());
+    }
+    let y = Array::<i32, 1>::new([4]);
+    let d = Int::new(0);
+    let err = eval(div).run((&y, &d)).unwrap_err();
+    assert!(matches!(&err, hpl::Error::Backend(oclsim::Error::ArithmeticFault(_))), "{err}");
+    // and the same kernel works with a sane divisor (cached binary reused)
+    d.set(4);
+    eval(div).run((&y, &d)).unwrap();
+    assert_eq!(y.get(0), 25);
+}
+
+#[test]
+fn divergent_barrier_trapped() {
+    fn bad(y: &Array<f32, 1>) {
+        if_(lidx().eq_(0), || {
+            barrier(LOCAL);
+        });
+        y.at(idx()).assign(1.0f32);
+    }
+    let y = Array::<f32, 1>::new([64]);
+    let err = eval(bad).global(&[64]).local(&[8]).run((&y,)).unwrap_err();
+    assert!(
+        matches!(&err, hpl::Error::Backend(oclsim::Error::BarrierDivergence(_))),
+        "{err}"
+    );
+}
+
+#[test]
+fn failed_launch_leaves_arrays_usable() {
+    fn oob(y: &Array<f32, 1>, n: &Int) {
+        y.at(idx() + n.v()).assign(1.0f32);
+    }
+    let y = Array::<f32, 1>::from_vec([8], vec![5.0; 8]);
+    let n = Int::new(9999);
+    let _ = eval(oob).run((&y, &n)).unwrap_err();
+    // the host data must still be readable (whatever the device did)
+    let _ = y.to_vec();
+    // and a correct launch afterwards works
+    n.set(0);
+    eval(oob).run((&y, &n)).unwrap();
+    assert_eq!(y.get(3), 1.0);
+}
+
+#[test]
+fn eval_with_no_global_domain_and_no_arrays_fails_cleanly() {
+    fn nothing(v: &Int) {
+        let x = Int::new(0);
+        x.assign(v.v());
+    }
+    let v = Int::new(1);
+    let err = eval(nothing).run((&v,)).unwrap_err();
+    assert!(matches!(err, hpl::Error::InvalidEval(_)));
+}
+
+#[test]
+fn kernel_panics_do_not_poison_later_evals() {
+    fn bad(_y: &Array<f32, 1>) {
+        panic!("user bug inside a kernel function");
+    }
+    fn good(y: &Array<f32, 1>) {
+        y.at(idx()).assign(2.0f32);
+    }
+    let y = Array::<f32, 1>::new([8]);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = eval(bad).run((&y,));
+    }));
+    assert!(result.is_err(), "the panic propagates");
+    // the recorder must have been cleaned up: the next eval works
+    eval(good).run((&y,)).unwrap();
+    assert_eq!(y.get(0), 2.0);
+}
+
+#[test]
+fn quadro_memory_capacity_enforced() {
+    // a Quadro FX 380 has 256 MB; a 400 MB array cannot be placed there
+    fn touch(y: &Array<f32, 1>) {
+        y.at(idx()).assign(0.0f32);
+    }
+    let quadro = hpl::runtime().device_named("quadro").unwrap();
+    let huge = Array::<f32, 1>::new([100 * 1024 * 1024]);
+    let err = eval(touch).device(&quadro).run((&huge,)).unwrap_err();
+    assert!(matches!(&err, hpl::Error::Backend(oclsim::Error::OutOfResources(_))), "{err}");
+}

@@ -1,0 +1,122 @@
+//! End-to-end tests of the paper's §IV example codes, spanning
+//! `hpl` + `oclsim`: SAXPY (Fig. 3), dot product (Fig. 4), spmv (Fig. 5).
+
+use hpl::prelude::*;
+
+#[test]
+fn figure3_saxpy() {
+    fn saxpy(y: &Array<f64, 1>, x: &Array<f64, 1>, a: &Double) {
+        y.at(idx()).assign(a.v() * x.at(idx()) + y.at(idx()));
+    }
+
+    let n = 1000;
+    let myvector: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let x = Array::<f64, 1>::from_vec([n], (0..n).map(|i| 3.0 * i as f64).collect());
+    let y = Array::<f64, 1>::from_vec([n], myvector);
+    let a = Double::new(2.0);
+
+    eval(saxpy).run((&y, &x, &a)).unwrap();
+
+    for i in 0..n {
+        assert_eq!(y.get(i), 2.0 * 3.0 * i as f64 + i as f64);
+    }
+}
+
+#[test]
+fn figure4_dot_product() {
+    const N: usize = 256;
+    const M: usize = 32;
+    const N_GROUP: usize = N / M;
+
+    fn dotp(v1: &Array<f32, 1>, v2: &Array<f32, 1>, p_sums: &Array<f32, 1>) {
+        let shared_m = Array::<f32, 1>::local([M]);
+        shared_m.at(lidx()).assign(v1.at(idx()) * v2.at(idx()));
+        barrier(LOCAL);
+        if_(lidx().eq_(0), || {
+            for_(0, M as i32, |i| {
+                p_sums.at(gidx()).assign_add(shared_m.at(i));
+            });
+        });
+    }
+
+    let v1 = Array::<f32, 1>::from_vec([N], (0..N).map(|i| (i % 9) as f32).collect());
+    let v2 = Array::<f32, 1>::from_vec([N], (0..N).map(|i| (i % 4) as f32).collect());
+    let p_sums = Array::<f32, 1>::new([N_GROUP]);
+
+    eval(dotp).global(&[N]).local(&[M]).run((&v1, &v2, &p_sums)).unwrap();
+
+    let mut result = 0.0f32;
+    for i in 0..N_GROUP {
+        result += p_sums.get(i);
+    }
+    let expect: f32 = (0..N).map(|i| ((i % 9) * (i % 4)) as f32).sum();
+    assert_eq!(result, expect);
+}
+
+#[test]
+fn figure5_spmv_matches_serial_loop() {
+    // the paper's Figure 5(a) serial loop is the reference for Figure 5(b)
+    let cfg = benchsuite::spmv::SpmvConfig { n: 64, density: 0.1, seed: 3 };
+    let problem = benchsuite::spmv::generate(&cfg);
+    let expect = benchsuite::spmv::serial(&problem);
+
+    let device = hpl::runtime().default_device();
+    let (result, _) = benchsuite::spmv::hpl_version::run(&cfg, &problem, &device).unwrap();
+    assert!(benchsuite::spmv::results_match(&expect, &result));
+}
+
+#[test]
+fn figure2_domain_identifiers() {
+    // reproduce Figure 2's 4x8 global / 2x4 local decomposition and check
+    // every predefined variable agrees with the figure
+    fn probe(
+        gx: &Array<i32, 2>,
+        gy: &Array<i32, 2>,
+        lx: &Array<i32, 2>,
+        ly: &Array<i32, 2>,
+        grx: &Array<i32, 2>,
+        gry: &Array<i32, 2>,
+    ) {
+        gx.at((idx(), idy())).assign(idx());
+        gy.at((idx(), idy())).assign(idy());
+        lx.at((idx(), idy())).assign(lidx());
+        ly.at((idx(), idy())).assign(lidy());
+        grx.at((idx(), idy())).assign(gidx());
+        gry.at((idx(), idy())).assign(gidy());
+    }
+
+    let mk = || Array::<i32, 2>::new([4, 8]);
+    let (gx, gy, lx, ly, grx, gry) = (mk(), mk(), mk(), mk(), mk(), mk());
+    eval(probe)
+        .global(&[4, 8])
+        .local(&[2, 4])
+        .run((&gx, &gy, &lx, &ly, &grx, &gry))
+        .unwrap();
+
+    // the paper: threads (1,2), (1,6), (3,2), (3,6) all have local id (1,2)
+    for (i, j) in [(1usize, 2usize), (1, 6), (3, 2), (3, 6)] {
+        assert_eq!(gx.get((i, j)), i as i32);
+        assert_eq!(gy.get((i, j)), j as i32);
+        assert_eq!(lx.get((i, j)), 1, "thread ({i},{j})");
+        assert_eq!(ly.get((i, j)), 2, "thread ({i},{j})");
+    }
+    // group ids: thread (3,6) belongs to group (1,1)
+    assert_eq!(grx.get((3, 6)), 1);
+    assert_eq!(gry.get((3, 6)), 1);
+    assert_eq!(grx.get((0, 0)), 0);
+    assert_eq!(gry.get((0, 7)), 1);
+}
+
+#[test]
+fn sizes_and_group_counts_available_in_kernels() {
+    fn probe(out: &Array<i32, 1>) {
+        if_(idx().eq_(0), || {
+            out.at(0).assign(szx());
+            out.at(1).assign(lszx());
+            out.at(2).assign(ngroupsx());
+        });
+    }
+    let out = Array::<i32, 1>::new([3]);
+    eval(probe).global(&[64]).local(&[16]).run((&out,)).unwrap();
+    assert_eq!(out.to_vec(), vec![64, 16, 4]);
+}
