@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 gate for this repository (see ROADMAP.md and README.md).
+#
+# Runs formatting and lint checks, a release build, and the full test
+# suite twice — once single-threaded and once with a small worker pool —
+# because the asynchronous command scheduler (oclsim::sched) must produce
+# identical results no matter how the dispatcher interleaves commands.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test (OCLSIM_THREADS=1)"
+OCLSIM_THREADS=1 cargo test --workspace -q
+
+echo "== cargo test (OCLSIM_THREADS=4)"
+OCLSIM_THREADS=4 cargo test --workspace -q
+
+echo "ci.sh: all green"

@@ -9,7 +9,9 @@ use std::hint::black_box;
 fn bench_fig6(c: &mut Criterion) {
     let device = bench::tesla();
 
-    println!("\nFigure 6 — EP speedups over serial CPU (measured; paper slowdowns 20.5/5.7/2.3/1.1%):");
+    println!(
+        "\nFigure 6 — EP speedups over serial CPU (measured; paper slowdowns 20.5/5.7/2.3/1.1%):"
+    );
     match bench::fig6::compute(&device) {
         Ok(rows) => {
             for r in &rows {

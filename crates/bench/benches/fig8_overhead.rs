@@ -33,11 +33,17 @@ fn bench_fig8(c: &mut Criterion) {
     let x = Array::<f64, 1>::from_vec([n], vec![2.0; n]);
     let a = Double::new(3.0);
     // warm the cache so the loop below measures steady-state dispatch
-    hpl::eval(saxpy).device(&device).run((&y, &x, &a)).expect("warmup eval");
+    hpl::eval(saxpy)
+        .device(&device)
+        .run((&y, &x, &a))
+        .expect("warmup eval");
 
     c.bench_function("fig8/hpl_cached_eval_dispatch", |b| {
         b.iter(|| {
-            let p = hpl::eval(saxpy).device(&device).run((&y, &x, &a)).expect("eval");
+            let p = hpl::eval(saxpy)
+                .device(&device)
+                .run((&y, &x, &a))
+                .expect("eval");
             assert!(p.cache_hit);
             black_box(p)
         })

@@ -56,16 +56,25 @@ fn bench_cache(c: &mut Criterion) {
     group.bench_function("first_invocation", |b| {
         b.iter(|| {
             hpl::clear_kernel_cache();
-            let p = hpl::eval(probe_kernel).device(&device).run((&out, &input)).expect("eval");
+            let p = hpl::eval(probe_kernel)
+                .device(&device)
+                .run((&out, &input))
+                .expect("eval");
             assert!(!p.cache_hit);
             black_box(p)
         })
     });
     group.bench_function("cached_invocation", |b| {
         // warm once, then measure hits only
-        hpl::eval(probe_kernel).device(&device).run((&out, &input)).expect("warmup");
+        hpl::eval(probe_kernel)
+            .device(&device)
+            .run((&out, &input))
+            .expect("warmup");
         b.iter(|| {
-            let p = hpl::eval(probe_kernel).device(&device).run((&out, &input)).expect("eval");
+            let p = hpl::eval(probe_kernel)
+                .device(&device)
+                .run((&out, &input))
+                .expect("eval");
             assert!(p.cache_hit);
             black_box(p)
         })

@@ -1,0 +1,77 @@
+//! Overlap bench: wall cost of driving the chunked async pipeline
+//! (`benchsuite::pipeline`) versus launching the same chunks with the
+//! blocking `run`, plus a printed summary of the modeled overlap rows
+//! from `bench::overlap` (the `report -- overlap` data).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpl::prelude::*;
+use std::hint::black_box;
+
+fn chunk_kernel(out: &Array<f32, 1>, input: &Array<f32, 1>) {
+    out.at(idx()).assign(input.at(idx()) * 2.0f32 + 1.0f32);
+}
+
+fn bench_overlap(c: &mut Criterion) {
+    println!("\nModeled overlap (report -- overlap):");
+    match bench::overlap::compute() {
+        Ok(rows) => {
+            for r in &rows {
+                println!(
+                    "  {:<48} makespan {:.6} s vs serial sum {:.6} s (ratio {:.2})",
+                    r.label,
+                    r.makespan_seconds,
+                    r.sum_seconds,
+                    r.ratio()
+                );
+            }
+        }
+        Err(e) => eprintln!("  overlap computation failed: {e}"),
+    }
+
+    let device = bench::tesla();
+    let chunks = 8;
+    let n = 1 << 12;
+    let inputs: Vec<Array<f32, 1>> = (0..chunks)
+        .map(|c| Array::from_vec([n], vec![c as f32 + 0.5; n]))
+        .collect();
+    let outputs: Vec<Array<f32, 1>> = (0..chunks).map(|_| Array::new([n])).collect();
+    // warm the kernel cache so both measurements see only launch cost
+    hpl::eval(chunk_kernel)
+        .device(&device)
+        .run((&outputs[0], &inputs[0]))
+        .expect("warmup");
+
+    let mut group = c.benchmark_group("overlap");
+    group.sample_size(20);
+    group.bench_function("async_pipeline", |b| {
+        b.iter(|| {
+            let handles: Vec<_> = (0..chunks)
+                .map(|c| {
+                    hpl::eval(chunk_kernel)
+                        .device(&device)
+                        .run_async((&outputs[c], &inputs[c]))
+                        .expect("enqueue")
+                })
+                .collect();
+            for h in handles {
+                black_box(h.wait().expect("wait"));
+            }
+        })
+    });
+    group.bench_function("blocking_launches", |b| {
+        b.iter(|| {
+            for c in 0..chunks {
+                black_box(
+                    hpl::eval(chunk_kernel)
+                        .device(&device)
+                        .run((&outputs[c], &inputs[c]))
+                        .expect("eval"),
+                );
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overlap);
+criterion_main!(benches);

@@ -2,11 +2,11 @@
 //!
 //! Usage: `cargo run -p bench --release --bin report [-- EXPERIMENT]`
 //! where EXPERIMENT is one of `table1`, `fig6`, `fig7`, `fig8`, `fig9`,
-//! `caching`, `ablation`, or `all` (default). Measured values are printed
-//! next to the paper's published numbers; EXPERIMENTS.md records the
-//! comparison.
+//! `caching`, `ablation`, `overlap`, or `all` (default). Measured values
+//! are printed next to the paper's published numbers; EXPERIMENTS.md
+//! records the comparison.
 
-use bench::{ablation, caching, fig6, fig7, fig8, fig9, table1, tesla};
+use bench::{ablation, caching, fig6, fig7, fig8, fig9, overlap, table1, tesla};
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
@@ -18,6 +18,7 @@ fn main() {
         "fig9" => run_fig9(),
         "caching" => run_caching(),
         "ablation" => run_ablation(),
+        "overlap" => run_overlap(),
         "all" => {
             run_table1()
                 & run_fig6()
@@ -26,10 +27,11 @@ fn main() {
                 & run_fig9()
                 & run_caching()
                 & run_ablation()
+                & run_overlap()
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; use table1|fig6|fig7|fig8|fig9|caching|ablation|all"
+                "unknown experiment `{other}`; use table1|fig6|fig7|fig8|fig9|caching|ablation|overlap|all"
             );
             std::process::exit(2);
         }
@@ -84,7 +86,11 @@ fn run_fig6() -> bool {
                     r.opencl_speedup,
                     r.hpl_speedup,
                     r.hpl_slowdown_percent,
-                    if r.verified { "[verified]" } else { "[MISMATCH]" }
+                    if r.verified {
+                        "[verified]"
+                    } else {
+                        "[MISMATCH]"
+                    }
                 );
                 ok &= r.verified;
                 // the paper's shape: slowdown decreases with problem size
@@ -119,7 +125,11 @@ fn run_fig7() -> bool {
                     r.opencl_speedup(),
                     r.hpl_speedup(),
                     fig7::paper_speedup(r.name).unwrap_or(f64::NAN),
-                    if r.verified { "[verified]" } else { "[MISMATCH]" }
+                    if r.verified {
+                        "[verified]"
+                    } else {
+                        "[MISMATCH]"
+                    }
                 );
                 ok &= r.verified;
             }
@@ -160,9 +170,15 @@ fn run_fig9() -> bool {
     banner("Figure 9 — HPL overhead on Tesla and Quadro FX 380 (EP excluded: no fp64)");
     match fig9::compute() {
         Ok(rows) => {
-            println!("{:<12} {:>12} {:>12}   (paper: <= ~3.5% on either device)", "benchmark", "Tesla", "Quadro");
+            println!(
+                "{:<12} {:>12} {:>12}   (paper: <= ~3.5% on either device)",
+                "benchmark", "Tesla", "Quadro"
+            );
             for r in &rows {
-                println!("{:<12} {:>11.2}% {:>11.2}%", r.benchmark, r.tesla_percent, r.quadro_percent);
+                println!(
+                    "{:<12} {:>11.2}% {:>11.2}%",
+                    r.benchmark, r.tesla_percent, r.quadro_percent
+                );
             }
             // EP must be absent: the Quadro cannot run doubles
             !rows.iter().any(|r| r.benchmark == "EP")
@@ -189,7 +205,11 @@ fn run_caching() -> bool {
             );
             println!(
                 "front-end cost eliminated on reuse: {}",
-                if r.second_front_seconds == 0.0 { "yes" } else { "NO" }
+                if r.second_front_seconds == 0.0 {
+                    "yes"
+                } else {
+                    "NO"
+                }
             );
             r.second_front_seconds == 0.0 && r.second_seconds <= r.first_seconds
         }
@@ -234,4 +254,56 @@ fn run_ablation() -> bool {
         }
     }
     ok
+}
+
+fn run_overlap() -> bool {
+    banner("Overlap — async scheduler pipelines transfers under kernels (modeled timeline)");
+    match overlap::compute() {
+        Ok(rows) => {
+            println!(
+                "{:<48} {:>14} {:>14} {:>8}",
+                "pipeline", "makespan (s)", "serial sum (s)", "ratio"
+            );
+            let mut ok = true;
+            let mut one_tesla_makespan = None;
+            for r in &rows {
+                println!(
+                    "{:<48} {:>14.6} {:>14.6} {:>7.2}   {}",
+                    r.label,
+                    r.makespan_seconds,
+                    r.sum_seconds,
+                    r.ratio(),
+                    if r.verified {
+                        "[verified]"
+                    } else {
+                        "[MISMATCH]"
+                    }
+                );
+                ok &= r.verified;
+                // every overlapped schedule must beat full serialisation
+                ok &= r.makespan_seconds < r.sum_seconds;
+                if r.label.ends_with("1 Tesla") {
+                    one_tesla_makespan = Some(r.makespan_seconds);
+                }
+                if let (Some(m1), true) = (one_tesla_makespan, r.label.ends_with("2 Teslas")) {
+                    let near_halved = r.makespan_seconds < 0.6 * m1;
+                    println!(
+                        "    two devices vs one: {:.2}x the single-device makespan {}",
+                        r.makespan_seconds / m1,
+                        if near_halved {
+                            "(near-halved)"
+                        } else {
+                            "(NOT near-halved)"
+                        }
+                    );
+                    ok &= near_halved;
+                }
+            }
+            ok
+        }
+        Err(e) => {
+            eprintln!("overlap failed: {e}");
+            false
+        }
+    }
 }

@@ -19,12 +19,16 @@ use oclsim::Device;
 
 /// The Tesla-class device of the default platform.
 pub fn tesla() -> Device {
-    hpl::runtime().device_named("tesla").expect("default platform has a Tesla-class GPU")
+    hpl::runtime()
+        .device_named("tesla")
+        .expect("default platform has a Tesla-class GPU")
 }
 
 /// The Quadro-class device of the default platform.
 pub fn quadro() -> Device {
-    hpl::runtime().device_named("quadro").expect("default platform has a Quadro-class GPU")
+    hpl::runtime()
+        .device_named("quadro")
+        .expect("default platform has a Quadro-class GPU")
 }
 
 /// Table I: SLOC of the OpenCL and HPL versions of the five benchmarks.
@@ -438,7 +442,10 @@ pub mod ablation {
     ) -> Result<(f64, f64), benchsuite::Error> {
         use benchsuite::transpose::{generate_matrix, TransposeConfig};
 
-        let cfg = TransposeConfig { rows: 256, cols: 256 };
+        let cfg = TransposeConfig {
+            rows: 256,
+            cols: 256,
+        };
         let data = generate_matrix(&cfg);
 
         // naive: Figure 10(b) — uncoalesced writes
@@ -458,6 +465,120 @@ pub mod ablation {
         let (_, tiled) = benchsuite::transpose::hpl_version::run(&cfg, &data, device)
             .map_err(benchsuite::Error::Hpl)?;
         Ok((naive, tiled.kernel_modeled_seconds))
+    }
+}
+
+/// Overlap experiment: the asynchronous scheduler's modeled timeline on a
+/// chunked transfer/compute pipeline (see `benchsuite::pipeline`).
+pub mod overlap {
+    use oclsim::{CommandQueue, Context, Device, DeviceProfile, MemAccess, Program};
+
+    /// One row of the overlap report.
+    #[derive(Debug, Clone)]
+    pub struct Row {
+        /// What was run.
+        pub label: String,
+        /// Modeled makespan across all devices (fresh timelines).
+        pub makespan_seconds: f64,
+        /// Sum of the individual commands' modeled times — what a fully
+        /// serialised schedule on one device would take.
+        pub sum_seconds: f64,
+        /// Results verified (hpl row) / events all completed (oclsim rows).
+        pub verified: bool,
+    }
+
+    impl Row {
+        /// makespan / sum: < 1.0 means the schedule overlapped commands.
+        pub fn ratio(&self) -> f64 {
+            self.makespan_seconds / self.sum_seconds
+        }
+    }
+
+    const CHUNK_SRC: &str = r#"
+        __kernel void fma2(__global float* out, __global const float* in) {
+            size_t i = get_global_id(0);
+            out[i] = in[i] * 2.0f + 1.0f;
+        }
+    "#;
+
+    /// Stream `chunks` independent upload+kernel chunks over `ndev` fresh
+    /// Tesla-class devices (round-robin) through out-of-order queues;
+    /// returns (makespan, sum of command times). Fresh devices give a
+    /// quiet timeline regardless of what else the process ran.
+    fn oclsim_pipeline(ndev: usize, chunks: usize, elems: usize) -> oclsim::Result<(f64, f64)> {
+        let devices: Vec<Device> = (0..ndev)
+            .map(|_| Device::new(DeviceProfile::tesla_c2050()))
+            .collect();
+        let mut rigs = Vec::new();
+        for d in &devices {
+            let ctx = Context::new(std::slice::from_ref(d))?;
+            let queue = CommandQueue::new_out_of_order(&ctx, d)?;
+            let program = Program::from_source(&ctx, CHUNK_SRC);
+            program.build("")?;
+            rigs.push((ctx, queue, program));
+        }
+        let data = vec![1.5f32; elems];
+        let mut events = Vec::new();
+        for c in 0..chunks {
+            let (ctx, queue, program) = &rigs[c % ndev];
+            let input = ctx.create_buffer(elems * 4, MemAccess::ReadOnly)?;
+            let out = ctx.create_buffer(elems * 4, MemAccess::WriteOnly)?;
+            let kernel = program.kernel("fma2")?;
+            kernel.set_arg_buffer(0, &out)?;
+            kernel.set_arg_buffer(1, &input)?;
+            let write = queue.enqueue_write_async(&input, 0, &data, &[])?;
+            let launch = queue.enqueue_ndrange_async(
+                &kernel,
+                &[elems],
+                None,
+                std::slice::from_ref(&write),
+            )?;
+            events.push(write);
+            events.push(launch);
+        }
+        oclsim::wait_for_events(&events)?;
+        let sum: f64 = events.iter().map(|e| e.modeled_seconds()).sum();
+        let makespan = devices
+            .iter()
+            .map(Device::timeline_horizon)
+            .fold(0.0f64, f64::max);
+        Ok((makespan, sum))
+    }
+
+    /// All rows of the overlap experiment: the HPL `run_async` pipeline on
+    /// the runtime's Tesla, then the oclsim-level pipeline on one and two
+    /// fresh Tesla-class devices.
+    pub fn compute() -> Result<Vec<Row>, benchsuite::Error> {
+        let mut rows = Vec::new();
+
+        let cfg = benchsuite::pipeline::PipelineConfig::default();
+        let tesla = super::tesla();
+        let hpl_run = benchsuite::pipeline::run(&cfg, &[tesla]).map_err(benchsuite::Error::Hpl)?;
+        rows.push(Row {
+            label: format!(
+                "hpl run_async, {} chunks x {} elems, 1 Tesla",
+                cfg.chunks, cfg.chunk_elems
+            ),
+            makespan_seconds: hpl_run.makespan_seconds,
+            sum_seconds: hpl_run.sum_command_seconds,
+            verified: hpl_run.verified,
+        });
+
+        let (m1, s1) = oclsim_pipeline(1, 8, 1 << 15)?;
+        rows.push(Row {
+            label: "oclsim out-of-order, 8 chunks, 1 Tesla".into(),
+            makespan_seconds: m1,
+            sum_seconds: s1,
+            verified: true,
+        });
+        let (m2, s2) = oclsim_pipeline(2, 8, 1 << 15)?;
+        rows.push(Row {
+            label: "oclsim out-of-order, 8 chunks, 2 Teslas".into(),
+            makespan_seconds: m2,
+            sum_seconds: s2,
+            verified: true,
+        });
+        Ok(rows)
     }
 }
 

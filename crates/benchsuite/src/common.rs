@@ -99,7 +99,11 @@ fn serial_rig() -> &'static SerialRig {
         let device = Device::new(DeviceProfile::serial_cpu());
         let context = Context::new(std::slice::from_ref(&device)).expect("serial context");
         let queue = CommandQueue::new(&context, &device).expect("serial queue");
-        SerialRig { device, context, queue }
+        SerialRig {
+            device,
+            context,
+            queue,
+        }
     })
 }
 
@@ -161,8 +165,14 @@ mod tests {
     fn report_derivations() {
         let r = BenchReport {
             name: "t",
-            opencl: RunMetrics { kernel_modeled_seconds: 1.0, ..Default::default() },
-            hpl: RunMetrics { kernel_modeled_seconds: 1.02, ..Default::default() },
+            opencl: RunMetrics {
+                kernel_modeled_seconds: 1.0,
+                ..Default::default()
+            },
+            hpl: RunMetrics {
+                kernel_modeled_seconds: 1.02,
+                ..Default::default()
+            },
             serial_modeled_seconds: 10.0,
             verified: true,
         };

@@ -1,0 +1,39 @@
+//! ep — asynchronous HPL variant: the same kernel as
+//! `hpl_version`, launched through `eval(..).run_async(..)` on the
+//! device's out-of-order queue. Kept out of `hpl_version.rs` so the
+//! Table I SLOC instrument keeps counting exactly the paper's
+//! synchronous program.
+
+use hpl::eval;
+use hpl::prelude::*;
+use oclsim::Device;
+
+use super::hpl_version::ep_kernel;
+use super::{reduce_outputs, thread_seeds, EpConfig, EpResult};
+use crate::common::RunMetrics;
+
+/// Like [`super::hpl_version::run`], but the launch goes through `run_async` on the device's
+/// out-of-order queue; the result read-back settles the event.
+pub fn run(cfg: &EpConfig, device: &Device) -> Result<(EpResult, RunMetrics), hpl::Error> {
+    hpl::clear_kernel_cache();
+    let stats_before = hpl::runtime().transfer_stats();
+    let threads = cfg.threads();
+    let seeds = Array::<u64, 1>::from_vec([threads], thread_seeds(cfg));
+    let sx = Array::<f64, 1>::new([threads]);
+    let sy = Array::<f64, 1>::new([threads]);
+    let q = Array::<i32, 1>::new([threads * 10]);
+    let ppt = Int::new(cfg.pairs_per_thread as i32);
+
+    let handle = eval(ep_kernel)
+        .device(device)
+        .local(&[64.min(threads)])
+        .run_async((&seeds, &sx, &sy, &q, &ppt))?;
+    let profile = handle.wait()?;
+
+    let result = reduce_outputs(&sx.to_vec(), &sy.to_vec(), &q.to_vec());
+    let stats_after = hpl::runtime().transfer_stats();
+    let mut metrics = RunMetrics::default();
+    metrics.add_eval(&profile);
+    metrics.transfer_modeled_seconds = stats_after.modeled_seconds - stats_before.modeled_seconds;
+    Ok((result, metrics))
+}

@@ -24,7 +24,7 @@ fn lcg_next(x: Expr<u64>) -> Expr<u64> {
 }
 
 /// The EP kernel written with the HPL embedded DSL.
-fn ep_kernel(
+pub(super) fn ep_kernel(
     seeds: &Array<u64, 1>,
     sx: &Array<f64, 1>,
     sy: &Array<f64, 1>,
@@ -108,8 +108,7 @@ pub fn run(cfg: &EpConfig, device: &Device) -> Result<(EpResult, RunMetrics), hp
     let mut metrics = RunMetrics::default();
     metrics.add_eval(&profile);
     // include the result read-back like the OpenCL version's metrics do
-    metrics.transfer_modeled_seconds =
-        stats_after.modeled_seconds - stats_before.modeled_seconds;
+    metrics.transfer_modeled_seconds = stats_after.modeled_seconds - stats_before.modeled_seconds;
     // stabilise the one-shot front-end wall measurement against host noise
     let seeds = Array::<u64, 1>::from_vec([1], vec![super::EP_SEED]);
     let sx = Array::<f64, 1>::new([1]);
@@ -131,8 +130,14 @@ mod tests {
         let device = hpl::runtime().default_device();
         let (result, metrics) = run(&cfg, &device).unwrap();
         let reference = super::super::serial(&cfg);
-        assert!(reference.matches(&result), "\nref {reference:?}\ngot {result:?}");
-        assert!(metrics.front_seconds > 0.0, "cold cache pays capture+codegen");
+        assert!(
+            reference.matches(&result),
+            "\nref {reference:?}\ngot {result:?}"
+        );
+        assert!(
+            metrics.front_seconds > 0.0,
+            "cold cache pays capture+codegen"
+        );
         assert!(metrics.build_seconds > 0.0);
     }
 

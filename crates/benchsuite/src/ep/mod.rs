@@ -8,6 +8,7 @@
 //! the classes are scaled down by a factor of 2^6–2^9 (see DESIGN.md); EP's
 //! speedup is nearly size-independent, which is what Figure 6 shows.
 
+pub mod async_version;
 pub mod hpl_version;
 pub mod opencl_version;
 
@@ -76,14 +77,20 @@ pub struct EpConfig {
 
 impl Default for EpConfig {
     fn default() -> Self {
-        EpConfig { class: EpClass::S, pairs_per_thread: 16 }
+        EpConfig {
+            class: EpClass::S,
+            pairs_per_thread: 16,
+        }
     }
 }
 
 impl EpConfig {
     /// A configuration for `class` with the default chunking.
     pub fn class(class: EpClass) -> Self {
-        EpConfig { class, pairs_per_thread: 16 }
+        EpConfig {
+            class,
+            pairs_per_thread: 16,
+        }
     }
 
     /// Number of work-items.
@@ -178,7 +185,11 @@ pub fn serial(cfg: &EpConfig) -> EpResult {
 
 /// Reduce per-thread outputs into an [`EpResult`] (device versions).
 pub fn reduce_outputs(sx: &[f64], sy: &[f64], q: &[i32]) -> EpResult {
-    let mut result = EpResult { q: [0; 10], sx: 0.0, sy: 0.0 };
+    let mut result = EpResult {
+        q: [0; 10],
+        sx: 0.0,
+        sy: 0.0,
+    };
     for (i, (&x, &y)) in sx.iter().zip(sy).enumerate() {
         result.sx += x;
         result.sy += y;
@@ -199,7 +210,13 @@ pub fn run(cfg: &EpConfig, device: &oclsim::Device) -> Result<BenchReport, crate
     let (hpl_result, hpl) = hpl_version::run(cfg, device)?;
 
     let verified = reference.matches(&ocl_result) && reference.matches(&hpl_result);
-    Ok(BenchReport { name: "EP", opencl, hpl, serial_modeled_seconds, verified })
+    Ok(BenchReport {
+        name: "EP",
+        opencl,
+        hpl,
+        serial_modeled_seconds,
+        verified,
+    })
 }
 
 #[cfg(test)]
@@ -227,7 +244,10 @@ mod tests {
 
     #[test]
     fn thread_seeds_partition_the_stream() {
-        let cfg = EpConfig { class: EpClass::S, pairs_per_thread: 8 };
+        let cfg = EpConfig {
+            class: EpClass::S,
+            pairs_per_thread: 8,
+        };
         let seeds = thread_seeds(&cfg);
         assert_eq!(seeds.len(), cfg.threads());
         // seed[1] is exactly 16 steps past seed[0]
@@ -249,7 +269,10 @@ mod tests {
         assert!((rate - 0.785).abs() < 0.02, "acceptance rate {rate}");
         // Gaussian sums hover near zero relative to the count
         assert!(r.sx.abs() < pairs.sqrt() * 4.0);
-        assert!(r.q[0] > r.q[2], "most deviates fall in the innermost annuli");
+        assert!(
+            r.q[0] > r.q[2],
+            "most deviates fall in the innermost annuli"
+        );
     }
 
     #[test]

@@ -46,7 +46,10 @@ pub fn run(cfg: &EpConfig, device: &Device) -> Result<(EpResult, RunMetrics), Er
     // ---- program load and build --------------------------------------------
     let program = Program::from_source(&context, SOURCE);
     if let Err(e) = program.build("") {
-        eprintln!("ep: clBuildProgram failed, build log:\n{}", program.build_log());
+        eprintln!(
+            "ep: clBuildProgram failed, build log:\n{}",
+            program.build_log()
+        );
         return Err(e);
     }
     metrics.build_seconds = program.build_duration().as_secs_f64();
@@ -93,6 +96,8 @@ pub fn run(cfg: &EpConfig, device: &Device) -> Result<(EpResult, RunMetrics), Er
             return Err(e);
         }
     };
+    // clFinish: blocks until the dispatcher has drained every command
+    // enqueued above and their events have resolved.
     queue.finish();
     metrics.kernel_modeled_seconds += event.modeled_seconds();
 
@@ -149,7 +154,10 @@ mod tests {
         let device = Platform::default_platform().default_accelerator().unwrap();
         let (result, metrics) = run(&cfg, &device).unwrap();
         let reference = super::super::serial(&cfg);
-        assert!(reference.matches(&result), "\nref {reference:?}\ngot {result:?}");
+        assert!(
+            reference.matches(&result),
+            "\nref {reference:?}\ngot {result:?}"
+        );
         assert!(metrics.kernel_modeled_seconds > 0.0);
         assert!(metrics.build_seconds > 0.0);
         assert!(metrics.transfer_modeled_seconds > 0.0);

@@ -1,0 +1,50 @@
+//! floyd — asynchronous HPL variant: the same kernel as
+//! `hpl_version`, launched through `eval(..).run_async(..)` on the
+//! device's out-of-order queue. Kept out of `hpl_version.rs` so the
+//! Table I SLOC instrument keeps counting exactly the paper's
+//! synchronous program.
+
+use hpl::eval;
+use hpl::prelude::*;
+use oclsim::Device;
+
+use super::hpl_version::floyd_kernel;
+use super::FloydConfig;
+use crate::common::RunMetrics;
+
+/// Like [`super::hpl_version::run`], but every pass goes through `run_async`: the host fires
+/// all n launches without waiting, and HPL's inferred wait lists (each
+/// pass both reads and writes `dist`) chain them on the device's
+/// out-of-order queue. `dist.to_vec()` at the end settles the whole chain.
+pub fn run(
+    cfg: &FloydConfig,
+    graph: &[u32],
+    device: &Device,
+) -> Result<(Vec<u32>, RunMetrics), hpl::Error> {
+    hpl::clear_kernel_cache();
+    let stats_before = hpl::runtime().transfer_stats();
+    let n = cfg.nodes;
+    let dist = Array::<u32, 2>::from_vec([n, n], graph.to_vec());
+    let k = Int::new(0);
+
+    let local = 16.min(n);
+    let mut handles = Vec::with_capacity(n);
+    for pass in 0..n {
+        k.set(pass as i32);
+        handles.push(
+            eval(floyd_kernel)
+                .device(device)
+                .global(&[n, n])
+                .local(&[local, local])
+                .run_async((&dist, &k))?,
+        );
+    }
+    let mut metrics = RunMetrics::default();
+    for h in handles {
+        metrics.add_eval(&h.wait()?);
+    }
+    let result = dist.to_vec();
+    let stats_after = hpl::runtime().transfer_stats();
+    metrics.transfer_modeled_seconds = stats_after.modeled_seconds - stats_before.modeled_seconds;
+    Ok((result, metrics))
+}

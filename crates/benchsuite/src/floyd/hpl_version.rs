@@ -11,7 +11,7 @@ use super::FloydConfig;
 use crate::common::RunMetrics;
 
 /// The Floyd–Warshall pass written with the HPL embedded DSL.
-fn floyd_kernel(dist: &Array<u32, 2>, k: &Int) {
+pub(super) fn floyd_kernel(dist: &Array<u32, 2>, k: &Int) {
     let x = Int::new(0);
     let y = Int::new(0);
     x.assign(idx());
@@ -63,7 +63,10 @@ mod tests {
 
     #[test]
     fn hpl_matches_serial_reference() {
-        let cfg = FloydConfig { nodes: 32, seed: 11 };
+        let cfg = FloydConfig {
+            nodes: 32,
+            seed: 11,
+        };
         let graph = generate_graph(&cfg);
         let device = hpl::runtime().default_device();
         let (result, metrics) = run(&cfg, &graph, &device).unwrap();
@@ -81,7 +84,11 @@ mod tests {
         hpl::runtime().reset_transfer_stats();
         let _ = run(&cfg, &graph, &device).unwrap();
         let stats = hpl::runtime().transfer_stats();
-        assert_eq!(stats.h2d_count, 1, "one upload despite {} passes", cfg.nodes);
+        assert_eq!(
+            stats.h2d_count, 1,
+            "one upload despite {} passes",
+            cfg.nodes
+        );
         assert_eq!(stats.d2h_count, 1, "one download at the end");
     }
 }

@@ -5,6 +5,7 @@
 //! kernel per intermediate vertex, so the scaling is quadratic per launch
 //! and linear in launches.
 
+pub mod async_version;
 pub mod hpl_version;
 pub mod opencl_version;
 
@@ -34,12 +35,18 @@ impl Default for FloydConfig {
 impl FloydConfig {
     /// The scaled counterpart of the paper's 1024-node graph (Fig. 7).
     pub fn paper_scaled() -> Self {
-        FloydConfig { nodes: 256, seed: 7 }
+        FloydConfig {
+            nodes: 256,
+            seed: 7,
+        }
     }
 
     /// The scaled counterpart of the 512-node portability run (Fig. 9).
     pub fn paper_scaled_small() -> Self {
-        FloydConfig { nodes: 128, seed: 7 }
+        FloydConfig {
+            nodes: 128,
+            seed: 7,
+        }
     }
 }
 
@@ -86,7 +93,13 @@ pub fn run(cfg: &FloydConfig, device: &oclsim::Device) -> Result<BenchReport, cr
     let (hpl_result, hpl) = hpl_version::run(cfg, &graph, device)?;
 
     let verified = reference == ocl_result && reference == hpl_result;
-    Ok(BenchReport { name: "Floyd", opencl, hpl, serial_modeled_seconds, verified })
+    Ok(BenchReport {
+        name: "Floyd",
+        opencl,
+        hpl,
+        serial_modeled_seconds,
+        verified,
+    })
 }
 
 #[cfg(test)]
@@ -100,7 +113,9 @@ mod tests {
         for i in 0..16 {
             assert_eq!(g[i * 16 + i], 0);
         }
-        assert!(g.iter().all(|&w| w == 0 || w == INF || (1..100).contains(&w)));
+        assert!(g
+            .iter()
+            .all(|&w| w == 0 || w == INF || (1..100).contains(&w)));
         assert!(g.iter().any(|&w| w != INF && w != 0), "some edges exist");
     }
 

@@ -46,7 +46,10 @@ pub fn run(
     // ---- program load and build --------------------------------------------
     let program = Program::from_source(&context, SOURCE);
     if let Err(e) = program.build("") {
-        eprintln!("floyd: clBuildProgram failed, build log:\n{}", program.build_log());
+        eprintln!(
+            "floyd: clBuildProgram failed, build log:\n{}",
+            program.build_log()
+        );
         return Err(e);
     }
     metrics.build_seconds = program.build_duration().as_secs_f64();
@@ -91,6 +94,8 @@ pub fn run(
             }
         }
     }
+    // clFinish: blocks until the dispatcher has drained every command
+    // enqueued above and their events have resolved.
     queue.finish();
 
     // ---- read back and cleanup -------------------------------------------------------
@@ -115,7 +120,10 @@ mod tests {
 
     #[test]
     fn opencl_matches_serial_reference() {
-        let cfg = FloydConfig { nodes: 32, seed: 11 };
+        let cfg = FloydConfig {
+            nodes: 32,
+            seed: 11,
+        };
         let graph = generate_graph(&cfg);
         let device = Platform::default_platform().default_accelerator().unwrap();
         let (result, metrics) = run(&cfg, &graph, &device).unwrap();

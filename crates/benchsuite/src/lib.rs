@@ -22,6 +22,7 @@
 pub mod common;
 pub mod ep;
 pub mod floyd;
+pub mod pipeline;
 pub mod reduction;
 pub mod spmv;
 pub mod transpose;

@@ -1,0 +1,42 @@
+//! reduction — asynchronous HPL variant: the same kernel as
+//! `hpl_version`, launched through `eval(..).run_async(..)` on the
+//! device's out-of-order queue. Kept out of `hpl_version.rs` so the
+//! Table I SLOC instrument keeps counting exactly the paper's
+//! synchronous program.
+
+use hpl::eval;
+use hpl::prelude::*;
+use oclsim::Device;
+
+use super::hpl_version::reduction_kernel;
+use super::{ReductionConfig, CHUNK, GROUP, PER_THREAD};
+use crate::common::RunMetrics;
+
+/// Like [`super::hpl_version::run`], but the launch goes through `run_async`; the
+/// `with_data` scan of the partial sums settles the pending event.
+pub fn run(
+    cfg: &ReductionConfig,
+    data: &[f32],
+    device: &Device,
+) -> Result<(f32, RunMetrics), hpl::Error> {
+    hpl::clear_kernel_cache();
+    let stats_before = hpl::runtime().transfer_stats();
+    let n = cfg.n;
+    let groups = n / CHUNK;
+    let input = Array::<f32, 1>::from_vec([n], data.to_vec());
+    let partials = Array::<f32, 1>::new([groups]);
+
+    let handle = eval(reduction_kernel)
+        .device(device)
+        .global(&[n / PER_THREAD])
+        .local(&[GROUP])
+        .run_async((&input, &partials))?;
+    let profile = handle.wait()?;
+
+    let result = partials.with_data(|d| d.iter().sum());
+    let stats_after = hpl::runtime().transfer_stats();
+    let mut metrics = RunMetrics::default();
+    metrics.add_eval(&profile);
+    metrics.transfer_modeled_seconds = stats_after.modeled_seconds - stats_before.modeled_seconds;
+    Ok((result, metrics))
+}

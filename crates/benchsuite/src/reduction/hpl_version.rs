@@ -1,15 +1,15 @@
 //! Reduction — HPL version (the efficient tree-reduction variant the
 //! paper's dot-product discussion alludes to).
 
-use hpl::prelude::*;
 use hpl::eval;
+use hpl::prelude::*;
 use oclsim::Device;
 
 use super::{ReductionConfig, CHUNK, GROUP, PER_THREAD};
 use crate::common::RunMetrics;
 
 /// The reduction kernel written with the HPL embedded DSL.
-fn reduction_kernel(input: &Array<f32, 1>, partials: &Array<f32, 1>) {
+pub(super) fn reduction_kernel(input: &Array<f32, 1>, partials: &Array<f32, 1>) {
     let sdata = Array::<f32, 1>::local([GROUP]);
     let lid = Int::new(0);
     lid.assign(lidx());

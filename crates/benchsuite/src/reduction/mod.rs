@@ -6,6 +6,7 @@
 //! integers so every summation order gives the exact same float — which
 //! lets verification demand bitwise equality.
 
+pub mod async_version;
 pub mod hpl_version;
 pub mod opencl_version;
 
@@ -46,7 +47,10 @@ impl ReductionConfig {
     }
 
     fn validate(&self) {
-        assert!(self.n % CHUNK == 0, "n must be a multiple of the {CHUNK}-element group chunk");
+        assert!(
+            self.n.is_multiple_of(CHUNK),
+            "n must be a multiple of the {CHUNK}-element group chunk"
+        );
     }
 }
 
@@ -56,7 +60,9 @@ impl ReductionConfig {
 /// millions of elements.
 pub fn generate_input(cfg: &ReductionConfig) -> Vec<f32> {
     cfg.validate();
-    (0..cfg.n).map(|i| ((i * 2_654_435_761) % 17) as f32 - 8.0).collect()
+    (0..cfg.n)
+        .map(|i| ((i * 2_654_435_761) % 17) as f32 - 8.0)
+        .collect()
 }
 
 /// Serial native-Rust reference.
@@ -74,7 +80,13 @@ pub fn run(cfg: &ReductionConfig, device: &oclsim::Device) -> Result<BenchReport
     let (hpl_result, hpl) = hpl_version::run(cfg, &data, device)?;
 
     let verified = ocl_result == reference && hpl_result == reference;
-    Ok(BenchReport { name: "reduction", opencl, hpl, serial_modeled_seconds, verified })
+    Ok(BenchReport {
+        name: "reduction",
+        opencl,
+        hpl,
+        serial_modeled_seconds,
+        verified,
+    })
 }
 
 #[cfg(test)]
@@ -85,7 +97,9 @@ mod tests {
     fn input_is_exactly_summable() {
         let cfg = ReductionConfig { n: CHUNK * 4 };
         let data = generate_input(&cfg);
-        assert!(data.iter().all(|&x| (-8.0..=8.0).contains(&x) && x.fract() == 0.0));
+        assert!(data
+            .iter()
+            .all(|&x| (-8.0..=8.0).contains(&x) && x.fract() == 0.0));
         // zero-centred residues: running sums stay tiny, so f32 summation
         // is exact in any order
         let total: f64 = data.iter().map(|&x| x as f64).sum();

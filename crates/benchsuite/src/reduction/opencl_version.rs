@@ -44,7 +44,10 @@ pub fn run(
     // ---- program load and build --------------------------------------------
     let program = Program::from_source(&context, SOURCE);
     if let Err(e) = program.build("") {
-        eprintln!("reduction: clBuildProgram failed, build log:\n{}", program.build_log());
+        eprintln!(
+            "reduction: clBuildProgram failed, build log:\n{}",
+            program.build_log()
+        );
         return Err(e);
     }
     metrics.build_seconds = program.build_duration().as_secs_f64();
@@ -92,6 +95,8 @@ pub fn run(
             return Err(e);
         }
     };
+    // clFinish: blocks until the dispatcher has drained every command
+    // enqueued above and their events have resolved.
     queue.finish();
     metrics.kernel_modeled_seconds += event.modeled_seconds();
 

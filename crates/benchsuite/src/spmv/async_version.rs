@@ -1,0 +1,45 @@
+//! spmv — asynchronous HPL variant: the same kernel as
+//! `hpl_version`, launched through `eval(..).run_async(..)` on the
+//! device's out-of-order queue. Kept out of `hpl_version.rs` so the
+//! Table I SLOC instrument keeps counting exactly the paper's
+//! synchronous program.
+
+use hpl::eval;
+use hpl::prelude::*;
+use oclsim::Device;
+
+use super::hpl_version::spmv_kernel;
+use super::{CsrProblem, SpmvConfig, M};
+use crate::common::RunMetrics;
+
+/// Like [`super::hpl_version::run`], but the launch goes through `run_async`; the four input
+/// uploads are enqueued without waiting and the kernel's inferred wait
+/// list orders it after all of them.
+pub fn run(
+    cfg: &SpmvConfig,
+    p: &CsrProblem,
+    device: &Device,
+) -> Result<(Vec<f32>, RunMetrics), hpl::Error> {
+    hpl::clear_kernel_cache();
+    let stats_before = hpl::runtime().transfer_stats();
+    let n = cfg.n;
+    let a = Array::<f32, 1>::from_vec([p.val.len()], p.val.clone());
+    let vec = Array::<f32, 1>::from_vec([n], p.vec.clone());
+    let cols = Array::<i32, 1>::from_vec([p.cols.len()], p.cols.clone());
+    let rowptr = Array::<i32, 1>::from_vec([n + 1], p.rowptr.clone());
+    let out = Array::<f32, 1>::new([n]);
+
+    let handle = eval(spmv_kernel)
+        .device(device)
+        .global(&[n * M])
+        .local(&[M])
+        .run_async((&a, &vec, &cols, &rowptr, &out))?;
+    let profile = handle.wait()?;
+
+    let result = out.to_vec();
+    let stats_after = hpl::runtime().transfer_stats();
+    let mut metrics = RunMetrics::default();
+    metrics.add_eval(&profile);
+    metrics.transfer_modeled_seconds = stats_after.modeled_seconds - stats_before.modeled_seconds;
+    Ok((result, metrics))
+}

@@ -2,15 +2,15 @@
 //! Figure 5(b), with a group of `M` lanes per row and a local-memory tree
 //! reduction.
 
-use hpl::prelude::*;
 use hpl::eval;
+use hpl::prelude::*;
 use oclsim::Device;
 
 use super::{CsrProblem, SpmvConfig, M};
 use crate::common::RunMetrics;
 
 /// The spmv kernel written with the HPL embedded DSL (paper Figure 5(b)).
-fn spmv_kernel(
+pub(super) fn spmv_kernel(
     a: &Array<f32, 1>,
     vec: &Array<f32, 1>,
     cols: &Array<i32, 1>,
@@ -25,9 +25,15 @@ fn spmv_kernel(
     row_end.assign(rowptr.at(row.v() + 1));
     let j = Int::var();
     let my_sum = Float::new(0.0);
-    for_var(&j, rowptr.at(row.v()) + lane.v(), row_end.v(), M as i32, || {
-        my_sum.assign_add(a.at(j.v()) * vec.at(cols.at(j.v())));
-    });
+    for_var(
+        &j,
+        rowptr.at(row.v()) + lane.v(),
+        row_end.v(),
+        M as i32,
+        || {
+            my_sum.assign_add(a.at(j.v()) * vec.at(cols.at(j.v())));
+        },
+    );
 
     let sdata = Array::<f32, 1>::local([M]);
     sdata.at(lane.v()).assign(my_sum.v());
@@ -74,8 +80,7 @@ pub fn run(
     metrics.add_eval(&profile);
     metrics.transfer_modeled_seconds = stats_after.modeled_seconds - stats_before.modeled_seconds;
     // stabilise the one-shot front-end wall measurement against host noise
-    let (cap, gen) =
-        hpl::eval::measure_front(spmv_kernel, &(&a, &vec, &cols, &rowptr, &out), 3);
+    let (cap, gen) = hpl::eval::measure_front(spmv_kernel, &(&a, &vec, &cols, &rowptr, &out), 3);
     metrics.front_seconds = metrics.front_seconds.min(cap + gen);
     Ok((result, metrics))
 }
@@ -87,7 +92,11 @@ mod tests {
 
     #[test]
     fn hpl_matches_serial_reference() {
-        let cfg = SpmvConfig { n: 128, density: 0.05, seed: 5 };
+        let cfg = SpmvConfig {
+            n: 128,
+            density: 0.05,
+            seed: 5,
+        };
         let p = generate(&cfg);
         let device = hpl::runtime().default_device();
         let (result, metrics) = run(&cfg, &p, &device).unwrap();

@@ -5,6 +5,7 @@
 //! Quadro); scaled here to 2K×2K / 1K×1K with the same density. One
 //! work-group of [`M`] lanes cooperates on each row, as in Figure 5(b).
 
+pub mod async_version;
 pub mod hpl_version;
 pub mod opencl_version;
 
@@ -29,19 +30,31 @@ pub struct SpmvConfig {
 
 impl Default for SpmvConfig {
     fn default() -> Self {
-        SpmvConfig { n: 256, density: 0.01, seed: 42 }
+        SpmvConfig {
+            n: 256,
+            density: 0.01,
+            seed: 42,
+        }
     }
 }
 
 impl SpmvConfig {
     /// Scaled counterpart of the paper's 16K×16K, 1% non-zeros (Fig. 7): 8K×8K.
     pub fn paper_scaled() -> Self {
-        SpmvConfig { n: 8192, density: 0.01, seed: 42 }
+        SpmvConfig {
+            n: 8192,
+            density: 0.01,
+            seed: 42,
+        }
     }
 
     /// Scaled counterpart of the 8K×8K portability run (Fig. 9): 4K×4K.
     pub fn paper_scaled_small() -> Self {
-        SpmvConfig { n: 4096, density: 0.01, seed: 42 }
+        SpmvConfig {
+            n: 4096,
+            density: 0.01,
+            seed: 42,
+        }
     }
 }
 
@@ -70,7 +83,9 @@ pub fn generate(cfg: &SpmvConfig) -> CsrProblem {
     rowptr.push(0i32);
     for _ in 0..n {
         // jittered count per row: 50%..150% of the target density
-        let count = rng.random_range(per_row.div_ceil(2)..=per_row + per_row / 2).min(n);
+        let count = rng
+            .random_range(per_row.div_ceil(2)..=per_row + per_row / 2)
+            .min(n);
         let mut row_cols: Vec<i32> = (0..count).map(|_| rng.random_range(0..n as i32)).collect();
         row_cols.sort_unstable();
         row_cols.dedup();
@@ -81,16 +96,21 @@ pub fn generate(cfg: &SpmvConfig) -> CsrProblem {
         rowptr.push(cols.len() as i32);
     }
     let vec = (0..n).map(|_| rng.random_range(-1.0f32..1.0)).collect();
-    CsrProblem { val, cols, rowptr, vec }
+    CsrProblem {
+        val,
+        cols,
+        rowptr,
+        vec,
+    }
 }
 
 /// Serial native-Rust reference — the paper's Figure 5(a) loop.
 pub fn serial(p: &CsrProblem) -> Vec<f32> {
     let n = p.rowptr.len() - 1;
     let mut out = vec![0.0f32; n];
-    for i in 0..n {
+    for (i, o) in out.iter_mut().enumerate().take(n) {
         for j in p.rowptr[i] as usize..p.rowptr[i + 1] as usize {
-            out[i] += p.val[j] * p.vec[p.cols[j] as usize];
+            *o += p.val[j] * p.vec[p.cols[j] as usize];
         }
     }
     out
@@ -114,7 +134,13 @@ pub fn run(cfg: &SpmvConfig, device: &oclsim::Device) -> Result<BenchReport, cra
     let (hpl_result, hpl) = hpl_version::run(cfg, &problem, device)?;
 
     let verified = results_match(&reference, &ocl_result) && results_match(&reference, &hpl_result);
-    Ok(BenchReport { name: "spmv", opencl, hpl, serial_modeled_seconds, verified })
+    Ok(BenchReport {
+        name: "spmv",
+        opencl,
+        hpl,
+        serial_modeled_seconds,
+        verified,
+    })
 }
 
 #[cfg(test)]
@@ -123,7 +149,11 @@ mod tests {
 
     #[test]
     fn csr_structure_is_valid() {
-        let cfg = SpmvConfig { n: 100, density: 0.05, seed: 1 };
+        let cfg = SpmvConfig {
+            n: 100,
+            density: 0.05,
+            seed: 1,
+        };
         let p = generate(&cfg);
         assert_eq!(p.rowptr.len(), 101);
         assert_eq!(p.rowptr[0], 0);
@@ -155,7 +185,11 @@ mod tests {
 
     #[test]
     fn density_roughly_respected() {
-        let cfg = SpmvConfig { n: 1000, density: 0.01, seed: 9 };
+        let cfg = SpmvConfig {
+            n: 1000,
+            density: 0.01,
+            seed: 9,
+        };
         let p = generate(&cfg);
         let nnz = p.val.len() as f64;
         let total = (cfg.n * cfg.n) as f64;

@@ -47,7 +47,10 @@ pub fn run(
     // ---- program load and build --------------------------------------------
     let program = Program::from_source(&context, SOURCE);
     if let Err(e) = program.build("") {
-        eprintln!("spmv: clBuildProgram failed, build log:\n{}", program.build_log());
+        eprintln!(
+            "spmv: clBuildProgram failed, build log:\n{}",
+            program.build_log()
+        );
         return Err(e);
     }
     metrics.build_seconds = program.build_duration().as_secs_f64();
@@ -97,6 +100,8 @@ pub fn run(
             return Err(e);
         }
     };
+    // clFinish: blocks until the dispatcher has drained every command
+    // enqueued above and their events have resolved.
     queue.finish();
     metrics.kernel_modeled_seconds += event.modeled_seconds();
 
@@ -141,7 +146,11 @@ mod tests {
 
     #[test]
     fn opencl_matches_serial_reference() {
-        let cfg = SpmvConfig { n: 128, density: 0.05, seed: 5 };
+        let cfg = SpmvConfig {
+            n: 128,
+            density: 0.05,
+            seed: 5,
+        };
         let p = generate(&cfg);
         let device = Platform::default_platform().default_accelerator().unwrap();
         let (result, metrics) = run(&cfg, &p, &device).unwrap();

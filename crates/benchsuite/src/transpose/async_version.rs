@@ -1,0 +1,41 @@
+//! transpose — asynchronous HPL variant: the same kernel as
+//! `hpl_version`, launched through `eval(..).run_async(..)` on the
+//! device's out-of-order queue. Kept out of `hpl_version.rs` so the
+//! Table I SLOC instrument keeps counting exactly the paper's
+//! synchronous program.
+
+use hpl::eval;
+use hpl::prelude::*;
+use oclsim::Device;
+
+use super::hpl_version::transpose_kernel;
+use super::{TransposeConfig, BLOCK};
+use crate::common::RunMetrics;
+
+/// Like [`super::hpl_version::run`], but the launch goes through `run_async`; `dst.to_vec()`
+/// settles the pending event.
+pub fn run(
+    cfg: &TransposeConfig,
+    src_data: &[f32],
+    device: &Device,
+) -> Result<(Vec<f32>, RunMetrics), hpl::Error> {
+    hpl::clear_kernel_cache();
+    let stats_before = hpl::runtime().transfer_stats();
+    let (h, w) = (cfg.rows, cfg.cols);
+    let src = Array::<f32, 2>::from_vec([h, w], src_data.to_vec());
+    let dst = Array::<f32, 2>::new([w, h]);
+
+    let handle = eval(transpose_kernel)
+        .device(device)
+        .global(&[w, h])
+        .local(&[BLOCK, BLOCK])
+        .run_async((&dst, &src))?;
+    let profile = handle.wait()?;
+
+    let result = dst.to_vec();
+    let stats_after = hpl::runtime().transfer_stats();
+    let mut metrics = RunMetrics::default();
+    metrics.add_eval(&profile);
+    metrics.transfer_modeled_seconds = stats_after.modeled_seconds - stats_before.modeled_seconds;
+    Ok((result, metrics))
+}

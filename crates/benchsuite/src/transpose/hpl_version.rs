@@ -1,8 +1,8 @@
 //! Matrix transpose — HPL version, using a 2-D `__local` tile so the
 //! global accesses coalesce, exactly like the hand-written kernel.
 
-use hpl::prelude::*;
 use hpl::eval;
+use hpl::prelude::*;
 use oclsim::Device;
 
 use super::{TransposeConfig, BLOCK};
@@ -10,7 +10,7 @@ use crate::common::RunMetrics;
 
 /// The tiled transpose written with the HPL embedded DSL. `dst` is the
 /// transposed (cols × rows) matrix.
-fn transpose_kernel(dst: &Array<f32, 2>, src: &Array<f32, 2>) {
+pub(super) fn transpose_kernel(dst: &Array<f32, 2>, src: &Array<f32, 2>) {
     let tile = Array::<f32, 2>::local([BLOCK, BLOCK]);
     let lx = Int::new(0);
     let ly = Int::new(0);
@@ -84,6 +84,10 @@ mod tests {
             .run((&d, &s))
             .unwrap();
         assert!(p.source.contains("__local float"), "{}", p.source);
-        assert!(p.source.contains("barrier(CLK_LOCAL_MEM_FENCE)"), "{}", p.source);
+        assert!(
+            p.source.contains("barrier(CLK_LOCAL_MEM_FENCE)"),
+            "{}",
+            p.source
+        );
     }
 }

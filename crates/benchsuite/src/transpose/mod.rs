@@ -5,6 +5,7 @@
 //! in local memory so both global reads and writes coalesce — the paper's
 //! footnote 1 distinguishes this from the naive one-liner of Figure 10.
 
+pub mod async_version;
 pub mod hpl_version;
 pub mod opencl_version;
 
@@ -24,24 +25,33 @@ pub struct TransposeConfig {
 
 impl Default for TransposeConfig {
     fn default() -> Self {
-        TransposeConfig { rows: 128, cols: 64 }
+        TransposeConfig {
+            rows: 128,
+            cols: 64,
+        }
     }
 }
 
 impl TransposeConfig {
     /// Scaled counterpart of the paper's 16K×16K run (Fig. 7): 2K×2K.
     pub fn paper_scaled() -> Self {
-        TransposeConfig { rows: 2048, cols: 2048 }
+        TransposeConfig {
+            rows: 2048,
+            cols: 2048,
+        }
     }
 
     /// Scaled counterpart of the 5K×5K portability run (Fig. 9): 1K×1K.
     pub fn paper_scaled_small() -> Self {
-        TransposeConfig { rows: 1024, cols: 1024 }
+        TransposeConfig {
+            rows: 1024,
+            cols: 1024,
+        }
     }
 
     fn validate(&self) {
         assert!(
-            self.rows % BLOCK == 0 && self.cols % BLOCK == 0,
+            self.rows.is_multiple_of(BLOCK) && self.cols.is_multiple_of(BLOCK),
             "matrix dimensions must be multiples of the {BLOCK}-element tile"
         );
     }
@@ -50,7 +60,9 @@ impl TransposeConfig {
 /// Deterministic source matrix.
 pub fn generate_matrix(cfg: &TransposeConfig) -> Vec<f32> {
     cfg.validate();
-    (0..cfg.rows * cfg.cols).map(|i| (i % 1013) as f32 * 0.5).collect()
+    (0..cfg.rows * cfg.cols)
+        .map(|i| (i % 1013) as f32 * 0.5)
+        .collect()
 }
 
 /// Serial native-Rust reference.
@@ -74,7 +86,13 @@ pub fn run(cfg: &TransposeConfig, device: &oclsim::Device) -> Result<BenchReport
     let (hpl_result, hpl) = hpl_version::run(cfg, &src, device)?;
 
     let verified = reference == ocl_result && reference == hpl_result;
-    Ok(BenchReport { name: "transpose", opencl, hpl, serial_modeled_seconds, verified })
+    Ok(BenchReport {
+        name: "transpose",
+        opencl,
+        hpl,
+        serial_modeled_seconds,
+        verified,
+    })
 }
 
 #[cfg(test)]
@@ -93,7 +111,7 @@ mod tests {
     #[test]
     fn serial_transpose_moves_elements() {
         let src = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 2x3
-        // transpose of a 2x3 laid out row-major... use BLOCK-free serial
+                                                      // transpose of a 2x3 laid out row-major... use BLOCK-free serial
         let dst = serial(&src, 2, 3);
         assert_eq!(dst, vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
     }

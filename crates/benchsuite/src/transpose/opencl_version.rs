@@ -45,7 +45,10 @@ pub fn run(
     // ---- program load and build --------------------------------------------
     let program = Program::from_source(&context, SOURCE);
     if let Err(e) = program.build("") {
-        eprintln!("transpose: clBuildProgram failed, build log:\n{}", program.build_log());
+        eprintln!(
+            "transpose: clBuildProgram failed, build log:\n{}",
+            program.build_log()
+        );
         return Err(e);
     }
     metrics.build_seconds = program.build_duration().as_secs_f64();
@@ -95,6 +98,8 @@ pub fn run(
             return Err(e);
         }
     };
+    // clFinish: blocks until the dispatcher has drained every command
+    // enqueued above and their events have resolved.
     queue.finish();
     metrics.kernel_modeled_seconds += event.modeled_seconds();
 
@@ -133,7 +138,10 @@ mod tests {
     fn transfers_dominate_kernel_time() {
         // the paper singles transpose out: transfer time is long compared
         // to the transposition itself (§V-B end)
-        let cfg = TransposeConfig { rows: 256, cols: 256 };
+        let cfg = TransposeConfig {
+            rows: 256,
+            cols: 256,
+        };
         let src = generate_matrix(&cfg);
         let device = Platform::default_platform().default_accelerator().unwrap();
         let (_, m) = run(&cfg, &src, &device).unwrap();

@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use parking_lot::{MappedMutexGuard, Mutex, MutexGuard};
 
-use oclsim::{Buffer, Device, MemAccess};
+use oclsim::{Buffer, Device, Event, EventStatus, MemAccess};
 
 use crate::error::{Error, Result};
 use crate::expr::{Expr, IntoExpr};
@@ -38,6 +38,14 @@ struct HostState<T> {
     data: Vec<T>,
     host_valid: bool,
     copies: Vec<DeviceCopy>,
+    /// Event of the last asynchronously enqueued command that writes this
+    /// array (kernel or host→device transfer). Future users of the data
+    /// must wait on it — and are poisoned by it if it failed.
+    last_write: Option<Event>,
+    /// Events of asynchronously enqueued commands that read this array
+    /// since its last write. A later writer must wait for them
+    /// (write-after-read), but their failures do not poison it.
+    readers: Vec<Event>,
 }
 
 impl<T> Drop for HostState<T> {
@@ -65,14 +73,22 @@ pub struct Array<T: HplScalar, const N: usize> {
 
 impl<T: HplScalar, const N: usize> Clone for Array<T, N> {
     fn clone(&self) -> Self {
-        Array { id: self.id, dims: self.dims, mem: self.mem, repr: Arc::clone(&self.repr) }
+        Array {
+            id: self.id,
+            dims: self.dims,
+            mem: self.mem,
+            repr: Arc::clone(&self.repr),
+        }
     }
 }
 
 impl<T: HplScalar, const N: usize> Array<T, N> {
     fn check_dims(dims: [usize; N]) {
         assert!(N >= 1 && N <= 3, "HPL arrays have 1 to 3 dimensions");
-        assert!(dims.iter().all(|&d| d > 0), "array dimensions must be positive: {dims:?}");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "array dimensions must be positive: {dims:?}"
+        );
     }
 
     fn new_with(dims: [usize; N], mem: MemFlag, data: Option<Vec<T>>) -> Array<T, N> {
@@ -88,7 +104,12 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
                 "arrays declared inside kernels are private (default) or Local"
             );
             record_array_decl(id, T::CTYPE, mem, &dims);
-            return Array { id, dims, mem, repr: Arc::new(Repr::KernelDecl) };
+            return Array {
+                id,
+                dims,
+                mem,
+                repr: Arc::new(Repr::KernelDecl),
+            };
         }
         assert!(
             mem != MemFlag::Local && mem != MemFlag::Private,
@@ -97,7 +118,11 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
         let len = dims.iter().product::<usize>();
         let data = match data {
             Some(d) => {
-                assert_eq!(d.len(), len, "initial data length does not match the dimensions");
+                assert_eq!(
+                    d.len(),
+                    len,
+                    "initial data length does not match the dimensions"
+                );
                 d
             }
             None => vec![T::default(); len],
@@ -110,6 +135,8 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
                 data,
                 host_valid: true,
                 copies: Vec::new(),
+                last_write: None,
+                readers: Vec::new(),
             }))),
         }
     }
@@ -118,7 +145,11 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
     /// storage; inside a kernel it declares a **private** per-work-item
     /// array (the paper's rule for unflagged in-kernel declarations).
     pub fn new(dims: [usize; N]) -> Array<T, N> {
-        let mem = if is_recording() { MemFlag::Private } else { MemFlag::Global };
+        let mem = if is_recording() {
+            MemFlag::Private
+        } else {
+            MemFlag::Global
+        };
         Self::new_with(dims, mem, None)
     }
 
@@ -185,9 +216,15 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
         let idxs = index.index_nodes();
         let resolved = try_with_recorder(|r| {
             if let Some(&param) = r.array_params.get(&self.id) {
-                Some(Node::ParamElem { param, idxs: idxs.clone() })
+                Some(Node::ParamElem {
+                    param,
+                    idxs: idxs.clone(),
+                })
             } else {
-                r.local_arrays.get(&self.id).map(|&decl| Node::LocalElem { decl, idxs: idxs.clone() })
+                r.local_arrays.get(&self.id).map(|&decl| Node::LocalElem {
+                    decl,
+                    idxs: idxs.clone(),
+                })
             }
         });
         match resolved {
@@ -206,19 +243,27 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
     /// Read one element in host code (the paper's parenthesis indexing).
     /// Synchronises from the device if the host copy is stale.
     pub fn get(&self, index: impl HostIndex<N>) -> T {
-        assert!(!is_recording(), "host indexing (get) inside a kernel; use at()");
+        assert!(
+            !is_recording(),
+            "host indexing (get) inside a kernel; use at()"
+        );
         let i = self.linear(index.host_index());
         let mut st = self.host_state().lock();
-        self.sync_host(&mut st).expect("device-to-host synchronisation failed");
+        self.sync_host(&mut st)
+            .expect("device-to-host synchronisation failed");
         st.data[i]
     }
 
     /// Write one element in host code; invalidates device copies.
     pub fn set(&self, index: impl HostIndex<N>, v: T) {
-        assert!(!is_recording(), "host indexing (set) inside a kernel; use at().assign()");
+        assert!(
+            !is_recording(),
+            "host indexing (set) inside a kernel; use at().assign()"
+        );
         let i = self.linear(index.host_index());
         let mut st = self.host_state().lock();
-        self.sync_host(&mut st).expect("device-to-host synchronisation failed");
+        self.sync_host(&mut st)
+            .expect("device-to-host synchronisation failed");
         st.data[i] = v;
         st.host_valid = true;
         for c in &mut st.copies {
@@ -230,7 +275,8 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
     /// paper's `data()` raw-pointer access, adapted to safe Rust.
     pub fn to_vec(&self) -> Vec<T> {
         let mut st = self.host_state().lock();
-        self.sync_host(&mut st).expect("device-to-host synchronisation failed");
+        self.sync_host(&mut st)
+            .expect("device-to-host synchronisation failed");
         st.data.clone()
     }
 
@@ -238,7 +284,8 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
     /// [`Array::to_vec`] for read-only scans.
     pub fn with_data<R>(&self, f: impl FnOnce(&[T]) -> R) -> R {
         let mut st = self.host_state().lock();
-        self.sync_host(&mut st).expect("device-to-host synchronisation failed");
+        self.sync_host(&mut st)
+            .expect("device-to-host synchronisation failed");
         f(&st.data)
     }
 
@@ -248,7 +295,8 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
     /// array is locked while the guard lives.
     pub fn data(&self) -> MappedMutexGuard<'_, [T]> {
         let mut st = self.host_state().lock();
-        self.sync_host(&mut st).expect("device-to-host synchronisation failed");
+        self.sync_host(&mut st)
+            .expect("device-to-host synchronisation failed");
         MutexGuard::map(st, |st| st.data.as_mut_slice())
     }
 
@@ -257,7 +305,8 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
     /// which elements were written).
     pub fn data_mut(&self) -> HostDataMut<'_, T> {
         let mut st = self.host_state().lock();
-        self.sync_host(&mut st).expect("device-to-host synchronisation failed");
+        self.sync_host(&mut st)
+            .expect("device-to-host synchronisation failed");
         HostDataMut { guard: st }
     }
 
@@ -265,6 +314,9 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
     /// invalidated without being synchronised first.
     pub fn write_from(&self, data: &[T]) {
         let mut st = self.host_state().lock();
+        // wait out pending async work; its outcome (even failure) is
+        // irrelevant because every element is about to be replaced
+        let _ = Self::settle(&mut st);
         assert_eq!(data.len(), st.data.len(), "write_from length mismatch");
         st.data.copy_from_slice(data);
         st.host_valid = true;
@@ -276,6 +328,7 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
     /// Fill every element with `v` (host side).
     pub fn fill(&self, v: T) {
         let mut st = self.host_state().lock();
+        let _ = Self::settle(&mut st);
         st.data.iter_mut().for_each(|x| *x = v);
         st.host_valid = true;
         for c in &mut st.copies {
@@ -299,8 +352,27 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
 
     // ---- coherence machinery (the transfer minimiser) ---------------------------
 
+    /// Wait out every pending asynchronous command touching this array.
+    ///
+    /// The synchronous paths call this before reading or replacing device
+    /// data so that mixed sync/async programs stay coherent. A failed
+    /// asynchronous writer surfaces here: the data it was supposed to
+    /// produce never materialised, so the caller gets its error (the
+    /// paper-level analogue of oclsim's dependency poisoning). Failed
+    /// *readers* are ignored — they consumed data, they did not corrupt it.
+    fn settle(st: &mut HostState<T>) -> Result<()> {
+        for ev in st.readers.drain(..) {
+            let _ = ev.wait();
+        }
+        if let Some(ev) = st.last_write.take() {
+            ev.wait().map_err(Error::Backend)?;
+        }
+        Ok(())
+    }
+
     /// Bring the host copy up to date from whichever device copy is valid.
     fn sync_host(&self, st: &mut HostState<T>) -> Result<()> {
+        Self::settle(st)?;
         if st.host_valid {
             return Ok(());
         }
@@ -311,7 +383,10 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
             .ok_or_else(|| Error::Internal("array has no valid copy anywhere".into()))?;
         let queue = &runtime().entry(&copy.device).queue;
         let (data, ev) = queue.enqueue_read::<T>(&copy.buffer, 0, st.data.len())?;
-        runtime().note_d2h(st.data.len() * std::mem::size_of::<T>(), ev.modeled_seconds());
+        runtime().note_d2h(
+            st.data.len() * std::mem::size_of::<T>(),
+            ev.modeled_seconds(),
+        );
         st.data = data;
         st.host_valid = true;
         Ok(())
@@ -320,10 +395,19 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
     /// Make sure a valid device copy exists on `device`; returns the buffer
     /// and the modeled seconds of any transfer performed (0.0 on a
     /// coherence hit — the case HPL's analysis exists to maximise).
-    pub(crate) fn ensure_on_device(&self, device: &Device, needs_data: bool) -> Result<(Buffer, f64)> {
+    pub(crate) fn ensure_on_device(
+        &self,
+        device: &Device,
+        needs_data: bool,
+    ) -> Result<(Buffer, f64)> {
         let mut st = self.host_state().lock();
+        // the synchronous path orders commands only through its in-order
+        // queue, so any pending asynchronous work on this array must be
+        // waited out before its buffer is reused or replaced
+        Self::settle(&mut st)?;
         // make the host copy current first if the data lives on another device
-        if needs_data && !st.host_valid && !st.copies.iter().any(|c| c.valid && &c.device == device) {
+        if needs_data && !st.host_valid && !st.copies.iter().any(|c| c.valid && &c.device == device)
+        {
             self.sync_host(&mut st)?;
         }
         let entry = runtime().entry(device);
@@ -332,7 +416,11 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
             None => {
                 let bytes = st.data.len() * std::mem::size_of::<T>();
                 let buffer = entry.context.create_buffer(bytes, MemAccess::ReadWrite)?;
-                st.copies.push(DeviceCopy { device: device.clone(), buffer, valid: false });
+                st.copies.push(DeviceCopy {
+                    device: device.clone(),
+                    buffer,
+                    valid: false,
+                });
                 st.copies.len() - 1
             }
         };
@@ -344,7 +432,10 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
         // host is valid here (ensured above)
         let buffer = st.copies[pos].buffer.clone();
         let ev = entry.queue.enqueue_write(&buffer, 0, &st.data)?;
-        runtime().note_h2d(st.data.len() * std::mem::size_of::<T>(), ev.modeled_seconds());
+        runtime().note_h2d(
+            st.data.len() * std::mem::size_of::<T>(),
+            ev.modeled_seconds(),
+        );
         st.copies[pos].valid = true;
         Ok((buffer, ev.modeled_seconds()))
     }
@@ -356,6 +447,102 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
         st.host_valid = false;
         for c in &mut st.copies {
             c.valid = &c.device == device;
+        }
+    }
+
+    /// Asynchronous analogue of [`Array::ensure_on_device`], used by
+    /// `eval(..).run_async(..)`.
+    ///
+    /// Makes sure a buffer exists on `device`, enqueues any needed
+    /// host→device transfer on the device's **out-of-order** queue without
+    /// waiting for it, and returns the inferred wait list the consuming
+    /// command must pass to the scheduler: the array's last pending writer
+    /// (read-after-write), plus — when `writes` — its pending readers
+    /// (write-after-read), plus the transfer just enqueued, if any.
+    /// The third element is the modeled seconds of that transfer (0.0 on a
+    /// coherence hit). The only synchronous wait on this path is migration
+    /// from another device, which goes through the host copy.
+    pub(crate) fn prepare_async(
+        &self,
+        device: &Device,
+        reads: bool,
+        writes: bool,
+    ) -> Result<(Buffer, Vec<Event>, f64)> {
+        let mut st = self.host_state().lock();
+        // drop resolved events: completed ones impose no ordering, and a
+        // failed reader never poisons anything
+        st.readers
+            .retain(|ev| !matches!(ev.status(), EventStatus::Complete | EventStatus::Error));
+        if matches!(
+            st.last_write.as_ref().map(Event::status),
+            Some(EventStatus::Complete)
+        ) {
+            st.last_write = None;
+        }
+        if reads && !st.host_valid && !st.copies.iter().any(|c| c.valid && &c.device == device) {
+            self.sync_host(&mut st)?;
+        }
+        let entry = runtime().entry(device);
+        let pos = match st.copies.iter().position(|c| &c.device == device) {
+            Some(p) => p,
+            None => {
+                let bytes = st.data.len() * std::mem::size_of::<T>();
+                let buffer = entry.context.create_buffer(bytes, MemAccess::ReadWrite)?;
+                st.copies.push(DeviceCopy {
+                    device: device.clone(),
+                    buffer,
+                    valid: false,
+                });
+                st.copies.len() - 1
+            }
+        };
+        let buffer = st.copies[pos].buffer.clone();
+        let mut deps: Vec<Event> = Vec::new();
+        if let Some(ev) = &st.last_write {
+            deps.push(ev.clone());
+        }
+        if writes {
+            deps.extend(st.readers.iter().cloned());
+        }
+        let mut transfer_seconds = 0.0;
+        if reads && !st.copies[pos].valid {
+            // the transfer overwrites the buffer, so it must itself wait
+            // for the pending readers even when the kernel does not
+            let mut wait = deps.clone();
+            if !writes {
+                wait.extend(st.readers.iter().cloned());
+            }
+            let bytes = st.data.len() * std::mem::size_of::<T>();
+            let ev = entry
+                .async_queue
+                .enqueue_write_async(&buffer, 0, &st.data, &wait)?;
+            // the transfer's modeled cost is deterministic, so it can be
+            // accounted without waiting for the event to resolve
+            transfer_seconds = oclsim::timing::model_transfer(device.profile(), bytes);
+            runtime().note_h2d(bytes, transfer_seconds);
+            st.copies[pos].valid = true;
+            deps.push(ev);
+        }
+        Ok((buffer, deps, transfer_seconds))
+    }
+
+    /// Record an asynchronously enqueued command that uses this array
+    /// (called right after the enqueue whose wait list came from
+    /// [`Array::prepare_async`]). A writer becomes the array's
+    /// `last_write` — device validity flips to `device` at *enqueue* time,
+    /// matching enqueue-order semantics — and clears the reader set its
+    /// wait list already ordered it after; a reader just joins the set.
+    pub(crate) fn record_async_use(&self, device: &Device, event: &Event, wrote: bool) {
+        let mut st = self.host_state().lock();
+        if wrote {
+            st.host_valid = false;
+            for c in &mut st.copies {
+                c.valid = &c.device == device;
+            }
+            st.last_write = Some(event.clone());
+            st.readers.clear();
+        } else {
+            st.readers.push(event.clone());
         }
     }
 
@@ -374,7 +561,14 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
 
 impl<T: HplScalar, const N: usize> std::fmt::Debug for Array<T, N> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Array<{}, {}>({:?}, {:?})", T::CTYPE.cl_name(), N, self.dims, self.mem)
+        write!(
+            f,
+            "Array<{}, {}>({:?}, {:?})",
+            T::CTYPE.cl_name(),
+            N,
+            self.dims,
+            self.mem
+        )
     }
 }
 
@@ -426,7 +620,11 @@ impl<I: IntoExpr<i32>, J: IntoExpr<i32>> KernelIndex<2> for (I, J) {
 
 impl<I: IntoExpr<i32>, J: IntoExpr<i32>, K: IntoExpr<i32>> KernelIndex<3> for (I, J, K) {
     fn index_nodes(self) -> Vec<Arc<Node>> {
-        vec![self.0.into_expr().node(), self.1.into_expr().node(), self.2.into_expr().node()]
+        vec![
+            self.0.into_expr().node(),
+            self.1.into_expr().node(),
+            self.2.into_expr().node(),
+        ]
     }
 }
 
@@ -531,11 +729,23 @@ mod tests {
         });
         use crate::ir::HStmt;
         assert!(
-            matches!(k.body[0], HStmt::DeclArray { mem: MemFlag::Local, .. }),
+            matches!(
+                k.body[0],
+                HStmt::DeclArray {
+                    mem: MemFlag::Local,
+                    ..
+                }
+            ),
             "{:?}",
             k.body[0]
         );
-        assert!(matches!(k.body[2], HStmt::DeclArray { mem: MemFlag::Private, .. }));
+        assert!(matches!(
+            k.body[2],
+            HStmt::DeclArray {
+                mem: MemFlag::Private,
+                ..
+            }
+        ));
     }
 
     #[test]

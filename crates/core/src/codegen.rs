@@ -25,7 +25,11 @@ pub fn generate(kernel: &RecordedKernel) -> String {
                     MemFlag::Constant => "__constant",
                     _ => "__global",
                 };
-                let constness = if written[i] || *mem == MemFlag::Constant { "" } else { "const " };
+                let constness = if written[i] || *mem == MemFlag::Constant {
+                    ""
+                } else {
+                    "const "
+                };
                 parts.push(format!("{space} {constness}{}* p{i}", cty.cl_name()));
             }
             ParamKind::Scalar { cty } => parts.push(format!("{} p{i}", cty.cl_name())),
@@ -71,7 +75,12 @@ fn gen_stmt(out: &mut String, s: &HStmt, k: &RecordedKernel, level: usize) {
                 }
             };
         }
-        HStmt::DeclArray { decl, cty, mem, dims } => {
+        HStmt::DeclArray {
+            decl,
+            cty,
+            mem,
+            dims,
+        } => {
             let space = match mem {
                 MemFlag::Local => "__local ",
                 _ => "",
@@ -85,7 +94,11 @@ fn gen_stmt(out: &mut String, s: &HStmt, k: &RecordedKernel, level: usize) {
         HStmt::CompoundAssign { lhs, op, rhs } => {
             let _ = writeln!(out, "{} {}= {};", expr(lhs, k), op.token(), expr(rhs, k));
         }
-        HStmt::If { cond, then_blk, else_blk } => {
+        HStmt::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
             let _ = writeln!(out, "if ({}) {{", expr(cond, k));
             gen_block(out, then_blk, k, level + 1);
             indent(out, level);
@@ -98,8 +111,20 @@ fn gen_stmt(out: &mut String, s: &HStmt, k: &RecordedKernel, level: usize) {
                 out.push_str("}\n");
             }
         }
-        HStmt::For { var, cty, declares, from, to, step, body } => {
-            let decl = if *declares { format!("{} ", cty.cl_name()) } else { String::new() };
+        HStmt::For {
+            var,
+            cty,
+            declares,
+            from,
+            to,
+            step,
+            body,
+        } => {
+            let decl = if *declares {
+                format!("{} ", cty.cl_name())
+            } else {
+                String::new()
+            };
             let _ = writeln!(
                 out,
                 "for ({decl}v{var} = {}; v{var} < {}; v{var} += {}) {{",
@@ -134,7 +159,11 @@ fn gen_stmt(out: &mut String, s: &HStmt, k: &RecordedKernel, level: usize) {
 /// Flatten a multi-dimensional index against runtime dim arguments
 /// (`p{i}_d{d}`) for parameters, or against compile-time dims for
 /// kernel-local arrays.
-fn linear_index(idxs: &[Arc<Node>], dim_name: &dyn Fn(usize) -> String, k: &RecordedKernel) -> String {
+fn linear_index(
+    idxs: &[Arc<Node>],
+    dim_name: &dyn Fn(usize) -> String,
+    k: &RecordedKernel,
+) -> String {
     let mut s = format!("({})", expr(&idxs[0], k));
     for (d, i) in idxs.iter().enumerate().skip(1) {
         s = format!("({s} * {} + ({}))", dim_name(d), expr(i, k));
@@ -162,7 +191,10 @@ fn expr(n: &Node, k: &RecordedKernel) -> String {
         },
         Node::LitF(v, cty) => {
             let mut body = format!("{v:?}");
-            if !body.contains('.') && !body.contains('e') && !body.contains("inf") && !body.contains("NaN")
+            if !body.contains('.')
+                && !body.contains('e')
+                && !body.contains("inf")
+                && !body.contains("NaN")
             {
                 body.push_str(".0");
             }
@@ -197,7 +229,12 @@ fn expr(n: &Node, k: &RecordedKernel) -> String {
             format!("{name}({})", args.join(", "))
         }
         Node::Ternary { cond, t, f } => {
-            format!("(({}) ? ({}) : ({}))", expr(cond, k), expr(t, k), expr(f, k))
+            format!(
+                "(({}) ? ({}) : ({}))",
+                expr(cond, k),
+                expr(t, k),
+                expr(f, k)
+            )
         }
     }
 }
@@ -207,7 +244,9 @@ fn find_local_dims(k: &RecordedKernel, decl: u32) -> Vec<usize> {
         for s in stmts {
             match s {
                 HStmt::DeclArray { decl: d, dims, .. } if *d == decl => return Some(dims.clone()),
-                HStmt::If { then_blk, else_blk, .. } => {
+                HStmt::If {
+                    then_blk, else_blk, ..
+                } => {
                     if let Some(r) = walk(then_blk, decl).or_else(|| walk(else_blk, decl)) {
                         return Some(r);
                     }
@@ -239,7 +278,11 @@ mod tests {
             crate::kernel::with_recorder(|r| {
                 let p = r.params.len();
                 r.params.push(crate::ir::ParamRecord {
-                    kind: ParamKind::Array { cty: T::CTYPE, ndim: N, mem: a.mem_flag() },
+                    kind: ParamKind::Array {
+                        cty: T::CTYPE,
+                        ndim: N,
+                        mem: a.mem_flag(),
+                    },
                 });
                 r.array_params.insert(a.handle_id(), p);
             });
@@ -257,8 +300,14 @@ mod tests {
         });
         let src = generate(&k);
         assert!(src.contains("__kernel void saxpy("), "{src}");
-        assert!(src.contains("__global double* p0"), "y is written: not const\n{src}");
-        assert!(src.contains("__global const double* p1"), "x is read-only\n{src}");
+        assert!(
+            src.contains("__global double* p0"),
+            "y is written: not const\n{src}"
+        );
+        assert!(
+            src.contains("__global const double* p1"),
+            "x is read-only\n{src}"
+        );
         assert!(src.contains("const int p0_d0"), "dim args appended\n{src}");
         assert!(src.contains("get_global_id(0)"), "{src}");
         // a was captured as a literal (not a registered param)
@@ -289,7 +338,10 @@ mod tests {
             m.at((idx(), 0)).assign(m.at((0, idx())));
         });
         let src = generate(&k);
-        assert!(src.contains("p0_d1"), "row-major flattening uses dim 1:\n{src}");
+        assert!(
+            src.contains("p0_d1"),
+            "row-major flattening uses dim 1:\n{src}"
+        );
     }
 
     #[test]
@@ -307,7 +359,10 @@ mod tests {
             crate::kernel::for_var(&j, 0, 8, 2, || {});
         });
         let src = generate(&k);
-        assert!(src.contains("int v1;"), "user variable declared separately:\n{src}");
+        assert!(
+            src.contains("int v1;"),
+            "user variable declared separately:\n{src}"
+        );
         assert!(src.contains("for (v1 = 0; v1 < 8; v1 += 2)"), "{src}");
     }
 
@@ -347,7 +402,8 @@ mod tests {
         let device = oclsim::Device::new(oclsim::DeviceProfile::tesla_c2050());
         let ctx = oclsim::Context::new(&[device]).unwrap();
         let prog = oclsim::Program::from_source(&ctx, &src);
-        prog.build("").unwrap_or_else(|e| panic!("generated source must compile: {e}\n{src}"));
+        prog.build("")
+            .unwrap_or_else(|e| panic!("generated source must compile: {e}\n{src}"));
         assert_eq!(prog.kernel_names().unwrap(), vec!["combined".to_string()]);
     }
 }

@@ -15,7 +15,7 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
-use oclsim::{Device, Program};
+use oclsim::{Device, Event, EventStatus, Program};
 
 use crate::array::Array;
 use crate::codegen::generate;
@@ -59,7 +59,9 @@ impl EvalProfile {
     /// generation + compilation + kernel execution, *excluding* transfers
     /// (§V-B explains why transfers are excluded).
     pub fn paper_seconds(&self) -> f64 {
-        self.capture_seconds + self.codegen_seconds + self.build_seconds
+        self.capture_seconds
+            + self.codegen_seconds
+            + self.build_seconds
             + self.kernel_modeled_seconds
     }
 
@@ -108,7 +110,13 @@ fn kernel_name_for<F: 'static>() -> String {
     let last = full.rsplit("::").next().unwrap_or(full);
     let base: String = last
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     let base = if base.is_empty() || base.starts_with(|c: char| c.is_ascii_digit()) {
         format!("k{base}")
@@ -117,7 +125,10 @@ fn kernel_name_for<F: 'static>() -> String {
     };
     // the counter makes names unique even for same-named fns in different
     // modules (the cache itself is keyed by TypeId, not by name)
-    format!("hpl_{base}_{}", KERNEL_COUNTER.fetch_add(1, Ordering::Relaxed))
+    format!(
+        "hpl_{base}_{}",
+        KERNEL_COUNTER.fetch_add(1, Ordering::Relaxed)
+    )
 }
 
 // ---- argument plumbing ---------------------------------------------------------------
@@ -129,11 +140,26 @@ pub trait KernelArg {
     /// Bind the argument to the backend kernel at `index`; returns the
     /// modeled seconds of any host→device transfer this required.
     fn bind(&self, kernel: &oclsim::Kernel, index: usize, device: &Device) -> Result<f64>;
+    /// Bind the argument for an asynchronous launch: like
+    /// [`KernelArg::bind`], but any host→device transfer is enqueued
+    /// *without waiting*, and every event the launch must wait on — the
+    /// array's pending writer/readers and that transfer — is appended to
+    /// `deps`. This is how `run_async` infers its wait lists.
+    fn bind_async(
+        &self,
+        kernel: &oclsim::Kernel,
+        index: usize,
+        device: &Device,
+        deps: &mut Vec<Event>,
+    ) -> Result<f64>;
     /// Bind this argument's trailing dimension arguments starting at
     /// `*next`, advancing it.
     fn bind_dims(&self, kernel: &oclsim::Kernel, next: &mut usize) -> Result<()>;
     /// Update coherence state after the launch.
     fn post_launch(&self, kernel: &oclsim::Kernel, index: usize, device: &Device);
+    /// Record an asynchronous launch's event in the argument's coherence
+    /// state (writer or reader, depending on how the kernel uses it).
+    fn post_async(&self, kernel: &oclsim::Kernel, index: usize, device: &Device, event: &Event);
     /// The dimensions, for arrays (used for the default global domain).
     fn dims_vec(&self) -> Option<Vec<usize>>;
 }
@@ -143,7 +169,11 @@ impl<T: HplScalar, const N: usize> KernelArg for Array<T, N> {
         with_recorder(|r| {
             let p = r.params.len();
             r.params.push(ParamRecord {
-                kind: ParamKind::Array { cty: T::CTYPE, ndim: N, mem: self.mem_flag() },
+                kind: ParamKind::Array {
+                    cty: T::CTYPE,
+                    ndim: N,
+                    mem: self.mem_flag(),
+                },
             });
             r.array_params.insert(self.handle_id(), p);
         });
@@ -152,6 +182,21 @@ impl<T: HplScalar, const N: usize> KernelArg for Array<T, N> {
     fn bind(&self, kernel: &oclsim::Kernel, index: usize, device: &Device) -> Result<f64> {
         let needs_data = kernel.arg_is_read(index);
         let (buffer, transfer_s) = self.ensure_on_device(device, needs_data)?;
+        kernel.set_arg_buffer(index, &buffer)?;
+        Ok(transfer_s)
+    }
+
+    fn bind_async(
+        &self,
+        kernel: &oclsim::Kernel,
+        index: usize,
+        device: &Device,
+        deps: &mut Vec<Event>,
+    ) -> Result<f64> {
+        let reads = kernel.arg_is_read(index);
+        let writes = kernel.arg_is_written(index);
+        let (buffer, mut events, transfer_s) = self.prepare_async(device, reads, writes)?;
+        deps.append(&mut events);
         kernel.set_arg_buffer(index, &buffer)?;
         Ok(transfer_s)
     }
@@ -170,6 +215,10 @@ impl<T: HplScalar, const N: usize> KernelArg for Array<T, N> {
         }
     }
 
+    fn post_async(&self, kernel: &oclsim::Kernel, index: usize, device: &Device, event: &Event) {
+        self.record_async_use(device, event, kernel.arg_is_written(index));
+    }
+
     fn dims_vec(&self) -> Option<Vec<usize>> {
         Some(self.dims().to_vec())
     }
@@ -179,7 +228,9 @@ impl<T: HplScalar> KernelArg for Scalar<T> {
     fn register(&self) {
         with_recorder(|r| {
             let p = r.params.len();
-            r.params.push(ParamRecord { kind: ParamKind::Scalar { cty: T::CTYPE } });
+            r.params.push(ParamRecord {
+                kind: ParamKind::Scalar { cty: T::CTYPE },
+            });
             r.scalar_params.insert(self.handle_id(), p);
         });
     }
@@ -189,11 +240,31 @@ impl<T: HplScalar> KernelArg for Scalar<T> {
         Ok(0.0)
     }
 
+    fn bind_async(
+        &self,
+        kernel: &oclsim::Kernel,
+        index: usize,
+        device: &Device,
+        _deps: &mut Vec<Event>,
+    ) -> Result<f64> {
+        // scalars are captured by value at enqueue time: no buffer, no deps
+        self.bind(kernel, index, device)
+    }
+
     fn bind_dims(&self, _kernel: &oclsim::Kernel, _next: &mut usize) -> Result<()> {
         Ok(())
     }
 
     fn post_launch(&self, _kernel: &oclsim::Kernel, _index: usize, _device: &Device) {}
+
+    fn post_async(
+        &self,
+        _kernel: &oclsim::Kernel,
+        _index: usize,
+        _device: &Device,
+        _event: &Event,
+    ) {
+    }
 
     fn dims_vec(&self) -> Option<Vec<usize>> {
         None
@@ -206,8 +277,20 @@ pub trait ArgTuple {
     fn register_all(&self);
     /// Bind all arguments; returns total modeled transfer seconds.
     fn bind_all(&self, kernel: &oclsim::Kernel, device: &Device) -> Result<f64>;
+    /// Bind all arguments for an asynchronous launch, appending the
+    /// inferred wait-list events to `deps`; returns total modeled transfer
+    /// seconds.
+    fn bind_all_async(
+        &self,
+        kernel: &oclsim::Kernel,
+        device: &Device,
+        deps: &mut Vec<Event>,
+    ) -> Result<f64>;
     /// Post-launch coherence updates.
     fn post_all(&self, kernel: &oclsim::Kernel, device: &Device);
+    /// Record an asynchronous launch's event in every argument's
+    /// coherence state.
+    fn post_all_async(&self, kernel: &oclsim::Kernel, device: &Device, event: &Event);
     /// Dimensions of the first array argument (default global domain).
     fn first_dims(&self) -> Option<Vec<usize>>;
     /// Number of primary (non-dimension) arguments.
@@ -237,10 +320,33 @@ macro_rules! impl_arg_tuples {
                 $(self.$i.bind_dims(kernel, &mut next)?;)+
                 Ok(transfer)
             }
+            fn bind_all_async(
+                &self,
+                kernel: &oclsim::Kernel,
+                device: &Device,
+                deps: &mut Vec<Event>,
+            ) -> Result<f64> {
+                let mut transfer = 0.0;
+                let mut _index = 0usize;
+                $(
+                    transfer += self.$i.bind_async(kernel, _index, device, deps)?;
+                    _index += 1;
+                )+
+                let mut next = _index;
+                $(self.$i.bind_dims(kernel, &mut next)?;)+
+                Ok(transfer)
+            }
             fn post_all(&self, kernel: &oclsim::Kernel, device: &Device) {
                 let mut _index = 0usize;
                 $(
                     self.$i.post_launch(kernel, _index, device);
+                    _index += 1;
+                )+
+            }
+            fn post_all_async(&self, kernel: &oclsim::Kernel, device: &Device, event: &Event) {
+                let mut _index = 0usize;
+                $(
+                    self.$i.post_async(kernel, _index, device, event);
                     _index += 1;
                 )+
             }
@@ -320,7 +426,12 @@ where
 /// dimensions of the first array argument and a library-chosen local
 /// domain.
 pub fn eval<F: Copy + 'static>(f: F) -> Eval<F> {
-    Eval { f, global: None, local: None, device: None }
+    Eval {
+        f,
+        global: None,
+        local: None,
+        device: None,
+    }
 }
 
 /// Builder returned by [`eval`].
@@ -357,11 +468,100 @@ impl<F: Copy + 'static> Eval<F> {
         F: KernelFun<A>,
     {
         let t_start = Instant::now();
-        let device = match self.device {
-            Some(d) => d,
+        let device = match &self.device {
+            Some(d) => d.clone(),
             None => runtime().default_device(),
         };
+        let front = self.front(&args, &device)?;
 
+        // bind arguments (performing only the transfers the analysis
+        // requires), resolve the launch geometry, and execute blockingly
+        // on the device's in-order queue
+        let transfer_modeled_seconds = args.bind_all(&front.kernel, &device)?;
+        let global = self.resolved_global(&args)?;
+        let queue = &runtime().entry(&device).queue;
+        let event = queue.enqueue_ndrange(&front.kernel, &global, self.local.as_deref())?;
+        args.post_all(&front.kernel, &device);
+
+        Ok(EvalProfile {
+            cache_hit: front.cache_hit,
+            capture_seconds: front.capture_seconds,
+            codegen_seconds: front.codegen_seconds,
+            build_seconds: front.build_seconds,
+            transfer_modeled_seconds,
+            kernel_modeled_seconds: event.modeled_seconds(),
+            host_seconds: t_start.elapsed().as_secs_f64(),
+            source: front.source,
+        })
+    }
+
+    /// Enqueue the kernel **asynchronously** and return immediately with a
+    /// joinable [`AsyncEval`] handle.
+    ///
+    /// The launch goes to the device's out-of-order queue with a wait list
+    /// inferred from each array argument's pending operations (its last
+    /// writer for reads, plus its readers for writes), so independent
+    /// evals — and the transfers they trigger — overlap on the modeled
+    /// device timeline while data dependences are preserved exactly. Any
+    /// synchronous access to an involved array (`get`, `to_vec`, a
+    /// blocking `run`, ...) waits for the pending commands first, and a
+    /// failed dependency poisons this launch with the causal error chain.
+    pub fn run_async<A: ArgTuple>(self, args: A) -> Result<AsyncEval>
+    where
+        F: KernelFun<A>,
+    {
+        let t_start = Instant::now();
+        let device = match &self.device {
+            Some(d) => d.clone(),
+            None => runtime().default_device(),
+        };
+        let front = self.front(&args, &device)?;
+
+        let mut deps: Vec<Event> = Vec::new();
+        let transfer_modeled_seconds = args.bind_all_async(&front.kernel, &device, &mut deps)?;
+        let global = self.resolved_global(&args)?;
+        let queue = &runtime().entry(&device).async_queue;
+        let event =
+            queue.enqueue_ndrange_async(&front.kernel, &global, self.local.as_deref(), &deps)?;
+        args.post_all_async(&front.kernel, &device, &event);
+
+        Ok(AsyncEval {
+            event,
+            profile: EvalProfile {
+                cache_hit: front.cache_hit,
+                capture_seconds: front.capture_seconds,
+                codegen_seconds: front.codegen_seconds,
+                build_seconds: front.build_seconds,
+                transfer_modeled_seconds,
+                // filled in by AsyncEval::wait once the event resolves
+                kernel_modeled_seconds: 0.0,
+                host_seconds: t_start.elapsed().as_secs_f64(),
+                source: front.source,
+            },
+        })
+    }
+
+    /// The launch geometry: explicit `.global(..)` or the first array
+    /// argument's dimensions.
+    fn resolved_global<A: ArgTuple>(&self, args: &A) -> Result<Vec<usize>> {
+        match &self.global {
+            Some(g) => Ok(g.clone()),
+            None => args.first_dims().ok_or_else(|| {
+                Error::InvalidEval(
+                    "no global domain given and the kernel has no array argument to take it from"
+                        .into(),
+                )
+            }),
+        }
+    }
+
+    /// The shared front half of `run`/`run_async`: capture + codegen
+    /// (cached per kernel function) and backend compilation (cached per
+    /// device), yielding a bindable kernel.
+    fn front<A: ArgTuple>(&self, args: &A, device: &Device) -> Result<Front>
+    where
+        F: KernelFun<A>,
+    {
         // 1. kernel capture + codegen (cached per kernel function)
         let key = TypeId::of::<F>();
         let cached = cache().lock().get(&key).cloned();
@@ -373,7 +573,7 @@ impl<F: Copy + 'static> Eval<F> {
                 let f = self.f;
                 let recorded = capture(name, || {
                     args.register_all();
-                    f.invoke(&args);
+                    f.invoke(args);
                 });
                 let capture_seconds = t0.elapsed().as_secs_f64();
                 if recorded.params.len() != args.arity() {
@@ -401,7 +601,7 @@ impl<F: Copy + 'static> Eval<F> {
         let (built, build_seconds) = match built {
             Some(b) => (b, 0.0),
             None => {
-                let ctx = &runtime().entry(&device).context;
+                let ctx = &runtime().entry(device).context;
                 let program = Program::from_source(ctx, entry.source.as_str());
                 program.build("").map_err(|e| {
                     Error::Internal(format!(
@@ -417,36 +617,67 @@ impl<F: Copy + 'static> Eval<F> {
             }
         };
 
-        // 3. bind arguments (performing only the transfers the analysis requires)
         let kernel = built.program.kernel(&entry.recorded.name)?;
-        let transfer_modeled_seconds = args.bind_all(&kernel, &device)?;
-
-        // 4. launch geometry
-        let global = match &self.global {
-            Some(g) => g.clone(),
-            None => args.first_dims().ok_or_else(|| {
-                Error::InvalidEval(
-                    "no global domain given and the kernel has no array argument to take it from"
-                        .into(),
-                )
-            })?,
-        };
-
-        // 5. execute
-        let queue = &runtime().entry(&device).queue;
-        let event = queue.enqueue_ndrange(&kernel, &global, self.local.as_deref())?;
-        args.post_all(&kernel, &device);
-
-        Ok(EvalProfile {
+        Ok(Front {
+            kernel,
             cache_hit,
-            capture_seconds: if cache_hit { 0.0 } else { entry.capture_seconds },
-            codegen_seconds: if cache_hit { 0.0 } else { entry.codegen_seconds },
+            capture_seconds: if cache_hit {
+                0.0
+            } else {
+                entry.capture_seconds
+            },
+            codegen_seconds: if cache_hit {
+                0.0
+            } else {
+                entry.codegen_seconds
+            },
             build_seconds,
-            transfer_modeled_seconds,
-            kernel_modeled_seconds: event.modeled_seconds(),
-            host_seconds: t_start.elapsed().as_secs_f64(),
             source: Arc::clone(&entry.source),
         })
+    }
+}
+
+/// Output of the cached eval front-end (capture/codegen/build).
+struct Front {
+    kernel: oclsim::Kernel,
+    cache_hit: bool,
+    capture_seconds: f64,
+    codegen_seconds: f64,
+    build_seconds: f64,
+    source: Arc<String>,
+}
+
+/// Joinable handle returned by [`Eval::run_async`]: the launch's backend
+/// [`Event`] plus the front-end half of its [`EvalProfile`].
+#[derive(Debug)]
+pub struct AsyncEval {
+    event: Event,
+    profile: EvalProfile,
+}
+
+impl AsyncEval {
+    /// The backend event of the enqueued kernel launch. Useful for
+    /// building explicit dependency graphs (`oclsim::wait_for_events`,
+    /// markers, user-event gating) or for inspecting the modeled
+    /// profiling stamps after completion.
+    pub fn event(&self) -> &Event {
+        &self.event
+    }
+
+    /// Current lifecycle state of the launch (non-blocking).
+    pub fn status(&self) -> EventStatus {
+        self.event.status()
+    }
+
+    /// Block until the launch resolves and return the completed
+    /// [`EvalProfile`]. If the launch failed — including when a command it
+    /// depended on failed and poisoned it — the error carries the causal
+    /// chain (`oclsim::Error::root_cause`).
+    pub fn wait(self) -> Result<EvalProfile> {
+        self.event.wait().map_err(Error::Backend)?;
+        let mut profile = self.profile;
+        profile.kernel_modeled_seconds = self.event.modeled_seconds();
+        Ok(profile)
     }
 }
 
@@ -493,7 +724,11 @@ mod tests {
         assert_eq!(out.get(0), 1.0);
         v.set(9.0);
         eval(fill).run((&out, &v)).unwrap();
-        assert_eq!(out.get(0), 9.0, "cached kernel must still see fresh scalar values");
+        assert_eq!(
+            out.get(0),
+            9.0,
+            "cached kernel must still see fresh scalar values"
+        );
     }
 
     #[test]
@@ -528,7 +763,10 @@ mod tests {
         let y = Array::<f64, 1>::from_vec([256], vec![1.0; 256]);
         let a = Double::new(2.0);
         let p1 = eval(scale).run((&y, &a)).unwrap();
-        assert!(p1.transfer_modeled_seconds > 0.0, "first eval must upload y");
+        assert!(
+            p1.transfer_modeled_seconds > 0.0,
+            "first eval must upload y"
+        );
         let p2 = eval(scale).run((&y, &a)).unwrap();
         assert_eq!(
             p2.transfer_modeled_seconds, 0.0,
@@ -563,5 +801,88 @@ mod tests {
         let p = eval(twice).run((&out, &input)).unwrap();
         assert!(p.source.contains("__kernel void hpl_twice"), "{}", p.source);
         assert!(p.source.contains("2.0f"), "{}", p.source);
+    }
+
+    #[test]
+    fn run_async_chains_through_inferred_dependencies() {
+        fn scale2(y: &Array<f64, 1>, x: &Array<f64, 1>) {
+            y.at(idx()).assign(x.at(idx()) * 2.0f64);
+        }
+        fn plus_one(z: &Array<f64, 1>, y: &Array<f64, 1>) {
+            z.at(idx()).assign(y.at(idx()) + 1.0f64);
+        }
+        let n = 256;
+        let x = Array::<f64, 1>::from_vec([n], (0..n).map(|i| i as f64).collect());
+        let y = Array::<f64, 1>::new([n]);
+        let z = Array::<f64, 1>::new([n]);
+        let h1 = eval(scale2).run_async((&y, &x)).unwrap();
+        let ev1 = h1.event().clone();
+        // the second launch must be inferred to depend on the first
+        // through y (read-after-write), despite the out-of-order queue
+        let h2 = eval(plus_one).run_async((&z, &y)).unwrap();
+        let ev2 = h2.event().clone();
+        let p2 = h2.wait().unwrap();
+        let p1 = h1.wait().unwrap();
+        assert!(p1.kernel_modeled_seconds > 0.0);
+        assert!(p2.kernel_modeled_seconds > 0.0);
+        for i in (0..n).step_by(41) {
+            assert_eq!(z.get(i), 2.0 * i as f64 + 1.0);
+        }
+        assert!(
+            ev2.profile().started >= ev1.profile().ended,
+            "dependent kernel cannot start on the modeled timeline before its producer ends"
+        );
+    }
+
+    #[test]
+    fn run_async_status_and_sync_settling() {
+        fn triple(y: &Array<f64, 1>, x: &Array<f64, 1>) {
+            y.at(idx()).assign(x.at(idx()) * 3.0f64);
+        }
+        let x = Array::<f64, 1>::from_vec([128], vec![2.0; 128]);
+        let y = Array::<f64, 1>::new([128]);
+        let h = eval(triple).run_async((&y, &x)).unwrap();
+        assert!(h.status() != oclsim::EventStatus::Error);
+        // a plain host read must wait out the pending async writer
+        assert_eq!(y.get(7), 6.0);
+        assert_eq!(h.status(), oclsim::EventStatus::Complete);
+        h.wait().unwrap();
+    }
+
+    #[test]
+    fn failed_async_eval_poisons_dependents() {
+        use crate::predef::szx;
+        fn oob(y: &Array<f64, 1>) {
+            // every work item writes y[szx], one past the end: trapped
+            y.at(szx()).assign(1.0f64);
+        }
+        fn consume(z: &Array<f64, 1>, y: &Array<f64, 1>) {
+            z.at(idx()).assign(y.at(idx()));
+        }
+        let y = Array::<f64, 1>::new([32]);
+        let z = Array::<f64, 1>::new([32]);
+        let h1 = eval(oob).run_async((&y,)).unwrap();
+        let h2 = eval(consume).run_async((&z, &y)).unwrap();
+        let ev2 = h2.event().clone();
+        let err2 = h2.wait().unwrap_err();
+        assert_eq!(ev2.status(), oclsim::EventStatus::Error);
+        match err2 {
+            Error::Backend(e) => {
+                assert!(
+                    matches!(e, oclsim::Error::DependencyFailed { .. }),
+                    "dependent must carry the causal chain, got: {e}"
+                );
+                assert!(
+                    matches!(e.root_cause(), oclsim::Error::MemoryFault { .. }),
+                    "root cause must be the out-of-bounds trap, got: {}",
+                    e.root_cause()
+                );
+            }
+            other => panic!("expected a backend error, got: {other}"),
+        }
+        assert!(
+            h1.wait().is_err(),
+            "the faulting launch itself reports the trap"
+        );
     }
 }

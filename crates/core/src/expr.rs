@@ -21,14 +21,20 @@ pub struct Expr<T> {
 
 impl<T> Clone for Expr<T> {
     fn clone(&self) -> Self {
-        Expr { node: Arc::clone(&self.node), _t: PhantomData }
+        Expr {
+            node: Arc::clone(&self.node),
+            _t: PhantomData,
+        }
     }
 }
 
 impl<T> Expr<T> {
     /// Wrap a raw node (crate-internal plumbing).
     pub(crate) fn from_node(node: Arc<Node>) -> Expr<T> {
-        Expr { node, _t: PhantomData }
+        Expr {
+            node,
+            _t: PhantomData,
+        }
     }
 
     /// The underlying IR node.
@@ -37,7 +43,10 @@ impl<T> Expr<T> {
     }
 
     fn is_lvalue(&self) -> bool {
-        matches!(&*self.node, Node::Var(..) | Node::ParamElem { .. } | Node::LocalElem { .. })
+        matches!(
+            &*self.node,
+            Node::Var(..) | Node::ParamElem { .. } | Node::LocalElem { .. }
+        )
     }
 }
 
@@ -191,7 +200,10 @@ impl<T: HplScalar> Expr<T> {
 
     /// Explicit conversion to another element type: `(U)(self)`.
     pub fn cast<U: HplScalar>(&self) -> Expr<U> {
-        Expr::from_node(Arc::new(Node::Cast { to: U::CTYPE, e: self.node() }))
+        Expr::from_node(Arc::new(Node::Cast {
+            to: U::CTYPE,
+            e: self.node(),
+        }))
     }
 
     /// `cond ? self : other` — requires the receiver via [`Expr::select`]
@@ -242,14 +254,23 @@ impl<T: HplScalar> Expr<T> {
     pub fn assign(&self, rhs: impl IntoExpr<T>) {
         self.check_lvalue("assign");
         let rhs = rhs.into_expr();
-        with_recorder(|r| r.push_stmt(HStmt::Assign { lhs: self.node(), rhs: rhs.node() }));
+        with_recorder(|r| {
+            r.push_stmt(HStmt::Assign {
+                lhs: self.node(),
+                rhs: rhs.node(),
+            })
+        });
     }
 
     fn compound(&self, op: HBinOp, rhs: impl IntoExpr<T>) {
         self.check_lvalue("compound assignment");
         let rhs = rhs.into_expr();
         with_recorder(|r| {
-            r.push_stmt(HStmt::CompoundAssign { lhs: self.node(), op, rhs: rhs.node() })
+            r.push_stmt(HStmt::CompoundAssign {
+                lhs: self.node(),
+                op,
+                rhs: rhs.node(),
+            })
         });
     }
 
@@ -288,22 +309,51 @@ mod tests {
     #[test]
     fn arithmetic_builds_tree() {
         let e = 2i32.into_expr() + 3 * 4i32.into_expr();
-        let Node::Bin { op: HBinOp::Add, l, r } = &*e.node() else { panic!() };
+        let Node::Bin {
+            op: HBinOp::Add,
+            l,
+            r,
+        } = &*e.node()
+        else {
+            panic!()
+        };
         assert_eq!(**l, lit_i(2));
-        assert!(matches!(&**r, Node::Bin { op: HBinOp::Mul, .. }));
+        assert!(matches!(
+            &**r,
+            Node::Bin {
+                op: HBinOp::Mul,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn mixed_literal_sides() {
         let e: Expr<f64> = 2.0 * 3.0f64.into_expr() + 1.0;
-        assert!(matches!(&*e.node(), Node::Bin { op: HBinOp::Add, .. }));
+        assert!(matches!(
+            &*e.node(),
+            Node::Bin {
+                op: HBinOp::Add,
+                ..
+            }
+        ));
         let e: Expr<f32> = 1.5f32.into_expr() - 0.5;
-        assert!(matches!(&*e.node(), Node::Bin { op: HBinOp::Sub, .. }));
+        assert!(matches!(
+            &*e.node(),
+            Node::Bin {
+                op: HBinOp::Sub,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn comparisons_yield_bool_exprs() {
-        let c = 1i32.into_expr().lt(2).and(3i32.into_expr().ge(3)).or(4i32.into_expr().eq_(5).not());
+        let c = 1i32
+            .into_expr()
+            .lt(2)
+            .and(3i32.into_expr().ge(3))
+            .or(4i32.into_expr().eq_(5).not());
         assert!(matches!(&*c.node(), Node::Bin { op: HBinOp::Or, .. }));
     }
 
@@ -327,7 +377,13 @@ mod tests {
             i.v().assign_add(2);
         });
         assert!(matches!(k.body[1], HStmt::Assign { .. }));
-        assert!(matches!(k.body[2], HStmt::CompoundAssign { op: HBinOp::Add, .. }));
+        assert!(matches!(
+            k.body[2],
+            HStmt::CompoundAssign {
+                op: HBinOp::Add,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -343,8 +399,20 @@ mod tests {
         let e = -(1i32.into_expr());
         assert!(matches!(&*e.node(), Node::Neg(_)));
         let e = (1i32.into_expr() & 3) | (4i32.into_expr() ^ 5);
-        assert!(matches!(&*e.node(), Node::Bin { op: HBinOp::BitOr, .. }));
+        assert!(matches!(
+            &*e.node(),
+            Node::Bin {
+                op: HBinOp::BitOr,
+                ..
+            }
+        ));
         let e = 8u32.into_expr() >> 2u32;
-        assert!(matches!(&*e.node(), Node::Bin { op: HBinOp::Shr, .. }));
+        assert!(matches!(
+            &*e.node(),
+            Node::Bin {
+                op: HBinOp::Shr,
+                ..
+            }
+        ));
     }
 }

@@ -160,31 +160,71 @@ pub enum Node {
     /// A predefined work-item variable.
     Predef(Predef),
     /// `array[i0][i1]...` — array is a parameter index.
-    ParamElem { param: usize, idxs: Vec<Arc<Node>> },
+    ParamElem {
+        param: usize,
+        idxs: Vec<Arc<Node>>,
+    },
     /// Element of an array declared inside the kernel (by declaration id).
-    LocalElem { decl: u32, idxs: Vec<Arc<Node>> },
-    Bin { op: HBinOp, l: Arc<Node>, r: Arc<Node> },
+    LocalElem {
+        decl: u32,
+        idxs: Vec<Arc<Node>>,
+    },
+    Bin {
+        op: HBinOp,
+        l: Arc<Node>,
+        r: Arc<Node>,
+    },
     Neg(Arc<Node>),
     Not(Arc<Node>),
-    Cast { to: CType, e: Arc<Node> },
+    Cast {
+        to: CType,
+        e: Arc<Node>,
+    },
     /// Built-in function call (sqrt, exp, ...): printed as `name(args...)`.
-    Call { name: &'static str, args: Vec<Arc<Node>> },
+    Call {
+        name: &'static str,
+        args: Vec<Arc<Node>>,
+    },
     /// Ternary `cond ? t : f`.
-    Ternary { cond: Arc<Node>, t: Arc<Node>, f: Arc<Node> },
+    Ternary {
+        cond: Arc<Node>,
+        t: Arc<Node>,
+        f: Arc<Node>,
+    },
 }
 
 /// A recorded statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum HStmt {
     /// Declaration of a kernel-local scalar: `int v3 = init;`
-    DeclScalar { var: u32, cty: CType, init: Option<Arc<Node>> },
+    DeclScalar {
+        var: u32,
+        cty: CType,
+        init: Option<Arc<Node>>,
+    },
     /// Declaration of a kernel-local array (private or `__local`).
-    DeclArray { decl: u32, cty: CType, mem: MemFlag, dims: Vec<usize> },
+    DeclArray {
+        decl: u32,
+        cty: CType,
+        mem: MemFlag,
+        dims: Vec<usize>,
+    },
     /// `lhs = rhs;` — lhs must be a Var / ParamElem / LocalElem node.
-    Assign { lhs: Arc<Node>, rhs: Arc<Node> },
+    Assign {
+        lhs: Arc<Node>,
+        rhs: Arc<Node>,
+    },
     /// `lhs op= rhs;`
-    CompoundAssign { lhs: Arc<Node>, op: HBinOp, rhs: Arc<Node> },
-    If { cond: Arc<Node>, then_blk: Vec<HStmt>, else_blk: Vec<HStmt> },
+    CompoundAssign {
+        lhs: Arc<Node>,
+        op: HBinOp,
+        rhs: Arc<Node>,
+    },
+    If {
+        cond: Arc<Node>,
+        then_blk: Vec<HStmt>,
+        else_blk: Vec<HStmt>,
+    },
     /// `for (var = from; var < to; var += step) body`. `declares` is true
     /// when the loop variable is fresh (declared in the for-init) rather
     /// than a user-declared kernel variable.
@@ -197,9 +237,15 @@ pub enum HStmt {
         step: Arc<Node>,
         body: Vec<HStmt>,
     },
-    While { cond: Arc<Node>, body: Vec<HStmt> },
+    While {
+        cond: Arc<Node>,
+        body: Vec<HStmt>,
+    },
     /// `barrier(flags)`
-    Barrier { local: bool, global: bool },
+    Barrier {
+        local: bool,
+        global: bool,
+    },
     /// `return;` (early exit for the work-item)
     ReturnVoid,
 }
@@ -207,8 +253,14 @@ pub enum HStmt {
 /// The kind of one kernel parameter.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParamKind {
-    Array { cty: CType, ndim: usize, mem: MemFlag },
-    Scalar { cty: CType },
+    Array {
+        cty: CType,
+        ndim: usize,
+        mem: MemFlag,
+    },
+    Scalar {
+        cty: CType,
+    },
 }
 
 /// A kernel parameter record.
@@ -239,7 +291,9 @@ impl RecordedKernel {
                             written[*param] = true;
                         }
                     }
-                    HStmt::If { then_blk, else_blk, .. } => {
+                    HStmt::If {
+                        then_blk, else_blk, ..
+                    } => {
                         walk(then_blk, written);
                         walk(else_blk, written);
                     }
@@ -266,15 +320,36 @@ mod tests {
     #[test]
     fn written_params_analysis() {
         let idx = Arc::new(Node::Predef(Predef::GlobalId(0)));
-        let read = Arc::new(Node::ParamElem { param: 1, idxs: vec![idx.clone()] });
-        let write = Arc::new(Node::ParamElem { param: 0, idxs: vec![idx] });
+        let read = Arc::new(Node::ParamElem {
+            param: 1,
+            idxs: vec![idx.clone()],
+        });
+        let write = Arc::new(Node::ParamElem {
+            param: 0,
+            idxs: vec![idx],
+        });
         let k = RecordedKernel {
             name: "k".into(),
             params: vec![
-                ParamRecord { kind: ParamKind::Array { cty: CType::F32, ndim: 1, mem: MemFlag::Global } },
-                ParamRecord { kind: ParamKind::Array { cty: CType::F32, ndim: 1, mem: MemFlag::Global } },
+                ParamRecord {
+                    kind: ParamKind::Array {
+                        cty: CType::F32,
+                        ndim: 1,
+                        mem: MemFlag::Global,
+                    },
+                },
+                ParamRecord {
+                    kind: ParamKind::Array {
+                        cty: CType::F32,
+                        ndim: 1,
+                        mem: MemFlag::Global,
+                    },
+                },
             ],
-            body: vec![HStmt::Assign { lhs: write, rhs: read }],
+            body: vec![HStmt::Assign {
+                lhs: write,
+                rhs: read,
+            }],
         };
         assert_eq!(k.written_params(), vec![true, false]);
     }
@@ -282,11 +357,18 @@ mod tests {
     #[test]
     fn written_params_inside_control_flow() {
         let idx = Arc::new(Node::Predef(Predef::GlobalId(0)));
-        let write = Arc::new(Node::ParamElem { param: 0, idxs: vec![idx.clone()] });
+        let write = Arc::new(Node::ParamElem {
+            param: 0,
+            idxs: vec![idx.clone()],
+        });
         let k = RecordedKernel {
             name: "k".into(),
             params: vec![ParamRecord {
-                kind: ParamKind::Array { cty: CType::F32, ndim: 1, mem: MemFlag::Global },
+                kind: ParamKind::Array {
+                    cty: CType::F32,
+                    ndim: 1,
+                    mem: MemFlag::Global,
+                },
             }],
             body: vec![HStmt::If {
                 cond: Arc::new(Node::LitBool(true)),

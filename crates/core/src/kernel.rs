@@ -55,7 +55,10 @@ impl Recorder {
 
     /// Append a statement to the innermost open block.
     pub fn push_stmt(&mut self, s: HStmt) {
-        self.blocks.last_mut().expect("block stack never empty").push(s);
+        self.blocks
+            .last_mut()
+            .expect("block stack never empty")
+            .push(s);
     }
 }
 
@@ -90,7 +93,10 @@ pub(crate) fn try_with_recorder<R>(f: impl FnOnce(&mut Recorder) -> R) -> Option
 pub(crate) fn capture(name: String, body: impl FnOnce()) -> RecordedKernel {
     RECORDER.with(|r| {
         let prev = r.borrow_mut().replace(Recorder::new());
-        assert!(prev.is_none(), "nested kernel capture: eval() called inside a kernel function");
+        assert!(
+            prev.is_none(),
+            "nested kernel capture: eval() called inside a kernel function"
+        );
     });
     // ensure the recorder is cleared even if body panics
     struct Guard;
@@ -101,9 +107,15 @@ pub(crate) fn capture(name: String, body: impl FnOnce()) -> RecordedKernel {
     }
     let guard = Guard;
     body();
-    let rec = RECORDER.with(|r| r.borrow_mut().take()).expect("recorder present");
+    let rec = RECORDER
+        .with(|r| r.borrow_mut().take())
+        .expect("recorder present");
     drop(guard);
-    assert_eq!(rec.blocks.len(), 1, "unbalanced control-flow blocks during capture");
+    assert_eq!(
+        rec.blocks.len(),
+        1,
+        "unbalanced control-flow blocks during capture"
+    );
     RecordedKernel {
         name,
         params: rec.params,
@@ -123,7 +135,11 @@ fn record_block(body: impl FnOnce()) -> Vec<HStmt> {
 pub fn if_(cond: Expr<bool>, body: impl FnOnce()) {
     let then_blk = record_block(body);
     with_recorder(|r| {
-        r.push_stmt(HStmt::If { cond: cond.node(), then_blk, else_blk: Vec::new() })
+        r.push_stmt(HStmt::If {
+            cond: cond.node(),
+            then_blk,
+            else_blk: Vec::new(),
+        })
     });
 }
 
@@ -131,7 +147,13 @@ pub fn if_(cond: Expr<bool>, body: impl FnOnce()) {
 pub fn if_else(cond: Expr<bool>, then_body: impl FnOnce(), else_body: impl FnOnce()) {
     let then_blk = record_block(then_body);
     let else_blk = record_block(else_body);
-    with_recorder(|r| r.push_stmt(HStmt::If { cond: cond.node(), then_blk, else_blk }));
+    with_recorder(|r| {
+        r.push_stmt(HStmt::If {
+            cond: cond.node(),
+            then_blk,
+            else_blk,
+        })
+    });
 }
 
 /// `for_(from, to, |i| { ... })` — counted loop `for (i = from; i < to; i++)`.
@@ -198,7 +220,12 @@ pub fn for_var<T: HplScalar>(
 /// `while_(cond, || { ... })`.
 pub fn while_(cond: Expr<bool>, body: impl FnOnce()) {
     let body_blk = record_block(body);
-    with_recorder(|r| r.push_stmt(HStmt::While { cond: cond.node(), body: body_blk }));
+    with_recorder(|r| {
+        r.push_stmt(HStmt::While {
+            cond: cond.node(),
+            body: body_blk,
+        })
+    });
 }
 
 /// Early exit of the current work-item (`return;`).
@@ -228,7 +255,10 @@ impl std::ops::BitOr for SyncFlags {
 /// `barrier(LOCAL)`, `barrier(GLOBAL)` or `barrier(LOCAL | GLOBAL)`.
 pub fn barrier(flags: SyncFlags) {
     with_recorder(|r| {
-        r.push_stmt(HStmt::Barrier { local: flags.0 & 1 != 0, global: flags.0 & 2 != 0 })
+        r.push_stmt(HStmt::Barrier {
+            local: flags.0 & 1 != 0,
+            global: flags.0 & 2 != 0,
+        })
     });
 }
 
@@ -238,7 +268,12 @@ pub(crate) fn record_array_decl(array_id: u64, cty: CType, mem: MemFlag, dims: &
     with_recorder(|r| {
         let decl = r.fresh_id();
         r.local_arrays.insert(array_id, decl);
-        r.push_stmt(HStmt::DeclArray { decl, cty, mem, dims: dims.to_vec() });
+        r.push_stmt(HStmt::DeclArray {
+            decl,
+            cty,
+            mem,
+            dims: dims.to_vec(),
+        });
         decl
     })
 }
@@ -250,7 +285,10 @@ mod tests {
     #[test]
     fn capture_produces_balanced_body() {
         let k = capture("t".into(), || {
-            if_(Expr::<bool>::from_node(Arc::new(Node::LitBool(true))), || {});
+            if_(
+                Expr::<bool>::from_node(Arc::new(Node::LitBool(true))),
+                || {},
+            );
         });
         assert_eq!(k.name, "t");
         assert_eq!(k.body.len(), 1);
@@ -262,22 +300,47 @@ mod tests {
     fn nested_blocks_nest_statements() {
         let k = capture("t".into(), || {
             for_(0, 4, |_i| {
-                if_(Expr::<bool>::from_node(Arc::new(Node::LitBool(true))), || {
-                    barrier(LOCAL);
-                });
+                if_(
+                    Expr::<bool>::from_node(Arc::new(Node::LitBool(true))),
+                    || {
+                        barrier(LOCAL);
+                    },
+                );
             });
         });
-        let HStmt::For { body, .. } = &k.body[0] else { panic!() };
-        let HStmt::If { then_blk, .. } = &body[0] else { panic!() };
-        assert!(matches!(then_blk[0], HStmt::Barrier { local: true, global: false }));
+        let HStmt::For { body, .. } = &k.body[0] else {
+            panic!()
+        };
+        let HStmt::If { then_blk, .. } = &body[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            then_blk[0],
+            HStmt::Barrier {
+                local: true,
+                global: false
+            }
+        ));
     }
 
     #[test]
     fn barrier_flags_combine() {
         let k = capture("t".into(), || barrier(LOCAL | GLOBAL));
-        assert!(matches!(k.body[0], HStmt::Barrier { local: true, global: true }));
+        assert!(matches!(
+            k.body[0],
+            HStmt::Barrier {
+                local: true,
+                global: true
+            }
+        ));
         let k = capture("t".into(), || barrier(GLOBAL));
-        assert!(matches!(k.body[0], HStmt::Barrier { local: false, global: true }));
+        assert!(matches!(
+            k.body[0],
+            HStmt::Barrier {
+                local: false,
+                global: true
+            }
+        ));
     }
 
     #[test]
@@ -292,7 +355,10 @@ mod tests {
             capture("t".into(), || panic!("boom"));
         });
         assert!(result.is_err());
-        assert!(!is_recording(), "poisoned recorder would break the next eval");
+        assert!(
+            !is_recording(),
+            "poisoned recorder would break the next eval"
+        );
     }
 
     #[test]
@@ -300,7 +366,9 @@ mod tests {
         let k = capture("t".into(), || {
             for_step(0, 64, 8, |_i| {});
         });
-        let HStmt::For { step, .. } = &k.body[0] else { panic!() };
+        let HStmt::For { step, .. } = &k.body[0] else {
+            panic!()
+        };
         assert_eq!(**step, Node::LitI(8, CType::I32));
     }
 }

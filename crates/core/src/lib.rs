@@ -66,7 +66,9 @@ pub mod scalar;
 
 pub use array::{Array, HostDataMut, HostIndex, KernelIndex};
 pub use error::{Error, Result};
-pub use eval::{clear_kernel_cache, eval, kernel_cache_len, Eval, EvalProfile, KernelArg};
+pub use eval::{
+    clear_kernel_cache, eval, kernel_cache_len, AsyncEval, Eval, EvalProfile, KernelArg,
+};
 pub use expr::{Expr, IntoExpr};
 pub use ir::MemFlag;
 pub use kernel::{

@@ -17,11 +17,17 @@ impl HplFloat for f32 {}
 impl HplFloat for f64 {}
 
 fn call1<T>(name: &'static str, a: Expr<T>) -> Expr<T> {
-    Expr::from_node(Arc::new(Node::Call { name, args: vec![a.node()] }))
+    Expr::from_node(Arc::new(Node::Call {
+        name,
+        args: vec![a.node()],
+    }))
 }
 
 fn call2<T>(name: &'static str, a: Expr<T>, b: Expr<T>) -> Expr<T> {
-    Expr::from_node(Arc::new(Node::Call { name, args: vec![a.node(), b.node()] }))
+    Expr::from_node(Arc::new(Node::Call {
+        name,
+        args: vec![a.node(), b.node()],
+    }))
 }
 
 macro_rules! unary_math {
@@ -88,7 +94,11 @@ pub fn fmin<T: HplFloat>(x: impl IntoExpr<T>, y: impl IntoExpr<T>) -> Expr<T> {
 pub fn mad<T: HplFloat>(x: impl IntoExpr<T>, y: impl IntoExpr<T>, z: impl IntoExpr<T>) -> Expr<T> {
     Expr::from_node(Arc::new(Node::Call {
         name: "mad",
-        args: vec![x.into_expr().node(), y.into_expr().node(), z.into_expr().node()],
+        args: vec![
+            x.into_expr().node(),
+            y.into_expr().node(),
+            z.into_expr().node(),
+        ],
     }))
 }
 
@@ -109,12 +119,16 @@ mod tests {
     #[test]
     fn call_nodes_have_expected_names() {
         let e = sqrt(2.0f64.into_expr());
-        let Node::Call { name, args } = &*e.node() else { panic!() };
+        let Node::Call { name, args } = &*e.node() else {
+            panic!()
+        };
         assert_eq!(*name, "sqrt");
         assert_eq!(args.len(), 1);
 
         let e = pow(2.0f32, 3.0f32);
-        let Node::Call { name, args } = &*e.node() else { panic!() };
+        let Node::Call { name, args } = &*e.node() else {
+            panic!()
+        };
         assert_eq!(*name, "pow");
         assert_eq!(args.len(), 2);
     }
@@ -128,7 +142,9 @@ mod tests {
     #[test]
     fn mad_takes_three_args() {
         let e = mad(1.0f32, 2.0f32, 3.0f32);
-        let Node::Call { args, .. } = &*e.node() else { panic!() };
+        let Node::Call { args, .. } = &*e.node() else {
+            panic!()
+        };
         assert_eq!(args.len(), 3);
     }
 }

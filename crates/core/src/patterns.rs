@@ -16,8 +16,8 @@ use crate::eval::eval;
 use crate::expr::{Expr, IntoExpr};
 use crate::kernel::{barrier, if_, if_else, while_, LOCAL};
 use crate::math::HplFloat;
-use crate::predef::{gidx, idx, lidx};
 use crate::predef::szx;
+use crate::predef::{gidx, idx, lidx};
 use crate::scalar::{HplScalar, Int, Scalar};
 
 /// Set every element of `dst` to `value`, on the device.
@@ -82,7 +82,9 @@ pub fn reduce_sum<T: HplFloat + std::ops::Add<Output = T>>(src: &Array<T, 1>) ->
             let s = Int::new((REDUCE_GROUP / 2) as i32);
             while_(s.v().gt(0), || {
                 if_(lidx().lt(s.v()), || {
-                    shared.at(lidx()).assign(shared.at(lidx()) + shared.at(lidx() + s.v()));
+                    shared
+                        .at(lidx())
+                        .assign(shared.at(lidx()) + shared.at(lidx() + s.v()));
                 });
                 barrier(LOCAL);
                 s.assign(s.v() >> 1);
@@ -125,7 +127,11 @@ where
     T: HplScalar,
     G: Fn(Expr<T>, Expr<T>, Expr<T>) -> Expr<T> + Copy + 'static,
 {
-    assert_eq!(dst.len(), src.len(), "stencil3 requires equally-sized arrays");
+    assert_eq!(
+        dst.len(),
+        src.len(),
+        "stencil3 requires equally-sized arrays"
+    );
     let kernel = move |dst: &Array<T, 1>, src: &Array<T, 1>| {
         let i = Int::new(0);
         i.assign(idx());
@@ -133,7 +139,8 @@ where
         let right = Int::new(0);
         left.assign(crate::math::max(i.v() - 1, 0));
         right.assign(crate::math::min(i.v() + 1, szx() - 1));
-        dst.at(i.v()).assign(g(src.at(left.v()), src.at(i.v()), src.at(right.v())));
+        dst.at(i.v())
+            .assign(g(src.at(left.v()), src.at(i.v()), src.at(right.v())));
     };
     eval(kernel).run((dst, src))?;
     Ok(())
@@ -150,15 +157,15 @@ pub fn exclusive_scan<T>(dst: &Array<T, 1>, src: &Array<T, 1>) -> Result<()>
 where
     T: HplFloat + std::ops::Add<Output = T>,
 {
-    assert_eq!(dst.len(), src.len(), "exclusive_scan requires equally-sized arrays");
+    assert_eq!(
+        dst.len(),
+        src.len(),
+        "exclusive_scan requires equally-sized arrays"
+    );
     let n = src.len();
     let main = (n / SCAN_GROUP) * SCAN_GROUP;
 
-    fn scan_kernel<T: HplFloat>(
-        dst: &Array<T, 1>,
-        sums: &Array<T, 1>,
-        src: &Array<T, 1>,
-    ) {
+    fn scan_kernel<T: HplFloat>(dst: &Array<T, 1>, sums: &Array<T, 1>, src: &Array<T, 1>) {
         let a = Array::<T, 1>::local([SCAN_GROUP]);
         let b = Array::<T, 1>::local([SCAN_GROUP]);
         let lid = Int::new(0);
@@ -174,14 +181,20 @@ where
                 || {
                     if_else(
                         lid.v().ge(stride.v()),
-                        || b.at(lid.v()).assign(a.at(lid.v()) + a.at(lid.v() - stride.v())),
+                        || {
+                            b.at(lid.v())
+                                .assign(a.at(lid.v()) + a.at(lid.v() - stride.v()))
+                        },
                         || b.at(lid.v()).assign(a.at(lid.v())),
                     );
                 },
                 || {
                     if_else(
                         lid.v().ge(stride.v()),
-                        || a.at(lid.v()).assign(b.at(lid.v()) + b.at(lid.v() - stride.v())),
+                        || {
+                            a.at(lid.v())
+                                .assign(b.at(lid.v()) + b.at(lid.v() - stride.v()))
+                        },
                         || a.at(lid.v()).assign(b.at(lid.v())),
                     );
                 },
@@ -230,13 +243,13 @@ where
         let partial = dst.to_vec();
         let mut adjusted = partial;
         let mut offset = T::default();
-        for g in 0..groups {
+        for (g, &sum) in group_sums.iter().enumerate().take(groups) {
             if g > 0 {
-                for i in g * SCAN_GROUP..(g + 1) * SCAN_GROUP {
-                    adjusted[i] = adjusted[i] + offset;
+                for a in &mut adjusted[g * SCAN_GROUP..(g + 1) * SCAN_GROUP] {
+                    *a = *a + offset;
                 }
             }
-            offset = offset + group_sums[g];
+            offset = offset + sum;
         }
         carry = offset;
         dst.write_from(&adjusted);
@@ -352,7 +365,11 @@ mod tests {
         let after_first = crate::eval::kernel_cache_len();
         fill(&a, 2.0).unwrap();
         fill(&a, 3.0).unwrap();
-        assert_eq!(crate::eval::kernel_cache_len(), after_first, "one kernel per pattern");
+        assert_eq!(
+            crate::eval::kernel_cache_len(),
+            after_first,
+            "one kernel per pattern"
+        );
         assert!(after_first >= before);
         assert_eq!(a.get(0), 3.0);
     }

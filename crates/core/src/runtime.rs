@@ -18,8 +18,14 @@ pub struct DeviceEntry {
     /// A context private to this device (so each device's memory capacity
     /// is enforced independently).
     pub context: Context,
-    /// The in-order queue used for transfers and kernel launches.
+    /// The in-order queue used for synchronous transfers and kernel
+    /// launches (`eval(..).run(..)`).
     pub queue: CommandQueue,
+    /// The out-of-order queue used by the asynchronous path
+    /// (`eval(..).run_async(..)`): commands are ordered only by their
+    /// inferred wait lists, so independent transfers and kernels overlap
+    /// on the modeled device timeline.
+    pub async_queue: CommandQueue,
 }
 
 /// Cumulative host↔device transfer statistics, used by tests and by the
@@ -64,14 +70,26 @@ impl Runtime {
                     .expect("single-device context creation cannot fail");
                 let queue = CommandQueue::new(&context, d)
                     .expect("queue creation on own context cannot fail");
-                DeviceEntry { device: d.clone(), context, queue }
+                let async_queue = CommandQueue::new_out_of_order(&context, d)
+                    .expect("queue creation on own context cannot fail");
+                DeviceEntry {
+                    device: d.clone(),
+                    context,
+                    queue,
+                    async_queue,
+                }
             })
             .collect();
         let default_device = entries
             .iter()
             .position(|e| e.device.device_type() != DeviceType::Cpu)
             .unwrap_or(0);
-        Runtime { platform, entries, default_device, stats: Mutex::new(TransferStats::default()) }
+        Runtime {
+            platform,
+            entries,
+            default_device,
+            stats: Mutex::new(TransferStats::default()),
+        }
     }
 
     /// The underlying platform.
@@ -95,7 +113,12 @@ impl Runtime {
         self.entries
             .iter()
             .find(|e| &e.device == device)
-            .unwrap_or_else(|| panic!("device `{}` is not managed by the HPL runtime", device.name()))
+            .unwrap_or_else(|| {
+                panic!(
+                    "device `{}` is not managed by the HPL runtime",
+                    device.name()
+                )
+            })
     }
 
     /// Find a device by a case-insensitive name fragment (convenience for
@@ -163,6 +186,9 @@ mod tests {
             let e = rt.entry(&d);
             assert_eq!(e.queue.device(), &d);
             assert!(e.context.contains(&d));
+            assert!(!e.queue.is_out_of_order());
+            assert!(e.async_queue.is_out_of_order());
+            assert_eq!(e.async_queue.device(), &d);
         }
     }
 

@@ -66,7 +66,10 @@ pub struct Scalar<T: HplScalar> {
 
 impl<T: HplScalar> Clone for Scalar<T> {
     fn clone(&self) -> Self {
-        Scalar { id: self.id, repr: Arc::clone(&self.repr) }
+        Scalar {
+            id: self.id,
+            repr: Arc::clone(&self.repr),
+        }
     }
 }
 
@@ -98,7 +101,11 @@ impl<T: HplScalar> Scalar<T> {
     fn kernel_var(init: Option<Arc<Node>>) -> Scalar<T> {
         let var = with_recorder(|r| {
             let var = r.fresh_id();
-            r.push_stmt(HStmt::DeclScalar { var, cty: T::CTYPE, init });
+            r.push_stmt(HStmt::DeclScalar {
+                var,
+                cty: T::CTYPE,
+                init,
+            });
             var
         });
         let s = Scalar {
@@ -235,7 +242,14 @@ mod tests {
             let i = Int::new(5);
             i.assign(i.v() + 1);
         });
-        assert!(matches!(k.body[0], HStmt::DeclScalar { cty: CType::I32, init: Some(_), .. }));
+        assert!(matches!(
+            k.body[0],
+            HStmt::DeclScalar {
+                cty: CType::I32,
+                init: Some(_),
+                ..
+            }
+        ));
         assert!(matches!(k.body[1], HStmt::Assign { .. }));
     }
 
@@ -254,7 +268,9 @@ mod tests {
             let x = Float::new(0.0);
             x.assign(outside.v());
         });
-        let HStmt::Assign { rhs, .. } = &k.body[1] else { panic!() };
+        let HStmt::Assign { rhs, .. } = &k.body[1] else {
+            panic!()
+        };
         assert_eq!(**rhs, Node::LitF(4.25, CType::F32));
     }
 

@@ -145,7 +145,11 @@ fn math_functions_match_rust_f64() {
         1.0 / 4.0f64.sqrt(),
     ];
     for (i, &e) in expect.iter().enumerate() {
-        assert!((out.get(i) - e).abs() < 1e-12, "slot {i}: {} vs {e}", out.get(i));
+        assert!(
+            (out.get(i) - e).abs() < 1e-12,
+            "slot {i}: {} vs {e}",
+            out.get(i)
+        );
     }
 }
 
@@ -167,7 +171,10 @@ fn casts_between_every_scalar_pair_used_in_kernels() {
     let out_i = Array::<i32, 1>::new([2]);
     let out_f = Array::<f32, 1>::new([2]);
     let out_u = Array::<u64, 1>::new([1]);
-    eval(casts).global(&[1]).run((&out_i, &out_f, &out_u)).unwrap();
+    eval(casts)
+        .global(&[1])
+        .run((&out_i, &out_f, &out_u))
+        .unwrap();
     assert_eq!(out_i.get(0), 3, "trunc toward zero");
     assert_eq!(out_i.get(1), -2);
     assert_eq!(out_u.get(0), u64::MAX, "-1 as u64");
@@ -249,6 +256,7 @@ fn select_and_logical_operators() {
 
 #[test]
 fn eight_argument_kernel() {
+    #[allow(clippy::too_many_arguments)] // eight arguments is the point of the test
     fn k8(
         out: &Array<f64, 1>,
         a: &Array<f64, 1>,
@@ -272,7 +280,9 @@ fn eight_argument_kernel() {
     let s2 = Double::new(100.0);
     let s3 = Int::new(4);
     let s4 = Int::new(6);
-    eval(k8).run((&out, &a, &b, &c, &s1, &s2, &s3, &s4)).unwrap();
+    eval(k8)
+        .run((&out, &a, &b, &c, &s1, &s2, &s3, &s4))
+        .unwrap();
     assert_eq!(out.get(0), 10.0 + 200.0 + 30.0);
 }
 
@@ -303,8 +313,8 @@ fn private_array_histogram_per_work_item() {
         for j in 0..chunk {
             expect[(data[t * chunk + j] & 3) as usize] += 1;
         }
-        for b in 0..4 {
-            assert_eq!(out.get(t * 4 + b), expect[b], "thread {t} bin {b}");
+        for (b, &want) in expect.iter().enumerate() {
+            assert_eq!(out.get(t * 4 + b), want, "thread {t} bin {b}");
         }
     }
 }
@@ -321,7 +331,11 @@ fn generated_source_is_stable_across_captures() {
     let p2 = eval(stable).run((&out,)).unwrap();
     // names carry a counter; strip the kernel-name line before comparing
     let body = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
-    assert_eq!(body(&p1.source), body(&p2.source), "codegen must be deterministic");
+    assert_eq!(
+        body(&p1.source),
+        body(&p2.source),
+        "codegen must be deterministic"
+    );
 }
 
 #[test]
@@ -333,9 +347,14 @@ fn local_and_global_barrier_flags_generate() {
         out.at(idx()).assign(tile.at(lidx()) + 1.0f32);
     }
     let out = Array::<f32, 1>::from_vec([32], vec![5.0; 32]);
-    let p = eval(sync_both).global(&[32]).local(&[16]).run((&out,)).unwrap();
+    let p = eval(sync_both)
+        .global(&[32])
+        .local(&[16])
+        .run((&out,))
+        .unwrap();
     assert!(
-        p.source.contains("CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE"),
+        p.source
+            .contains("CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE"),
         "{}",
         p.source
     );

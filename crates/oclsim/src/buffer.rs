@@ -75,7 +75,10 @@ impl Buffer {
     }
 
     fn check_range(&self, offset: usize, len: usize) -> Result<()> {
-        if offset.checked_add(len).is_none_or(|end| end > self.inner.len_bytes) {
+        if offset
+            .checked_add(len)
+            .is_none_or(|end| end > self.inner.len_bytes)
+        {
             return Err(Error::InvalidBufferAccess(format!(
                 "range {offset}..{} exceeds buffer of {} bytes",
                 offset.saturating_add(len),
@@ -137,7 +140,7 @@ impl Buffer {
     /// Typed write of a whole slice starting at element `elem_offset`.
     pub fn write_slice<T: DeviceScalar>(&self, elem_offset: usize, data: &[T]) -> Result<()> {
         let esize = std::mem::size_of::<T>();
-        let mut bytes = vec![0u8; data.len() * esize];
+        let mut bytes = vec![0u8; std::mem::size_of_val(data)];
         for (i, v) in data.iter().enumerate() {
             let b = v.to_bits64().to_le_bytes();
             bytes[i * esize..(i + 1) * esize].copy_from_slice(&b[..esize]);
@@ -172,8 +175,10 @@ impl Buffer {
     /// and naturally aligned.
     #[inline]
     pub(crate) fn device_access_ok(&self, byte_addr: u64, size: usize) -> bool {
-        byte_addr % size as u64 == 0
-            && (byte_addr as usize).checked_add(size).is_some_and(|e| e <= self.inner.len_bytes)
+        byte_addr.is_multiple_of(size as u64)
+            && (byte_addr as usize)
+                .checked_add(size)
+                .is_some_and(|e| e <= self.inner.len_bytes)
     }
 
     /// Load `size` (1/2/4/8) bytes at `byte_addr`, zero-extended into u64.

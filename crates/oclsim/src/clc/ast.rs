@@ -106,17 +106,51 @@ pub enum PostOp {
 /// semantic analysis restricts them to statement-like positions.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
-    IntLit { value: u64, unsigned: bool, long: bool },
-    FloatLit { value: f64, f32: bool },
+    IntLit {
+        value: u64,
+        unsigned: bool,
+        long: bool,
+    },
+    FloatLit {
+        value: f64,
+        f32: bool,
+    },
     Ident(String),
-    Bin { op: BinOp, l: Box<Expr>, r: Box<Expr> },
-    Un { op: UnOp, e: Box<Expr> },
-    Post { op: PostOp, e: Box<Expr> },
-    Assign { op: Option<BinOp>, target: Box<Expr>, value: Box<Expr> },
-    Ternary { cond: Box<Expr>, t: Box<Expr>, f: Box<Expr> },
-    Call { name: String, args: Vec<Expr> },
-    Index { base: Box<Expr>, index: Box<Expr> },
-    Cast { ty: ClType, e: Box<Expr> },
+    Bin {
+        op: BinOp,
+        l: Box<Expr>,
+        r: Box<Expr>,
+    },
+    Un {
+        op: UnOp,
+        e: Box<Expr>,
+    },
+    Post {
+        op: PostOp,
+        e: Box<Expr>,
+    },
+    Assign {
+        op: Option<BinOp>,
+        target: Box<Expr>,
+        value: Box<Expr>,
+    },
+    Ternary {
+        cond: Box<Expr>,
+        t: Box<Expr>,
+        f: Box<Expr>,
+    },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+    },
+    Index {
+        base: Box<Expr>,
+        index: Box<Expr>,
+    },
+    Cast {
+        ty: ClType,
+        e: Box<Expr>,
+    },
 }
 
 /// One variable declared by a declaration statement.
@@ -140,17 +174,31 @@ pub struct Stmt {
 #[derive(Debug, Clone, PartialEq)]
 pub enum StmtKind {
     /// `__local float s[N];`, `int i = 0, j;` ...
-    Decl { space: AddrSpace, base: ScalarType, decls: Vec<Declarator> },
+    Decl {
+        space: AddrSpace,
+        base: ScalarType,
+        decls: Vec<Declarator>,
+    },
     Expr(Expr),
-    If { cond: Expr, then_blk: Vec<Stmt>, else_blk: Vec<Stmt> },
+    If {
+        cond: Expr,
+        then_blk: Vec<Stmt>,
+        else_blk: Vec<Stmt>,
+    },
     For {
         init: Option<Box<Stmt>>,
         cond: Option<Expr>,
         step: Option<Expr>,
         body: Vec<Stmt>,
     },
-    While { cond: Expr, body: Vec<Stmt> },
-    DoWhile { body: Vec<Stmt>, cond: Expr },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+    },
+    DoWhile {
+        body: Vec<Stmt>,
+        cond: Expr,
+    },
     Return(Option<Expr>),
     Break,
     Continue,

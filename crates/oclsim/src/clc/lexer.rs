@@ -57,7 +57,11 @@ pub enum Tok {
     /// Identifier or keyword (keywords are resolved by the parser).
     Ident(String),
     /// Integer literal with `u`/`U` and `l`/`L` suffix flags.
-    IntLit { value: u64, unsigned: bool, long: bool },
+    IntLit {
+        value: u64,
+        unsigned: bool,
+        long: bool,
+    },
     /// Floating literal; `f32` is true when an `f`/`F` suffix was present.
     FloatLit { value: f64, f32: bool },
     /// Operator / punctuation.
@@ -111,16 +115,18 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
                 i += len;
             }
             _ => {
-                let (p, len) = lex_punct(&bytes[i..])
-                    .ok_or_else(|| Error::BuildFailure(format!(
-                        "lexer, line {line}: unexpected character `{c}`"
-                    )))?;
+                let (p, len) = lex_punct(&bytes[i..]).ok_or_else(|| {
+                    Error::BuildFailure(format!("lexer, line {line}: unexpected character `{c}`"))
+                })?;
                 push!(Tok::Punct(p));
                 i += len;
             }
         }
     }
-    toks.push(Spanned { tok: Tok::Eof, line });
+    toks.push(Spanned {
+        tok: Tok::Eof,
+        line,
+    });
     Ok(toks)
 }
 
@@ -133,12 +139,22 @@ fn lex_number(s: &str, line: usize) -> Result<(Tok, usize)> {
             i += 1;
         }
         if i == 2 {
-            return Err(Error::BuildFailure(format!("lexer, line {line}: bad hex literal")));
+            return Err(Error::BuildFailure(format!(
+                "lexer, line {line}: bad hex literal"
+            )));
         }
-        let value = u64::from_str_radix(&s[2..i], 16)
-            .map_err(|_| Error::BuildFailure(format!("lexer, line {line}: hex literal overflows")))?;
+        let value = u64::from_str_radix(&s[2..i], 16).map_err(|_| {
+            Error::BuildFailure(format!("lexer, line {line}: hex literal overflows"))
+        })?;
         let (unsigned, long, slen) = int_suffix(&bytes[i..]);
-        return Ok((Tok::IntLit { value, unsigned, long }, i + slen));
+        return Ok((
+            Tok::IntLit {
+                value,
+                unsigned,
+                long,
+            },
+            i + slen,
+        ));
     }
 
     let mut i = 0;
@@ -172,13 +188,26 @@ fn lex_number(s: &str, line: usize) -> Result<(Tok, usize)> {
             .map_err(|_| Error::BuildFailure(format!("lexer, line {line}: bad float literal")))?;
         let f32suffix = i < bytes.len() && (bytes[i] == b'f' || bytes[i] == b'F');
         let len = i + if f32suffix { 1 } else { 0 };
-        Ok((Tok::FloatLit { value, f32: f32suffix }, len))
+        Ok((
+            Tok::FloatLit {
+                value,
+                f32: f32suffix,
+            },
+            len,
+        ))
     } else {
-        let value: u64 = s[..i]
-            .parse()
-            .map_err(|_| Error::BuildFailure(format!("lexer, line {line}: int literal overflows")))?;
+        let value: u64 = s[..i].parse().map_err(|_| {
+            Error::BuildFailure(format!("lexer, line {line}: int literal overflows"))
+        })?;
         let (unsigned, long, slen) = int_suffix(&bytes[i..]);
-        Ok((Tok::IntLit { value, unsigned, long }, i + slen))
+        Ok((
+            Tok::IntLit {
+                value,
+                unsigned,
+                long,
+            },
+            i + slen,
+        ))
     }
 }
 
@@ -310,23 +339,85 @@ mod tests {
 
     #[test]
     fn integer_literals() {
-        assert_eq!(kinds("42")[0], Tok::IntLit { value: 42, unsigned: false, long: false });
-        assert_eq!(kinds("42u")[0], Tok::IntLit { value: 42, unsigned: true, long: false });
-        assert_eq!(kinds("42UL")[0], Tok::IntLit { value: 42, unsigned: true, long: true });
-        assert_eq!(kinds("0x1F")[0], Tok::IntLit { value: 31, unsigned: false, long: false });
+        assert_eq!(
+            kinds("42")[0],
+            Tok::IntLit {
+                value: 42,
+                unsigned: false,
+                long: false
+            }
+        );
+        assert_eq!(
+            kinds("42u")[0],
+            Tok::IntLit {
+                value: 42,
+                unsigned: true,
+                long: false
+            }
+        );
+        assert_eq!(
+            kinds("42UL")[0],
+            Tok::IntLit {
+                value: 42,
+                unsigned: true,
+                long: true
+            }
+        );
+        assert_eq!(
+            kinds("0x1F")[0],
+            Tok::IntLit {
+                value: 31,
+                unsigned: false,
+                long: false
+            }
+        );
         assert_eq!(
             kinds("0xFFFFFFFFFFFFFFFF")[0],
-            Tok::IntLit { value: u64::MAX, unsigned: false, long: false }
+            Tok::IntLit {
+                value: u64::MAX,
+                unsigned: false,
+                long: false
+            }
         );
     }
 
     #[test]
     fn float_literals() {
-        assert_eq!(kinds("1.5")[0], Tok::FloatLit { value: 1.5, f32: false });
-        assert_eq!(kinds("1.5f")[0], Tok::FloatLit { value: 1.5, f32: true });
-        assert_eq!(kinds(".25")[0], Tok::FloatLit { value: 0.25, f32: false });
-        assert_eq!(kinds("2e3")[0], Tok::FloatLit { value: 2000.0, f32: false });
-        assert_eq!(kinds("1.0e-2f")[0], Tok::FloatLit { value: 0.01, f32: true });
+        assert_eq!(
+            kinds("1.5")[0],
+            Tok::FloatLit {
+                value: 1.5,
+                f32: false
+            }
+        );
+        assert_eq!(
+            kinds("1.5f")[0],
+            Tok::FloatLit {
+                value: 1.5,
+                f32: true
+            }
+        );
+        assert_eq!(
+            kinds(".25")[0],
+            Tok::FloatLit {
+                value: 0.25,
+                f32: false
+            }
+        );
+        assert_eq!(
+            kinds("2e3")[0],
+            Tok::FloatLit {
+                value: 2000.0,
+                f32: false
+            }
+        );
+        assert_eq!(
+            kinds("1.0e-2f")[0],
+            Tok::FloatLit {
+                value: 0.01,
+                f32: true
+            }
+        );
     }
 
     #[test]
@@ -346,7 +437,9 @@ mod tests {
         assert!(t.contains(&Tok::Punct(Punct::Lt)));
         let t = kinds("i++ + ++j");
         assert_eq!(
-            t.iter().filter(|k| **k == Tok::Punct(Punct::PlusPlus)).count(),
+            t.iter()
+                .filter(|k| **k == Tok::Punct(Punct::PlusPlus))
+                .count(),
             2
         );
     }

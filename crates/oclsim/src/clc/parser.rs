@@ -97,10 +97,31 @@ impl Parser {
     fn is_type_start(&self, s: &str) -> bool {
         matches!(
             s,
-            "void" | "bool" | "char" | "uchar" | "short" | "ushort" | "int" | "uint" | "long"
-                | "ulong" | "float" | "double" | "unsigned" | "signed" | "size_t" | "const"
-                | "volatile" | "__global" | "global" | "__local" | "local" | "__constant"
-                | "constant" | "__private" | "private"
+            "void"
+                | "bool"
+                | "char"
+                | "uchar"
+                | "short"
+                | "ushort"
+                | "int"
+                | "uint"
+                | "long"
+                | "ulong"
+                | "float"
+                | "double"
+                | "unsigned"
+                | "signed"
+                | "size_t"
+                | "const"
+                | "volatile"
+                | "__global"
+                | "global"
+                | "__local"
+                | "local"
+                | "__constant"
+                | "constant"
+                | "__private"
+                | "private"
         )
     }
 
@@ -259,11 +280,11 @@ impl Parser {
             if *self.peek() == Tok::Punct(Punct::Star) {
                 return Err(self.err("multi-level pointers are not supported"));
             }
-            while self.eat_ident("restrict") || self.eat_ident("const") || self.eat_ident("volatile")
-            {
-            }
-            let st =
-                scalar.ok_or_else(|| self.err("`void*` pointers are not supported"))?;
+            while self.eat_ident("restrict")
+                || self.eat_ident("const")
+                || self.eat_ident("volatile")
+            {}
+            let st = scalar.ok_or_else(|| self.err("`void*` pointers are not supported"))?;
             // pointer with no explicit space defaults to global for params
             Ok((ClType::Ptr(space_or_global(space), st), is_const))
         } else {
@@ -307,7 +328,11 @@ impl Parser {
                 if self.eat_punct(Punct::LBracket) {
                     return Err(self.err("array-typed parameters are not supported; use a pointer"));
                 }
-                params.push(Param { name: pname, ty, is_const });
+                params.push(Param {
+                    name: pname,
+                    ty,
+                    is_const,
+                });
                 if self.eat_punct(Punct::RParen) {
                     break;
                 }
@@ -316,7 +341,14 @@ impl Parser {
         }
         self.expect_punct(Punct::LBrace, "function body")?;
         let body = self.block_body()?;
-        Ok(FuncDef { name, is_kernel, ret, params, body, line })
+        Ok(FuncDef {
+            name,
+            is_kernel,
+            ret,
+            params,
+            body,
+            line,
+        })
     }
 
     // ---- statements -------------------------------------------------------
@@ -352,8 +384,16 @@ impl Parser {
             let cond = self.expr()?;
             self.expect_punct(Punct::RParen, "`)` after if condition")?;
             let then_blk = self.stmt_or_block()?;
-            let else_blk = if self.eat_ident("else") { self.stmt_or_block()? } else { vec![] };
-            StmtKind::If { cond, then_blk, else_blk }
+            let else_blk = if self.eat_ident("else") {
+                self.stmt_or_block()?
+            } else {
+                vec![]
+            };
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            }
         } else if self.eat_ident("for") {
             self.expect_punct(Punct::LParen, "`(` after for")?;
             let init = if self.eat_punct(Punct::Semi) {
@@ -361,12 +401,25 @@ impl Parser {
             } else {
                 Some(Box::new(self.decl_or_expr_stmt()?))
             };
-            let cond = if *self.peek() == Tok::Punct(Punct::Semi) { None } else { Some(self.expr()?) };
+            let cond = if *self.peek() == Tok::Punct(Punct::Semi) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
             self.expect_punct(Punct::Semi, "`;` after for condition")?;
-            let step = if *self.peek() == Tok::Punct(Punct::RParen) { None } else { Some(self.expr()?) };
+            let step = if *self.peek() == Tok::Punct(Punct::RParen) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
             self.expect_punct(Punct::RParen, "`)` after for clauses")?;
             let body = self.stmt_or_block()?;
-            StmtKind::For { init, cond, step, body }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            }
         } else if self.eat_ident("while") {
             self.expect_punct(Punct::LParen, "`(` after while")?;
             let cond = self.expr()?;
@@ -384,7 +437,11 @@ impl Parser {
             self.expect_punct(Punct::Semi, "`;` after do..while")?;
             StmtKind::DoWhile { body, cond }
         } else if self.eat_ident("return") {
-            let e = if *self.peek() == Tok::Punct(Punct::Semi) { None } else { Some(self.expr()?) };
+            let e = if *self.peek() == Tok::Punct(Punct::Semi) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
             self.expect_punct(Punct::Semi, "`;` after return")?;
             StmtKind::Return(e)
         } else if self.eat_ident("break") {
@@ -393,7 +450,10 @@ impl Parser {
         } else if self.eat_ident("continue") {
             self.expect_punct(Punct::Semi, "`;` after continue")?;
             StmtKind::Continue
-        } else if self.peek_ident().is_some_and(|s| matches!(s, "switch" | "goto" | "struct" | "union" | "typedef")) {
+        } else if self
+            .peek_ident()
+            .is_some_and(|s| matches!(s, "switch" | "goto" | "struct" | "union" | "typedef"))
+        {
             return Err(self.err(format!(
                 "`{}` is not supported by the oclsim OpenCL C subset",
                 self.peek_ident().unwrap()
@@ -426,18 +486,33 @@ impl Parser {
                 } else {
                     None
                 };
-                let init = if self.eat_punct(Punct::Assign) { Some(self.assign_expr()?) } else { None };
-                decls.push(Declarator { name, array_len, is_pointer, init });
+                let init = if self.eat_punct(Punct::Assign) {
+                    Some(self.assign_expr()?)
+                } else {
+                    None
+                };
+                decls.push(Declarator {
+                    name,
+                    array_len,
+                    is_pointer,
+                    init,
+                });
                 if self.eat_punct(Punct::Semi) {
                     break;
                 }
                 self.expect_punct(Punct::Comma, "`,` or `;` in declaration")?;
             }
-            Ok(Stmt { kind: StmtKind::Decl { space, base, decls }, line })
+            Ok(Stmt {
+                kind: StmtKind::Decl { space, base, decls },
+                line,
+            })
         } else {
             let e = self.expr()?;
             self.expect_punct(Punct::Semi, "`;` after expression statement")?;
-            Ok(Stmt { kind: StmtKind::Expr(e), line })
+            Ok(Stmt {
+                kind: StmtKind::Expr(e),
+                line,
+            })
         }
     }
 
@@ -466,7 +541,11 @@ impl Parser {
         if let Some(op) = op {
             self.bump();
             let value = self.assign_expr()?;
-            Ok(Expr::Assign { op, target: Box::new(lhs), value: Box::new(value) })
+            Ok(Expr::Assign {
+                op,
+                target: Box::new(lhs),
+                value: Box::new(value),
+            })
         } else {
             Ok(lhs)
         }
@@ -478,7 +557,11 @@ impl Parser {
             let t = self.expr()?;
             self.expect_punct(Punct::Colon, "`:` in ternary expression")?;
             let f = self.ternary_expr()?;
-            Ok(Expr::Ternary { cond: Box::new(cond), t: Box::new(t), f: Box::new(f) })
+            Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                t: Box::new(t),
+                f: Box::new(f),
+            })
         } else {
             Ok(cond)
         }
@@ -517,7 +600,11 @@ impl Parser {
             }
             self.bump();
             let rhs = self.binary_expr(prec + 1)?;
-            lhs = Expr::Bin { op, l: Box::new(lhs), r: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                l: Box::new(lhs),
+                r: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -560,11 +647,20 @@ impl Parser {
             if self.eat_punct(Punct::LBracket) {
                 let index = self.expr()?;
                 self.expect_punct(Punct::RBracket, "`]` after index")?;
-                e = Expr::Index { base: Box::new(e), index: Box::new(index) };
+                e = Expr::Index {
+                    base: Box::new(e),
+                    index: Box::new(index),
+                };
             } else if self.eat_punct(Punct::PlusPlus) {
-                e = Expr::Post { op: PostOp::Inc, e: Box::new(e) };
+                e = Expr::Post {
+                    op: PostOp::Inc,
+                    e: Box::new(e),
+                };
             } else if self.eat_punct(Punct::MinusMinus) {
-                e = Expr::Post { op: PostOp::Dec, e: Box::new(e) };
+                e = Expr::Post {
+                    op: PostOp::Dec,
+                    e: Box::new(e),
+                };
             } else if *self.peek() == Tok::Punct(Punct::Dot) {
                 return Err(self.err("member access (structs/vector components) is not supported"));
             } else {
@@ -577,7 +673,15 @@ impl Parser {
     fn primary_expr(&mut self) -> Result<Expr> {
         let line = self.line();
         match self.bump() {
-            Tok::IntLit { value, unsigned, long } => Ok(Expr::IntLit { value, unsigned, long }),
+            Tok::IntLit {
+                value,
+                unsigned,
+                long,
+            } => Ok(Expr::IntLit {
+                value,
+                unsigned,
+                long,
+            }),
             Tok::FloatLit { value, f32 } => Ok(Expr::FloatLit { value, f32 }),
             Tok::Ident(name) => {
                 if self.eat_punct(Punct::LParen) {
@@ -634,7 +738,10 @@ mod tests {
         assert!(f.is_kernel);
         assert_eq!(f.name, "f");
         assert_eq!(f.ret, ClType::Void);
-        assert_eq!(f.params[0].ty, ClType::Ptr(AddrSpace::Global, ScalarType::F32));
+        assert_eq!(
+            f.params[0].ty,
+            ClType::Ptr(AddrSpace::Global, ScalarType::F32)
+        );
         assert_eq!(f.body.len(), 1);
     }
 
@@ -650,14 +757,22 @@ mod tests {
         assert_eq!(f.params.len(), 3);
         assert_eq!(f.params[2].ty, ClType::Scalar(ScalarType::F64));
         assert!(matches!(f.body[0].kind, StmtKind::Decl { .. }));
-        assert!(matches!(f.body[1].kind, StmtKind::Expr(Expr::Assign { .. })));
+        assert!(matches!(
+            f.body[1].kind,
+            StmtKind::Expr(Expr::Assign { .. })
+        ));
     }
 
     #[test]
     fn precedence() {
         let tu = parse_ok("void f() { int x = 1 + 2 * 3; }");
-        let StmtKind::Decl { decls, .. } = &tu.funcs[0].body[0].kind else { panic!() };
-        let Some(Expr::Bin { op: BinOp::Add, r, .. }) = &decls[0].init else {
+        let StmtKind::Decl { decls, .. } = &tu.funcs[0].body[0].kind else {
+            panic!()
+        };
+        let Some(Expr::Bin {
+            op: BinOp::Add, r, ..
+        }) = &decls[0].init
+        else {
             panic!("expected + at top: {:?}", decls[0].init)
         };
         assert!(matches!(**r, Expr::Bin { op: BinOp::Mul, .. }));
@@ -666,7 +781,9 @@ mod tests {
     #[test]
     fn comparison_binds_looser_than_shift() {
         let tu = parse_ok("void f(int a) { if (a << 1 < 8) { a = 0; } }");
-        let StmtKind::If { cond, .. } = &tu.funcs[0].body[0].kind else { panic!() };
+        let StmtKind::If { cond, .. } = &tu.funcs[0].body[0].kind else {
+            panic!()
+        };
         assert!(matches!(cond, Expr::Bin { op: BinOp::Lt, .. }));
     }
 
@@ -681,9 +798,21 @@ mod tests {
 
     #[test]
     fn for_loop_with_decl_init() {
-        let tu = parse_ok("void f(__global int* a, int n) { for (int i = 0; i < n; i++) a[i] = i; }");
-        let StmtKind::For { init, cond, step, body } = &tu.funcs[0].body[0].kind else { panic!() };
-        assert!(matches!(init.as_deref().unwrap().kind, StmtKind::Decl { .. }));
+        let tu =
+            parse_ok("void f(__global int* a, int n) { for (int i = 0; i < n; i++) a[i] = i; }");
+        let StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } = &tu.funcs[0].body[0].kind
+        else {
+            panic!()
+        };
+        assert!(matches!(
+            init.as_deref().unwrap().kind,
+            StmtKind::Decl { .. }
+        ));
         assert!(cond.is_some() && step.is_some());
         assert_eq!(body.len(), 1);
     }
@@ -691,14 +820,21 @@ mod tests {
     #[test]
     fn for_loop_all_clauses_empty() {
         let tu = parse_ok("void f() { for (;;) break; }");
-        let StmtKind::For { init, cond, step, .. } = &tu.funcs[0].body[0].kind else { panic!() };
+        let StmtKind::For {
+            init, cond, step, ..
+        } = &tu.funcs[0].body[0].kind
+        else {
+            panic!()
+        };
         assert!(init.is_none() && cond.is_none() && step.is_none());
     }
 
     #[test]
     fn local_array_declaration() {
         let tu = parse_ok("__kernel void f() { __local float sdata[64]; sdata[0] = 0.0f; }");
-        let StmtKind::Decl { space, base, decls } = &tu.funcs[0].body[0].kind else { panic!() };
+        let StmtKind::Decl { space, base, decls } = &tu.funcs[0].body[0].kind else {
+            panic!()
+        };
         assert_eq!(*space, AddrSpace::Local);
         assert_eq!(*base, ScalarType::F32);
         assert!(decls[0].array_len.is_some());
@@ -707,7 +843,9 @@ mod tests {
     #[test]
     fn multi_declarator() {
         let tu = parse_ok("void f() { int i = 0, j, k = 2; }");
-        let StmtKind::Decl { decls, .. } = &tu.funcs[0].body[0].kind else { panic!() };
+        let StmtKind::Decl { decls, .. } = &tu.funcs[0].body[0].kind else {
+            panic!()
+        };
         assert_eq!(decls.len(), 3);
         assert!(decls[0].init.is_some() && decls[1].init.is_none() && decls[2].init.is_some());
     }
@@ -715,10 +853,23 @@ mod tests {
     #[test]
     fn cast_vs_parenthesised() {
         let tu = parse_ok("void f(float x) { int a = (int)x; float b = (x) + 1.0f; }");
-        let StmtKind::Decl { decls, .. } = &tu.funcs[0].body[0].kind else { panic!() };
-        assert!(matches!(decls[0].init, Some(Expr::Cast { ty: ClType::Scalar(ScalarType::I32), .. })));
-        let StmtKind::Decl { decls, .. } = &tu.funcs[0].body[1].kind else { panic!() };
-        assert!(matches!(decls[0].init, Some(Expr::Bin { op: BinOp::Add, .. })));
+        let StmtKind::Decl { decls, .. } = &tu.funcs[0].body[0].kind else {
+            panic!()
+        };
+        assert!(matches!(
+            decls[0].init,
+            Some(Expr::Cast {
+                ty: ClType::Scalar(ScalarType::I32),
+                ..
+            })
+        ));
+        let StmtKind::Decl { decls, .. } = &tu.funcs[0].body[1].kind else {
+            panic!()
+        };
+        assert!(matches!(
+            decls[0].init,
+            Some(Expr::Bin { op: BinOp::Add, .. })
+        ));
     }
 
     #[test]

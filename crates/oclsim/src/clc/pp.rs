@@ -150,7 +150,10 @@ fn expand_line(line: &str, macros: &HashMap<String, String>, lineno: usize) -> R
         }
         cur = next;
     }
-    Err(pp_err(lineno, "macro expansion too deep (recursive #define?)"))
+    Err(pp_err(
+        lineno,
+        "macro expansion too deep (recursive #define?)",
+    ))
 }
 
 fn expand_once(line: &str, macros: &HashMap<String, String>) -> (String, bool) {
@@ -198,7 +201,11 @@ mod tests {
         assert!(!out.contains("trailing"));
         assert!(out.contains("int   b;"));
         assert!(out.contains("int c;"));
-        assert_eq!(out.lines().count(), src.lines().count(), "line numbering preserved");
+        assert_eq!(
+            out.lines().count(),
+            src.lines().count(),
+            "line numbering preserved"
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub fn analyze(tu: &ast::TranslationUnit) -> Result<Module> {
             return Err(err(f.line, format!("duplicate function `{}`", f.name)));
         }
         if builtin_by_name(&f.name).is_some() || is_reserved(&f.name) {
-            return Err(err(f.line, format!("`{}` shadows a built-in function", f.name)));
+            return Err(err(
+                f.line,
+                format!("`{}` shadows a built-in function", f.name),
+            ));
         }
     }
 
@@ -45,7 +48,10 @@ fn err(line: usize, msg: impl Into<String>) -> Error {
 }
 
 fn is_reserved(name: &str) -> bool {
-    matches!(name, "barrier" | "mem_fence" | "read_mem_fence" | "write_mem_fence")
+    matches!(
+        name,
+        "barrier" | "mem_fence" | "read_mem_fence" | "write_mem_fence"
+    )
 }
 
 /// A lowered pointer-valued expression with its static address-space info.
@@ -143,16 +149,27 @@ impl<'a> FuncSema<'a> {
         for p in &f.params {
             let (kind, slot_kind) = match p.ty {
                 ClType::Scalar(t) => (ParamKind::Scalar(t), SlotKind::Scalar(t)),
-                ClType::Ptr(AddrSpace::Global, t) => {
-                    (ParamKind::GlobalPtr { elem: t }, SlotKind::Ptr { space: AddrSpace::Global, elem: t })
-                }
+                ClType::Ptr(AddrSpace::Global, t) => (
+                    ParamKind::GlobalPtr { elem: t },
+                    SlotKind::Ptr {
+                        space: AddrSpace::Global,
+                        elem: t,
+                    },
+                ),
                 ClType::Ptr(AddrSpace::Constant, t) => (
                     ParamKind::ConstantPtr { elem: t },
-                    SlotKind::Ptr { space: AddrSpace::Constant, elem: t },
+                    SlotKind::Ptr {
+                        space: AddrSpace::Constant,
+                        elem: t,
+                    },
                 ),
-                ClType::Ptr(AddrSpace::Local, t) => {
-                    (ParamKind::LocalPtr { elem: t }, SlotKind::Ptr { space: AddrSpace::Local, elem: t })
-                }
+                ClType::Ptr(AddrSpace::Local, t) => (
+                    ParamKind::LocalPtr { elem: t },
+                    SlotKind::Ptr {
+                        space: AddrSpace::Local,
+                        elem: t,
+                    },
+                ),
                 ClType::Ptr(AddrSpace::Private, _) => {
                     return Err(err(f.line, "private-pointer parameters are not supported"));
                 }
@@ -169,7 +186,12 @@ impl<'a> FuncSema<'a> {
             }
             let slot = self.new_slot(slot_kind);
             self.bind(f.line, &p.name, Binding::Slot(slot))?;
-            params.push(ParamInfo { name: p.name.clone(), kind, reads: false, writes: false });
+            params.push(ParamInfo {
+                name: p.name.clone(),
+                kind,
+                reads: false,
+                writes: false,
+            });
         }
 
         let body = self.lower_block(&f.body)?;
@@ -217,27 +239,50 @@ impl<'a> FuncSema<'a> {
                 }
             }
             StmtKind::Expr(e) => self.lower_expr_stmt(line, e, out)?,
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 let c = self.lower_condition(line, cond)?;
                 let t = self.lower_block(then_blk)?;
                 let e = self.lower_block(else_blk)?;
-                out.push(St::If { cond: c, then_blk: t, else_blk: e });
+                out.push(St::If {
+                    cond: c,
+                    then_blk: t,
+                    else_blk: e,
+                });
             }
             StmtKind::While { cond, body } => {
                 let c = self.lower_condition(line, cond)?;
                 self.loop_depth += 1;
                 let b = self.lower_block(body)?;
                 self.loop_depth -= 1;
-                out.push(St::Loop { cond: c, body: b, step: vec![], check_first: true });
+                out.push(St::Loop {
+                    cond: c,
+                    body: b,
+                    step: vec![],
+                    check_first: true,
+                });
             }
             StmtKind::DoWhile { body, cond } => {
                 self.loop_depth += 1;
                 let b = self.lower_block(body)?;
                 self.loop_depth -= 1;
                 let c = self.lower_condition(line, cond)?;
-                out.push(St::Loop { cond: c, body: b, step: vec![], check_first: false });
+                out.push(St::Loop {
+                    cond: c,
+                    body: b,
+                    step: vec![],
+                    check_first: false,
+                });
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 // the init declaration scopes over cond/step/body
                 self.scopes.push(HashMap::new());
                 if let Some(init) = init {
@@ -245,7 +290,10 @@ impl<'a> FuncSema<'a> {
                 }
                 let c = match cond {
                     Some(c) => self.lower_condition(line, c)?,
-                    None => Ex::Const { bits: 1, ty: ScalarType::Bool },
+                    None => Ex::Const {
+                        bits: 1,
+                        ty: ScalarType::Bool,
+                    },
                 };
                 self.loop_depth += 1;
                 let b = self.lower_block(body)?;
@@ -255,7 +303,12 @@ impl<'a> FuncSema<'a> {
                     self.lower_expr_stmt(line, step, &mut st)?;
                 }
                 self.scopes.pop();
-                out.push(St::Loop { cond: c, body: b, step: st, check_first: true });
+                out.push(St::Loop {
+                    cond: c,
+                    body: b,
+                    step: st,
+                    check_first: true,
+                });
             }
             StmtKind::Return(e) => {
                 let v = match (e, self.ret) {
@@ -318,11 +371,19 @@ impl<'a> FuncSema<'a> {
                         ));
                     }
                     let byte_offset = align_to(
-                        self.local_allocs.iter().map(|a| a.byte_offset + a.byte_len()).max().unwrap_or(0),
+                        self.local_allocs
+                            .iter()
+                            .map(|a| a.byte_offset + a.byte_len())
+                            .max()
+                            .unwrap_or(0),
                         base.size(),
                     );
                     let alloc = self.local_allocs.len();
-                    self.local_allocs.push(ArrayAlloc { elem: base, len, byte_offset });
+                    self.local_allocs.push(ArrayAlloc {
+                        elem: base,
+                        len,
+                        byte_offset,
+                    });
                     self.bind(line, &d.name, Binding::LocalArray { alloc, elem: base })?;
                 }
                 AddrSpace::Private => {
@@ -333,15 +394,26 @@ impl<'a> FuncSema<'a> {
                         ));
                     }
                     let byte_offset = align_to(
-                        self.priv_allocs.iter().map(|a| a.byte_offset + a.byte_len()).max().unwrap_or(0),
+                        self.priv_allocs
+                            .iter()
+                            .map(|a| a.byte_offset + a.byte_len())
+                            .max()
+                            .unwrap_or(0),
                         base.size(),
                     );
                     let alloc = self.priv_allocs.len();
-                    self.priv_allocs.push(ArrayAlloc { elem: base, len, byte_offset });
+                    self.priv_allocs.push(ArrayAlloc {
+                        elem: base,
+                        len,
+                        byte_offset,
+                    });
                     self.bind(line, &d.name, Binding::PrivArray { alloc, elem: base })?;
                 }
                 AddrSpace::Global | AddrSpace::Constant => {
-                    return Err(err(line, "global/constant arrays cannot be declared in kernels"));
+                    return Err(err(
+                        line,
+                        "global/constant arrays cannot be declared in kernels",
+                    ));
                 }
             }
             return Ok(());
@@ -364,20 +436,29 @@ impl<'a> FuncSema<'a> {
                     ),
                 ));
             }
-            let slot = self.new_slot(SlotKind::Ptr { space: p.space, elem: p.elem });
+            let slot = self.new_slot(SlotKind::Ptr {
+                space: p.space,
+                elem: p.elem,
+            });
             self.bind(line, &d.name, Binding::Slot(slot))?;
             out.push(St::SetSlot { slot, value: p.ex });
             return Ok(());
         }
 
         if space == AddrSpace::Local {
-            return Err(err(line, "__local scalars are not supported; use a 1-element array"));
+            return Err(err(
+                line,
+                "__local scalars are not supported; use a 1-element array",
+            ));
         }
         let slot = self.new_slot(SlotKind::Scalar(base));
         self.bind(line, &d.name, Binding::Slot(slot))?;
         if let Some(init) = &d.init {
             let v = self.lower_value(line, init)?;
-            out.push(St::SetSlot { slot, value: self.coerce(v, base) });
+            out.push(St::SetSlot {
+                slot,
+                value: self.coerce(v, base),
+            });
         }
         Ok(())
     }
@@ -388,12 +469,16 @@ impl<'a> FuncSema<'a> {
             Expr::Assign { op, target, value } => {
                 self.lower_assignment(line, *op, target, value, out)
             }
-            Expr::Un { op: UnOp::PreInc, e } | Expr::Post { op: PostOp::Inc, e } => {
-                self.lower_incdec(line, e, BinOp::Add, out)
+            Expr::Un {
+                op: UnOp::PreInc,
+                e,
             }
-            Expr::Un { op: UnOp::PreDec, e } | Expr::Post { op: PostOp::Dec, e } => {
-                self.lower_incdec(line, e, BinOp::Sub, out)
+            | Expr::Post { op: PostOp::Inc, e } => self.lower_incdec(line, e, BinOp::Add, out),
+            Expr::Un {
+                op: UnOp::PreDec,
+                e,
             }
+            | Expr::Post { op: PostOp::Dec, e } => self.lower_incdec(line, e, BinOp::Sub, out),
             Expr::Call { name, args } if name == "barrier" => {
                 let flags = if args.is_empty() {
                     1 // bare barrier(): local fence
@@ -409,7 +494,10 @@ impl<'a> FuncSema<'a> {
                 Ok(())
             }
             Expr::Call { name, .. }
-                if matches!(name.as_str(), "mem_fence" | "read_mem_fence" | "write_mem_fence") =>
+                if matches!(
+                    name.as_str(),
+                    "mem_fence" | "read_mem_fence" | "write_mem_fence"
+                ) =>
             {
                 // lock-step execution makes intra-group fences no-ops
                 Ok(())
@@ -433,7 +521,11 @@ impl<'a> FuncSema<'a> {
         op: BinOp,
         out: &mut Vec<St>,
     ) -> Result<()> {
-        let one = Expr::IntLit { value: 1, unsigned: false, long: false };
+        let one = Expr::IntLit {
+            value: 1,
+            unsigned: false,
+            long: false,
+        };
         self.lower_assignment(line, Some(op), target, &one, out)
     }
 
@@ -456,18 +548,16 @@ impl<'a> FuncSema<'a> {
                 };
                 match self.slots[slot] {
                     SlotKind::Scalar(ty) => {
-                        let rhs = self.build_assigned_value(
-                            line,
-                            op,
-                            Ex::Slot { slot, ty },
-                            ty,
-                            value,
-                        )?;
+                        let rhs =
+                            self.build_assigned_value(line, op, Ex::Slot { slot, ty }, ty, value)?;
                         out.push(St::SetSlot { slot, value: rhs });
                     }
                     SlotKind::Ptr { space, elem } => {
                         if op.is_some() {
-                            return Err(err(line, "compound assignment to pointers is not supported"));
+                            return Err(err(
+                                line,
+                                "compound assignment to pointers is not supported",
+                            ));
                         }
                         let p = self.lower_pointer(line, value)?;
                         if p.space != space || p.elem != elem {
@@ -478,14 +568,26 @@ impl<'a> FuncSema<'a> {
                 }
                 Ok(())
             }
-            Expr::Index { .. } | Expr::Un { op: UnOp::Deref, .. } => {
+            Expr::Index { .. }
+            | Expr::Un {
+                op: UnOp::Deref, ..
+            } => {
                 let (addr, space, elem) = self.lower_lvalue_addr(line, target)?;
-                let cur = Ex::Load { addr: Box::new(addr.clone()), elem, space };
+                let cur = Ex::Load {
+                    addr: Box::new(addr.clone()),
+                    elem,
+                    space,
+                };
                 if space == AddrSpace::Constant {
                     return Err(err(line, "cannot write through a __constant pointer"));
                 }
                 let rhs = self.build_assigned_value(line, op, cur, elem, value)?;
-                out.push(St::Store { addr, elem, space, value: rhs });
+                out.push(St::Store {
+                    addr,
+                    elem,
+                    space,
+                    value: rhs,
+                });
                 Ok(())
             }
             _ => Err(err(line, "invalid assignment target")),
@@ -516,7 +618,11 @@ impl<'a> FuncSema<'a> {
     /// Lower an expression that must produce a scalar value.
     fn lower_value(&mut self, line: usize, e: &Expr) -> Result<Ex> {
         match e {
-            Expr::IntLit { value, unsigned, long } => {
+            Expr::IntLit {
+                value,
+                unsigned,
+                long,
+            } => {
                 let ty = match (unsigned, long) {
                     (false, false) => {
                         if *value <= i32::MAX as u64 {
@@ -541,9 +647,15 @@ impl<'a> FuncSema<'a> {
             }
             Expr::FloatLit { value, f32 } => {
                 if *f32 {
-                    Ok(Ex::Const { bits: (*value as f32).to_bits() as u64, ty: ScalarType::F32 })
+                    Ok(Ex::Const {
+                        bits: (*value as f32).to_bits() as u64,
+                        ty: ScalarType::F32,
+                    })
                 } else {
-                    Ok(Ex::Const { bits: value.to_bits(), ty: ScalarType::F64 })
+                    Ok(Ex::Const {
+                        bits: value.to_bits(),
+                        ty: ScalarType::F64,
+                    })
                 }
             }
             Expr::Ident(name) => {
@@ -554,11 +666,15 @@ impl<'a> FuncSema<'a> {
                 match b {
                     Binding::Slot(slot) => match self.slots[slot] {
                         SlotKind::Scalar(ty) => Ok(Ex::Slot { slot, ty }),
-                        SlotKind::Ptr { .. } => {
-                            Err(err(line, format!("pointer `{name}` used as a scalar value")))
-                        }
+                        SlotKind::Ptr { .. } => Err(err(
+                            line,
+                            format!("pointer `{name}` used as a scalar value"),
+                        )),
                     },
-                    Binding::Const(v) => Ok(Ex::Const { bits: v.to_bits(), ty: v.scalar_type() }),
+                    Binding::Const(v) => Ok(Ex::Const {
+                        bits: v.to_bits(),
+                        ty: v.scalar_type(),
+                    }),
                     Binding::LocalArray { .. } | Binding::PrivArray { .. } => {
                         Err(err(line, format!("array `{name}` used as a scalar value")))
                     }
@@ -569,8 +685,14 @@ impl<'a> FuncSema<'a> {
                     let lc = self.lower_condition(line, l)?;
                     let rc = self.lower_condition(line, r)?;
                     return Ok(match op {
-                        BinOp::LogAnd => Ex::LogAnd { l: Box::new(lc), r: Box::new(rc) },
-                        BinOp::LogOr => Ex::LogOr { l: Box::new(lc), r: Box::new(rc) },
+                        BinOp::LogAnd => Ex::LogAnd {
+                            l: Box::new(lc),
+                            r: Box::new(rc),
+                        },
+                        BinOp::LogOr => Ex::LogOr {
+                            l: Box::new(lc),
+                            r: Box::new(rc),
+                        },
                         _ => unreachable!(),
                     });
                 }
@@ -584,11 +706,19 @@ impl<'a> FuncSema<'a> {
                     let v = self.lower_value(line, e_unwrap(inner));
                     let v = v?;
                     let ty = v.ty().integer_promote();
-                    Ok(Ex::Un { op: UOp::Neg, ty, e: Box::new(self.coerce(v, ty)) })
+                    Ok(Ex::Un {
+                        op: UOp::Neg,
+                        ty,
+                        e: Box::new(self.coerce(v, ty)),
+                    })
                 }
                 UnOp::Not => {
                     let c = self.lower_condition(line, inner)?;
-                    Ok(Ex::Un { op: UOp::Not, ty: ScalarType::Bool, e: Box::new(c) })
+                    Ok(Ex::Un {
+                        op: UOp::Not,
+                        ty: ScalarType::Bool,
+                        e: Box::new(c),
+                    })
                 }
                 UnOp::BitNot => {
                     let v = self.lower_value(line, inner)?;
@@ -596,23 +726,37 @@ impl<'a> FuncSema<'a> {
                     if ty.is_float() {
                         return Err(err(line, "`~` applied to a floating-point value"));
                     }
-                    Ok(Ex::Un { op: UOp::BitNot, ty, e: Box::new(self.coerce(v, ty)) })
+                    Ok(Ex::Un {
+                        op: UOp::BitNot,
+                        ty,
+                        e: Box::new(self.coerce(v, ty)),
+                    })
                 }
                 UnOp::Deref => {
                     let p = self.lower_pointer(line, inner)?;
-                    Ok(Ex::Load { addr: Box::new(p.ex), elem: p.elem, space: p.space })
+                    Ok(Ex::Load {
+                        addr: Box::new(p.ex),
+                        elem: p.elem,
+                        space: p.space,
+                    })
                 }
-                UnOp::AddrOf => Err(err(line, "`&` is only supported directly in call arguments")),
-                UnOp::PreInc | UnOp::PreDec => {
-                    Err(err(line, "increment/decrement is only supported in statement position"))
-                }
+                UnOp::AddrOf => Err(err(
+                    line,
+                    "`&` is only supported directly in call arguments",
+                )),
+                UnOp::PreInc | UnOp::PreDec => Err(err(
+                    line,
+                    "increment/decrement is only supported in statement position",
+                )),
             },
-            Expr::Post { .. } => {
-                Err(err(line, "increment/decrement is only supported in statement position"))
-            }
-            Expr::Assign { .. } => {
-                Err(err(line, "assignment is only supported in statement position"))
-            }
+            Expr::Post { .. } => Err(err(
+                line,
+                "increment/decrement is only supported in statement position",
+            )),
+            Expr::Assign { .. } => Err(err(
+                line,
+                "assignment is only supported in statement position",
+            )),
             Expr::Ternary { cond, t, f } => {
                 let c = self.lower_condition(line, cond)?;
                 let tv = self.lower_value(line, t)?;
@@ -627,7 +771,11 @@ impl<'a> FuncSema<'a> {
             }
             Expr::Index { .. } => {
                 let (addr, space, elem) = self.lower_lvalue_addr(line, e)?;
-                Ok(Ex::Load { addr: Box::new(addr), elem, space })
+                Ok(Ex::Load {
+                    addr: Box::new(addr),
+                    elem,
+                    space,
+                })
             }
             Expr::Cast { ty, e: inner } => {
                 let to = match ty {
@@ -653,7 +801,12 @@ impl<'a> FuncSema<'a> {
         }
         let ty = v.ty();
         let zero = Ex::Const { bits: 0, ty };
-        Ex::Cmp { op: COp::Ne, ty, l: Box::new(v), r: Box::new(zero) }
+        Ex::Cmp {
+            op: COp::Ne,
+            ty,
+            l: Box::new(v),
+            r: Box::new(zero),
+        }
     }
 
     /// Insert a Cast node if needed.
@@ -665,10 +818,17 @@ impl<'a> FuncSema<'a> {
         // fold literal casts for cleaner IR and cheaper execution
         if let Ex::Const { bits, ty } = &v {
             if let Some(folded) = fold_cast(*bits, *ty, to) {
-                return Ex::Const { bits: folded, ty: to };
+                return Ex::Const {
+                    bits: folded,
+                    ty: to,
+                };
             }
         }
-        Ex::Cast { from, to, e: Box::new(v) }
+        Ex::Cast {
+            from,
+            to,
+            e: Box::new(v),
+        }
     }
 
     fn build_binary(&mut self, line: usize, op: BinOp, l: Ex, r: Ex) -> Result<Ex> {
@@ -684,7 +844,12 @@ impl<'a> FuncSema<'a> {
                 BinOp::Ne => COp::Ne,
                 _ => unreachable!(),
             };
-            return Ok(Ex::Cmp { op: cop, ty, l: Box::new(l), r: Box::new(r) });
+            return Ok(Ex::Cmp {
+                op: cop,
+                ty,
+                l: Box::new(l),
+                r: Box::new(r),
+            });
         }
         let bop = match op {
             BinOp::Add => BOp::Add,
@@ -697,7 +862,7 @@ impl<'a> FuncSema<'a> {
             BinOp::BitXor => BOp::Xor,
             BinOp::Shl => BOp::Shl,
             BinOp::Shr => BOp::Shr,
-            BinOp::LogAnd | BinOp::LogOr | _ if op.is_logical() || op.is_comparison() => {
+            _ if op.is_logical() || op.is_comparison() => {
                 unreachable!("handled above")
             }
             _ => unreachable!(),
@@ -708,9 +873,16 @@ impl<'a> FuncSema<'a> {
         } else {
             l.ty().promote(r.ty())
         };
-        if ty.is_float() && matches!(bop, BOp::Rem | BOp::And | BOp::Or | BOp::Xor | BOp::Shl | BOp::Shr)
+        if ty.is_float()
+            && matches!(
+                bop,
+                BOp::Rem | BOp::And | BOp::Or | BOp::Xor | BOp::Shl | BOp::Shr
+            )
         {
-            return Err(err(line, format!("operator {bop:?} requires integer operands")));
+            return Err(err(
+                line,
+                format!("operator {bop:?} requires integer operands"),
+            ));
         }
         let l = self.coerce(l, ty);
         let r = self.coerce(r, ty);
@@ -721,7 +893,12 @@ impl<'a> FuncSema<'a> {
                 return Ok(Ex::Const { bits, ty });
             }
         }
-        Ok(Ex::Bin { op: bop, ty, l: Box::new(l), r: Box::new(r) })
+        Ok(Ex::Bin {
+            op: bop,
+            ty,
+            l: Box::new(l),
+            r: Box::new(r),
+        })
     }
 
     // ---- pointers and lvalues ---------------------------------------------
@@ -737,7 +914,10 @@ impl<'a> FuncSema<'a> {
                 match b {
                     Binding::Slot(slot) => match self.slots[slot] {
                         SlotKind::Ptr { space, elem } => Ok(PtrEx {
-                            ex: Ex::Slot { slot, ty: ScalarType::U64 },
+                            ex: Ex::Slot {
+                                slot,
+                                ty: ScalarType::U64,
+                            },
                             space,
                             elem,
                         }),
@@ -755,10 +935,16 @@ impl<'a> FuncSema<'a> {
                         space: AddrSpace::Private,
                         elem,
                     }),
-                    Binding::Const(_) => Err(err(line, format!("constant `{name}` is not a pointer"))),
+                    Binding::Const(_) => {
+                        Err(err(line, format!("constant `{name}` is not a pointer")))
+                    }
                 }
             }
-            Expr::Bin { op: BinOp::Add, l, r } => {
+            Expr::Bin {
+                op: BinOp::Add,
+                l,
+                r,
+            } => {
                 let p = self.lower_pointer(line, l)?;
                 let off = self.lower_value(line, r)?;
                 let off = self.coerce(off, ScalarType::I64);
@@ -772,11 +958,19 @@ impl<'a> FuncSema<'a> {
                     },
                 })
             }
-            Expr::Bin { op: BinOp::Sub, l, r } => {
+            Expr::Bin {
+                op: BinOp::Sub,
+                l,
+                r,
+            } => {
                 let p = self.lower_pointer(line, l)?;
                 let off = self.lower_value(line, r)?;
                 let off = self.coerce(off, ScalarType::I64);
-                let neg = Ex::Un { op: UOp::Neg, ty: ScalarType::I64, e: Box::new(off) };
+                let neg = Ex::Un {
+                    op: UOp::Neg,
+                    ty: ScalarType::I64,
+                    e: Box::new(off),
+                };
                 Ok(PtrEx {
                     elem: p.elem,
                     space: p.space,
@@ -787,11 +981,21 @@ impl<'a> FuncSema<'a> {
                     },
                 })
             }
-            Expr::Un { op: UnOp::AddrOf, e: inner } => {
+            Expr::Un {
+                op: UnOp::AddrOf,
+                e: inner,
+            } => {
                 let (addr, space, elem) = self.lower_lvalue_addr(line, inner)?;
-                Ok(PtrEx { ex: addr, space, elem })
+                Ok(PtrEx {
+                    ex: addr,
+                    space,
+                    elem,
+                })
             }
-            _ => Err(err(line, "expression is not a supported pointer expression")),
+            _ => Err(err(
+                line,
+                "expression is not a supported pointer expression",
+            )),
         }
     }
 
@@ -809,7 +1013,10 @@ impl<'a> FuncSema<'a> {
                 };
                 Ok((addr, p.space, p.elem))
             }
-            Expr::Un { op: UnOp::Deref, e: inner } => {
+            Expr::Un {
+                op: UnOp::Deref,
+                e: inner,
+            } => {
                 let p = self.lower_pointer(line, inner)?;
                 Ok((p.ex, p.space, p.elem))
             }
@@ -834,14 +1041,22 @@ impl<'a> FuncSema<'a> {
                 let b = self.lower_value(line, &args[1])?;
                 let ty = a.ty().promote(b.ty());
                 let bi = if ty.is_float() {
-                    if name == "max" { Builtin::Fmax } else { Builtin::Fmin }
+                    if name == "max" {
+                        Builtin::Fmax
+                    } else {
+                        Builtin::Fmin
+                    }
                 } else if name == "max" {
                     Builtin::MaxI
                 } else {
                     Builtin::MinI
                 };
                 let (a, b) = (self.coerce(a, ty), self.coerce(b, ty));
-                return Ok(Ex::CallBuiltin { b: bi, ty, args: vec![a, b] });
+                return Ok(Ex::CallBuiltin {
+                    b: bi,
+                    ty,
+                    args: vec![a, b],
+                });
             }
             "abs" => {
                 check_argc(line, name, args, 1)?;
@@ -851,7 +1066,11 @@ impl<'a> FuncSema<'a> {
                     return Err(err(line, "use fabs() for floating-point absolute value"));
                 }
                 let a = self.coerce(a, ty);
-                return Ok(Ex::CallBuiltin { b: Builtin::AbsI, ty, args: vec![a] });
+                return Ok(Ex::CallBuiltin {
+                    b: Builtin::AbsI,
+                    ty,
+                    args: vec![a],
+                });
             }
             "clamp" => {
                 check_argc(line, name, args, 3)?;
@@ -867,8 +1086,16 @@ impl<'a> FuncSema<'a> {
                 let x = self.coerce(x, ty);
                 let lo = self.coerce(lo, ty);
                 let hi = self.coerce(hi, ty);
-                let lower = Ex::CallBuiltin { b: maxb, ty, args: vec![x, lo] };
-                return Ok(Ex::CallBuiltin { b: minb, ty, args: vec![lower, hi] });
+                let lower = Ex::CallBuiltin {
+                    b: maxb,
+                    ty,
+                    args: vec![x, lo],
+                };
+                return Ok(Ex::CallBuiltin {
+                    b: minb,
+                    ty,
+                    args: vec![lower, hi],
+                });
             }
             _ => {}
         }
@@ -878,12 +1105,19 @@ impl<'a> FuncSema<'a> {
         };
         let callee = &self.tu.funcs[func];
         if callee.is_kernel {
-            return Err(err(line, format!("kernel `{name}` cannot be called from device code")));
+            return Err(err(
+                line,
+                format!("kernel `{name}` cannot be called from device code"),
+            ));
         }
         if callee.params.len() != args.len() {
             return Err(err(
                 line,
-                format!("`{name}` expects {} arguments, got {}", callee.params.len(), args.len()),
+                format!(
+                    "`{name}` expects {} arguments, got {}",
+                    callee.params.len(),
+                    args.len()
+                ),
             ));
         }
         let ret = match callee.ret {
@@ -923,7 +1157,11 @@ impl<'a> FuncSema<'a> {
         }
         // void calls get a dummy I32 result type; St::ExprSt discards it
         let ret_ty = ret.unwrap_or(ScalarType::I32);
-        Ok(Ex::CallFunc { func, ret: ret_ty, args: lowered })
+        Ok(Ex::CallFunc {
+            func,
+            ret: ret_ty,
+            args: lowered,
+        })
     }
 
     fn lower_builtin(&mut self, line: usize, name: &str, b: Builtin, args: &[Expr]) -> Result<Ex> {
@@ -933,11 +1171,19 @@ impl<'a> FuncSema<'a> {
                 check_argc(line, name, args, 1)?;
                 let dim = self.lower_value(line, &args[0])?;
                 let dim = self.coerce(dim, ScalarType::U32);
-                Ok(Ex::CallBuiltin { b, ty: ScalarType::U64, args: vec![dim] })
+                Ok(Ex::CallBuiltin {
+                    b,
+                    ty: ScalarType::U64,
+                    args: vec![dim],
+                })
             }
             GetWorkDim => {
                 check_argc(line, name, args, 0)?;
-                Ok(Ex::CallBuiltin { b, ty: ScalarType::U32, args: vec![] })
+                Ok(Ex::CallBuiltin {
+                    b,
+                    ty: ScalarType::U32,
+                    args: vec![],
+                })
             }
             Sqrt | Rsqrt | Fabs | Exp | Log | Log2 | Sin | Cos | Tan | Floor | Ceil | Trunc
             | Round => {
@@ -945,7 +1191,11 @@ impl<'a> FuncSema<'a> {
                 let a = self.lower_value(line, &args[0])?;
                 let ty = float_ty(a.ty());
                 let a = self.coerce(a, ty);
-                Ok(Ex::CallBuiltin { b, ty, args: vec![a] })
+                Ok(Ex::CallBuiltin {
+                    b,
+                    ty,
+                    args: vec![a],
+                })
             }
             Pow | Fmod | Fmax | Fmin => {
                 check_argc(line, name, args, 2)?;
@@ -954,7 +1204,11 @@ impl<'a> FuncSema<'a> {
                 let ty = float_ty(x.ty().promote(y.ty()));
                 let x = self.coerce(x, ty);
                 let y = self.coerce(y, ty);
-                Ok(Ex::CallBuiltin { b, ty, args: vec![x, y] })
+                Ok(Ex::CallBuiltin {
+                    b,
+                    ty,
+                    args: vec![x, y],
+                })
             }
             Mad | Fma => {
                 check_argc(line, name, args, 3)?;
@@ -965,7 +1219,11 @@ impl<'a> FuncSema<'a> {
                 let x = self.coerce(x, ty);
                 let y = self.coerce(y, ty);
                 let z = self.coerce(z, ty);
-                Ok(Ex::CallBuiltin { b, ty, args: vec![x, y, z] })
+                Ok(Ex::CallBuiltin {
+                    b,
+                    ty,
+                    args: vec![x, y, z],
+                })
             }
             MaxI | MinI | AbsI => unreachable!("dispatched by name above"),
             AtomicAdd | AtomicSub | AtomicXchg | AtomicMin | AtomicMax => {
@@ -999,7 +1257,11 @@ impl<'a> FuncSema<'a> {
             let v = self.lower_value(line, &args[1])?;
             lowered.push(self.coerce(v, ty));
         }
-        Ok(Ex::CallBuiltin { b, ty, args: lowered })
+        Ok(Ex::CallBuiltin {
+            b,
+            ty,
+            args: lowered,
+        })
     }
 
     // ---- constant evaluation ----------------------------------------------
@@ -1020,7 +1282,10 @@ fn e_unwrap(e: &Expr) -> &Expr {
 
 fn check_argc(line: usize, name: &str, args: &[Expr], n: usize) -> Result<()> {
     if args.len() != n {
-        Err(err(line, format!("`{name}` expects {n} argument(s), got {}", args.len())))
+        Err(err(
+            line,
+            format!("`{name}` expects {n} argument(s), got {}", args.len()),
+        ))
     } else {
         Ok(())
     }
@@ -1098,7 +1363,9 @@ fn const_fold(e: &Ex) -> Option<u64> {
                 BOp::Shr => a.wrapping_shr(b as u32),
             })
         }
-        Ex::Un { op: UOp::Neg, e, .. } => Some(const_fold(e)?.wrapping_neg()),
+        Ex::Un {
+            op: UOp::Neg, e, ..
+        } => Some(const_fold(e)?.wrapping_neg()),
         Ex::Cast { e, .. } => const_fold(e),
         _ => None,
     }
@@ -1162,21 +1429,19 @@ fn compute_direct_effects(f: &mut FuncIr) {
             }
         }
         // atomics write through their pointer argument
-        for_each_expr_in_stmt(st, &mut |e| {
-            match e {
-                Ex::Load { addr, .. } => {
-                    if let Some(p) = root_param(addr, nparams) {
-                        reads[p] = true;
-                    }
+        for_each_expr_in_stmt(st, &mut |e| match e {
+            Ex::Load { addr, .. } => {
+                if let Some(p) = root_param(addr, nparams) {
+                    reads[p] = true;
                 }
-                Ex::CallBuiltin { b, args, .. } if b.is_atomic() => {
-                    if let Some(p) = root_param(&args[0], nparams) {
-                        reads[p] = true;
-                        writes[p] = true;
-                    }
-                }
-                _ => {}
             }
+            Ex::CallBuiltin { b, args, .. } if b.is_atomic() => {
+                if let Some(p) = root_param(&args[0], nparams) {
+                    reads[p] = true;
+                    writes[p] = true;
+                }
+            }
+            _ => {}
         });
     });
     for (i, p) in f.params.iter_mut().enumerate() {
@@ -1198,7 +1463,9 @@ fn walk_stmts(stmts: &[St], f: &mut impl FnMut(&St)) {
     for s in stmts {
         f(s);
         match s {
-            St::If { then_blk, else_blk, .. } => {
+            St::If {
+                then_blk, else_blk, ..
+            } => {
                 walk_stmts(then_blk, f);
                 walk_stmts(else_blk, f);
             }
@@ -1274,10 +1541,8 @@ fn propagate_param_effects(module: &mut Module) {
                     if let Ex::CallFunc { func, args, .. } = e {
                         for (ai, a) in args.iter().enumerate() {
                             if let Some(p) = root_param(a, nparams) {
-                                let (r, w) = snapshot[*func]
-                                    .get(ai)
-                                    .copied()
-                                    .unwrap_or((false, false));
+                                let (r, w) =
+                                    snapshot[*func].get(ai).copied().unwrap_or((false, false));
                                 extra[p].0 |= r;
                                 extra[p].1 |= w;
                             }
@@ -1356,10 +1621,13 @@ fn propagate_barriers_and_fp64(module: &mut Module) {
 fn param_is_fp64(k: &ParamKind) -> bool {
     matches!(
         k,
-        ParamKind::GlobalPtr { elem: ScalarType::F64 }
-            | ParamKind::ConstantPtr { elem: ScalarType::F64 }
-            | ParamKind::LocalPtr { elem: ScalarType::F64 }
-            | ParamKind::Scalar(ScalarType::F64)
+        ParamKind::GlobalPtr {
+            elem: ScalarType::F64
+        } | ParamKind::ConstantPtr {
+            elem: ScalarType::F64
+        } | ParamKind::LocalPtr {
+            elem: ScalarType::F64
+        } | ParamKind::Scalar(ScalarType::F64)
     )
 }
 
@@ -1391,7 +1659,10 @@ mod tests {
         let f = &m.funcs[m.kernels["saxpy"]];
         assert!(f.uses_fp64);
         assert!(!f.has_barrier);
-        assert!(f.params[0].reads && f.params[0].writes, "y is read and written");
+        assert!(
+            f.params[0].reads && f.params[0].writes,
+            "y is read and written"
+        );
         assert!(f.params[1].reads && !f.params[1].writes, "x is read-only");
     }
 
@@ -1442,11 +1713,17 @@ mod tests {
         assert!(f.has_barrier);
         assert!(matches!(
             f.body[0],
-            St::Barrier { local_fence: true, global_fence: false }
+            St::Barrier {
+                local_fence: true,
+                global_fence: false
+            }
         ));
         assert!(matches!(
             f.body[1],
-            St::Barrier { local_fence: true, global_fence: true }
+            St::Barrier {
+                local_fence: true,
+                global_fence: true
+            }
         ));
     }
 
@@ -1460,7 +1737,10 @@ mod tests {
     fn double_arithmetic_marks_fp64() {
         // constant-only double expressions fold away and need no fp64...
         let m = compile("__kernel void f(__global float* a) { a[0] = (float)(1.0 * 2.0); }");
-        assert!(!m.funcs[0].uses_fp64, "folded double constants cost nothing at runtime");
+        assert!(
+            !m.funcs[0].uses_fp64,
+            "folded double constants cost nothing at runtime"
+        );
         // ...but double arithmetic on runtime values does (unsuffixed
         // literals are double, so `x * 2.0` promotes to double)
         let m = compile("__kernel void f(__global float* a) { a[0] = (float)(a[0] * 2.0); }");
@@ -1494,7 +1774,10 @@ mod tests {
         let mut found = false;
         walk_stmts(&f.body, &mut |st| {
             for_each_expr_in_stmt(st, &mut |e| {
-                if let Ex::Bin { op: BOp::Add, ty, .. } = e {
+                if let Ex::Bin {
+                    op: BOp::Add, ty, ..
+                } = e
+                {
                     assert_eq!(*ty, ScalarType::F32);
                     found = true;
                 }
@@ -1506,7 +1789,9 @@ mod tests {
     #[test]
     fn condition_normalised_to_bool() {
         let m = compile("__kernel void f(int n) { if (n) { } while (n - 1) { break; } }");
-        let St::If { cond, .. } = &m.funcs[0].body[0] else { panic!() };
+        let St::If { cond, .. } = &m.funcs[0].body[0] else {
+            panic!()
+        };
         assert_eq!(cond.ty(), ScalarType::Bool);
     }
 
@@ -1520,14 +1805,21 @@ mod tests {
         let body = &m.funcs[0].body;
         // init SetSlot followed by Loop with non-empty step
         assert!(matches!(body[0], St::SetSlot { .. }));
-        let St::Loop { step, check_first, .. } = &body[1] else { panic!() };
+        let St::Loop {
+            step, check_first, ..
+        } = &body[1]
+        else {
+            panic!()
+        };
         assert!(*check_first && !step.is_empty());
     }
 
     #[test]
     fn do_while_checks_after() {
         let m = compile("__kernel void f(int n) { do { n = n - 1; } while (n > 0); }");
-        let St::Loop { check_first, .. } = &m.funcs[0].body[0] else { panic!() };
+        let St::Loop { check_first, .. } = &m.funcs[0].body[0] else {
+            panic!()
+        };
         assert!(!check_first);
     }
 
@@ -1537,7 +1829,10 @@ mod tests {
         let mut seen = false;
         walk_stmts(&m.funcs[0].body, &mut |st| {
             for_each_expr_in_stmt(st, &mut |e| {
-                if let Ex::Bin { op: BOp::Shr, ty, .. } = e {
+                if let Ex::Bin {
+                    op: BOp::Shr, ty, ..
+                } = e
+                {
                     assert_eq!(*ty, ScalarType::U32);
                     seen = true;
                 }
@@ -1593,26 +1888,36 @@ mod tests {
         assert!(compile_err("__kernel int f() { return 1; }")
             .to_string()
             .contains("kernels must return void"));
-        assert!(compile_err("__kernel void f() { g(); }").to_string().contains("unknown function"));
+        assert!(compile_err("__kernel void f() { g(); }")
+            .to_string()
+            .contains("unknown function"));
         assert!(compile_err("__kernel void f(int a) { a = b; }")
             .to_string()
             .contains("undeclared"));
-        assert!(compile_err("__kernel void f() { break; }").to_string().contains("outside"));
+        assert!(compile_err("__kernel void f() { break; }")
+            .to_string()
+            .contains("outside"));
         assert!(compile_err("void h() { __local float s[4]; }")
             .to_string()
             .contains("kernel functions"));
-        assert!(compile_err("__kernel void f(__constant float* c) { c[0] = 1.0f; }")
-            .to_string()
-            .contains("__constant"));
-        assert!(compile_err("__kernel void f(int n) { int m = n; int x = barrier(m); }")
-            .to_string()
-            .contains("statement"));
+        assert!(
+            compile_err("__kernel void f(__constant float* c) { c[0] = 1.0f; }")
+                .to_string()
+                .contains("__constant")
+        );
+        assert!(
+            compile_err("__kernel void f(int n) { int m = n; int x = barrier(m); }")
+                .to_string()
+                .contains("statement")
+        );
         assert!(compile_err("__kernel void f() { int i; int i; }")
             .to_string()
             .contains("redeclared"));
-        assert!(compile_err("__kernel void k() {} __kernel void j() { k(); }")
-            .to_string()
-            .contains("cannot be called"));
+        assert!(
+            compile_err("__kernel void k() {} __kernel void j() { k(); }")
+                .to_string()
+                .contains("cannot be called")
+        );
     }
 
     #[test]
@@ -1624,14 +1929,18 @@ mod tests {
     fn const_array_length_expressions() {
         let m = compile("__kernel void f() { __local float s[4 * 8 + 2]; s[0] = 0.0f; }");
         assert_eq!(m.funcs[0].local_allocs[0].len, 34);
-        assert!(compile_err("__kernel void f(int n) { __local float s[n]; }")
-            .to_string()
-            .contains("compile-time constant"));
+        assert!(
+            compile_err("__kernel void f(int n) { __local float s[n]; }")
+                .to_string()
+                .contains("compile-time constant")
+        );
     }
 
     #[test]
     fn duplicate_function_rejected() {
-        assert!(compile_err("void f() {} void f() {}").to_string().contains("duplicate"));
+        assert!(compile_err("void f() {} void f() {}")
+            .to_string()
+            .contains("duplicate"));
     }
 
     #[test]
@@ -1643,7 +1952,8 @@ mod tests {
 
     #[test]
     fn select_from_ternary() {
-        let m = compile("__kernel void f(__global float* a, int i) { a[0] = i > 0 ? 1.0f : 2.0f; }");
+        let m =
+            compile("__kernel void f(__global float* a, int i) { a[0] = i > 0 ? 1.0f : 2.0f; }");
         let mut seen = false;
         walk_stmts(&m.funcs[0].body, &mut |st| {
             for_each_expr_in_stmt(st, &mut |e| {

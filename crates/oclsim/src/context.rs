@@ -29,7 +29,9 @@ impl Context {
     /// Create a context over `devices`. Fails on an empty device list.
     pub fn new(devices: &[Device]) -> Result<Context> {
         if devices.is_empty() {
-            return Err(Error::InvalidOperation("context needs at least one device".into()));
+            return Err(Error::InvalidOperation(
+                "context needs at least one device".into(),
+            ));
         }
         let capacity = devices
             .iter()
@@ -69,9 +71,13 @@ impl Context {
     pub fn create_buffer(&self, len_bytes: usize, access: MemAccess) -> Result<Buffer> {
         let inner = &self.inner;
         // reserve; roll back on failure
-        let prev = inner.allocated.fetch_add(len_bytes as u64, Ordering::Relaxed);
+        let prev = inner
+            .allocated
+            .fetch_add(len_bytes as u64, Ordering::Relaxed);
         if prev + len_bytes as u64 > inner.capacity {
-            inner.allocated.fetch_sub(len_bytes as u64, Ordering::Relaxed);
+            inner
+                .allocated
+                .fetch_sub(len_bytes as u64, Ordering::Relaxed);
             return Err(Error::OutOfResources(format!(
                 "allocating {len_bytes} bytes would exceed device global memory \
                  ({} of {} bytes in use)",
@@ -88,7 +94,7 @@ impl Context {
         data: &[T],
         access: MemAccess,
     ) -> Result<Buffer> {
-        let buf = self.create_buffer(std::mem::size_of::<T>() * data.len(), access)?;
+        let buf = self.create_buffer(std::mem::size_of_val(data), access)?;
         buf.write_slice(0, data)?;
         Ok(buf)
     }
@@ -97,7 +103,9 @@ impl Context {
     /// are reference-counted; callers that want exact accounting release
     /// explicitly (dropping the handle alone does not inform the context).
     pub fn release_buffer(&self, buffer: Buffer) {
-        self.inner.allocated.fetch_sub(buffer.len_bytes() as u64, Ordering::Relaxed);
+        self.inner
+            .allocated
+            .fetch_sub(buffer.len_bytes() as u64, Ordering::Relaxed);
         drop(buffer);
     }
 }
@@ -139,7 +147,9 @@ mod tests {
     #[test]
     fn buffer_from_host_data() {
         let ctx = ctx_with(DeviceProfile::tesla_c2050());
-        let b = ctx.create_buffer_from(&[1i32, 2, 3], MemAccess::ReadOnly).unwrap();
+        let b = ctx
+            .create_buffer_from(&[1i32, 2, 3], MemAccess::ReadOnly)
+            .unwrap();
         assert_eq!(b.read_vec::<i32>(0, 3).unwrap(), vec![1, 2, 3]);
         assert_eq!(ctx.allocated_bytes(), 12);
     }
@@ -148,7 +158,7 @@ mod tests {
     fn contains_checks_membership() {
         let d1 = Device::new(DeviceProfile::tesla_c2050());
         let d2 = Device::new(DeviceProfile::quadro_fx380());
-        let ctx = Context::new(&[d1.clone()]).unwrap();
+        let ctx = Context::new(std::slice::from_ref(&d1)).unwrap();
         assert!(ctx.contains(&d1));
         assert!(!ctx.contains(&d2));
     }

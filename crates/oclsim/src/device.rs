@@ -8,7 +8,9 @@
 //! EP from the portability experiment), and the Xeon host CPU.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+use crate::sched::DeviceSched;
 
 /// Broad device classification, mirroring `CL_DEVICE_TYPE_*`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -167,10 +169,21 @@ pub struct Device {
     inner: Arc<DeviceInner>,
 }
 
-#[derive(Debug)]
 struct DeviceInner {
     id: u64,
     profile: DeviceProfile,
+    /// Lazily created command scheduler + modeled resource timeline,
+    /// shared by every queue bound to this device.
+    sched: OnceLock<Arc<DeviceSched>>,
+}
+
+impl std::fmt::Debug for DeviceInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceInner")
+            .field("id", &self.id)
+            .field("profile", &self.profile)
+            .finish()
+    }
 }
 
 impl Device {
@@ -181,8 +194,32 @@ impl Device {
             inner: Arc::new(DeviceInner {
                 id: NEXT_DEVICE_ID.fetch_add(1, Ordering::Relaxed),
                 profile,
+                sched: OnceLock::new(),
             }),
         }
+    }
+
+    /// The device's command scheduler (created on first use).
+    pub(crate) fn sched(&self) -> &Arc<DeviceSched> {
+        self.inner
+            .sched
+            .get_or_init(|| DeviceSched::new(self.inner.profile.compute_units as usize))
+    }
+
+    /// Reset the modeled resource timeline: every compute unit and the DMA
+    /// engine become free at instant 0.0 again. Benchmarks call this
+    /// before a pipeline so the makespan of its events can be read off the
+    /// profiling stamps in isolation. Only affects *modeled* stamps of
+    /// commands enqueued afterwards; never functional results.
+    pub fn reset_timeline(&self) {
+        self.sched().reset_timeline();
+    }
+
+    /// The latest modeled instant any engine of this device is reserved
+    /// until — the makespan of everything scheduled since the last
+    /// [`Device::reset_timeline`].
+    pub fn timeline_horizon(&self) -> f64 {
+        self.sched().timeline_horizon()
     }
 
     /// Unique id of this device instance.

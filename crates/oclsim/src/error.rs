@@ -16,7 +16,11 @@ pub enum Error {
     /// A kernel with the requested name does not exist in the program.
     NoSuchKernel(String),
     /// A kernel argument was not set or has the wrong type.
-    InvalidArg { kernel: String, index: usize, reason: String },
+    InvalidArg {
+        kernel: String,
+        index: usize,
+        reason: String,
+    },
     /// The launch geometry is invalid (zero sizes, local does not divide
     /// global, work-group too large, ...).
     InvalidLaunch(String),
@@ -27,7 +31,12 @@ pub enum Error {
     UnsupportedCapability(String),
     /// A work-item accessed memory outside any allocation. Real OpenCL
     /// makes this undefined behaviour; the simulator traps it.
-    MemoryFault { space: &'static str, offset: u64, len: u64, detail: String },
+    MemoryFault {
+        space: &'static str,
+        offset: u64,
+        len: u64,
+        detail: String,
+    },
     /// `barrier()` was executed with only part of the work-group active.
     /// Undefined behaviour in OpenCL; trapped here.
     BarrierDivergence(String),
@@ -37,6 +46,25 @@ pub enum Error {
     InvalidBufferAccess(String),
     /// Catch-all for API misuse (wrong queue/context pairing etc.).
     InvalidOperation(String),
+    /// A command was not run because one of the events in its (transitive)
+    /// wait list finished with an error. The boxed cause is the error of
+    /// the failed dependency, so chains of poisoned commands keep the
+    /// original fault reachable through nested causes.
+    DependencyFailed { cause: Box<Error> },
+    /// An event wait list reaches back to the event being enqueued (only
+    /// possible through chained user events). Real OpenCL deadlocks; the
+    /// simulator rejects the enqueue instead.
+    DependencyCycle(String),
+}
+
+impl Error {
+    /// Walk [`Error::DependencyFailed`] chains to the originating fault.
+    pub fn root_cause(&self) -> &Error {
+        match self {
+            Error::DependencyFailed { cause } => cause.root_cause(),
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -44,13 +72,25 @@ impl fmt::Display for Error {
         match self {
             Error::BuildFailure(log) => write!(f, "program build failure:\n{log}"),
             Error::NoSuchKernel(name) => write!(f, "no kernel named `{name}` in program"),
-            Error::InvalidArg { kernel, index, reason } => {
-                write!(f, "invalid argument {index} for kernel `{kernel}`: {reason}")
+            Error::InvalidArg {
+                kernel,
+                index,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "invalid argument {index} for kernel `{kernel}`: {reason}"
+                )
             }
             Error::InvalidLaunch(msg) => write!(f, "invalid launch: {msg}"),
             Error::OutOfResources(msg) => write!(f, "out of resources: {msg}"),
             Error::UnsupportedCapability(msg) => write!(f, "unsupported capability: {msg}"),
-            Error::MemoryFault { space, offset, len, detail } => write!(
+            Error::MemoryFault {
+                space,
+                offset,
+                len,
+                detail,
+            } => write!(
                 f,
                 "memory fault in {space} memory at offset {offset} (len {len}): {detail}"
             ),
@@ -58,6 +98,10 @@ impl fmt::Display for Error {
             Error::ArithmeticFault(msg) => write!(f, "arithmetic fault: {msg}"),
             Error::InvalidBufferAccess(msg) => write!(f, "invalid buffer access: {msg}"),
             Error::InvalidOperation(msg) => write!(f, "invalid operation: {msg}"),
+            Error::DependencyFailed { cause } => {
+                write!(f, "command skipped: dependency failed: {cause}")
+            }
+            Error::DependencyCycle(msg) => write!(f, "event dependency cycle: {msg}"),
         }
     }
 }
@@ -77,7 +121,12 @@ mod tests {
         assert!(e.to_string().contains("expected ';'"));
         let e = Error::NoSuchKernel("foo".into());
         assert!(e.to_string().contains("`foo`"));
-        let e = Error::MemoryFault { space: "global", offset: 40, len: 4, detail: "arg 0".into() };
+        let e = Error::MemoryFault {
+            space: "global",
+            offset: 40,
+            len: 4,
+            detail: "arg 0".into(),
+        };
         let s = e.to_string();
         assert!(s.contains("global") && s.contains("40"));
     }

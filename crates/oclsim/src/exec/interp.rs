@@ -53,8 +53,8 @@ fn priv_pointer(byte_offset: usize) -> u64 {
 #[inline]
 fn ptr_add(ptr: u64, delta_elems: i64, elem_size: usize) -> u64 {
     let off = ptr & OFF_MASK;
-    let new = (off as i64).wrapping_add(delta_elems.wrapping_mul(elem_size as i64)) as u64
-        & OFF_MASK;
+    let new =
+        (off as i64).wrapping_add(delta_elems.wrapping_mul(elem_size as i64)) as u64 & OFF_MASK;
     (ptr & !OFF_MASK) | new
 }
 
@@ -238,9 +238,8 @@ impl<'a> GroupRun<'a> {
                 warp_segs.clear();
                 let lo = w * simd;
                 let hi = ((w + 1) * simd).min(self.nlanes);
-                for lane in lo..hi {
+                for (lane, &a) in addrs.iter().enumerate().take(hi).skip(lo) {
                     if mask.get(lane) {
-                        let a = addrs[lane];
                         // an access may straddle two segments
                         warp_segs.push(a / seg);
                         let last = (a + size as u64 - 1) / seg;
@@ -292,7 +291,7 @@ impl<'a> GroupRun<'a> {
             }
             TAG_LOCAL => {
                 let off = off as usize;
-                if off % size != 0 || off + size > self.local_mem.len() {
+                if !off.is_multiple_of(size) || off + size > self.local_mem.len() {
                     return Err(Error::MemoryFault {
                         space: "local",
                         offset: off as u64,
@@ -359,7 +358,7 @@ impl<'a> GroupRun<'a> {
             }),
             TAG_LOCAL => {
                 let off = off as usize;
-                if off % size != 0 || off + size > self.local_mem.len() {
+                if !off.is_multiple_of(size) || off + size > self.local_mem.len() {
                     return Err(Error::MemoryFault {
                         space: "local",
                         offset: off as u64,
@@ -420,7 +419,12 @@ impl<'a> GroupRun<'a> {
                 }
                 self.give_scratch(v);
             }
-            St::Store { addr, elem, space, value } => {
+            St::Store {
+                addr,
+                elem,
+                space,
+                value,
+            } => {
                 let a = self.eval(addr, live, frame)?;
                 let v = self.eval(value, live, frame)?;
                 match space {
@@ -447,7 +451,11 @@ impl<'a> GroupRun<'a> {
                 self.give_scratch(a);
                 self.give_scratch(v);
             }
-            St::If { cond, then_blk, else_blk } => {
+            St::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 let c = self.eval(cond, live, frame)?;
                 self.charge(1, live); // branch
                 let mut t_mask = live.clone();
@@ -462,7 +470,12 @@ impl<'a> GroupRun<'a> {
                     self.exec_block(else_blk, frame, &f_mask)?;
                 }
             }
-            St::Loop { cond, body, step, check_first } => {
+            St::Loop {
+                cond,
+                body,
+                step,
+                check_first,
+            } => {
                 let mut loop_active = live.clone();
                 if *check_first {
                     let c = self.eval(cond, &loop_active, frame)?;
@@ -576,7 +589,11 @@ impl<'a> GroupRun<'a> {
                 out.fill(priv_pointer(off));
                 Ok(out)
             }
-            Ex::PtrAdd { ptr, offset, elem_size } => {
+            Ex::PtrAdd {
+                ptr,
+                offset,
+                elem_size,
+            } => {
                 let mut p = self.eval(ptr, mask, frame)?;
                 let o = self.eval(offset, mask, frame)?;
                 self.charge(self.env.cost.int_alu, mask);
@@ -862,7 +879,7 @@ impl<'a> GroupRun<'a> {
                 TAG_LOCAL => {
                     // the group is single-threaded: plain read-modify-write
                     let off = off as usize;
-                    if off % 4 != 0 || off + 4 > self.local_mem.len() {
+                    if !off.is_multiple_of(4) || off + 4 > self.local_mem.len() {
                         return Err(Error::MemoryFault {
                             space: "local",
                             offset: off as u64,

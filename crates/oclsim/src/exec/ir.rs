@@ -164,13 +164,31 @@ pub enum Ex {
     /// Pointer value of a private-array allocation (per-lane copy).
     PrivBase { alloc: usize, elem: ScalarType },
     /// Pointer + element offset.
-    PtrAdd { ptr: Box<Ex>, offset: Box<Ex>, elem_size: usize },
+    PtrAdd {
+        ptr: Box<Ex>,
+        offset: Box<Ex>,
+        elem_size: usize,
+    },
     /// Load `elem` through a pointer.
-    Load { addr: Box<Ex>, elem: ScalarType, space: AddrSpace },
+    Load {
+        addr: Box<Ex>,
+        elem: ScalarType,
+        space: AddrSpace,
+    },
     /// Binary arithmetic at `ty`.
-    Bin { op: BOp, ty: ScalarType, l: Box<Ex>, r: Box<Ex> },
+    Bin {
+        op: BOp,
+        ty: ScalarType,
+        l: Box<Ex>,
+        r: Box<Ex>,
+    },
     /// Comparison of operands at `ty`; yields Bool.
-    Cmp { op: COp, ty: ScalarType, l: Box<Ex>, r: Box<Ex> },
+    Cmp {
+        op: COp,
+        ty: ScalarType,
+        l: Box<Ex>,
+        r: Box<Ex>,
+    },
     /// Short-circuit `&&` (RHS evaluated only for lanes where LHS holds).
     LogAnd { l: Box<Ex>, r: Box<Ex> },
     /// Short-circuit `||`.
@@ -178,13 +196,30 @@ pub enum Ex {
     /// Unary op at `ty`.
     Un { op: UOp, ty: ScalarType, e: Box<Ex> },
     /// Numeric conversion.
-    Cast { from: ScalarType, to: ScalarType, e: Box<Ex> },
+    Cast {
+        from: ScalarType,
+        to: ScalarType,
+        e: Box<Ex>,
+    },
     /// Built-in call. `ty` is the result type.
-    CallBuiltin { b: Builtin, ty: ScalarType, args: Vec<Ex> },
+    CallBuiltin {
+        b: Builtin,
+        ty: ScalarType,
+        args: Vec<Ex>,
+    },
     /// User helper-function call.
-    CallFunc { func: FuncId, ret: ScalarType, args: Vec<Ex> },
+    CallFunc {
+        func: FuncId,
+        ret: ScalarType,
+        args: Vec<Ex>,
+    },
     /// `cond ? t : f` evaluated with per-lane masking.
-    Select { cond: Box<Ex>, t: Box<Ex>, f: Box<Ex>, ty: ScalarType },
+    Select {
+        cond: Box<Ex>,
+        t: Box<Ex>,
+        f: Box<Ex>,
+        ty: ScalarType,
+    },
 }
 
 impl Ex {
@@ -211,19 +246,39 @@ impl Ex {
 #[derive(Debug, Clone, PartialEq)]
 pub enum St {
     /// Write a slot.
-    SetSlot { slot: SlotId, value: Ex },
+    SetSlot {
+        slot: SlotId,
+        value: Ex,
+    },
     /// Store through a pointer.
-    Store { addr: Ex, elem: ScalarType, space: AddrSpace, value: Ex },
-    If { cond: Ex, then_blk: Vec<St>, else_blk: Vec<St> },
+    Store {
+        addr: Ex,
+        elem: ScalarType,
+        space: AddrSpace,
+        value: Ex,
+    },
+    If {
+        cond: Ex,
+        then_blk: Vec<St>,
+        else_blk: Vec<St>,
+    },
     /// Unified loop: `while` / `for` (`check_first = true`) and `do..while`
     /// (`check_first = false`). `step` runs after the body each iteration,
     /// including on `continue`.
-    Loop { cond: Ex, body: Vec<St>, step: Vec<St>, check_first: bool },
+    Loop {
+        cond: Ex,
+        body: Vec<St>,
+        step: Vec<St>,
+        check_first: bool,
+    },
     Return(Option<Ex>),
     Break,
     Continue,
     /// Work-group barrier with memory-fence flags.
-    Barrier { local_fence: bool, global_fence: bool },
+    Barrier {
+        local_fence: bool,
+        global_fence: bool,
+    },
     /// Expression evaluated for side effects (atomics, void helper calls).
     ExprSt(Ex),
 }
@@ -299,7 +354,10 @@ mod tests {
 
     #[test]
     fn expr_types() {
-        let c = Ex::Const { bits: 1, ty: ScalarType::I32 };
+        let c = Ex::Const {
+            bits: 1,
+            ty: ScalarType::I32,
+        };
         assert_eq!(c.ty(), ScalarType::I32);
         let cmp = Ex::Cmp {
             op: COp::Lt,
@@ -309,7 +367,10 @@ mod tests {
         };
         assert_eq!(cmp.ty(), ScalarType::Bool);
         let p = Ex::PtrAdd {
-            ptr: Box::new(Ex::Slot { slot: 0, ty: ScalarType::U64 }),
+            ptr: Box::new(Ex::Slot {
+                slot: 0,
+                ty: ScalarType::U64,
+            }),
             offset: Box::new(c),
             elem_size: 4,
         };
@@ -318,7 +379,11 @@ mod tests {
 
     #[test]
     fn alloc_sizes() {
-        let a = ArrayAlloc { elem: ScalarType::F64, len: 10, byte_offset: 0 };
+        let a = ArrayAlloc {
+            elem: ScalarType::F64,
+            len: 10,
+            byte_offset: 0,
+        };
         assert_eq!(a.byte_len(), 80);
     }
 

@@ -41,8 +41,10 @@ impl Geometry {
                 global.len()
             )));
         }
-        if global.iter().any(|&g| g == 0) {
-            return Err(Error::InvalidLaunch("global domain has a zero-sized dimension".into()));
+        if global.contains(&0) {
+            return Err(Error::InvalidLaunch(
+                "global domain has a zero-sized dimension".into(),
+            ));
         }
         let work_dim = global.len() as u32;
         let mut g = [1usize; 3];
@@ -80,7 +82,11 @@ impl Geometry {
                 "work-group of {group_items} work-items exceeds the device maximum of {max_wg}"
             )));
         }
-        Ok(Geometry { global: g, local: l, work_dim })
+        Ok(Geometry {
+            global: g,
+            local: l,
+            work_dim,
+        })
     }
 
     /// The library's default local-domain choice: the largest power of two
@@ -92,7 +98,7 @@ impl Geometry {
         let mut candidate = 1usize;
         while candidate * 2 <= max_wg.min(global[0]) {
             candidate *= 2;
-            if global[0] % candidate == 0 {
+            if global[0].is_multiple_of(candidate) {
                 l0 = candidate;
             }
         }
@@ -155,17 +161,37 @@ pub fn validate_launch(
         });
     }
     for (i, (arg, param)) in args.iter().zip(&kernel.params).enumerate() {
-        let fail = |reason: String| Error::InvalidArg { kernel: kernel.name.clone(), index: i, reason };
+        let fail = |reason: String| Error::InvalidArg {
+            kernel: kernel.name.clone(),
+            index: i,
+            reason,
+        };
         match (&param.kind, arg) {
-            (ParamKind::GlobalPtr { .. }, BoundArg::Buffer { buffer, space: AddrSpace::Global }) => {
+            (
+                ParamKind::GlobalPtr { .. },
+                BoundArg::Buffer {
+                    buffer,
+                    space: AddrSpace::Global,
+                },
+            ) => {
                 if param.writes && buffer.access() == MemAccess::ReadOnly {
-                    return Err(fail("kernel writes through this parameter but the buffer is read-only".into()));
+                    return Err(fail(
+                        "kernel writes through this parameter but the buffer is read-only".into(),
+                    ));
                 }
                 if param.reads && buffer.access() == MemAccess::WriteOnly {
-                    return Err(fail("kernel reads through this parameter but the buffer is write-only".into()));
+                    return Err(fail(
+                        "kernel reads through this parameter but the buffer is write-only".into(),
+                    ));
                 }
             }
-            (ParamKind::ConstantPtr { .. }, BoundArg::Buffer { buffer, space: AddrSpace::Constant }) => {
+            (
+                ParamKind::ConstantPtr { .. },
+                BoundArg::Buffer {
+                    buffer,
+                    space: AddrSpace::Constant,
+                },
+            ) => {
                 if buffer.len_bytes() > profile.constant_mem_bytes as usize {
                     return Err(fail(format!(
                         "constant buffer of {} bytes exceeds the device's {}-byte constant memory",
@@ -194,14 +220,27 @@ pub fn validate_launch(
     Ok(())
 }
 
+/// Interpret an `OCLSIM_THREADS` value: a parseable count is clamped to at
+/// least 1; an unset or unparseable value defers to the host default.
+fn parse_worker_threads(var: Option<&str>) -> Option<usize> {
+    var.and_then(|v| v.parse::<usize>().ok()).map(|n| n.max(1))
+}
+
 /// Number of host worker threads used to execute work-groups.
+///
+/// Reads the `OCLSIM_THREADS` environment variable **once** (first launch)
+/// and caches the result for the life of the process, so per-launch cost is
+/// a single atomic load and the pool size cannot change mid-run. Invalid or
+/// unset values fall back to `std::thread::available_parallelism`.
 pub fn worker_threads() -> usize {
-    if let Ok(v) = std::env::var("OCLSIM_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            return n.max(1);
-        }
-    }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        parse_worker_threads(std::env::var("OCLSIM_THREADS").ok().as_deref()).unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+    })
 }
 
 /// Execute a validated launch and return the modeled timing.
@@ -261,12 +300,11 @@ pub fn run_ndrange(
     if nthreads <= 1 {
         run_worker();
     } else {
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..nthreads {
-                scope.spawn(|_| run_worker());
+                scope.spawn(run_worker);
             }
-        })
-        .expect("worker threads do not panic");
+        });
     }
 
     if let Some(e) = first_error.lock().take() {
@@ -317,8 +355,14 @@ mod tests {
     fn geometry_validation_errors() {
         assert!(Geometry::new(&[], None, &dev()).is_err());
         assert!(Geometry::new(&[0], None, &dev()).is_err());
-        assert!(Geometry::new(&[10], Some(&[3]), &dev()).is_err(), "3 does not divide 10");
-        assert!(Geometry::new(&[8, 8], Some(&[8]), &dev()).is_err(), "dim mismatch");
+        assert!(
+            Geometry::new(&[10], Some(&[3]), &dev()).is_err(),
+            "3 does not divide 10"
+        );
+        assert!(
+            Geometry::new(&[8, 8], Some(&[8]), &dev()).is_err(),
+            "dim mismatch"
+        );
         assert!(
             Geometry::new(&[2048, 2048], Some(&[2048, 1]), &dev()).is_err(),
             "group too large"
@@ -330,5 +374,31 @@ mod tests {
     fn prime_global_gets_local_1() {
         let g = Geometry::new(&[997], None, &dev()).unwrap();
         assert_eq!(g.local, [1, 1, 1]);
+    }
+
+    #[test]
+    fn worker_thread_override_parses_and_clamps() {
+        assert_eq!(parse_worker_threads(Some("6")), Some(6));
+        assert_eq!(parse_worker_threads(Some("1")), Some(1));
+        // zero would deadlock the pool; clamp to one worker
+        assert_eq!(parse_worker_threads(Some("0")), Some(1));
+    }
+
+    #[test]
+    fn worker_thread_invalid_values_fall_back() {
+        assert_eq!(parse_worker_threads(None), None);
+        assert_eq!(parse_worker_threads(Some("")), None);
+        assert_eq!(parse_worker_threads(Some("lots")), None);
+        assert_eq!(parse_worker_threads(Some("-2")), None);
+        assert_eq!(parse_worker_threads(Some("3.5")), None);
+    }
+
+    #[test]
+    fn worker_threads_is_stable_across_calls() {
+        // the first read is cached process-wide; later env changes must not
+        // resize the pool mid-run
+        let first = worker_threads();
+        assert!(first >= 1);
+        assert_eq!(worker_threads(), first);
     }
 }

@@ -29,7 +29,10 @@ impl Mask {
 
     /// No lanes active.
     pub fn none(nlanes: usize) -> Mask {
-        Mask { words: vec![0; nlanes.div_ceil(64)], nlanes }
+        Mask {
+            words: vec![0; nlanes.div_ceil(64)],
+            nlanes,
+        }
     }
 
     /// Number of lanes this mask covers.
@@ -88,8 +91,8 @@ impl Mask {
 
     /// Keep lanes whose entry in `vals` is non-zero (a lowered Bool vector).
     pub fn and_truthy(&mut self, vals: &[u64]) {
-        for lane in 0..self.nlanes {
-            if self.get(lane) && vals[lane] == 0 {
+        for (lane, &v) in vals.iter().enumerate().take(self.nlanes) {
+            if v == 0 && self.get(lane) {
                 self.clear(lane);
             }
         }
@@ -97,8 +100,8 @@ impl Mask {
 
     /// Keep lanes whose entry in `vals` is zero.
     pub fn and_falsy(&mut self, vals: &[u64]) {
-        for lane in 0..self.nlanes {
-            if self.get(lane) && vals[lane] != 0 {
+        for (lane, &v) in vals.iter().enumerate().take(self.nlanes) {
+            if v != 0 && self.get(lane) {
                 self.clear(lane);
             }
         }

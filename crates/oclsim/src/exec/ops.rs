@@ -78,7 +78,10 @@ pub fn bin_op(op: BOp, ty: ScalarType, a: u64, b: u64) -> Result<u64> {
     use ScalarType::*;
     if ty.is_float() {
         let (x, y) = if ty == F32 {
-            (f32::from_bits(a as u32) as f64, f32::from_bits(b as u32) as f64)
+            (
+                f32::from_bits(a as u32) as f64,
+                f32::from_bits(b as u32) as f64,
+            )
         } else {
             (f64::from_bits(a), f64::from_bits(b))
         };
@@ -91,7 +94,7 @@ pub fn bin_op(op: BOp, ty: ScalarType, a: u64, b: u64) -> Result<u64> {
         };
         return Ok(if ty == F32 {
             // round through f32 to keep single-precision semantics
-            ((x_to_f32(x, y, op)) .to_bits()) as u64
+            ((x_to_f32(x, y, op)).to_bits()) as u64
         } else {
             r.to_bits()
         });
@@ -173,7 +176,10 @@ pub fn cmp_op(op: COp, ty: ScalarType, a: u64, b: u64) -> u64 {
     use std::cmp::Ordering;
     let ord: Option<Ordering> = if ty.is_float() {
         let (x, y) = if ty == ScalarType::F32 {
-            (f32::from_bits(a as u32) as f64, f32::from_bits(b as u32) as f64)
+            (
+                f32::from_bits(a as u32) as f64,
+                f32::from_bits(b as u32) as f64,
+            )
         } else {
             (f64::from_bits(a), f64::from_bits(b))
         };
@@ -245,8 +251,11 @@ pub fn math2(f: impl Fn(f64, f64) -> f64, ty: ScalarType, a: u64, b: u64) -> u64
 /// Three-argument float builtins (mad/fma).
 pub fn math3(f: impl Fn(f64, f64, f64) -> f64, ty: ScalarType, a: u64, b: u64, c: u64) -> u64 {
     if ty == ScalarType::F32 {
-        let (x, y, z) =
-            (f32::from_bits(a as u32), f32::from_bits(b as u32), f32::from_bits(c as u32));
+        let (x, y, z) = (
+            f32::from_bits(a as u32),
+            f32::from_bits(b as u32),
+            f32::from_bits(c as u32),
+        );
         ((f(x as f64, y as f64, z as f64) as f32).to_bits()) as u64
     } else {
         f(f64::from_bits(a), f64::from_bits(b), f64::from_bits(c)).to_bits()
@@ -264,31 +273,70 @@ mod tests {
 
     #[test]
     fn signed_arithmetic_canonical() {
-        let r = bin_op(BOp::Sub, ScalarType::I32, b(Value::I32(1)), b(Value::I32(3))).unwrap();
+        let r = bin_op(
+            BOp::Sub,
+            ScalarType::I32,
+            b(Value::I32(1)),
+            b(Value::I32(3)),
+        )
+        .unwrap();
         assert_eq!(Value::from_bits(r, ScalarType::I32), Value::I32(-2));
         assert_eq!(r, u64::MAX - 1, "result must stay sign-extended");
     }
 
     #[test]
     fn i32_overflow_wraps_at_32_bits() {
-        let r =
-            bin_op(BOp::Add, ScalarType::I32, b(Value::I32(i32::MAX)), b(Value::I32(1))).unwrap();
+        let r = bin_op(
+            BOp::Add,
+            ScalarType::I32,
+            b(Value::I32(i32::MAX)),
+            b(Value::I32(1)),
+        )
+        .unwrap();
         assert_eq!(Value::from_bits(r, ScalarType::I32), Value::I32(i32::MIN));
     }
 
     #[test]
     fn unsigned_wraps_within_width() {
-        let r = bin_op(BOp::Add, ScalarType::U32, b(Value::U32(u32::MAX)), b(Value::U32(2))).unwrap();
+        let r = bin_op(
+            BOp::Add,
+            ScalarType::U32,
+            b(Value::U32(u32::MAX)),
+            b(Value::U32(2)),
+        )
+        .unwrap();
         assert_eq!(Value::from_bits(r, ScalarType::U32), Value::U32(1));
-        let r = bin_op(BOp::Sub, ScalarType::U32, b(Value::U32(0)), b(Value::U32(1))).unwrap();
+        let r = bin_op(
+            BOp::Sub,
+            ScalarType::U32,
+            b(Value::U32(0)),
+            b(Value::U32(1)),
+        )
+        .unwrap();
         assert_eq!(Value::from_bits(r, ScalarType::U32), Value::U32(u32::MAX));
     }
 
     #[test]
     fn division_semantics() {
-        let r = bin_op(BOp::Div, ScalarType::I32, b(Value::I32(-7)), b(Value::I32(2))).unwrap();
-        assert_eq!(Value::from_bits(r, ScalarType::I32), Value::I32(-3), "C truncates toward zero");
-        let r = bin_op(BOp::Rem, ScalarType::I32, b(Value::I32(-7)), b(Value::I32(2))).unwrap();
+        let r = bin_op(
+            BOp::Div,
+            ScalarType::I32,
+            b(Value::I32(-7)),
+            b(Value::I32(2)),
+        )
+        .unwrap();
+        assert_eq!(
+            Value::from_bits(r, ScalarType::I32),
+            Value::I32(-3),
+            "C truncates toward zero"
+        );
+        let r = bin_op(
+            BOp::Rem,
+            ScalarType::I32,
+            b(Value::I32(-7)),
+            b(Value::I32(2)),
+        )
+        .unwrap();
         assert_eq!(Value::from_bits(r, ScalarType::I32), Value::I32(-1));
         assert!(bin_op(BOp::Div, ScalarType::I32, 1, 0).is_err());
         assert!(bin_op(BOp::Rem, ScalarType::U64, 1, 0).is_err());
@@ -296,40 +344,114 @@ mod tests {
 
     #[test]
     fn float_div_by_zero_is_inf() {
-        let r = bin_op(BOp::Div, ScalarType::F32, b(Value::F32(1.0)), b(Value::F32(0.0))).unwrap();
-        assert_eq!(Value::from_bits(r, ScalarType::F32), Value::F32(f32::INFINITY));
+        let r = bin_op(
+            BOp::Div,
+            ScalarType::F32,
+            b(Value::F32(1.0)),
+            b(Value::F32(0.0)),
+        )
+        .unwrap();
+        assert_eq!(
+            Value::from_bits(r, ScalarType::F32),
+            Value::F32(f32::INFINITY)
+        );
     }
 
     #[test]
     fn f32_arithmetic_is_single_precision() {
         // 1e8 + 1 is not representable in f32
-        let r = bin_op(BOp::Add, ScalarType::F32, b(Value::F32(1.0e8)), b(Value::F32(1.0))).unwrap();
+        let r = bin_op(
+            BOp::Add,
+            ScalarType::F32,
+            b(Value::F32(1.0e8)),
+            b(Value::F32(1.0)),
+        )
+        .unwrap();
         assert_eq!(Value::from_bits(r, ScalarType::F32), Value::F32(1.0e8));
         // but is in f64
-        let r = bin_op(BOp::Add, ScalarType::F64, b(Value::F64(1.0e8)), b(Value::F64(1.0))).unwrap();
-        assert_eq!(Value::from_bits(r, ScalarType::F64), Value::F64(100000001.0));
+        let r = bin_op(
+            BOp::Add,
+            ScalarType::F64,
+            b(Value::F64(1.0e8)),
+            b(Value::F64(1.0)),
+        )
+        .unwrap();
+        assert_eq!(
+            Value::from_bits(r, ScalarType::F64),
+            Value::F64(100000001.0)
+        );
     }
 
     #[test]
     fn shifts_mod_width() {
-        let r = bin_op(BOp::Shl, ScalarType::U32, b(Value::U32(1)), b(Value::U32(33))).unwrap();
-        assert_eq!(Value::from_bits(r, ScalarType::U32), Value::U32(2), "33 % 32 == 1");
-        let r = bin_op(BOp::Shr, ScalarType::I32, b(Value::I32(-8)), b(Value::I32(1))).unwrap();
-        assert_eq!(Value::from_bits(r, ScalarType::I32), Value::I32(-4), "arithmetic shift");
-        let r = bin_op(BOp::Shr, ScalarType::U32, b(Value::U32(0x8000_0000)), b(Value::U32(1)))
-            .unwrap();
-        assert_eq!(Value::from_bits(r, ScalarType::U32), Value::U32(0x4000_0000), "logical shift");
+        let r = bin_op(
+            BOp::Shl,
+            ScalarType::U32,
+            b(Value::U32(1)),
+            b(Value::U32(33)),
+        )
+        .unwrap();
+        assert_eq!(
+            Value::from_bits(r, ScalarType::U32),
+            Value::U32(2),
+            "33 % 32 == 1"
+        );
+        let r = bin_op(
+            BOp::Shr,
+            ScalarType::I32,
+            b(Value::I32(-8)),
+            b(Value::I32(1)),
+        )
+        .unwrap();
+        assert_eq!(
+            Value::from_bits(r, ScalarType::I32),
+            Value::I32(-4),
+            "arithmetic shift"
+        );
+        let r = bin_op(
+            BOp::Shr,
+            ScalarType::U32,
+            b(Value::U32(0x8000_0000)),
+            b(Value::U32(1)),
+        )
+        .unwrap();
+        assert_eq!(
+            Value::from_bits(r, ScalarType::U32),
+            Value::U32(0x4000_0000),
+            "logical shift"
+        );
     }
 
     #[test]
     fn comparisons() {
-        assert_eq!(cmp_op(COp::Lt, ScalarType::I32, b(Value::I32(-1)), b(Value::I32(1))), 1);
         assert_eq!(
-            cmp_op(COp::Lt, ScalarType::U32, b(Value::U32(u32::MAX)), b(Value::U32(1))),
+            cmp_op(
+                COp::Lt,
+                ScalarType::I32,
+                b(Value::I32(-1)),
+                b(Value::I32(1))
+            ),
+            1
+        );
+        assert_eq!(
+            cmp_op(
+                COp::Lt,
+                ScalarType::U32,
+                b(Value::U32(u32::MAX)),
+                b(Value::U32(1))
+            ),
             0,
             "unsigned comparison"
         );
-        assert_eq!(cmp_op(COp::Le, ScalarType::F64, b(Value::F64(1.0)), b(Value::F64(1.0))), 1);
+        assert_eq!(
+            cmp_op(
+                COp::Le,
+                ScalarType::F64,
+                b(Value::F64(1.0)),
+                b(Value::F64(1.0))
+            ),
+            1
+        );
         let nan = b(Value::F32(f32::NAN));
         assert_eq!(cmp_op(COp::Eq, ScalarType::F32, nan, nan), 0);
         assert_eq!(cmp_op(COp::Ne, ScalarType::F32, nan, nan), 1);
@@ -351,7 +473,11 @@ mod tests {
     #[test]
     fn casts() {
         let r = cast_bits(b(Value::F64(3.9)), ScalarType::F64, ScalarType::I32);
-        assert_eq!(Value::from_bits(r, ScalarType::I32), Value::I32(3), "truncation");
+        assert_eq!(
+            Value::from_bits(r, ScalarType::I32),
+            Value::I32(3),
+            "truncation"
+        );
         let r = cast_bits(b(Value::F64(-3.9)), ScalarType::F64, ScalarType::I32);
         assert_eq!(Value::from_bits(r, ScalarType::I32), Value::I32(-3));
         let r = cast_bits(b(Value::I32(-1)), ScalarType::I32, ScalarType::U32);
@@ -359,7 +485,10 @@ mod tests {
         let r = cast_bits(b(Value::I32(7)), ScalarType::I32, ScalarType::F32);
         assert_eq!(Value::from_bits(r, ScalarType::F32), Value::F32(7.0));
         let r = cast_bits(b(Value::U64(u64::MAX)), ScalarType::U64, ScalarType::F64);
-        assert_eq!(Value::from_bits(r, ScalarType::F64), Value::F64(u64::MAX as f64));
+        assert_eq!(
+            Value::from_bits(r, ScalarType::F64),
+            Value::F64(u64::MAX as f64)
+        );
         let r = cast_bits(b(Value::I32(300)), ScalarType::I32, ScalarType::U8);
         assert_eq!(Value::from_bits(r, ScalarType::U8), Value::U8(44));
         let r = cast_bits(b(Value::F32(2.5)), ScalarType::F32, ScalarType::F64);
@@ -369,8 +498,16 @@ mod tests {
     #[test]
     fn math_builtins_respect_precision() {
         let r = math1(f64::sqrt, ScalarType::F32, b(Value::F32(2.0)));
-        assert_eq!(Value::from_bits(r, ScalarType::F32), Value::F32(2.0f32.sqrt()));
-        let r = math2(|x, y| x.powf(y), ScalarType::F64, b(Value::F64(2.0)), b(Value::F64(10.0)));
+        assert_eq!(
+            Value::from_bits(r, ScalarType::F32),
+            Value::F32(2.0f32.sqrt())
+        );
+        let r = math2(
+            |x, y| x.powf(y),
+            ScalarType::F64,
+            b(Value::F64(2.0)),
+            b(Value::F64(10.0)),
+        );
         assert_eq!(Value::from_bits(r, ScalarType::F64), Value::F64(1024.0));
         let r = math3(
             |x, y, z| x * y + z,

@@ -58,6 +58,7 @@ pub mod exec;
 pub mod platform;
 pub mod program;
 pub mod queue;
+pub mod sched;
 pub mod timing;
 pub mod types;
 
@@ -67,6 +68,7 @@ pub use device::{Device, DeviceProfile, DeviceType};
 pub use error::{Error, Result};
 pub use platform::Platform;
 pub use program::{Kernel, Program};
-pub use queue::{CommandKind, CommandQueue, Event};
+pub use queue::{CommandQueue, ReadHandle};
+pub use sched::{wait_for_events, CommandKind, Event, EventStatus, TimelineStamps};
 pub use timing::{GroupStats, TimingBreakdown};
 pub use types::{DeviceScalar, ScalarType, Value};

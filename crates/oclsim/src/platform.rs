@@ -49,7 +49,11 @@ impl Platform {
 
     /// Devices of a given type.
     pub fn devices_of_type(&self, ty: DeviceType) -> Vec<Device> {
-        self.devices.iter().filter(|d| d.device_type() == ty).cloned().collect()
+        self.devices
+            .iter()
+            .filter(|d| d.device_type() == ty)
+            .cloned()
+            .collect()
     }
 
     /// The device HPL selects by default: "the first device found in the

@@ -92,9 +92,9 @@ impl Program {
     /// Names of the kernels in the built program.
     pub fn kernel_names(&self) -> Result<Vec<String>> {
         let built = self.inner.built.lock();
-        let module = built.as_ref().ok_or_else(|| {
-            Error::InvalidOperation("program has not been built".into())
-        })?;
+        let module = built
+            .as_ref()
+            .ok_or_else(|| Error::InvalidOperation("program has not been built".into()))?;
         let mut names: Vec<String> = module.kernels.keys().cloned().collect();
         names.sort();
         Ok(names)
@@ -103,9 +103,9 @@ impl Program {
     /// Create a kernel object for `name`.
     pub fn kernel(&self, name: &str) -> Result<Kernel> {
         let built = self.inner.built.lock();
-        let module = built.as_ref().ok_or_else(|| {
-            Error::InvalidOperation("program has not been built".into())
-        })?;
+        let module = built
+            .as_ref()
+            .ok_or_else(|| Error::InvalidOperation("program has not been built".into()))?;
         let &func = module
             .kernels
             .get(name)
@@ -206,8 +206,10 @@ impl Kernel {
                 })
             }
         };
-        self.inner.args.lock()[index] =
-            Some(BoundArg::Buffer { buffer: buffer.clone(), space });
+        self.inner.args.lock()[index] = Some(BoundArg::Buffer {
+            buffer: buffer.clone(),
+            space,
+        });
         Ok(())
     }
 
@@ -236,8 +238,10 @@ impl Kernel {
                 })
             }
         }
-        self.inner.args.lock()[index] =
-            Some(BoundArg::Scalar { bits: value.to_bits(), ty: value.scalar_type() });
+        self.inner.args.lock()[index] = Some(BoundArg::Scalar {
+            bits: value.to_bits(),
+            ty: value.scalar_type(),
+        });
         Ok(())
     }
 
@@ -340,7 +344,10 @@ mod tests {
         k.set_arg_buffer(0, &buf).unwrap();
         assert!(k.set_arg_buffer(1, &buf).is_err(), "param 1 is a scalar");
         assert!(k.set_arg_scalar(0, 1.0f32).is_err(), "param 0 is a buffer");
-        assert!(k.set_arg_scalar(1, 1.0f64).is_err(), "double into float param");
+        assert!(
+            k.set_arg_scalar(1, 1.0f64).is_err(),
+            "double into float param"
+        );
         k.set_arg_scalar(1, 1.0f32).unwrap();
         assert!(k.set_arg_scalar(2, 0i32).is_err(), "out of range");
         assert!(k.bound_args().is_ok());

@@ -1,0 +1,221 @@
+//! The per-device command dispatcher.
+//!
+//! Every [`crate::Device`] lazily owns one [`DeviceSched`]: a pending list
+//! of commands from all of the device's queues, the modeled resource
+//! [`Timeline`], and a worker thread that drains the **ready set** of the
+//! dependency DAG — commands whose wait-list events have all resolved.
+//! The thread parks when only blocked commands remain (waiting on user
+//! events or another device) and exits when the list empties; completion
+//! of any dependency nudges it awake again.
+//!
+//! Commands execute functionally one at a time (the simulator's wall-clock
+//! cost), but their *modeled* stamps come from the shared [`Timeline`], so
+//! independent commands overlap on the modeled device even though the
+//! simulation of them is serial.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+use crate::error::{Error, Result};
+use crate::sched::event::{Event, EventStatus, TimelineStamps};
+use crate::sched::timeline::{Resource, Timeline};
+use crate::timing::TimingBreakdown;
+
+/// The outcome of a command's functional execution: what to reserve on the
+/// modeled timeline, for how long, and any kernel profiling detail.
+pub(crate) struct Work {
+    pub resource: Resource,
+    pub duration: f64,
+    pub kernel_timing: Option<TimingBreakdown>,
+}
+
+/// One enqueued command: its event handle plus the deferred functional
+/// effect (buffer mutation / kernel interpretation).
+pub(crate) struct Command {
+    pub event: Event,
+    pub work: Box<dyn FnOnce() -> Result<Work> + Send>,
+}
+
+struct DispState {
+    pending: VecDeque<Command>,
+    /// Whether a drain thread currently exists for this device.
+    running: bool,
+}
+
+/// Scheduler state attached to one device (see module docs).
+pub struct DeviceSched {
+    timeline: Mutex<Timeline>,
+    disp: Mutex<DispState>,
+    cond: Condvar,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl DeviceSched {
+    /// Scheduler for a device with `compute_units` CUs.
+    pub(crate) fn new(compute_units: usize) -> Arc<DeviceSched> {
+        Arc::new(DeviceSched {
+            timeline: Mutex::new(Timeline::new(compute_units)),
+            disp: Mutex::new(DispState {
+                pending: VecDeque::new(),
+                running: false,
+            }),
+            cond: Condvar::new(),
+        })
+    }
+
+    /// Hand a command to the device. Registers wake-ups on its unresolved
+    /// dependencies, then makes sure a drain thread is running.
+    pub(crate) fn submit(self: &Arc<Self>, cmd: Command) {
+        for dep in cmd.event.deps_snapshot() {
+            // resolved deps need no watcher; the initial scan sees them
+            dep.notify_sched_on_resolve(self);
+        }
+        let spawn = {
+            let mut st = lock(&self.disp);
+            st.pending.push_back(cmd);
+            if st.running {
+                self.cond.notify_all();
+                false
+            } else {
+                st.running = true;
+                true
+            }
+        };
+        if spawn {
+            let sched = Arc::clone(self);
+            std::thread::spawn(move || sched.drain());
+        }
+    }
+
+    /// Wake the drain thread to re-scan for newly ready commands.
+    ///
+    /// Takes the dispatch lock before notifying: event resolution happens
+    /// outside that lock, so notifying without it could slip between the
+    /// drain thread's readiness scan and its `cond.wait`, losing the
+    /// wake-up forever.
+    pub(crate) fn nudge(&self) {
+        let _guard = lock(&self.disp);
+        self.cond.notify_all();
+    }
+
+    /// Reset the modeled timeline to the origin (all engines free at 0.0).
+    pub(crate) fn reset_timeline(&self) {
+        lock(&self.timeline).reset();
+    }
+
+    /// The latest modeled instant any engine is reserved until.
+    pub(crate) fn timeline_horizon(&self) -> f64 {
+        lock(&self.timeline).horizon()
+    }
+
+    /// Worker-thread body: repeatedly execute the first ready command;
+    /// park while all pending commands are blocked; exit when none remain.
+    fn drain(self: Arc<Self>) {
+        loop {
+            let cmd = {
+                let mut st = lock(&self.disp);
+                loop {
+                    let ready = st
+                        .pending
+                        .iter()
+                        .position(|c| c.event.deps_snapshot().iter().all(Event::is_resolved));
+                    if let Some(i) = ready {
+                        break st.pending.remove(i).expect("index from position");
+                    }
+                    if st.pending.is_empty() {
+                        st.running = false;
+                        return;
+                    }
+                    // blocked on user events or another device's commands
+                    st = self.cond.wait(st).unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            self.execute(cmd);
+        }
+    }
+
+    /// Run one command whose wait list has fully resolved.
+    fn execute(&self, cmd: Command) {
+        // the ready instant comes from every dependency (including
+        // ordering-only predecessors); poisoning only from the wait list
+        let mut ready = 0.0f64;
+        for dep in cmd.event.deps_snapshot() {
+            ready = ready.max(dep.profile().ended);
+        }
+        let mut poison: Option<Error> = None;
+        for dep in cmd.event.poison_deps_snapshot() {
+            if let Some(cause) = dep.error() {
+                poison = Some(Error::DependencyFailed {
+                    cause: Box::new(cause),
+                });
+                break;
+            }
+        }
+        cmd.event.advance(EventStatus::Submitted);
+
+        if let Some(err) = poison {
+            let (started, ended) = lock(&self.timeline).reserve(Resource::Instant, ready, 0.0);
+            let stamps = TimelineStamps {
+                queued: 0.0,
+                submitted: ready,
+                started,
+                ended,
+            };
+            cmd.event
+                .resolve_error(err, stamps, std::time::Duration::ZERO);
+            return;
+        }
+
+        cmd.event.advance(EventStatus::Running);
+        let wall_start = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(cmd.work));
+        let wall = wall_start.elapsed();
+        match outcome {
+            Ok(Ok(work)) => {
+                let (started, ended) =
+                    lock(&self.timeline).reserve(work.resource, ready, work.duration);
+                let stamps = TimelineStamps {
+                    queued: 0.0,
+                    submitted: ready,
+                    started,
+                    ended,
+                };
+                cmd.event.resolve_complete(stamps, wall, work.kernel_timing);
+            }
+            Ok(Err(err)) => {
+                let (started, ended) = lock(&self.timeline).reserve(Resource::Instant, ready, 0.0);
+                let stamps = TimelineStamps {
+                    queued: 0.0,
+                    submitted: ready,
+                    started,
+                    ended,
+                };
+                cmd.event.resolve_error(err, stamps, wall);
+            }
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "command panicked".into());
+                let (started, ended) = lock(&self.timeline).reserve(Resource::Instant, ready, 0.0);
+                let stamps = TimelineStamps {
+                    queued: 0.0,
+                    submitted: ready,
+                    started,
+                    ended,
+                };
+                cmd.event.resolve_error(
+                    Error::InvalidOperation(format!("command panicked: {msg}")),
+                    stamps,
+                    wall,
+                );
+            }
+        }
+    }
+}

@@ -115,7 +115,11 @@ impl CostModel {
                 local_access: 3,
                 barrier: 64,
                 atomic: 96,
-                fp64_factor: if p.fp64_cost_factor.is_finite() { p.fp64_cost_factor } else { 1.0 },
+                fp64_factor: if p.fp64_cost_factor.is_finite() {
+                    p.fp64_cost_factor
+                } else {
+                    1.0
+                },
                 segment_bytes: p.mem_segment_bytes,
             }
         } else {
@@ -132,7 +136,11 @@ impl CostModel {
                 local_access: 8,
                 barrier: 64,
                 atomic: 96,
-                fp64_factor: if p.fp64_cost_factor.is_finite() { p.fp64_cost_factor } else { 1.0 },
+                fp64_factor: if p.fp64_cost_factor.is_finite() {
+                    p.fp64_cost_factor
+                } else {
+                    1.0
+                },
                 segment_bytes: p.mem_segment_bytes,
             }
         }
@@ -205,12 +213,25 @@ pub fn model_transfer(profile: &DeviceProfile, bytes: usize) -> f64 {
     10.0e-6 + bytes as f64 / (profile.transfer_bandwidth_gbps * 1.0e9)
 }
 
+/// Modeled device-internal buffer→buffer copy time for `bytes`.
+///
+/// Runs on the device's copy engine against global memory: each byte is
+/// read and written once, so the bandwidth term carries a factor of two,
+/// plus the same fixed submission latency as a kernel launch.
+pub fn model_copy(profile: &DeviceProfile, bytes: usize) -> f64 {
+    LAUNCH_OVERHEAD_SECONDS + 2.0 * bytes as f64 / (profile.global_bandwidth_gbps * 1.0e9)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn stats(cycles: u64, tx: u64) -> GroupStats {
-        GroupStats { cycles, mem_transactions: tx, ..Default::default() }
+        GroupStats {
+            cycles,
+            mem_transactions: tx,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -222,8 +243,7 @@ mod tests {
         assert!(t.compute_seconds > t.memory_seconds);
         assert!(t.device_seconds >= t.compute_seconds);
         // 28 groups over 14 CUs = 2M cost-units makespan
-        let expected =
-            2_000_000.0 / (1.15e9 * p.issue_efficiency * COST_UNITS_PER_CYCLE as f64);
+        let expected = 2_000_000.0 / (1.15e9 * p.issue_efficiency * COST_UNITS_PER_CYCLE as f64);
         assert!((t.compute_seconds - expected).abs() / expected < 1e-9);
     }
 
@@ -240,7 +260,7 @@ mod tests {
     #[test]
     fn makespan_reflects_imbalance() {
         let p = DeviceProfile::quadro_fx380(); // 2 CUs
-        // one giant group and three tiny ones: makespan ~ giant group
+                                               // one giant group and three tiny ones: makespan ~ giant group
         let balanced = model_launch(&p, &[stats(250_000, 0); 4]);
         let skewed = model_launch(
             &p,

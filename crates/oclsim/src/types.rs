@@ -49,7 +49,10 @@ impl ScalarType {
 
     /// True for signed integer types.
     pub fn is_signed(self) -> bool {
-        matches!(self, ScalarType::I8 | ScalarType::I16 | ScalarType::I32 | ScalarType::I64)
+        matches!(
+            self,
+            ScalarType::I8 | ScalarType::I16 | ScalarType::I32 | ScalarType::I64
+        )
     }
 
     /// OpenCL C spelling of the type.

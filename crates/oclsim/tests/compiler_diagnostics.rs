@@ -11,7 +11,7 @@ fn build_err(src: &str) -> String {
     let p = Program::from_source(&ctx, src);
     let err = p.build("").expect_err("source must fail to build");
     let log = p.build_log();
-    assert_eq!(err.to_string().contains("build failure"), true);
+    assert!(err.to_string().contains("build failure"));
     assert!(!log.is_empty(), "the build log must carry the diagnostic");
     log
 }

@@ -2,9 +2,7 @@
 //! flow, divergence, barriers, local/private/constant memory, helper
 //! functions, atomics, and multi-dimensional launches.
 
-use oclsim::{
-    CommandQueue, Context, Device, DeviceProfile, Error, MemAccess, Program, Value,
-};
+use oclsim::{CommandQueue, Context, Device, DeviceProfile, Error, MemAccess, Program, Value};
 
 struct Rig {
     ctx: Context,
@@ -13,7 +11,7 @@ struct Rig {
 
 fn rig() -> Rig {
     let device = Device::new(DeviceProfile::tesla_c2050());
-    let ctx = Context::new(&[device.clone()]).unwrap();
+    let ctx = Context::new(std::slice::from_ref(&device)).unwrap();
     let queue = CommandQueue::new(&ctx, &device).unwrap();
     Rig { ctx, queue }
 }
@@ -46,8 +44,8 @@ fn saxpy_f32() {
     k.set_arg_scalar(2, 3.0f32).unwrap();
     r.queue.enqueue_ndrange(&k, &[n], None).unwrap();
     let out = y.read_vec::<f32>(0, n).unwrap();
-    for i in 0..n {
-        assert_eq!(out[i], 3.0 * i as f32 + 2.0 * i as f32);
+    for (i, &o) in out.iter().enumerate() {
+        assert_eq!(o, 3.0 * i as f32 + 2.0 * i as f32);
     }
 }
 
@@ -95,9 +93,9 @@ fn per_lane_loop_trip_counts() {
     k.set_arg_buffer(0, &buf).unwrap();
     r.queue.enqueue_ndrange(&k, &[n], Some(&[n])).unwrap();
     let out = buf.read_vec::<i32>(0, n).unwrap();
-    for i in 0..n {
+    for (i, &o) in out.iter().enumerate() {
         let want: i32 = (0..i as i32).sum();
-        assert_eq!(out[i], want, "lane {i}");
+        assert_eq!(o, want, "lane {i}");
     }
 }
 
@@ -122,9 +120,9 @@ fn break_and_continue() {
     k.set_arg_buffer(0, &buf).unwrap();
     r.queue.enqueue_ndrange(&k, &[n], Some(&[n])).unwrap();
     let out = buf.read_vec::<i32>(0, n).unwrap();
-    for i in 0..n {
+    for (i, &o) in out.iter().enumerate() {
         // j runs 0..=10+i, skipping j==i: (10+i+1) - 1 iterations counted
-        assert_eq!(out[i], 10 + i as i32, "lane {i}");
+        assert_eq!(o, 10 + i as i32, "lane {i}");
     }
 }
 
@@ -158,7 +156,11 @@ fn while_and_do_while() {
             steps += 1;
         }
         assert_eq!(ha[i], steps, "while lane {i}");
-        assert_eq!(hb[i], (i as i32).max(1), "do-while runs at least once, lane {i}");
+        assert_eq!(
+            hb[i],
+            (i as i32).max(1),
+            "do-while runs at least once, lane {i}"
+        );
     }
 }
 
@@ -182,8 +184,14 @@ fn local_memory_reduction_with_barrier() {
     let k = p.kernel("reduce").unwrap();
     let n = 256;
     let data: Vec<f32> = (0..n).map(|i| (i % 7) as f32).collect();
-    let input = r.ctx.create_buffer_from(&data, MemAccess::ReadOnly).unwrap();
-    let out = r.ctx.create_buffer(4 * (n / 64), MemAccess::ReadWrite).unwrap();
+    let input = r
+        .ctx
+        .create_buffer_from(&data, MemAccess::ReadOnly)
+        .unwrap();
+    let out = r
+        .ctx
+        .create_buffer(4 * (n / 64), MemAccess::ReadWrite)
+        .unwrap();
     k.set_arg_buffer(0, &input).unwrap();
     k.set_arg_buffer(1, &out).unwrap();
     r.queue.enqueue_ndrange(&k, &[n], Some(&[64])).unwrap();
@@ -245,9 +253,9 @@ fn private_arrays_are_per_lane() {
     k.set_arg_buffer(0, &buf).unwrap();
     r.queue.enqueue_ndrange(&k, &[n], Some(&[n])).unwrap();
     let out = buf.read_vec::<i32>(0, n).unwrap();
-    for i in 0..n {
+    for (i, &o) in out.iter().enumerate() {
         let want: i32 = (0..8).map(|j| i as i32 * 10 + j).sum();
-        assert_eq!(out[i], want, "lane {i} private data must not leak across lanes");
+        assert_eq!(o, want, "lane {i} private data must not leak across lanes");
     }
 }
 
@@ -267,8 +275,8 @@ fn helper_functions_and_recursion_guard() {
     k.set_arg_buffer(0, &buf).unwrap();
     r.queue.enqueue_ndrange(&k, &[8], None).unwrap();
     let out = buf.read_vec::<f32>(0, 8).unwrap();
-    for i in 0..8 {
-        assert_eq!(out[i], (i * i) as f32 + 4.0);
+    for (i, &o) in out.iter().enumerate() {
+        assert_eq!(o, (i * i) as f32 + 4.0);
     }
 
     // direct recursion must be trapped, not overflow the host stack
@@ -318,8 +326,14 @@ fn two_dimensional_launch_transpose() {
     let k = p.kernel("transpose").unwrap();
     let (h, w) = (8, 16);
     let src_data: Vec<f32> = (0..h * w).map(|i| i as f32).collect();
-    let src = r.ctx.create_buffer_from(&src_data, MemAccess::ReadOnly).unwrap();
-    let dst = r.ctx.create_buffer(4 * h * w, MemAccess::ReadWrite).unwrap();
+    let src = r
+        .ctx
+        .create_buffer_from(&src_data, MemAccess::ReadOnly)
+        .unwrap();
+    let dst = r
+        .ctx
+        .create_buffer(4 * h * w, MemAccess::ReadWrite)
+        .unwrap();
     k.set_arg_buffer(0, &dst).unwrap();
     k.set_arg_buffer(1, &src).unwrap();
     k.set_arg_scalar(2, h as i32).unwrap();
@@ -353,7 +367,10 @@ fn geometry_builtins_report_launch_shape() {
     let buf = r.ctx.create_buffer(4 * 7, MemAccess::ReadWrite).unwrap();
     k.set_arg_buffer(0, &buf).unwrap();
     r.queue.enqueue_ndrange(&k, &[8, 6], Some(&[2, 3])).unwrap();
-    assert_eq!(buf.read_vec::<i32>(0, 7).unwrap(), vec![8, 6, 2, 3, 4, 2, 2]);
+    assert_eq!(
+        buf.read_vec::<i32>(0, 7).unwrap(),
+        vec![8, 6, 2, 3, 4, 2, 2]
+    );
 }
 
 #[test]
@@ -367,8 +384,14 @@ fn atomic_global_counter() {
     );
     let k = p.kernel("count").unwrap();
     let data: Vec<i32> = (0..100).map(|i| i % 10).collect();
-    let dbuf = r.ctx.create_buffer_from(&data, MemAccess::ReadOnly).unwrap();
-    let cbuf = r.ctx.create_buffer_from(&[0i32], MemAccess::ReadWrite).unwrap();
+    let dbuf = r
+        .ctx
+        .create_buffer_from(&data, MemAccess::ReadOnly)
+        .unwrap();
+    let cbuf = r
+        .ctx
+        .create_buffer_from(&[0i32], MemAccess::ReadWrite)
+        .unwrap();
     k.set_arg_buffer(0, &cbuf).unwrap();
     k.set_arg_buffer(1, &dbuf).unwrap();
     r.queue.enqueue_ndrange(&k, &[100], None).unwrap();
@@ -411,7 +434,10 @@ fn math_builtins_f64() {
     );
     let k = p.kernel("f").unwrap();
     let data = [1.0f64, 2.0, 4.0, 9.0];
-    let input = r.ctx.create_buffer_from(&data, MemAccess::ReadOnly).unwrap();
+    let input = r
+        .ctx
+        .create_buffer_from(&data, MemAccess::ReadOnly)
+        .unwrap();
     let out = r.ctx.create_buffer(8 * 4, MemAccess::ReadWrite).unwrap();
     k.set_arg_buffer(0, &out).unwrap();
     k.set_arg_buffer(1, &input).unwrap();
@@ -426,9 +452,8 @@ fn math_builtins_f64() {
 #[test]
 fn integer_division_by_zero_trapped() {
     let r = rig();
-    let p = r.build(
-        "__kernel void f(__global int* out, int d) { out[get_global_id(0)] = 10 / d; }",
-    );
+    let p =
+        r.build("__kernel void f(__global int* out, int d) { out[get_global_id(0)] = 10 / d; }");
     let k = p.kernel("f").unwrap();
     let buf = r.ctx.create_buffer(16, MemAccess::ReadWrite).unwrap();
     k.set_arg_buffer(0, &buf).unwrap();
@@ -452,7 +477,10 @@ fn pointer_arithmetic_and_deref() {
     );
     let k = p.kernel("f").unwrap();
     let init: Vec<f32> = vec![1.0, 2.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0];
-    let buf = r.ctx.create_buffer_from(&init, MemAccess::ReadWrite).unwrap();
+    let buf = r
+        .ctx
+        .create_buffer_from(&init, MemAccess::ReadWrite)
+        .unwrap();
     k.set_arg_buffer(0, &buf).unwrap();
     k.set_arg_scalar(1, 4i32).unwrap();
     r.queue.enqueue_ndrange(&k, &[4], None).unwrap();
@@ -474,7 +502,10 @@ fn short_circuit_guards_out_of_bounds() {
          }",
     );
     let k = p.kernel("f").unwrap();
-    let input = r.ctx.create_buffer_from(&[5i32, 6, 7, 8], MemAccess::ReadOnly).unwrap();
+    let input = r
+        .ctx
+        .create_buffer_from(&[5i32, 6, 7, 8], MemAccess::ReadOnly)
+        .unwrap();
     let out = r.ctx.create_buffer(4 * 4, MemAccess::ReadWrite).unwrap();
     k.set_arg_buffer(0, &out).unwrap();
     k.set_arg_buffer(1, &input).unwrap();
@@ -495,7 +526,10 @@ fn timing_larger_launch_costs_more() {
          }",
     );
     let k = p.kernel("work").unwrap();
-    let big = r.ctx.create_buffer(4 * 65536, MemAccess::ReadWrite).unwrap();
+    let big = r
+        .ctx
+        .create_buffer(4 * 65536, MemAccess::ReadWrite)
+        .unwrap();
     k.set_arg_buffer(0, &big).unwrap();
     let small_ev = r.queue.enqueue_ndrange(&k, &[1024], Some(&[64])).unwrap();
     let big_ev = r.queue.enqueue_ndrange(&k, &[65536], Some(&[64])).unwrap();
@@ -523,7 +557,10 @@ fn coalesced_access_cheaper_than_strided() {
     );
     let n = 16384usize;
     let src_data: Vec<f32> = (0..n).map(|i| i as f32).collect();
-    let src = r.ctx.create_buffer_from(&src_data, MemAccess::ReadOnly).unwrap();
+    let src = r
+        .ctx
+        .create_buffer_from(&src_data, MemAccess::ReadOnly)
+        .unwrap();
     let dst = r.ctx.create_buffer(4 * n, MemAccess::ReadWrite).unwrap();
 
     let k1 = p.kernel("copy_coalesced").unwrap();
@@ -556,7 +593,10 @@ fn uchar_and_short_memory_layout() {
          }",
     );
     let k = p.kernel("widen").unwrap();
-    let bytes = r.ctx.create_buffer_from(&[10u8, 20, 255, 7], MemAccess::ReadOnly).unwrap();
+    let bytes = r
+        .ctx
+        .create_buffer_from(&[10u8, 20, 255, 7], MemAccess::ReadOnly)
+        .unwrap();
     let shorts = r
         .ctx
         .create_buffer_from(&[-5i16, 100, -300, 40], MemAccess::ReadOnly)
@@ -582,7 +622,10 @@ fn ternary_select() {
     let buf = r.ctx.create_buffer(4 * 6, MemAccess::ReadWrite).unwrap();
     k.set_arg_buffer(0, &buf).unwrap();
     r.queue.enqueue_ndrange(&k, &[6], None).unwrap();
-    assert_eq!(buf.read_vec::<i32>(0, 6).unwrap(), vec![0, -1, 20, -3, 40, -5]);
+    assert_eq!(
+        buf.read_vec::<i32>(0, 6).unwrap(),
+        vec![0, -1, 20, -3, 40, -5]
+    );
 }
 
 #[test]

@@ -1,9 +1,13 @@
 //! Tests of the multi-threaded work-group executor: with `OCLSIM_THREADS`
 //! forced above 1, work-groups run concurrently on the host pool, so these
-//! tests exercise the crossbeam scope, the shared atomic-word buffers, and
-//! cross-worker error propagation.
+//! tests exercise the std scoped-thread pool, the shared atomic-word
+//! buffers, and cross-worker error propagation.
 //!
-//! The env var is process-global; a mutex serialises the tests.
+//! `OCLSIM_THREADS` is read once per process and cached (see
+//! `exec::launch::worker_threads`), so the harness pins the pool to 4
+//! workers before the first launch rather than varying it per test.
+//! Invariance across pool sizes is covered by `ci.sh`, which runs the whole
+//! suite under both `OCLSIM_THREADS=1` and `OCLSIM_THREADS=4`.
 
 use std::sync::Mutex;
 
@@ -64,7 +68,10 @@ fn concurrent_groups_share_global_memory_through_atomics() {
         let p = Program::from_source(&r.ctx, src);
         p.build("").unwrap();
         let k = p.kernel("count").unwrap();
-        let buf = r.ctx.create_buffer_from(&[0i32], MemAccess::ReadWrite).unwrap();
+        let buf = r
+            .ctx
+            .create_buffer_from(&[0i32], MemAccess::ReadWrite)
+            .unwrap();
         k.set_arg_buffer(0, &buf).unwrap();
         let n = 4096;
         r.queue.enqueue_ndrange(&k, &[n], Some(&[64])).unwrap();
@@ -99,9 +106,10 @@ fn errors_propagate_from_any_worker() {
 }
 
 #[test]
-fn timing_is_identical_regardless_of_worker_count() {
+fn timing_is_deterministic_across_runs() {
     // the modeled time depends only on architectural events, never on how
-    // many host threads simulated them
+    // host threads interleaved while simulating them (cross-pool-size
+    // invariance is checked by ci.sh running the suite under 1 and 4)
     let run = |threads| {
         with_threads(threads, || {
             let r = rig();

@@ -46,7 +46,13 @@ impl CExpr {
             CExpr::Neg(a) => format!("(-{})", a.to_c()),
             CExpr::Not(a) => format!("(~{})", a.to_c()),
             CExpr::Ternary(l, r, t, f) => {
-                format!("(({} < {}) ? {} : {})", l.to_c(), r.to_c(), t.to_c(), f.to_c())
+                format!(
+                    "(({} < {}) ? {} : {})",
+                    l.to_c(),
+                    r.to_c(),
+                    t.to_c(),
+                    f.to_c()
+                )
             }
         }
     }

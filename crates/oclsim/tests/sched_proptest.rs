@@ -1,0 +1,232 @@
+//! Property test of the asynchronous scheduler: a random sequence of
+//! uploads, device copies and kernels over a handful of buffers is run
+//! once on an in-order queue (blocking enqueues) and once on an
+//! out-of-order queue where every command only carries the wait list a
+//! last-writer/readers analysis infers — the same analysis the `hpl`
+//! crate performs for `run_async`. The final buffer contents must be
+//! bit-identical: the inferred DAG edges are exactly the orderings that
+//! matter, and the scheduler must honour them no matter how it
+//! interleaves independent commands.
+//!
+//! Every case builds its own fresh devices, so worker scheduling in other
+//! tests cannot perturb it.
+
+use oclsim::{
+    wait_for_events, Buffer, CommandQueue, Context, Device, DeviceProfile, Event, MemAccess,
+    Program,
+};
+use proptest::prelude::*;
+
+const NBUF: usize = 4;
+const N: usize = 64;
+
+/// The accumulate kernel: order between two writers of `dst` is
+/// observable, so a missing inferred edge corrupts the result.
+const SRC: &str = "__kernel void saxpy(__global int* dst, __global const int* src, int a) {
+    int i = (int)get_global_id(0);
+    dst[i] = dst[i] * 3 + src[i] * a;
+}";
+
+/// One step of the random program.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Host upload of `seed`-derived data into buffer `dst`.
+    Upload { dst: usize, seed: i16 },
+    /// `dst[i] = dst[i]*3 + src[i]*a` (reads src and dst, writes dst).
+    Saxpy { dst: usize, src: usize, a: i16 },
+    /// Whole-buffer device copy src → dst.
+    Copy { dst: usize, src: usize },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..NBUF, any::<i16>()).prop_map(|(dst, seed)| Op::Upload { dst, seed }),
+        (0..NBUF, 0..NBUF, any::<i16>()).prop_map(|(dst, src, a)| Op::Saxpy { dst, src, a }),
+        // src must differ from dst: a whole-buffer copy onto itself is an
+        // invalid overlapping copy
+        (0..NBUF, 1..NBUF).prop_map(|(dst, off)| Op::Copy {
+            dst,
+            src: (dst + off) % NBUF
+        }),
+    ]
+}
+
+fn upload_data(seed: i16) -> Vec<i32> {
+    (0..N)
+        .map(|i| (seed as i32).wrapping_mul(31).wrapping_add(i as i32))
+        .collect()
+}
+
+struct Rig {
+    device: Device,
+    queue: CommandQueue,
+    program: Program,
+    bufs: Vec<Buffer>,
+}
+
+fn rig(out_of_order: bool) -> Rig {
+    let device = Device::new(DeviceProfile::tesla_c2050());
+    let ctx = Context::new(std::slice::from_ref(&device)).unwrap();
+    let queue = if out_of_order {
+        CommandQueue::new_out_of_order(&ctx, &device).unwrap()
+    } else {
+        CommandQueue::new(&ctx, &device).unwrap()
+    };
+    let program = Program::from_source(&ctx, SRC);
+    program.build("").unwrap();
+    let bufs = (0..NBUF)
+        .map(|_| {
+            let b = ctx.create_buffer(4 * N, MemAccess::ReadWrite).unwrap();
+            // deterministic initial contents on both rigs
+            queue.enqueue_write(&b, 0, &vec![0i32; N]).unwrap();
+            b
+        })
+        .collect();
+    Rig {
+        device,
+        queue,
+        program,
+        bufs,
+    }
+}
+
+impl Rig {
+    fn read_all(&self) -> Vec<Vec<i32>> {
+        self.bufs
+            .iter()
+            .map(|b| b.read_vec::<i32>(0, N).unwrap())
+            .collect()
+    }
+}
+
+/// Reference run: blocking enqueues on an in-order queue — program order
+/// is execution order by construction.
+fn run_in_order(ops: &[Op]) -> Vec<Vec<i32>> {
+    let r = rig(false);
+    for &o in ops {
+        match o {
+            Op::Upload { dst, seed } => {
+                r.queue
+                    .enqueue_write(&r.bufs[dst], 0, &upload_data(seed))
+                    .unwrap();
+            }
+            Op::Saxpy { dst, src, a } => {
+                let k = r.program.kernel("saxpy").unwrap();
+                k.set_arg_buffer(0, &r.bufs[dst]).unwrap();
+                k.set_arg_buffer(1, &r.bufs[src]).unwrap();
+                k.set_arg_scalar(2, a as i32).unwrap();
+                r.queue.enqueue_ndrange(&k, &[N], None).unwrap();
+            }
+            Op::Copy { dst, src } => {
+                r.queue
+                    .enqueue_copy(&r.bufs[src], &r.bufs[dst], 0, 0, 4 * N)
+                    .unwrap();
+            }
+        }
+    }
+    r.queue.finish();
+    r.read_all()
+}
+
+/// Per-buffer event bookkeeping, mirroring `hpl`'s inference: a command
+/// writing a buffer waits on its last writer (RAW→WAW chain) and on all
+/// readers since (WAR); a command reading a buffer waits on its last
+/// writer only and registers itself as a reader.
+#[derive(Default)]
+struct Tracker {
+    last_write: Option<Event>,
+    readers: Vec<Event>,
+}
+
+impl Tracker {
+    fn write_deps(&self) -> Vec<Event> {
+        let mut deps: Vec<Event> = self.readers.clone();
+        deps.extend(self.last_write.clone());
+        deps
+    }
+
+    fn record_write(&mut self, ev: &Event) {
+        self.last_write = Some(ev.clone());
+        self.readers.clear();
+    }
+
+    fn record_read(&mut self, ev: &Event) {
+        self.readers.push(ev.clone());
+    }
+}
+
+/// Out-of-order run: every command is enqueued asynchronously with only
+/// its inferred wait list; the dispatcher is free to interleave anything
+/// the lists leave unordered.
+fn run_out_of_order(ops: &[Op]) -> Vec<Vec<i32>> {
+    let r = rig(true);
+    let mut track: Vec<Tracker> = (0..NBUF).map(|_| Tracker::default()).collect();
+    let mut events = Vec::with_capacity(ops.len());
+    for &o in ops {
+        let ev = match o {
+            Op::Upload { dst, seed } => {
+                let deps = track[dst].write_deps();
+                let ev = r
+                    .queue
+                    .enqueue_write_async(&r.bufs[dst], 0, &upload_data(seed), &deps)
+                    .unwrap();
+                track[dst].record_write(&ev);
+                ev
+            }
+            Op::Saxpy { dst, src, a } => {
+                let mut deps = track[dst].write_deps();
+                if src != dst {
+                    deps.extend(track[src].last_write.clone());
+                }
+                let k = r.program.kernel("saxpy").unwrap();
+                k.set_arg_buffer(0, &r.bufs[dst]).unwrap();
+                k.set_arg_buffer(1, &r.bufs[src]).unwrap();
+                k.set_arg_scalar(2, a as i32).unwrap();
+                let ev = r
+                    .queue
+                    .enqueue_ndrange_async(&k, &[N], None, &deps)
+                    .unwrap();
+                if src != dst {
+                    track[src].record_read(&ev);
+                }
+                track[dst].record_write(&ev);
+                ev
+            }
+            Op::Copy { dst, src } => {
+                let mut deps = track[dst].write_deps();
+                if src != dst {
+                    deps.extend(track[src].last_write.clone());
+                }
+                let ev = r
+                    .queue
+                    .enqueue_copy_async(&r.bufs[src], &r.bufs[dst], 0, 0, 4 * N, &deps)
+                    .unwrap();
+                if src != dst {
+                    track[src].record_read(&ev);
+                }
+                track[dst].record_write(&ev);
+                ev
+            }
+        };
+        events.push(ev);
+    }
+    wait_for_events(&events).unwrap();
+    // the makespan must exist on the fresh device's timeline
+    assert!(r.device.timeline_horizon() > 0.0 || ops.is_empty());
+    r.read_all()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// An out-of-order queue with inferred wait lists computes the same
+    /// buffers, bit for bit, as the in-order reference.
+    #[test]
+    fn out_of_order_with_inferred_deps_matches_in_order(
+        ops in proptest::collection::vec(op(), 1..24),
+    ) {
+        let reference = run_in_order(&ops);
+        let reordered = run_out_of_order(&ops);
+        prop_assert_eq!(reference, reordered, "ops: {:?}", ops);
+    }
+}

@@ -32,8 +32,11 @@ fn run_compute(rig: &Rig, n: usize, iters: i32) -> TimingBreakdown {
     let out = rig.ctx.create_buffer(4 * n, MemAccess::ReadWrite).unwrap();
     k.set_arg_buffer(0, &out).unwrap();
     k.set_arg_scalar(1, iters).unwrap();
-    let ev = rig.queue.enqueue_ndrange(&k, &[n], Some(&[64.min(n)])).unwrap();
-    *ev.kernel_timing().unwrap()
+    let ev = rig
+        .queue
+        .enqueue_ndrange(&k, &[n], Some(&[64.min(n)]))
+        .unwrap();
+    ev.kernel_timing().unwrap()
 }
 
 /// Launch a streaming (memory-bound) kernel over `n` items.
@@ -49,8 +52,11 @@ fn run_stream(rig: &Rig, n: usize) -> TimingBreakdown {
     let b = rig.ctx.create_buffer(4 * n, MemAccess::ReadWrite).unwrap();
     k.set_arg_buffer(0, &b).unwrap();
     k.set_arg_buffer(1, &a).unwrap();
-    let ev = rig.queue.enqueue_ndrange(&k, &[n], Some(&[64.min(n)])).unwrap();
-    *ev.kernel_timing().unwrap()
+    let ev = rig
+        .queue
+        .enqueue_ndrange(&k, &[n], Some(&[64.min(n)]))
+        .unwrap();
+    ev.kernel_timing().unwrap()
 }
 
 #[test]
@@ -59,7 +65,10 @@ fn compute_time_scales_linearly_with_iterations() {
     let t1 = run_compute(&rig, 1 << 14, 32);
     let t4 = run_compute(&rig, 1 << 14, 128);
     let ratio = t4.compute_seconds / t1.compute_seconds;
-    assert!((3.5..4.5).contains(&ratio), "4x iterations should be ~4x cycles, got {ratio}");
+    assert!(
+        (3.5..4.5).contains(&ratio),
+        "4x iterations should be ~4x cycles, got {ratio}"
+    );
 }
 
 #[test]
@@ -68,7 +77,10 @@ fn compute_time_scales_with_items_once_device_is_full() {
     let t1 = run_compute(&rig, 1 << 14, 64);
     let t4 = run_compute(&rig, 1 << 16, 64);
     let ratio = t4.compute_seconds / t1.compute_seconds;
-    assert!((3.5..4.5).contains(&ratio), "4x items should be ~4x time, got {ratio}");
+    assert!(
+        (3.5..4.5).contains(&ratio),
+        "4x items should be ~4x time, got {ratio}"
+    );
 }
 
 #[test]
@@ -86,7 +98,10 @@ fn streaming_kernel_is_memory_bound_on_gpu() {
     let achieved = bytes / t.memory_seconds;
     let peak = 144.0e9;
     assert!(achieved <= peak * 1.01, "cannot beat peak bandwidth");
-    assert!(achieved > peak / 2.0, "coalesced copy should approach peak, got {achieved:e}");
+    assert!(
+        achieved > peak / 2.0,
+        "coalesced copy should approach peak, got {achieved:e}"
+    );
 }
 
 #[test]
@@ -116,7 +131,10 @@ fn serial_cpu_runs_items_sequentially() {
     let t1 = run_compute(&cpu, 1 << 10, 64);
     let t4 = run_compute(&cpu, 1 << 12, 64);
     let ratio = t4.compute_seconds / t1.compute_seconds;
-    assert!((3.5..4.5).contains(&ratio), "1 CU: 4x items = 4x time, got {ratio}");
+    assert!(
+        (3.5..4.5).contains(&ratio),
+        "1 CU: 4x items = 4x time, got {ratio}"
+    );
 }
 
 #[test]
@@ -173,7 +191,10 @@ fn fp64_costs_double_on_tesla() {
         let p = Program::from_source(&rig.ctx, src);
         p.build("").unwrap();
         let k = p.kernel("k").unwrap();
-        let buf = rig.ctx.create_buffer(8 * 4096, MemAccess::ReadWrite).unwrap();
+        let buf = rig
+            .ctx
+            .create_buffer(8 * 4096, MemAccess::ReadWrite)
+            .unwrap();
         k.set_arg_buffer(0, &buf).unwrap();
         let ev = rig.queue.enqueue_ndrange(&k, &[4096], Some(&[64])).unwrap();
         times.push(ev.kernel_timing().unwrap().compute_seconds);
@@ -200,7 +221,10 @@ fn group_imbalance_appears_in_makespan() {
     let p = Program::from_source(&rig.ctx, src);
     p.build("").unwrap();
     let k = p.kernel("skew").unwrap();
-    let buf = rig.ctx.create_buffer(4 * 1024, MemAccess::ReadWrite).unwrap();
+    let buf = rig
+        .ctx
+        .create_buffer(4 * 1024, MemAccess::ReadWrite)
+        .unwrap();
     k.set_arg_buffer(0, &buf).unwrap();
 
     k.set_arg_scalar(1, 16i32).unwrap();
@@ -210,13 +234,19 @@ fn group_imbalance_appears_in_makespan() {
 
     let b = balanced.kernel_timing().unwrap().compute_seconds;
     let s = skewed.kernel_timing().unwrap().compute_seconds;
-    assert!(s > b * 10.0, "one 1000x-slower group must dominate: {s} vs {b}");
+    assert!(
+        s > b * 10.0,
+        "one 1000x-slower group must dominate: {s} vs {b}"
+    );
 }
 
 #[test]
 fn transfer_time_models_interconnect() {
     let rig = rig_for(DeviceProfile::tesla_c2050());
-    let buf = rig.ctx.create_buffer(4 << 20, MemAccess::ReadWrite).unwrap();
+    let buf = rig
+        .ctx
+        .create_buffer(4 << 20, MemAccess::ReadWrite)
+        .unwrap();
     let data = vec![0u8; 4 << 20];
     let mut bytes = vec![0u8; 4 << 20];
     bytes.copy_from_slice(&data);
@@ -226,5 +256,9 @@ fn transfer_time_models_interconnect() {
     assert!(big.modeled_seconds() > small.modeled_seconds() * 10.0);
     // 4 MiB over 6 GB/s PCIe ~ 0.7 ms
     let expect = (4 << 20) as f64 / 6.0e9;
-    assert!((big.modeled_seconds() - expect).abs() / expect < 0.2, "{}", big.modeled_seconds());
+    assert!(
+        (big.modeled_seconds() - expect).abs() / expect < 0.2,
+        "{}",
+        big.modeled_seconds()
+    );
 }

@@ -32,7 +32,9 @@ impl Language {
 
     /// Guess the language from a path.
     pub fn from_path(path: &Path) -> Option<Language> {
-        path.extension().and_then(|e| e.to_str()).and_then(Language::from_extension)
+        path.extension()
+            .and_then(|e| e.to_str())
+            .and_then(Language::from_extension)
     }
 }
 
@@ -97,8 +99,8 @@ pub fn strip_comments(source: &str, lang: Language) -> String {
                     len += 1;
                 }
                 if saw_close {
-                    for k in i..=j {
-                        out.push(bytes[k] as char);
+                    for &b in &bytes[i..=j] {
+                        out.push(b as char);
                     }
                     i = j + 1;
                 }
@@ -171,7 +173,11 @@ pub fn count_file(path: &Path) -> std::io::Result<FileCount> {
         )
     })?;
     let source = std::fs::read_to_string(path)?;
-    Ok(FileCount { path: path.display().to_string(), language: lang, sloc: count(&source, lang) })
+    Ok(FileCount {
+        path: path.display().to_string(),
+        language: lang,
+        sloc: count(&source, lang),
+    })
 }
 
 /// Count several files; returns per-file counts and the total.
@@ -257,7 +263,10 @@ mod tests {
         assert_eq!(Language::from_extension("cl"), Some(Language::CFamily));
         assert_eq!(Language::from_extension("rs"), Some(Language::Rust));
         assert_eq!(Language::from_extension("py"), None);
-        assert_eq!(Language::from_path(Path::new("a/b/kernel.cl")), Some(Language::CFamily));
+        assert_eq!(
+            Language::from_path(Path::new("a/b/kernel.cl")),
+            Some(Language::CFamily)
+        );
     }
 
     #[test]

@@ -22,18 +22,27 @@ fn main() -> Result<(), hpl::Error> {
         let p = device.profile();
         println!("{}", device.name());
         println!("  type:               {:?}", device.device_type());
-        println!("  compute units:      {} x {}-wide SIMT", p.compute_units, p.simd_width);
+        println!(
+            "  compute units:      {} x {}-wide SIMT",
+            p.compute_units, p.simd_width
+        );
         println!("  clock:              {} MHz", p.clock_mhz);
         println!("  global memory:      {} MiB", p.global_mem_bytes >> 20);
         println!("  local memory:       {} KiB", p.local_mem_bytes >> 10);
         println!("  constant memory:    {} KiB", p.constant_mem_bytes >> 10);
         println!("  max work-group:     {}", p.max_work_group_size);
-        println!("  fp64 (cl_khr_fp64): {}", if p.fp64 { "yes" } else { "no" });
+        println!(
+            "  fp64 (cl_khr_fp64): {}",
+            if p.fp64 { "yes" } else { "no" }
+        );
         println!("  memory bandwidth:   {:.1} GB/s", p.global_bandwidth_gbps);
         println!();
     }
 
-    println!("default device (first non-CPU): {}\n", rt.default_device().name());
+    println!(
+        "default device (first non-CPU): {}\n",
+        rt.default_device().name()
+    );
 
     // task parallelism: two different kernels on two different devices
     let tesla = rt.device_named("tesla").expect("tesla present");

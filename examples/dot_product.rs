@@ -30,7 +30,10 @@ fn main() -> Result<(), hpl::Error> {
     let v2 = Array::<f32, 1>::from_vec([N], (0..N).map(|i| (i % 5) as f32).collect());
     let p_sums = Array::<f32, 1>::new([N_GROUP]);
 
-    eval(dotp).global(&[N]).local(&[M]).run((&v1, &v2, &p_sums))?;
+    eval(dotp)
+        .global(&[N])
+        .local(&[M])
+        .run((&v1, &v2, &p_sums))?;
 
     // second stage: reduce the partial sums in the host
     let mut result = 0.0f32;

@@ -25,9 +25,7 @@ fn main() -> Result<(), hpl::Error> {
     let mut dst = b.clone();
     for _ in 0..STEPS {
         // u'[i] = u[i] + alpha * (u[i-1] - 2 u[i] + u[i+1])
-        stencil3(&dst, &src, |l, c, r| {
-            c.clone() + ALPHA * (l - 2.0 * c + r)
-        })?;
+        stencil3(&dst, &src, |l, c, r| c.clone() + ALPHA * (l - 2.0 * c + r))?;
         std::mem::swap(&mut src, &mut dst);
     }
     let result = src.to_vec();
@@ -43,7 +41,11 @@ fn main() -> Result<(), hpl::Error> {
         }
         std::mem::swap(&mut u, &mut next);
     }
-    let max_err = result.iter().zip(&u).map(|(&x, &y)| (x - y).abs()).fold(0.0, f64::max);
+    let max_err = result
+        .iter()
+        .zip(&u)
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0, f64::max);
     assert!(max_err < 1e-9, "device and host disagree: {max_err}");
 
     // crude temperature profile

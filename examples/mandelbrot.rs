@@ -80,7 +80,11 @@ fn main() -> Result<(), hpl::Error> {
 
     // spot-verify against the host reference
     for (px, py) in [(0, 0), (w / 2, h / 2), (w - 1, h - 1), (w / 3, h / 4)] {
-        assert_eq!(iters.get((py, px)), reference(px, py, w, h), "pixel ({px},{py})");
+        assert_eq!(
+            iters.get((py, px)),
+            reference(px, py, w, h),
+            "pixel ({px},{py})"
+        );
     }
 
     println!(

@@ -62,8 +62,14 @@ fn main() -> Result<(), hpl::Error> {
         }
     }
 
-    println!("naive transpose (Figure 10): {:.1} µs modeled", naive.kernel_modeled_seconds * 1e6);
-    println!("tiled transpose (benchmark): {:.1} µs modeled", tiled.kernel_modeled_seconds * 1e6);
+    println!(
+        "naive transpose (Figure 10): {:.1} µs modeled",
+        naive.kernel_modeled_seconds * 1e6
+    );
+    println!(
+        "tiled transpose (benchmark): {:.1} µs modeled",
+        tiled.kernel_modeled_seconds * 1e6
+    );
     println!(
         "coalescing the writes through local memory wins {:.1}x",
         naive.kernel_modeled_seconds / tiled.kernel_modeled_seconds

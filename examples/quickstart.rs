@@ -33,8 +33,14 @@ fn main() -> Result<(), hpl::Error> {
         println!("y[{i:>3}] = {}", y.get(i));
     }
 
-    println!("\ndevice:            {}", hpl::runtime().default_device().name());
-    println!("first invocation:  {:.3} ms total", profile.host_seconds * 1e3);
+    println!(
+        "\ndevice:            {}",
+        hpl::runtime().default_device().name()
+    );
+    println!(
+        "first invocation:  {:.3} ms total",
+        profile.host_seconds * 1e3
+    );
     println!(
         "  capture {:.1} µs + codegen {:.1} µs + build {:.1} µs + modeled kernel {:.1} µs",
         profile.capture_seconds * 1e6,

@@ -29,17 +29,29 @@ fn spmv(
     row_end.assign(rowptr.at(row.v() + 1));
     let j = Int::var();
     let my_sum = Float::new(0.0);
-    for_var(&j, rowptr.at(row.v()) + lane.v(), row_end.v(), M as i32, || {
-        my_sum.assign_add(a.at(j.v()) * vec.at(cols.at(j.v())));
-    });
+    for_var(
+        &j,
+        rowptr.at(row.v()) + lane.v(),
+        row_end.v(),
+        M as i32,
+        || {
+            my_sum.assign_add(a.at(j.v()) * vec.at(cols.at(j.v())));
+        },
+    );
     let sdata = Array::<f32, 1>::local([M]);
     sdata.at(lane.v()).assign(my_sum.v());
     barrier(LOCAL);
-    if_(lane.v().lt(4), || sdata.at(lane.v()).assign_add(sdata.at(lane.v() + 4)));
+    if_(lane.v().lt(4), || {
+        sdata.at(lane.v()).assign_add(sdata.at(lane.v() + 4))
+    });
     barrier(LOCAL);
-    if_(lane.v().lt(2), || sdata.at(lane.v()).assign_add(sdata.at(lane.v() + 2)));
+    if_(lane.v().lt(2), || {
+        sdata.at(lane.v()).assign_add(sdata.at(lane.v() + 2))
+    });
     barrier(LOCAL);
-    if_(lane.v().eq_(0), || out.at(row.v()).assign(sdata.at(0) + sdata.at(1)));
+    if_(lane.v().eq_(0), || {
+        out.at(row.v()).assign(sdata.at(0) + sdata.at(1))
+    });
 }
 
 /// A symmetric positive-definite tridiagonal test matrix in CSR:
@@ -82,7 +94,10 @@ fn main() -> Result<(), hpl::Error> {
     // right-hand side: b = A * ones  =>  the exact solution is all-ones
     let ones = vec![1.0f32; n];
     p_dev.write_from(&ones);
-    eval(spmv).global(&[n * M]).local(&[M]).run((&a, &p_dev, &cols_a, &rowptr_a, &ap_dev))?;
+    eval(spmv)
+        .global(&[n * M])
+        .local(&[M])
+        .run((&a, &p_dev, &cols_a, &rowptr_a, &ap_dev))?;
     let b = ap_dev.to_vec();
 
     // conjugate gradient, spmv on the device each iteration
@@ -94,7 +109,10 @@ fn main() -> Result<(), hpl::Error> {
     let mut iterations = 0;
     for it in 0..10 * n {
         p_dev.write_from(&p);
-        eval(spmv).global(&[n * M]).local(&[M]).run((&a, &p_dev, &cols_a, &rowptr_a, &ap_dev))?;
+        eval(spmv)
+            .global(&[n * M])
+            .local(&[M])
+            .run((&a, &p_dev, &cols_a, &rowptr_a, &ap_dev))?;
         let ap = ap_dev.to_vec();
 
         let alpha = rs_old / dot(&p, &ap);
@@ -117,7 +135,10 @@ fn main() -> Result<(), hpl::Error> {
     let max_err = x.iter().map(|&xi| (xi - 1.0).abs()).fold(0.0f32, f32::max);
     println!("CG solved the {n}x{n} 1-D Laplacian in {iterations} iterations");
     println!("max |x_i - 1| = {max_err:.2e}  (exact solution is all-ones)");
-    assert!(max_err < 1e-2, "CG failed to converge to the known solution");
+    assert!(
+        max_err < 1e-2,
+        "CG failed to converge to the known solution"
+    );
 
     let stats = hpl::runtime().transfer_stats();
     println!(

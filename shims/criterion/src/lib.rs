@@ -1,0 +1,199 @@
+//! Offline stand-in for the `criterion` crate (see `shims/README.md`).
+//!
+//! Supports the harness surface this workspace uses — `Criterion`,
+//! `benchmark_group`, `Bencher::iter`, `black_box`, `criterion_group!`,
+//! `criterion_main!` — but performs no statistical analysis: each
+//! benchmark closure runs a bounded number of iterations and the median
+//! wall-clock time is printed. That keeps `cargo bench` (and clippy over
+//! bench targets) working without network access; the numbers are
+//! indicative only.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Iterations actually timed per benchmark, regardless of the configured
+/// statistical sample size (we do no statistics, so large samples only
+/// waste wall-clock time).
+const MAX_TIMED_ITERS: u64 = 10;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Set the nominal sample size (capped internally).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the nominal sample size for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.sample_size.unwrap_or(100), f);
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    iters: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, recording one sample per call.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F>(name: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let iters = (sample_size as u64).clamp(1, MAX_TIMED_ITERS);
+    let mut b = Bencher {
+        iters,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    b.samples.sort();
+    let median = b.samples[b.samples.len() / 2];
+    let total: Duration = b.samples.iter().sum();
+    println!(
+        "{name:<40} median {:>12} over {} iters (total {:?})",
+        format_duration(median),
+        b.samples.len(),
+        total
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declare a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `main` invoking the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut calls = 0u64;
+        Criterion::default()
+            .sample_size(5)
+            .bench_function("smoke", |b| {
+                b.iter(|| {
+                    calls += 1;
+                    black_box(calls)
+                })
+            });
+        assert_eq!(calls, 5, "iter count should equal the capped sample size");
+    }
+
+    #[test]
+    fn groups_cap_iterations() {
+        let mut calls = 0u64;
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(5000);
+        g.bench_function("inner", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert_eq!(calls, MAX_TIMED_ITERS, "large sample sizes are capped");
+    }
+}

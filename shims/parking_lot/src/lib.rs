@@ -1,0 +1,149 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! This workspace builds in environments with no access to crates.io, so
+//! the external dependencies are replaced by minimal path-dependency shims
+//! (see `shims/README.md`). This one wraps `std::sync::Mutex` behind the
+//! subset of the `parking_lot` API the workspace uses: `Mutex`,
+//! `MutexGuard`, `MutexGuard::map`, and `MappedMutexGuard`.
+//!
+//! Semantic differences from the real crate are deliberate and benign here:
+//! poisoning is ignored (parking_lot has no poisoning), and no fairness or
+//! eventual-fairness guarantees are made beyond what std provides.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
+
+/// A mutual-exclusion primitive mirroring `parking_lot::Mutex`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the mutex, blocking until it is available. Unlike std, a
+    /// panic in another holder does not poison the lock.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+impl<'a, T: ?Sized> MutexGuard<'a, T> {
+    /// Project the guard to a component of the protected data, as
+    /// `parking_lot::MutexGuard::map` does.
+    pub fn map<U: ?Sized, F>(mut guard: MutexGuard<'a, T>, f: F) -> MappedMutexGuard<'a, U>
+    where
+        F: FnOnce(&mut T) -> &mut U,
+    {
+        // Take the raw address of the projected place, then keep the lock
+        // alive by moving the guard into the mapped guard. The pointee
+        // cannot move while the lock is held, so the pointer stays valid.
+        let ptr: *mut U = f(&mut guard.inner);
+        MappedMutexGuard {
+            ptr,
+            _guard: Box::new(guard.inner),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// Guard projecting to a part of the locked data (see [`MutexGuard::map`]).
+pub struct MappedMutexGuard<'a, U: ?Sized> {
+    ptr: *mut U,
+    _guard: Box<dyn Erased + 'a>,
+}
+
+/// Object-safe erasure target so the mapped guard does not need the source
+/// guard's type as a parameter (matching parking_lot's public signature).
+trait Erased {}
+impl<T> Erased for T {}
+
+impl<U: ?Sized> Deref for MappedMutexGuard<'_, U> {
+    type Target = U;
+    fn deref(&self) -> &U {
+        // SAFETY: `ptr` was derived from data owned by the mutex whose
+        // guard we still hold; the data is pinned for the guard's lifetime.
+        unsafe { &*self.ptr }
+    }
+}
+
+impl<U: ?Sized> DerefMut for MappedMutexGuard<'_, U> {
+    fn deref_mut(&mut self) -> &mut U {
+        // SAFETY: as above, plus the guard grants exclusive access.
+        unsafe { &mut *self.ptr }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn map_projects_and_holds_lock() {
+        let m = Mutex::new((vec![1, 2, 3], "tag"));
+        {
+            let g = MutexGuard::map(m.lock(), |t| t.0.as_mut_slice());
+            assert_eq!(&*g, &[1, 2, 3]);
+        }
+        assert_eq!(m.lock().1, "tag");
+    }
+
+    #[test]
+    fn poisoning_is_ignored() {
+        let m = std::sync::Arc::new(Mutex::new(7));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7, "lock usable after a holder panicked");
+    }
+}

@@ -1,0 +1,574 @@
+//! Offline stand-in for the `proptest` crate (see `shims/README.md`).
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! [`strategy::Strategy`] with `prop_map` / `prop_recursive` / `boxed`,
+//! [`strategy::Just`], [`arbitrary::any`], tuple and range strategies,
+//! [`collection::vec`], the [`proptest!`] / [`prop_oneof!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`] macros and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from the real crate, on purpose:
+//!
+//! - **No shrinking.** A failing case reports the case index and the RNG
+//!   seed that reproduces it, but the input is not minimised.
+//! - **Deterministic by default.** Case seeds derive from the test name and
+//!   case index, so failures reproduce across runs; set `PROPTEST_SEED` to
+//!   perturb the whole run.
+//! - `prop_assume!` skips the case rather than drawing a replacement.
+
+// Let the crate's own tests and macro expansions use `proptest::` paths
+// exactly as downstream crates do.
+extern crate self as proptest;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// RNG handed to strategies while generating one test case.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    fn from_seed(seed: u64) -> TestRng {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next uniform 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        use rand::RngCore;
+        self.inner.next_u64()
+    }
+
+    /// Uniform value in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+pub mod strategy {
+    use super::TestRng;
+    use std::ops::Range;
+    use std::sync::Arc;
+
+    /// A recipe for generating random values of `Value`.
+    ///
+    /// Unlike real proptest there is no value tree: a strategy is just a
+    /// deterministic function of the case RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Type-erase the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let s = self;
+            BoxedStrategy {
+                gen: Arc::new(move |rng| s.gen_value(rng)),
+            }
+        }
+
+        /// Build a recursive strategy: `self` generates the leaves and
+        /// `recurse` wraps an inner strategy into branches. `depth` bounds
+        /// the recursion; the size-budget parameters of real proptest are
+        /// accepted and ignored (each level mixes leaves in with probability
+        /// 1/2, which keeps expected sizes small).
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + Clone + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut current = self.clone().boxed();
+            for _ in 0..depth {
+                let branch = recurse(current).boxed();
+                current = Union::new(vec![self.clone().boxed(), branch]).boxed();
+            }
+            current
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Clone, F: Clone> Clone for Map<S, F> {
+        fn clone(&self) -> Self {
+            Map {
+                source: self.source.clone(),
+                f: self.f.clone(),
+            }
+        }
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.gen_value(rng))
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T> {
+        gen: Arc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                gen: Arc::clone(&self.gen),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            (self.gen)(rng)
+        }
+    }
+
+    /// Uniform choice between strategies (the `prop_oneof!` backend).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Choose uniformly among `arms` at every generation.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].gen_value(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "strategy on empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($S:ident . $i:tt),+))*) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw an arbitrary value (full domain, including float specials).
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            // arbitrary bit patterns: exercises subnormals, infs and NaNs
+            f32::from_bits(rng.next_u64() as u32)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T> {
+        _marker: PhantomData<T>,
+    }
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any {
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (`any::<i32>()` etc.).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.size.start < self.size.end, "vec() on empty size range");
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod test_runner {
+    use super::TestRng;
+
+    /// Subset of proptest's run configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+        /// Accepted for compatibility; unused (no shrinking here).
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assert*` failure with its message.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Build a failure from a formatted message.
+        pub fn fail(msg: String) -> TestCaseError {
+            TestCaseError::Fail(msg)
+        }
+    }
+
+    /// Drives the generated cases of one `proptest!` test function.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        base_seed: u64,
+        name: &'static str,
+    }
+
+    impl TestRunner {
+        /// Create a runner for the named test.
+        pub fn new(config: ProptestConfig, name: &'static str) -> TestRunner {
+            // FNV-1a over the name, perturbed by PROPTEST_SEED if set, so
+            // each test gets its own deterministic stream.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x1_0000_01b3);
+            }
+            if let Ok(s) = std::env::var("PROPTEST_SEED") {
+                if let Ok(extra) = s.parse::<u64>() {
+                    h ^= extra.rotate_left(17);
+                }
+            }
+            TestRunner {
+                config,
+                base_seed: h,
+                name,
+            }
+        }
+
+        /// Number of cases to run (honours `PROPTEST_CASES`).
+        pub fn cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(self.config.cases)
+        }
+
+        /// The RNG for case `case`.
+        pub fn rng_for(&self, case: u32) -> TestRng {
+            TestRng::from_seed(
+                self.base_seed
+                    .wrapping_add((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            )
+        }
+
+        /// Panic with diagnostics if the case failed.
+        pub fn check(&self, case: u32, result: Result<(), TestCaseError>) {
+            if let Err(TestCaseError::Fail(msg)) = result {
+                panic!(
+                    "proptest `{}` failed at case {} (seed {:#x}): {}",
+                    self.name, case, self.base_seed, msg
+                );
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Declare property tests. Supports an optional
+/// `#![proptest_config(expr)]` header followed by test functions whose
+/// arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let runner = $crate::test_runner::TestRunner::new($cfg, stringify!($name));
+            for case in 0..runner.cases() {
+                let mut rng = runner.rng_for(case);
+                $(
+                    let $arg = $crate::strategy::Strategy::gen_value(&($strat), &mut rng);
+                )+
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                runner.check(case, result);
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{:?} != {:?}: {}", l, r, format!($($fmt)+));
+    }};
+}
+
+/// Discard the current case unless the assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Tree {
+        Leaf(i8),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    impl Tree {
+        fn sum(&self) -> i64 {
+            match self {
+                Tree::Leaf(v) => *v as i64,
+                Tree::Node(a, b) => a.sum() + b.sum(),
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+        #[test]
+        fn vec_lengths_in_range(v in proptest::collection::vec(-10i32..10, 3..9)) {
+            prop_assert!(v.len() >= 3 && v.len() < 9, "len {}", v.len());
+            for x in &v {
+                prop_assert!((-10..10).contains(x));
+            }
+        }
+
+        #[test]
+        fn recursive_trees_generate_and_fold(
+            t in Just(Tree::Leaf(1)).prop_recursive(4, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            }),
+            offset in 0usize..4,
+        ) {
+            prop_assume!(offset < 10);
+            prop_assert_eq!(t.sum() >= 1, true, "offset {}", offset);
+        }
+
+        #[test]
+        fn oneof_covers_all_arms(choice in prop_oneof![Just(0u8), Just(1u8), any::<u8>()]) {
+            prop_assert!(u32::from(choice) < 256);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        use crate::strategy::Strategy;
+        let cfg = ProptestConfig::default;
+        let r1 = crate::test_runner::TestRunner::new(cfg(), "same_name");
+        let r2 = crate::test_runner::TestRunner::new(cfg(), "same_name");
+        let s = proptest::collection::vec(0i32..100, 1..20);
+        let a = s.gen_value(&mut r1.rng_for(3));
+        let b = s.gen_value(&mut r2.rng_for(3));
+        assert_eq!(a, b);
+    }
+}

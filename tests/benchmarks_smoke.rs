@@ -11,15 +11,35 @@ fn check(report: &BenchReport) {
         "{}: serial baseline missing",
         report.name
     );
-    assert!(report.opencl.kernel_modeled_seconds > 0.0, "{}", report.name);
+    assert!(
+        report.opencl.kernel_modeled_seconds > 0.0,
+        "{}",
+        report.name
+    );
     assert!(report.hpl.kernel_modeled_seconds > 0.0, "{}", report.name);
-    assert!(report.hpl.front_seconds > 0.0, "{}: HPL front-end must be measured", report.name);
-    assert_eq!(report.opencl.front_seconds, 0.0, "{}: OpenCL has no front-end", report.name);
-    assert!(report.opencl_speedup() > 1.0, "{}: the GPU must win", report.name);
+    assert!(
+        report.hpl.front_seconds > 0.0,
+        "{}: HPL front-end must be measured",
+        report.name
+    );
+    assert_eq!(
+        report.opencl.front_seconds, 0.0,
+        "{}: OpenCL has no front-end",
+        report.name
+    );
+    assert!(
+        report.opencl_speedup() > 1.0,
+        "{}: the GPU must win",
+        report.name
+    );
     // no tighter bound on the HPL side here: the test profile is an
     // unoptimised build, which inflates the measured front-end wall time
     // far beyond what the release-mode figures see
-    assert!(report.hpl.paper_seconds() > report.hpl.kernel_modeled_seconds, "{}", report.name);
+    assert!(
+        report.hpl.paper_seconds() > report.hpl.kernel_modeled_seconds,
+        "{}",
+        report.name
+    );
 }
 
 #[test]
@@ -65,6 +85,67 @@ fn reduction_full_pipeline() {
     let report = benchsuite::reduction::run(&cfg, &device).unwrap();
     assert_eq!(report.name, "reduction");
     check(&report);
+}
+
+/// Every benchmark driven through `run_async` must produce exactly the
+/// bytes the blocking `run` produces: the scheduler may reorder the
+/// uploads and launches, but the inferred wait lists pin down every
+/// ordering that affects the result.
+#[test]
+fn ep_async_matches_sync_bit_for_bit() {
+    let device = hpl::runtime().default_device();
+    let cfg = benchsuite::ep::EpConfig::default();
+    let (s, _) = benchsuite::ep::hpl_version::run(&cfg, &device).unwrap();
+    let (a, _) = benchsuite::ep::async_version::run(&cfg, &device).unwrap();
+    assert_eq!(s.q, a.q);
+    assert_eq!(s.sx.to_bits(), a.sx.to_bits());
+    assert_eq!(s.sy.to_bits(), a.sy.to_bits());
+}
+
+#[test]
+fn floyd_async_matches_sync_bit_for_bit() {
+    let device = hpl::runtime().default_device();
+    let cfg = benchsuite::floyd::FloydConfig::default();
+    let graph = benchsuite::floyd::generate_graph(&cfg);
+    let (s, _) = benchsuite::floyd::hpl_version::run(&cfg, &graph, &device).unwrap();
+    let (a, _) = benchsuite::floyd::async_version::run(&cfg, &graph, &device).unwrap();
+    assert_eq!(s, a);
+}
+
+#[test]
+fn transpose_async_matches_sync_bit_for_bit() {
+    let device = hpl::runtime().default_device();
+    let cfg = benchsuite::transpose::TransposeConfig::default();
+    let src = benchsuite::transpose::generate_matrix(&cfg);
+    let (s, _) = benchsuite::transpose::hpl_version::run(&cfg, &src, &device).unwrap();
+    let (a, _) = benchsuite::transpose::async_version::run(&cfg, &src, &device).unwrap();
+    assert_eq!(
+        s.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        a.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn spmv_async_matches_sync_bit_for_bit() {
+    let device = hpl::runtime().default_device();
+    let cfg = benchsuite::spmv::SpmvConfig::default();
+    let p = benchsuite::spmv::generate(&cfg);
+    let (s, _) = benchsuite::spmv::hpl_version::run(&cfg, &p, &device).unwrap();
+    let (a, _) = benchsuite::spmv::async_version::run(&cfg, &p, &device).unwrap();
+    assert_eq!(
+        s.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        a.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn reduction_async_matches_sync_bit_for_bit() {
+    let device = hpl::runtime().default_device();
+    let cfg = benchsuite::reduction::ReductionConfig::default();
+    let data = benchsuite::reduction::generate_input(&cfg);
+    let (s, _) = benchsuite::reduction::hpl_version::run(&cfg, &data, &device).unwrap();
+    let (a, _) = benchsuite::reduction::async_version::run(&cfg, &data, &device).unwrap();
+    assert_eq!(s.to_bits(), a.to_bits());
 }
 
 #[test]

@@ -27,7 +27,11 @@ fn non_dividing_local_domain_rejected() {
         y.at(idx()).assign(1.0f32);
     }
     let y = Array::<f32, 1>::new([100]);
-    let err = eval(touch).global(&[100]).local(&[33]).run((&y,)).unwrap_err();
+    let err = eval(touch)
+        .global(&[100])
+        .local(&[33])
+        .run((&y,))
+        .unwrap_err();
     assert!(
         matches!(&err, hpl::Error::Backend(oclsim::Error::InvalidLaunch(_))),
         "{err}"
@@ -41,8 +45,15 @@ fn work_group_too_large_rejected() {
     }
     let y = Array::<f32, 1>::new([4096]);
     // Tesla's maximum work-group is 1024
-    let err = eval(touch).global(&[4096]).local(&[2048]).run((&y,)).unwrap_err();
-    assert!(matches!(&err, hpl::Error::Backend(oclsim::Error::InvalidLaunch(_))), "{err}");
+    let err = eval(touch)
+        .global(&[4096])
+        .local(&[2048])
+        .run((&y,))
+        .unwrap_err();
+    assert!(
+        matches!(&err, hpl::Error::Backend(oclsim::Error::InvalidLaunch(_))),
+        "{err}"
+    );
 }
 
 #[test]
@@ -53,7 +64,10 @@ fn out_of_bounds_kernel_access_trapped() {
     let y = Array::<f32, 1>::new([16]);
     let n = Int::new(1000);
     let err = eval(oob).run((&y, &n)).unwrap_err();
-    assert!(matches!(&err, hpl::Error::Backend(oclsim::Error::MemoryFault { .. })), "{err}");
+    assert!(
+        matches!(&err, hpl::Error::Backend(oclsim::Error::MemoryFault { .. })),
+        "{err}"
+    );
 }
 
 #[test]
@@ -64,7 +78,10 @@ fn integer_division_by_zero_trapped() {
     let y = Array::<i32, 1>::new([4]);
     let d = Int::new(0);
     let err = eval(div).run((&y, &d)).unwrap_err();
-    assert!(matches!(&err, hpl::Error::Backend(oclsim::Error::ArithmeticFault(_))), "{err}");
+    assert!(
+        matches!(&err, hpl::Error::Backend(oclsim::Error::ArithmeticFault(_))),
+        "{err}"
+    );
     // and the same kernel works with a sane divisor (cached binary reused)
     d.set(4);
     eval(div).run((&y, &d)).unwrap();
@@ -82,7 +99,10 @@ fn divergent_barrier_trapped() {
     let y = Array::<f32, 1>::new([64]);
     let err = eval(bad).global(&[64]).local(&[8]).run((&y,)).unwrap_err();
     assert!(
-        matches!(&err, hpl::Error::Backend(oclsim::Error::BarrierDivergence(_))),
+        matches!(
+            &err,
+            hpl::Error::Backend(oclsim::Error::BarrierDivergence(_))
+        ),
         "{err}"
     );
 }
@@ -141,5 +161,8 @@ fn quadro_memory_capacity_enforced() {
     let quadro = hpl::runtime().device_named("quadro").unwrap();
     let huge = Array::<f32, 1>::new([100 * 1024 * 1024]);
     let err = eval(touch).device(&quadro).run((&huge,)).unwrap_err();
-    assert!(matches!(&err, hpl::Error::Backend(oclsim::Error::OutOfResources(_))), "{err}");
+    assert!(
+        matches!(&err, hpl::Error::Backend(oclsim::Error::OutOfResources(_))),
+        "{err}"
+    );
 }

@@ -43,7 +43,11 @@ fn figure4_dot_product() {
     let v2 = Array::<f32, 1>::from_vec([N], (0..N).map(|i| (i % 4) as f32).collect());
     let p_sums = Array::<f32, 1>::new([N_GROUP]);
 
-    eval(dotp).global(&[N]).local(&[M]).run((&v1, &v2, &p_sums)).unwrap();
+    eval(dotp)
+        .global(&[N])
+        .local(&[M])
+        .run((&v1, &v2, &p_sums))
+        .unwrap();
 
     let mut result = 0.0f32;
     for i in 0..N_GROUP {
@@ -56,7 +60,11 @@ fn figure4_dot_product() {
 #[test]
 fn figure5_spmv_matches_serial_loop() {
     // the paper's Figure 5(a) serial loop is the reference for Figure 5(b)
-    let cfg = benchsuite::spmv::SpmvConfig { n: 64, density: 0.1, seed: 3 };
+    let cfg = benchsuite::spmv::SpmvConfig {
+        n: 64,
+        density: 0.1,
+        seed: 3,
+    };
     let problem = benchsuite::spmv::generate(&cfg);
     let expect = benchsuite::spmv::serial(&problem);
 

@@ -57,10 +57,7 @@ impl TinyExpr {
 use hpl::IntoExpr;
 
 fn tiny_expr() -> impl Strategy<Value = TinyExpr> {
-    let leaf = prop_oneof![
-        Just(TinyExpr::Input),
-        any::<i8>().prop_map(TinyExpr::Lit),
-    ];
+    let leaf = prop_oneof![Just(TinyExpr::Input), any::<i8>().prop_map(TinyExpr::Lit),];
     leaf.prop_recursive(4, 24, 3, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone())
@@ -69,13 +66,9 @@ fn tiny_expr() -> impl Strategy<Value = TinyExpr> {
                 .prop_map(|(a, b)| TinyExpr::Sub(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| TinyExpr::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner.clone(), inner)
-                .prop_map(|(l, r, t, f)| TinyExpr::Select(
-                    Box::new(l),
-                    Box::new(r),
-                    Box::new(t),
-                    Box::new(f)
-                )),
+            (inner.clone(), inner.clone(), inner.clone(), inner).prop_map(|(l, r, t, f)| {
+                TinyExpr::Select(Box::new(l), Box::new(r), Box::new(t), Box::new(f))
+            }),
         ]
     })
 }

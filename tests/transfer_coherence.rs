@@ -22,7 +22,10 @@ fn repeated_evals_do_not_retransfer() {
     assert!(p1.transfer_modeled_seconds > 0.0, "first eval uploads");
     for _ in 0..5 {
         let p = eval(scale).device(&device).run((&y, &a)).unwrap();
-        assert_eq!(p.transfer_modeled_seconds, 0.0, "resident data must not re-upload");
+        assert_eq!(
+            p.transfer_modeled_seconds, 0.0,
+            "resident data must not re-upload"
+        );
     }
     assert_eq!(y.get(0), 64.0, "2^6 scalings applied");
 }
@@ -40,7 +43,10 @@ fn host_write_invalidates_device_copy() {
     assert!(!y.device_copy_valid(&device));
 
     let p = eval(scale).device(&device).run((&y, &a)).unwrap();
-    assert!(p.transfer_modeled_seconds > 0.0, "stale device copy must re-upload");
+    assert!(
+        p.transfer_modeled_seconds > 0.0,
+        "stale device copy must re-upload"
+    );
     assert_eq!(y.get(5), 300.0);
     assert_eq!(y.get(6), 9.0);
 }
@@ -52,8 +58,14 @@ fn read_only_input_stays_host_valid() {
     let device = hpl::runtime().default_device();
 
     eval(fill_from).device(&device).run((&dst, &src)).unwrap();
-    assert!(src.host_copy_valid(), "kernel only read src: host copy still valid");
-    assert!(!dst.host_copy_valid(), "kernel wrote dst: host copy stale until synced");
+    assert!(
+        src.host_copy_valid(),
+        "kernel only read src: host copy still valid"
+    );
+    assert!(
+        !dst.host_copy_valid(),
+        "kernel wrote dst: host copy stale until synced"
+    );
     assert_eq!(dst.get(0), 7.0);
     assert!(dst.host_copy_valid(), "get() synchronised the host copy");
 }
@@ -91,7 +103,10 @@ fn data_migrates_between_devices_through_host() {
     // running on the other device must see the Tesla's result
     eval(bump).device(&quadro).run((&y,)).unwrap();
     assert!(y.device_copy_valid(&quadro));
-    assert!(!y.device_copy_valid(&tesla), "quadro's write invalidates the tesla copy");
+    assert!(
+        !y.device_copy_valid(&tesla),
+        "quadro's write invalidates the tesla copy"
+    );
     assert_eq!(y.get(0), 2.0, "both increments visible");
 }
 
@@ -118,6 +133,79 @@ fn scalar_arguments_reread_each_eval() {
     a.set(5.0);
     eval(scale).run((&y, &a)).unwrap();
     assert_eq!(y.get(0), 10.0, "1 * 2 * 5");
+}
+
+#[test]
+fn async_eval_keeps_coherence_flags_honest() {
+    let y = Array::<f64, 1>::from_vec([256], vec![1.0; 256]);
+    let a = Double::new(2.0);
+    let device = hpl::runtime().default_device();
+
+    let h = eval(scale).device(&device).run_async((&y, &a)).unwrap();
+    // flags flip at enqueue time: the device copy is the authoritative one
+    // even while the command may still be in flight
+    assert!(y.device_copy_valid(&device));
+    assert!(!y.host_copy_valid());
+    h.wait().unwrap();
+    assert_eq!(y.get(0), 2.0, "get() settles and syncs");
+    assert!(y.host_copy_valid());
+}
+
+#[test]
+fn sync_access_settles_pending_async_writers() {
+    let y = Array::<f64, 1>::from_vec([128], vec![1.0; 128]);
+    let a = Double::new(3.0);
+    let device = hpl::runtime().default_device();
+
+    // never wait on the handles: the host read below must do it
+    let _h1 = eval(scale).device(&device).run_async((&y, &a)).unwrap();
+    let _h2 = eval(scale).device(&device).run_async((&y, &a)).unwrap();
+    assert_eq!(
+        y.get(0),
+        9.0,
+        "both async scalings visible to the host read"
+    );
+}
+
+#[test]
+fn mixed_async_and_sync_evals_stay_coherent() {
+    let y = Array::<f64, 1>::from_vec([64], vec![1.0; 64]);
+    let a = Double::new(2.0);
+    let device = hpl::runtime().default_device();
+
+    let h = eval(scale).device(&device).run_async((&y, &a)).unwrap();
+    // the blocking eval must order itself after the pending async write
+    eval(scale).device(&device).run((&y, &a)).unwrap();
+    h.wait().unwrap();
+    // host write invalidates; the next async run re-uploads before launch
+    y.set(0, 100.0);
+    assert!(!y.device_copy_valid(&device));
+    let h2 = eval(scale).device(&device).run_async((&y, &a)).unwrap();
+    h2.wait().unwrap();
+    assert_eq!(y.get(0), 200.0);
+    assert_eq!(y.get(1), 8.0, "1 * 2 * 2 * 2");
+}
+
+#[test]
+fn async_chain_reuses_resident_data() {
+    let y = Array::<f64, 1>::from_vec([512], vec![1.0; 512]);
+    let a = Double::new(2.0);
+    let device = hpl::runtime().default_device();
+
+    let h1 = eval(scale).device(&device).run_async((&y, &a)).unwrap();
+    assert!(
+        h1.wait().unwrap().transfer_modeled_seconds > 0.0,
+        "first eval uploads"
+    );
+    for _ in 0..3 {
+        let h = eval(scale).device(&device).run_async((&y, &a)).unwrap();
+        let p = h.wait().unwrap();
+        assert_eq!(
+            p.transfer_modeled_seconds, 0.0,
+            "resident data must not re-upload"
+        );
+    }
+    assert_eq!(y.get(0), 16.0, "2^4 scalings applied");
 }
 
 #[test]
