@@ -23,4 +23,10 @@ OCLSIM_THREADS=1 cargo test --workspace -q
 echo "== cargo test (OCLSIM_THREADS=4)"
 OCLSIM_THREADS=4 cargo test --workspace -q
 
+echo "== kernel sanitizer over the benchmark corpus (Deny gate)"
+# lints every handwritten and HPL-generated benchmark kernel; exits
+# nonzero if any kernel has a finding, so a regression that introduces a
+# racy/divergent/out-of-bounds generated kernel fails the build
+cargo run --release -p bench --bin report -- lint
+
 echo "ci.sh: all green"

@@ -2,11 +2,13 @@
 //!
 //! Usage: `cargo run -p bench --release --bin report [-- EXPERIMENT]`
 //! where EXPERIMENT is one of `table1`, `fig6`, `fig7`, `fig8`, `fig9`,
-//! `caching`, `ablation`, `overlap`, or `all` (default). Measured values
-//! are printed next to the paper's published numbers; EXPERIMENTS.md
-//! records the comparison.
+//! `caching`, `ablation`, `overlap`, `lint`, or `all` (default). Measured
+//! values are printed next to the paper's published numbers; EXPERIMENTS.md
+//! records the comparison. `lint` runs the kernel sanitizer over every
+//! benchmark's handwritten and HPL-generated OpenCL C and exits nonzero
+//! unless every kernel is clean.
 
-use bench::{ablation, caching, fig6, fig7, fig8, fig9, overlap, table1, tesla};
+use bench::{ablation, caching, fig6, fig7, fig8, fig9, lint, overlap, table1, tesla};
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
@@ -19,6 +21,7 @@ fn main() {
         "caching" => run_caching(),
         "ablation" => run_ablation(),
         "overlap" => run_overlap(),
+        "lint" => run_lint(),
         "all" => {
             run_table1()
                 & run_fig6()
@@ -28,10 +31,11 @@ fn main() {
                 & run_caching()
                 & run_ablation()
                 & run_overlap()
+                & run_lint()
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; use table1|fig6|fig7|fig8|fig9|caching|ablation|overlap|all"
+                "unknown experiment `{other}`; use table1|fig6|fig7|fig8|fig9|caching|ablation|overlap|lint|all"
             );
             std::process::exit(2);
         }
@@ -254,6 +258,44 @@ fn run_ablation() -> bool {
         }
     }
     ok
+}
+
+fn run_lint() -> bool {
+    banner("Kernel sanitizer — benchmark corpus (handwritten + HPL-generated OpenCL C)");
+    let device = tesla();
+    match lint::compute(&device) {
+        Ok(rows) => {
+            println!(
+                "{:<12} {:<12} {:<28} {:>9} {:>7} {:>8}",
+                "benchmark", "variant", "kernel", "warnings", "errors", "verdict"
+            );
+            let mut ok = true;
+            for r in &rows {
+                println!(
+                    "{:<12} {:<12} {:<28} {:>9} {:>7} {:>8}",
+                    r.benchmark,
+                    r.variant,
+                    r.kernel,
+                    r.warnings,
+                    r.errors,
+                    if r.clean() { "clean" } else { "DIRTY" }
+                );
+                for m in &r.messages {
+                    println!("    {m}");
+                }
+                ok &= r.clean();
+            }
+            if rows.is_empty() {
+                eprintln!("lint produced no rows — corpus not found?");
+                return false;
+            }
+            ok
+        }
+        Err(e) => {
+            eprintln!("lint failed: {e}");
+            false
+        }
+    }
 }
 
 fn run_overlap() -> bool {

@@ -582,6 +582,119 @@ pub mod overlap {
     }
 }
 
+/// Kernel-sanitizer sweep over the whole benchmark corpus: the handwritten
+/// OpenCL C of every benchmark plus the OpenCL C that HPL generates for
+/// its version, statically analyzed for barrier divergence, data races and
+/// out-of-bounds accesses. The `report -- lint` subcommand prints a
+/// per-kernel verdict table from these rows; `ci.sh` fails the build if
+/// any kernel is not clean (Deny-mode gate).
+pub mod lint {
+    use oclsim::clc::analysis::analyze_source;
+    use oclsim::{Device, Severity};
+
+    /// The sanitizer's verdict for one kernel of one source.
+    #[derive(Debug)]
+    pub struct KernelVerdict {
+        /// Benchmark name (paper naming).
+        pub benchmark: &'static str,
+        /// `"handwritten"` (kernels/*.cl) or `"generated"` (HPL codegen).
+        pub variant: &'static str,
+        /// Kernel function name inside the source.
+        pub kernel: String,
+        /// Number of warning-severity findings.
+        pub warnings: usize,
+        /// Number of error-severity findings.
+        pub errors: usize,
+        /// Rendered diagnostics, in source order.
+        pub messages: Vec<String>,
+    }
+
+    impl KernelVerdict {
+        /// True when the sanitizer found nothing at all.
+        pub fn clean(&self) -> bool {
+            self.warnings == 0 && self.errors == 0
+        }
+    }
+
+    fn lint_source(
+        benchmark: &'static str,
+        variant: &'static str,
+        source: &str,
+        rows: &mut Vec<KernelVerdict>,
+    ) -> Result<(), String> {
+        let analysis = analyze_source(source)
+            .map_err(|e| format!("{benchmark} ({variant}) failed to compile: {e}"))?;
+        let mut names: Vec<&String> = analysis.kernels.keys().collect();
+        names.sort();
+        for name in names {
+            let diags: Vec<_> = analysis
+                .diagnostics
+                .iter()
+                .filter(|d| &d.kernel == name)
+                .collect();
+            rows.push(KernelVerdict {
+                benchmark,
+                variant,
+                kernel: name.clone(),
+                warnings: diags
+                    .iter()
+                    .filter(|d| d.severity == Severity::Warning)
+                    .count(),
+                errors: diags
+                    .iter()
+                    .filter(|d| d.severity == Severity::Error)
+                    .count(),
+                messages: diags.iter().map(|d| d.to_string()).collect(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Lint both versions of all five paper benchmarks. `device` is only
+    /// used to capture the HPL-generated sources (tiny instances).
+    pub fn compute(device: &Device) -> Result<Vec<KernelVerdict>, String> {
+        use benchsuite::{ep, floyd, reduction, spmv, transpose};
+        let gen = |r: Result<String, hpl::Error>| r.map_err(|e| e.to_string());
+        let mut rows = Vec::new();
+        lint_source("EP", "handwritten", ep::opencl_version::SOURCE, &mut rows)?;
+        let src = gen(ep::hpl_version::generated_source(device))?;
+        lint_source("EP", "generated", &src, &mut rows)?;
+        lint_source(
+            "Floyd",
+            "handwritten",
+            floyd::opencl_version::SOURCE,
+            &mut rows,
+        )?;
+        let src = gen(floyd::hpl_version::generated_source(device))?;
+        lint_source("Floyd", "generated", &src, &mut rows)?;
+        lint_source(
+            "reduction",
+            "handwritten",
+            reduction::opencl_version::SOURCE,
+            &mut rows,
+        )?;
+        let src = gen(reduction::hpl_version::generated_source(device))?;
+        lint_source("reduction", "generated", &src, &mut rows)?;
+        lint_source(
+            "spmv",
+            "handwritten",
+            spmv::opencl_version::SOURCE,
+            &mut rows,
+        )?;
+        let src = gen(spmv::hpl_version::generated_source(device))?;
+        lint_source("spmv", "generated", &src, &mut rows)?;
+        lint_source(
+            "transpose",
+            "handwritten",
+            transpose::opencl_version::SOURCE,
+            &mut rows,
+        )?;
+        let src = gen(transpose::hpl_version::generated_source(device))?;
+        lint_source("transpose", "generated", &src, &mut rows)?;
+        Ok(rows)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -612,5 +725,24 @@ mod tests {
     fn devices_resolvable() {
         assert!(tesla().supports_fp64());
         assert!(!quadro().supports_fp64());
+    }
+
+    #[test]
+    fn benchmark_corpus_lints_clean() {
+        let rows = lint::compute(&tesla()).unwrap();
+        assert!(
+            rows.len() >= 10,
+            "5 benchmarks x 2 variants, at least one kernel each: {rows:?}"
+        );
+        for r in &rows {
+            assert!(
+                r.clean(),
+                "{} ({}) kernel `{}` is not clean: {:?}",
+                r.benchmark,
+                r.variant,
+                r.kernel,
+                r.messages
+            );
+        }
     }
 }

@@ -97,6 +97,23 @@ pub fn launch(cfg: &EpConfig, device: &Device) -> Result<(EpResult, EvalProfile)
     Ok((result, profile))
 }
 
+/// The OpenCL C that HPL generates for the EP kernel (captured from a
+/// tiny instance; the source does not depend on the problem size). Used by
+/// `report -- lint` to run the kernel sanitizer over generated code.
+pub fn generated_source(device: &Device) -> Result<String, hpl::Error> {
+    let seeds = Array::<u64, 1>::from_vec([1], vec![super::EP_SEED]);
+    let sx = Array::<f64, 1>::new([1]);
+    let sy = Array::<f64, 1>::new([1]);
+    let q = Array::<i32, 1>::new([10]);
+    let ppt = Int::new(1);
+    let p = eval(ep_kernel)
+        .device(device)
+        .global(&[1])
+        .local(&[1])
+        .run((&seeds, &sx, &sy, &q, &ppt))?;
+    Ok((*p.source).clone())
+}
+
 /// Run EP with HPL the way the paper measures it: from a cold kernel cache
 /// (first invocation pays capture, code generation and compilation).
 pub fn run(cfg: &EpConfig, device: &Device) -> Result<(EpResult, RunMetrics), hpl::Error> {

@@ -21,6 +21,21 @@ pub(super) fn floyd_kernel(dist: &Array<u32, 2>, k: &Int) {
     dist.at((y.v(), x.v())).assign(math::min(direct, through));
 }
 
+/// The OpenCL C that HPL generates for the Floyd–Warshall pass (captured
+/// from a tiny instance; the source does not depend on the problem size).
+/// Used by `report -- lint` to run the kernel sanitizer over generated
+/// code.
+pub fn generated_source(device: &Device) -> Result<String, hpl::Error> {
+    let dist = Array::<u32, 2>::from_vec([4, 4], vec![0; 16]);
+    let k = Int::new(0);
+    let p = eval(floyd_kernel)
+        .device(device)
+        .global(&[4, 4])
+        .local(&[2, 2])
+        .run((&dist, &k))?;
+    Ok((*p.source).clone())
+}
+
 /// Run Floyd–Warshall with HPL on `device` (cold kernel cache, as the
 /// paper measures).
 pub fn run(

@@ -34,6 +34,20 @@ pub(super) fn reduction_kernel(input: &Array<f32, 1>, partials: &Array<f32, 1>) 
     });
 }
 
+/// The OpenCL C that HPL generates for the reduction kernel (captured from
+/// a tiny instance; the source does not depend on the problem size). Used
+/// by `report -- lint` to run the kernel sanitizer over generated code.
+pub fn generated_source(device: &Device) -> Result<String, hpl::Error> {
+    let input = Array::<f32, 1>::from_vec([CHUNK], vec![0.0; CHUNK]);
+    let partials = Array::<f32, 1>::new([1]);
+    let p = eval(reduction_kernel)
+        .device(device)
+        .global(&[CHUNK / PER_THREAD])
+        .local(&[GROUP])
+        .run((&input, &partials))?;
+    Ok((*p.source).clone())
+}
+
 /// Run the reduction with HPL on `device` (cold kernel cache).
 pub fn run(
     cfg: &ReductionConfig,

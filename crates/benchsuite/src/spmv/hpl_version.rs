@@ -53,6 +53,25 @@ pub(super) fn spmv_kernel(
     });
 }
 
+/// The OpenCL C that HPL generates for the spmv kernel (captured from a
+/// tiny 2-row identity-like CSR problem; the source does not depend on the
+/// problem). Used by `report -- lint` to run the kernel sanitizer over
+/// generated code.
+pub fn generated_source(device: &Device) -> Result<String, hpl::Error> {
+    let n = 2;
+    let a = Array::<f32, 1>::from_vec([2], vec![1.0, 1.0]);
+    let vec = Array::<f32, 1>::from_vec([n], vec![1.0; 2]);
+    let cols = Array::<i32, 1>::from_vec([2], vec![0, 1]);
+    let rowptr = Array::<i32, 1>::from_vec([n + 1], vec![0, 1, 2]);
+    let out = Array::<f32, 1>::new([n]);
+    let p = eval(spmv_kernel)
+        .device(device)
+        .global(&[n * M])
+        .local(&[M])
+        .run((&a, &vec, &cols, &rowptr, &out))?;
+    Ok((*p.source).clone())
+}
+
 /// Run spmv with HPL on `device` (cold kernel cache).
 pub fn run(
     cfg: &SpmvConfig,

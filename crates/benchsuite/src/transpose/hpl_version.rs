@@ -25,6 +25,20 @@ pub(super) fn transpose_kernel(dst: &Array<f32, 2>, src: &Array<f32, 2>) {
     dst.at((oy.v(), ox.v())).assign(tile.at((lx.v(), ly.v())));
 }
 
+/// The OpenCL C that HPL generates for the tiled transpose (captured from
+/// a tiny instance; the source does not depend on the problem size). Used
+/// by `report -- lint` to run the kernel sanitizer over generated code.
+pub fn generated_source(device: &Device) -> Result<String, hpl::Error> {
+    let src = Array::<f32, 2>::from_vec([BLOCK, BLOCK], vec![0.0; BLOCK * BLOCK]);
+    let dst = Array::<f32, 2>::new([BLOCK, BLOCK]);
+    let p = eval(transpose_kernel)
+        .device(device)
+        .global(&[BLOCK, BLOCK])
+        .local(&[BLOCK, BLOCK])
+        .run((&dst, &src))?;
+    Ok((*p.source).clone())
+}
+
 /// Run the tiled transpose with HPL on `device` (cold kernel cache).
 pub fn run(
     cfg: &TransposeConfig,

@@ -425,9 +425,11 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
             }
         };
         if st.copies[pos].valid || !needs_data {
-            let buf = st.copies[pos].buffer.clone();
-            st.copies[pos].valid = st.copies[pos].valid || !needs_data;
-            return Ok((buf, 0.0));
+            // a copy the kernel merely writes is NOT marked valid here:
+            // another argument slot may alias the same array and still
+            // need the host data uploaded. Validity is established after
+            // the launch by `mark_device_written`, as on the async path.
+            return Ok((st.copies[pos].buffer.clone(), 0.0));
         }
         // host is valid here (ensured above)
         let buffer = st.copies[pos].buffer.clone();
@@ -469,16 +471,16 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
         writes: bool,
     ) -> Result<(Buffer, Vec<Event>, f64)> {
         let mut st = self.host_state().lock();
-        // drop resolved events: completed ones impose no ordering, and a
-        // failed reader never poisons anything
+        // drop resolved readers: completed ones impose no ordering, and a
+        // failed reader never poisons anything. The last writer stays even
+        // after it completes: a consumer's *execution* no longer needs the
+        // ordering, but its modeled start must still come after the
+        // producer's modeled end, and the dispatcher derives that from the
+        // wait list — dropping the event here would let the timeline
+        // overlap them whenever the writer happens to finish (in wall
+        // time) before the consumer enqueues.
         st.readers
             .retain(|ev| !matches!(ev.status(), EventStatus::Complete | EventStatus::Error));
-        if matches!(
-            st.last_write.as_ref().map(Event::status),
-            Some(EventStatus::Complete)
-        ) {
-            st.last_write = None;
-        }
         if reads && !st.host_valid && !st.copies.iter().any(|c| c.valid && &c.device == device) {
             self.sync_host(&mut st)?;
         }

@@ -87,11 +87,35 @@ struct CacheEntry {
     programs: Mutex<HashMap<u64, Arc<BuiltProgram>>>,
 }
 
-static CACHE: OnceLock<Mutex<HashMap<TypeId, Arc<CacheEntry>>>> = OnceLock::new();
-static KERNEL_COUNTER: AtomicU64 = AtomicU64::new(0);
+/// Cache key for a captured kernel: the kernel function's type plus the
+/// aliasing pattern of its arguments. The pattern matters because capture
+/// resolves array references through handle identity — if the same
+/// [`Array`] is passed for two parameters, every access in the recorded IR
+/// collapses onto the last parameter, and that recording is only valid for
+/// launches with the same aliasing. Keying on the pattern keeps an aliased
+/// first invocation from poisoning later distinct-argument calls (and vice
+/// versa).
+type CacheKey = (TypeId, u64);
 
-fn cache() -> &'static Mutex<HashMap<TypeId, Arc<CacheEntry>>> {
+static CACHE: OnceLock<Mutex<HashMap<CacheKey, Arc<CacheEntry>>>> = OnceLock::new();
+static KERNEL_COUNTER: AtomicU64 = AtomicU64::new(0);
+static KERNEL_LINTS: OnceLock<Mutex<Vec<oclsim::Diagnostic>>> = OnceLock::new();
+
+fn cache() -> &'static Mutex<HashMap<CacheKey, Arc<CacheEntry>>> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn kernel_lints() -> &'static Mutex<Vec<oclsim::Diagnostic>> {
+    KERNEL_LINTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Drain the kernel-sanitizer findings accumulated while building HPL
+/// kernels (each [`eval`] run lints its generated OpenCL C as part of the
+/// backend build). HPL-generated code is expected to lint clean; anything
+/// returned here points at a codegen bug or a genuinely racy kernel
+/// function.
+pub fn take_kernel_lints() -> Vec<oclsim::Diagnostic> {
+    std::mem::take(&mut *kernel_lints().lock())
 }
 
 /// Drop every cached kernel (test/bench hook: lets harnesses measure
@@ -162,6 +186,9 @@ pub trait KernelArg {
     fn post_async(&self, kernel: &oclsim::Kernel, index: usize, device: &Device, event: &Event);
     /// The dimensions, for arrays (used for the default global domain).
     fn dims_vec(&self) -> Option<Vec<usize>>;
+    /// Identity of the underlying handle, for alias detection across the
+    /// argument tuple (see [`ArgTuple::alias_pattern`]).
+    fn handle(&self) -> u64;
 }
 
 impl<T: HplScalar, const N: usize> KernelArg for Array<T, N> {
@@ -222,6 +249,10 @@ impl<T: HplScalar, const N: usize> KernelArg for Array<T, N> {
     fn dims_vec(&self) -> Option<Vec<usize>> {
         Some(self.dims().to_vec())
     }
+
+    fn handle(&self) -> u64 {
+        self.handle_id()
+    }
 }
 
 impl<T: HplScalar> KernelArg for Scalar<T> {
@@ -269,6 +300,10 @@ impl<T: HplScalar> KernelArg for Scalar<T> {
     fn dims_vec(&self) -> Option<Vec<usize>> {
         None
     }
+
+    fn handle(&self) -> u64 {
+        self.handle_id()
+    }
 }
 
 /// A tuple of references to kernel arguments.
@@ -295,6 +330,11 @@ pub trait ArgTuple {
     fn first_dims(&self) -> Option<Vec<usize>>;
     /// Number of primary (non-dimension) arguments.
     fn arity(&self) -> usize;
+    /// Canonical encoding of which arguments alias each other: for each
+    /// argument, the index of the first argument sharing its handle,
+    /// packed 4 bits per argument. Distinct tuples `(x, y)` and `(p, q)`
+    /// produce the same pattern; `(x, x)` produces a different one.
+    fn alias_pattern(&self) -> u64;
 }
 
 /// A kernel function callable with argument tuple `A`.
@@ -362,6 +402,15 @@ macro_rules! impl_arg_tuples {
                 let mut n = 0usize;
                 $( n += 1; let _ = self.$i; )+
                 n
+            }
+            fn alias_pattern(&self) -> u64 {
+                let handles = [ $(self.$i.handle()),+ ];
+                let mut pattern = 0u64;
+                for (i, h) in handles.iter().enumerate() {
+                    let first = handles[..i].iter().position(|p| p == h).unwrap_or(i);
+                    pattern = (pattern << 4) | first as u64;
+                }
+                pattern
             }
         }
 
@@ -562,8 +611,9 @@ impl<F: Copy + 'static> Eval<F> {
     where
         F: KernelFun<A>,
     {
-        // 1. kernel capture + codegen (cached per kernel function)
-        let key = TypeId::of::<F>();
+        // 1. kernel capture + codegen (cached per kernel function and
+        //    argument aliasing pattern — see `CacheKey`)
+        let key = (TypeId::of::<F>(), args.alias_pattern());
         let cached = cache().lock().get(&key).cloned();
         let (entry, cache_hit) = match cached {
             Some(e) => (e, true),
@@ -611,6 +661,10 @@ impl<F: Copy + 'static> Eval<F> {
                     ))
                 })?;
                 let build_seconds = program.build_duration().as_secs_f64();
+                let lints = program.diagnostics();
+                if !lints.is_empty() {
+                    kernel_lints().lock().extend(lints);
+                }
                 let b = Arc::new(BuiltProgram { program });
                 entry.programs.lock().insert(device.id(), Arc::clone(&b));
                 (b, build_seconds)
@@ -847,6 +901,57 @@ mod tests {
         assert_eq!(y.get(7), 6.0);
         assert_eq!(h.status(), oclsim::EventStatus::Complete);
         h.wait().unwrap();
+    }
+
+    #[test]
+    fn written_params_reflect_capture_aliasing() {
+        fn add_into(dst: &Array<f64, 1>, src: &Array<f64, 1>) {
+            dst.at(idx()).assign(dst.at(idx()) + src.at(idx()));
+        }
+        // aliased: handle → param is last-insert-wins, so every access
+        // lands on param 1 and param 0 is recorded as untouched
+        let a = Array::<f64, 1>::new([8]);
+        let args = (&a, &a);
+        let recorded = capture("alias_probe".into(), || {
+            args.register_all();
+            add_into(args.0, args.1);
+        });
+        assert_eq!(recorded.written_params(), vec![false, true]);
+        // distinct arrays: the write is attributed where it belongs
+        let b = Array::<f64, 1>::new([8]);
+        let args = (&a, &b);
+        let recorded = capture("noalias_probe".into(), || {
+            args.register_all();
+            add_into(args.0, args.1);
+        });
+        assert_eq!(recorded.written_params(), vec![true, false]);
+    }
+
+    #[test]
+    fn aliased_arguments_do_not_poison_the_kernel_cache() {
+        fn add_into(dst: &Array<f64, 1>, src: &Array<f64, 1>) {
+            dst.at(idx()).assign(dst.at(idx()) + src.at(idx()));
+        }
+        // first invocation aliases both parameters onto one array; the
+        // recording collapses onto the last parameter but both argument
+        // slots bind the same buffer, so the result is still right
+        let a = Array::<f64, 1>::from_vec([64], vec![3.0; 64]);
+        eval(add_into).run((&a, &a)).unwrap();
+        assert_eq!(a.get(5), 6.0, "aliased call doubles in place");
+        // the same function with distinct arrays must NOT reuse that
+        // recording (it only references one of the two parameters)
+        let p = Array::<f64, 1>::from_vec([64], vec![10.0; 64]);
+        let q = Array::<f64, 1>::from_vec([64], vec![4.0; 64]);
+        let prof = eval(add_into).run((&p, &q)).unwrap();
+        assert!(
+            !prof.cache_hit,
+            "aliasing pattern must be part of the cache key"
+        );
+        assert_eq!(p.get(9), 14.0, "dst += src with distinct arrays");
+        assert_eq!(q.get(9), 4.0, "source operand must be untouched");
+        // and re-running either pattern now hits its own entry
+        assert!(eval(add_into).run((&p, &q)).unwrap().cache_hit);
+        assert!(eval(add_into).run((&a, &a)).unwrap().cache_hit);
     }
 
     #[test]

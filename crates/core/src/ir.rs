@@ -384,6 +384,39 @@ mod tests {
     }
 
     #[test]
+    fn written_params_when_capture_aliases_parameters() {
+        // When the same Array is registered for two parameters, capture
+        // resolves handle → param with last-insert-wins, so a kernel
+        // written as `dst[i] = dst[i] + src[i]` records every access on
+        // param 1 and leaves param 0 orphaned. written_params is a
+        // syntactic analysis over that recording: it must report the write
+        // on param 1 only. (This is why eval keys its kernel cache on the
+        // argument aliasing pattern, not just the function type.)
+        let idx = Arc::new(Node::Predef(Predef::GlobalId(0)));
+        let elem = Arc::new(Node::ParamElem {
+            param: 1,
+            idxs: vec![idx],
+        });
+        let arr = ParamRecord {
+            kind: ParamKind::Array {
+                cty: CType::F64,
+                ndim: 1,
+                mem: MemFlag::Global,
+            },
+        };
+        let k = RecordedKernel {
+            name: "aliased".into(),
+            params: vec![arr.clone(), arr],
+            body: vec![HStmt::CompoundAssign {
+                lhs: elem.clone(),
+                op: HBinOp::Add,
+                rhs: elem,
+            }],
+        };
+        assert_eq!(k.written_params(), vec![false, true]);
+    }
+
+    #[test]
     fn ctype_names() {
         assert_eq!(CType::F64.cl_name(), "double");
         assert_eq!(CType::U32.cl_name(), "uint");

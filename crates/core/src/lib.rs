@@ -67,7 +67,8 @@ pub mod scalar;
 pub use array::{Array, HostDataMut, HostIndex, KernelIndex};
 pub use error::{Error, Result};
 pub use eval::{
-    clear_kernel_cache, eval, kernel_cache_len, AsyncEval, Eval, EvalProfile, KernelArg,
+    clear_kernel_cache, eval, kernel_cache_len, take_kernel_lints, AsyncEval, Eval, EvalProfile,
+    KernelArg,
 };
 pub use expr::{Expr, IntoExpr};
 pub use ir::MemFlag;

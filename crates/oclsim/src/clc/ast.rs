@@ -1,6 +1,39 @@
 //! Abstract syntax tree for the OpenCL C subset.
 
+use std::fmt;
+
 use crate::types::ScalarType;
+
+/// A source position: 1-based line and column. A column of 0 means "column
+/// unknown" (e.g. positions synthesised for generated code) and is omitted
+/// from the rendered form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    pub line: usize,
+    pub col: usize,
+}
+
+impl Span {
+    /// Construct a span from a 1-based line and column.
+    pub fn new(line: usize, col: usize) -> Span {
+        Span { line, col }
+    }
+
+    /// A span carrying only a line (column unknown).
+    pub fn line_only(line: usize) -> Span {
+        Span { line, col: 0 }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.col == 0 {
+            write!(f, "{}", self.line)
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
 
 /// OpenCL address spaces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -168,7 +201,7 @@ pub struct Declarator {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Stmt {
     pub kind: StmtKind,
-    pub line: usize,
+    pub span: Span,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -224,7 +257,7 @@ pub struct FuncDef {
     pub ret: ClType,
     pub params: Vec<Param>,
     pub body: Vec<Stmt>,
-    pub line: usize,
+    pub span: Span,
 }
 
 /// A whole translation unit.
@@ -249,5 +282,11 @@ mod tests {
     fn addr_space_names() {
         assert_eq!(AddrSpace::Global.cl_name(), "__global");
         assert_eq!(AddrSpace::Private.cl_name(), "__private");
+    }
+
+    #[test]
+    fn span_rendering() {
+        assert_eq!(Span::new(3, 7).to_string(), "3:7");
+        assert_eq!(Span::line_only(12).to_string(), "12");
     }
 }

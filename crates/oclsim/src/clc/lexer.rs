@@ -70,11 +70,12 @@ pub enum Tok {
     Eof,
 }
 
-/// A token together with its (1-based) source line.
+/// A token together with its (1-based) source line and column.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Spanned {
     pub tok: Tok,
     pub line: usize,
+    pub col: usize,
 }
 
 /// Tokenize `src`, which must already be preprocessed.
@@ -83,19 +84,27 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
     let mut toks = Vec::new();
     let mut i = 0usize;
     let mut line = 1usize;
+    // byte index of the start of the current line; `col` below is 1-based
+    let mut line_start = 0usize;
 
     macro_rules! push {
-        ($t:expr) => {
-            toks.push(Spanned { tok: $t, line })
+        ($t:expr, $col:expr) => {
+            toks.push(Spanned {
+                tok: $t,
+                line,
+                col: $col,
+            })
         };
     }
 
     while i < bytes.len() {
         let c = bytes[i] as char;
+        let col = i - line_start + 1;
         match c {
             '\n' => {
                 line += 1;
                 i += 1;
+                line_start = i;
             }
             ' ' | '\t' | '\r' => i += 1,
             _ if c.is_ascii_alphabetic() || c == '_' => {
@@ -105,20 +114,22 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
                 {
                     i += 1;
                 }
-                push!(Tok::Ident(src[start..i].to_string()));
+                push!(Tok::Ident(src[start..i].to_string()), col);
             }
             _ if c.is_ascii_digit()
                 || (c == '.' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit()) =>
             {
-                let (tok, len) = lex_number(&src[i..], line)?;
-                push!(tok);
+                let (tok, len) = lex_number(&src[i..], line, col)?;
+                push!(tok, col);
                 i += len;
             }
             _ => {
                 let (p, len) = lex_punct(&bytes[i..]).ok_or_else(|| {
-                    Error::BuildFailure(format!("lexer, line {line}: unexpected character `{c}`"))
+                    Error::BuildFailure(format!(
+                        "lexer, line {line}:{col}: unexpected character `{c}`"
+                    ))
                 })?;
-                push!(Tok::Punct(p));
+                push!(Tok::Punct(p), col);
                 i += len;
             }
         }
@@ -126,11 +137,12 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
     toks.push(Spanned {
         tok: Tok::Eof,
         line,
+        col: bytes.len() - line_start + 1,
     });
     Ok(toks)
 }
 
-fn lex_number(s: &str, line: usize) -> Result<(Tok, usize)> {
+fn lex_number(s: &str, line: usize, col: usize) -> Result<(Tok, usize)> {
     let bytes = s.as_bytes();
     // hexadecimal
     if s.len() >= 2 && (s.starts_with("0x") || s.starts_with("0X")) {
@@ -140,11 +152,11 @@ fn lex_number(s: &str, line: usize) -> Result<(Tok, usize)> {
         }
         if i == 2 {
             return Err(Error::BuildFailure(format!(
-                "lexer, line {line}: bad hex literal"
+                "lexer, line {line}:{col}: bad hex literal"
             )));
         }
         let value = u64::from_str_radix(&s[2..i], 16).map_err(|_| {
-            Error::BuildFailure(format!("lexer, line {line}: hex literal overflows"))
+            Error::BuildFailure(format!("lexer, line {line}:{col}: hex literal overflows"))
         })?;
         let (unsigned, long, slen) = int_suffix(&bytes[i..]);
         return Ok((
@@ -183,9 +195,9 @@ fn lex_number(s: &str, line: usize) -> Result<(Tok, usize)> {
         }
     }
     if is_float {
-        let value: f64 = s[..i]
-            .parse()
-            .map_err(|_| Error::BuildFailure(format!("lexer, line {line}: bad float literal")))?;
+        let value: f64 = s[..i].parse().map_err(|_| {
+            Error::BuildFailure(format!("lexer, line {line}:{col}: bad float literal"))
+        })?;
         let f32suffix = i < bytes.len() && (bytes[i] == b'f' || bytes[i] == b'F');
         let len = i + if f32suffix { 1 } else { 0 };
         Ok((
@@ -197,7 +209,7 @@ fn lex_number(s: &str, line: usize) -> Result<(Tok, usize)> {
         ))
     } else {
         let value: u64 = s[..i].parse().map_err(|_| {
-            Error::BuildFailure(format!("lexer, line {line}: int literal overflows"))
+            Error::BuildFailure(format!("lexer, line {line}:{col}: int literal overflows"))
         })?;
         let (unsigned, long, slen) = int_suffix(&bytes[i..]);
         Ok((
@@ -450,6 +462,15 @@ mod tests {
         assert_eq!(toks[0].line, 1);
         assert_eq!(toks[1].line, 2);
         assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn columns_tracked() {
+        let toks = lex("ab + c\n  d").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1)); // ab
+        assert_eq!((toks[1].line, toks[1].col), (1, 4)); // +
+        assert_eq!((toks[2].line, toks[2].col), (1, 6)); // c
+        assert_eq!((toks[3].line, toks[3].col), (2, 3)); // d
     }
 
     #[test]

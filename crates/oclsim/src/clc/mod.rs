@@ -1,6 +1,7 @@
 //! The OpenCL C compiler front-end: preprocessor, lexer, parser, and
 //! semantic analysis producing the executable IR in [`crate::exec::ir`].
 
+pub mod analysis;
 pub mod ast;
 pub mod lexer;
 pub mod parser;

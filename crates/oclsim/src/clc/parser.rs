@@ -34,8 +34,9 @@ impl Parser {
         &self.toks[(self.pos + n).min(self.toks.len() - 1)].tok
     }
 
-    fn line(&self) -> usize {
-        self.toks[self.pos].line
+    fn span(&self) -> Span {
+        let t = &self.toks[self.pos];
+        Span::new(t.line, t.col)
     }
 
     fn bump(&mut self) -> Tok {
@@ -47,7 +48,7 @@ impl Parser {
     }
 
     fn err(&self, msg: impl Into<String>) -> Error {
-        Error::BuildFailure(format!("parser, line {}: {}", self.line(), msg.into()))
+        Error::BuildFailure(format!("parser, line {}: {}", self.span(), msg.into()))
     }
 
     fn eat_punct(&mut self, p: Punct) -> bool {
@@ -306,7 +307,7 @@ impl Parser {
     }
 
     fn func_def(&mut self) -> Result<FuncDef> {
-        let line = self.line();
+        let span = self.span();
         let mut is_kernel = false;
         while self.eat_ident("__kernel") || self.eat_ident("kernel") {
             is_kernel = true;
@@ -347,7 +348,7 @@ impl Parser {
             ret,
             params,
             body,
-            line,
+            span,
         })
     }
 
@@ -374,7 +375,7 @@ impl Parser {
     }
 
     fn stmt(&mut self) -> Result<Stmt> {
-        let line = self.line();
+        let span = self.span();
         let kind = if self.eat_punct(Punct::Semi) {
             StmtKind::Empty
         } else if self.eat_punct(Punct::LBrace) {
@@ -461,12 +462,12 @@ impl Parser {
         } else {
             return self.decl_or_expr_stmt();
         };
-        Ok(Stmt { kind, line })
+        Ok(Stmt { kind, span })
     }
 
     /// Used both for normal statements and `for` initialisers.
     fn decl_or_expr_stmt(&mut self) -> Result<Stmt> {
-        let line = self.line();
+        let span = self.span();
         if self.peek_ident().is_some_and(|s| self.is_type_start(s)) {
             let (space, scalar, _is_const) = self.parse_base_type()?;
             let base = scalar.ok_or_else(|| self.err("cannot declare `void` variables"))?;
@@ -504,14 +505,14 @@ impl Parser {
             }
             Ok(Stmt {
                 kind: StmtKind::Decl { space, base, decls },
-                line,
+                span,
             })
         } else {
             let e = self.expr()?;
             self.expect_punct(Punct::Semi, "`;` after expression statement")?;
             Ok(Stmt {
                 kind: StmtKind::Expr(e),
-                line,
+                span,
             })
         }
     }
@@ -671,7 +672,7 @@ impl Parser {
     }
 
     fn primary_expr(&mut self) -> Result<Expr> {
-        let line = self.line();
+        let span = self.span();
         match self.bump() {
             Tok::IntLit {
                 value,
@@ -706,7 +707,7 @@ impl Parser {
                 Ok(e)
             }
             other => Err(Error::BuildFailure(format!(
-                "parser, line {line}: unexpected token {other:?} in expression"
+                "parser, line {span}: unexpected token {other:?} in expression"
             ))),
         }
     }
@@ -920,6 +921,20 @@ mod tests {
     fn error_reports_line() {
         let err = parse("void f() {\n int a = ;\n}").unwrap_err();
         assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn error_reports_column() {
+        // the offending `;` sits at line 2, column 10
+        let err = parse("void f() {\n int a = ;\n}").unwrap_err();
+        assert!(err.to_string().contains("line 2:10"), "{err}");
+    }
+
+    #[test]
+    fn statement_spans_recorded() {
+        let tu = parse_ok("void f() {\n    int a = 0;\n}");
+        assert_eq!(tu.funcs[0].span, Span::new(1, 1));
+        assert_eq!(tu.funcs[0].body[0].span, Span::new(2, 5));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use std::collections::HashMap;
 
-use crate::clc::ast::{self, AddrSpace, BinOp, ClType, Expr, PostOp, Stmt, StmtKind, UnOp};
+use crate::clc::ast::{self, AddrSpace, BinOp, ClType, Expr, PostOp, Span, Stmt, StmtKind, UnOp};
 use crate::error::{Error, Result};
 use crate::exec::ir::{
     ArrayAlloc, BOp, Builtin, COp, Ex, FuncId, FuncIr, Module, ParamInfo, ParamKind, SlotId,
@@ -20,11 +20,11 @@ pub fn analyze(tu: &ast::TranslationUnit) -> Result<Module> {
     let mut sigs: HashMap<String, FuncId> = HashMap::new();
     for (i, f) in tu.funcs.iter().enumerate() {
         if sigs.insert(f.name.clone(), i).is_some() {
-            return Err(err(f.line, format!("duplicate function `{}`", f.name)));
+            return Err(err(f.span, format!("duplicate function `{}`", f.name)));
         }
         if builtin_by_name(&f.name).is_some() || is_reserved(&f.name) {
             return Err(err(
-                f.line,
+                f.span,
                 format!("`{}` shadows a built-in function", f.name),
             ));
         }
@@ -43,7 +43,7 @@ pub fn analyze(tu: &ast::TranslationUnit) -> Result<Module> {
     Ok(module)
 }
 
-fn err(line: usize, msg: impl Into<String>) -> Error {
+fn err(line: Span, msg: impl Into<String>) -> Error {
     Error::BuildFailure(format!("sema, line {line}: {}", msg.into()))
 }
 
@@ -116,7 +116,7 @@ impl<'a> FuncSema<'a> {
         self.scopes.iter().rev().find_map(|s| s.get(name))
     }
 
-    fn bind(&mut self, line: usize, name: &str, b: Binding) -> Result<()> {
+    fn bind(&mut self, line: Span, name: &str, b: Binding) -> Result<()> {
         let scope = self.scopes.last_mut().expect("scope stack never empty");
         if scope.insert(name.to_string(), b).is_some() {
             return Err(err(line, format!("`{name}` redeclared in the same scope")));
@@ -137,11 +137,11 @@ impl<'a> FuncSema<'a> {
             ClType::Void => None,
             ClType::Scalar(t) => Some(t),
             ClType::Ptr(..) => {
-                return Err(err(f.line, "pointer return types are not supported"));
+                return Err(err(f.span, "pointer return types are not supported"));
             }
         };
         if f.is_kernel && self.ret.is_some() {
-            return Err(err(f.line, "kernels must return void"));
+            return Err(err(f.span, "kernels must return void"));
         }
 
         let mut params = Vec::new();
@@ -171,21 +171,21 @@ impl<'a> FuncSema<'a> {
                     },
                 ),
                 ClType::Ptr(AddrSpace::Private, _) => {
-                    return Err(err(f.line, "private-pointer parameters are not supported"));
+                    return Err(err(f.span, "private-pointer parameters are not supported"));
                 }
-                ClType::Void => return Err(err(f.line, "void parameter")),
+                ClType::Void => return Err(err(f.span, "void parameter")),
             };
             if f.is_kernel && matches!(kind, ParamKind::LocalPtr { .. }) {
                 // legal OpenCL (size set via clSetKernelArg), but the oclsim
                 // host API does not expose local args yet
                 return Err(err(
-                    f.line,
+                    f.span,
                     "__local pointer kernel parameters are not supported; declare the \
                      array inside the kernel instead",
                 ));
             }
             let slot = self.new_slot(slot_kind);
-            self.bind(f.line, &p.name, Binding::Slot(slot))?;
+            self.bind(f.span, &p.name, Binding::Slot(slot))?;
             params.push(ParamInfo {
                 name: p.name.clone(),
                 kind,
@@ -226,7 +226,7 @@ impl<'a> FuncSema<'a> {
     }
 
     fn lower_stmt(&mut self, s: &Stmt, out: &mut Vec<St>) -> Result<()> {
-        let line = s.line;
+        let line = s.span;
         match &s.kind {
             StmtKind::Empty => {}
             StmtKind::Block(inner) => {
@@ -344,7 +344,7 @@ impl<'a> FuncSema<'a> {
 
     fn lower_declarator(
         &mut self,
-        line: usize,
+        line: Span,
         space: AddrSpace,
         base: ScalarType,
         d: &ast::Declarator,
@@ -464,7 +464,7 @@ impl<'a> FuncSema<'a> {
     }
 
     /// Expressions in statement position: assignments, inc/dec, and calls.
-    fn lower_expr_stmt(&mut self, line: usize, e: &Expr, out: &mut Vec<St>) -> Result<()> {
+    fn lower_expr_stmt(&mut self, line: Span, e: &Expr, out: &mut Vec<St>) -> Result<()> {
         match e {
             Expr::Assign { op, target, value } => {
                 self.lower_assignment(line, *op, target, value, out)
@@ -516,7 +516,7 @@ impl<'a> FuncSema<'a> {
 
     fn lower_incdec(
         &mut self,
-        line: usize,
+        line: Span,
         target: &Expr,
         op: BinOp,
         out: &mut Vec<St>,
@@ -531,7 +531,7 @@ impl<'a> FuncSema<'a> {
 
     fn lower_assignment(
         &mut self,
-        line: usize,
+        line: Span,
         op: Option<BinOp>,
         target: &Expr,
         value: &Expr,
@@ -597,7 +597,7 @@ impl<'a> FuncSema<'a> {
     /// Build the stored value for `target op= value` / `target = value`.
     fn build_assigned_value(
         &mut self,
-        line: usize,
+        line: Span,
         op: Option<BinOp>,
         current: Ex,
         target_ty: ScalarType,
@@ -616,7 +616,7 @@ impl<'a> FuncSema<'a> {
     // ---- expressions -----------------------------------------------------
 
     /// Lower an expression that must produce a scalar value.
-    fn lower_value(&mut self, line: usize, e: &Expr) -> Result<Ex> {
+    fn lower_value(&mut self, line: Span, e: &Expr) -> Result<Ex> {
         match e {
             Expr::IntLit {
                 value,
@@ -790,7 +790,7 @@ impl<'a> FuncSema<'a> {
     }
 
     /// Lower an expression used as a branch/loop condition to a Bool value.
-    fn lower_condition(&mut self, line: usize, e: &Expr) -> Result<Ex> {
+    fn lower_condition(&mut self, line: Span, e: &Expr) -> Result<Ex> {
         let v = self.lower_value(line, e)?;
         Ok(self.to_bool(v))
     }
@@ -831,7 +831,7 @@ impl<'a> FuncSema<'a> {
         }
     }
 
-    fn build_binary(&mut self, line: usize, op: BinOp, l: Ex, r: Ex) -> Result<Ex> {
+    fn build_binary(&mut self, line: Span, op: BinOp, l: Ex, r: Ex) -> Result<Ex> {
         if op.is_comparison() {
             let ty = l.ty().promote(r.ty());
             let (l, r) = (self.coerce(l, ty), self.coerce(r, ty));
@@ -904,7 +904,7 @@ impl<'a> FuncSema<'a> {
     // ---- pointers and lvalues ---------------------------------------------
 
     /// Lower an expression that must produce a pointer.
-    fn lower_pointer(&mut self, line: usize, e: &Expr) -> Result<PtrEx> {
+    fn lower_pointer(&mut self, line: Span, e: &Expr) -> Result<PtrEx> {
         match e {
             Expr::Ident(name) => {
                 let b = self
@@ -1000,7 +1000,7 @@ impl<'a> FuncSema<'a> {
     }
 
     /// Lower an lvalue (`a[i]` or `*p`) to its address.
-    fn lower_lvalue_addr(&mut self, line: usize, e: &Expr) -> Result<(Ex, AddrSpace, ScalarType)> {
+    fn lower_lvalue_addr(&mut self, line: Span, e: &Expr) -> Result<(Ex, AddrSpace, ScalarType)> {
         match e {
             Expr::Index { base, index } => {
                 let p = self.lower_pointer(line, base)?;
@@ -1026,7 +1026,7 @@ impl<'a> FuncSema<'a> {
 
     // ---- calls -------------------------------------------------------------
 
-    fn lower_call(&mut self, line: usize, name: &str, args: &[Expr]) -> Result<Ex> {
+    fn lower_call(&mut self, line: Span, name: &str, args: &[Expr]) -> Result<Ex> {
         if name == "barrier" {
             return Err(err(line, "barrier() may only appear as a statement"));
         }
@@ -1164,7 +1164,7 @@ impl<'a> FuncSema<'a> {
         })
     }
 
-    fn lower_builtin(&mut self, line: usize, name: &str, b: Builtin, args: &[Expr]) -> Result<Ex> {
+    fn lower_builtin(&mut self, line: Span, name: &str, b: Builtin, args: &[Expr]) -> Result<Ex> {
         use Builtin::*;
         match b {
             GetGlobalId | GetLocalId | GetGroupId | GetGlobalSize | GetLocalSize | GetNumGroups => {
@@ -1239,7 +1239,7 @@ impl<'a> FuncSema<'a> {
 
     fn lower_atomic(
         &mut self,
-        line: usize,
+        line: Span,
         b: Builtin,
         args: &[Expr],
         has_operand: bool,
@@ -1266,12 +1266,12 @@ impl<'a> FuncSema<'a> {
 
     // ---- constant evaluation ----------------------------------------------
 
-    fn const_eval_u64(&mut self, line: usize, e: &Expr) -> Result<u64> {
+    fn const_eval_u64(&mut self, line: Span, e: &Expr) -> Result<u64> {
         let v = self.lower_value(line, e)?;
         const_fold(&v).ok_or_else(|| err(line, "expression must be a compile-time constant"))
     }
 
-    fn const_eval_usize(&mut self, line: usize, e: &Expr) -> Result<usize> {
+    fn const_eval_usize(&mut self, line: Span, e: &Expr) -> Result<usize> {
         Ok(self.const_eval_u64(line, e)? as usize)
     }
 }
@@ -1280,7 +1280,7 @@ fn e_unwrap(e: &Expr) -> &Expr {
     e
 }
 
-fn check_argc(line: usize, name: &str, args: &[Expr], n: usize) -> Result<()> {
+fn check_argc(line: Span, name: &str, args: &[Expr], n: usize) -> Result<()> {
     if args.len() != n {
         Err(err(
             line,

@@ -40,6 +40,15 @@ pub enum Error {
     /// `barrier()` was executed with only part of the work-group active.
     /// Undefined behaviour in OpenCL; trapped here.
     BarrierDivergence(String),
+    /// The dynamic race sanitizer observed two work-items touching the same
+    /// memory cell with no barrier between them (at least one a write).
+    /// Undefined behaviour in OpenCL; only reported when the sanitizer is
+    /// enabled via `Program::set_sanitize`.
+    DataRace {
+        space: &'static str,
+        offset: u64,
+        detail: String,
+    },
     /// Arithmetic fault trapped by the simulator (integer division by zero).
     ArithmeticFault(String),
     /// A host-side buffer read/write was out of range or misaligned.
@@ -95,6 +104,14 @@ impl fmt::Display for Error {
                 "memory fault in {space} memory at offset {offset} (len {len}): {detail}"
             ),
             Error::BarrierDivergence(msg) => write!(f, "divergent barrier: {msg}"),
+            Error::DataRace {
+                space,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "data race on {space} memory at offset {offset}: {detail}"
+            ),
             Error::ArithmeticFault(msg) => write!(f, "arithmetic fault: {msg}"),
             Error::InvalidBufferAccess(msg) => write!(f, "invalid buffer access: {msg}"),
             Error::InvalidOperation(msg) => write!(f, "invalid operation: {msg}"),

@@ -12,6 +12,8 @@
 //! [`GroupStats`]: instruction cycles per active warp and global-memory
 //! transactions per warp after coalescing — the inputs of the timing model.
 
+use std::collections::HashMap;
+
 use crate::clc::ast::AddrSpace;
 use crate::error::{Error, Result};
 use crate::exec::ir::{Builtin, Ex, FuncIr, Module, St};
@@ -66,6 +68,9 @@ pub struct LaunchEnv<'a> {
     pub geom: Geometry,
     pub cost: CostModel,
     pub simd: usize,
+    /// Run the shadow-memory dynamic race sanitizer (tracks the last writer
+    /// work-item and barrier epoch of every touched global/local cell).
+    pub sanitize: bool,
 }
 
 /// One function activation record.
@@ -123,6 +128,14 @@ pub struct GroupRun<'a> {
     /// a GPU's coalescer needs the accesses to be simultaneous within a
     /// warp. `None` on wide-SIMT devices.
     seg_cache: Option<Vec<u64>>,
+    /// Barrier epoch of this group (counts executed barriers), used by the
+    /// shadow-memory race sanitizer.
+    epoch: u32,
+    /// Shadow memory for the dynamic race sanitizer: encoded pointer of
+    /// every global/local cell written → (epoch, writer lane). `None` when
+    /// the sanitizer is off. Intra-group only: cross-group races on global
+    /// memory are the static checker's job.
+    shadow: Option<HashMap<u64, (u32, u32)>>,
 }
 
 /// Lines in the CPU segment cache (x 64-byte segments = a 32 KiB L1).
@@ -165,7 +178,53 @@ impl<'a> GroupRun<'a> {
             } else {
                 None
             },
+            epoch: 0,
+            shadow: env.sanitize.then(HashMap::new),
         }
+    }
+
+    /// Shadow-memory write hook: a cell written by two different work-items
+    /// in the same barrier epoch is a write-write race.
+    fn shadow_write(&mut self, ptr: u64, lane: usize, space: &'static str) -> Result<()> {
+        let epoch = self.epoch;
+        let Some(shadow) = &mut self.shadow else {
+            return Ok(());
+        };
+        if let Some(&(e, l)) = shadow.get(&ptr) {
+            if e == epoch && l != lane as u32 {
+                return Err(Error::DataRace {
+                    space,
+                    offset: ptr & OFF_MASK,
+                    detail: format!(
+                        "work-items {l} and {lane} of one group both wrote this cell \
+                         with no barrier in between"
+                    ),
+                });
+            }
+        }
+        shadow.insert(ptr, (epoch, lane as u32));
+        Ok(())
+    }
+
+    /// Shadow-memory read hook: reading a cell another work-item wrote in
+    /// the same barrier epoch is a read-write race.
+    fn shadow_read(&self, ptr: u64, lane: usize, space: &'static str) -> Result<()> {
+        let Some(shadow) = &self.shadow else {
+            return Ok(());
+        };
+        if let Some(&(e, l)) = shadow.get(&ptr) {
+            if e == self.epoch && l != lane as u32 {
+                return Err(Error::DataRace {
+                    space,
+                    offset: ptr & OFF_MASK,
+                    detail: format!(
+                        "work-item {lane} read a cell work-item {l} wrote \
+                         with no barrier in between"
+                    ),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Run the kernel body for every lane of this group.
@@ -432,6 +491,7 @@ impl<'a> GroupRun<'a> {
                         self.charge_global(&a, elem.size(), live);
                         for lane in live.iter() {
                             self.store_lane(a[lane], *elem, v[lane])?;
+                            self.shadow_write(a[lane], lane, "global")?;
                         }
                     }
                     AddrSpace::Local => {
@@ -439,6 +499,7 @@ impl<'a> GroupRun<'a> {
                         self.stats.local_accesses += live.count() as u64;
                         for lane in live.iter() {
                             self.store_lane(a[lane], *elem, v[lane])?;
+                            self.shadow_write(a[lane], lane, "local")?;
                         }
                     }
                     AddrSpace::Private => {
@@ -553,6 +614,8 @@ impl<'a> GroupRun<'a> {
                 // cost, not a per-lane one
                 self.stats.cycles += self.env.cost.barrier as u64;
                 self.stats.instructions += 1;
+                // the sanitizer's happens-before resets at the barrier
+                self.epoch += 1;
                 // lock-step execution means memory is already consistent
             }
             St::ExprSt(e) => {
@@ -625,6 +688,11 @@ impl<'a> GroupRun<'a> {
                         a[lane]
                     };
                     out[lane] = self.load_lane(ptr, *elem)?;
+                    match space {
+                        AddrSpace::Global => self.shadow_read(ptr, lane, "global")?,
+                        AddrSpace::Local => self.shadow_read(ptr, lane, "local")?,
+                        AddrSpace::Constant | AddrSpace::Private => {}
+                    }
                 }
                 self.give_scratch(a);
                 Ok(out)

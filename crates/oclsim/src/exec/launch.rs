@@ -250,6 +250,7 @@ pub fn run_ndrange(
     args: &[BoundArg],
     geom: Geometry,
     device: &Device,
+    sanitize: bool,
 ) -> Result<TimingBreakdown> {
     let env = LaunchEnv {
         module,
@@ -258,6 +259,7 @@ pub fn run_ndrange(
         geom,
         cost: CostModel::for_device(device.profile()),
         simd: device.profile().simd_width.max(1) as usize,
+        sanitize,
     };
     let ngroups = geom.num_groups();
     let total = geom.total_groups();

@@ -63,6 +63,7 @@ pub mod timing;
 pub mod types;
 
 pub use buffer::{Buffer, MemAccess};
+pub use clc::analysis::{Analysis, DiagKind, Diagnostic, Severity, Strictness};
 pub use context::Context;
 pub use device::{Device, DeviceProfile, DeviceType};
 pub use error::{Error, Result};

@@ -8,12 +8,13 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use crate::buffer::Buffer;
+use crate::clc::analysis::{self, Analysis, DiagKind, Diagnostic, Severity, Strictness};
 use crate::clc::ast::AddrSpace;
 use crate::clc::{parser, pp, sema};
 use crate::context::Context;
 use crate::error::{Error, Result};
 use crate::exec::ir::{FuncId, FuncIr, Module, ParamKind};
-use crate::exec::launch::BoundArg;
+use crate::exec::launch::{BoundArg, Geometry};
 use crate::types::Value;
 
 /// A program created from OpenCL C source, compiled by [`Program::build`].
@@ -28,6 +29,14 @@ struct ProgramInner {
     built: Mutex<Option<Arc<Module>>>,
     build_log: Mutex<String>,
     build_time: Mutex<Duration>,
+    /// Result of the kernel sanitizer pass over the last successful build.
+    analysis: Mutex<Option<Arc<Analysis>>>,
+    /// Accumulated findings: build-time lints plus launch-time bounds
+    /// findings appended by [`Kernel::lint_launch`].
+    diags: Mutex<Vec<Diagnostic>>,
+    strictness: Mutex<Strictness>,
+    /// Run the dynamic shadow-memory race sanitizer on launches.
+    sanitize: Mutex<bool>,
 }
 
 impl Program {
@@ -40,24 +49,63 @@ impl Program {
                 built: Mutex::new(None),
                 build_log: Mutex::new(String::new()),
                 build_time: Mutex::new(Duration::ZERO),
+                analysis: Mutex::new(None),
+                diags: Mutex::new(Vec::new()),
+                strictness: Mutex::new(Strictness::default()),
+                sanitize: Mutex::new(false),
             }),
         }
     }
 
     /// Compile the program. `options` supports `-D NAME[=VALUE]` (and the
-    /// attached `-DNAME[=VALUE]` form); `-cl-*` flags are accepted and
-    /// ignored, as a real driver would for unknown-but-valid options.
+    /// attached `-DNAME[=VALUE]` form); `-w` / `-Werror` set the sanitizer
+    /// [`Strictness`] to [`Strictness::Off`] / [`Strictness::Deny`]; `-cl-*`
+    /// flags are accepted and ignored, as a real driver would for
+    /// unknown-but-valid options.
+    ///
+    /// After semantic analysis the kernel sanitizer runs over the AST
+    /// (unless strictness is `Off`): its findings are appended to the build
+    /// log and to the [`Program::diagnostics`] sink, and under
+    /// [`Strictness::Deny`] any error-severity finding fails the build.
     pub fn build(&self, options: &str) -> Result<()> {
         let start = std::time::Instant::now();
-        let defines = parse_build_options(options)?;
+        let (defines, strict_opt) = parse_build_options(options)?;
+        if let Some(s) = strict_opt {
+            *self.inner.strictness.lock() = s;
+        }
+        let strictness = *self.inner.strictness.lock();
         let result = pp::preprocess(&self.inner.source, &defines)
             .and_then(|src| parser::parse(&src))
-            .and_then(|tu| sema::analyze(&tu));
+            .and_then(|tu| sema::analyze(&tu).map(|module| (tu, module)));
         *self.inner.build_time.lock() = start.elapsed();
         match result {
-            Ok(module) => {
+            Ok((tu, module)) => {
+                let mut log = String::from("build successful");
+                let mut denied = false;
+                if strictness != Strictness::Off {
+                    let analysis = analysis::analyze_tu(&tu);
+                    for d in &analysis.diagnostics {
+                        log.push('\n');
+                        log.push_str(&d.to_string());
+                        denied |= strictness == Strictness::Deny && d.severity == Severity::Error;
+                    }
+                    self.inner
+                        .diags
+                        .lock()
+                        .extend(analysis.diagnostics.iter().cloned());
+                    *self.inner.analysis.lock() = Some(Arc::new(analysis));
+                }
+                if denied {
+                    let log = log.replacen(
+                        "build successful",
+                        "build failed: sanitizer findings denied (-Werror)",
+                        1,
+                    );
+                    *self.inner.build_log.lock() = log.clone();
+                    return Err(Error::BuildFailure(log));
+                }
                 *self.inner.built.lock() = Some(Arc::new(module));
-                *self.inner.build_log.lock() = "build successful".into();
+                *self.inner.build_log.lock() = log;
                 Ok(())
             }
             Err(e) => {
@@ -66,6 +114,29 @@ impl Program {
                 Err(Error::BuildFailure(log))
             }
         }
+    }
+
+    /// Set how build- and launch-time sanitizer findings are enforced.
+    /// Takes effect for subsequent [`Program::build`] / launch calls.
+    pub fn set_strictness(&self, strictness: Strictness) {
+        *self.inner.strictness.lock() = strictness;
+    }
+
+    /// The current sanitizer strictness.
+    pub fn strictness(&self) -> Strictness {
+        *self.inner.strictness.lock()
+    }
+
+    /// Enable/disable the dynamic shadow-memory race sanitizer for kernels
+    /// of this program (confirms static race findings at run time; slower).
+    pub fn set_sanitize(&self, on: bool) {
+        *self.inner.sanitize.lock() = on;
+    }
+
+    /// All sanitizer findings so far: build-time lints in source order plus
+    /// any launch-time bounds findings recorded since.
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        self.inner.diags.lock().clone()
     }
 
     /// The build log of the last [`Program::build`] call.
@@ -117,13 +188,15 @@ impl Program {
                 func,
                 name: name.to_string(),
                 args: Mutex::new(vec![None; nargs]),
+                program: Arc::clone(&self.inner),
             }),
         })
     }
 }
 
-fn parse_build_options(options: &str) -> Result<HashMap<String, String>> {
+fn parse_build_options(options: &str) -> Result<(HashMap<String, String>, Option<Strictness>)> {
     let mut defines = HashMap::new();
+    let mut strictness = None;
     let mut it = options.split_whitespace().peekable();
     while let Some(tok) = it.next() {
         if tok == "-D" {
@@ -133,13 +206,17 @@ fn parse_build_options(options: &str) -> Result<HashMap<String, String>> {
             insert_define(&mut defines, def);
         } else if let Some(def) = tok.strip_prefix("-D") {
             insert_define(&mut defines, def);
-        } else if tok.starts_with("-cl-") || tok == "-w" || tok == "-Werror" {
+        } else if tok == "-w" {
+            strictness = Some(Strictness::Off);
+        } else if tok == "-Werror" {
+            strictness = Some(Strictness::Deny);
+        } else if tok.starts_with("-cl-") {
             // accepted and ignored
         } else {
             return Err(Error::BuildFailure(format!("unknown build option `{tok}`")));
         }
     }
-    Ok(defines)
+    Ok((defines, strictness))
 }
 
 fn insert_define(defines: &mut HashMap<String, String>, def: &str) {
@@ -160,6 +237,7 @@ struct KernelInner {
     func: FuncId,
     name: String,
     args: Mutex<Vec<Option<BoundArg>>>,
+    program: Arc<ProgramInner>,
 }
 
 impl Kernel {
@@ -255,6 +333,85 @@ impl Kernel {
                 index,
                 reason: format!("kernel has only {} parameters", self.num_args()),
             })
+    }
+
+    /// Whether launches of this kernel should run the dynamic race sanitizer.
+    pub(crate) fn sanitize(&self) -> bool {
+        *self.inner.program.sanitize.lock()
+    }
+
+    /// Enqueue-time bounds check: evaluate the sanitizer's recorded
+    /// unconditional global accesses against the actual launch geometry,
+    /// bound buffers, and integer scalar arguments. Under
+    /// [`Strictness::Warn`] findings are recorded and the launch proceeds
+    /// (the interpreter still traps the fault); under [`Strictness::Deny`]
+    /// the launch is rejected.
+    pub(crate) fn lint_launch(&self, args: &[BoundArg], geom: &Geometry) -> Result<()> {
+        let strictness = *self.inner.program.strictness.lock();
+        if strictness == Strictness::Off {
+            return Ok(());
+        }
+        let analysis = self.inner.program.analysis.lock().clone();
+        let Some(analysis) = analysis else {
+            return Ok(());
+        };
+        let Some(summary) = analysis.kernels.get(&self.inner.name) else {
+            return Ok(());
+        };
+        let mut scalars = HashMap::new();
+        for (i, a) in args.iter().enumerate() {
+            if let BoundArg::Scalar { bits, ty } = a {
+                if ty.is_integer() {
+                    let v = if ty.is_signed() {
+                        let sh = 64 - ty.size() * 8;
+                        (((bits << sh) as i64) >> sh) as i128
+                    } else {
+                        *bits as i128
+                    };
+                    scalars.insert(i, v);
+                }
+            }
+        }
+        let mut findings = Vec::new();
+        for acc in &summary.launch_accesses {
+            let Some(BoundArg::Buffer { buffer, .. }) = args.get(acc.param) else {
+                continue;
+            };
+            let Some((lo, hi)) = acc.element_bounds(&geom.global, &geom.local, &scalars) else {
+                continue;
+            };
+            let len = buffer.len_bytes() as i128;
+            let elem = acc.elem_size as i128;
+            if lo < 0 || (hi + 1) * elem > len {
+                findings.push(Diagnostic {
+                    kernel: self.inner.name.clone(),
+                    span: acc.span,
+                    severity: Severity::Error,
+                    kind: DiagKind::OutOfBounds,
+                    message: format!(
+                        "launch would {} elements {lo}..={hi} of `{}` \
+                         ({elem} bytes each), but the bound buffer holds only {len} bytes",
+                        if acc.is_write { "write" } else { "read" },
+                        acc.param_name,
+                    ),
+                });
+            }
+        }
+        if findings.is_empty() {
+            return Ok(());
+        }
+        let msg = findings
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("; ");
+        self.inner.program.diags.lock().extend(findings);
+        if strictness == Strictness::Deny {
+            return Err(Error::InvalidLaunch(format!(
+                "rejected by the kernel sanitizer: {msg}"
+            )));
+        }
+        Ok(())
     }
 
     /// Snapshot the bound arguments, failing if any is unset.

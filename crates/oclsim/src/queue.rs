@@ -283,6 +283,8 @@ impl CommandQueue {
         let geom = Geometry::new(global, local, &self.inner.device)?;
         let args = kernel.bound_args()?;
         validate_launch(kernel.func_ir(), &args, &geom, &self.inner.device)?;
+        kernel.lint_launch(&args, &geom)?;
+        let sanitize = kernel.sanitize();
         let event = self.admit(CommandKind::NdRangeKernel, wait)?;
         let kernel = kernel.clone();
         let device = self.inner.device.clone();
@@ -290,7 +292,14 @@ impl CommandQueue {
         self.submit(
             &event,
             Box::new(move || {
-                let timing = run_ndrange(kernel.module(), kernel.func_ir(), &args, geom, &device)?;
+                let timing = run_ndrange(
+                    kernel.module(),
+                    kernel.func_ir(),
+                    &args,
+                    geom,
+                    &device,
+                    sanitize,
+                )?;
                 Ok(Work {
                     resource: Resource::Compute { groups },
                     duration: timing.device_seconds,

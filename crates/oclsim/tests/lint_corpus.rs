@@ -1,0 +1,240 @@
+//! The lint corpus: small deliberately-buggy kernels under
+//! `tests/lint_corpus/` that every static checker must flag with the right
+//! span, plus dynamic cross-checks — the interpreter's runtime traps and
+//! the shadow-memory race sanitizer confirm that the static findings are
+//! true positives, not lattice noise.
+
+use oclsim::clc::analysis::analyze_source;
+use oclsim::{
+    CommandQueue, Context, Device, DeviceProfile, DiagKind, Error, MemAccess, Program, Severity,
+    Strictness,
+};
+
+const DIVERGENT_BARRIER: &str = include_str!("lint_corpus/divergent_barrier.cl");
+const RACY_TRANSPOSE: &str = include_str!("lint_corpus/racy_transpose.cl");
+const OOB_FIXED_ARRAY: &str = include_str!("lint_corpus/oob_fixed_array.cl");
+const OOB_LAUNCH: &str = include_str!("lint_corpus/oob_launch.cl");
+const UNIFORM_ADDR_RACE: &str = include_str!("lint_corpus/uniform_addr_race.cl");
+
+struct Rig {
+    ctx: Context,
+    queue: CommandQueue,
+}
+
+fn rig() -> Rig {
+    let device = Device::new(DeviceProfile::tesla_c2050());
+    let ctx = Context::new(std::slice::from_ref(&device)).unwrap();
+    let queue = CommandQueue::new(&ctx, &device).unwrap();
+    Rig { ctx, queue }
+}
+
+fn find(src: &str, kind: DiagKind) -> oclsim::Diagnostic {
+    let a = analyze_source(src).unwrap();
+    a.diagnostics
+        .iter()
+        .find(|d| d.kind == kind)
+        .unwrap_or_else(|| panic!("no {kind:?} finding in {:?}", a.diagnostics))
+        .clone()
+}
+
+// ---- static findings, with spans --------------------------------------------------
+
+#[test]
+fn divergent_barrier_flagged_at_the_barrier_line() {
+    let d = find(DIVERGENT_BARRIER, DiagKind::BarrierDivergence);
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.span.line, 6, "{d}");
+}
+
+#[test]
+fn racy_transpose_without_barrier_flagged() {
+    let d = find(RACY_TRANSPOSE, DiagKind::DataRace);
+    // the indices are affine but cross-item, with no proof of disjointness:
+    // conservative lattice top downgrades to a warning
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.span.line >= 10, "finding must point into the body: {d}");
+}
+
+#[test]
+fn fixed_array_oob_flagged_at_the_write() {
+    let d = find(OOB_FIXED_ARRAY, DiagKind::OutOfBounds);
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.span.line, 5, "{d}");
+}
+
+#[test]
+fn uniform_address_race_is_a_definite_error() {
+    let d = find(UNIFORM_ADDR_RACE, DiagKind::DataRace);
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.span.line, 4, "{d}");
+}
+
+#[test]
+fn launch_oob_records_an_enqueue_time_access() {
+    // nothing is statically wrong, but the write range must be recorded
+    // for the enqueue-time bounds check
+    let a = analyze_source(OOB_LAUNCH).unwrap();
+    assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+    assert_eq!(a.kernels["k"].launch_accesses.len(), 1);
+}
+
+// ---- build-time wiring: Strictness and the diagnostics sink ------------------------
+
+#[test]
+fn warn_default_reports_but_builds() {
+    let r = rig();
+    let p = Program::from_source(&r.ctx, DIVERGENT_BARRIER);
+    p.build("").unwrap();
+    let diags = p.diagnostics();
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.kind == DiagKind::BarrierDivergence && d.severity == Severity::Error),
+        "{diags:?}"
+    );
+    assert!(
+        p.build_log().contains("barrier-divergence"),
+        "lints must land in the build log"
+    );
+}
+
+#[test]
+fn werror_denies_error_findings_at_build_time() {
+    let r = rig();
+    for src in [DIVERGENT_BARRIER, OOB_FIXED_ARRAY, UNIFORM_ADDR_RACE] {
+        let p = Program::from_source(&r.ctx, src);
+        let err = p.build("-Werror").unwrap_err();
+        match err {
+            Error::BuildFailure(log) => {
+                assert!(log.contains("sanitizer findings denied"), "{log}")
+            }
+            other => panic!("expected a build failure, got: {other}"),
+        }
+    }
+    // warnings alone do not fail the build, even under -Werror
+    let p = Program::from_source(&r.ctx, RACY_TRANSPOSE);
+    p.build("-Werror").unwrap();
+}
+
+#[test]
+fn dash_w_silences_the_sanitizer() {
+    let r = rig();
+    let p = Program::from_source(&r.ctx, DIVERGENT_BARRIER);
+    p.build("-w").unwrap();
+    assert!(p.diagnostics().is_empty());
+}
+
+// ---- dynamic confirmation: the runtime traps agree with the static findings --------
+
+#[test]
+fn divergent_barrier_confirmed_by_runtime_trap() {
+    let r = rig();
+    let p = Program::from_source(&r.ctx, DIVERGENT_BARRIER);
+    p.build("").unwrap();
+    let k = p.kernel("k").unwrap();
+    let buf = r.ctx.create_buffer(4 * 64, MemAccess::ReadWrite).unwrap();
+    k.set_arg_buffer(0, &buf).unwrap();
+    // one group of 64: items 0..5 reach the barrier, the rest do not
+    let err = r.queue.enqueue_ndrange(&k, &[64], Some(&[64])).unwrap_err();
+    assert!(matches!(err, Error::BarrierDivergence(_)), "{err}");
+}
+
+#[test]
+fn static_race_confirmed_by_dynamic_shadow_sanitizer() {
+    // the acceptance case: a static DataRace finding reproduced as a
+    // dynamic DataRace trap by the shadow-memory checker
+    let stat = find(UNIFORM_ADDR_RACE, DiagKind::DataRace);
+    assert_eq!(stat.severity, Severity::Error);
+
+    let r = rig();
+    let p = Program::from_source(&r.ctx, UNIFORM_ADDR_RACE);
+    p.build("").unwrap();
+    p.set_sanitize(true);
+    let k = p.kernel("k").unwrap();
+    let buf = r.ctx.create_buffer(4 * 8, MemAccess::ReadWrite).unwrap();
+    k.set_arg_buffer(0, &buf).unwrap();
+    let err = r.queue.enqueue_ndrange(&k, &[8], Some(&[8])).unwrap_err();
+    match err {
+        Error::DataRace { space, offset, .. } => {
+            assert_eq!(space, "global");
+            assert_eq!(offset, 0, "the race is on out[0]");
+        }
+        other => panic!("expected the dynamic sanitizer to trap, got: {other}"),
+    }
+}
+
+#[test]
+fn racy_transpose_confirmed_by_dynamic_shadow_sanitizer() {
+    let stat = find(RACY_TRANSPOSE, DiagKind::DataRace);
+    assert_eq!(stat.severity, Severity::Warning);
+
+    let r = rig();
+    let p = Program::from_source(&r.ctx, RACY_TRANSPOSE);
+    p.build("").unwrap();
+    p.set_sanitize(true);
+    let k = p.kernel("t").unwrap();
+    let n = 16usize;
+    let src: Vec<f32> = (0..n * n).map(|i| i as f32).collect();
+    let dst = r
+        .ctx
+        .create_buffer(4 * n * n, MemAccess::ReadWrite)
+        .unwrap();
+    let sbuf = r.ctx.create_buffer_from(&src, MemAccess::ReadOnly).unwrap();
+    k.set_arg_buffer(0, &dst).unwrap();
+    k.set_arg_buffer(1, &sbuf).unwrap();
+    k.set_arg_scalar(2, n as i32).unwrap();
+    k.set_arg_scalar(3, n as i32).unwrap();
+    let err = r
+        .queue
+        .enqueue_ndrange(&k, &[n, n], Some(&[n, n]))
+        .unwrap_err();
+    match err {
+        Error::DataRace { space, .. } => assert_eq!(space, "local"),
+        other => panic!("expected the dynamic sanitizer to trap, got: {other}"),
+    }
+    // with the sanitizer off (the default) the racy read still executes —
+    // the lock-step interpreter happens to give it a deterministic
+    // schedule, which is exactly why the static warning matters
+    p.set_sanitize(false);
+    r.queue.enqueue_ndrange(&k, &[n, n], Some(&[n, n])).unwrap();
+}
+
+// ---- enqueue-time bounds: launch rejection ----------------------------------------
+
+#[test]
+fn launch_oob_rejected_in_deny_mode_and_trapped_in_warn() {
+    let r = rig();
+    let p = Program::from_source(&r.ctx, OOB_LAUNCH);
+    p.build("").unwrap();
+    let k = p.kernel("k").unwrap();
+    // 4-element buffer: the kernel writes elements 1000..=1003
+    let buf = r.ctx.create_buffer(4 * 4, MemAccess::ReadWrite).unwrap();
+    k.set_arg_buffer(0, &buf).unwrap();
+
+    p.set_strictness(Strictness::Deny);
+    let err = r.queue.enqueue_ndrange(&k, &[4], Some(&[4])).unwrap_err();
+    match err {
+        Error::InvalidLaunch(msg) => {
+            assert!(msg.contains("rejected by the kernel sanitizer"), "{msg}")
+        }
+        other => panic!("expected the launch to be rejected, got: {other}"),
+    }
+
+    // default Warn records the finding but lets the launch proceed — the
+    // interpreter's memory trap then catches the actual fault
+    p.set_strictness(Strictness::Warn);
+    let err = r.queue.enqueue_ndrange(&k, &[4], Some(&[4])).unwrap_err();
+    assert!(matches!(err, Error::MemoryFault { .. }), "{err}");
+    assert!(
+        p.diagnostics()
+            .iter()
+            .any(|d| d.kind == DiagKind::OutOfBounds),
+        "the Warn-mode launch must still record the finding"
+    );
+
+    // a big enough buffer launches cleanly even in Deny mode
+    let big = r.ctx.create_buffer(4 * 1004, MemAccess::ReadWrite).unwrap();
+    k.set_arg_buffer(0, &big).unwrap();
+    p.set_strictness(Strictness::Deny);
+    r.queue.enqueue_ndrange(&k, &[4], Some(&[4])).unwrap();
+}

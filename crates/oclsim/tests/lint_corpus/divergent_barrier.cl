@@ -1,0 +1,9 @@
+/* BUGGY: the barrier is only reached by work-items with i < 5, which is
+ * undefined behaviour in OpenCL. The sanitizer must flag the barrier. */
+__kernel void k(__global float* a) {
+    int i = (int)get_global_id(0);
+    if (i < 5) {
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    a[i] = 1.0f;
+}

@@ -1,0 +1,8 @@
+/* BUGGY: t has 16 elements, the write at index 20 is off the end. The
+ * bound is known at build time, so this is a build-time error finding. */
+__kernel void k(__global float* out) {
+    __local float t[16];
+    t[20] = 1.0f;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[(int)get_global_id(0)] = t[0];
+}

@@ -1,0 +1,7 @@
+/* BUGGY (for small buffers): the write lands 1000 elements past the
+ * global id. Nothing is wrong at build time — the buffer extent is only
+ * known once arguments are bound, so the sanitizer records the access
+ * range and checks it at enqueue time (launch rejection in Deny mode). */
+__kernel void k(__global float* out) {
+    out[(int)get_global_id(0) + 1000] = 1.0f;
+}

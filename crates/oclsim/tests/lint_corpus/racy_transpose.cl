@@ -1,0 +1,12 @@
+/* BUGGY: the tile is read transposed with no barrier after the writes, so
+ * work-item (lx, ly) reads the cell written by (ly, lx) in the same epoch. */
+__kernel void t(__global float* dst, __global const float* src,
+                const int h, const int w) {
+    __local float tile[256];
+    int gx = (int)get_global_id(0);
+    int gy = (int)get_global_id(1);
+    int lx = (int)get_local_id(0);
+    int ly = (int)get_local_id(1);
+    tile[ly * 16 + lx] = src[gy * w + gx];
+    dst[(gx * h) + gy] = tile[lx * 16 + ly];
+}

@@ -1,0 +1,5 @@
+/* BUGGY: every work-item writes a different value to the same cell, so
+ * the final value depends on scheduling — a definite write-write race. */
+__kernel void k(__global int* out) {
+    out[0] = (int)get_global_id(0);
+}
