@@ -29,4 +29,12 @@ echo "== kernel sanitizer over the benchmark corpus (Deny gate)"
 # racy/divergent/out-of-bounds generated kernel fails the build
 cargo run --release -p bench --bin report -- lint
 
+echo "== report -- profile (counter table byte-identical across OCLSIM_THREADS)"
+# runs every benchmark sync+async under hpl::profile; exits nonzero on any
+# redundant host->device transfer or invalid Chrome trace, and the counter
+# table must not depend on how many host threads simulate the launches
+OCLSIM_THREADS=1 cargo run --release -p bench --bin report -- profile > target/profile-t1.out
+OCLSIM_THREADS=4 cargo run --release -p bench --bin report -- profile > target/profile-t4.out
+diff target/profile-t1.out target/profile-t4.out
+
 echo "ci.sh: all green"

@@ -2,13 +2,17 @@
 //!
 //! Usage: `cargo run -p bench --release --bin report [-- EXPERIMENT]`
 //! where EXPERIMENT is one of `table1`, `fig6`, `fig7`, `fig8`, `fig9`,
-//! `caching`, `ablation`, `overlap`, `lint`, or `all` (default). Measured
-//! values are printed next to the paper's published numbers; EXPERIMENTS.md
-//! records the comparison. `lint` runs the kernel sanitizer over every
-//! benchmark's handwritten and HPL-generated OpenCL C and exits nonzero
-//! unless every kernel is clean.
+//! `caching`, `ablation`, `overlap`, `lint`, `profile`, or `all` (default).
+//! Measured values are printed next to the paper's published numbers;
+//! EXPERIMENTS.md records the comparison. `lint` runs the kernel sanitizer
+//! over every benchmark's handwritten and HPL-generated OpenCL C and exits
+//! nonzero unless every kernel is clean. `profile` runs every benchmark
+//! (sync and async) under `hpl::profile`, prints the simulated hardware
+//! counters per kernel — output byte-identical across `OCLSIM_THREADS` —
+//! writes Chrome traces to `target/trace-<bench>.json`, and exits nonzero
+//! if any run performed a redundant host→device transfer.
 
-use bench::{ablation, caching, fig6, fig7, fig8, fig9, lint, overlap, table1, tesla};
+use bench::{ablation, caching, fig6, fig7, fig8, fig9, lint, overlap, profile, table1, tesla};
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
@@ -22,6 +26,7 @@ fn main() {
         "ablation" => run_ablation(),
         "overlap" => run_overlap(),
         "lint" => run_lint(),
+        "profile" => run_profile(),
         "all" => {
             run_table1()
                 & run_fig6()
@@ -32,10 +37,11 @@ fn main() {
                 & run_ablation()
                 & run_overlap()
                 & run_lint()
+                & run_profile()
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; use table1|fig6|fig7|fig8|fig9|caching|ablation|overlap|lint|all"
+                "unknown experiment `{other}`; use table1|fig6|fig7|fig8|fig9|caching|ablation|overlap|lint|profile|all"
             );
             std::process::exit(2);
         }
@@ -296,6 +302,91 @@ fn run_lint() -> bool {
             false
         }
     }
+}
+
+fn run_profile() -> bool {
+    banner("Profile — simulated hardware counters per kernel, all benchmarks (Tesla, test scale)");
+    let device = tesla();
+    let profiles = match profile::compute(&device) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("profile failed: {e}");
+            return false;
+        }
+    };
+    println!(
+        "{:<10} {:<6} {:<24} {:>4} {:>7} {:>10} {:>9} {:>6} {:>6} {:>7} {:>6} {:>7} {:>9} {:>6} {:>6}  bound",
+        "bench",
+        "mode",
+        "kernel",
+        "n",
+        "groups",
+        "instr",
+        "mem-txn",
+        "coal%",
+        "occ%",
+        "stall%",
+        "div%",
+        "bankcf",
+        "flop/B",
+        "roof%",
+        "bw%"
+    );
+    for p in &profiles {
+        for r in &p.rows {
+            println!(
+                "{:<10} {:<6} {:<24} {:>4} {:>7} {:>10} {:>9} {:>6.1} {:>6.1} {:>7.1} {:>6.1} {:>7} {:>9.3} {:>6.1} {:>6.1}  {}",
+                p.bench,
+                p.mode,
+                r.kernel,
+                r.launches,
+                r.counters.num_groups,
+                r.counters.totals.instr.total(),
+                r.counters.totals.mem_transactions,
+                100.0 * r.counters.coalescing_efficiency(),
+                r.occupancy_pct,
+                100.0 * r.counters.stall_fraction(),
+                100.0 * r.counters.divergence_fraction(),
+                r.counters.totals.bank_conflicts,
+                r.roofline.arithmetic_intensity,
+                100.0 * r.roofline.fraction_of_roof,
+                100.0 * r.roofline.bandwidth_fraction,
+                if r.roofline.compute_bound {
+                    "compute"
+                } else {
+                    "memory"
+                }
+            );
+        }
+    }
+    let mut ok = true;
+    println!("\ntransfer minimality (HPL must not add redundant uploads):");
+    for p in &profiles {
+        let minimal = p.transfers_minimal();
+        println!(
+            "  {:<10} {:<6} h2d {} of {} minimal ({} B), d2h {}  {}",
+            p.bench,
+            p.mode,
+            p.h2d_count,
+            p.expected_h2d,
+            p.h2d_bytes,
+            p.d2h_count,
+            if minimal { "[minimal]" } else { "[REDUNDANT]" }
+        );
+        ok &= minimal;
+    }
+    match profile::write_traces(&device, &profiles, std::path::Path::new("target")) {
+        Ok(written) => {
+            for (path, events) in written {
+                println!("trace written: {path} ({events} events)");
+            }
+        }
+        Err(e) => {
+            eprintln!("trace export failed: {e}");
+            ok = false;
+        }
+    }
+    ok
 }
 
 fn run_overlap() -> bool {

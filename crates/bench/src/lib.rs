@@ -14,6 +14,9 @@
 //! | Figure 9 (portability: Tesla vs Quadro) | [`fig9::compute`] |
 //! | §V-B kernel-cache behaviour | [`caching::compute`] |
 //! | Ablations (DESIGN.md) | [`ablation`] |
+//! | Hardware-counter profile (`report -- profile`) | [`profile::compute`] |
+
+pub mod profile;
 
 use oclsim::Device;
 

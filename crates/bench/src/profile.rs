@@ -1,0 +1,251 @@
+//! The `report -- profile` experiment: run the five paper benchmarks —
+//! synchronous and asynchronous HPL versions — under [`hpl::profile`] and
+//! aggregate the simulated hardware counters per kernel.
+//!
+//! Everything the table reports derives from counters and the analytic
+//! timing model, never from wall clocks or scheduler interleavings, so
+//! the printed output is byte-identical across `OCLSIM_THREADS` settings
+//! — which is exactly what `ci.sh` asserts. The modeled timeline (which
+//! *does* depend on dispatch interleaving for out-of-order queues) goes
+//! into the Chrome trace files instead.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use oclsim::{
+    chrome_trace, roofline, validate_chrome_trace, Device, Event, GroupCounters, LaunchCounters,
+    RooflinePoint, TimingBreakdown,
+};
+
+/// The benchmarks profiled, in report order.
+pub const BENCHES: &[&str] = &["ep", "floyd", "transpose", "spmv", "reduction"];
+
+/// Aggregated counters for one kernel of one benchmark run.
+#[derive(Debug, Clone)]
+pub struct KernelRow {
+    /// Kernel name with HPL's per-process uniquifying counter stripped
+    /// (`hpl_floyd_kernel_17` → `hpl_floyd_kernel`), so the table does not
+    /// depend on how many kernels the process captured before.
+    pub kernel: String,
+    /// Launches merged into this row (Floyd launches once per pass).
+    pub launches: usize,
+    /// Counters summed over all launches (additive merge).
+    pub counters: LaunchCounters,
+    /// Modeled device seconds summed over all launches.
+    pub modeled_seconds: f64,
+    /// Mean achieved CU occupancy across launches, percent.
+    pub occupancy_pct: f64,
+    /// Roofline placement of the aggregate.
+    pub roofline: RooflinePoint,
+}
+
+/// One (benchmark, sync/async) run's profile.
+#[derive(Debug, Clone)]
+pub struct ModeProfile {
+    /// Benchmark name (see [`BENCHES`]).
+    pub bench: &'static str,
+    /// `"sync"` (blocking `run`) or `"async"` (`run_async`).
+    pub mode: &'static str,
+    /// Per-kernel counter rows, sorted by kernel name.
+    pub rows: Vec<KernelRow>,
+    /// Host→device transfers the run performed.
+    pub h2d_count: usize,
+    /// Host→device bytes moved.
+    pub h2d_bytes: u64,
+    /// Device→host transfers (result read-back).
+    pub d2h_count: usize,
+    /// The minimal upload count for this benchmark: one per distinct
+    /// array its kernels read. Floyd reads one matrix across n passes, so
+    /// anything above 1 would be a redundant transfer HPL's coherence
+    /// analysis failed to avoid.
+    pub expected_h2d: usize,
+    /// Every profiled event of the run (kernel launches + transfers), for
+    /// the Chrome trace export.
+    pub events: Vec<Event>,
+}
+
+impl ModeProfile {
+    /// True when HPL performed exactly the minimal number of uploads.
+    pub fn transfers_minimal(&self) -> bool {
+        self.h2d_count == self.expected_h2d
+    }
+}
+
+/// The minimal host→device upload count: the number of distinct arrays
+/// the benchmark's kernels read (spmv reads the CSR triplet plus the
+/// vector; the others read one input, and written-only outputs need none).
+fn expected_h2d(bench: &str) -> usize {
+    match bench {
+        "spmv" => 4,
+        _ => 1,
+    }
+}
+
+/// Strip HPL's per-process kernel-name counter suffix (`_<digits>`).
+fn base_name(kernel: &str) -> String {
+    match kernel.rfind('_') {
+        Some(i) if i + 1 < kernel.len() && kernel[i + 1..].chars().all(|c| c.is_ascii_digit()) => {
+            kernel[..i].to_string()
+        }
+        _ => kernel.to_string(),
+    }
+}
+
+/// Run one benchmark at test scale through its HPL version.
+fn run_bench(bench: &str, sync: bool, device: &Device) -> Result<(), benchsuite::Error> {
+    use benchsuite::{ep, floyd, reduction, spmv, transpose};
+    match bench {
+        "ep" => {
+            let cfg = ep::EpConfig::class(ep::EpClass::S);
+            if sync {
+                ep::hpl_version::run(&cfg, device)?;
+            } else {
+                ep::async_version::run(&cfg, device)?;
+            }
+        }
+        "floyd" => {
+            let cfg = floyd::FloydConfig::default();
+            let graph = floyd::generate_graph(&cfg);
+            if sync {
+                floyd::hpl_version::run(&cfg, &graph, device)?;
+            } else {
+                floyd::async_version::run(&cfg, &graph, device)?;
+            }
+        }
+        "transpose" => {
+            let cfg = transpose::TransposeConfig::default();
+            let data = transpose::generate_matrix(&cfg);
+            if sync {
+                transpose::hpl_version::run(&cfg, &data, device)?;
+            } else {
+                transpose::async_version::run(&cfg, &data, device)?;
+            }
+        }
+        "spmv" => {
+            let cfg = spmv::SpmvConfig::default();
+            let p = spmv::generate(&cfg);
+            if sync {
+                spmv::hpl_version::run(&cfg, &p, device)?;
+            } else {
+                spmv::async_version::run(&cfg, &p, device)?;
+            }
+        }
+        "reduction" => {
+            let cfg = reduction::ReductionConfig::default();
+            let data = reduction::generate_input(&cfg);
+            if sync {
+                reduction::hpl_version::run(&cfg, &data, device)?;
+            } else {
+                reduction::async_version::run(&cfg, &data, device)?;
+            }
+        }
+        other => panic!("unknown benchmark `{other}`"),
+    }
+    Ok(())
+}
+
+/// Run one benchmark in one mode under a profile scope and aggregate.
+pub fn profile_one(
+    bench: &'static str,
+    sync: bool,
+    device: &Device,
+) -> Result<ModeProfile, benchsuite::Error> {
+    let (result, report) = hpl::profile(|| run_bench(bench, sync, device));
+    result?;
+
+    // (launches, merged counters, modeled seconds, occupancy sum)
+    let mut agg: BTreeMap<String, (usize, LaunchCounters, f64, f64)> = BTreeMap::new();
+    for launch in &report.launches {
+        let counters = launch
+            .event
+            .counters()
+            .expect("queues are profiled inside hpl::profile");
+        let timing = launch
+            .event
+            .kernel_timing()
+            .expect("kernel events carry modeled timing");
+        let entry = agg.entry(base_name(&launch.kernel)).or_insert_with(|| {
+            let empty = LaunchCounters {
+                totals: GroupCounters::default(),
+                num_groups: 0,
+                total_cycles: 0,
+                cu_occupancy: Vec::new(),
+            };
+            (0, empty, 0.0, 0.0)
+        });
+        entry.0 += 1;
+        entry.1.totals.merge(&counters.totals);
+        entry.1.num_groups += counters.num_groups;
+        entry.1.total_cycles += counters.total_cycles;
+        entry.2 += timing.device_seconds;
+        entry.3 += counters.mean_occupancy();
+    }
+    let rows = agg
+        .into_iter()
+        .map(|(kernel, (launches, counters, seconds, occ_sum))| {
+            let timing = TimingBreakdown {
+                device_seconds: seconds,
+                ..Default::default()
+            };
+            let point = roofline(&kernel, device.profile(), &timing, &counters);
+            KernelRow {
+                kernel,
+                launches,
+                occupancy_pct: 100.0 * occ_sum / launches as f64,
+                modeled_seconds: seconds,
+                roofline: point,
+                counters,
+            }
+        })
+        .collect();
+
+    let mut events: Vec<Event> = report.launches.iter().map(|l| l.event.clone()).collect();
+    events.extend(report.transfers.iter().filter_map(|t| t.event.clone()));
+
+    Ok(ModeProfile {
+        bench,
+        mode: if sync { "sync" } else { "async" },
+        rows,
+        h2d_count: report.h2d_count(),
+        h2d_bytes: report.h2d_bytes(),
+        d2h_count: report.d2h_count(),
+        expected_h2d: expected_h2d(bench),
+        events,
+    })
+}
+
+/// Profile all five benchmarks, sync then async, on `device`.
+pub fn compute(device: &Device) -> Result<Vec<ModeProfile>, benchsuite::Error> {
+    let mut out = Vec::with_capacity(2 * BENCHES.len());
+    for &bench in BENCHES {
+        for sync in [true, false] {
+            out.push(profile_one(bench, sync, device)?);
+        }
+    }
+    Ok(out)
+}
+
+/// Write one Chrome `trace_event` JSON per benchmark (sync + async events
+/// combined) into `dir` as `trace-<bench>.json`, schema-validating each.
+/// Returns `(path, event count)` per file.
+pub fn write_traces(
+    device: &Device,
+    profiles: &[ModeProfile],
+    dir: &Path,
+) -> std::io::Result<Vec<(String, usize)>> {
+    let mut written = Vec::new();
+    for &bench in BENCHES {
+        let events: Vec<Event> = profiles
+            .iter()
+            .filter(|p| p.bench == bench)
+            .flat_map(|p| p.events.iter().cloned())
+            .collect();
+        let json = chrome_trace(device, &events);
+        validate_chrome_trace(&json)
+            .map_err(|e| std::io::Error::other(format!("invalid trace for {bench}: {e}")))?;
+        let path = dir.join(format!("trace-{bench}.json"));
+        std::fs::write(&path, &json)?;
+        written.push((path.display().to_string(), events.len()));
+    }
+    Ok(written)
+}

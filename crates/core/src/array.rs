@@ -34,10 +34,30 @@ struct DeviceCopy {
     valid: bool,
 }
 
+/// Per-array host↔device transfer accounting, updated at every transfer
+/// the coherence machinery performs. The profiling surface for "did HPL
+/// move this array more often than it had to?" — the global
+/// [`crate::runtime::TransferStats`] aggregates across all arrays and
+/// threads, which makes it useless under a parallel test harness; this is
+/// scoped to one array.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArrayTransferStats {
+    /// Host→device uploads of this array.
+    pub h2d_count: u64,
+    /// Host→device bytes moved.
+    pub h2d_bytes: u64,
+    /// Device→host downloads of this array.
+    pub d2h_count: u64,
+    /// Device→host bytes moved.
+    pub d2h_bytes: u64,
+}
+
 struct HostState<T> {
     data: Vec<T>,
     host_valid: bool,
     copies: Vec<DeviceCopy>,
+    /// Lifetime transfer counts for this array (see [`ArrayTransferStats`]).
+    xfer: ArrayTransferStats,
     /// Event of the last asynchronously enqueued command that writes this
     /// array (kernel or host→device transfer). Future users of the data
     /// must wait on it — and are poisoned by it if it failed.
@@ -135,6 +155,7 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
                 data,
                 host_valid: true,
                 copies: Vec::new(),
+                xfer: ArrayTransferStats::default(),
                 last_write: None,
                 readers: Vec::new(),
             }))),
@@ -383,10 +404,11 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
             .ok_or_else(|| Error::Internal("array has no valid copy anywhere".into()))?;
         let queue = &runtime().entry(&copy.device).queue;
         let (data, ev) = queue.enqueue_read::<T>(&copy.buffer, 0, st.data.len())?;
-        runtime().note_d2h(
-            st.data.len() * std::mem::size_of::<T>(),
-            ev.modeled_seconds(),
-        );
+        let bytes = st.data.len() * std::mem::size_of::<T>();
+        runtime().note_d2h(bytes, ev.modeled_seconds());
+        st.xfer.d2h_count += 1;
+        st.xfer.d2h_bytes += bytes as u64;
+        crate::profile::note_transfer(oclsim::TransferDir::DeviceToHost, bytes as u64, Some(&ev));
         st.data = data;
         st.host_valid = true;
         Ok(())
@@ -434,10 +456,11 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
         // host is valid here (ensured above)
         let buffer = st.copies[pos].buffer.clone();
         let ev = entry.queue.enqueue_write(&buffer, 0, &st.data)?;
-        runtime().note_h2d(
-            st.data.len() * std::mem::size_of::<T>(),
-            ev.modeled_seconds(),
-        );
+        let bytes = st.data.len() * std::mem::size_of::<T>();
+        runtime().note_h2d(bytes, ev.modeled_seconds());
+        st.xfer.h2d_count += 1;
+        st.xfer.h2d_bytes += bytes as u64;
+        crate::profile::note_transfer(oclsim::TransferDir::HostToDevice, bytes as u64, Some(&ev));
         st.copies[pos].valid = true;
         Ok((buffer, ev.modeled_seconds()))
     }
@@ -522,6 +545,13 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
             // accounted without waiting for the event to resolve
             transfer_seconds = oclsim::timing::model_transfer(device.profile(), bytes);
             runtime().note_h2d(bytes, transfer_seconds);
+            st.xfer.h2d_count += 1;
+            st.xfer.h2d_bytes += bytes as u64;
+            crate::profile::note_transfer(
+                oclsim::TransferDir::HostToDevice,
+                bytes as u64,
+                Some(&ev),
+            );
             st.copies[pos].valid = true;
             deps.push(ev);
         }
@@ -558,6 +588,13 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
     /// True if the host copy is current (test hook).
     pub fn host_copy_valid(&self) -> bool {
         self.host_state().lock().host_valid
+    }
+
+    /// Lifetime host↔device transfer counts for this array. The assertion
+    /// surface for HPL's transfer minimiser: an array read by `k` evals on
+    /// one device should show `h2d_count == 1`.
+    pub fn transfer_stats(&self) -> ArrayTransferStats {
+        self.host_state().lock().xfer
     }
 }
 

@@ -530,6 +530,7 @@ impl<F: Copy + 'static> Eval<F> {
         let global = self.resolved_global(&args)?;
         let queue = &runtime().entry(&device).queue;
         let event = queue.enqueue_ndrange(&front.kernel, &global, self.local.as_deref())?;
+        crate::profile::note_launch(front.kernel.name(), &device, &event);
         args.post_all(&front.kernel, &device);
 
         Ok(EvalProfile {
@@ -572,6 +573,7 @@ impl<F: Copy + 'static> Eval<F> {
         let queue = &runtime().entry(&device).async_queue;
         let event =
             queue.enqueue_ndrange_async(&front.kernel, &global, self.local.as_deref(), &deps)?;
+        crate::profile::note_launch(front.kernel.name(), &device, &event);
         args.post_all_async(&front.kernel, &device, &event);
 
         Ok(AsyncEval {

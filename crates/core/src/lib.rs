@@ -61,10 +61,11 @@ pub mod kernel;
 pub mod math;
 pub mod patterns;
 pub mod predef;
+pub mod profile;
 pub mod runtime;
 pub mod scalar;
 
-pub use array::{Array, HostDataMut, HostIndex, KernelIndex};
+pub use array::{Array, ArrayTransferStats, HostDataMut, HostIndex, KernelIndex};
 pub use error::{Error, Result};
 pub use eval::{
     clear_kernel_cache, eval, kernel_cache_len, take_kernel_lints, AsyncEval, Eval, EvalProfile,
@@ -79,6 +80,7 @@ pub use predef::{
     gidx, gidy, gidz, idx, idy, idz, lidx, lidy, lidz, lszx, lszy, lszz, ngroupsx, ngroupsy,
     ngroupsz, szx, szy, szz,
 };
+pub use profile::{profile, ProfileReport, ProfiledLaunch, ProfiledTransfer};
 pub use runtime::{runtime, Runtime, TransferStats};
 pub use scalar::{Double, Float, HplScalar, Int, Long, Scalar, Uint, Ulong};
 

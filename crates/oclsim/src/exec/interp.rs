@@ -20,6 +20,7 @@ use crate::exec::ir::{Builtin, Ex, FuncIr, Module, St};
 use crate::exec::launch::{BoundArg, Geometry};
 use crate::exec::mask::Mask;
 use crate::exec::ops;
+use crate::prof::counters::{GroupCounters, InstrClass};
 use crate::timing::{CostModel, GroupStats};
 use crate::types::ScalarType;
 
@@ -71,6 +72,10 @@ pub struct LaunchEnv<'a> {
     /// Run the shadow-memory dynamic race sanitizer (tracks the last writer
     /// work-item and barrier epoch of every touched global/local cell).
     pub sanitize: bool,
+    /// Collect per-group profiling counters ([`GroupCounters`]). Off by
+    /// default: every counter hook is behind this flag, so a non-profiled
+    /// launch pays nothing beyond the [`GroupStats`] it always kept.
+    pub collect: bool,
 }
 
 /// One function activation record.
@@ -120,6 +125,8 @@ pub struct GroupRun<'a> {
     priv_mem: Vec<u8>,
     priv_stride: usize,
     pub stats: GroupStats,
+    /// Profiling counters, present iff `env.collect`.
+    pub counters: Option<GroupCounters>,
     scratch: Vec<Vec<u64>>,
     call_depth: usize,
     /// Direct-mapped cache of recently touched memory segments, used for
@@ -171,6 +178,7 @@ impl<'a> GroupRun<'a> {
             priv_mem: vec![0u8; env.kernel.priv_bytes_per_lane() * nlanes],
             priv_stride: env.kernel.priv_bytes_per_lane(),
             stats: GroupStats::default(),
+            counters: env.collect.then(GroupCounters::default),
             scratch: Vec::new(),
             call_depth: 0,
             seg_cache: if env.simd == 1 {
@@ -263,10 +271,18 @@ impl<'a> GroupRun<'a> {
     }
 
     #[inline]
-    fn charge(&mut self, cost: u32, mask: &Mask) {
+    fn charge(&mut self, cost: u32, mask: &Mask, class: InstrClass) {
         let warps = mask.active_warps(self.env.simd) as u64;
         self.stats.cycles += cost as u64 * warps;
         self.stats.instructions += warps;
+        let simd = self.env.simd;
+        if let Some(c) = &mut self.counters {
+            let covered = mask.covered_lanes(simd) as u64;
+            let active = mask.count() as u64;
+            c.instr.add(class, warps);
+            c.lane_cycles_issued += cost as u64 * covered;
+            c.divergence_lost_cycles += cost as u64 * (covered - active);
+        }
     }
 
     /// Charge global-memory transactions for the addresses of active lanes.
@@ -276,11 +292,13 @@ impl<'a> GroupRun<'a> {
     fn charge_global(&mut self, addrs: &[u64], size: usize, mask: &Mask) {
         let seg = self.env.cost.segment_bytes as u64;
         let mut tx = 0u64;
+        let mut min_tx = 0u64;
         if let Some(cache) = &mut self.seg_cache {
             for lane in mask.iter() {
                 let a = addrs[lane];
                 let first = a / seg;
                 let last = (a + size as u64 - 1) / seg;
+                min_tx += last - first + 1;
                 for s in first..=last {
                     let slot = (s as usize) % SEG_CACHE_LINES;
                     if cache[slot] != s {
@@ -297,8 +315,10 @@ impl<'a> GroupRun<'a> {
                 warp_segs.clear();
                 let lo = w * simd;
                 let hi = ((w + 1) * simd).min(self.nlanes);
+                let mut active_in_warp = 0u64;
                 for (lane, &a) in addrs.iter().enumerate().take(hi).skip(lo) {
                     if mask.get(lane) {
+                        active_in_warp += 1;
                         // an access may straddle two segments
                         warp_segs.push(a / seg);
                         let last = (a + size as u64 - 1) / seg;
@@ -310,13 +330,77 @@ impl<'a> GroupRun<'a> {
                 if warp_segs.is_empty() {
                     continue;
                 }
+                // the perfectly coalesced warp would pack the same bytes
+                // into back-to-back segments
+                min_tx += (active_in_warp * size as u64).div_ceil(seg).max(1);
                 warp_segs.sort_unstable();
                 warp_segs.dedup();
                 tx += warp_segs.len() as u64;
             }
         }
         self.stats.mem_transactions += tx;
-        self.charge(self.env.cost.mem_issue, mask);
+        if let Some(c) = &mut self.counters {
+            c.mem_transactions += tx;
+            c.mem_transactions_min += min_tx;
+            c.global_bytes += mask.count() as u64 * size as u64;
+        }
+        self.charge(self.env.cost.mem_issue, mask, InstrClass::Mem);
+    }
+
+    /// Local-memory counter hook: counts lane accesses and, on SIMT
+    /// devices, bank conflicts — lanes of one warp addressing *distinct*
+    /// 4-byte words that map to the same of 32 banks serialise into extra
+    /// passes (same-word access is a broadcast, not a conflict).
+    fn charge_local_counters(&mut self, addrs: &[u64], mask: &Mask) {
+        if self.counters.is_none() {
+            return;
+        }
+        let accesses = mask.count() as u64;
+        let simd = self.env.simd;
+        let mut conflicts = 0u64;
+        if simd > 1 {
+            const BANKS: u64 = 32;
+            let nwarps = self.nlanes.div_ceil(simd);
+            let mut words: Vec<(u64, u64)> = Vec::with_capacity(simd);
+            for w in 0..nwarps {
+                words.clear();
+                let lo = w * simd;
+                let hi = ((w + 1) * simd).min(self.nlanes);
+                for (lane, &a) in addrs.iter().enumerate().take(hi).skip(lo) {
+                    if mask.get(lane) {
+                        let word = (a & OFF_MASK) / 4;
+                        words.push((word % BANKS, word));
+                    }
+                }
+                words.sort_unstable();
+                words.dedup();
+                let mut i = 0;
+                while i < words.len() {
+                    let bank = words[i].0;
+                    let mut in_bank = 0u64;
+                    while i < words.len() && words[i].0 == bank {
+                        in_bank += 1;
+                        i += 1;
+                    }
+                    conflicts += in_bank - 1;
+                }
+            }
+        }
+        let c = self.counters.as_mut().expect("checked above");
+        c.local_accesses += accesses;
+        c.bank_conflicts += conflicts;
+    }
+
+    /// Attribute lane-granular arithmetic to the op/flop counters.
+    #[inline]
+    fn count_ops(&mut self, mask: &Mask, is_float: bool, per_lane: u64) {
+        if let Some(c) = &mut self.counters {
+            let n = mask.count() as u64 * per_lane;
+            c.arith_ops += n;
+            if is_float {
+                c.flops += n;
+            }
+        }
     }
 
     fn buffer_for(&self, ptr: u64) -> Result<&crate::buffer::Buffer> {
@@ -495,15 +579,16 @@ impl<'a> GroupRun<'a> {
                         }
                     }
                     AddrSpace::Local => {
-                        self.charge(self.env.cost.local_access, live);
+                        self.charge(self.env.cost.local_access, live, InstrClass::Local);
                         self.stats.local_accesses += live.count() as u64;
+                        self.charge_local_counters(&a, live);
                         for lane in live.iter() {
                             self.store_lane(a[lane], *elem, v[lane])?;
                             self.shadow_write(a[lane], lane, "local")?;
                         }
                     }
                     AddrSpace::Private => {
-                        self.charge(self.env.cost.int_alu, live);
+                        self.charge(self.env.cost.int_alu, live, InstrClass::Other);
                         for lane in live.iter() {
                             self.store_lane(self.lane_priv(a[lane], lane), *elem, v[lane])?;
                         }
@@ -518,7 +603,7 @@ impl<'a> GroupRun<'a> {
                 else_blk,
             } => {
                 let c = self.eval(cond, live, frame)?;
-                self.charge(1, live); // branch
+                self.charge(1, live, InstrClass::Control); // branch
                 let mut t_mask = live.clone();
                 t_mask.and_truthy(&c);
                 let mut f_mask = live.clone();
@@ -540,7 +625,7 @@ impl<'a> GroupRun<'a> {
                 let mut loop_active = live.clone();
                 if *check_first {
                     let c = self.eval(cond, &loop_active, frame)?;
-                    self.charge(1, &loop_active);
+                    self.charge(1, &loop_active, InstrClass::Control);
                     loop_active.and_truthy(&c);
                     self.give_scratch(c);
                 }
@@ -562,7 +647,7 @@ impl<'a> GroupRun<'a> {
                         break;
                     }
                     let c = self.eval(cond, &loop_active, frame)?;
-                    self.charge(1, &loop_active);
+                    self.charge(1, &loop_active, InstrClass::Control);
                     loop_active.and_truthy(&c);
                     self.give_scratch(c);
                 }
@@ -614,6 +699,11 @@ impl<'a> GroupRun<'a> {
                 // cost, not a per-lane one
                 self.stats.cycles += self.env.cost.barrier as u64;
                 self.stats.instructions += 1;
+                if let Some(c) = &mut self.counters {
+                    c.barriers += 1;
+                    c.barrier_stall_cycles += self.env.cost.barrier as u64;
+                    c.instr.add(InstrClass::Control, 1);
+                }
                 // the sanitizer's happens-before resets at the barrier
                 self.epoch += 1;
                 // lock-step execution means memory is already consistent
@@ -659,7 +749,7 @@ impl<'a> GroupRun<'a> {
             } => {
                 let mut p = self.eval(ptr, mask, frame)?;
                 let o = self.eval(offset, mask, frame)?;
-                self.charge(self.env.cost.int_alu, mask);
+                self.charge(self.env.cost.int_alu, mask, InstrClass::Int);
                 for lane in mask.iter() {
                     p[lane] = ptr_add(p[lane], o[lane] as i64, *elem_size);
                 }
@@ -674,11 +764,12 @@ impl<'a> GroupRun<'a> {
                         self.charge_global(&a, elem.size(), mask);
                     }
                     AddrSpace::Local => {
-                        self.charge(self.env.cost.local_access, mask);
+                        self.charge(self.env.cost.local_access, mask, InstrClass::Local);
                         self.stats.local_accesses += mask.count() as u64;
+                        self.charge_local_counters(&a, mask);
                     }
                     AddrSpace::Private => {
-                        self.charge(self.env.cost.int_alu, mask);
+                        self.charge(self.env.cost.int_alu, mask, InstrClass::Other);
                     }
                 }
                 for lane in mask.iter() {
@@ -700,7 +791,13 @@ impl<'a> GroupRun<'a> {
             Ex::Bin { op, ty, l, r } => {
                 let a = self.eval(l, mask, frame)?;
                 let mut b = self.eval(r, mask, frame)?;
-                self.charge(bin_cost(&self.env.cost, *op, *ty), mask);
+                let class = if ty.is_float() {
+                    InstrClass::Float
+                } else {
+                    InstrClass::Int
+                };
+                self.charge(bin_cost(&self.env.cost, *op, *ty), mask, class);
+                self.count_ops(mask, ty.is_float(), 1);
                 for lane in mask.iter() {
                     b[lane] = ops::bin_op(*op, *ty, a[lane], b[lane])?;
                 }
@@ -710,7 +807,7 @@ impl<'a> GroupRun<'a> {
             Ex::Cmp { op, ty, l, r } => {
                 let a = self.eval(l, mask, frame)?;
                 let mut b = self.eval(r, mask, frame)?;
-                self.charge(self.env.cost.int_alu, mask);
+                self.charge(self.env.cost.int_alu, mask, InstrClass::Int);
                 for lane in mask.iter() {
                     b[lane] = ops::cmp_op(*op, *ty, a[lane], b[lane]);
                 }
@@ -745,7 +842,13 @@ impl<'a> GroupRun<'a> {
             }
             Ex::Un { op, ty, e } => {
                 let mut a = self.eval(e, mask, frame)?;
-                self.charge(self.env.cost.int_alu, mask);
+                let class = if ty.is_float() {
+                    InstrClass::Float
+                } else {
+                    InstrClass::Int
+                };
+                self.charge(self.env.cost.int_alu, mask, class);
+                self.count_ops(mask, ty.is_float(), 1);
                 for lane in mask.iter() {
                     a[lane] = ops::un_op(*op, *ty, a[lane]);
                 }
@@ -753,7 +856,7 @@ impl<'a> GroupRun<'a> {
             }
             Ex::Cast { from, to, e } => {
                 let mut a = self.eval(e, mask, frame)?;
-                self.charge(self.env.cost.cast, mask);
+                self.charge(self.env.cost.cast, mask, InstrClass::Other);
                 for lane in mask.iter() {
                     a[lane] = ops::cast_bits(a[lane], *from, *to);
                 }
@@ -781,7 +884,7 @@ impl<'a> GroupRun<'a> {
                     }
                     self.give_scratch(fv);
                 }
-                self.charge(self.env.cost.int_alu, mask);
+                self.charge(self.env.cost.int_alu, mask, InstrClass::Int);
                 Ok(out)
             }
             Ex::CallBuiltin { b, ty, args } => self.eval_builtin(*b, *ty, args, mask, frame),
@@ -799,7 +902,7 @@ impl<'a> GroupRun<'a> {
     ) -> Result<Vec<u64>> {
         use Builtin::*;
         if b.is_geometry() {
-            self.charge(self.env.cost.int_alu, mask);
+            self.charge(self.env.cost.int_alu, mask, InstrClass::Int);
             let mut out = self.take_scratch();
             if b == GetWorkDim {
                 out.fill(self.env.geom.work_dim as u64);
@@ -826,10 +929,12 @@ impl<'a> GroupRun<'a> {
         }
         // math builtins
         let cost = math_cost(&self.env.cost, b, ty);
+        let class = math_class(b);
         match args.len() {
             1 => {
                 let mut a = self.eval(&args[0], mask, frame)?;
-                self.charge(cost, mask);
+                self.charge(cost, mask, class);
+                self.count_ops(mask, ty.is_float(), 1);
                 if b == AbsI {
                     for lane in mask.iter() {
                         a[lane] = if ty.is_signed() {
@@ -850,7 +955,8 @@ impl<'a> GroupRun<'a> {
             2 => {
                 let a = self.eval(&args[0], mask, frame)?;
                 let mut c = self.eval(&args[1], mask, frame)?;
-                self.charge(cost, mask);
+                self.charge(cost, mask, class);
+                self.count_ops(mask, ty.is_float(), 1);
                 if matches!(b, MaxI | MinI) {
                     for lane in mask.iter() {
                         c[lane] = int_minmax(b, ty, a[lane], c[lane]);
@@ -868,7 +974,9 @@ impl<'a> GroupRun<'a> {
                 let a = self.eval(&args[0], mask, frame)?;
                 let bv = self.eval(&args[1], mask, frame)?;
                 let mut c = self.eval(&args[2], mask, frame)?;
-                self.charge(cost, mask);
+                self.charge(cost, mask, class);
+                // fused multiply-add: two flops per lane
+                self.count_ops(mask, ty.is_float(), 2);
                 for lane in mask.iter() {
                     c[lane] = ops::math3(|x, y, z| x * y + z, ty, a[lane], bv[lane], c[lane]);
                 }
@@ -895,8 +1003,16 @@ impl<'a> GroupRun<'a> {
         } else {
             None
         };
-        self.charge(self.env.cost.atomic, mask);
+        self.charge(self.env.cost.atomic, mask, InstrClass::Atomic);
         self.stats.mem_transactions += mask.count() as u64; // atomics serialise
+        if let Some(c) = &mut self.counters {
+            let n = mask.count() as u64;
+            // serialised by definition: issued == minimal, so atomics are
+            // neutral for the coalescing-efficiency metric
+            c.mem_transactions += n;
+            c.mem_transactions_min += n;
+            c.arith_ops += n;
+        }
         let mut out = self.take_scratch();
         for lane in mask.iter() {
             let ptr = ptrs[lane];
@@ -1003,7 +1119,7 @@ impl<'a> GroupRun<'a> {
             callee_frame.slots[i].copy_from_slice(&v);
             self.give_scratch(v);
         }
-        self.charge(2, mask); // call overhead
+        self.charge(2, mask, InstrClass::Control); // call overhead
         self.call_depth += 1;
         let result = self.exec_block(&callee.body, &mut callee_frame, mask);
         self.call_depth -= 1;
@@ -1065,6 +1181,18 @@ fn math_cost(cm: &CostModel, b: Builtin, ty: ScalarType) -> u32 {
         _ => cm.f32_alu,
     };
     cm.float_cost(base, ty)
+}
+
+/// Profiler instruction class of a math builtin: integer helpers hit the
+/// integer ALU, everything the SFU evaluates counts as Special, the rest is
+/// plain float work.
+fn math_class(b: Builtin) -> InstrClass {
+    use Builtin::*;
+    match b {
+        MaxI | MinI | AbsI => InstrClass::Int,
+        Sqrt | Rsqrt | Exp | Log | Log2 | Pow | Sin | Cos | Tan | Fmod => InstrClass::Special,
+        _ => InstrClass::Float,
+    }
 }
 
 fn math1_fn(b: Builtin) -> fn(f64) -> f64 {

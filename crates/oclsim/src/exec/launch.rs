@@ -11,7 +11,8 @@ use crate::device::Device;
 use crate::error::{Error, Result};
 use crate::exec::interp::{GroupRun, LaunchEnv};
 use crate::exec::ir::{FuncIr, Module, ParamKind};
-use crate::timing::{model_launch, CostModel, GroupStats, TimingBreakdown};
+use crate::prof::counters::{GroupCounters, LaunchCounters};
+use crate::timing::{cu_loads, model_launch, CostModel, GroupStats, TimingBreakdown};
 use crate::types::ScalarType;
 
 /// A kernel argument bound for a launch.
@@ -252,6 +253,30 @@ pub fn run_ndrange(
     device: &Device,
     sanitize: bool,
 ) -> Result<TimingBreakdown> {
+    run_ndrange_profiled(module, kernel, args, geom, device, sanitize, false, None)
+        .map(|(timing, _)| timing)
+}
+
+/// Execute a validated launch; optionally collect profiling counters.
+///
+/// With `collect = false` this is exactly [`run_ndrange`] (the interpreter
+/// skips every counter hook). With `collect = true` each worker keeps a
+/// thread-local [`GroupCounters`] and folds it into the shared total with a
+/// purely additive merge, so the result is independent of worker count and
+/// group completion order. `workers` overrides the process-wide
+/// `OCLSIM_THREADS` pool size (used by determinism tests, which cannot
+/// re-read the cached environment variable mid-process).
+#[allow(clippy::too_many_arguments)]
+pub fn run_ndrange_profiled(
+    module: &Module,
+    kernel: &FuncIr,
+    args: &[BoundArg],
+    geom: Geometry,
+    device: &Device,
+    sanitize: bool,
+    collect: bool,
+    workers: Option<usize>,
+) -> Result<(TimingBreakdown, Option<LaunchCounters>)> {
     let env = LaunchEnv {
         module,
         kernel,
@@ -260,18 +285,21 @@ pub fn run_ndrange(
         cost: CostModel::for_device(device.profile()),
         simd: device.profile().simd_width.max(1) as usize,
         sanitize,
+        collect,
     };
     let ngroups = geom.num_groups();
     let total = geom.total_groups();
 
-    let nthreads = worker_threads().min(total).max(1);
+    let nthreads = workers.unwrap_or_else(worker_threads).min(total).max(1);
     let next = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
     let first_error: Mutex<Option<Error>> = Mutex::new(None);
     let all_stats: Mutex<Vec<GroupStats>> = Mutex::new(Vec::with_capacity(total));
+    let all_counters: Mutex<GroupCounters> = Mutex::new(GroupCounters::default());
 
     let run_worker = || {
         let mut local_stats: Vec<GroupStats> = Vec::new();
+        let mut local_counters = GroupCounters::default();
         loop {
             if failed.load(Ordering::Relaxed) {
                 break;
@@ -285,7 +313,12 @@ pub fn run_ndrange(
             let gz = g / (ngroups[0] * ngroups[1]);
             let mut run = GroupRun::new(&env, [gx, gy, gz]);
             match run.run() {
-                Ok(()) => local_stats.push(run.stats),
+                Ok(()) => {
+                    local_stats.push(run.stats);
+                    if let Some(c) = &run.counters {
+                        local_counters.merge(c);
+                    }
+                }
                 Err(e) => {
                     failed.store(true, Ordering::Relaxed);
                     let mut slot = first_error.lock();
@@ -297,6 +330,9 @@ pub fn run_ndrange(
             }
         }
         all_stats.lock().extend(local_stats);
+        if collect {
+            all_counters.lock().merge(&local_counters);
+        }
     };
 
     if nthreads <= 1 {
@@ -313,7 +349,28 @@ pub fn run_ndrange(
         return Err(e);
     }
     let stats = all_stats.into_inner();
-    Ok(model_launch(device.profile(), &stats))
+    let timing = model_launch(device.profile(), &stats);
+    let counters = collect.then(|| {
+        let load = cu_loads(device.profile(), &stats);
+        let makespan = load.iter().copied().max().unwrap_or(0);
+        let cu_occupancy = load
+            .iter()
+            .map(|&l| {
+                if makespan == 0 {
+                    0.0
+                } else {
+                    l as f64 / makespan as f64
+                }
+            })
+            .collect();
+        LaunchCounters {
+            totals: all_counters.into_inner(),
+            num_groups: stats.len(),
+            total_cycles: timing.totals.cycles,
+            cu_occupancy,
+        }
+    });
+    Ok((timing, counters))
 }
 
 #[cfg(test)]

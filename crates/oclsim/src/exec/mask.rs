@@ -139,6 +139,24 @@ impl Mask {
             })
             .count()
     }
+
+    /// Total lane slots covered by the active warps: every warp with at
+    /// least one active lane contributes its full width (clipped at the
+    /// group tail). The gap `covered_lanes - count()` is the work-item
+    /// slots a SIMT machine issues but masks off — the divergence loss.
+    pub fn covered_lanes(&self, simd: usize) -> usize {
+        if simd == 0 {
+            return 0;
+        }
+        let nwarps = self.nlanes.div_ceil(simd);
+        (0..nwarps)
+            .filter_map(|w| {
+                let lo = w * simd;
+                let hi = ((w + 1) * simd).min(self.nlanes);
+                (lo..hi).any(|l| self.get(l)).then_some(hi - lo)
+            })
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -227,5 +245,22 @@ mod tests {
         assert_eq!(Mask::full(65).active_warps(32), 3);
         // scalar "warps" (CPU profile)
         assert_eq!(Mask::full(8).active_warps(1), 8);
+    }
+
+    #[test]
+    fn covered_lanes_measures_divergence_slots() {
+        let mut m = Mask::none(64);
+        m.set(0); // one active lane still covers its whole warp
+        assert_eq!(m.covered_lanes(32), 32);
+        m.set(33);
+        assert_eq!(m.covered_lanes(32), 64);
+        assert_eq!(Mask::full(64).covered_lanes(32), 64);
+        assert_eq!(Mask::none(64).covered_lanes(32), 0);
+        // tail warp is clipped: 40 lanes, simd 32 -> 32 + 8
+        assert_eq!(Mask::full(40).covered_lanes(32), 40);
+        // scalar profile: covered == active, no divergence loss possible
+        let mut s = Mask::none(8);
+        s.set(2);
+        assert_eq!(s.covered_lanes(1), 1);
     }
 }

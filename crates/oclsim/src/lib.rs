@@ -56,6 +56,7 @@ pub mod device;
 pub mod error;
 pub mod exec;
 pub mod platform;
+pub mod prof;
 pub mod program;
 pub mod queue;
 pub mod sched;
@@ -68,6 +69,10 @@ pub use context::Context;
 pub use device::{Device, DeviceProfile, DeviceType};
 pub use error::{Error, Result};
 pub use platform::Platform;
+pub use prof::{
+    chrome_trace, profile_launch, roofline, validate_chrome_trace, GroupCounters, InstrClass,
+    InstrMix, LaunchCounters, RooflinePoint, TransferDir, TransferInfo,
+};
 pub use program::{Kernel, Program};
 pub use queue::{CommandQueue, ReadHandle};
 pub use sched::{wait_for_events, CommandKind, Event, EventStatus, TimelineStamps};

@@ -1,0 +1,315 @@
+//! Simulated hardware counters collected per work-group and merged per
+//! launch.
+//!
+//! The interpreter owns one [`GroupCounters`] per work-group while the
+//! group runs (no sharing, no locks); the launch layer folds them into a
+//! [`LaunchCounters`] with a purely additive merge, so the totals are
+//! independent of worker count and completion order — `OCLSIM_THREADS=1`
+//! and `=4` produce identical values by construction.
+
+/// Instruction classes the profiler attributes warp-issues to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstrClass {
+    /// Integer ALU work: adds, compares, address arithmetic, selects.
+    Int,
+    /// Floating-point ALU work.
+    Float,
+    /// Global/constant memory access issues.
+    Mem,
+    /// Local (scratchpad) memory accesses.
+    Local,
+    /// Control flow: branches, loop tests, calls, barriers.
+    Control,
+    /// Special-function-unit work: sqrt, transcendentals, fp division.
+    Special,
+    /// Atomic read-modify-writes.
+    Atomic,
+    /// Everything else (casts, conversions).
+    Other,
+}
+
+/// Warp-granular instruction counts by class — "instructions retired"
+/// broken down the way a hardware profiler would report it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstrMix {
+    pub int_ops: u64,
+    pub float_ops: u64,
+    pub mem_ops: u64,
+    pub local_ops: u64,
+    pub control: u64,
+    pub special: u64,
+    pub atomics: u64,
+    pub other: u64,
+}
+
+impl InstrMix {
+    /// Attribute `n` warp-issues to `class`.
+    #[inline]
+    pub fn add(&mut self, class: InstrClass, n: u64) {
+        match class {
+            InstrClass::Int => self.int_ops += n,
+            InstrClass::Float => self.float_ops += n,
+            InstrClass::Mem => self.mem_ops += n,
+            InstrClass::Local => self.local_ops += n,
+            InstrClass::Control => self.control += n,
+            InstrClass::Special => self.special += n,
+            InstrClass::Atomic => self.atomics += n,
+            InstrClass::Other => self.other += n,
+        }
+    }
+
+    /// Total instructions across all classes.
+    pub fn total(&self) -> u64 {
+        self.int_ops
+            + self.float_ops
+            + self.mem_ops
+            + self.local_ops
+            + self.control
+            + self.special
+            + self.atomics
+            + self.other
+    }
+
+    /// Accumulate another mix.
+    pub fn merge(&mut self, other: &InstrMix) {
+        self.int_ops += other.int_ops;
+        self.float_ops += other.float_ops;
+        self.mem_ops += other.mem_ops;
+        self.local_ops += other.local_ops;
+        self.control += other.control;
+        self.special += other.special;
+        self.atomics += other.atomics;
+        self.other += other.other;
+    }
+}
+
+/// Counters for one work-group. All fields are plain sums, so merging is
+/// commutative and associative — the foundation of thread-count-independent
+/// launch totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupCounters {
+    /// Instructions retired, by class (warp-granular).
+    pub instr: InstrMix,
+    /// Global-memory transactions actually issued (after coalescing).
+    pub mem_transactions: u64,
+    /// The minimum transactions the same accesses would need if perfectly
+    /// coalesced: `ceil(active_lanes x access_size / segment)` per warp
+    /// access. `issued / minimal` is the coalescing inefficiency.
+    pub mem_transactions_min: u64,
+    /// Useful global-memory bytes touched by active lanes (lane-granular;
+    /// excludes the over-fetch of partially used segments).
+    pub global_bytes: u64,
+    /// Floating-point operations executed by active lanes (fma counts 2).
+    pub flops: u64,
+    /// All arithmetic operations executed by active lanes (int + float).
+    pub arith_ops: u64,
+    /// Barriers executed by the group.
+    pub barriers: u64,
+    /// Modeled cycles the group spent synchronising at barriers.
+    pub barrier_stall_cycles: u64,
+    /// Lane-granular issue-slot cost units: each charge contributes
+    /// `cost x covered_lanes`, where covered lanes are every slot of every
+    /// warp that issued (active or masked off). Denominator for
+    /// [`LaunchCounters::divergence_fraction`].
+    pub lane_cycles_issued: u64,
+    /// Work-item-cycle cost units lost to divergence: each charge
+    /// contributes `cost x (covered_lanes - active_lanes)` — issue slots
+    /// spent on lanes the mask had switched off.
+    pub divergence_lost_cycles: u64,
+    /// Local (scratchpad) memory accesses by active lanes.
+    pub local_accesses: u64,
+    /// Local-memory bank conflicts: per warp access, the number of extra
+    /// serialised passes caused by distinct words mapping to one bank.
+    pub bank_conflicts: u64,
+}
+
+impl GroupCounters {
+    /// Accumulate another group's counters (order-independent).
+    pub fn merge(&mut self, other: &GroupCounters) {
+        self.instr.merge(&other.instr);
+        self.mem_transactions += other.mem_transactions;
+        self.mem_transactions_min += other.mem_transactions_min;
+        self.global_bytes += other.global_bytes;
+        self.flops += other.flops;
+        self.arith_ops += other.arith_ops;
+        self.barriers += other.barriers;
+        self.barrier_stall_cycles += other.barrier_stall_cycles;
+        self.lane_cycles_issued += other.lane_cycles_issued;
+        self.divergence_lost_cycles += other.divergence_lost_cycles;
+        self.local_accesses += other.local_accesses;
+        self.bank_conflicts += other.bank_conflicts;
+    }
+}
+
+/// Merged counters for one kernel launch plus the launch-level metrics
+/// that only exist at the whole-launch scope (occupancy, stall fraction).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchCounters {
+    /// Sum of every group's counters.
+    pub totals: GroupCounters,
+    /// Work-groups executed.
+    pub num_groups: usize,
+    /// Total modeled compute cycles of the launch (mirror of
+    /// `TimingBreakdown::totals.cycles`, kept here so the counters are
+    /// self-contained).
+    pub total_cycles: u64,
+    /// Per-CU busy fraction under the timing model's LPT group assignment:
+    /// `load[cu] / makespan`. Deterministic for a given multiset of group
+    /// cycle counts.
+    pub cu_occupancy: Vec<f64>,
+}
+
+impl LaunchCounters {
+    /// Fraction of issued transactions that a perfectly coalesced access
+    /// pattern would also need (1.0 = fully coalesced). Clamped to 1.0:
+    /// on CPU profiles the modeled cache can beat the per-access minimum.
+    pub fn coalescing_efficiency(&self) -> f64 {
+        if self.totals.mem_transactions == 0 {
+            return 1.0;
+        }
+        (self.totals.mem_transactions_min as f64 / self.totals.mem_transactions as f64).min(1.0)
+    }
+
+    /// Mean per-CU busy fraction — achieved occupancy of the CU pool.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.cu_occupancy.is_empty() {
+            return 0.0;
+        }
+        self.cu_occupancy.iter().sum::<f64>() / self.cu_occupancy.len() as f64
+    }
+
+    /// Fraction of modeled cycles spent synchronising at barriers.
+    pub fn stall_fraction(&self) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        self.totals.barrier_stall_cycles as f64 / self.total_cycles as f64
+    }
+
+    /// Fraction of issued work-item slots lost to divergence masking.
+    pub fn divergence_fraction(&self) -> f64 {
+        let issued = self.totals.lane_cycles_issued;
+        if issued == 0 {
+            return 0.0;
+        }
+        self.totals.divergence_lost_cycles as f64 / issued as f64
+    }
+}
+
+/// Direction of a modeled data movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferDir {
+    /// Host → device write.
+    HostToDevice,
+    /// Device → host read.
+    DeviceToHost,
+    /// Device-internal buffer→buffer copy.
+    DeviceToDevice,
+}
+
+impl TransferDir {
+    /// Short human-readable label ("h2d"/"d2h"/"d2d").
+    pub fn label(&self) -> &'static str {
+        match self {
+            TransferDir::HostToDevice => "h2d",
+            TransferDir::DeviceToHost => "d2h",
+            TransferDir::DeviceToDevice => "d2d",
+        }
+    }
+}
+
+/// Metadata of one transfer/copy command, attached to its event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferInfo {
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Which way they moved.
+    pub direction: TransferDir,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instr_mix_totals_and_merge() {
+        let mut m = InstrMix::default();
+        m.add(InstrClass::Int, 3);
+        m.add(InstrClass::Mem, 2);
+        m.add(InstrClass::Special, 1);
+        assert_eq!(m.total(), 6);
+        let mut n = InstrMix::default();
+        n.add(InstrClass::Int, 4);
+        n.merge(&m);
+        assert_eq!(n.int_ops, 7);
+        assert_eq!(n.total(), 10);
+    }
+
+    #[test]
+    fn group_merge_is_commutative() {
+        let a = GroupCounters {
+            mem_transactions: 5,
+            mem_transactions_min: 2,
+            flops: 10,
+            ..Default::default()
+        };
+        let b = GroupCounters {
+            mem_transactions: 3,
+            barriers: 1,
+            ..Default::default()
+        };
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn coalescing_efficiency_bounds() {
+        let mut lc = LaunchCounters {
+            totals: GroupCounters::default(),
+            num_groups: 0,
+            total_cycles: 0,
+            cu_occupancy: vec![],
+        };
+        // no traffic -> treated as fully coalesced
+        assert_eq!(lc.coalescing_efficiency(), 1.0);
+        lc.totals.mem_transactions = 32;
+        lc.totals.mem_transactions_min = 1;
+        assert!((lc.coalescing_efficiency() - 1.0 / 32.0).abs() < 1e-12);
+        // a cache that beats the per-access minimum clamps at 1.0
+        lc.totals.mem_transactions = 1;
+        lc.totals.mem_transactions_min = 8;
+        assert_eq!(lc.coalescing_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn occupancy_and_stalls() {
+        let lc = LaunchCounters {
+            totals: GroupCounters {
+                barrier_stall_cycles: 25,
+                ..Default::default()
+            },
+            num_groups: 2,
+            total_cycles: 100,
+            cu_occupancy: vec![1.0, 0.5, 0.0, 0.5],
+        };
+        assert!((lc.mean_occupancy() - 0.5).abs() < 1e-12);
+        assert!((lc.stall_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn divergence_fraction_is_lost_over_issued() {
+        let mut lc = LaunchCounters {
+            totals: GroupCounters::default(),
+            num_groups: 1,
+            total_cycles: 10,
+            cu_occupancy: vec![1.0],
+        };
+        assert_eq!(lc.divergence_fraction(), 0.0);
+        lc.totals.lane_cycles_issued = 200;
+        lc.totals.divergence_lost_cycles = 50;
+        assert!((lc.divergence_fraction() - 0.25).abs() < 1e-12);
+    }
+}

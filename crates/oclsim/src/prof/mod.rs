@@ -1,0 +1,76 @@
+//! Profiling and observability for the simulated device.
+//!
+//! The subsystem has four parts:
+//!
+//! * [`counters`] — simulated hardware counters (instruction mix, memory
+//!   transactions vs. the coalesced minimum, divergence, barrier stalls,
+//!   bank conflicts, per-CU occupancy), collected per work-group inside
+//!   the interpreter and merged additively so totals are independent of
+//!   `OCLSIM_THREADS`.
+//! * event timestamps — OpenCL-style QUEUED/SUBMIT/START/END stamps on
+//!   every command, exposed through
+//!   [`Event::profiling_info`](crate::sched::Event::profiling_info) when
+//!   the owning queue has profiling enabled
+//!   ([`CommandQueue::set_profiling`](crate::queue::CommandQueue::set_profiling),
+//!   the `CL_QUEUE_PROFILING_ENABLE` analog).
+//! * [`trace`] — a Chrome `trace_event` JSON exporter that lays kernel
+//!   and DMA slices out on the modeled timeline, one track per CU-pool
+//!   lane plus one for the DMA engine (loadable in Perfetto or
+//!   `chrome://tracing`); [`json`] holds the dependency-free JSON parser
+//!   used to schema-check traces in tests.
+//! * [`roofline`] — per-kernel roofline placement: arithmetic intensity
+//!   from the counters against the device's compute and bandwidth
+//!   ceilings.
+//!
+//! Profiling costs nothing when disabled: every interpreter hook is
+//! behind a `collect` flag that defaults to off, and the scheduler
+//! always records stamps (it needs them to model overlap anyway).
+
+pub mod counters;
+pub mod json;
+pub mod roofline;
+pub mod trace;
+
+pub use counters::{
+    GroupCounters, InstrClass, InstrMix, LaunchCounters, TransferDir, TransferInfo,
+};
+pub use json::validate_chrome_trace;
+pub use roofline::{roofline, RooflinePoint};
+pub use trace::chrome_trace;
+
+use crate::device::Device;
+use crate::error::Result;
+use crate::exec::launch::{run_ndrange_profiled, validate_launch, Geometry};
+use crate::program::Kernel;
+use crate::timing::TimingBreakdown;
+
+/// Run `kernel` synchronously with counter collection forced on and an
+/// explicit worker-pool size.
+///
+/// This bypasses the queue layer (no event, no modeled overlap) and exists
+/// for tests and tools that need counters without enabling queue profiling,
+/// or that must vary the worker count within one process — the
+/// `OCLSIM_THREADS` pool size is read once and cached, so queue launches
+/// cannot.
+pub fn profile_launch(
+    kernel: &Kernel,
+    global: &[usize],
+    local: Option<&[usize]>,
+    device: &Device,
+    workers: usize,
+) -> Result<(TimingBreakdown, LaunchCounters)> {
+    let geom = Geometry::new(global, local, device)?;
+    let args = kernel.bound_args()?;
+    validate_launch(kernel.func_ir(), &args, &geom, device)?;
+    let (timing, counters) = run_ndrange_profiled(
+        kernel.module(),
+        kernel.func_ir(),
+        &args,
+        geom,
+        device,
+        kernel.sanitize(),
+        true,
+        Some(workers),
+    )?;
+    Ok((timing, counters.expect("collect was requested")))
+}

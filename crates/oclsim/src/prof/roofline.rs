@@ -1,0 +1,155 @@
+//! Per-kernel roofline analysis from counters + device ceilings.
+//!
+//! The classic roofline model bounds a kernel's attainable throughput by
+//! `min(peak_compute, arithmetic_intensity x peak_bandwidth)`. The
+//! profiler has both coordinates for free: the interpreter counts
+//! arithmetic operations and DRAM transactions, and the device profile
+//! carries the ceilings the timing model already uses. The resulting
+//! "fraction of roofline achieved" is how the report attributes modeled
+//! time: a transpose pinned far below the bandwidth roof by uncoalesced
+//! transactions looks very different from a reduction riding the roof.
+
+use crate::device::DeviceProfile;
+use crate::prof::counters::LaunchCounters;
+use crate::timing::TimingBreakdown;
+
+/// One kernel launch placed on the device's roofline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RooflinePoint {
+    /// Kernel name.
+    pub kernel: String,
+    /// Arithmetic operations counted (lane-granular, int + float).
+    pub arith_ops: u64,
+    /// DRAM bytes actually moved: transactions x segment size.
+    pub dram_bytes: u64,
+    /// Useful bytes requested by active lanes (<= `dram_bytes` on GPUs;
+    /// the gap is the over-fetch of partially used segments).
+    pub useful_bytes: u64,
+    /// Operations per DRAM byte.
+    pub arithmetic_intensity: f64,
+    /// Ops/s the launch achieved over its modeled time.
+    pub attained_ops_per_sec: f64,
+    /// The roofline at this intensity:
+    /// `min(peak_ops, intensity x bandwidth)`.
+    pub roof_ops_per_sec: f64,
+    /// `attained / roof` — how close the launch came to its bound.
+    pub fraction_of_roof: f64,
+    /// DRAM bandwidth achieved, in GB/s.
+    pub attained_bandwidth_gbps: f64,
+    /// Fraction of the device's peak DRAM bandwidth achieved.
+    pub bandwidth_fraction: f64,
+    /// Whether the binding ceiling is compute (true) or bandwidth (false).
+    pub compute_bound: bool,
+}
+
+/// Place one launch on `profile`'s roofline.
+pub fn roofline(
+    kernel: &str,
+    profile: &DeviceProfile,
+    timing: &TimingBreakdown,
+    counters: &LaunchCounters,
+) -> RooflinePoint {
+    let arith_ops = counters.totals.arith_ops;
+    let dram_bytes = counters.totals.mem_transactions * profile.mem_segment_bytes as u64;
+    let seconds = timing.device_seconds;
+    let peak_ops = profile.peak_ops_per_sec();
+    let peak_bw = profile.global_bandwidth_gbps * 1.0e9;
+
+    let intensity = if dram_bytes > 0 {
+        arith_ops as f64 / dram_bytes as f64
+    } else {
+        f64::INFINITY
+    };
+    let roof = if dram_bytes > 0 {
+        peak_ops.min(intensity * peak_bw)
+    } else {
+        peak_ops
+    };
+    let attained = if seconds > 0.0 {
+        arith_ops as f64 / seconds
+    } else {
+        0.0
+    };
+    let attained_bw = if seconds > 0.0 {
+        dram_bytes as f64 / seconds / 1.0e9
+    } else {
+        0.0
+    };
+
+    RooflinePoint {
+        kernel: kernel.to_string(),
+        arith_ops,
+        dram_bytes,
+        useful_bytes: counters.totals.global_bytes,
+        arithmetic_intensity: intensity,
+        attained_ops_per_sec: attained,
+        roof_ops_per_sec: roof,
+        fraction_of_roof: if roof > 0.0 { attained / roof } else { 0.0 },
+        attained_bandwidth_gbps: attained_bw,
+        bandwidth_fraction: attained_bw * 1.0e9 / peak_bw,
+        compute_bound: roof >= peak_ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prof::counters::GroupCounters;
+
+    fn counters(ops: u64, tx: u64) -> LaunchCounters {
+        LaunchCounters {
+            totals: GroupCounters {
+                arith_ops: ops,
+                mem_transactions: tx,
+                global_bytes: tx * 128,
+                ..Default::default()
+            },
+            num_groups: 1,
+            total_cycles: 1,
+            cu_occupancy: vec![1.0],
+        }
+    }
+
+    #[test]
+    fn bandwidth_bound_kernel_hits_bandwidth_roof() {
+        let p = DeviceProfile::tesla_c2050();
+        // 1 op per 128-byte transaction: intensity far left of the ridge
+        let c = counters(1_000, 1_000);
+        let t = TimingBreakdown {
+            device_seconds: 1_000.0 * 128.0 / (144.0e9),
+            ..Default::default()
+        };
+        let r = roofline("k", &p, &t, &c);
+        assert!(!r.compute_bound);
+        assert!((r.bandwidth_fraction - 1.0).abs() < 1e-9);
+        assert!((r.fraction_of_roof - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_bound_kernel_uses_peak_ops_roof() {
+        let p = DeviceProfile::tesla_c2050();
+        // enormous intensity: the flat compute roof binds
+        let c = counters(u64::MAX / 2, 1);
+        let t = TimingBreakdown {
+            device_seconds: 1.0,
+            ..Default::default()
+        };
+        let r = roofline("k", &p, &t, &c);
+        assert!(r.compute_bound);
+        assert!((r.roof_ops_per_sec - p.peak_ops_per_sec()).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_traffic_is_compute_bound_without_nans() {
+        let p = DeviceProfile::tesla_c2050();
+        let c = counters(100, 0);
+        let t = TimingBreakdown {
+            device_seconds: 1e-6,
+            ..Default::default()
+        };
+        let r = roofline("k", &p, &t, &c);
+        assert!(r.compute_bound);
+        assert!(r.fraction_of_roof.is_finite());
+        assert_eq!(r.attained_bandwidth_gbps, 0.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Chrome `trace_event` JSON export of the modeled timeline.
+//!
+//! Renders a set of resolved events as a Perfetto/`chrome://tracing`
+//! loadable trace: one process per device, thread 0 for the DMA engine,
+//! threads 1..k for compute-unit pool lanes. Kernel and copy slices carry
+//! their counters as `args`, so clicking a slice in the viewer shows
+//! coalescing, occupancy and stall numbers next to its duration.
+//!
+//! The writer is hand-rolled (the workspace deliberately has no serde);
+//! the companion [`crate::prof::json`] module parses the output back for
+//! schema validation in tests.
+
+use std::fmt::Write as _;
+
+use crate::device::Device;
+use crate::sched::{CommandKind, Event, EventStatus};
+
+/// Escape a string for inclusion in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn slice_name(ev: &Event) -> String {
+    if let Some(label) = ev.label() {
+        return label;
+    }
+    match ev.kind() {
+        CommandKind::WriteBuffer => "write (h2d)".into(),
+        CommandKind::ReadBuffer => "read (d2h)".into(),
+        CommandKind::CopyBuffer => "copy (d2d)".into(),
+        CommandKind::NdRangeKernel => "kernel".into(),
+        CommandKind::Marker => "marker".into(),
+        CommandKind::User => "user".into(),
+    }
+}
+
+/// Append one `"key": value` pair (numeric) to an args body.
+fn arg_num(body: &mut String, key: &str, value: f64) {
+    if !body.is_empty() {
+        body.push(',');
+    }
+    let _ = write!(body, "\"{key}\":{value}");
+}
+
+fn arg_str(body: &mut String, key: &str, value: &str) {
+    if !body.is_empty() {
+        body.push(',');
+    }
+    let _ = write!(body, "\"{key}\":\"{}\"", escape(value));
+}
+
+fn event_args(ev: &Event) -> String {
+    let mut body = String::new();
+    if let Some(t) = ev.transfer_info() {
+        arg_num(&mut body, "bytes", t.bytes as f64);
+        arg_str(&mut body, "direction", t.direction.label());
+    }
+    if let Some(c) = ev.counters() {
+        arg_num(&mut body, "instructions", c.totals.instr.total() as f64);
+        arg_num(
+            &mut body,
+            "mem_transactions",
+            c.totals.mem_transactions as f64,
+        );
+        arg_num(
+            &mut body,
+            "coalescing_pct",
+            100.0 * c.coalescing_efficiency(),
+        );
+        arg_num(&mut body, "occupancy_pct", 100.0 * c.mean_occupancy());
+        arg_num(&mut body, "stall_pct", 100.0 * c.stall_fraction());
+        arg_num(&mut body, "divergence_pct", 100.0 * c.divergence_fraction());
+        arg_num(&mut body, "bank_conflicts", c.totals.bank_conflicts as f64);
+        arg_num(&mut body, "work_groups", c.num_groups as f64);
+    }
+    body
+}
+
+/// Render `events` (commands of `device`) as a Chrome trace JSON string.
+///
+/// Unresolved and failed events are skipped; slices are sorted by start
+/// time so the output is deterministic for a deterministic modeled
+/// timeline. Kernel launches are laid out greedily over as many "CU pool"
+/// display lanes as overlap requires; transfers and copies share the
+/// single DMA lane, where the scheduler already serialised them.
+pub fn chrome_trace(device: &Device, events: &[Event]) -> String {
+    let pid = device.id();
+    let mut resolved: Vec<&Event> = events
+        .iter()
+        .filter(|e| e.status() == EventStatus::Complete)
+        .filter(|e| !matches!(e.kind(), CommandKind::Marker | CommandKind::User))
+        .collect();
+    resolved.sort_by(|a, b| {
+        let (pa, pb) = (a.profile(), b.profile());
+        pa.started
+            .total_cmp(&pb.started)
+            .then(pa.ended.total_cmp(&pb.ended))
+            .then(a.id().cmp(&b.id()))
+    });
+
+    // Greedy display-lane assignment for compute slices (the timeline does
+    // not record which CUs a launch took, only that it fit).
+    let mut lane_free: Vec<f64> = Vec::new();
+    let mut slices = String::new();
+    for ev in &resolved {
+        let p = ev.profile();
+        let tid = if ev.kind() == CommandKind::NdRangeKernel {
+            let lane = lane_free
+                .iter()
+                .position(|&free| free <= p.started)
+                .unwrap_or_else(|| {
+                    lane_free.push(0.0);
+                    lane_free.len() - 1
+                });
+            lane_free[lane] = p.ended;
+            lane + 1
+        } else {
+            0
+        };
+        let ts = p.started * 1.0e6;
+        let dur = (p.ended - p.started) * 1.0e6;
+        let args = event_args(ev);
+        let _ = write!(
+            slices,
+            ",\n{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\
+             \"pid\":{pid},\"tid\":{tid},\"args\":{{{args}}}}}",
+            escape(&slice_name(ev)),
+            if ev.kind() == CommandKind::NdRangeKernel {
+                "compute"
+            } else {
+                "dma"
+            },
+        );
+    }
+
+    // Metadata: process = device, tid 0 = DMA, tids 1..k = CU pool lanes.
+    let mut out = String::from("{\"traceEvents\":[");
+    let _ = write!(
+        out,
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        escape(device.name()),
+    );
+    let _ = write!(
+        out,
+        ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+         \"args\":{{\"name\":\"DMA engine\"}}}}"
+    );
+    for lane in 0..lane_free.len() {
+        let _ = write!(
+            out,
+            ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{},\
+             \"args\":{{\"name\":\"CU pool lane {lane}\"}}}}",
+            lane + 1,
+        );
+    }
+    out.push_str(&slices);
+    out.push_str("],\n\"displayTimeUnit\":\"ms\"}\n");
+    out
+}

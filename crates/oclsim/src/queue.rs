@@ -21,16 +21,18 @@
 //! synchronization lives in [`CommandQueue::flush`],
 //! [`CommandQueue::finish`] and [`crate::sched::wait_for_events`].
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::buffer::Buffer;
 use crate::context::Context;
 use crate::device::Device;
 use crate::error::{Error, Result};
-use crate::exec::launch::{run_ndrange, validate_launch, Geometry};
+use crate::exec::launch::{run_ndrange_profiled, validate_launch, Geometry};
+use crate::prof::counters::{TransferDir, TransferInfo};
 use crate::program::Kernel;
 use crate::sched::dispatcher::{Command, Work};
-use crate::sched::event::reaches;
+use crate::sched::event::{reaches, CommandOutput};
 use crate::sched::timeline::Resource;
 use crate::sched::{CommandKind, Event};
 use crate::timing::{model_copy, model_transfer};
@@ -48,6 +50,10 @@ struct QueueInner {
     context: Context,
     device: Device,
     out_of_order: bool,
+    /// `CL_QUEUE_PROFILING_ENABLE` analogue: when set, kernel launches
+    /// collect hardware counters and events expose
+    /// [`Event::profiling_info`]. Sampled per command at enqueue time.
+    profiling: AtomicBool,
     state: Mutex<QueueState>,
 }
 
@@ -88,6 +94,7 @@ impl CommandQueue {
                 context: context.clone(),
                 device: device.clone(),
                 out_of_order,
+                profiling: AtomicBool::new(false),
                 state: Mutex::new(QueueState::default()),
             }),
         })
@@ -106,6 +113,20 @@ impl CommandQueue {
     /// Whether the queue was created with out-of-order execution.
     pub fn is_out_of_order(&self) -> bool {
         self.inner.out_of_order
+    }
+
+    /// Turn profiling on or off (`CL_QUEUE_PROFILING_ENABLE`). Affects
+    /// commands enqueued *after* the call: their kernel launches collect
+    /// simulated hardware counters ([`Event::counters`]) and their events
+    /// answer [`Event::profiling_info`]. Off by default — a non-profiled
+    /// launch skips every counter hook.
+    pub fn set_profiling(&self, enabled: bool) {
+        self.inner.profiling.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether profiling is currently enabled on this queue.
+    pub fn profiling_enabled(&self) -> bool {
+        self.inner.profiling.load(Ordering::Relaxed)
     }
 
     /// Build the full dependency list for a new command (wait list plus
@@ -133,7 +154,7 @@ impl CommandQueue {
                 }
             }
         }
-        let event = Event::new_command(kind, deps, order_deps);
+        let event = Event::new_command(kind, deps, order_deps, self.profiling_enabled());
         st.last = Some(event.clone());
         st.live.retain(|e| !e.is_resolved());
         st.live.push(event.clone());
@@ -177,7 +198,13 @@ impl CommandQueue {
                 Ok(Work {
                     resource: Resource::Dma,
                     duration: modeled,
-                    kernel_timing: None,
+                    output: CommandOutput {
+                        transfer: Some(TransferInfo {
+                            bytes: len_bytes as u64,
+                            direction: TransferDir::HostToDevice,
+                        }),
+                        ..Default::default()
+                    },
                 })
             }),
         );
@@ -214,7 +241,13 @@ impl CommandQueue {
                 Ok(Work {
                     resource: Resource::Dma,
                     duration: modeled,
-                    kernel_timing: None,
+                    output: CommandOutput {
+                        transfer: Some(TransferInfo {
+                            bytes: len_bytes as u64,
+                            direction: TransferDir::DeviceToHost,
+                        }),
+                        ..Default::default()
+                    },
                 })
             }),
         );
@@ -261,7 +294,13 @@ impl CommandQueue {
                 Ok(Work {
                     resource: Resource::Dma,
                     duration: modeled,
-                    kernel_timing: None,
+                    output: CommandOutput {
+                        transfer: Some(TransferInfo {
+                            bytes: len_bytes as u64,
+                            direction: TransferDir::DeviceToDevice,
+                        }),
+                        ..Default::default()
+                    },
                 })
             }),
         );
@@ -285,6 +324,7 @@ impl CommandQueue {
         validate_launch(kernel.func_ir(), &args, &geom, &self.inner.device)?;
         kernel.lint_launch(&args, &geom)?;
         let sanitize = kernel.sanitize();
+        let collect = self.profiling_enabled();
         let event = self.admit(CommandKind::NdRangeKernel, wait)?;
         let kernel = kernel.clone();
         let device = self.inner.device.clone();
@@ -292,18 +332,25 @@ impl CommandQueue {
         self.submit(
             &event,
             Box::new(move || {
-                let timing = run_ndrange(
+                let (timing, counters) = run_ndrange_profiled(
                     kernel.module(),
                     kernel.func_ir(),
                     &args,
                     geom,
                     &device,
                     sanitize,
+                    collect,
+                    None,
                 )?;
                 Ok(Work {
                     resource: Resource::Compute { groups },
                     duration: timing.device_seconds,
-                    kernel_timing: Some(timing),
+                    output: CommandOutput {
+                        kernel_timing: Some(timing),
+                        counters,
+                        transfer: None,
+                        label: Some(kernel.name().to_string()),
+                    },
                 })
             }),
         );
@@ -329,7 +376,7 @@ impl CommandQueue {
                 Ok(Work {
                     resource: Resource::Instant,
                     duration: 0.0,
-                    kernel_timing: None,
+                    output: CommandOutput::default(),
                 })
             }),
         );

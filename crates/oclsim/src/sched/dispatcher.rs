@@ -19,16 +19,16 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use crate::error::{Error, Result};
-use crate::sched::event::{Event, EventStatus, TimelineStamps};
+use crate::sched::event::{CommandOutput, Event, EventStatus, TimelineStamps};
 use crate::sched::timeline::{Resource, Timeline};
-use crate::timing::TimingBreakdown;
 
 /// The outcome of a command's functional execution: what to reserve on the
-/// modeled timeline, for how long, and any kernel profiling detail.
+/// modeled timeline, for how long, and the output to attach to the event
+/// (kernel timing, profiling counters, transfer metadata).
 pub(crate) struct Work {
     pub resource: Resource,
     pub duration: f64,
-    pub kernel_timing: Option<TimingBreakdown>,
+    pub output: CommandOutput,
 }
 
 /// One enqueued command: its event handle plus the deferred functional
@@ -185,7 +185,7 @@ impl DeviceSched {
                     started,
                     ended,
                 };
-                cmd.event.resolve_complete(stamps, wall, work.kernel_timing);
+                cmd.event.resolve_complete(stamps, wall, work.output);
             }
             Ok(Err(err)) => {
                 let (started, ended) = lock(&self.timeline).reserve(Resource::Instant, ready, 0.0);

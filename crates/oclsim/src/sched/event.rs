@@ -15,6 +15,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
 use std::time::Duration;
 
 use crate::error::{Error, Result};
+use crate::prof::counters::{LaunchCounters, TransferInfo};
 use crate::sched::dispatcher::DeviceSched;
 use crate::timing::TimingBreakdown;
 
@@ -113,6 +114,19 @@ impl ChainGate {
     }
 }
 
+/// Everything a command's execution produces besides its timeline slot:
+/// detailed kernel timing, profiling counters (when the queue's profiling
+/// flag was set), transfer metadata for DMA commands, and a display label.
+/// Bundled so the dispatcher can thread it from the work closure to the
+/// event without caring what is inside.
+#[derive(Debug, Default)]
+pub(crate) struct CommandOutput {
+    pub kernel_timing: Option<TimingBreakdown>,
+    pub counters: Option<LaunchCounters>,
+    pub transfer: Option<TransferInfo>,
+    pub label: Option<String>,
+}
+
 struct EventState {
     status: EventStatus,
     error: Option<Error>,
@@ -128,12 +142,15 @@ struct EventState {
     watchers: Vec<Watcher>,
     stamps: TimelineStamps,
     wall: Duration,
-    kernel_timing: Option<TimingBreakdown>,
+    output: CommandOutput,
 }
 
 pub(crate) struct EventInner {
     id: u64,
     kind: CommandKind,
+    /// Whether the owning queue had profiling enabled at enqueue time —
+    /// OpenCL's `CL_QUEUE_PROFILING_ENABLE` is sampled per command.
+    profiled: bool,
     state: Mutex<EventState>,
     cond: Condvar,
 }
@@ -156,11 +173,13 @@ impl Event {
         status: EventStatus,
         deps: Vec<Event>,
         order_deps: Vec<Event>,
+        profiled: bool,
     ) -> Event {
         Event {
             inner: Arc::new(EventInner {
                 id: NEXT_EVENT_ID.fetch_add(1, Ordering::Relaxed),
                 kind,
+                profiled,
                 state: Mutex::new(EventState {
                     status,
                     error: None,
@@ -169,7 +188,7 @@ impl Event {
                     watchers: Vec::new(),
                     stamps: TimelineStamps::default(),
                     wall: Duration::ZERO,
-                    kernel_timing: None,
+                    output: CommandOutput::default(),
                 }),
                 cond: Condvar::new(),
             }),
@@ -178,13 +197,15 @@ impl Event {
 
     /// A fresh event for a command entering a queue. `deps` is the
     /// explicit wait list (error-poisoning); `order_deps` are
-    /// ordering-only predecessors.
+    /// ordering-only predecessors. `profiled` records whether the queue's
+    /// profiling flag was set at enqueue time.
     pub(crate) fn new_command(
         kind: CommandKind,
         deps: Vec<Event>,
         order_deps: Vec<Event>,
+        profiled: bool,
     ) -> Event {
-        Event::with_status(kind, EventStatus::Queued, deps, order_deps)
+        Event::with_status(kind, EventStatus::Queued, deps, order_deps, profiled)
     }
 
     /// Create a user event (`clCreateUserEvent`): it stays `Submitted`
@@ -196,6 +217,7 @@ impl Event {
             EventStatus::Submitted,
             Vec::new(),
             Vec::new(),
+            false,
         )
     }
 
@@ -240,10 +262,56 @@ impl Event {
         lock(&self.inner.state).stamps
     }
 
+    /// OpenCL-style profiling info: the four timestamps, available only
+    /// when the owning queue had profiling enabled at enqueue time **and**
+    /// the command completed — otherwise the OpenCL
+    /// `CL_PROFILING_INFO_NOT_AVAILABLE` analogue, [`Error::InvalidOperation`].
+    /// (The raw [`Event::profile`] stamps stay readable regardless, like a
+    /// debugger; this is the conformant API surface.)
+    pub fn profiling_info(&self) -> Result<TimelineStamps> {
+        if !self.inner.profiled {
+            return Err(Error::InvalidOperation(
+                "profiling information is not available: the queue was created without \
+                 profiling enabled"
+                    .into(),
+            ));
+        }
+        let st = lock(&self.inner.state);
+        if st.status != EventStatus::Complete {
+            return Err(Error::InvalidOperation(
+                "profiling information is not available until the command completes".into(),
+            ));
+        }
+        Ok(st.stamps)
+    }
+
+    /// Was the owning queue's profiling flag set when this command was
+    /// enqueued?
+    pub fn is_profiled(&self) -> bool {
+        self.inner.profiled
+    }
+
     /// Detailed timing breakdown (kernel launches only; `None` until the
     /// launch completes).
     pub fn kernel_timing(&self) -> Option<TimingBreakdown> {
-        lock(&self.inner.state).kernel_timing
+        lock(&self.inner.state).output.kernel_timing
+    }
+
+    /// Simulated hardware counters of a kernel launch. `None` until the
+    /// launch completes, and for commands enqueued without profiling.
+    pub fn counters(&self) -> Option<LaunchCounters> {
+        lock(&self.inner.state).output.counters.clone()
+    }
+
+    /// Bytes moved and direction, for transfer/copy commands. `None` until
+    /// the command completes.
+    pub fn transfer_info(&self) -> Option<TransferInfo> {
+        lock(&self.inner.state).output.transfer
+    }
+
+    /// Display label (the kernel name, for launches).
+    pub fn label(&self) -> Option<String> {
+        lock(&self.inner.state).output.label.clone()
     }
 
     /// Block until the event resolves. `Ok(())` on completion; the
@@ -359,19 +427,19 @@ impl Event {
         self.inner.cond.notify_all();
     }
 
-    /// Resolve as complete with final stamps and timing.
+    /// Resolve as complete with final stamps and the work's output.
     pub(crate) fn resolve_complete(
         &self,
         stamps: TimelineStamps,
         wall: Duration,
-        kernel_timing: Option<TimingBreakdown>,
+        output: CommandOutput,
     ) {
-        self.resolve(None, stamps, wall, kernel_timing);
+        self.resolve(None, stamps, wall, output);
     }
 
     /// Resolve as failed.
     pub(crate) fn resolve_error(&self, error: Error, stamps: TimelineStamps, wall: Duration) {
-        self.resolve(Some(error), stamps, wall, None);
+        self.resolve(Some(error), stamps, wall, CommandOutput::default());
     }
 
     fn resolve(
@@ -379,7 +447,7 @@ impl Event {
         error: Option<Error>,
         stamps: TimelineStamps,
         wall: Duration,
-        kernel_timing: Option<TimingBreakdown>,
+        output: CommandOutput,
     ) {
         let (watchers, final_error) = {
             let mut st = lock(&self.inner.state);
@@ -395,7 +463,7 @@ impl Event {
             st.error = error.clone();
             st.stamps = stamps;
             st.wall = wall;
-            st.kernel_timing = kernel_timing;
+            st.output = output;
             st.deps.clear();
             st.order_deps.clear();
             self.inner.cond.notify_all();

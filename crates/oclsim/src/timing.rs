@@ -172,11 +172,15 @@ pub struct TimingBreakdown {
     pub num_groups: usize,
 }
 
-/// Turn per-group stats into a modeled launch time for `profile`.
-pub fn model_launch(profile: &DeviceProfile, groups: &[GroupStats]) -> TimingBreakdown {
+/// Per-CU cycle loads under the timing model's group-to-CU assignment.
+///
+/// Greedy LPT scheduling: sort groups by cycles descending, assign each to
+/// the least-loaded CU. The result depends only on the multiset of group
+/// cycle counts, so it is deterministic across worker counts and completion
+/// orders. The makespan (max element) drives [`model_launch`]; the profiler
+/// reads the whole vector for per-CU achieved occupancy.
+pub fn cu_loads(profile: &DeviceProfile, groups: &[GroupStats]) -> Vec<u64> {
     let cus = profile.compute_units.max(1) as usize;
-    // Greedy makespan: sort groups by cycles descending, assign each to the
-    // least-loaded CU (LPT scheduling).
     let mut cycles: Vec<u64> = groups.iter().map(|g| g.cycles).collect();
     cycles.sort_unstable_by(|a, b| b.cmp(a));
     let mut load = vec![0u64; cus];
@@ -184,7 +188,12 @@ pub fn model_launch(profile: &DeviceProfile, groups: &[GroupStats]) -> TimingBre
         let min = load.iter_mut().min().expect("at least one CU");
         *min += c;
     }
-    let makespan = load.into_iter().max().unwrap_or(0);
+    load
+}
+
+/// Turn per-group stats into a modeled launch time for `profile`.
+pub fn model_launch(profile: &DeviceProfile, groups: &[GroupStats]) -> TimingBreakdown {
+    let makespan = cu_loads(profile, groups).into_iter().max().unwrap_or(0);
 
     let mut totals = GroupStats::default();
     for g in groups {

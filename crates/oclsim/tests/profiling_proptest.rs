@@ -1,0 +1,121 @@
+//! Property test of counter determinism: for a random kernel shape
+//! (grid, group size, access stride, divergence modulus, loop trip
+//! count), the simulated hardware counters and the modeled time must be
+//! bit-identical no matter how many host workers execute the work-groups
+//! and no matter the queue discipline (in-order vs out-of-order). This is
+//! the invariant that lets `ci.sh` diff `report -- profile` output across
+//! `OCLSIM_THREADS` settings.
+//!
+//! Every run builds its own fresh device, so nothing leaks between cases.
+
+use oclsim::{profile_launch, CommandQueue, Context, Device, DeviceProfile, Program};
+use proptest::prelude::*;
+
+const SRC: &str = "__kernel void randk(__global float* dst, __global const float* src,
+                    const int stride, const int modr, const int iters) {
+    int i = (int)get_global_id(0);
+    float a = src[i * stride];
+    for (int j = 0; j < iters; j++) { a = a * 1.001f + 0.01f; }
+    if (i % modr == 0) { a += src[i]; }
+    dst[i] = a;
+}";
+
+/// One randomly-shaped launch.
+#[derive(Debug, Clone, Copy)]
+struct Shape {
+    groups: usize,
+    local: usize,
+    stride: i32,
+    modr: i32,
+    iters: i32,
+}
+
+fn shape() -> impl Strategy<Value = Shape> {
+    (1usize..32, 0usize..3, 1i32..34, 1i32..8, 0i32..48).prop_map(
+        |(groups, local_sel, stride, modr, iters)| Shape {
+            groups,
+            local: [32, 64, 128][local_sel],
+            stride,
+            modr,
+            iters,
+        },
+    )
+}
+
+/// Run `shape` through [`profile_launch`] with `workers` host threads on a
+/// fresh Tesla; returns the counters' debug rendering plus the modeled
+/// seconds (bitwise, via to_bits).
+fn run_with_workers(shape: Shape, workers: usize) -> (String, u64) {
+    let device = Device::new(DeviceProfile::tesla_c2050());
+    let ctx = Context::new(std::slice::from_ref(&device)).unwrap();
+    let p = Program::from_source(&ctx, SRC);
+    p.build("").unwrap();
+    let k = p.kernel("randk").unwrap();
+    let n = shape.groups * shape.local;
+    let dst = ctx
+        .create_buffer(4 * n, oclsim::MemAccess::ReadWrite)
+        .unwrap();
+    let src = ctx
+        .create_buffer(4 * n * 34, oclsim::MemAccess::ReadOnly)
+        .unwrap();
+    k.set_arg_buffer(0, &dst).unwrap();
+    k.set_arg_buffer(1, &src).unwrap();
+    k.set_arg_scalar(2, shape.stride).unwrap();
+    k.set_arg_scalar(3, shape.modr).unwrap();
+    k.set_arg_scalar(4, shape.iters).unwrap();
+    let (timing, counters) =
+        profile_launch(&k, &[n], Some(&[shape.local]), &device, workers).unwrap();
+    (format!("{counters:?}"), timing.device_seconds.to_bits())
+}
+
+/// The same launch through a profiled queue of either discipline.
+fn run_on_queue(shape: Shape, out_of_order: bool) -> String {
+    let device = Device::new(DeviceProfile::tesla_c2050());
+    let ctx = Context::new(std::slice::from_ref(&device)).unwrap();
+    let queue = if out_of_order {
+        CommandQueue::new_out_of_order(&ctx, &device).unwrap()
+    } else {
+        CommandQueue::new(&ctx, &device).unwrap()
+    };
+    queue.set_profiling(true);
+    let p = Program::from_source(&ctx, SRC);
+    p.build("").unwrap();
+    let k = p.kernel("randk").unwrap();
+    let n = shape.groups * shape.local;
+    let dst = ctx
+        .create_buffer(4 * n, oclsim::MemAccess::ReadWrite)
+        .unwrap();
+    let src = ctx
+        .create_buffer(4 * n * 34, oclsim::MemAccess::ReadOnly)
+        .unwrap();
+    k.set_arg_buffer(0, &dst).unwrap();
+    k.set_arg_buffer(1, &src).unwrap();
+    k.set_arg_scalar(2, shape.stride).unwrap();
+    k.set_arg_scalar(3, shape.modr).unwrap();
+    k.set_arg_scalar(4, shape.iters).unwrap();
+    let ev = queue
+        .enqueue_ndrange(&k, &[n], Some(&[shape.local]))
+        .unwrap();
+    format!("{:?}", ev.counters().unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// Counters and modeled time are invariant under the worker pool size.
+    #[test]
+    fn counters_invariant_under_worker_count(s in shape()) {
+        let (c1, t1) = run_with_workers(s, 1);
+        let (c4, t4) = run_with_workers(s, 4);
+        prop_assert_eq!(&c1, &c4, "shape: {:?}", s);
+        prop_assert_eq!(t1, t4, "modeled time drifted for {:?}", s);
+    }
+
+    /// Counters are invariant under the queue discipline.
+    #[test]
+    fn counters_invariant_under_queue_discipline(s in shape()) {
+        let in_order = run_on_queue(s, false);
+        let out_of_order = run_on_queue(s, true);
+        prop_assert_eq!(in_order, out_of_order, "shape: {:?}", s);
+    }
+}
