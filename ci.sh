@@ -37,4 +37,25 @@ OCLSIM_THREADS=1 cargo run --release -p bench --bin report -- profile > target/p
 OCLSIM_THREADS=4 cargo run --release -p bench --bin report -- profile > target/profile-t4.out
 diff target/profile-t1.out target/profile-t4.out
 
+echo "== telemetry is zero-overhead when off (and invisible to the counter tables when on)"
+# same profile run with span collection enabled: the counter tables, the
+# transfer-minimality verdicts and the traces must be byte-identical —
+# telemetry observes the runtime, it never perturbs it
+HPL_TELEMETRY=1 OCLSIM_THREADS=1 cargo run --release -p bench --bin report -- profile > target/profile-telemetry.out
+diff target/profile-t1.out target/profile-telemetry.out
+
+echo "== report -- metrics (canonical snapshot byte-identical across OCLSIM_THREADS)"
+# drives every benchmark to its kernel-cache steady state and prints the
+# canonical metrics snapshot; exits nonzero if any steady-state run misses
+# the cache, and the whole output must not depend on the dispatcher pool
+OCLSIM_THREADS=1 cargo run --release -p bench --bin report -- metrics > target/metrics-t1.out
+OCLSIM_THREADS=4 cargo run --release -p bench --bin report -- metrics > target/metrics-t4.out
+diff target/metrics-t1.out target/metrics-t4.out
+
+echo "== report -- bench (BENCH_pr4.json perf-trajectory gate)"
+# regenerates the trajectory and diffs it against the committed baseline:
+# fails on >10% modeled-time regression, any new redundant upload, or a
+# vanished benchmark; also schema-checks the unified host+device trace
+cargo run --release -p bench --bin report -- bench BENCH_pr4.json
+
 echo "ci.sh: all green"

@@ -2,19 +2,37 @@
 //!
 //! Usage: `cargo run -p bench --release --bin report [-- EXPERIMENT]`
 //! where EXPERIMENT is one of `table1`, `fig6`, `fig7`, `fig8`, `fig9`,
-//! `caching`, `ablation`, `overlap`, `lint`, `profile`, or `all` (default).
-//! Measured values are printed next to the paper's published numbers;
-//! EXPERIMENTS.md records the comparison. `lint` runs the kernel sanitizer
-//! over every benchmark's handwritten and HPL-generated OpenCL C and exits
-//! nonzero unless every kernel is clean. `profile` runs every benchmark
-//! (sync and async) under `hpl::profile`, prints the simulated hardware
-//! counters per kernel — output byte-identical across `OCLSIM_THREADS` —
-//! writes Chrome traces to `target/trace-<bench>.json`, and exits nonzero
-//! if any run performed a redundant host→device transfer.
+//! `caching`, `ablation`, `overlap`, `lint`, `profile`, `metrics`,
+//! `bench`, or `all` (default). Measured values are printed next to the
+//! paper's published numbers; EXPERIMENTS.md records the comparison.
+//! `lint` runs the kernel sanitizer over every benchmark's handwritten
+//! and HPL-generated OpenCL C and exits nonzero unless every kernel is
+//! clean. `profile` runs every benchmark (sync and async) under
+//! `hpl::profile`, prints the simulated hardware counters per kernel —
+//! output byte-identical across `OCLSIM_THREADS` — writes Chrome traces
+//! to `target/trace-<bench>.json`, and exits nonzero if any run performed
+//! a redundant host→device transfer. `metrics` drives every benchmark to
+//! its cache steady state and prints the canonical telemetry snapshot
+//! (also byte-identical across `OCLSIM_THREADS`). `bench` emits the
+//! `target/BENCH_pr4.json` performance trajectory plus a unified
+//! host+device Floyd–Warshall trace, and — given a baseline path as the
+//! next argument — fails on >10% modeled-time regression, any new
+//! redundant transfer, or a vanished benchmark.
+//!
+//! Setting `HPL_TELEMETRY=1` enables span collection for the whole run;
+//! with it unset, the telemetry layer stays off (a single relaxed atomic
+//! load per site) and `ci.sh` proves the `profile` output is byte-for-byte
+//! unaffected either way.
 
-use bench::{ablation, caching, fig6, fig7, fig8, fig9, lint, overlap, profile, table1, tesla};
+use bench::{
+    ablation, caching, fig6, fig7, fig8, fig9, lint, overlap, profile, runtime_metrics, table1,
+    tesla, trajectory,
+};
 
 fn main() {
+    if std::env::var("HPL_TELEMETRY").is_ok_and(|v| !v.is_empty() && v != "0") {
+        hpl::telemetry::set_enabled(true);
+    }
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     let ok = match which.as_str() {
         "table1" => run_table1(),
@@ -27,6 +45,8 @@ fn main() {
         "overlap" => run_overlap(),
         "lint" => run_lint(),
         "profile" => run_profile(),
+        "metrics" => run_metrics(),
+        "bench" => run_bench_trajectory(),
         "all" => {
             run_table1()
                 & run_fig6()
@@ -38,10 +58,12 @@ fn main() {
                 & run_overlap()
                 & run_lint()
                 & run_profile()
+                & run_metrics()
+                & run_bench_trajectory()
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; use table1|fig6|fig7|fig8|fig9|caching|ablation|overlap|lint|profile|all"
+                "unknown experiment `{other}`; use table1|fig6|fig7|fig8|fig9|caching|ablation|overlap|lint|profile|metrics|bench|all"
             );
             std::process::exit(2);
         }
@@ -384,6 +406,134 @@ fn run_profile() -> bool {
         Err(e) => {
             eprintln!("trace export failed: {e}");
             ok = false;
+        }
+    }
+    ok
+}
+
+fn run_metrics() -> bool {
+    banner("Metrics — telemetry registry, steady-state kernel-cache behaviour (Tesla, test scale)");
+    // self-contained snapshot: only this subcommand's workload counts
+    hpl::telemetry::reset_metrics();
+    let device = tesla();
+    let rows = match runtime_metrics::compute(&device) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("metrics failed: {e}");
+            return false;
+        }
+    };
+    println!(
+        "{:<10} {:<6} {:>10} {:>11} {:>12} {:>13} {:>10}",
+        "bench", "mode", "warm hits", "warm miss", "steady hits", "steady miss", "hit ratio"
+    );
+    let mut ok = true;
+    for r in &rows {
+        println!(
+            "{:<10} {:<6} {:>10} {:>11} {:>12} {:>13} {:>9.2}%  {}",
+            r.bench,
+            r.mode,
+            r.warm_hits,
+            r.warm_misses,
+            r.steady_hits,
+            r.steady_misses,
+            100.0 * r.steady_hit_ratio(),
+            if r.steady_state_cached() {
+                "[cached]"
+            } else {
+                "[COLD]"
+            }
+        );
+        ok &= r.steady_state_cached();
+    }
+    println!("\ncanonical metrics snapshot (wall-clock metrics excluded):");
+    print!("{}", hpl::telemetry::metrics_text(true));
+    ok
+}
+
+fn run_bench_trajectory() -> bool {
+    banner("Bench — performance trajectory (BENCH_pr4.json) and regression gate");
+    let device = tesla();
+    let run = match trajectory::compute(&device) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench trajectory failed: {e}");
+            return false;
+        }
+    };
+    println!(
+        "{:<10} {:<6} {:>14} {:>5} {:>10} {:>5} {:>6} {:>6} {:>9} {:>6} {:>12}",
+        "bench",
+        "mode",
+        "modeled (s)",
+        "h2d",
+        "h2d B",
+        "d2h",
+        "hits",
+        "miss",
+        "redundant",
+        "sloc",
+        "host wall(s)"
+    );
+    let mut ok = true;
+    for e in &run.entries {
+        let host_wall: f64 = e.host_wall_seconds.values().sum();
+        println!(
+            "{:<10} {:<6} {:>14.9} {:>5} {:>10} {:>5} {:>6} {:>6} {:>9} {:>6} {:>12.6}",
+            e.bench,
+            e.mode,
+            e.modeled_device_seconds,
+            e.h2d_count,
+            e.h2d_bytes,
+            e.d2h_count,
+            e.cache_hits,
+            e.cache_misses,
+            e.redundant_uploads,
+            e.hpl_sloc,
+            host_wall
+        );
+        ok &= e.redundant_uploads == 0;
+    }
+    let json = trajectory::to_json(&run.entries);
+    let out = std::path::Path::new("target").join("BENCH_pr4.json");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("could not write {}: {e}", out.display());
+        return false;
+    }
+    println!("trajectory written: {}", out.display());
+    match trajectory::write_floyd_artifacts(&device, &run, std::path::Path::new("target")) {
+        Ok(paths) => {
+            for p in paths {
+                println!("host+device artifact written: {p}");
+            }
+        }
+        Err(e) => {
+            eprintln!("host trace export failed: {e}");
+            ok = false;
+        }
+    }
+    if let Some(baseline_path) = std::env::args().nth(2) {
+        let text = match std::fs::read_to_string(&baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("could not read baseline {baseline_path}: {e}");
+                return false;
+            }
+        };
+        match trajectory::check_against_baseline(&run.entries, &text) {
+            Ok(failures) if failures.is_empty() => {
+                println!("trajectory gate vs {baseline_path}: OK");
+            }
+            Ok(failures) => {
+                for f in &failures {
+                    eprintln!("trajectory gate: {f}");
+                }
+                ok = false;
+            }
+            Err(e) => {
+                eprintln!("baseline {baseline_path} unusable: {e}");
+                ok = false;
+            }
         }
     }
     ok

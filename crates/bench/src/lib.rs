@@ -15,8 +15,12 @@
 //! | §V-B kernel-cache behaviour | [`caching::compute`] |
 //! | Ablations (DESIGN.md) | [`ablation`] |
 //! | Hardware-counter profile (`report -- profile`) | [`profile::compute`] |
+//! | Telemetry registry snapshot (`report -- metrics`) | [`runtime_metrics::compute`] |
+//! | Perf trajectory + gate (`report -- bench`) | [`trajectory::compute`] |
 
 pub mod profile;
+pub mod runtime_metrics;
+pub mod trajectory;
 
 use oclsim::Device;
 

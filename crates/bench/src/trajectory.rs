@@ -1,0 +1,381 @@
+//! The `report -- bench` experiment: the `BENCH_*.json` performance
+//! trajectory and its regression gate.
+//!
+//! One run produces a machine-readable snapshot of where the
+//! reproduction's performance stands: per (benchmark, sync/async) pair
+//! the modeled device seconds, transfer counts and bytes, kernel-cache
+//! lookup deltas, the redundant-upload tripwire, the HPL version's SLOC
+//! (Table I's productivity axis), and — telemetry being enabled for the
+//! run — the host-side wall time split by span category. The JSON goes to
+//! `target/BENCH_pr4.json`; `ci.sh` keeps a committed copy at the repo
+//! root and re-runs the experiment against it, failing on
+//!
+//! - a modeled-device-time regression of more than 10% on any pair,
+//! - any redundant host→device transfer the baseline did not have, or
+//! - a (benchmark, mode) pair that disappeared from the report.
+//!
+//! Host wall times are recorded for trend-watching but never gated: they
+//! depend on the machine, while modeled times depend only on the workload
+//! and the device model.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use hpl::telemetry::{self, SpanRecord};
+use oclsim::prof::json::{parse, Value};
+use oclsim::{chrome_trace_with_host, validate_chrome_trace, Device, Event};
+
+use crate::profile::{profile_one, BENCHES};
+use crate::table1;
+
+/// Schema tag stamped into the JSON so future PRs can evolve the format.
+pub const SCHEMA: &str = "hpl-bench-trajectory-v1";
+
+/// Multiplicative headroom before a modeled-time increase fails the gate.
+pub const REGRESSION_FACTOR: f64 = 1.10;
+
+/// One (benchmark, mode) row of the trajectory.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// Benchmark name (see [`BENCHES`](crate::profile::BENCHES)).
+    pub bench: &'static str,
+    /// `"sync"` or `"async"`.
+    pub mode: &'static str,
+    /// Modeled device seconds summed over the run's kernel launches —
+    /// analytic, so identical on every machine and thread count.
+    pub modeled_device_seconds: f64,
+    /// Host→device transfers the run performed.
+    pub h2d_count: usize,
+    /// Host→device bytes moved.
+    pub h2d_bytes: u64,
+    /// Device→host transfers.
+    pub d2h_count: usize,
+    /// Kernel-cache hits during the run.
+    pub cache_hits: u64,
+    /// Kernel-cache misses during the run.
+    pub cache_misses: u64,
+    /// Redundant uploads (device copy already valid) during the run —
+    /// always a coherence bug; the gate fails on any increase.
+    pub redundant_uploads: u64,
+    /// SLOC of the benchmark's HPL version (Table I).
+    pub hpl_sloc: usize,
+    /// Wall seconds of host-side telemetry spans, summed per category
+    /// (inclusive time: a parent span contains its children). Recorded
+    /// for trend-watching; excluded from the gate.
+    pub host_wall_seconds: BTreeMap<&'static str, f64>,
+}
+
+/// The full trajectory run, plus the raw material for the unified
+/// host+device Floyd–Warshall trace.
+pub struct BenchRun {
+    /// One entry per (benchmark, mode), in [`BENCHES`] × sync/async order.
+    pub entries: Vec<BenchEntry>,
+    /// Profiled backend events of the Floyd–Warshall sync run.
+    pub floyd_events: Vec<Event>,
+    /// Telemetry spans captured during the Floyd–Warshall sync run.
+    pub floyd_spans: Vec<SpanRecord>,
+}
+
+/// Table I's HPL SLOC for a benchmark key used by the profile harness.
+fn hpl_sloc(bench: &str) -> usize {
+    let table = table1::compute();
+    let name = match bench {
+        "ep" => "EP",
+        "floyd" => "Floyd-Warshall",
+        "transpose" => "Matrix transpose",
+        "spmv" => "Spmv",
+        "reduction" => "Reduction",
+        other => panic!("unknown benchmark `{other}`"),
+    };
+    table
+        .iter()
+        .find(|r| r.benchmark == name)
+        .map(|r| r.hpl_sloc)
+        .expect("Table I covers all five benchmarks")
+}
+
+/// Run all five benchmarks sync+async with telemetry enabled and collect
+/// the trajectory. Restores the telemetry enable flag on return.
+pub fn compute(device: &Device) -> Result<BenchRun, benchsuite::Error> {
+    let was_enabled = telemetry::enabled();
+    telemetry::set_enabled(true);
+    let run = compute_inner(device);
+    telemetry::set_enabled(was_enabled);
+    run
+}
+
+fn compute_inner(device: &Device) -> Result<BenchRun, benchsuite::Error> {
+    let mut entries = Vec::with_capacity(2 * BENCHES.len());
+    let mut floyd_events = Vec::new();
+    let mut floyd_spans = Vec::new();
+    for &bench in BENCHES {
+        for sync in [true, false] {
+            let cache_before = hpl::cache_stats();
+            let redundant_before = telemetry::metrics().redundant_uploads.get();
+            drop(telemetry::drain_spans());
+            let p = profile_one(bench, sync, device)?;
+            let spans = telemetry::drain_spans();
+            let cache_after = hpl::cache_stats();
+            let redundant_after = telemetry::metrics().redundant_uploads.get();
+
+            let mut host_wall_seconds: BTreeMap<&'static str, f64> = BTreeMap::new();
+            for s in &spans {
+                *host_wall_seconds.entry(s.category).or_insert(0.0) += s.wall_seconds();
+            }
+            entries.push(BenchEntry {
+                bench,
+                mode: p.mode,
+                modeled_device_seconds: p.rows.iter().map(|r| r.modeled_seconds).sum(),
+                h2d_count: p.h2d_count,
+                h2d_bytes: p.h2d_bytes,
+                d2h_count: p.d2h_count,
+                cache_hits: cache_after.hits - cache_before.hits,
+                cache_misses: cache_after.misses - cache_before.misses,
+                redundant_uploads: redundant_after - redundant_before,
+                hpl_sloc: hpl_sloc(bench),
+                host_wall_seconds,
+            });
+            if bench == "floyd" && sync {
+                floyd_events = p.events.clone();
+                floyd_spans = spans;
+            }
+        }
+    }
+    Ok(BenchRun {
+        entries,
+        floyd_events,
+        floyd_spans,
+    })
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialise the trajectory as the committed `BENCH_*.json` format.
+pub fn to_json(entries: &[BenchEntry]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    out.push_str("  \"pr\": \"pr4\",\n  \"benchmarks\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"bench\": \"{}\",", json_escape(e.bench));
+        let _ = writeln!(out, "      \"mode\": \"{}\",", json_escape(e.mode));
+        let _ = writeln!(
+            out,
+            "      \"modeled_device_seconds\": {:.9},",
+            e.modeled_device_seconds
+        );
+        let _ = writeln!(out, "      \"h2d_count\": {},", e.h2d_count);
+        let _ = writeln!(out, "      \"h2d_bytes\": {},", e.h2d_bytes);
+        let _ = writeln!(out, "      \"d2h_count\": {},", e.d2h_count);
+        let _ = writeln!(out, "      \"cache_hits\": {},", e.cache_hits);
+        let _ = writeln!(out, "      \"cache_misses\": {},", e.cache_misses);
+        let _ = writeln!(out, "      \"redundant_uploads\": {},", e.redundant_uploads);
+        let _ = writeln!(out, "      \"hpl_sloc\": {},", e.hpl_sloc);
+        out.push_str("      \"host_wall_seconds\": {");
+        for (j, (cat, secs)) in e.host_wall_seconds.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\": {:.6}", json_escape(cat), secs);
+        }
+        out.push_str("}\n");
+        out.push_str(if i + 1 < entries.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// A baseline row as read back from a committed `BENCH_*.json`.
+struct BaselineEntry {
+    bench: String,
+    mode: String,
+    modeled_device_seconds: f64,
+    redundant_uploads: u64,
+}
+
+fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let root = parse(text)?;
+    let schema = root.get("schema").and_then(Value::as_str).unwrap_or("");
+    if schema != SCHEMA {
+        return Err(format!(
+            "baseline schema is `{schema}`, expected `{SCHEMA}`"
+        ));
+    }
+    let benches = root
+        .get("benchmarks")
+        .and_then(Value::as_arr)
+        .ok_or("baseline has no `benchmarks` array")?;
+    benches
+        .iter()
+        .map(|b| {
+            let field = |k: &str| {
+                b.get(k)
+                    .and_then(Value::as_num)
+                    .ok_or_else(|| format!("baseline entry missing numeric `{k}`"))
+            };
+            Ok(BaselineEntry {
+                bench: b
+                    .get("bench")
+                    .and_then(Value::as_str)
+                    .ok_or("baseline entry missing `bench`")?
+                    .to_string(),
+                mode: b
+                    .get("mode")
+                    .and_then(Value::as_str)
+                    .ok_or("baseline entry missing `mode`")?
+                    .to_string(),
+                modeled_device_seconds: field("modeled_device_seconds")?,
+                redundant_uploads: field("redundant_uploads")? as u64,
+            })
+        })
+        .collect()
+}
+
+/// Diff a fresh run against a committed baseline. `Ok(failures)` lists
+/// every gate violation (empty = green); `Err` means the baseline itself
+/// could not be parsed.
+pub fn check_against_baseline(
+    entries: &[BenchEntry],
+    baseline_text: &str,
+) -> Result<Vec<String>, String> {
+    let baseline = parse_baseline(baseline_text)?;
+    let mut failures = Vec::new();
+    for b in &baseline {
+        let Some(cur) = entries
+            .iter()
+            .find(|e| e.bench == b.bench && e.mode == b.mode)
+        else {
+            failures.push(format!(
+                "{} {}: present in baseline but missing from this run",
+                b.bench, b.mode
+            ));
+            continue;
+        };
+        let limit = b.modeled_device_seconds * REGRESSION_FACTOR + 1e-12;
+        if cur.modeled_device_seconds > limit {
+            failures.push(format!(
+                "{} {}: modeled device time {:.9} s regressed >{:.0}% over baseline {:.9} s",
+                b.bench,
+                b.mode,
+                cur.modeled_device_seconds,
+                (REGRESSION_FACTOR - 1.0) * 100.0,
+                b.modeled_device_seconds
+            ));
+        }
+        if cur.redundant_uploads > b.redundant_uploads {
+            failures.push(format!(
+                "{} {}: {} redundant upload(s), baseline had {} — the coherence layer re-uploaded a valid device copy",
+                b.bench, b.mode, cur.redundant_uploads, b.redundant_uploads
+            ));
+        }
+    }
+    Ok(failures)
+}
+
+/// Write the unified host+device Chrome trace for the Floyd–Warshall sync
+/// run (host telemetry spans injected next to the device CU/DMA tracks)
+/// plus the raw span JSONL. Both are schema-checked before writing.
+/// Returns the written paths.
+pub fn write_floyd_artifacts(
+    device: &Device,
+    run: &BenchRun,
+    dir: &Path,
+) -> std::io::Result<Vec<String>> {
+    let trace = chrome_trace_with_host(device, &run.floyd_events, &run.floyd_spans);
+    validate_chrome_trace(&trace)
+        .map_err(|e| std::io::Error::other(format!("invalid host+device trace: {e}")))?;
+    telemetry::check_nesting(&run.floyd_spans)
+        .map_err(|e| std::io::Error::other(format!("malformed host span nesting: {e}")))?;
+    let trace_path = dir.join("trace-floyd-host.json");
+    std::fs::write(&trace_path, &trace)?;
+    let jsonl_path = dir.join("spans-floyd.jsonl");
+    std::fs::write(&jsonl_path, telemetry::spans_jsonl(&run.floyd_spans))?;
+    Ok(vec![
+        trace_path.display().to_string(),
+        jsonl_path.display().to_string(),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(bench: &'static str, mode: &'static str, secs: f64, redundant: u64) -> BenchEntry {
+        BenchEntry {
+            bench,
+            mode,
+            modeled_device_seconds: secs,
+            h2d_count: 1,
+            h2d_bytes: 1024,
+            d2h_count: 1,
+            cache_hits: 1,
+            cache_misses: 1,
+            redundant_uploads: redundant,
+            hpl_sloc: 100,
+            host_wall_seconds: BTreeMap::from([("hpl", 0.001)]),
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_the_validator_parser() {
+        let json = to_json(&[
+            entry("ep", "sync", 0.0012, 0),
+            entry("ep", "async", 0.0011, 0),
+        ]);
+        let parsed = parse(&json).expect("emitted JSON parses");
+        assert_eq!(parsed.get("schema").and_then(Value::as_str), Some(SCHEMA));
+        assert_eq!(
+            parsed
+                .get("benchmarks")
+                .and_then(Value::as_arr)
+                .map(<[Value]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn gate_accepts_identical_run_and_flags_regressions() {
+        let baseline = to_json(&[entry("ep", "sync", 0.001, 0)]);
+        // identical run: green
+        let ok = check_against_baseline(&[entry("ep", "sync", 0.001, 0)], &baseline).unwrap();
+        assert!(ok.is_empty(), "{ok:?}");
+        // 9% slower: still inside the headroom
+        let ok = check_against_baseline(&[entry("ep", "sync", 0.00109, 0)], &baseline).unwrap();
+        assert!(ok.is_empty(), "{ok:?}");
+        // 20% slower: gate fires
+        let bad = check_against_baseline(&[entry("ep", "sync", 0.0012, 0)], &baseline).unwrap();
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        // new redundant upload: gate fires
+        let bad = check_against_baseline(&[entry("ep", "sync", 0.001, 1)], &baseline).unwrap();
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        // benchmark vanished: gate fires
+        let bad = check_against_baseline(&[entry("floyd", "sync", 0.001, 0)], &baseline).unwrap();
+        assert_eq!(bad.len(), 1, "{bad:?}");
+    }
+
+    #[test]
+    fn bad_baselines_are_rejected() {
+        assert!(check_against_baseline(&[], "not json").is_err());
+        assert!(check_against_baseline(&[], "{\"schema\": \"other\"}").is_err());
+    }
+}

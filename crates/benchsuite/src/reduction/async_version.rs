@@ -20,6 +20,17 @@ pub fn run(
     device: &Device,
 ) -> Result<(f32, RunMetrics), hpl::Error> {
     hpl::clear_kernel_cache();
+    run_warm(cfg, data, device)
+}
+
+/// Like [`run`], but the kernel cache is left as-is: repeated calls are
+/// served from the cache — the steady state `report -- metrics` drives
+/// every benchmark to.
+pub fn run_warm(
+    cfg: &ReductionConfig,
+    data: &[f32],
+    device: &Device,
+) -> Result<(f32, RunMetrics), hpl::Error> {
     let stats_before = hpl::runtime().transfer_stats();
     let n = cfg.n;
     let groups = n / CHUNK;

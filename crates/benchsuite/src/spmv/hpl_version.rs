@@ -79,6 +79,17 @@ pub fn run(
     device: &Device,
 ) -> Result<(Vec<f32>, RunMetrics), hpl::Error> {
     hpl::clear_kernel_cache();
+    run_warm(cfg, p, device)
+}
+
+/// Like [`run`], but the kernel cache is left as-is: repeated calls are
+/// served from the cache — the steady state `report -- metrics` drives
+/// every benchmark to.
+pub fn run_warm(
+    cfg: &SpmvConfig,
+    p: &CsrProblem,
+    device: &Device,
+) -> Result<(Vec<f32>, RunMetrics), hpl::Error> {
     let stats_before = hpl::runtime().transfer_stats();
     let n = cfg.n;
     let a = Array::<f32, 1>::from_vec([p.val.len()], p.val.clone());

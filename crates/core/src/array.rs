@@ -26,7 +26,19 @@ use crate::kernel::{is_recording, record_array_decl, try_with_recorder};
 use crate::runtime::runtime;
 use crate::scalar::HplScalar;
 
-static NEXT_ARRAY_ID: AtomicU64 = AtomicU64::new(1);
+/// Process-wide handle allocator shared by arrays *and* scalars
+/// ([`crate::scalar`] draws from it too). `eval`'s alias-pattern cache key
+/// compares the handles of a mixed argument tuple pairwise, so a handle
+/// must be unique across argument kinds: with separate per-kind counters
+/// a fresh scalar could numerically collide with a fresh array and fake
+/// an aliasing pair, splitting the kernel cache (and, worse, letting a
+/// genuinely aliased tuple hit the entry recorded for the distinct one).
+static NEXT_HANDLE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a fresh kernel-argument handle (unique process-wide).
+pub(crate) fn next_handle_id() -> u64 {
+    NEXT_HANDLE_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 struct DeviceCopy {
     device: Device,
@@ -113,7 +125,7 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
 
     fn new_with(dims: [usize; N], mem: MemFlag, data: Option<Vec<T>>) -> Array<T, N> {
         Self::check_dims(dims);
-        let id = NEXT_ARRAY_ID.fetch_add(1, Ordering::Relaxed);
+        let id = next_handle_id();
         if is_recording() {
             assert!(
                 data.is_none(),
@@ -397,6 +409,7 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
         if st.host_valid {
             return Ok(());
         }
+        let mut span = oclsim::telemetry::span("coherence", "sync_host");
         let copy = st
             .copies
             .iter()
@@ -408,6 +421,16 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
         runtime().note_d2h(bytes, ev.modeled_seconds());
         st.xfer.d2h_count += 1;
         st.xfer.d2h_bytes += bytes as u64;
+        let m = oclsim::telemetry::metrics();
+        m.d2h_transfers.inc();
+        m.d2h_bytes.add(bytes as u64);
+        m.transfer_bytes.observe(bytes as u64);
+        if oclsim::telemetry::enabled() {
+            span.note("action", "download");
+            span.note("reason", "host copy stale, data lives on device");
+            span.note("from", copy.device.name());
+            span.note("bytes", bytes);
+        }
         crate::profile::note_transfer(oclsim::TransferDir::DeviceToHost, bytes as u64, Some(&ev));
         st.data = data;
         st.host_valid = true;
@@ -422,11 +445,17 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
         device: &Device,
         needs_data: bool,
     ) -> Result<(Buffer, f64)> {
+        let mut span = oclsim::telemetry::span("coherence", "ensure_on_device");
         let mut st = self.host_state().lock();
         // the synchronous path orders commands only through its in-order
         // queue, so any pending asynchronous work on this array must be
         // waited out before its buffer is reused or replaced
         Self::settle(&mut st)?;
+        if oclsim::telemetry::enabled() {
+            span.note("device", device.name());
+            span.note("needs_data", needs_data);
+            span.note("host_valid_before", st.host_valid);
+        }
         // make the host copy current first if the data lives on another device
         if needs_data && !st.host_valid && !st.copies.iter().any(|c| c.valid && &c.device == device)
         {
@@ -446,20 +475,49 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
                 st.copies.len() - 1
             }
         };
+        let m = oclsim::telemetry::metrics();
         if st.copies[pos].valid || !needs_data {
             // a copy the kernel merely writes is NOT marked valid here:
             // another argument slot may alias the same array and still
             // need the host data uploaded. Validity is established after
             // the launch by `mark_device_written`, as on the async path.
+            if needs_data && st.copies[pos].valid {
+                m.coherence_hits.inc();
+            }
+            if oclsim::telemetry::enabled() {
+                span.note("device_valid_before", st.copies[pos].valid);
+                span.note(
+                    "action",
+                    if st.copies[pos].valid {
+                        "none (device copy valid)"
+                    } else {
+                        "none (write-only, upload skipped)"
+                    },
+                );
+            }
             return Ok((st.copies[pos].buffer.clone(), 0.0));
         }
         // host is valid here (ensured above)
+        if st.copies[pos].valid {
+            // tripwire: an upload past the early return above would be
+            // redundant by definition; the bench gate fails on any count
+            m.redundant_uploads.inc();
+        }
         let buffer = st.copies[pos].buffer.clone();
         let ev = entry.queue.enqueue_write(&buffer, 0, &st.data)?;
         let bytes = st.data.len() * std::mem::size_of::<T>();
         runtime().note_h2d(bytes, ev.modeled_seconds());
         st.xfer.h2d_count += 1;
         st.xfer.h2d_bytes += bytes as u64;
+        m.h2d_transfers.inc();
+        m.h2d_bytes.add(bytes as u64);
+        m.transfer_bytes.observe(bytes as u64);
+        if oclsim::telemetry::enabled() {
+            span.note("device_valid_before", false);
+            span.note("action", "upload");
+            span.note("reason", "device copy stale and kernel reads it");
+            span.note("bytes", bytes);
+        }
         crate::profile::note_transfer(oclsim::TransferDir::HostToDevice, bytes as u64, Some(&ev));
         st.copies[pos].valid = true;
         Ok((buffer, ev.modeled_seconds()))
@@ -493,7 +551,14 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
         reads: bool,
         writes: bool,
     ) -> Result<(Buffer, Vec<Event>, f64)> {
+        let mut span = oclsim::telemetry::span("coherence", "prepare_async");
         let mut st = self.host_state().lock();
+        if oclsim::telemetry::enabled() {
+            span.note("device", device.name());
+            span.note("reads", reads);
+            span.note("writes", writes);
+            span.note("host_valid_before", st.host_valid);
+        }
         // drop resolved readers: completed ones impose no ordering, and a
         // failed reader never poisons anything. The last writer stays even
         // after it completes: a consumer's *execution* no longer needs the
@@ -529,6 +594,23 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
         if writes {
             deps.extend(st.readers.iter().cloned());
         }
+        let m = oclsim::telemetry::metrics();
+        if reads && st.copies[pos].valid {
+            // mirrors the synchronous path's hit accounting exactly, so
+            // canonical metrics match between in-order and out-of-order runs
+            m.coherence_hits.inc();
+        }
+        if oclsim::telemetry::enabled() {
+            span.note("device_valid_before", st.copies[pos].valid);
+            span.note(
+                "action",
+                match (reads, st.copies[pos].valid) {
+                    (true, true) => "none (device copy valid)",
+                    (true, false) => "upload",
+                    (false, _) => "none (write-only, upload skipped)",
+                },
+            );
+        }
         let mut transfer_seconds = 0.0;
         if reads && !st.copies[pos].valid {
             // the transfer overwrites the buffer, so it must itself wait
@@ -547,6 +629,13 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
             runtime().note_h2d(bytes, transfer_seconds);
             st.xfer.h2d_count += 1;
             st.xfer.h2d_bytes += bytes as u64;
+            m.h2d_transfers.inc();
+            m.h2d_bytes.add(bytes as u64);
+            m.transfer_bytes.observe(bytes as u64);
+            if oclsim::telemetry::enabled() {
+                span.note("bytes", bytes);
+                span.note("reason", "device copy stale and kernel reads it");
+            }
             crate::profile::note_transfer(
                 oclsim::TransferDir::HostToDevice,
                 bytes as u64,

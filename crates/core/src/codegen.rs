@@ -13,6 +13,11 @@ use crate::ir::{CType, HStmt, MemFlag, Node, ParamKind, RecordedKernel};
 
 /// Generate the complete OpenCL C source for a recorded kernel.
 pub fn generate(kernel: &RecordedKernel) -> String {
+    let mut span = oclsim::telemetry::span("hpl", "codegen");
+    if oclsim::telemetry::enabled() {
+        span.note("kernel", &kernel.name);
+        span.note("params", kernel.params.len());
+    }
     let written = kernel.written_params();
     let mut src = String::with_capacity(1024);
     let _ = write!(src, "__kernel void {}(", kernel.name);

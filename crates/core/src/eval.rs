@@ -100,6 +100,11 @@ type CacheKey = (TypeId, u64);
 static CACHE: OnceLock<Mutex<HashMap<CacheKey, Arc<CacheEntry>>>> = OnceLock::new();
 static KERNEL_COUNTER: AtomicU64 = AtomicU64::new(0);
 static KERNEL_LINTS: OnceLock<Mutex<Vec<oclsim::Diagnostic>>> = OnceLock::new();
+// Lifetime cache statistics (never reset — unlike the telemetry metrics
+// registry, which tests and report subcommands zero between workloads).
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+static CACHE_EVICTIONS: AtomicU64 = AtomicU64::new(0);
 
 fn cache() -> &'static Mutex<HashMap<CacheKey, Arc<CacheEntry>>> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
@@ -119,14 +124,85 @@ pub fn take_kernel_lints() -> Vec<oclsim::Diagnostic> {
 }
 
 /// Drop every cached kernel (test/bench hook: lets harnesses measure
-/// first-invocation behaviour repeatedly).
+/// first-invocation behaviour repeatedly). Dropped entries count as
+/// evictions in [`cache_stats`].
 pub fn clear_kernel_cache() {
-    cache().lock().clear();
+    let mut map = cache().lock();
+    let dropped = map.len() as u64;
+    map.clear();
+    drop(map);
+    CACHE_EVICTIONS.fetch_add(dropped, Ordering::Relaxed);
+    oclsim::telemetry::metrics()
+        .kernel_cache_evictions
+        .add(dropped);
 }
 
 /// Number of kernels currently cached.
 pub fn kernel_cache_len() -> usize {
     cache().lock().len()
+}
+
+/// Per-entry view of the kernel cache (one entry per kernel function ×
+/// argument aliasing pattern — see `CacheKey`).
+#[derive(Debug, Clone)]
+pub struct CacheEntryInfo {
+    /// The generated kernel's name (`hpl_<fn>_<counter>`).
+    pub kernel: String,
+    /// The alias pattern half of the cache key (4 bits per argument;
+    /// `0x01` in the low byte means argument 1 aliased argument 0).
+    pub alias_pattern: u64,
+    /// How many devices hold a compiled binary of this entry.
+    pub devices_built: usize,
+}
+
+/// Lifetime kernel-cache statistics (see [`cache_stats`]).
+#[derive(Debug, Clone)]
+pub struct CacheStats {
+    /// `eval` front-ends served from the cache.
+    pub hits: u64,
+    /// `eval` front-ends that captured + generated code.
+    pub misses: u64,
+    /// Entries dropped by [`clear_kernel_cache`].
+    pub evictions: u64,
+    /// Current entries, sorted by kernel name then alias pattern.
+    pub entries: Vec<CacheEntryInfo>,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0.0 when none happened yet).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Snapshot the kernel cache: lifetime hit/miss/eviction counts plus the
+/// per-key alias info of every live entry.
+pub fn cache_stats() -> CacheStats {
+    let mut entries: Vec<CacheEntryInfo> = cache()
+        .lock()
+        .iter()
+        .map(|((_, alias_pattern), e)| CacheEntryInfo {
+            kernel: e.recorded.name.clone(),
+            alias_pattern: *alias_pattern,
+            devices_built: e.programs.lock().len(),
+        })
+        .collect();
+    entries.sort_by(|a, b| {
+        a.kernel
+            .cmp(&b.kernel)
+            .then(a.alias_pattern.cmp(&b.alias_pattern))
+    });
+    CacheStats {
+        hits: CACHE_HITS.load(Ordering::Relaxed),
+        misses: CACHE_MISSES.load(Ordering::Relaxed),
+        evictions: CACHE_EVICTIONS.load(Ordering::Relaxed),
+        entries,
+    }
 }
 
 fn kernel_name_for<F: 'static>() -> String {
@@ -616,17 +692,39 @@ impl<F: Copy + 'static> Eval<F> {
         // 1. kernel capture + codegen (cached per kernel function and
         //    argument aliasing pattern — see `CacheKey`)
         let key = (TypeId::of::<F>(), args.alias_pattern());
+        let mut lookup_span = oclsim::telemetry::span("hpl", "cache_lookup");
         let cached = cache().lock().get(&key).cloned();
         let (entry, cache_hit) = match cached {
-            Some(e) => (e, true),
+            Some(e) => {
+                CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+                oclsim::telemetry::metrics().kernel_cache_hits.inc();
+                if oclsim::telemetry::enabled() {
+                    lookup_span.note("outcome", "hit");
+                    lookup_span.note("kernel", &e.recorded.name);
+                    lookup_span.note("alias_pattern", format!("{:#x}", key.1));
+                }
+                drop(lookup_span);
+                (e, true)
+            }
             None => {
+                CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+                oclsim::telemetry::metrics().kernel_cache_misses.inc();
+                lookup_span.note("outcome", "miss");
+                if oclsim::telemetry::enabled() {
+                    lookup_span.note("alias_pattern", format!("{:#x}", key.1));
+                }
+                drop(lookup_span);
                 let t0 = Instant::now();
                 let name = kernel_name_for::<F>();
                 let f = self.f;
-                let recorded = capture(name, || {
-                    args.register_all();
-                    f.invoke(args);
-                });
+                let recorded = {
+                    let mut record_span = oclsim::telemetry::span("hpl", "record");
+                    record_span.note("kernel", &name);
+                    capture(name, || {
+                        args.register_all();
+                        f.invoke(args);
+                    })
+                };
                 let capture_seconds = t0.elapsed().as_secs_f64();
                 if recorded.params.len() != args.arity() {
                     return Err(Error::Internal(
@@ -653,6 +751,11 @@ impl<F: Copy + 'static> Eval<F> {
         let (built, build_seconds) = match built {
             Some(b) => (b, 0.0),
             None => {
+                let mut build_span = oclsim::telemetry::span("hpl", "backend_build");
+                if oclsim::telemetry::enabled() {
+                    build_span.note("kernel", &entry.recorded.name);
+                    build_span.note("device", device.name());
+                }
                 let ctx = &runtime().entry(device).context;
                 let program = Program::from_source(ctx, entry.source.as_str());
                 program.build("").map_err(|e| {
@@ -748,6 +851,10 @@ mod tests {
         y.at(idx()).assign(a.v() * x.at(idx()) + y.at(idx()));
     }
 
+    /// Tests that clear the kernel cache (or assert a hit that a clear
+    /// could race away) serialize on this.
+    static CACHE_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn saxpy_end_to_end() {
         let n = 1000;
@@ -767,6 +874,28 @@ mod tests {
         assert_eq!(p2.capture_seconds, 0.0);
         assert_eq!(p2.build_seconds, 0.0);
         assert!(p2.paper_seconds() < profile.paper_seconds());
+    }
+
+    #[test]
+    fn alias_pattern_never_pairs_distinct_argument_kinds() {
+        // arrays and scalars share one handle allocator; with separate
+        // counters a fresh scalar's id could equal a fresh array's id and
+        // the pattern would fake an aliasing pair (seen as a duplicate
+        // cache entry on the first process-wide run of a benchmark)
+        let y = Array::<f64, 1>::new([8]);
+        let x = Array::<f64, 1>::new([8]);
+        let a = Double::new(1.0);
+        assert_ne!(y.handle_id(), a.handle_id());
+        assert_eq!(
+            (&y, &x, &a).alias_pattern(),
+            0x012,
+            "three distinct arguments: every nibble names its own position"
+        );
+        assert_eq!(
+            (&y, &y, &a).alias_pattern(),
+            0x002,
+            "a genuinely repeated array folds onto its first position"
+        );
     }
 
     #[test]
@@ -833,6 +962,7 @@ mod tests {
 
     #[test]
     fn kernel_cache_management() {
+        let _guard = CACHE_LOCK.lock();
         clear_kernel_cache();
         assert_eq!(kernel_cache_len(), 0);
         fn k1(out: &Array<f64, 1>) {
@@ -845,6 +975,46 @@ mod tests {
         assert_eq!(kernel_cache_len(), 1, "same fn reuses the entry");
         clear_kernel_cache();
         assert_eq!(kernel_cache_len(), 0);
+    }
+
+    #[test]
+    fn cache_stats_reports_double_eval_as_hit() {
+        fn stats_probe(out: &Array<f64, 1>) {
+            out.at(idx()).assign(2.0f64);
+        }
+        let _guard = CACHE_LOCK.lock();
+        let before = cache_stats();
+        let out = Array::<f64, 1>::new([16]);
+        let p1 = eval(stats_probe).run((&out,)).unwrap();
+        assert!(!p1.cache_hit);
+        let mid = cache_stats();
+        assert!(mid.misses > before.misses, "first eval is a miss");
+        let p2 = eval(stats_probe).run((&out,)).unwrap();
+        assert!(p2.cache_hit, "second eval of the same kernel is a hit");
+        let after = cache_stats();
+        assert!(after.hits > mid.hits, "the hit shows up in cache_stats");
+        assert!(after.hit_ratio() > 0.0);
+        let entry = after
+            .entries
+            .iter()
+            .find(|e| e.kernel.contains("stats_probe"))
+            .expect("the probe kernel has a cache entry");
+        assert_eq!(entry.alias_pattern, 0, "single distinct argument");
+        assert!(entry.devices_built >= 1, "binary built for the run device");
+    }
+
+    #[test]
+    fn cache_eviction_counts_cleared_entries() {
+        fn evict_probe(out: &Array<f64, 1>) {
+            out.at(idx()).assign(5.0f64);
+        }
+        let _guard = CACHE_LOCK.lock();
+        let out = Array::<f64, 1>::new([8]);
+        eval(evict_probe).run((&out,)).unwrap();
+        let before = cache_stats();
+        clear_kernel_cache();
+        let after = cache_stats();
+        assert!(after.evictions > before.evictions, "clear counts evictions");
     }
 
     #[test]

@@ -64,12 +64,13 @@ pub mod predef;
 pub mod profile;
 pub mod runtime;
 pub mod scalar;
+pub mod telemetry;
 
 pub use array::{Array, ArrayTransferStats, HostDataMut, HostIndex, KernelIndex};
 pub use error::{Error, Result};
 pub use eval::{
-    clear_kernel_cache, eval, kernel_cache_len, take_kernel_lints, AsyncEval, Eval, EvalProfile,
-    KernelArg,
+    cache_stats, clear_kernel_cache, eval, kernel_cache_len, take_kernel_lints, AsyncEval,
+    CacheEntryInfo, CacheStats, Eval, EvalProfile, KernelArg,
 };
 pub use expr::{Expr, IntoExpr};
 pub use ir::MemFlag;

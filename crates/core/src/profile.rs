@@ -13,9 +13,10 @@
 //! ends), but *collection* is per-thread: a scope only records the
 //! launches and transfers made by its own thread, so concurrently running
 //! tests do not pollute each other's reports. A panic inside the closure
-//! propagates and leaves the enable refcount high — profiling stays on
-//! for the rest of the process, which costs collection overhead but never
-//! affects results.
+//! propagates, but the scope's refcount and thread-local stack entry are
+//! released by a drop guard on the way out — a failing benchmark cannot
+//! leave profiling enabled (or a stale scope collecting) for subsequent
+//! tests in the process.
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -132,11 +133,30 @@ fn set_all_queues_profiling(enabled: bool) {
 /// assert!(counters.totals.instr.total() > 0);
 /// ```
 pub fn profile<R>(f: impl FnOnce() -> R) -> (R, ProfileReport) {
+    /// Unwinds the scope on panic: pops this thread's stack entry and
+    /// releases the refcount so a panicking closure cannot leave queue
+    /// profiling enabled for the rest of the process. Forgotten on the
+    /// success path, which pops the report itself (the guard's pop would
+    /// discard it).
+    struct ScopeGuard;
+    impl Drop for ScopeGuard {
+        fn drop(&mut self) {
+            SCOPES.with(|s| {
+                s.borrow_mut().pop();
+            });
+            if DEPTH.fetch_sub(1, Ordering::SeqCst) == 1 {
+                set_all_queues_profiling(false);
+            }
+        }
+    }
+
     if DEPTH.fetch_add(1, Ordering::SeqCst) == 0 {
         set_all_queues_profiling(true);
     }
     SCOPES.with(|s| s.borrow_mut().push(ProfileReport::default()));
+    let guard = ScopeGuard;
     let value = f();
+    std::mem::forget(guard);
     let report = SCOPES.with(|s| s.borrow_mut().pop().expect("profile scope stack underflow"));
     if DEPTH.fetch_sub(1, Ordering::SeqCst) == 1 {
         set_all_queues_profiling(false);
@@ -216,6 +236,30 @@ mod tests {
         });
         assert_eq!(inner.launches.len(), 1);
         assert_eq!(outer.launches.len(), 1);
+    }
+
+    #[test]
+    fn panicking_scope_restores_profiling_state() {
+        let _guard = SERIAL.lock();
+        let y = Array::<f64, 1>::from_vec([32], vec![0.0; 32]);
+        let result = std::panic::catch_unwind(|| {
+            profile(|| {
+                panic!("benchmark exploded");
+            })
+        });
+        assert!(result.is_err(), "the panic propagates");
+        // the refcount was released: a launch outside any scope is
+        // unprofiled, exactly as if the panicking scope never existed
+        let h = eval(inc).run_async((&y,)).unwrap();
+        let ev = h.event().clone();
+        h.wait().unwrap();
+        assert!(!ev.is_profiled(), "panic must not leave profiling enabled");
+        // and the thread-local stack was unwound: a fresh scope still
+        // collects only its own work
+        let ((), report) = profile(|| {
+            eval(inc).run((&y,)).unwrap();
+        });
+        assert_eq!(report.launches.len(), 1);
     }
 
     #[test]

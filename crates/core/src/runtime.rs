@@ -62,6 +62,8 @@ pub fn runtime() -> &'static Runtime {
 
 impl Runtime {
     fn new(platform: Platform) -> Runtime {
+        let mut span = oclsim::telemetry::span("runtime", "init");
+        span.note("devices", platform.devices().len());
         let entries: Vec<DeviceEntry> = platform
             .devices()
             .iter()

@@ -5,7 +5,6 @@
 //! (while a capture is active) records a private variable declaration
 //! instead — mirroring HPL, where the same datatypes serve both roles.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -46,7 +45,9 @@ impl_hpl_scalar! {
     f64 => F64, LitF, f64;
 }
 
-static NEXT_SCALAR_ID: AtomicU64 = AtomicU64::new(1);
+// scalar handles come from the allocator shared with arrays (see
+// `crate::array::next_handle_id`): the alias-pattern cache key compares
+// handles across argument kinds, so they must never collide
 
 enum Repr<T> {
     /// Host-side scalar with a current value.
@@ -81,7 +82,7 @@ impl<T: HplScalar> Scalar<T> {
             Self::kernel_var(Some(Arc::new(v.lit_node())))
         } else {
             Scalar {
-                id: NEXT_SCALAR_ID.fetch_add(1, Ordering::Relaxed),
+                id: crate::array::next_handle_id(),
                 repr: Arc::new(Repr::Host(Mutex::new(v))),
             }
         }
@@ -109,7 +110,7 @@ impl<T: HplScalar> Scalar<T> {
             var
         });
         let s = Scalar {
-            id: NEXT_SCALAR_ID.fetch_add(1, Ordering::Relaxed),
+            id: crate::array::next_handle_id(),
             repr: Arc::new(Repr::KernelVar(var)),
         };
         with_recorder(|r| {

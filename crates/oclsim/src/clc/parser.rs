@@ -15,7 +15,13 @@ use crate::types::ScalarType;
 
 /// Parse a preprocessed translation unit.
 pub fn parse(src: &str) -> Result<TranslationUnit> {
-    let toks = lex(src)?;
+    let toks = {
+        let mut span = crate::telemetry::span("clc", "lex");
+        let toks = lex(src)?;
+        span.note("tokens", toks.len());
+        toks
+    };
+    let _span = crate::telemetry::span("clc", "parse");
     let mut p = Parser { toks, pos: 0 };
     p.translation_unit()
 }

@@ -16,6 +16,8 @@ use crate::types::{ScalarType, Value};
 
 /// Analyse a parsed translation unit and produce an executable [`Module`].
 pub fn analyze(tu: &ast::TranslationUnit) -> Result<Module> {
+    let mut sema_span = crate::telemetry::span("clc", "sema");
+    sema_span.note("funcs", tu.funcs.len());
     // pass 1: collect signatures so definition order does not matter
     let mut sigs: HashMap<String, FuncId> = HashMap::new();
     for (i, f) in tu.funcs.iter().enumerate() {
@@ -31,12 +33,15 @@ pub fn analyze(tu: &ast::TranslationUnit) -> Result<Module> {
     }
 
     let mut module = Module::default();
-    for f in &tu.funcs {
-        let fir = FuncSema::new(tu, &sigs).lower_function(f)?;
-        if f.is_kernel {
-            module.kernels.insert(f.name.clone(), module.funcs.len());
+    {
+        let _lower_span = crate::telemetry::span("clc", "lower");
+        for f in &tu.funcs {
+            let fir = FuncSema::new(tu, &sigs).lower_function(f)?;
+            if f.is_kernel {
+                module.kernels.insert(f.name.clone(), module.funcs.len());
+            }
+            module.funcs.push(fir);
         }
-        module.funcs.push(fir);
     }
     propagate_param_effects(&mut module);
     propagate_barriers_and_fp64(&mut module);

@@ -60,6 +60,7 @@ pub mod prof;
 pub mod program;
 pub mod queue;
 pub mod sched;
+pub mod telemetry;
 pub mod timing;
 pub mod types;
 
@@ -70,8 +71,8 @@ pub use device::{Device, DeviceProfile, DeviceType};
 pub use error::{Error, Result};
 pub use platform::Platform;
 pub use prof::{
-    chrome_trace, profile_launch, roofline, validate_chrome_trace, GroupCounters, InstrClass,
-    InstrMix, LaunchCounters, RooflinePoint, TransferDir, TransferInfo,
+    chrome_trace, chrome_trace_with_host, profile_launch, roofline, validate_chrome_trace,
+    GroupCounters, InstrClass, InstrMix, LaunchCounters, RooflinePoint, TransferDir, TransferInfo,
 };
 pub use program::{Kernel, Program};
 pub use queue::{CommandQueue, ReadHandle};

@@ -16,8 +16,11 @@
 //! * [`trace`] — a Chrome `trace_event` JSON exporter that lays kernel
 //!   and DMA slices out on the modeled timeline, one track per CU-pool
 //!   lane plus one for the DMA engine (loadable in Perfetto or
-//!   `chrome://tracing`); [`json`] holds the dependency-free JSON parser
-//!   used to schema-check traces in tests.
+//!   `chrome://tracing`); [`trace::chrome_trace_with_host`] additionally
+//!   injects host-runtime telemetry spans (see [`crate::telemetry`]) as a
+//!   synthetic "host runtime" process above the device tracks; [`json`]
+//!   holds the dependency-free JSON parser used to schema-check traces in
+//!   tests.
 //! * [`roofline`] — per-kernel roofline placement: arithmetic intensity
 //!   from the counters against the device's compute and bandwidth
 //!   ceilings.
@@ -36,7 +39,7 @@ pub use counters::{
 };
 pub use json::validate_chrome_trace;
 pub use roofline::{roofline, RooflinePoint};
-pub use trace::chrome_trace;
+pub use trace::{chrome_trace, chrome_trace_with_host};
 
 use crate::device::Device;
 use crate::error::Result;

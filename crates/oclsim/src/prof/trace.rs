@@ -172,3 +172,77 @@ pub fn chrome_trace(device: &Device, events: &[Event]) -> String {
     out.push_str("],\n\"displayTimeUnit\":\"ms\"}\n");
     out
 }
+
+/// Synthetic pid for the host-runtime tracks injected by
+/// [`chrome_trace_with_host`]; device pids are small, so this cannot
+/// collide.
+pub const HOST_PID: u64 = 1_000_000;
+
+/// Like [`chrome_trace`], but additionally renders host-runtime telemetry
+/// spans (see [`crate::telemetry`]) as slices of a synthetic "host
+/// runtime" process ([`HOST_PID`]), one track per host thread, above the
+/// device's CU/DMA tracks — so a single trace file shows the host
+/// pipeline (cache lookup, codegen, clc stages, coherence, enqueue)
+/// feeding the modeled device.
+///
+/// Host slices use wall time from the telemetry epoch; device slices use
+/// the modeled timeline. The two time bases share only the µs unit — the
+/// value of the combined file is seeing host-side structure, not
+/// cross-base alignment.
+pub fn chrome_trace_with_host(
+    device: &Device,
+    events: &[Event],
+    spans: &[crate::telemetry::SpanRecord],
+) -> String {
+    let device_part = chrome_trace(device, events);
+    // splice host events in before the closing "]" of traceEvents
+    let tail = "],\n\"displayTimeUnit\":\"ms\"}\n";
+    let mut out = device_part
+        .strip_suffix(tail)
+        .expect("chrome_trace output ends with its fixed tail")
+        .to_string();
+
+    let mut threads: Vec<u64> = spans.iter().map(|s| s.thread).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    let _ = write!(
+        out,
+        ",\n{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{HOST_PID},\"tid\":0,\
+         \"args\":{{\"name\":\"host runtime\"}}}}"
+    );
+    for t in &threads {
+        let _ = write!(
+            out,
+            ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{HOST_PID},\"tid\":{t},\
+             \"args\":{{\"name\":\"host thread {t}\"}}}}"
+        );
+    }
+    let mut sorted: Vec<&crate::telemetry::SpanRecord> = spans.iter().collect();
+    sorted.sort_by(|a, b| {
+        a.wall_start_us
+            .total_cmp(&b.wall_start_us)
+            .then(a.id.cmp(&b.id))
+    });
+    for s in sorted {
+        let mut args = String::new();
+        for (k, v) in &s.args {
+            arg_str(&mut args, k, v);
+        }
+        if let (Some(ms), Some(me)) = (s.modeled_start_us, s.modeled_end_us) {
+            arg_num(&mut args, "modeled_start_us", ms);
+            arg_num(&mut args, "modeled_end_us", me);
+        }
+        let dur = (s.wall_end_us - s.wall_start_us).max(0.0);
+        let _ = write!(
+            out,
+            ",\n{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{dur},\
+             \"pid\":{HOST_PID},\"tid\":{},\"args\":{{{args}}}}}",
+            escape(&s.name),
+            escape(s.category),
+            s.wall_start_us,
+            s.thread,
+        );
+    }
+    out.push_str(tail);
+    out
+}

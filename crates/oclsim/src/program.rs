@@ -68,22 +68,51 @@ impl Program {
     /// log and to the [`Program::diagnostics`] sink, and under
     /// [`Strictness::Deny`] any error-severity finding fails the build.
     pub fn build(&self, options: &str) -> Result<()> {
+        let mut build_span = crate::telemetry::span("clc", "build");
+        crate::telemetry::metrics().builds.inc();
         let start = std::time::Instant::now();
         let (defines, strict_opt) = parse_build_options(options)?;
         if let Some(s) = strict_opt {
             *self.inner.strictness.lock() = s;
         }
         let strictness = *self.inner.strictness.lock();
-        let result = pp::preprocess(&self.inner.source, &defines)
-            .and_then(|src| parser::parse(&src))
-            .and_then(|tu| sema::analyze(&tu).map(|module| (tu, module)));
-        *self.inner.build_time.lock() = start.elapsed();
+        let result = {
+            let pp_span = crate::telemetry::span("clc", "preprocess");
+            let preprocessed = pp::preprocess(&self.inner.source, &defines);
+            drop(pp_span);
+            preprocessed
+                .and_then(|src| parser::parse(&src))
+                .and_then(|tu| sema::analyze(&tu).map(|module| (tu, module)))
+        };
+        let elapsed = start.elapsed();
+        *self.inner.build_time.lock() = elapsed;
+        {
+            let m = crate::telemetry::metrics();
+            let mut kernels: Vec<String> = match &result {
+                Ok((_, module)) => module.kernels.keys().cloned().collect(),
+                Err(_) => Vec::new(),
+            };
+            kernels.sort();
+            let label = if kernels.is_empty() {
+                "<failed>".to_string()
+            } else {
+                kernels.join("+")
+            };
+            m.note_compile(&label, elapsed.as_secs_f64());
+            if crate::telemetry::enabled() {
+                build_span.note("kernels", label);
+                build_span.note("source_bytes", self.inner.source.len());
+                build_span.note("ok", result.is_ok());
+            }
+        }
         match result {
             Ok((tu, module)) => {
                 let mut log = String::from("build successful");
                 let mut denied = false;
                 if strictness != Strictness::Off {
+                    let analysis_span = crate::telemetry::span("clc", "analysis");
                     let analysis = analysis::analyze_tu(&tu);
+                    drop(analysis_span);
                     for d in &analysis.diagnostics {
                         log.push('\n');
                         log.push_str(&d.to_string());

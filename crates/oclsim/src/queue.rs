@@ -134,6 +134,7 @@ impl CommandQueue {
     /// wait lists that already contain a cycle of chained user events
     /// (which could never resolve — a guaranteed deadlock).
     fn admit(&self, kind: CommandKind, wait: &[Event]) -> Result<Event> {
+        let mut span = crate::telemetry::span("sched", "enqueue");
         // a cycle among existing events can only arise from user-event
         // chaining; enqueueing on top of one would block forever
         for (i, ev) in wait.iter().enumerate() {
@@ -158,6 +159,24 @@ impl CommandQueue {
         st.last = Some(event.clone());
         st.live.retain(|e| !e.is_resolved());
         st.live.push(event.clone());
+        let m = crate::telemetry::metrics();
+        match kind {
+            CommandKind::WriteBuffer => m.enqueued_writes.inc(),
+            CommandKind::ReadBuffer => m.enqueued_reads.inc(),
+            CommandKind::CopyBuffer => m.enqueued_copies.inc(),
+            CommandKind::NdRangeKernel => m.enqueued_kernels.inc(),
+            CommandKind::Marker | CommandKind::User => m.enqueued_markers.inc(),
+        }
+        let depth = st.live.len() as i64;
+        m.queue_depth.set(depth);
+        m.queue_depth_peak.raise_to(depth);
+        if crate::telemetry::enabled() {
+            span.note("kind", format!("{kind:?}"));
+            span.note("event", event.id());
+            span.note("wait", wait.len());
+            span.note("out_of_order", self.inner.out_of_order);
+            span.note("depth", depth);
+        }
         Ok(event)
     }
 

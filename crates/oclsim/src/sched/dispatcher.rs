@@ -141,6 +141,13 @@ impl DeviceSched {
 
     /// Run one command whose wait list has fully resolved.
     fn execute(&self, cmd: Command) {
+        let m = crate::telemetry::metrics();
+        m.dispatched.inc();
+        let mut span = crate::telemetry::span("sched", "dispatch");
+        if crate::telemetry::enabled() {
+            span.note("kind", format!("{:?}", cmd.event.kind()));
+            span.note("event", cmd.event.id());
+        }
         // the ready instant comes from every dependency (including
         // ordering-only predecessors); poisoning only from the wait list
         let mut ready = 0.0f64;
@@ -166,6 +173,8 @@ impl DeviceSched {
                 started,
                 ended,
             };
+            m.command_errors.inc();
+            span.note("outcome", "poisoned");
             cmd.event
                 .resolve_error(err, stamps, std::time::Duration::ZERO);
             return;
@@ -177,6 +186,12 @@ impl DeviceSched {
         let wall = wall_start.elapsed();
         match outcome {
             Ok(Ok(work)) => {
+                if matches!(work.resource, Resource::Dma) {
+                    m.dma_commands.inc();
+                    if let Some(t) = &work.output.transfer {
+                        m.dma_bytes.add(t.bytes);
+                    }
+                }
                 let (started, ended) =
                     lock(&self.timeline).reserve(work.resource, ready, work.duration);
                 let stamps = TimelineStamps {
@@ -185,6 +200,17 @@ impl DeviceSched {
                     started,
                     ended,
                 };
+                m.retired.inc();
+                if crate::telemetry::enabled() {
+                    span.note("ready_s", format!("{ready:.9}"));
+                    span.note_modeled(started, ended);
+                    if let Some(label) = &work.output.label {
+                        span.note("label", label);
+                    }
+                    if let Some(t) = &work.output.transfer {
+                        span.note("bytes", t.bytes);
+                    }
+                }
                 cmd.event.resolve_complete(stamps, wall, work.output);
             }
             Ok(Err(err)) => {
@@ -195,6 +221,8 @@ impl DeviceSched {
                     started,
                     ended,
                 };
+                m.command_errors.inc();
+                span.note("outcome", "error");
                 cmd.event.resolve_error(err, stamps, wall);
             }
             Err(panic) => {
@@ -210,6 +238,8 @@ impl DeviceSched {
                     started,
                     ended,
                 };
+                m.command_errors.inc();
+                span.note("outcome", "panic");
                 cmd.event.resolve_error(
                     Error::InvalidOperation(format!("command panicked: {msg}")),
                     stamps,

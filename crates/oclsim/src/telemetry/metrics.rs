@@ -1,0 +1,533 @@
+//! Process-wide metrics registry (see the module docs of
+//! [`crate::telemetry`]).
+//!
+//! Every update is a single relaxed atomic RMW, so the hot path is
+//! lock-free and the final value of a counter/histogram is independent
+//! of thread interleaving (addition of integers commutes). Metrics whose
+//! value is *inherently* timing- or interleaving-dependent (compile wall
+//! time, instantaneous queue depth) are flagged non-canonical and are
+//! excluded from the canonical snapshot that CI diffs across
+//! `OCLSIM_THREADS` settings.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Monotonically increasing event count.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Instantaneous signed value (e.g. queue depth).
+#[derive(Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the value to at least `v` (high-water mark).
+    pub fn raise_to(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Fixed-bucket histogram over integer-valued observations (bytes,
+/// microseconds). Bucket counts and the sum are plain integer atomics,
+/// so the merged result is exact and order-independent.
+pub struct Histogram {
+    /// Inclusive upper bounds of the finite buckets; an implicit `+Inf`
+    /// bucket follows.
+    bounds: &'static [u64],
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &'static [u64]) -> Self {
+        Histogram {
+            bounds,
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+    }
+
+    fn render(&self, out: &mut String, name: &str) {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, bound) in self.bounds.iter().enumerate() {
+            cumulative += self.counts[i].load(Ordering::Relaxed);
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        cumulative += self.counts[self.bounds.len()].load(Ordering::Relaxed);
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{name}_sum {}", self.sum());
+        let _ = writeln!(out, "{name}_count {cumulative}");
+    }
+}
+
+/// Transfer sizes: 1 KiB / 64 KiB / 1 MiB / 16 MiB / +Inf.
+const TRANSFER_BOUNDS: &[u64] = &[1 << 10, 1 << 16, 1 << 20, 1 << 24];
+/// Compile wall time in µs: 100 µs … 1 s / +Inf.
+const COMPILE_BOUNDS: &[u64] = &[100, 1_000, 10_000, 100_000, 1_000_000];
+
+/// The registry. One static instance per process, reached via
+/// [`metrics`]; fields are updated directly at the instrumented sites.
+pub struct Metrics {
+    // --- hpl runtime (canonical: workload-determined) ---
+    /// `eval(f).run()` served from the alias-keyed kernel cache.
+    pub kernel_cache_hits: Counter,
+    /// Cache misses (kernel recorded + code generated).
+    pub kernel_cache_misses: Counter,
+    /// Entries dropped by `clear_kernel_cache`.
+    pub kernel_cache_evictions: Counter,
+    /// Host→device uploads issued by the coherence layer.
+    pub h2d_transfers: Counter,
+    /// Bytes uploaded host→device.
+    pub h2d_bytes: Counter,
+    /// Device→host downloads issued by the coherence layer.
+    pub d2h_transfers: Counter,
+    /// Bytes downloaded device→host.
+    pub d2h_bytes: Counter,
+    /// Uploads issued while the device copy was already valid — always a
+    /// coherence bug; the bench gate fails on any increase.
+    pub redundant_uploads: Counter,
+    /// Reads satisfied by an already-valid device copy (no transfer).
+    pub coherence_hits: Counter,
+    /// Distribution of individual transfer sizes (bytes).
+    pub transfer_bytes: Histogram,
+    // --- oclsim queue/scheduler (canonical) ---
+    /// Buffer writes admitted to a command queue.
+    pub enqueued_writes: Counter,
+    /// Buffer reads admitted to a command queue.
+    pub enqueued_reads: Counter,
+    /// Buffer copies admitted to a command queue.
+    pub enqueued_copies: Counter,
+    /// Kernel launches admitted to a command queue.
+    pub enqueued_kernels: Counter,
+    /// Markers/barriers admitted to a command queue.
+    pub enqueued_markers: Counter,
+    /// Commands handed to a device scheduler.
+    pub dispatched: Counter,
+    /// Commands that completed successfully.
+    pub retired: Counter,
+    /// Commands that finished in an error state.
+    pub command_errors: Counter,
+    /// Commands serviced by the DMA channel.
+    pub dma_commands: Counter,
+    /// Bytes moved by DMA commands.
+    pub dma_bytes: Counter,
+    /// `Program::build` invocations.
+    pub builds: Counter,
+    // --- non-canonical: wall-clock or interleaving dependent ---
+    /// Distribution of `Program::build` wall time (µs).
+    pub compile_seconds: Histogram,
+    /// Live commands in the most recently touched queue.
+    pub queue_depth: Gauge,
+    /// High-water mark of [`Metrics::queue_depth`].
+    pub queue_depth_peak: Gauge,
+    /// Per-kernel compile accounting: name → (builds, wall seconds).
+    per_kernel_compile: Mutex<BTreeMap<String, (u64, f64)>>,
+}
+
+impl Metrics {
+    fn new() -> Self {
+        Metrics {
+            kernel_cache_hits: Counter::default(),
+            kernel_cache_misses: Counter::default(),
+            kernel_cache_evictions: Counter::default(),
+            h2d_transfers: Counter::default(),
+            h2d_bytes: Counter::default(),
+            d2h_transfers: Counter::default(),
+            d2h_bytes: Counter::default(),
+            redundant_uploads: Counter::default(),
+            coherence_hits: Counter::default(),
+            transfer_bytes: Histogram::new(TRANSFER_BOUNDS),
+            enqueued_writes: Counter::default(),
+            enqueued_reads: Counter::default(),
+            enqueued_copies: Counter::default(),
+            enqueued_kernels: Counter::default(),
+            enqueued_markers: Counter::default(),
+            dispatched: Counter::default(),
+            retired: Counter::default(),
+            command_errors: Counter::default(),
+            dma_commands: Counter::default(),
+            dma_bytes: Counter::default(),
+            builds: Counter::default(),
+            compile_seconds: Histogram::new(COMPILE_BOUNDS),
+            queue_depth: Gauge::default(),
+            queue_depth_peak: Gauge::default(),
+            per_kernel_compile: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Record one `Program::build` of `kernel` taking `seconds` of wall
+    /// time (non-canonical).
+    pub fn note_compile(&self, kernel: &str, seconds: f64) {
+        self.compile_seconds.observe((seconds * 1.0e6) as u64);
+        let mut map = lock(&self.per_kernel_compile);
+        let entry = map.entry(kernel.to_string()).or_insert((0, 0.0));
+        entry.0 += 1;
+        entry.1 += seconds;
+    }
+
+    /// Per-kernel compile accounting snapshot: name → (builds, seconds).
+    pub fn compile_by_kernel(&self) -> BTreeMap<String, (u64, f64)> {
+        lock(&self.per_kernel_compile).clone()
+    }
+}
+
+static METRICS: OnceLock<Metrics> = OnceLock::new();
+
+/// The process-wide registry.
+pub fn metrics() -> &'static Metrics {
+    METRICS.get_or_init(Metrics::new)
+}
+
+/// Zero every metric (tests and the `report` subcommands use this to
+/// measure one workload in isolation).
+pub fn reset_metrics() {
+    let m = metrics();
+    m.kernel_cache_hits.reset();
+    m.kernel_cache_misses.reset();
+    m.kernel_cache_evictions.reset();
+    m.h2d_transfers.reset();
+    m.h2d_bytes.reset();
+    m.d2h_transfers.reset();
+    m.d2h_bytes.reset();
+    m.redundant_uploads.reset();
+    m.coherence_hits.reset();
+    m.transfer_bytes.reset();
+    m.enqueued_writes.reset();
+    m.enqueued_reads.reset();
+    m.enqueued_copies.reset();
+    m.enqueued_kernels.reset();
+    m.enqueued_markers.reset();
+    m.dispatched.reset();
+    m.retired.reset();
+    m.command_errors.reset();
+    m.dma_commands.reset();
+    m.dma_bytes.reset();
+    m.builds.reset();
+    m.compile_seconds.reset();
+    m.queue_depth.reset();
+    m.queue_depth_peak.reset();
+    lock(&m.per_kernel_compile).clear();
+}
+
+fn counter(out: &mut String, name: &str, help: &str, c: &Counter) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name} {}", c.get());
+}
+
+fn gauge(out: &mut String, name: &str, help: &str, g: &Gauge) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {}", g.get());
+}
+
+/// Render the registry in Prometheus text exposition format, in a fixed
+/// registration order. With `canonical = true` only workload-determined
+/// metrics are included — that snapshot is byte-identical across
+/// `OCLSIM_THREADS` settings and across in-order vs out-of-order queues
+/// for the same workload.
+pub fn metrics_text(canonical: bool) -> String {
+    let m = metrics();
+    let mut out = String::new();
+    counter(
+        &mut out,
+        "hpl_kernel_cache_hits_total",
+        "eval() launches served from the kernel cache",
+        &m.kernel_cache_hits,
+    );
+    counter(
+        &mut out,
+        "hpl_kernel_cache_misses_total",
+        "eval() launches that recorded + generated code",
+        &m.kernel_cache_misses,
+    );
+    counter(
+        &mut out,
+        "hpl_kernel_cache_evictions_total",
+        "kernel cache entries evicted",
+        &m.kernel_cache_evictions,
+    );
+    counter(
+        &mut out,
+        "hpl_h2d_transfers_total",
+        "host-to-device uploads issued by coherence",
+        &m.h2d_transfers,
+    );
+    counter(
+        &mut out,
+        "hpl_h2d_bytes_total",
+        "bytes uploaded host-to-device",
+        &m.h2d_bytes,
+    );
+    counter(
+        &mut out,
+        "hpl_d2h_transfers_total",
+        "device-to-host downloads issued by coherence",
+        &m.d2h_transfers,
+    );
+    counter(
+        &mut out,
+        "hpl_d2h_bytes_total",
+        "bytes downloaded device-to-host",
+        &m.d2h_bytes,
+    );
+    counter(
+        &mut out,
+        "hpl_redundant_uploads_total",
+        "uploads issued while the device copy was already valid",
+        &m.redundant_uploads,
+    );
+    counter(
+        &mut out,
+        "hpl_coherence_hits_total",
+        "reads satisfied by an already-valid device copy",
+        &m.coherence_hits,
+    );
+    let _ = writeln!(
+        out,
+        "# HELP hpl_transfer_bytes distribution of individual transfer sizes"
+    );
+    m.transfer_bytes.render(&mut out, "hpl_transfer_bytes");
+    counter(
+        &mut out,
+        "oclsim_enqueued_writes_total",
+        "buffer writes admitted to a queue",
+        &m.enqueued_writes,
+    );
+    counter(
+        &mut out,
+        "oclsim_enqueued_reads_total",
+        "buffer reads admitted to a queue",
+        &m.enqueued_reads,
+    );
+    counter(
+        &mut out,
+        "oclsim_enqueued_copies_total",
+        "buffer copies admitted to a queue",
+        &m.enqueued_copies,
+    );
+    counter(
+        &mut out,
+        "oclsim_enqueued_kernels_total",
+        "kernel launches admitted to a queue",
+        &m.enqueued_kernels,
+    );
+    counter(
+        &mut out,
+        "oclsim_enqueued_markers_total",
+        "markers/barriers admitted to a queue",
+        &m.enqueued_markers,
+    );
+    counter(
+        &mut out,
+        "oclsim_dispatched_total",
+        "commands handed to a device scheduler",
+        &m.dispatched,
+    );
+    counter(
+        &mut out,
+        "oclsim_retired_total",
+        "commands completed successfully",
+        &m.retired,
+    );
+    counter(
+        &mut out,
+        "oclsim_command_errors_total",
+        "commands that finished in an error state",
+        &m.command_errors,
+    );
+    counter(
+        &mut out,
+        "oclsim_dma_commands_total",
+        "commands serviced by the DMA channel",
+        &m.dma_commands,
+    );
+    counter(
+        &mut out,
+        "oclsim_dma_bytes_total",
+        "bytes moved by DMA commands",
+        &m.dma_bytes,
+    );
+    counter(
+        &mut out,
+        "oclsim_builds_total",
+        "Program::build invocations",
+        &m.builds,
+    );
+    if !canonical {
+        let _ = writeln!(
+            out,
+            "# HELP oclsim_compile_us Program::build wall time distribution (us)"
+        );
+        m.compile_seconds.render(&mut out, "oclsim_compile_us");
+        gauge(
+            &mut out,
+            "oclsim_queue_depth",
+            "live commands in the most recently touched queue",
+            &m.queue_depth,
+        );
+        gauge(
+            &mut out,
+            "oclsim_queue_depth_peak",
+            "high-water mark of oclsim_queue_depth",
+            &m.queue_depth_peak,
+        );
+        let per_kernel = m.compile_by_kernel();
+        if !per_kernel.is_empty() {
+            let _ = writeln!(
+                out,
+                "# HELP oclsim_kernel_compile_seconds per-kernel compile wall time"
+            );
+            for (kernel, (count, seconds)) in &per_kernel {
+                let _ = writeln!(
+                    out,
+                    "oclsim_kernel_compile_count{{kernel=\"{kernel}\"}} {count}"
+                );
+                let _ = writeln!(
+                    out,
+                    "oclsim_kernel_compile_seconds_sum{{kernel=\"{kernel}\"}} {seconds:.6}"
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Metrics tests mutate the process-global registry; serialize them.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let _g = lock(&SERIAL);
+        reset_metrics();
+        let m = metrics();
+        m.kernel_cache_hits.inc();
+        m.kernel_cache_hits.add(2);
+        assert_eq!(m.kernel_cache_hits.get(), 3);
+        m.queue_depth.set(4);
+        m.queue_depth_peak.raise_to(4);
+        m.queue_depth_peak.raise_to(2);
+        assert_eq!(m.queue_depth_peak.get(), 4);
+        reset_metrics();
+        assert_eq!(m.kernel_cache_hits.get(), 0);
+        assert_eq!(m.queue_depth_peak.get(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let _g = lock(&SERIAL);
+        reset_metrics();
+        let m = metrics();
+        m.transfer_bytes.observe(100); // <= 1 KiB
+        m.transfer_bytes.observe(2048); // <= 64 KiB
+        m.transfer_bytes.observe(1 << 30); // +Inf
+        assert_eq!(m.transfer_bytes.count(), 3);
+        assert_eq!(m.transfer_bytes.sum(), 100 + 2048 + (1 << 30));
+        let text = metrics_text(true);
+        assert!(
+            text.contains("hpl_transfer_bytes_bucket{le=\"1024\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("hpl_transfer_bytes_bucket{le=\"65536\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("hpl_transfer_bytes_bucket{le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        reset_metrics();
+    }
+
+    #[test]
+    fn canonical_snapshot_excludes_wall_clock_metrics() {
+        let _g = lock(&SERIAL);
+        reset_metrics();
+        metrics().note_compile("mmul", 0.002);
+        let canonical = metrics_text(true);
+        assert!(!canonical.contains("oclsim_compile_us"), "{canonical}");
+        assert!(!canonical.contains("queue_depth"), "{canonical}");
+        assert!(!canonical.contains("mmul"), "{canonical}");
+        let full = metrics_text(false);
+        assert!(full.contains("oclsim_compile_us_count 1"), "{full}");
+        assert!(
+            full.contains("oclsim_kernel_compile_count{kernel=\"mmul\"} 1"),
+            "{full}"
+        );
+        reset_metrics();
+    }
+}
