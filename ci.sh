@@ -37,6 +37,15 @@ OCLSIM_THREADS=1 cargo run --release -p bench --bin report -- profile > target/p
 OCLSIM_THREADS=4 cargo run --release -p bench --bin report -- profile > target/profile-t4.out
 diff target/profile-t1.out target/profile-t4.out
 
+echo "== report -- annotate (per-line source listings byte-identical across OCLSIM_THREADS)"
+# perf-annotate-style per-line counter listings for every benchmark kernel
+# (generated lines mapped to DSL recording sites); exits nonzero if any
+# kernel's per-line counters fail to sum to its launch totals, and the
+# attribution must not depend on how many host threads simulate the groups
+OCLSIM_THREADS=1 cargo run --release -p bench --bin report -- annotate > target/annotate-t1.out
+OCLSIM_THREADS=4 cargo run --release -p bench --bin report -- annotate > target/annotate-t4.out
+diff target/annotate-t1.out target/annotate-t4.out
+
 echo "== telemetry is zero-overhead when off (and invisible to the counter tables when on)"
 # same profile run with span collection enabled: the counter tables, the
 # transfer-minimality verdicts and the traces must be byte-identical —

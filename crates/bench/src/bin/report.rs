@@ -2,8 +2,8 @@
 //!
 //! Usage: `cargo run -p bench --release --bin report [-- EXPERIMENT]`
 //! where EXPERIMENT is one of `table1`, `fig6`, `fig7`, `fig8`, `fig9`,
-//! `caching`, `ablation`, `overlap`, `lint`, `profile`, `metrics`,
-//! `bench`, or `all` (default). Measured values are printed next to the
+//! `caching`, `ablation`, `overlap`, `lint`, `profile`, `annotate`,
+//! `metrics`, `bench`, or `all` (default). Measured values are printed next to the
 //! paper's published numbers; EXPERIMENTS.md records the comparison.
 //! `lint` runs the kernel sanitizer over every benchmark's handwritten
 //! and HPL-generated OpenCL C and exits nonzero unless every kernel is
@@ -11,7 +11,13 @@
 //! `hpl::profile`, prints the simulated hardware counters per kernel —
 //! output byte-identical across `OCLSIM_THREADS` — writes Chrome traces
 //! to `target/trace-<bench>.json`, and exits nonzero if any run performed
-//! a redundant host→device transfer. `metrics` drives every benchmark to
+//! a redundant host→device transfer. `annotate` renders perf-annotate-style
+//! per-line counter listings for every benchmark kernel — HPL-generated
+//! lines mapped back to their DSL recording sites, handwritten kernels to
+//! their own source — plus a cross-benchmark hot-line table and a JSONL
+//! export to `target/annotate.jsonl`; it exits nonzero if any kernel's
+//! per-line counters fail to sum to its launch totals, and its output is
+//! also byte-identical across `OCLSIM_THREADS`. `metrics` drives every benchmark to
 //! its cache steady state and prints the canonical telemetry snapshot
 //! (also byte-identical across `OCLSIM_THREADS`). `bench` emits the
 //! `target/BENCH_pr4.json` performance trajectory plus a unified
@@ -25,8 +31,8 @@
 //! unaffected either way.
 
 use bench::{
-    ablation, caching, fig6, fig7, fig8, fig9, lint, overlap, profile, runtime_metrics, table1,
-    tesla, trajectory,
+    ablation, annotate, caching, fig6, fig7, fig8, fig9, lint, overlap, profile, runtime_metrics,
+    table1, tesla, trajectory,
 };
 
 fn main() {
@@ -45,6 +51,7 @@ fn main() {
         "overlap" => run_overlap(),
         "lint" => run_lint(),
         "profile" => run_profile(),
+        "annotate" => run_annotate(),
         "metrics" => run_metrics(),
         "bench" => run_bench_trajectory(),
         "all" => {
@@ -58,12 +65,13 @@ fn main() {
                 & run_overlap()
                 & run_lint()
                 & run_profile()
+                & run_annotate()
                 & run_metrics()
                 & run_bench_trajectory()
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; use table1|fig6|fig7|fig8|fig9|caching|ablation|overlap|lint|profile|metrics|bench|all"
+                "unknown experiment `{other}`; use table1|fig6|fig7|fig8|fig9|caching|ablation|overlap|lint|profile|annotate|metrics|bench|all"
             );
             std::process::exit(2);
         }
@@ -309,7 +317,9 @@ fn run_lint() -> bool {
                     if r.clean() { "clean" } else { "DIRTY" }
                 );
                 for m in &r.messages {
-                    println!("    {m}");
+                    for line in m.lines() {
+                        println!("    {line}");
+                    }
                 }
                 ok &= r.clean();
             }
@@ -411,6 +421,87 @@ fn run_profile() -> bool {
     ok
 }
 
+fn run_annotate() -> bool {
+    banner("Annotate — per-line counters attributed to source, all benchmarks (Tesla, test scale)");
+    let device = tesla();
+    let rows = match annotate::compute(&device) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("annotate failed: {e}");
+            return false;
+        }
+    };
+    let mut ok = true;
+    for r in &rows {
+        println!();
+        print!("{}", r.render());
+        if !r.sums_match() {
+            eprintln!(
+                "annotate: per-line counters do not sum to launch totals for {}",
+                r.qualified_name()
+            );
+            ok = false;
+        }
+        if !r.lines.iter().any(|a| a.line != 0) {
+            eprintln!("annotate: no attributed line in {}", r.qualified_name());
+            ok = false;
+        }
+    }
+    // every benchmark must contribute both variants
+    for &bench in profile::BENCHES {
+        for variant in ["generated", "handwritten"] {
+            if !rows
+                .iter()
+                .any(|r| r.bench == bench && r.variant == variant)
+            {
+                eprintln!("annotate: no {variant} listing for {bench}");
+                ok = false;
+            }
+        }
+    }
+
+    println!("\nhot lines across the corpus:");
+    println!(
+        "{:<10} {:<12} {:<26} {:>6} {:>7}  location",
+        "bench", "variant", "kernel", "line", "tx%"
+    );
+    for h in annotate::hot_lines(&rows) {
+        println!(
+            "{:<10} {:<12} {:<26} {:>6} {:>6.1}%  {}",
+            h.bench,
+            h.variant,
+            h.kernel,
+            h.line,
+            100.0 * h.tx_share,
+            h.location
+        );
+    }
+
+    println!("\ncoalescing ablation, annotated (naive vs tiled transpose, 256x256):");
+    match annotate::transpose_naive_vs_tiled(&device) {
+        Ok((naive, tiled)) => {
+            println!();
+            print!("{}", naive.render());
+            println!();
+            print!("{}", tiled.render());
+            ok &= naive.sums_match() && tiled.sums_match();
+        }
+        Err(e) => {
+            eprintln!("annotated ablation failed: {e}");
+            ok = false;
+        }
+    }
+
+    match annotate::export_jsonl(&rows, std::path::Path::new("target")) {
+        Ok(path) => println!("\nannotated lines written: {path}"),
+        Err(e) => {
+            eprintln!("annotate JSONL export failed: {e}");
+            ok = false;
+        }
+    }
+    ok
+}
+
 fn run_metrics() -> bool {
     banner("Metrics — telemetry registry, steady-state kernel-cache behaviour (Tesla, test scale)");
     // self-contained snapshot: only this subcommand's workload counts
@@ -462,7 +553,7 @@ fn run_bench_trajectory() -> bool {
         }
     };
     println!(
-        "{:<10} {:<6} {:>14} {:>5} {:>10} {:>5} {:>6} {:>6} {:>9} {:>6} {:>12}",
+        "{:<10} {:<6} {:>14} {:>5} {:>10} {:>5} {:>6} {:>6} {:>9} {:>6} {:>12}  hot line",
         "bench",
         "mode",
         "modeled (s)",
@@ -478,8 +569,21 @@ fn run_bench_trajectory() -> bool {
     let mut ok = true;
     for e in &run.entries {
         let host_wall: f64 = e.host_wall_seconds.values().sum();
+        let hot = e
+            .hot_line
+            .as_ref()
+            .map(|h| {
+                format!(
+                    "{} ({:.0}% of tx)",
+                    h.site
+                        .clone()
+                        .unwrap_or_else(|| format!("{}:{}", h.kernel, h.line)),
+                    100.0 * h.tx_share
+                )
+            })
+            .unwrap_or_else(|| "-".into());
         println!(
-            "{:<10} {:<6} {:>14.9} {:>5} {:>10} {:>5} {:>6} {:>6} {:>9} {:>6} {:>12.6}",
+            "{:<10} {:<6} {:>14.9} {:>5} {:>10} {:>5} {:>6} {:>6} {:>9} {:>6} {:>12.6}  {hot}",
             e.bench,
             e.mode,
             e.modeled_device_seconds,

@@ -15,9 +15,11 @@
 //! | §V-B kernel-cache behaviour | [`caching::compute`] |
 //! | Ablations (DESIGN.md) | [`ablation`] |
 //! | Hardware-counter profile (`report -- profile`) | [`profile::compute`] |
+//! | Per-line source annotation (`report -- annotate`) | [`annotate::compute`] |
 //! | Telemetry registry snapshot (`report -- metrics`) | [`runtime_metrics::compute`] |
 //! | Perf trajectory + gate (`report -- bench`) | [`trajectory::compute`] |
 
+pub mod annotate;
 pub mod profile;
 pub mod runtime_metrics;
 pub mod trajectory;
@@ -612,7 +614,9 @@ pub mod lint {
         pub warnings: usize,
         /// Number of error-severity findings.
         pub errors: usize,
-        /// Rendered diagnostics, in source order.
+        /// Rendered diagnostics, in source order, each with the offending
+        /// source line and a caret under the span (the same snippet
+        /// renderer `report -- annotate` uses for its listings).
         pub messages: Vec<String>,
     }
 
@@ -651,7 +655,7 @@ pub mod lint {
                     .iter()
                     .filter(|d| d.severity == Severity::Error)
                     .count(),
-                messages: diags.iter().map(|d| d.to_string()).collect(),
+                messages: diags.iter().map(|d| d.render_with_source(source)).collect(),
             });
         }
         Ok(())

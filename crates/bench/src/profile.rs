@@ -62,6 +62,9 @@ pub struct ModeProfile {
     /// Every profiled event of the run (kernel launches + transfers), for
     /// the Chrome trace export.
     pub events: Vec<Event>,
+    /// The run's hottest source line (most global-memory transactions),
+    /// when any kernel issued transactions.
+    pub hot_line: Option<HotLineInfo>,
 }
 
 impl ModeProfile {
@@ -69,6 +72,58 @@ impl ModeProfile {
     pub fn transfers_minimal(&self) -> bool {
         self.h2d_count == self.expected_h2d
     }
+}
+
+/// The hottest source line of one run: the (kernel, generated line) that
+/// issued the most global-memory transactions, with its DSL recording
+/// site when codegen provenance knows it. Feeds the `BENCH_*.json`
+/// trajectory so hot-line drift is visible across PRs.
+#[derive(Debug, Clone)]
+pub struct HotLineInfo {
+    /// Kernel name (uniquifying suffix stripped).
+    pub kernel: String,
+    /// 1-based line in the kernel's (generated) OpenCL C source.
+    pub line: usize,
+    /// DSL recording site (`file.rs:line`) of that generated line, when
+    /// the codegen line map has one.
+    pub site: Option<String>,
+    /// The line's share of the kernel's global-memory transactions.
+    pub tx_share: f64,
+}
+
+/// Pick the run's hottest line across `rows`. `full_names` maps a row's
+/// base kernel name back to one as-recorded name for provenance lookup.
+/// Ties keep the first row, and rows are sorted by kernel name, so the
+/// choice is deterministic.
+fn hot_line_info(rows: &[KernelRow], full_names: &BTreeMap<String, String>) -> Option<HotLineInfo> {
+    let mut best: Option<(u64, HotLineInfo)> = None;
+    for row in rows {
+        let Some((line, c)) = row.counters.hot_line() else {
+            continue;
+        };
+        if best
+            .as_ref()
+            .is_some_and(|(tx, _)| *tx >= c.mem_transactions)
+        {
+            continue;
+        }
+        let site = full_names
+            .get(&row.kernel)
+            .and_then(|full| hpl::kernel_provenance(full))
+            .and_then(|p| p.line_map.site_for_line(line))
+            .map(|s| s.to_string());
+        best = Some((
+            c.mem_transactions,
+            HotLineInfo {
+                kernel: row.kernel.clone(),
+                line,
+                site,
+                tx_share: c.mem_transactions as f64
+                    / row.counters.totals.mem_transactions.max(1) as f64,
+            },
+        ));
+    }
+    best.map(|(_, info)| info)
 }
 
 /// The minimal host→device upload count: the number of distinct arrays
@@ -82,7 +137,7 @@ fn expected_h2d(bench: &str) -> usize {
 }
 
 /// Strip HPL's per-process kernel-name counter suffix (`_<digits>`).
-fn base_name(kernel: &str) -> String {
+pub(crate) fn base_name(kernel: &str) -> String {
     match kernel.rfind('_') {
         Some(i) if i + 1 < kernel.len() && kernel[i + 1..].chars().all(|c| c.is_ascii_digit()) => {
             kernel[..i].to_string()
@@ -210,7 +265,12 @@ pub fn profile_one(
 
     // (launches, merged counters, modeled seconds, occupancy sum)
     let mut agg: BTreeMap<String, (usize, LaunchCounters, f64, f64)> = BTreeMap::new();
+    // base name -> one as-recorded kernel name, for provenance lookup
+    let mut full_names: BTreeMap<String, String> = BTreeMap::new();
     for launch in &report.launches {
+        full_names
+            .entry(base_name(&launch.kernel))
+            .or_insert_with(|| launch.kernel.clone());
         let counters = launch
             .event
             .counters()
@@ -222,6 +282,7 @@ pub fn profile_one(
         let entry = agg.entry(base_name(&launch.kernel)).or_insert_with(|| {
             let empty = LaunchCounters {
                 totals: GroupCounters::default(),
+                lines: BTreeMap::new(),
                 num_groups: 0,
                 total_cycles: 0,
                 cu_occupancy: Vec::new(),
@@ -230,12 +291,15 @@ pub fn profile_one(
         });
         entry.0 += 1;
         entry.1.totals.merge(&counters.totals);
+        for (line, c) in &counters.lines {
+            entry.1.lines.entry(*line).or_default().merge(c);
+        }
         entry.1.num_groups += counters.num_groups;
         entry.1.total_cycles += counters.total_cycles;
         entry.2 += timing.device_seconds;
         entry.3 += counters.mean_occupancy();
     }
-    let rows = agg
+    let rows: Vec<KernelRow> = agg
         .into_iter()
         .map(|(kernel, (launches, counters, seconds, occ_sum))| {
             let timing = TimingBreakdown {
@@ -257,6 +321,7 @@ pub fn profile_one(
     let mut events: Vec<Event> = report.launches.iter().map(|l| l.event.clone()).collect();
     events.extend(report.transfers.iter().filter_map(|t| t.event.clone()));
 
+    let hot_line = hot_line_info(&rows, &full_names);
     Ok(ModeProfile {
         bench,
         mode: if sync { "sync" } else { "async" },
@@ -266,6 +331,7 @@ pub fn profile_one(
         d2h_count: report.d2h_count(),
         expected_h2d: expected_h2d(bench),
         events,
+        hot_line,
     })
 }
 

@@ -26,7 +26,7 @@ use hpl::telemetry::{self, SpanRecord};
 use oclsim::prof::json::{parse, Value};
 use oclsim::{chrome_trace_with_host, validate_chrome_trace, Device, Event};
 
-use crate::profile::{profile_one, BENCHES};
+use crate::profile::{profile_one, HotLineInfo, BENCHES};
 use crate::table1;
 
 /// Schema tag stamped into the JSON so future PRs can evolve the format.
@@ -64,6 +64,11 @@ pub struct BenchEntry {
     /// (inclusive time: a parent span contains its children). Recorded
     /// for trend-watching; excluded from the gate.
     pub host_wall_seconds: BTreeMap<&'static str, f64>,
+    /// The run's hottest source line (kernel, generated line, DSL site,
+    /// transaction share) from the per-line counter map. Additive to the
+    /// schema: the baseline gate ignores it, so hot-line drift shows up
+    /// in the committed JSON diff without ever failing the build.
+    pub hot_line: Option<HotLineInfo>,
 }
 
 /// The full trajectory run, plus the raw material for the unified
@@ -135,6 +140,7 @@ fn compute_inner(device: &Device) -> Result<BenchRun, benchsuite::Error> {
                 redundant_uploads: redundant_after - redundant_before,
                 hpl_sloc: hpl_sloc(bench),
                 host_wall_seconds,
+                hot_line: p.hot_line.clone(),
             });
             if bench == "floyd" && sync {
                 floyd_events = p.events.clone();
@@ -187,6 +193,22 @@ pub fn to_json(entries: &[BenchEntry]) -> String {
         let _ = writeln!(out, "      \"cache_misses\": {},", e.cache_misses);
         let _ = writeln!(out, "      \"redundant_uploads\": {},", e.redundant_uploads);
         let _ = writeln!(out, "      \"hpl_sloc\": {},", e.hpl_sloc);
+        match &e.hot_line {
+            Some(h) => {
+                let site = match &h.site {
+                    Some(s) => format!("\"{}\"", json_escape(s)),
+                    None => "null".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "      \"hot_line\": {{\"kernel\": \"{}\", \"line\": {}, \"site\": {site}, \"tx_share\": {:.6}}},",
+                    json_escape(&h.kernel),
+                    h.line,
+                    h.tx_share
+                );
+            }
+            None => out.push_str("      \"hot_line\": null,\n"),
+        }
         out.push_str("      \"host_wall_seconds\": {");
         for (j, (cat, secs)) in e.host_wall_seconds.iter().enumerate() {
             if j > 0 {
@@ -333,6 +355,12 @@ mod tests {
             redundant_uploads: redundant,
             hpl_sloc: 100,
             host_wall_seconds: BTreeMap::from([("hpl", 0.001)]),
+            hot_line: Some(HotLineInfo {
+                kernel: "hpl_k".into(),
+                line: 7,
+                site: Some("crates/benchsuite/src/x.rs:42".into()),
+                tx_share: 0.5,
+            }),
         }
     }
 
@@ -351,6 +379,23 @@ mod tests {
                 .map(<[Value]>::len),
             Some(2)
         );
+        // the additive hot-line object round-trips
+        let first = &parsed.get("benchmarks").and_then(Value::as_arr).unwrap()[0];
+        let hot = first.get("hot_line").expect("hot_line present");
+        assert_eq!(hot.get("line").and_then(Value::as_num), Some(7.0));
+        assert_eq!(hot.get("kernel").and_then(Value::as_str), Some("hpl_k"));
+    }
+
+    #[test]
+    fn gate_ignores_hot_line_differences() {
+        // hot_line is trend data, not a gate input: a baseline whose hot
+        // line differs (or is missing) must not fail an otherwise
+        // identical run
+        let mut base = entry("ep", "sync", 0.001, 0);
+        base.hot_line = None;
+        let baseline = to_json(&[base]);
+        let ok = check_against_baseline(&[entry("ep", "sync", 0.001, 0)], &baseline).unwrap();
+        assert!(ok.is_empty(), "{ok:?}");
     }
 
     #[test]

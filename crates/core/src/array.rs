@@ -123,6 +123,7 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
         );
     }
 
+    #[track_caller]
     fn new_with(dims: [usize; N], mem: MemFlag, data: Option<Vec<T>>) -> Array<T, N> {
         Self::check_dims(dims);
         let id = next_handle_id();
@@ -177,6 +178,7 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
     /// Create an array. On the host this allocates zero-initialised global
     /// storage; inside a kernel it declares a **private** per-work-item
     /// array (the paper's rule for unflagged in-kernel declarations).
+    #[track_caller]
     pub fn new(dims: [usize; N]) -> Array<T, N> {
         let mem = if is_recording() {
             MemFlag::Private
@@ -187,6 +189,7 @@ impl<T: HplScalar, const N: usize> Array<T, N> {
     }
 
     /// Declare a `__local` (scratchpad) array. Only valid inside a kernel.
+    #[track_caller]
     pub fn local(dims: [usize; N]) -> Array<T, N> {
         assert!(
             is_recording(),
@@ -855,11 +858,11 @@ mod tests {
             let p = Array::<f32, 1>::new([8]); // private inside kernel
             p.at(0).assign(2.0f32);
         });
-        use crate::ir::HStmt;
+        use crate::ir::HStmtKind;
         assert!(
             matches!(
-                k.body[0],
-                HStmt::DeclArray {
+                k.body[0].kind,
+                HStmtKind::DeclArray {
                     mem: MemFlag::Local,
                     ..
                 }
@@ -868,12 +871,17 @@ mod tests {
             k.body[0]
         );
         assert!(matches!(
-            k.body[2],
-            HStmt::DeclArray {
+            k.body[2].kind,
+            HStmtKind::DeclArray {
                 mem: MemFlag::Private,
                 ..
             }
         ));
+        assert!(
+            k.body[0].site.is_some_and(|s| s.file.ends_with("array.rs")),
+            "Array::local records the declaration site: {:?}",
+            k.body[0].site
+        );
     }
 
     #[test]

@@ -9,10 +9,57 @@
 use std::fmt::Write;
 use std::sync::Arc;
 
-use crate::ir::{CType, HStmt, MemFlag, Node, ParamKind, RecordedKernel};
+use crate::ir::{CType, HStmt, HStmtKind, MemFlag, Node, ParamKind, RecordSite, RecordedKernel};
+
+/// One statement-bearing line of the generated OpenCL C and where the
+/// user recorded it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineMapEntry {
+    /// 1-based line number in the generated source.
+    pub cl_line: usize,
+    /// The DSL recording site, when capture knew it (`None` for
+    /// synthetic IR built without a recording site).
+    pub site: Option<RecordSite>,
+}
+
+/// A `#line`-style provenance table for one generated kernel: maps each
+/// generated OpenCL C line that carries a statement (or a control-flow
+/// header) back to the [`RecordSite`] of the originating DSL expression.
+/// The backend's per-line hardware counters key on generated-source lines
+/// — this table is what turns them back into user terms.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LineMap {
+    entries: Vec<LineMapEntry>,
+}
+
+impl LineMap {
+    /// All entries, in generated-line order.
+    pub fn entries(&self) -> &[LineMapEntry] {
+        &self.entries
+    }
+
+    /// The recording site of generated line `cl_line`, if that line
+    /// carries a statement whose site capture knew.
+    pub fn site_for_line(&self, cl_line: usize) -> Option<RecordSite> {
+        self.entries
+            .iter()
+            .find(|e| e.cl_line == cl_line)
+            .and_then(|e| e.site)
+    }
+}
 
 /// Generate the complete OpenCL C source for a recorded kernel.
 pub fn generate(kernel: &RecordedKernel) -> String {
+    generate_with_map(kernel).0
+}
+
+/// 1-based number of the line `src` is currently writing into.
+fn cur_line(src: &str) -> usize {
+    src.bytes().filter(|&b| b == b'\n').count() + 1
+}
+
+/// Like [`generate`], but also return the provenance [`LineMap`].
+pub fn generate_with_map(kernel: &RecordedKernel) -> (String, LineMap) {
     let mut span = oclsim::telemetry::span("hpl", "codegen");
     if oclsim::telemetry::enabled() {
         span.note("kernel", &kernel.name);
@@ -50,9 +97,10 @@ pub fn generate(kernel: &RecordedKernel) -> String {
     }
     let _ = write!(src, "{}", parts.join(", "));
     src.push_str(") {\n");
-    gen_block(&mut src, &kernel.body, kernel, 1);
+    let mut map = LineMap::default();
+    gen_block(&mut src, &mut map, &kernel.body, kernel, 1);
     src.push_str("}\n");
-    src
+    (src, map)
 }
 
 fn indent(out: &mut String, level: usize) {
@@ -61,16 +109,26 @@ fn indent(out: &mut String, level: usize) {
     }
 }
 
-fn gen_block(out: &mut String, stmts: &[HStmt], k: &RecordedKernel, level: usize) {
+fn gen_block(
+    out: &mut String,
+    map: &mut LineMap,
+    stmts: &[HStmt],
+    k: &RecordedKernel,
+    level: usize,
+) {
     for s in stmts {
-        gen_stmt(out, s, k, level);
+        gen_stmt(out, map, s, k, level);
     }
 }
 
-fn gen_stmt(out: &mut String, s: &HStmt, k: &RecordedKernel, level: usize) {
+fn gen_stmt(out: &mut String, map: &mut LineMap, s: &HStmt, k: &RecordedKernel, level: usize) {
+    map.entries.push(LineMapEntry {
+        cl_line: cur_line(out),
+        site: s.site,
+    });
     indent(out, level);
-    match s {
-        HStmt::DeclScalar { var, cty, init } => {
+    match &s.kind {
+        HStmtKind::DeclScalar { var, cty, init } => {
             match init {
                 Some(e) => {
                     let _ = writeln!(out, "{} v{var} = {};", cty.cl_name(), expr(e, k));
@@ -80,7 +138,7 @@ fn gen_stmt(out: &mut String, s: &HStmt, k: &RecordedKernel, level: usize) {
                 }
             };
         }
-        HStmt::DeclArray {
+        HStmtKind::DeclArray {
             decl,
             cty,
             mem,
@@ -93,30 +151,30 @@ fn gen_stmt(out: &mut String, s: &HStmt, k: &RecordedKernel, level: usize) {
             let total: usize = dims.iter().product();
             let _ = writeln!(out, "{space}{} a{decl}[{total}];", cty.cl_name());
         }
-        HStmt::Assign { lhs, rhs } => {
+        HStmtKind::Assign { lhs, rhs } => {
             let _ = writeln!(out, "{} = {};", expr(lhs, k), expr(rhs, k));
         }
-        HStmt::CompoundAssign { lhs, op, rhs } => {
+        HStmtKind::CompoundAssign { lhs, op, rhs } => {
             let _ = writeln!(out, "{} {}= {};", expr(lhs, k), op.token(), expr(rhs, k));
         }
-        HStmt::If {
+        HStmtKind::If {
             cond,
             then_blk,
             else_blk,
         } => {
             let _ = writeln!(out, "if ({}) {{", expr(cond, k));
-            gen_block(out, then_blk, k, level + 1);
+            gen_block(out, map, then_blk, k, level + 1);
             indent(out, level);
             if else_blk.is_empty() {
                 out.push_str("}\n");
             } else {
                 out.push_str("} else {\n");
-                gen_block(out, else_blk, k, level + 1);
+                gen_block(out, map, else_blk, k, level + 1);
                 indent(out, level);
                 out.push_str("}\n");
             }
         }
-        HStmt::For {
+        HStmtKind::For {
             var,
             cty,
             declares,
@@ -137,17 +195,17 @@ fn gen_stmt(out: &mut String, s: &HStmt, k: &RecordedKernel, level: usize) {
                 expr(to, k),
                 expr(step, k)
             );
-            gen_block(out, body, k, level + 1);
+            gen_block(out, map, body, k, level + 1);
             indent(out, level);
             out.push_str("}\n");
         }
-        HStmt::While { cond, body } => {
+        HStmtKind::While { cond, body } => {
             let _ = writeln!(out, "while ({}) {{", expr(cond, k));
-            gen_block(out, body, k, level + 1);
+            gen_block(out, map, body, k, level + 1);
             indent(out, level);
             out.push_str("}\n");
         }
-        HStmt::Barrier { local, global } => {
+        HStmtKind::Barrier { local, global } => {
             let flags = match (local, global) {
                 (true, true) => "CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE",
                 (false, true) => "CLK_GLOBAL_MEM_FENCE",
@@ -155,7 +213,7 @@ fn gen_stmt(out: &mut String, s: &HStmt, k: &RecordedKernel, level: usize) {
             };
             let _ = writeln!(out, "barrier({flags});");
         }
-        HStmt::ReturnVoid => {
+        HStmtKind::ReturnVoid => {
             out.push_str("return;\n");
         }
     }
@@ -247,16 +305,18 @@ fn expr(n: &Node, k: &RecordedKernel) -> String {
 fn find_local_dims(k: &RecordedKernel, decl: u32) -> Vec<usize> {
     fn walk(stmts: &[HStmt], decl: u32) -> Option<Vec<usize>> {
         for s in stmts {
-            match s {
-                HStmt::DeclArray { decl: d, dims, .. } if *d == decl => return Some(dims.clone()),
-                HStmt::If {
+            match &s.kind {
+                HStmtKind::DeclArray { decl: d, dims, .. } if *d == decl => {
+                    return Some(dims.clone())
+                }
+                HStmtKind::If {
                     then_blk, else_blk, ..
                 } => {
                     if let Some(r) = walk(then_blk, decl).or_else(|| walk(else_blk, decl)) {
                         return Some(r);
                     }
                 }
-                HStmt::For { body, .. } | HStmt::While { body, .. } => {
+                HStmtKind::For { body, .. } | HStmtKind::While { body, .. } => {
                     if let Some(r) = walk(body, decl) {
                         return Some(r);
                     }
@@ -384,6 +444,52 @@ mod tests {
         assert!(src.contains("1.5f"), "{src}");
         assert!(src.contains("= 2.0;"), "{src}");
         assert!(src.contains("3.0f"), "{src}");
+    }
+
+    #[test]
+    fn line_map_points_statement_lines_at_recording_sites() {
+        let y = Array::<f64, 1>::new([8]);
+        let x = Array::<f64, 1>::new([8]);
+        let k = capture("mapped".into(), || {
+            register_arrays(&[&y, &x]);
+            y.at(idx()).assign(x.at(idx()) * 2.0f64);
+            y.at(idx()).assign_add(1.0f64);
+        });
+        let (src, map) = generate_with_map(&k);
+        assert_eq!(map.entries().len(), 2, "one entry per statement");
+        let lines: Vec<&str> = src.lines().collect();
+        for e in map.entries() {
+            let text = lines[e.cl_line - 1];
+            assert!(
+                text.contains('='),
+                "entry points at a statement line: {text}"
+            );
+            let site = e.site.expect("DSL statements carry recording sites");
+            assert!(site.file.ends_with("codegen.rs"), "{site}");
+        }
+        let a = map.entries()[0].site.unwrap();
+        let b = map.entries()[1].site.unwrap();
+        assert_eq!(b.line, a.line + 1, "consecutive DSL lines stay in order");
+        assert_eq!(
+            map.site_for_line(map.entries()[0].cl_line),
+            Some(a),
+            "lookup by generated line"
+        );
+        assert_eq!(map.site_for_line(9999), None);
+    }
+
+    #[test]
+    fn line_map_covers_control_flow_headers() {
+        let k = capture("cf".into(), || {
+            for_(0, 4, |_i| {
+                barrier(LOCAL);
+            });
+        });
+        let (src, map) = generate_with_map(&k);
+        let lines: Vec<&str> = src.lines().collect();
+        assert_eq!(map.entries().len(), 2, "for header + barrier");
+        assert!(lines[map.entries()[0].cl_line - 1].contains("for ("));
+        assert!(lines[map.entries()[1].cl_line - 1].contains("barrier("));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use parking_lot::Mutex;
 use oclsim::{Device, Event, EventStatus, Program};
 
 use crate::array::Array;
-use crate::codegen::generate;
+use crate::codegen::{generate, generate_with_map, LineMap};
 use crate::error::{Error, Result};
 use crate::ir::{ParamKind, ParamRecord, RecordedKernel};
 use crate::kernel::{capture, with_recorder};
@@ -81,6 +81,8 @@ struct BuiltProgram {
 struct CacheEntry {
     recorded: RecordedKernel,
     source: Arc<String>,
+    /// Generated-line → DSL-recording-site provenance for `source`.
+    line_map: Arc<LineMap>,
     capture_seconds: f64,
     codegen_seconds: f64,
     /// device id → built program
@@ -203,6 +205,34 @@ pub fn cache_stats() -> CacheStats {
         evictions: CACHE_EVICTIONS.load(Ordering::Relaxed),
         entries,
     }
+}
+
+/// Generated source plus generated-line → DSL-recording-site provenance
+/// for a cached kernel (see [`kernel_provenance`]).
+#[derive(Debug, Clone)]
+pub struct KernelProvenance {
+    /// The generated kernel's name (`hpl_<fn>_<counter>`).
+    pub kernel: String,
+    /// The generated OpenCL C source.
+    pub source: Arc<String>,
+    /// Generated-line → recording-site map for `source`.
+    pub line_map: Arc<LineMap>,
+}
+
+/// Look up the generated source and line map for a cached kernel by its
+/// generated name (`hpl_<fn>_<counter>`). Returns `None` when no cache
+/// entry produced a kernel with that name — e.g. before the kernel's
+/// first launch or after [`clear_kernel_cache`].
+pub fn kernel_provenance(kernel: &str) -> Option<KernelProvenance> {
+    cache()
+        .lock()
+        .values()
+        .find(|e| e.recorded.name == kernel)
+        .map(|e| KernelProvenance {
+            kernel: e.recorded.name.clone(),
+            source: Arc::clone(&e.source),
+            line_map: Arc::clone(&e.line_map),
+        })
 }
 
 fn kernel_name_for<F: 'static>() -> String {
@@ -732,11 +762,12 @@ impl<F: Copy + 'static> Eval<F> {
                     ));
                 }
                 let t1 = Instant::now();
-                let source = Arc::new(generate(&recorded));
+                let (source, line_map) = generate_with_map(&recorded);
                 let codegen_seconds = t1.elapsed().as_secs_f64();
                 let entry = Arc::new(CacheEntry {
                     recorded,
-                    source,
+                    source: Arc::new(source),
+                    line_map: Arc::new(line_map),
                     capture_seconds,
                     codegen_seconds,
                     programs: Mutex::new(HashMap::new()),

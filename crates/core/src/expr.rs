@@ -9,7 +9,7 @@
 use std::marker::PhantomData;
 use std::sync::Arc;
 
-use crate::ir::{HBinOp, HStmt, Node};
+use crate::ir::{HBinOp, HStmt, HStmtKind, Node, RecordSite};
 use crate::kernel::with_recorder;
 use crate::scalar::{HplScalar, Scalar};
 
@@ -251,45 +251,59 @@ impl<T: HplScalar> Expr<T> {
     }
 
     /// Record `self = rhs;`. `self` must be an array element or variable.
+    #[track_caller]
     pub fn assign(&self, rhs: impl IntoExpr<T>) {
+        let site = RecordSite::here();
         self.check_lvalue("assign");
         let rhs = rhs.into_expr();
         with_recorder(|r| {
-            r.push_stmt(HStmt::Assign {
-                lhs: self.node(),
-                rhs: rhs.node(),
-            })
+            r.push_stmt(HStmt::new(
+                HStmtKind::Assign {
+                    lhs: self.node(),
+                    rhs: rhs.node(),
+                },
+                site,
+            ))
         });
     }
 
+    #[track_caller]
     fn compound(&self, op: HBinOp, rhs: impl IntoExpr<T>) {
+        let site = RecordSite::here();
         self.check_lvalue("compound assignment");
         let rhs = rhs.into_expr();
         with_recorder(|r| {
-            r.push_stmt(HStmt::CompoundAssign {
-                lhs: self.node(),
-                op,
-                rhs: rhs.node(),
-            })
+            r.push_stmt(HStmt::new(
+                HStmtKind::CompoundAssign {
+                    lhs: self.node(),
+                    op,
+                    rhs: rhs.node(),
+                },
+                site,
+            ))
         });
     }
 
     /// Record `self += rhs;`.
+    #[track_caller]
     pub fn assign_add(&self, rhs: impl IntoExpr<T>) {
         self.compound(HBinOp::Add, rhs)
     }
 
     /// Record `self -= rhs;`.
+    #[track_caller]
     pub fn assign_sub(&self, rhs: impl IntoExpr<T>) {
         self.compound(HBinOp::Sub, rhs)
     }
 
     /// Record `self *= rhs;`.
+    #[track_caller]
     pub fn assign_mul(&self, rhs: impl IntoExpr<T>) {
         self.compound(HBinOp::Mul, rhs)
     }
 
     /// Record `self /= rhs;`.
+    #[track_caller]
     pub fn assign_div(&self, rhs: impl IntoExpr<T>) {
         self.compound(HBinOp::Div, rhs)
     }
@@ -376,14 +390,19 @@ mod tests {
             i.v().assign(idx() + 1);
             i.v().assign_add(2);
         });
-        assert!(matches!(k.body[1], HStmt::Assign { .. }));
+        assert!(matches!(k.body[1].kind, HStmtKind::Assign { .. }));
         assert!(matches!(
-            k.body[2],
-            HStmt::CompoundAssign {
+            k.body[2].kind,
+            HStmtKind::CompoundAssign {
                 op: HBinOp::Add,
                 ..
             }
         ));
+        // both sites point at this test's assignment lines, in order
+        let s1 = k.body[1].site.expect("assign records its site");
+        let s2 = k.body[2].site.expect("assign_add records its site");
+        assert!(s1.file.ends_with("expr.rs"), "{s1}");
+        assert_eq!(s2.line, s1.line + 1, "{s1} then {s2}");
     }
 
     #[test]

@@ -193,9 +193,70 @@ pub enum Node {
     },
 }
 
-/// A recorded statement.
+/// Where in the user's Rust source a statement was recorded. Captured
+/// via `#[track_caller]` at the public DSL entry points (`assign`,
+/// `if_`, `for_`, `barrier`, `Scalar::new`, `Array::local`, ...), so it
+/// names the HPL *expression* the user wrote — not the library internals
+/// that recorded it. The code generator threads these through to a
+/// [`crate::codegen::LineMap`], which is what lets per-line hardware
+/// counters from the simulated device surface in user terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecordSite {
+    /// Rust source file (as `file!()` spells it: workspace-relative for
+    /// local crates, so stable across machines building the same tree).
+    pub file: &'static str,
+    /// 1-based line of the recording call.
+    pub line: u32,
+}
+
+impl RecordSite {
+    /// The caller's source location. Only meaningful when every frame
+    /// between the user's code and this call is `#[track_caller]`.
+    #[track_caller]
+    pub fn here() -> RecordSite {
+        let loc = std::panic::Location::caller();
+        RecordSite {
+            file: loc.file(),
+            line: loc.line(),
+        }
+    }
+}
+
+impl std::fmt::Display for RecordSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.file, self.line)
+    }
+}
+
+/// A recorded statement: what to emit plus where the user wrote it.
 #[derive(Debug, Clone, PartialEq)]
-pub enum HStmt {
+pub struct HStmt {
+    pub kind: HStmtKind,
+    /// The DSL recording site, when capture knew it (`None` only for
+    /// statements constructed programmatically, e.g. in tests).
+    pub site: Option<RecordSite>,
+}
+
+impl HStmt {
+    /// A statement with provenance.
+    pub fn new(kind: HStmtKind, site: RecordSite) -> HStmt {
+        HStmt {
+            kind,
+            site: Some(site),
+        }
+    }
+}
+
+impl From<HStmtKind> for HStmt {
+    /// A statement without provenance (tests, synthetic IR).
+    fn from(kind: HStmtKind) -> HStmt {
+        HStmt { kind, site: None }
+    }
+}
+
+/// The operational content of a recorded statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HStmtKind {
     /// Declaration of a kernel-local scalar: `int v3 = init;`
     DeclScalar {
         var: u32,
@@ -285,19 +346,21 @@ impl RecordedKernel {
         let mut written = vec![false; self.params.len()];
         fn walk(stmts: &[HStmt], written: &mut [bool]) {
             for s in stmts {
-                match s {
-                    HStmt::Assign { lhs, .. } | HStmt::CompoundAssign { lhs, .. } => {
+                match &s.kind {
+                    HStmtKind::Assign { lhs, .. } | HStmtKind::CompoundAssign { lhs, .. } => {
                         if let Node::ParamElem { param, .. } = &**lhs {
                             written[*param] = true;
                         }
                     }
-                    HStmt::If {
+                    HStmtKind::If {
                         then_blk, else_blk, ..
                     } => {
                         walk(then_blk, written);
                         walk(else_blk, written);
                     }
-                    HStmt::For { body, .. } | HStmt::While { body, .. } => walk(body, written),
+                    HStmtKind::For { body, .. } | HStmtKind::While { body, .. } => {
+                        walk(body, written)
+                    }
                     _ => {}
                 }
             }
@@ -346,10 +409,11 @@ mod tests {
                     },
                 },
             ],
-            body: vec![HStmt::Assign {
+            body: vec![HStmtKind::Assign {
                 lhs: write,
                 rhs: read,
-            }],
+            }
+            .into()],
         };
         assert_eq!(k.written_params(), vec![true, false]);
     }
@@ -370,15 +434,17 @@ mod tests {
                     mem: MemFlag::Global,
                 },
             }],
-            body: vec![HStmt::If {
+            body: vec![HStmtKind::If {
                 cond: Arc::new(Node::LitBool(true)),
-                then_blk: vec![HStmt::CompoundAssign {
+                then_blk: vec![HStmtKind::CompoundAssign {
                     lhs: write,
                     op: HBinOp::Add,
                     rhs: Arc::new(Node::LitF(1.0, CType::F32)),
-                }],
+                }
+                .into()],
                 else_blk: vec![],
-            }],
+            }
+            .into()],
         };
         assert_eq!(k.written_params(), vec![true]);
     }
@@ -407,11 +473,12 @@ mod tests {
         let k = RecordedKernel {
             name: "aliased".into(),
             params: vec![arr.clone(), arr],
-            body: vec![HStmt::CompoundAssign {
+            body: vec![HStmtKind::CompoundAssign {
                 lhs: elem.clone(),
                 op: HBinOp::Add,
                 rhs: elem,
-            }],
+            }
+            .into()],
         };
         assert_eq!(k.written_params(), vec![false, true]);
     }

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::expr::{Expr, IntoExpr};
-use crate::ir::{CType, HStmt, MemFlag, Node, ParamRecord, RecordedKernel};
+use crate::ir::{CType, HStmt, HStmtKind, MemFlag, Node, ParamRecord, RecordSite, RecordedKernel};
 use crate::scalar::{HplScalar, Scalar};
 
 thread_local! {
@@ -132,43 +132,56 @@ fn record_block(body: impl FnOnce()) -> Vec<HStmt> {
 }
 
 /// `if_(cond, || { ... })` — conditional execution inside a kernel.
+#[track_caller]
 pub fn if_(cond: Expr<bool>, body: impl FnOnce()) {
+    let site = RecordSite::here();
     let then_blk = record_block(body);
     with_recorder(|r| {
-        r.push_stmt(HStmt::If {
-            cond: cond.node(),
-            then_blk,
-            else_blk: Vec::new(),
-        })
+        r.push_stmt(HStmt::new(
+            HStmtKind::If {
+                cond: cond.node(),
+                then_blk,
+                else_blk: Vec::new(),
+            },
+            site,
+        ))
     });
 }
 
 /// `if_else(cond, || { ... }, || { ... })`.
+#[track_caller]
 pub fn if_else(cond: Expr<bool>, then_body: impl FnOnce(), else_body: impl FnOnce()) {
+    let site = RecordSite::here();
     let then_blk = record_block(then_body);
     let else_blk = record_block(else_body);
     with_recorder(|r| {
-        r.push_stmt(HStmt::If {
-            cond: cond.node(),
-            then_blk,
-            else_blk,
-        })
+        r.push_stmt(HStmt::new(
+            HStmtKind::If {
+                cond: cond.node(),
+                then_blk,
+                else_blk,
+            },
+            site,
+        ))
     });
 }
 
 /// `for_(from, to, |i| { ... })` — counted loop `for (i = from; i < to; i++)`.
 /// The closure receives the loop variable as an expression.
+#[track_caller]
 pub fn for_(from: impl IntoExpr<i32>, to: impl IntoExpr<i32>, body: impl FnOnce(Expr<i32>)) {
     for_step(from, to, 1, body)
 }
 
 /// `for_step(from, to, step, |i| { ... })` — `for (i = from; i < to; i += step)`.
+#[track_caller]
 pub fn for_step(
     from: impl IntoExpr<i32>,
     to: impl IntoExpr<i32>,
     step: impl IntoExpr<i32>,
     body: impl FnOnce(Expr<i32>),
 ) {
+    let site = RecordSite::here();
     let from = from.into_expr();
     let to = to.into_expr();
     let step = step.into_expr();
@@ -176,20 +189,24 @@ pub fn for_step(
     let loop_var = Expr::<i32>::from_node(Arc::new(Node::Var(var, CType::I32)));
     let body_blk = record_block(|| body(loop_var));
     with_recorder(|r| {
-        r.push_stmt(HStmt::For {
-            var,
-            cty: CType::I32,
-            declares: true,
-            from: from.node(),
-            to: to.node(),
-            step: step.node(),
-            body: body_blk,
-        })
+        r.push_stmt(HStmt::new(
+            HStmtKind::For {
+                var,
+                cty: CType::I32,
+                declares: true,
+                from: from.node(),
+                to: to.node(),
+                step: step.node(),
+                body: body_blk,
+            },
+            site,
+        ))
     });
 }
 
 /// Counted loop over an existing kernel variable (the paper's
 /// `for_(i = from, i < to, i += step)` shape with a user-declared `Int i`).
+#[track_caller]
 pub fn for_var<T: HplScalar>(
     var: &Scalar<T>,
     from: impl IntoExpr<T>,
@@ -197,6 +214,7 @@ pub fn for_var<T: HplScalar>(
     step: impl IntoExpr<T>,
     body: impl FnOnce(),
 ) {
+    let site = RecordSite::here();
     let from = from.into_expr();
     let to = to.into_expr();
     let step = step.into_expr();
@@ -205,32 +223,42 @@ pub fn for_var<T: HplScalar>(
     });
     let body_blk = record_block(body);
     with_recorder(|r| {
-        r.push_stmt(HStmt::For {
-            var: var_id,
-            cty: T::CTYPE,
-            declares: false,
-            from: from.node(),
-            to: to.node(),
-            step: step.node(),
-            body: body_blk,
-        })
+        r.push_stmt(HStmt::new(
+            HStmtKind::For {
+                var: var_id,
+                cty: T::CTYPE,
+                declares: false,
+                from: from.node(),
+                to: to.node(),
+                step: step.node(),
+                body: body_blk,
+            },
+            site,
+        ))
     });
 }
 
 /// `while_(cond, || { ... })`.
+#[track_caller]
 pub fn while_(cond: Expr<bool>, body: impl FnOnce()) {
+    let site = RecordSite::here();
     let body_blk = record_block(body);
     with_recorder(|r| {
-        r.push_stmt(HStmt::While {
-            cond: cond.node(),
-            body: body_blk,
-        })
+        r.push_stmt(HStmt::new(
+            HStmtKind::While {
+                cond: cond.node(),
+                body: body_blk,
+            },
+            site,
+        ))
     });
 }
 
 /// Early exit of the current work-item (`return;`).
+#[track_caller]
 pub fn return_() {
-    with_recorder(|r| r.push_stmt(HStmt::ReturnVoid));
+    let site = RecordSite::here();
+    with_recorder(|r| r.push_stmt(HStmt::new(HStmtKind::ReturnVoid, site)));
 }
 
 // ---- barrier ---------------------------------------------------------------------
@@ -253,27 +281,37 @@ impl std::ops::BitOr for SyncFlags {
 
 /// Work-group barrier: synchronises all threads of the local domain.
 /// `barrier(LOCAL)`, `barrier(GLOBAL)` or `barrier(LOCAL | GLOBAL)`.
+#[track_caller]
 pub fn barrier(flags: SyncFlags) {
+    let site = RecordSite::here();
     with_recorder(|r| {
-        r.push_stmt(HStmt::Barrier {
-            local: flags.0 & 1 != 0,
-            global: flags.0 & 2 != 0,
-        })
+        r.push_stmt(HStmt::new(
+            HStmtKind::Barrier {
+                local: flags.0 & 1 != 0,
+                global: flags.0 & 2 != 0,
+            },
+            site,
+        ))
     });
 }
 
 // ---- local array declaration helper used by Array -----------------------------------
 
+#[track_caller]
 pub(crate) fn record_array_decl(array_id: u64, cty: CType, mem: MemFlag, dims: &[usize]) -> u32 {
+    let site = RecordSite::here();
     with_recorder(|r| {
         let decl = r.fresh_id();
         r.local_arrays.insert(array_id, decl);
-        r.push_stmt(HStmt::DeclArray {
-            decl,
-            cty,
-            mem,
-            dims: dims.to_vec(),
-        });
+        r.push_stmt(HStmt::new(
+            HStmtKind::DeclArray {
+                decl,
+                cty,
+                mem,
+                dims: dims.to_vec(),
+            },
+            site,
+        ));
         decl
     })
 }
@@ -292,7 +330,14 @@ mod tests {
         });
         assert_eq!(k.name, "t");
         assert_eq!(k.body.len(), 1);
-        assert!(matches!(k.body[0], HStmt::If { .. }));
+        assert!(matches!(k.body[0].kind, HStmtKind::If { .. }));
+        assert!(
+            k.body[0]
+                .site
+                .is_some_and(|s| s.file.ends_with("kernel.rs")),
+            "capture records the DSL call site: {:?}",
+            k.body[0].site
+        );
         assert!(!is_recording(), "recorder cleared after capture");
     }
 
@@ -308,15 +353,15 @@ mod tests {
                 );
             });
         });
-        let HStmt::For { body, .. } = &k.body[0] else {
+        let HStmtKind::For { body, .. } = &k.body[0].kind else {
             panic!()
         };
-        let HStmt::If { then_blk, .. } = &body[0] else {
+        let HStmtKind::If { then_blk, .. } = &body[0].kind else {
             panic!()
         };
         assert!(matches!(
-            then_blk[0],
-            HStmt::Barrier {
+            then_blk[0].kind,
+            HStmtKind::Barrier {
                 local: true,
                 global: false
             }
@@ -327,16 +372,16 @@ mod tests {
     fn barrier_flags_combine() {
         let k = capture("t".into(), || barrier(LOCAL | GLOBAL));
         assert!(matches!(
-            k.body[0],
-            HStmt::Barrier {
+            k.body[0].kind,
+            HStmtKind::Barrier {
                 local: true,
                 global: true
             }
         ));
         let k = capture("t".into(), || barrier(GLOBAL));
         assert!(matches!(
-            k.body[0],
-            HStmt::Barrier {
+            k.body[0].kind,
+            HStmtKind::Barrier {
                 local: false,
                 global: true
             }
@@ -366,7 +411,7 @@ mod tests {
         let k = capture("t".into(), || {
             for_step(0, 64, 8, |_i| {});
         });
-        let HStmt::For { step, .. } = &k.body[0] else {
+        let HStmtKind::For { step, .. } = &k.body[0].kind else {
             panic!()
         };
         assert_eq!(**step, Node::LitI(8, CType::I32));

@@ -67,13 +67,14 @@ pub mod scalar;
 pub mod telemetry;
 
 pub use array::{Array, ArrayTransferStats, HostDataMut, HostIndex, KernelIndex};
+pub use codegen::{LineMap, LineMapEntry};
 pub use error::{Error, Result};
 pub use eval::{
-    cache_stats, clear_kernel_cache, eval, kernel_cache_len, take_kernel_lints, AsyncEval,
-    CacheEntryInfo, CacheStats, Eval, EvalProfile, KernelArg,
+    cache_stats, clear_kernel_cache, eval, kernel_cache_len, kernel_provenance, take_kernel_lints,
+    AsyncEval, CacheEntryInfo, CacheStats, Eval, EvalProfile, KernelArg, KernelProvenance,
 };
 pub use expr::{Expr, IntoExpr};
-pub use ir::MemFlag;
+pub use ir::{MemFlag, RecordSite};
 pub use kernel::{
     barrier, for_, for_step, for_var, if_, if_else, return_, while_, SyncFlags, GLOBAL, LOCAL,
 };

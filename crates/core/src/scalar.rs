@@ -10,7 +10,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::expr::{Expr, IntoExpr};
-use crate::ir::{CType, HStmt, Node};
+use crate::ir::{CType, HStmt, HStmtKind, Node, RecordSite};
 use crate::kernel::{is_recording, try_with_recorder, with_recorder};
 
 /// Rust types usable as HPL scalar/array element types.
@@ -77,6 +77,7 @@ impl<T: HplScalar> Clone for Scalar<T> {
 impl<T: HplScalar> Scalar<T> {
     /// Create a scalar. On the host this holds `v`; inside a kernel it
     /// declares a private variable initialised to `v`.
+    #[track_caller]
     pub fn new(v: T) -> Scalar<T> {
         if is_recording() {
             Self::kernel_var(Some(Arc::new(v.lit_node())))
@@ -90,6 +91,7 @@ impl<T: HplScalar> Scalar<T> {
 
     /// Declare an uninitialised kernel variable (`Int i;` in the paper).
     /// Panics outside a kernel — host scalars always have a value.
+    #[track_caller]
     pub fn var() -> Scalar<T> {
         assert!(
             is_recording(),
@@ -99,14 +101,19 @@ impl<T: HplScalar> Scalar<T> {
         Self::kernel_var(None)
     }
 
+    #[track_caller]
     fn kernel_var(init: Option<Arc<Node>>) -> Scalar<T> {
+        let site = RecordSite::here();
         let var = with_recorder(|r| {
             let var = r.fresh_id();
-            r.push_stmt(HStmt::DeclScalar {
-                var,
-                cty: T::CTYPE,
-                init,
-            });
+            r.push_stmt(HStmt::new(
+                HStmtKind::DeclScalar {
+                    var,
+                    cty: T::CTYPE,
+                    init,
+                },
+                site,
+            ));
             var
         });
         let s = Scalar {
@@ -174,26 +181,31 @@ impl<T: HplScalar> Scalar<T> {
     }
 
     /// Kernel-side assignment: `s.assign(e)` records `s = e;`.
+    #[track_caller]
     pub fn assign(&self, e: impl IntoExpr<T>) {
         self.v().assign(e)
     }
 
     /// Kernel-side compound assignment `s += e`.
+    #[track_caller]
     pub fn assign_add(&self, e: impl IntoExpr<T>) {
         self.v().assign_add(e)
     }
 
     /// Kernel-side compound assignment `s -= e`.
+    #[track_caller]
     pub fn assign_sub(&self, e: impl IntoExpr<T>) {
         self.v().assign_sub(e)
     }
 
     /// Kernel-side compound assignment `s *= e`.
+    #[track_caller]
     pub fn assign_mul(&self, e: impl IntoExpr<T>) {
         self.v().assign_mul(e)
     }
 
     /// Kernel-side compound assignment `s /= e`.
+    #[track_caller]
     pub fn assign_div(&self, e: impl IntoExpr<T>) {
         self.v().assign_div(e)
     }
@@ -244,14 +256,21 @@ mod tests {
             i.assign(i.v() + 1);
         });
         assert!(matches!(
-            k.body[0],
-            HStmt::DeclScalar {
+            k.body[0].kind,
+            HStmtKind::DeclScalar {
                 cty: CType::I32,
                 init: Some(_),
                 ..
             }
         ));
-        assert!(matches!(k.body[1], HStmt::Assign { .. }));
+        assert!(matches!(k.body[1].kind, HStmtKind::Assign { .. }));
+        assert!(
+            k.body[0]
+                .site
+                .is_some_and(|s| s.file.ends_with("scalar.rs")),
+            "Int::new records the declaration site: {:?}",
+            k.body[0].site
+        );
     }
 
     #[test]
@@ -259,7 +278,10 @@ mod tests {
         let k = capture("t".into(), || {
             let _i = Int::var();
         });
-        assert!(matches!(k.body[0], HStmt::DeclScalar { init: None, .. }));
+        assert!(matches!(
+            k.body[0].kind,
+            HStmtKind::DeclScalar { init: None, .. }
+        ));
     }
 
     #[test]
@@ -269,7 +291,7 @@ mod tests {
             let x = Float::new(0.0);
             x.assign(outside.v());
         });
-        let HStmt::Assign { rhs, .. } = &k.body[1] else {
+        let HStmtKind::Assign { rhs, .. } = &k.body[1].kind else {
             panic!()
         };
         assert_eq!(**rhs, Node::LitF(4.25, CType::F32));

@@ -97,6 +97,24 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+impl Diagnostic {
+    /// Render the diagnostic with a caret snippet of the offending source
+    /// line, using the same gutter format as the profile annotator (see
+    /// [`crate::clc::snippet`]):
+    ///
+    /// ```text
+    /// warning[uncoalesced] kernel `t`, line 3: stride-N access
+    ///  3 |     dst[x * h + y] = v;
+    ///    |     ^ stride-N access
+    /// ```
+    pub fn render_with_source(&self, source: &str) -> String {
+        format!(
+            "{self}\n{}",
+            super::snippet::render_snippet(source, self.span.line, self.span.col, &self.message)
+        )
+    }
+}
+
 /// How strictly build/launch react to analysis findings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Strictness {

@@ -7,3 +7,4 @@ pub mod lexer;
 pub mod parser;
 pub mod pp;
 pub mod sema;
+pub mod snippet;

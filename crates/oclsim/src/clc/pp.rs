@@ -135,9 +135,32 @@ fn strip_comments(src: &str) -> String {
     out
 }
 
-/// Join lines ending in a backslash.
+/// Join lines ending in a backslash, preserving the physical line count:
+/// every newline consumed by a continuation is re-emitted as a blank line
+/// after the joined logical line, so all later lines — and therefore all
+/// later diagnostics and per-line counters — keep their original numbers.
 fn join_continuations(src: &str) -> String {
-    src.replace("\\\n", " ")
+    let bytes = src.as_bytes();
+    let mut out = String::with_capacity(src.len());
+    let mut deferred = 0usize; // newlines owed once the logical line ends
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'\\' && i + 1 < bytes.len() && bytes[i + 1] == b'\n' {
+            out.push(' ');
+            deferred += 1;
+            i += 2;
+        } else if bytes[i] == b'\n' {
+            out.push('\n');
+            out.extend(std::iter::repeat_n('\n', deferred));
+            deferred = 0;
+            i += 1;
+        } else {
+            out.push(bytes[i] as char);
+            i += 1;
+        }
+    }
+    out.extend(std::iter::repeat_n('\n', deferred));
+    out
 }
 
 /// Expand object-like macros in one line, with a recursion guard.
@@ -279,6 +302,31 @@ mod tests {
         let out = pp("#define LONG 1 + \\\n 2\nint x = LONG;\n");
         let squeezed: String = out.chars().filter(|c| !c.is_whitespace()).collect();
         assert!(squeezed.contains("intx=1+2;"), "{out}");
+    }
+
+    #[test]
+    fn continuations_preserve_line_numbers() {
+        // Macro-heavy source: a 3-physical-line #define followed by code.
+        // Every line after the continuation must keep its original number.
+        let src = "#define A 1 + \\\n 2 + \\\n 3\nint x = A;\nint y;\n";
+        let out = pp(src);
+        assert_eq!(
+            out.lines().count(),
+            src.lines().count(),
+            "physical line count preserved:\n{out}"
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        let squeezed: String = lines[3].chars().filter(|c| !c.is_whitespace()).collect();
+        assert_eq!(squeezed, "intx=1+2+3;", "{out}");
+        assert_eq!(lines[4].trim(), "int y;", "{out}");
+    }
+
+    #[test]
+    fn continuation_inside_code_keeps_later_lines() {
+        let src = "int a = 1 +\\\n 2;\nint b;\n";
+        let out = pp(src);
+        assert_eq!(out.lines().count(), src.lines().count());
+        assert_eq!(out.lines().nth(2).unwrap().trim(), "int b;");
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::clc::ast::{self, AddrSpace, BinOp, ClType, Expr, PostOp, Span, Stmt, 
 use crate::error::{Error, Result};
 use crate::exec::ir::{
     ArrayAlloc, BOp, Builtin, COp, Ex, FuncId, FuncIr, Module, ParamInfo, ParamKind, SlotId,
-    SlotKind, St, UOp,
+    SlotKind, St, StKind, UOp,
 };
 use crate::types::{ScalarType, Value};
 
@@ -252,35 +252,44 @@ impl<'a> FuncSema<'a> {
                 let c = self.lower_condition(line, cond)?;
                 let t = self.lower_block(then_blk)?;
                 let e = self.lower_block(else_blk)?;
-                out.push(St::If {
-                    cond: c,
-                    then_blk: t,
-                    else_blk: e,
-                });
+                out.push(St::new(
+                    StKind::If {
+                        cond: c,
+                        then_blk: t,
+                        else_blk: e,
+                    },
+                    line,
+                ));
             }
             StmtKind::While { cond, body } => {
                 let c = self.lower_condition(line, cond)?;
                 self.loop_depth += 1;
                 let b = self.lower_block(body)?;
                 self.loop_depth -= 1;
-                out.push(St::Loop {
-                    cond: c,
-                    body: b,
-                    step: vec![],
-                    check_first: true,
-                });
+                out.push(St::new(
+                    StKind::Loop {
+                        cond: c,
+                        body: b,
+                        step: vec![],
+                        check_first: true,
+                    },
+                    line,
+                ));
             }
             StmtKind::DoWhile { body, cond } => {
                 self.loop_depth += 1;
                 let b = self.lower_block(body)?;
                 self.loop_depth -= 1;
                 let c = self.lower_condition(line, cond)?;
-                out.push(St::Loop {
-                    cond: c,
-                    body: b,
-                    step: vec![],
-                    check_first: false,
-                });
+                out.push(St::new(
+                    StKind::Loop {
+                        cond: c,
+                        body: b,
+                        step: vec![],
+                        check_first: false,
+                    },
+                    line,
+                ));
             }
             StmtKind::For {
                 init,
@@ -308,12 +317,15 @@ impl<'a> FuncSema<'a> {
                     self.lower_expr_stmt(line, step, &mut st)?;
                 }
                 self.scopes.pop();
-                out.push(St::Loop {
-                    cond: c,
-                    body: b,
-                    step: st,
-                    check_first: true,
-                });
+                out.push(St::new(
+                    StKind::Loop {
+                        cond: c,
+                        body: b,
+                        step: st,
+                        check_first: true,
+                    },
+                    line,
+                ));
             }
             StmtKind::Return(e) => {
                 let v = match (e, self.ret) {
@@ -329,19 +341,19 @@ impl<'a> FuncSema<'a> {
                         return Err(err(line, "non-void function returns without a value"));
                     }
                 };
-                out.push(St::Return(v));
+                out.push(St::new(StKind::Return(v), line));
             }
             StmtKind::Break => {
                 if self.loop_depth == 0 {
                     return Err(err(line, "`break` outside of a loop"));
                 }
-                out.push(St::Break);
+                out.push(St::new(StKind::Break, line));
             }
             StmtKind::Continue => {
                 if self.loop_depth == 0 {
                     return Err(err(line, "`continue` outside of a loop"));
                 }
-                out.push(St::Continue);
+                out.push(St::new(StKind::Continue, line));
             }
         }
         Ok(())
@@ -446,7 +458,7 @@ impl<'a> FuncSema<'a> {
                 elem: p.elem,
             });
             self.bind(line, &d.name, Binding::Slot(slot))?;
-            out.push(St::SetSlot { slot, value: p.ex });
+            out.push(St::new(StKind::SetSlot { slot, value: p.ex }, line));
             return Ok(());
         }
 
@@ -460,10 +472,13 @@ impl<'a> FuncSema<'a> {
         self.bind(line, &d.name, Binding::Slot(slot))?;
         if let Some(init) = &d.init {
             let v = self.lower_value(line, init)?;
-            out.push(St::SetSlot {
-                slot,
-                value: self.coerce(v, base),
-            });
+            out.push(St::new(
+                StKind::SetSlot {
+                    slot,
+                    value: self.coerce(v, base),
+                },
+                line,
+            ));
         }
         Ok(())
     }
@@ -492,10 +507,13 @@ impl<'a> FuncSema<'a> {
                 } else {
                     return Err(err(line, "barrier takes at most one flags argument"));
                 };
-                out.push(St::Barrier {
-                    local_fence: flags & 1 != 0,
-                    global_fence: flags & 2 != 0,
-                });
+                out.push(St::new(
+                    StKind::Barrier {
+                        local_fence: flags & 1 != 0,
+                        global_fence: flags & 2 != 0,
+                    },
+                    line,
+                ));
                 Ok(())
             }
             Expr::Call { name, .. }
@@ -509,7 +527,7 @@ impl<'a> FuncSema<'a> {
             }
             Expr::Call { .. } => {
                 let v = self.lower_value(line, e)?;
-                out.push(St::ExprSt(v));
+                out.push(St::new(StKind::ExprSt(v), line));
                 Ok(())
             }
             _ => Err(err(
@@ -555,7 +573,7 @@ impl<'a> FuncSema<'a> {
                     SlotKind::Scalar(ty) => {
                         let rhs =
                             self.build_assigned_value(line, op, Ex::Slot { slot, ty }, ty, value)?;
-                        out.push(St::SetSlot { slot, value: rhs });
+                        out.push(St::new(StKind::SetSlot { slot, value: rhs }, line));
                     }
                     SlotKind::Ptr { space, elem } => {
                         if op.is_some() {
@@ -568,7 +586,7 @@ impl<'a> FuncSema<'a> {
                         if p.space != space || p.elem != elem {
                             return Err(err(line, "pointer assignment with mismatched type"));
                         }
-                        out.push(St::SetSlot { slot, value: p.ex });
+                        out.push(St::new(StKind::SetSlot { slot, value: p.ex }, line));
                     }
                 }
                 Ok(())
@@ -587,12 +605,15 @@ impl<'a> FuncSema<'a> {
                     return Err(err(line, "cannot write through a __constant pointer"));
                 }
                 let rhs = self.build_assigned_value(line, op, cur, elem, value)?;
-                out.push(St::Store {
-                    addr,
-                    elem,
-                    space,
-                    value: rhs,
-                });
+                out.push(St::new(
+                    StKind::Store {
+                        addr,
+                        elem,
+                        space,
+                        value: rhs,
+                    },
+                    line,
+                ));
                 Ok(())
             }
             _ => Err(err(line, "invalid assignment target")),
@@ -1160,7 +1181,7 @@ impl<'a> FuncSema<'a> {
                 ClType::Void => return Err(err(line, "void parameter")),
             }
         }
-        // void calls get a dummy I32 result type; St::ExprSt discards it
+        // void calls get a dummy I32 result type; StKind::ExprSt discards it
         let ret_ty = ret.unwrap_or(ScalarType::I32);
         Ok(Ex::CallFunc {
             func,
@@ -1428,7 +1449,7 @@ fn compute_direct_effects(f: &mut FuncIr) {
     let mut reads = vec![false; nparams];
     let mut writes = vec![false; nparams];
     walk_stmts(&f.body, &mut |st| {
-        if let St::Store { addr, .. } = st {
+        if let StKind::Store { addr, .. } = &st.kind {
             if let Some(p) = root_param(addr, nparams) {
                 writes[p] = true;
             }
@@ -1467,14 +1488,14 @@ fn root_param(e: &Ex, nparams: usize) -> Option<usize> {
 fn walk_stmts(stmts: &[St], f: &mut impl FnMut(&St)) {
     for s in stmts {
         f(s);
-        match s {
-            St::If {
+        match &s.kind {
+            StKind::If {
                 then_blk, else_blk, ..
             } => {
                 walk_stmts(then_blk, f);
                 walk_stmts(else_blk, f);
             }
-            St::Loop { body, step, .. } => {
+            StKind::Loop { body, step, .. } => {
                 walk_stmts(body, f);
                 walk_stmts(step, f);
             }
@@ -1485,16 +1506,16 @@ fn walk_stmts(stmts: &[St], f: &mut impl FnMut(&St)) {
 
 fn for_each_expr_in_stmt(s: &St, f: &mut impl FnMut(&Ex)) {
     let mut walk = |e: &Ex| walk_expr(e, f);
-    match s {
-        St::SetSlot { value, .. } => walk(value),
-        St::Store { addr, value, .. } => {
+    match &s.kind {
+        StKind::SetSlot { value, .. } => walk(value),
+        StKind::Store { addr, value, .. } => {
             walk(addr);
             walk(value);
         }
-        St::If { cond, .. } => walk(cond),
-        St::Loop { cond, .. } => walk(cond),
-        St::Return(Some(e)) => walk(e),
-        St::ExprSt(e) => walk(e),
+        StKind::If { cond, .. } => walk(cond),
+        StKind::Loop { cond, .. } => walk(cond),
+        StKind::Return(Some(e)) => walk(e),
+        StKind::ExprSt(e) => walk(e),
         _ => {}
     }
 }
@@ -1585,7 +1606,7 @@ fn propagate_barriers_and_fp64(module: &mut Module) {
             fp64[fi] = true;
         }
         walk_stmts(&f.body, &mut |st| {
-            if matches!(st, St::Barrier { .. }) {
+            if matches!(st.kind, StKind::Barrier { .. }) {
                 barrier[fi] = true;
             }
             for_each_expr_in_stmt(st, &mut |e| {
@@ -1717,15 +1738,15 @@ mod tests {
         let f = &m.funcs[0];
         assert!(f.has_barrier);
         assert!(matches!(
-            f.body[0],
-            St::Barrier {
+            f.body[0].kind,
+            StKind::Barrier {
                 local_fence: true,
                 global_fence: false
             }
         ));
         assert!(matches!(
-            f.body[1],
-            St::Barrier {
+            f.body[1].kind,
+            StKind::Barrier {
                 local_fence: true,
                 global_fence: true
             }
@@ -1794,7 +1815,7 @@ mod tests {
     #[test]
     fn condition_normalised_to_bool() {
         let m = compile("__kernel void f(int n) { if (n) { } while (n - 1) { break; } }");
-        let St::If { cond, .. } = &m.funcs[0].body[0] else {
+        let StKind::If { cond, .. } = &m.funcs[0].body[0].kind else {
             panic!()
         };
         assert_eq!(cond.ty(), ScalarType::Bool);
@@ -1809,10 +1830,10 @@ mod tests {
         );
         let body = &m.funcs[0].body;
         // init SetSlot followed by Loop with non-empty step
-        assert!(matches!(body[0], St::SetSlot { .. }));
-        let St::Loop {
+        assert!(matches!(body[0].kind, StKind::SetSlot { .. }));
+        let StKind::Loop {
             step, check_first, ..
-        } = &body[1]
+        } = &body[1].kind
         else {
             panic!()
         };
@@ -1822,7 +1843,7 @@ mod tests {
     #[test]
     fn do_while_checks_after() {
         let m = compile("__kernel void f(int n) { do { n = n - 1; } while (n > 0); }");
-        let St::Loop { check_first, .. } = &m.funcs[0].body[0] else {
+        let StKind::Loop { check_first, .. } = &m.funcs[0].body[0].kind else {
             panic!()
         };
         assert!(!check_first);

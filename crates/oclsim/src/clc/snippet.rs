@@ -1,0 +1,89 @@
+//! Shared source-annotation renderer.
+//!
+//! One gutter/caret format serves every consumer that points at source
+//! lines — the kernel sanitizer's diagnostics ([`super::analysis`]) and
+//! the per-line profile annotator ([`crate::prof::annotate`]) — so a lint
+//! and a hot-line report about the same statement look the same on screen.
+
+/// Width of the line-number gutter for `max_line`.
+pub fn gutter_width(max_line: usize) -> usize {
+    max_line.max(1).to_string().len()
+}
+
+/// One line of source with a `NN | text` gutter.
+pub fn gutter_line(line: usize, width: usize, text: &str) -> String {
+    format!("{line:>width$} | {text}")
+}
+
+/// A gutter-aligned continuation row (no line number), used for carets
+/// and labels under a source line.
+pub fn gutter_pad(width: usize, text: &str) -> String {
+    format!("{:>width$} | {text}", "")
+}
+
+/// The 1-based line `line` of `source`, or `None` when out of range.
+pub fn source_line(source: &str, line: usize) -> Option<&str> {
+    line.checked_sub(1).and_then(|i| source.lines().nth(i))
+}
+
+/// Render a caret snippet pointing at `line`:`col` of `source`:
+///
+/// ```text
+///  7 |     dst[x * h + y] = src[y * w + x];
+///    |     ^ uncoalesced access
+/// ```
+///
+/// `col` is 1-based; 0 means "column unknown" and anchors the caret at
+/// the first non-blank column. Lines outside the source render the label
+/// without a snippet.
+pub fn render_snippet(source: &str, line: usize, col: usize, label: &str) -> String {
+    let Some(text) = source_line(source, line) else {
+        return format!("(line {line} not in source): {label}");
+    };
+    let width = gutter_width(line);
+    let caret_col = if col > 0 {
+        col - 1
+    } else {
+        text.len() - text.trim_start().len()
+    };
+    let mut out = gutter_line(line, width, text);
+    out.push('\n');
+    out.push_str(&gutter_pad(
+        width,
+        &format!("{}^ {label}", " ".repeat(caret_col.min(text.len()))),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snippet_points_at_column() {
+        let src = "int a;\n  b = a + 1;\nint c;\n";
+        let s = render_snippet(src, 2, 3, "write here");
+        assert_eq!(s, "2 |   b = a + 1;\n  |   ^ write here");
+    }
+
+    #[test]
+    fn unknown_column_anchors_at_first_nonblank() {
+        let src = "int a;\n    b = 1;\n";
+        let s = render_snippet(src, 2, 0, "lint");
+        assert!(s.contains("2 |     b = 1;"));
+        assert!(s.ends_with("  |     ^ lint"));
+    }
+
+    #[test]
+    fn out_of_range_line_degrades_gracefully() {
+        let s = render_snippet("int a;\n", 99, 1, "gone");
+        assert_eq!(s, "(line 99 not in source): gone");
+    }
+
+    #[test]
+    fn gutter_width_tracks_digits() {
+        assert_eq!(gutter_width(7), 1);
+        assert_eq!(gutter_width(42), 2);
+        assert_eq!(gutter_width(1000), 4);
+    }
+}

@@ -12,11 +12,11 @@
 //! [`GroupStats`]: instruction cycles per active warp and global-memory
 //! transactions per warp after coalescing — the inputs of the timing model.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::clc::ast::AddrSpace;
 use crate::error::{Error, Result};
-use crate::exec::ir::{Builtin, Ex, FuncIr, Module, St};
+use crate::exec::ir::{Builtin, Ex, FuncIr, Module, St, StKind};
 use crate::exec::launch::{BoundArg, Geometry};
 use crate::exec::mask::Mask;
 use crate::exec::ops;
@@ -127,6 +127,13 @@ pub struct GroupRun<'a> {
     pub stats: GroupStats,
     /// Profiling counters, present iff `env.collect`.
     pub counters: Option<GroupCounters>,
+    /// Per-source-line counters, present iff `env.collect`. Every delta
+    /// applied to `counters` is also applied to the entry of the line
+    /// currently executing (see [`Self::bump`]), so summing the map
+    /// reproduces `counters` exactly.
+    pub line_counters: Option<BTreeMap<usize, GroupCounters>>,
+    /// 1-based source line of the statement being executed (0 = unknown).
+    cur_line: usize,
     scratch: Vec<Vec<u64>>,
     call_depth: usize,
     /// Direct-mapped cache of recently touched memory segments, used for
@@ -179,6 +186,8 @@ impl<'a> GroupRun<'a> {
             priv_stride: env.kernel.priv_bytes_per_lane(),
             stats: GroupStats::default(),
             counters: env.collect.then(GroupCounters::default),
+            line_counters: env.collect.then(BTreeMap::new),
+            cur_line: 0,
             scratch: Vec::new(),
             call_depth: 0,
             seg_cache: if env.simd == 1 {
@@ -270,18 +279,36 @@ impl<'a> GroupRun<'a> {
         }
     }
 
+    /// Apply a counter delta to the group totals *and* to the counters of
+    /// the source line currently executing. Routing every profiling update
+    /// through here makes "per-line sums equal the launch totals" an
+    /// invariant by construction rather than a convention.
+    #[inline]
+    fn bump(&mut self, f: impl Fn(&mut GroupCounters)) {
+        if let Some(c) = &mut self.counters {
+            f(c);
+            let lines = self
+                .line_counters
+                .as_mut()
+                .expect("line_counters allocated together with counters");
+            f(lines.entry(self.cur_line).or_default());
+        }
+    }
+
     #[inline]
     fn charge(&mut self, cost: u32, mask: &Mask, class: InstrClass) {
         let warps = mask.active_warps(self.env.simd) as u64;
         self.stats.cycles += cost as u64 * warps;
         self.stats.instructions += warps;
         let simd = self.env.simd;
-        if let Some(c) = &mut self.counters {
+        if self.counters.is_some() {
             let covered = mask.covered_lanes(simd) as u64;
             let active = mask.count() as u64;
-            c.instr.add(class, warps);
-            c.lane_cycles_issued += cost as u64 * covered;
-            c.divergence_lost_cycles += cost as u64 * (covered - active);
+            self.bump(|c| {
+                c.instr.add(class, warps);
+                c.lane_cycles_issued += cost as u64 * covered;
+                c.divergence_lost_cycles += cost as u64 * (covered - active);
+            });
         }
     }
 
@@ -339,11 +366,12 @@ impl<'a> GroupRun<'a> {
             }
         }
         self.stats.mem_transactions += tx;
-        if let Some(c) = &mut self.counters {
+        let bytes = mask.count() as u64 * size as u64;
+        self.bump(|c| {
             c.mem_transactions += tx;
             c.mem_transactions_min += min_tx;
-            c.global_bytes += mask.count() as u64 * size as u64;
-        }
+            c.global_bytes += bytes;
+        });
         self.charge(self.env.cost.mem_issue, mask, InstrClass::Mem);
     }
 
@@ -386,20 +414,23 @@ impl<'a> GroupRun<'a> {
                 }
             }
         }
-        let c = self.counters.as_mut().expect("checked above");
-        c.local_accesses += accesses;
-        c.bank_conflicts += conflicts;
+        self.bump(|c| {
+            c.local_accesses += accesses;
+            c.bank_conflicts += conflicts;
+        });
     }
 
     /// Attribute lane-granular arithmetic to the op/flop counters.
     #[inline]
     fn count_ops(&mut self, mask: &Mask, is_float: bool, per_lane: u64) {
-        if let Some(c) = &mut self.counters {
+        if self.counters.is_some() {
             let n = mask.count() as u64 * per_lane;
-            c.arith_ops += n;
-            if is_float {
-                c.flops += n;
-            }
+            self.bump(|c| {
+                c.arith_ops += n;
+                if is_float {
+                    c.flops += n;
+                }
+            });
         }
     }
 
@@ -554,15 +585,18 @@ impl<'a> GroupRun<'a> {
     }
 
     fn exec_stmt(&mut self, st: &St, frame: &mut Frame, live: &Mask) -> Result<()> {
-        match st {
-            St::SetSlot { slot, value } => {
+        if st.span.line != 0 {
+            self.cur_line = st.span.line;
+        }
+        match &st.kind {
+            StKind::SetSlot { slot, value } => {
                 let v = self.eval(value, live, frame)?;
                 for lane in live.iter() {
                     frame.slots[*slot][lane] = v[lane];
                 }
                 self.give_scratch(v);
             }
-            St::Store {
+            StKind::Store {
                 addr,
                 elem,
                 space,
@@ -597,7 +631,7 @@ impl<'a> GroupRun<'a> {
                 self.give_scratch(a);
                 self.give_scratch(v);
             }
-            St::If {
+            StKind::If {
                 cond,
                 then_blk,
                 else_blk,
@@ -616,7 +650,7 @@ impl<'a> GroupRun<'a> {
                     self.exec_block(else_blk, frame, &f_mask)?;
                 }
             }
-            St::Loop {
+            StKind::Loop {
                 cond,
                 body,
                 step,
@@ -646,13 +680,18 @@ impl<'a> GroupRun<'a> {
                     if !loop_active.any() {
                         break;
                     }
+                    // the loop test is charged to the loop-header line, not
+                    // to whatever line the body ended on
+                    if st.span.line != 0 {
+                        self.cur_line = st.span.line;
+                    }
                     let c = self.eval(cond, &loop_active, frame)?;
                     self.charge(1, &loop_active, InstrClass::Control);
                     loop_active.and_truthy(&c);
                     self.give_scratch(c);
                 }
             }
-            St::Return(val) => {
+            StKind::Return(val) => {
                 if let Some(v) = val {
                     let bits = self.eval(v, live, frame)?;
                     for lane in live.iter() {
@@ -662,21 +701,21 @@ impl<'a> GroupRun<'a> {
                 }
                 frame.ret_mask.or(live);
             }
-            St::Break => {
+            StKind::Break => {
                 let b = frame
                     .brk_stack
                     .last_mut()
                     .expect("sema guarantees break is inside a loop");
                 b.or(live);
             }
-            St::Continue => {
+            StKind::Continue => {
                 let c = frame
                     .cont_stack
                     .last_mut()
                     .expect("sema guarantees continue is inside a loop");
                 c.or(live);
             }
-            St::Barrier { .. } => {
+            StKind::Barrier { .. } => {
                 // every lane of the group must reach the barrier together;
                 // lanes that returned or diverged make it undefined
                 // behaviour in OpenCL — trapped here
@@ -699,16 +738,17 @@ impl<'a> GroupRun<'a> {
                 // cost, not a per-lane one
                 self.stats.cycles += self.env.cost.barrier as u64;
                 self.stats.instructions += 1;
-                if let Some(c) = &mut self.counters {
+                let barrier_cycles = self.env.cost.barrier as u64;
+                self.bump(|c| {
                     c.barriers += 1;
-                    c.barrier_stall_cycles += self.env.cost.barrier as u64;
+                    c.barrier_stall_cycles += barrier_cycles;
                     c.instr.add(InstrClass::Control, 1);
-                }
+                });
                 // the sanitizer's happens-before resets at the barrier
                 self.epoch += 1;
                 // lock-step execution means memory is already consistent
             }
-            St::ExprSt(e) => {
+            StKind::ExprSt(e) => {
                 let v = self.eval(e, live, frame)?;
                 self.give_scratch(v);
             }
@@ -1005,14 +1045,14 @@ impl<'a> GroupRun<'a> {
         };
         self.charge(self.env.cost.atomic, mask, InstrClass::Atomic);
         self.stats.mem_transactions += mask.count() as u64; // atomics serialise
-        if let Some(c) = &mut self.counters {
-            let n = mask.count() as u64;
-            // serialised by definition: issued == minimal, so atomics are
-            // neutral for the coalescing-efficiency metric
+        let n = mask.count() as u64;
+        // serialised by definition: issued == minimal, so atomics are
+        // neutral for the coalescing-efficiency metric
+        self.bump(|c| {
             c.mem_transactions += n;
             c.mem_transactions_min += n;
             c.arith_ops += n;
-        }
+        });
         let mut out = self.take_scratch();
         for lane in mask.iter() {
             let ptr = ptrs[lane];
@@ -1121,7 +1161,11 @@ impl<'a> GroupRun<'a> {
         }
         self.charge(2, mask, InstrClass::Control); // call overhead
         self.call_depth += 1;
+        // callee statements attribute to their own source lines; charges
+        // after the call fall back to the call site's line
+        let saved_line = self.cur_line;
         let result = self.exec_block(&callee.body, &mut callee_frame, mask);
+        self.cur_line = saved_line;
         self.call_depth -= 1;
         result?;
         let mut out = self.take_scratch();

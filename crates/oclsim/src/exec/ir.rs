@@ -242,9 +242,40 @@ impl Ex {
     }
 }
 
+/// A typed statement plus the source line it was lowered from.
+///
+/// The span survives all the way from the `clc` parser into the
+/// interpreter, where it attributes per-line hardware counters back to
+/// the OpenCL C source (and, through HPL's line map, to the DSL
+/// recording site that generated that source).
+#[derive(Debug, Clone, PartialEq)]
+pub struct St {
+    pub kind: StKind,
+    /// 1-based source line/column of the statement; line 0 = unknown
+    /// (synthetic statements built by tests or desugaring helpers).
+    pub span: crate::clc::ast::Span,
+}
+
+impl St {
+    /// A statement carrying its source span.
+    pub fn new(kind: StKind, span: crate::clc::ast::Span) -> St {
+        St { kind, span }
+    }
+}
+
+impl From<StKind> for St {
+    /// A synthetic statement with no source location.
+    fn from(kind: StKind) -> St {
+        St {
+            kind,
+            span: crate::clc::ast::Span { line: 0, col: 0 },
+        }
+    }
+}
+
 /// Typed statements.
 #[derive(Debug, Clone, PartialEq)]
-pub enum St {
+pub enum StKind {
     /// Write a slot.
     SetSlot {
         slot: SlotId,

@@ -1,6 +1,7 @@
 //! NDRange launch: geometry validation and parallel execution of
 //! work-groups over a host worker pool.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
@@ -296,10 +297,12 @@ pub fn run_ndrange_profiled(
     let first_error: Mutex<Option<Error>> = Mutex::new(None);
     let all_stats: Mutex<Vec<GroupStats>> = Mutex::new(Vec::with_capacity(total));
     let all_counters: Mutex<GroupCounters> = Mutex::new(GroupCounters::default());
+    let all_lines: Mutex<BTreeMap<usize, GroupCounters>> = Mutex::new(BTreeMap::new());
 
     let run_worker = || {
         let mut local_stats: Vec<GroupStats> = Vec::new();
         let mut local_counters = GroupCounters::default();
+        let mut local_lines: BTreeMap<usize, GroupCounters> = BTreeMap::new();
         loop {
             if failed.load(Ordering::Relaxed) {
                 break;
@@ -318,6 +321,11 @@ pub fn run_ndrange_profiled(
                     if let Some(c) = &run.counters {
                         local_counters.merge(c);
                     }
+                    if let Some(lines) = &run.line_counters {
+                        for (&line, c) in lines {
+                            local_lines.entry(line).or_default().merge(c);
+                        }
+                    }
                 }
                 Err(e) => {
                     failed.store(true, Ordering::Relaxed);
@@ -332,6 +340,12 @@ pub fn run_ndrange_profiled(
         all_stats.lock().extend(local_stats);
         if collect {
             all_counters.lock().merge(&local_counters);
+            // per-line deltas are plain sums too, so this merge is as
+            // order-independent as the totals merge above
+            let mut lines = all_lines.lock();
+            for (line, c) in &local_lines {
+                lines.entry(*line).or_default().merge(c);
+            }
         }
     };
 
@@ -365,6 +379,7 @@ pub fn run_ndrange_profiled(
             .collect();
         LaunchCounters {
             totals: all_counters.into_inner(),
+            lines: all_lines.into_inner(),
             num_groups: stats.len(),
             total_cycles: timing.totals.cycles,
             cu_occupancy,

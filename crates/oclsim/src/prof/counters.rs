@@ -147,6 +147,11 @@ impl GroupCounters {
 pub struct LaunchCounters {
     /// Sum of every group's counters.
     pub totals: GroupCounters,
+    /// Counters attributed to individual source lines (1-based; line 0
+    /// collects synthetic statements with no source location). The
+    /// interpreter applies every delta to both the group totals and the
+    /// current line, so the values here sum exactly to `totals`.
+    pub lines: std::collections::BTreeMap<usize, GroupCounters>,
     /// Work-groups executed.
     pub num_groups: usize,
     /// Total modeled compute cycles of the launch (mirror of
@@ -193,6 +198,30 @@ impl LaunchCounters {
             return 0.0;
         }
         self.totals.divergence_lost_cycles as f64 / issued as f64
+    }
+
+    /// The source line with the most global-memory transactions, with ties
+    /// broken towards the lowest line number (deterministic). Lines without
+    /// a source location (line 0) are skipped; `None` when no attributed
+    /// line issued any transactions.
+    pub fn hot_line(&self) -> Option<(usize, &GroupCounters)> {
+        self.lines
+            .iter()
+            .filter(|(&line, c)| line != 0 && c.mem_transactions > 0)
+            .max_by(|(la, a), (lb, b)| {
+                a.mem_transactions.cmp(&b.mem_transactions).then(lb.cmp(la)) // reversed: prefer the lower line on ties
+            })
+            .map(|(&line, c)| (line, c))
+    }
+
+    /// Sum of the per-line counters — by construction equal to `totals`
+    /// (asserted by tests; exposed for invariant checks).
+    pub fn lines_sum(&self) -> GroupCounters {
+        let mut sum = GroupCounters::default();
+        for c in self.lines.values() {
+            sum.merge(c);
+        }
+        sum
     }
 }
 
@@ -269,6 +298,7 @@ mod tests {
     fn coalescing_efficiency_bounds() {
         let mut lc = LaunchCounters {
             totals: GroupCounters::default(),
+            lines: Default::default(),
             num_groups: 0,
             total_cycles: 0,
             cu_occupancy: vec![],
@@ -291,6 +321,7 @@ mod tests {
                 barrier_stall_cycles: 25,
                 ..Default::default()
             },
+            lines: Default::default(),
             num_groups: 2,
             total_cycles: 100,
             cu_occupancy: vec![1.0, 0.5, 0.0, 0.5],
@@ -303,6 +334,7 @@ mod tests {
     fn divergence_fraction_is_lost_over_issued() {
         let mut lc = LaunchCounters {
             totals: GroupCounters::default(),
+            lines: Default::default(),
             num_groups: 1,
             total_cycles: 10,
             cu_occupancy: vec![1.0],

@@ -24,16 +24,23 @@
 //! * [`roofline`] — per-kernel roofline placement: arithmetic intensity
 //!   from the counters against the device's compute and bandwidth
 //!   ceilings.
+//! * [`annotate`] — perf-annotate-style source listings built from the
+//!   per-line counter map ([`LaunchCounters::lines`]): each source line
+//!   with its counters, share of the kernel's memory transactions, and a
+//!   heat marker, rendered through the same gutter format as the
+//!   sanitizer's diagnostics.
 //!
 //! Profiling costs nothing when disabled: every interpreter hook is
 //! behind a `collect` flag that defaults to off, and the scheduler
 //! always records stamps (it needs them to model overlap anyway).
 
+pub mod annotate;
 pub mod counters;
 pub mod json;
 pub mod roofline;
 pub mod trace;
 
+pub use annotate::AnnotatedLine;
 pub use counters::{
     GroupCounters, InstrClass, InstrMix, LaunchCounters, TransferDir, TransferInfo,
 };

@@ -104,6 +104,7 @@ mod tests {
                 global_bytes: tx * 128,
                 ..Default::default()
             },
+            lines: Default::default(),
             num_groups: 1,
             total_cycles: 1,
             cu_occupancy: vec![1.0],

@@ -86,6 +86,14 @@ fn event_args(ev: &Event) -> String {
         arg_num(&mut body, "divergence_pct", 100.0 * c.divergence_fraction());
         arg_num(&mut body, "bank_conflicts", c.totals.bank_conflicts as f64);
         arg_num(&mut body, "work_groups", c.num_groups as f64);
+        if let Some((line, hot)) = c.hot_line() {
+            arg_num(&mut body, "hot_line", line as f64);
+            arg_num(
+                &mut body,
+                "hot_line_tx_pct",
+                100.0 * hot.mem_transactions as f64 / c.totals.mem_transactions.max(1) as f64,
+            );
+        }
     }
     body
 }

@@ -152,6 +152,80 @@ fn bank_conflicts_count_serialised_local_passes() {
     assert_eq!(clean.counters().unwrap().totals.bank_conflicts, 0);
 }
 
+#[test]
+fn per_line_counters_attribute_transactions_to_their_statements() {
+    // Two global-memory statements on two known source lines. Line 3 is a
+    // fully coalesced copy; line 4 reads with a 32-element stride. The
+    // per-line map must attribute each line its exact transaction count.
+    let r = rig();
+    let c = launch_counters(
+        &r,
+        "__kernel void twolines(__global float* dst, __global const float* src) {
+            int i = (int)get_global_id(0);
+            dst[i] = src[i];
+            dst[i] = src[i * 32] + 1.0f;
+        }",
+        "twolines",
+        N,
+        N * 32,
+    );
+    // line 3: one read + one write segment per warp
+    let l3 = c.lines.get(&3).expect("line 3 has counters");
+    assert_eq!(l3.mem_transactions, 2 * WARPS);
+    // line 4: 32 read segments per warp (each lane its own) + 1 write
+    let l4 = c.lines.get(&4).expect("line 4 has counters");
+    assert_eq!(l4.mem_transactions, 33 * WARPS);
+    // line 2 (the id computation) touches no global memory
+    assert_eq!(c.lines.get(&2).map_or(0, |l| l.mem_transactions), 0);
+    // the strided line is the hot line
+    let (hot_line, hot) = c.hot_line().expect("kernel issued transactions");
+    assert_eq!(hot_line, 4);
+    assert_eq!(hot.mem_transactions, 33 * WARPS);
+    // and the two lines account for the whole launch
+    assert_eq!(c.totals.mem_transactions, 35 * WARPS);
+    assert_eq!(c.lines_sum(), c.totals);
+}
+
+#[test]
+fn per_line_sums_equal_launch_totals() {
+    // The invariant holds for control-flow-heavy kernels too: loops,
+    // divergent branches, barriers, bank conflicts. Every counter delta
+    // goes through the same per-line chokepoint as the totals.
+    let (_, c) = counters_with_workers(3);
+    assert_eq!(c.lines_sum(), c.totals);
+    assert!(
+        c.lines.len() > 3,
+        "several lines attributed: {:?}",
+        c.lines.keys()
+    );
+
+    let r = rig();
+    let src = "__kernel void bankc2(__global float* out, const int stride) {
+        __local float tile[2048];
+        int l = (int)get_local_id(0);
+        tile[l * stride] = (float)l;
+        barrier(CLK_LOCAL_MEM_FENCE);
+        out[(int)get_global_id(0)] = tile[l * stride];
+    }";
+    let p = Program::from_source(&r.ctx, src);
+    p.build("").unwrap();
+    let k = p.kernel("bankc2").unwrap();
+    let out = r.ctx.create_buffer(4 * 64, MemAccess::ReadWrite).unwrap();
+    k.set_arg_buffer(0, &out).unwrap();
+    k.set_arg_scalar(1, 32i32).unwrap();
+    let ev = r.queue.enqueue_ndrange(&k, &[64], Some(&[64])).unwrap();
+    let c = ev.counters().unwrap();
+    assert_eq!(c.lines_sum(), c.totals);
+    // the barrier statement's stall cycles land on the barrier's line (5)
+    let l5 = c.lines.get(&5).expect("barrier line has counters");
+    assert_eq!(l5.barriers, 1);
+    // bank conflicts split between the store (line 4) and the load (line 6)
+    let store = c.lines.get(&4).map_or(0, |l| l.bank_conflicts);
+    let load = c.lines.get(&6).map_or(0, |l| l.bank_conflicts);
+    assert_eq!(store + load, c.totals.bank_conflicts);
+    assert!(store > 0 && load > 0);
+}
+
 const DETERMINISM_SRC: &str = "__kernel void mix(__global float* dst, __global const float* src) {
     int i = (int)get_global_id(0);
     float a = src[i % 977];

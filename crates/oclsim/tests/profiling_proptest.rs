@@ -8,8 +8,11 @@
 //!
 //! Every run builds its own fresh device, so nothing leaks between cases.
 
-use oclsim::{profile_launch, CommandQueue, Context, Device, DeviceProfile, Program};
+use oclsim::{
+    profile_launch, CommandQueue, Context, Device, DeviceProfile, GroupCounters, Program,
+};
 use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 const SRC: &str = "__kernel void randk(__global float* dst, __global const float* src,
                     const int stride, const int modr, const int iters) {
@@ -118,4 +121,55 @@ proptest! {
         let out_of_order = run_on_queue(s, true);
         prop_assert_eq!(in_order, out_of_order, "shape: {:?}", s);
     }
+
+    /// Merging per-line counter deltas into a line table is independent of
+    /// the order the groups arrive in — the algebraic fact behind the
+    /// `report -- annotate` byte-identity gate across `OCLSIM_THREADS`.
+    #[test]
+    fn per_line_merge_is_order_independent(
+        deltas in proptest::collection::vec((1usize..16, 0u64..1000, 0u64..1000, 0u64..1000), 0..64)
+    ) {
+        let forward = merge_in_order(deltas.iter());
+        let reverse = merge_in_order(deltas.iter().rev());
+        prop_assert_eq!(&forward, &reverse, "reverse arrival order changed the line table");
+
+        // Interleaved arrival: even-indexed groups first, then odd-indexed —
+        // the pattern a two-worker pool produces.
+        let interleaved = merge_in_order(
+            deltas
+                .iter()
+                .step_by(2)
+                .chain(deltas.iter().skip(1).step_by(2)),
+        );
+        prop_assert_eq!(&forward, &interleaved, "interleaved arrival changed the line table");
+
+        // Hierarchical merge: each worker accumulates its own partial table
+        // and the partials are folded together at the end (what
+        // `profile_launch` does with a worker pool).
+        let mid = deltas.len() / 2;
+        let mut halves = merge_in_order(deltas[..mid].iter());
+        for (line, gc) in merge_in_order(deltas[mid..].iter()) {
+            halves.entry(line).or_default().merge(&gc);
+        }
+        prop_assert_eq!(&forward, &halves, "hierarchical merge changed the line table");
+    }
+}
+
+/// Fold `(line, tx, bytes, conflicts)` deltas into a per-line table in the
+/// given arrival order.
+fn merge_in_order<'a, I>(deltas: I) -> BTreeMap<usize, GroupCounters>
+where
+    I: Iterator<Item = &'a (usize, u64, u64, u64)>,
+{
+    let mut table: BTreeMap<usize, GroupCounters> = BTreeMap::new();
+    for &(line, tx, bytes, conflicts) in deltas {
+        let delta = GroupCounters {
+            mem_transactions: tx,
+            global_bytes: bytes,
+            bank_conflicts: conflicts,
+            ..GroupCounters::default()
+        };
+        table.entry(line).or_default().merge(&delta);
+    }
+    table
 }
