@@ -61,6 +61,20 @@ OCLSIM_THREADS=1 cargo run --release -p bench --bin report -- metrics > target/m
 OCLSIM_THREADS=4 cargo run --release -p bench --bin report -- metrics > target/metrics-t4.out
 diff target/metrics-t1.out target/metrics-t4.out
 
+echo "== report -- soak (multi-tenant service smoke, snapshot byte-identical across OCLSIM_THREADS)"
+# short deterministic soak of the kernel service: concurrent tenants over
+# mixed workloads against one shared binary cache. Exits nonzero unless
+# every soak tenant ran with zero cache misses (identical kernels resolve
+# to one resident binary regardless of interleaving), zero uploads were
+# redundant, the quota rejection fired, and a partitioned launch beat the
+# single-device reference bit-identically. The canonical metrics snapshot
+# the run writes must not depend on the dispatcher pool
+OCLSIM_THREADS=1 cargo run --release -p bench --bin report -- soak
+cp target/soak-metrics.txt target/soak-metrics-t1.txt
+OCLSIM_THREADS=4 cargo run --release -p bench --bin report -- soak
+cp target/soak-metrics.txt target/soak-metrics-t4.txt
+diff target/soak-metrics-t1.txt target/soak-metrics-t4.txt
+
 echo "== report -- bench (BENCH_pr4.json perf-trajectory gate)"
 # regenerates the trajectory and diffs it against the committed baseline:
 # fails on >10% modeled-time regression, any new redundant upload, or a

@@ -3,7 +3,7 @@
 //! Usage: `cargo run -p bench --release --bin report [-- EXPERIMENT]`
 //! where EXPERIMENT is one of `table1`, `fig6`, `fig7`, `fig8`, `fig9`,
 //! `caching`, `ablation`, `overlap`, `lint`, `profile`, `annotate`,
-//! `metrics`, `bench`, or `all` (default). Measured values are printed next to the
+//! `metrics`, `bench`, `soak`, or `all` (default). Measured values are printed next to the
 //! paper's published numbers; EXPERIMENTS.md records the comparison.
 //! `lint` runs the kernel sanitizer over every benchmark's handwritten
 //! and HPL-generated OpenCL C and exits nonzero unless every kernel is
@@ -23,7 +23,18 @@
 //! `target/BENCH_pr4.json` performance trajectory plus a unified
 //! host+device Floyd–Warshall trace, and — given a baseline path as the
 //! next argument — fails on >10% modeled-time regression, any new
-//! redundant transfer, or a vanished benchmark.
+//! redundant transfer, or a vanished benchmark. `soak` drives the
+//! multi-tenant kernel service: concurrent tenant threads run mixed
+//! benchmark workloads against one shared binary cache, a quota-limited
+//! tenant is pushed into a deterministic admission rejection, and one
+//! NDRange launch is partitioned across the Tesla+Quadro pair with all
+//! three EngineCL-style strategies; it prints p50/p99 workload latency and
+//! launches/sec, writes the canonical metrics snapshot to
+//! `target/soak-metrics.txt` (byte-identical across `OCLSIM_THREADS` —
+//! `ci.sh` diffs it), and exits nonzero unless every soak tenant ran with
+//! zero cache misses, no upload was redundant, the quota rejection fired,
+//! and a partitioned launch beat the single-device reference
+//! bit-identically.
 //!
 //! Setting `HPL_TELEMETRY=1` enables span collection for the whole run;
 //! with it unset, the telemetry layer stays off (a single relaxed atomic
@@ -32,7 +43,7 @@
 
 use bench::{
     ablation, annotate, caching, fig6, fig7, fig8, fig9, lint, overlap, profile, runtime_metrics,
-    table1, tesla, trajectory,
+    soak, table1, tesla, trajectory,
 };
 
 fn main() {
@@ -54,6 +65,7 @@ fn main() {
         "annotate" => run_annotate(),
         "metrics" => run_metrics(),
         "bench" => run_bench_trajectory(),
+        "soak" => run_soak(),
         "all" => {
             run_table1()
                 & run_fig6()
@@ -68,10 +80,11 @@ fn main() {
                 & run_annotate()
                 & run_metrics()
                 & run_bench_trajectory()
+                & run_soak()
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; use table1|fig6|fig7|fig8|fig9|caching|ablation|overlap|lint|profile|annotate|metrics|bench|all"
+                "unknown experiment `{other}`; use table1|fig6|fig7|fig8|fig9|caching|ablation|overlap|lint|profile|annotate|metrics|bench|soak|all"
             );
             std::process::exit(2);
         }
@@ -598,7 +611,29 @@ fn run_bench_trajectory() -> bool {
         );
         ok &= e.redundant_uploads == 0;
     }
-    let json = trajectory::to_json(&run.entries);
+    // a short soak contributes the additive throughput trend fields; it
+    // runs after the per-benchmark deltas above because it resets the
+    // metrics registry for its own self-contained snapshot
+    let soak_summary = match soak::compute(
+        &device,
+        &soak::SoakConfig {
+            tenants: 4,
+            iterations: 1,
+            greedy_launches: 3,
+        },
+    ) {
+        Ok(s) => Some(trajectory::SoakSummary {
+            soak_p50_ms: s.p50_ms,
+            soak_p99_ms: s.p99_ms,
+            launches_per_sec: s.launches_per_sec,
+        }),
+        Err(e) => {
+            eprintln!("soak summary for the trajectory failed: {e}");
+            ok = false;
+            None
+        }
+    };
+    let json = trajectory::to_json_with_soak(&run.entries, soak_summary.as_ref());
     let out = std::path::Path::new("target").join("BENCH_pr4.json");
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("could not write {}: {e}", out.display());
@@ -641,6 +676,93 @@ fn run_bench_trajectory() -> bool {
         }
     }
     ok
+}
+
+fn run_soak() -> bool {
+    banner("Soak — multi-tenant kernel service: shared cache, quotas, partitioned NDRanges");
+    let device = tesla();
+    let config = soak::SoakConfig::default();
+    let report = match soak::compute(&device, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("soak failed: {e}");
+            return false;
+        }
+    };
+    println!(
+        "{} tenants x {} iterations over {} benchmarks, {:.3} s wall",
+        config.tenants,
+        config.iterations,
+        bench::profile::BENCHES.len(),
+        report.wall_seconds
+    );
+    println!(
+        "workload latency p50 {:.3} ms, p99 {:.3} ms; {:.1} launches/s admitted \
+         ({} launches total incl. warm-up and greedy)",
+        report.p50_ms, report.p99_ms, report.launches_per_sec, report.total_launches
+    );
+    println!(
+        "\n{:<10} {:>9} {:>11} {:>11} {:>12}",
+        "tenant", "launches", "cache hits", "cache miss", "rejections"
+    );
+    let (mut hits, mut misses) = (0u64, 0u64);
+    for row in &report.tenant_rows {
+        println!(
+            "{:<10} {:>9} {:>11} {:>11} {:>12}",
+            row.tenant,
+            row.stats.launches,
+            row.stats.cache_hits,
+            row.stats.cache_misses,
+            row.stats.rejections
+        );
+        hits += row.stats.cache_hits;
+        misses += row.stats.cache_misses;
+    }
+    println!(
+        "shared cache: {} resident binaries, {:.1}% hit share across tenants, {} redundant uploads",
+        report.resident_binaries,
+        100.0 * hits as f64 / (hits + misses).max(1) as f64,
+        report.redundant_uploads
+    );
+    println!(
+        "\npartitioned saxpy_heavy across the service devices \
+         (single-device reference {:.9} s):",
+        report.reference_seconds
+    );
+    println!(
+        "{:<14} {:>14} {:>8} {:>18} {:>14}",
+        "strategy", "makespan (s)", "speedup", "groups/device", "bit-identical"
+    );
+    for p in &report.partition {
+        let groups = p
+            .groups_per_device
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("/");
+        println!(
+            "{:<14} {:>14.9} {:>7.2}x {:>18} {:>14}",
+            p.strategy,
+            p.makespan_seconds,
+            report.reference_seconds / p.makespan_seconds,
+            groups,
+            if p.bit_identical { "yes" } else { "NO" }
+        );
+    }
+    let out = std::path::Path::new("target").join("soak-metrics.txt");
+    if let Err(e) = std::fs::write(&out, &report.metrics_snapshot) {
+        eprintln!("could not write {}: {e}", out.display());
+        return false;
+    }
+    println!("\ncanonical metrics snapshot written: {}", out.display());
+    let failures = report.healthy();
+    for f in &failures {
+        eprintln!("soak gate: {f}");
+    }
+    if failures.is_empty() {
+        println!("soak gate: OK");
+    }
+    failures.is_empty()
 }
 
 fn run_overlap() -> bool {

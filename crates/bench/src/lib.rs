@@ -18,10 +18,12 @@
 //! | Per-line source annotation (`report -- annotate`) | [`annotate::compute`] |
 //! | Telemetry registry snapshot (`report -- metrics`) | [`runtime_metrics::compute`] |
 //! | Perf trajectory + gate (`report -- bench`) | [`trajectory::compute`] |
+//! | Multi-tenant service soak (`report -- soak`) | [`soak::compute`] |
 
 pub mod annotate;
 pub mod profile;
 pub mod runtime_metrics;
+pub mod soak;
 pub mod trajectory;
 
 use oclsim::Device;

@@ -171,12 +171,39 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Wall-clock throughput figures from a `report -- soak` run, recorded in
+/// the trajectory as additive trend fields. Like `host_wall_seconds` they
+/// are machine-dependent, so the baseline gate never reads them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoakSummary {
+    /// Median tenant workload latency, milliseconds.
+    pub soak_p50_ms: f64,
+    /// 99th-percentile tenant workload latency, milliseconds.
+    pub soak_p99_ms: f64,
+    /// Admitted service launches per wall second of the concurrent phase.
+    pub launches_per_sec: f64,
+}
+
 /// Serialise the trajectory as the committed `BENCH_*.json` format.
 pub fn to_json(entries: &[BenchEntry]) -> String {
+    to_json_with_soak(entries, None)
+}
+
+/// [`to_json`] plus an optional top-level `"soak"` object carrying the
+/// multi-tenant soak trend fields.
+pub fn to_json_with_soak(entries: &[BenchEntry], soak: Option<&SoakSummary>) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
-    out.push_str("  \"pr\": \"pr4\",\n  \"benchmarks\": [\n");
+    out.push_str("  \"pr\": \"pr4\",\n");
+    if let Some(s) = soak {
+        let _ = writeln!(
+            out,
+            "  \"soak\": {{\"soak_p50_ms\": {:.6}, \"soak_p99_ms\": {:.6}, \"launches_per_sec\": {:.3}}},",
+            s.soak_p50_ms, s.soak_p99_ms, s.launches_per_sec
+        );
+    }
+    out.push_str("  \"benchmarks\": [\n");
     for (i, e) in entries.iter().enumerate() {
         out.push_str("    {\n");
         let _ = writeln!(out, "      \"bench\": \"{}\",", json_escape(e.bench));
@@ -396,6 +423,49 @@ mod tests {
         let baseline = to_json(&[base]);
         let ok = check_against_baseline(&[entry("ep", "sync", 0.001, 0)], &baseline).unwrap();
         assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn gate_ignores_unknown_fields() {
+        // the gate reads bench/mode/modeled_device_seconds/redundant_uploads
+        // and nothing else, so additive fields — the soak object, or keys a
+        // future PR invents — never break an older or newer baseline
+        let with_soak = to_json_with_soak(
+            &[entry("ep", "sync", 0.001, 0)],
+            Some(&SoakSummary {
+                soak_p50_ms: 12.5,
+                soak_p99_ms: 48.0,
+                launches_per_sec: 310.0,
+            }),
+        );
+        assert!(
+            with_soak.contains("\"soak_p50_ms\": 12.500000"),
+            "{with_soak}"
+        );
+        assert!(parse(&with_soak).is_ok(), "{with_soak}");
+        // soak-bearing baseline vs plain run
+        let ok = check_against_baseline(&[entry("ep", "sync", 0.001, 0)], &with_soak).unwrap();
+        assert!(ok.is_empty(), "{ok:?}");
+        // hand-crafted baseline with unknown keys at both levels
+        let alien = r#"{
+  "schema": "hpl-bench-trajectory-v1",
+  "pr": "pr4",
+  "future_top_level": {"x": 1},
+  "benchmarks": [
+    {
+      "bench": "ep",
+      "mode": "sync",
+      "modeled_device_seconds": 0.001,
+      "redundant_uploads": 0,
+      "future_field": "ignored"
+    }
+  ]
+}"#;
+        let ok = check_against_baseline(&[entry("ep", "sync", 0.001, 0)], alien).unwrap();
+        assert!(ok.is_empty(), "{ok:?}");
+        // and the gate still fires through the unknown fields
+        let bad = check_against_baseline(&[entry("ep", "sync", 0.002, 0)], alien).unwrap();
+        assert_eq!(bad.len(), 1, "{bad:?}");
     }
 
     #[test]

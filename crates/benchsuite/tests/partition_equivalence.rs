@@ -1,0 +1,229 @@
+//! Property test: EngineCL-style partitioned launches of the benchmark
+//! kernel corpus are **bit-identical** to the single-device reference.
+//!
+//! Every case builds the handwritten OpenCL kernel of one paper benchmark
+//! into a fresh shared [`BinaryCache`], runs it unsplit on one device, and
+//! then re-runs it split across two devices under all three
+//! [`PartitionStrategy`] schedulers with randomized chunk granularity and
+//! randomized inputs. The merged outputs must equal the reference byte for
+//! byte — the `group_span` launch path keeps every builtin
+//! (`get_global_id`, `get_group_id`, `get_num_groups`, ...) reporting
+//! full-launch values, so a kernel cannot observe how it was split.
+//!
+//! The fp32 benchmarks split across the heterogeneous Tesla + Quadro pair;
+//! EP needs fp64, which the Quadro lacks (the paper's §V-C exclusion), so
+//! it splits across two Tesla-class devices instead.
+
+use oclsim::serve::{
+    run_partitioned, run_reference, BinaryCache, JobArg, LaunchJob, PartitionStrategy,
+    PartitionTarget,
+};
+use oclsim::{DeviceProfile, Value};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+fn targets_for(job: &LaunchJob, needs_fp64: bool) -> Vec<PartitionTarget> {
+    let cache = BinaryCache::new(1 << 30);
+    let profiles = if needs_fp64 {
+        vec![DeviceProfile::tesla_c2050(), DeviceProfile::tesla_c2050()]
+    } else {
+        vec![DeviceProfile::tesla_c2050(), DeviceProfile::quadro_fx380()]
+    };
+    profiles
+        .into_iter()
+        .map(|p| PartitionTarget::standalone(p, &cache, job, None).expect("corpus kernel builds"))
+        .collect()
+}
+
+/// Run `job` unsplit, then split under every strategy, and require
+/// byte-identical outputs.
+fn assert_partition_exact(
+    job: &LaunchJob,
+    needs_fp64: bool,
+    chunk: usize,
+) -> Result<(), TestCaseError> {
+    let targets = targets_for(job, needs_fp64);
+    let reference = run_reference(&targets[0], job).expect("reference launch runs");
+    for strategy in [
+        PartitionStrategy::Static,
+        PartitionStrategy::Dynamic {
+            chunk_groups: chunk,
+        },
+        PartitionStrategy::HGuided {
+            min_chunk_groups: chunk,
+        },
+    ] {
+        let split = run_partitioned(&targets, job, strategy).expect("partitioned launch runs");
+        prop_assert_eq!(split.total_groups, reference.total_groups);
+        prop_assert!(
+            split.outputs == reference.outputs,
+            "{}: {strategy:?} split differs from single-device reference",
+            job.kernel
+        );
+        // both devices stayed inside the group space
+        for c in &split.chunks {
+            prop_assert!(c.start < c.end && c.end <= split.total_groups);
+        }
+    }
+    Ok(())
+}
+
+fn f32_bytes(vals: impl Iterator<Item = f32>) -> Vec<u8> {
+    vals.flat_map(f32::to_le_bytes).collect()
+}
+
+const FLOYD_SRC: &str = include_str!("../src/kernels/floyd.cl");
+const TRANSPOSE_SRC: &str = include_str!("../src/kernels/transpose.cl");
+const SPMV_SRC: &str = include_str!("../src/kernels/spmv.cl");
+const REDUCTION_SRC: &str = include_str!("../src/kernels/reduction.cl");
+const EP_SRC: &str = include_str!("../src/kernels/ep.cl");
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, .. ProptestConfig::default() })]
+
+    /// Floyd–Warshall: one pass `k` over an `n x n` distance matrix with a
+    /// zero diagonal (so the pivot row/column are stable within the pass —
+    /// the property that makes the kernel partitionable at all).
+    #[test]
+    fn floyd_pass_partitions_bit_identically(
+        blocks in 1..4usize,
+        k_pick in any::<u16>(),
+        chunk in 1..6usize,
+        weights in proptest::collection::vec(0..1_000_000u32, 1024..1025),
+    ) {
+        let n = blocks * 8;
+        let mut dist: Vec<u32> = (0..n * n).map(|i| weights[i % weights.len()]).collect();
+        for d in 0..n {
+            dist[d * n + d] = 0;
+        }
+        let k = (k_pick as usize % n) as i32;
+        let job = LaunchJob {
+            source: FLOYD_SRC.to_string(),
+            kernel: "floyd_pass".to_string(),
+            build_options: String::new(),
+            args: vec![
+                JobArg::InOut(dist.iter().flat_map(|w| w.to_le_bytes()).collect()),
+                JobArg::Scalar(Value::I32(n as i32)),
+                JobArg::Scalar(Value::I32(k)),
+            ],
+            global: vec![n, n],
+            local: Some(vec![8, 8]),
+        };
+        assert_partition_exact(&job, false, chunk)?;
+    }
+
+    /// Tiled matrix transpose: local-memory staging and a barrier inside
+    /// each group, output tiles disjoint across groups.
+    #[test]
+    fn transpose_partitions_bit_identically(
+        blocks in 1..4usize,
+        chunk in 1..6usize,
+        cells in proptest::collection::vec(any::<i16>(), 4096..4097),
+    ) {
+        let n = blocks * 16;
+        let src = f32_bytes((0..n * n).map(|i| f32::from(cells[i % cells.len()])));
+        let job = LaunchJob {
+            source: TRANSPOSE_SRC.to_string(),
+            kernel: "transpose".to_string(),
+            build_options: String::new(),
+            args: vec![
+                JobArg::Out(n * n * 4),
+                JobArg::In(src),
+                JobArg::Scalar(Value::I32(n as i32)),
+                JobArg::Scalar(Value::I32(n as i32)),
+            ],
+            global: vec![n, n],
+            local: Some(vec![16, 16]),
+        };
+        assert_partition_exact(&job, false, chunk)?;
+    }
+
+    /// CSR SpMV: one 8-lane work-group per matrix row, strided
+    /// accumulation plus a local-memory tree reduction.
+    #[test]
+    fn spmv_partitions_bit_identically(
+        rows in 1..10usize,
+        cols in 1..12usize,
+        chunk in 1..6usize,
+        lens in proptest::collection::vec(0..12usize, 16..17),
+        entries in proptest::collection::vec(any::<i16>(), 256..257),
+    ) {
+        let mut rowptr: Vec<i32> = Vec::with_capacity(rows + 1);
+        rowptr.push(0);
+        for r in 0..rows {
+            rowptr.push(rowptr[r] + lens[r % lens.len()] as i32);
+        }
+        let nnz = *rowptr.last().unwrap() as usize;
+        let val = f32_bytes((0..nnz).map(|j| f32::from(entries[j % entries.len()])));
+        let col_idx: Vec<i32> = (0..nnz)
+            .map(|j| (entries[(j + 7) % entries.len()].unsigned_abs() as usize % cols) as i32)
+            .collect();
+        let vec_in = f32_bytes((0..cols).map(|c| f32::from(entries[(c + 13) % entries.len()])));
+        let job = LaunchJob {
+            source: SPMV_SRC.to_string(),
+            kernel: "spmv".to_string(),
+            build_options: String::new(),
+            args: vec![
+                JobArg::In(val),
+                JobArg::In(vec_in),
+                JobArg::In(col_idx.iter().flat_map(|c| c.to_le_bytes()).collect()),
+                JobArg::In(rowptr.iter().flat_map(|p| p.to_le_bytes()).collect()),
+                JobArg::Out(rows * 4),
+            ],
+            global: vec![rows * 8],
+            local: Some(vec![8]),
+        };
+        assert_partition_exact(&job, false, chunk)?;
+    }
+
+    /// Sum reduction: 256-lane groups, 8 elements per lane, one partial
+    /// per group.
+    #[test]
+    fn reduction_partitions_bit_identically(
+        groups in 1..4usize,
+        chunk in 1..4usize,
+        cells in proptest::collection::vec(any::<i16>(), 6144..6145),
+    ) {
+        let n = groups * 256 * 8;
+        let input = f32_bytes((0..n).map(|i| f32::from(cells[i % cells.len()])));
+        let job = LaunchJob {
+            source: REDUCTION_SRC.to_string(),
+            kernel: "reduce_sum".to_string(),
+            build_options: String::new(),
+            args: vec![JobArg::In(input), JobArg::Out(groups * 4)],
+            global: vec![groups * 256],
+            local: Some(vec![256]),
+        };
+        assert_partition_exact(&job, false, chunk)?;
+    }
+
+    /// NAS EP: fp64 Gaussian deviates from per-thread LCG streams — runs
+    /// on two Tesla-class devices (the Quadro lacks fp64).
+    #[test]
+    fn ep_partitions_bit_identically(
+        groups in 1..4usize,
+        pairs in 1..5i32,
+        chunk in 1..4usize,
+        seeds in proptest::collection::vec(any::<u64>(), 24..25),
+    ) {
+        let threads = groups * 8;
+        let seed_bytes: Vec<u8> = (0..threads)
+            .flat_map(|t| seeds[t % seeds.len()].to_le_bytes())
+            .collect();
+        let job = LaunchJob {
+            source: EP_SRC.to_string(),
+            kernel: "ep".to_string(),
+            build_options: String::new(),
+            args: vec![
+                JobArg::In(seed_bytes),
+                JobArg::Out(threads * 8),
+                JobArg::Out(threads * 8),
+                JobArg::Out(threads * 4 * 10),
+                JobArg::Scalar(Value::I32(pairs)),
+            ],
+            global: vec![threads],
+            local: Some(vec![8]),
+        };
+        assert_partition_exact(&job, true, chunk)?;
+    }
+}

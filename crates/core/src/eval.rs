@@ -15,7 +15,7 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
-use oclsim::{Device, Event, EventStatus, Program};
+use oclsim::{Device, Event, EventStatus};
 
 use crate::array::Array;
 use crate::codegen::{generate, generate_with_map, LineMap};
@@ -74,10 +74,6 @@ impl EvalProfile {
 
 // ---- kernel cache -----------------------------------------------------------------
 
-struct BuiltProgram {
-    program: Program,
-}
-
 struct CacheEntry {
     recorded: RecordedKernel,
     source: Arc<String>,
@@ -85,8 +81,6 @@ struct CacheEntry {
     line_map: Arc<LineMap>,
     capture_seconds: f64,
     codegen_seconds: f64,
-    /// device id → built program
-    programs: Mutex<HashMap<u64, Arc<BuiltProgram>>>,
 }
 
 /// Cache key for a captured kernel: the kernel function's type plus the
@@ -185,13 +179,20 @@ impl CacheStats {
 /// Snapshot the kernel cache: lifetime hit/miss/eviction counts plus the
 /// per-key alias info of every live entry.
 pub fn cache_stats() -> CacheStats {
+    // device binaries live in the serve layer's shared binary cache: the
+    // active tenant's service cache, or the process-global one
+    let tenant = crate::session::current_tenant();
+    let binaries = |source: &str| match &tenant {
+        Some(s) => s.binary_cache().devices_built(source),
+        None => oclsim::serve::global_binary_cache().devices_built(source),
+    };
     let mut entries: Vec<CacheEntryInfo> = cache()
         .lock()
         .iter()
         .map(|((_, alias_pattern), e)| CacheEntryInfo {
             kernel: e.recorded.name.clone(),
             alias_pattern: *alias_pattern,
-            devices_built: e.programs.lock().len(),
+            devices_built: binaries(e.source.as_str()),
         })
         .collect();
     entries.sort_by(|a, b| {
@@ -571,6 +572,18 @@ where
     (best_capture, best_codegen)
 }
 
+/// When a tenant scope is active on this thread, admit the launch against
+/// the tenant's quotas (counting it in the per-tenant metrics); a no-op
+/// outside any scope.
+fn admit_tenant_launch(kernel: &str) -> Result<()> {
+    if let Some(session) = crate::session::current_tenant() {
+        session
+            .admit_external_launch(&format!("eval of `{kernel}`"))
+            .map_err(Error::Backend)?;
+    }
+    Ok(())
+}
+
 // ---- the eval builder ---------------------------------------------------------------------
 
 /// Request the parallel evaluation of an HPL kernel function (§III-C).
@@ -628,6 +641,7 @@ impl<F: Copy + 'static> Eval<F> {
             None => runtime().default_device(),
         };
         let front = self.front(&args, &device)?;
+        admit_tenant_launch(front.kernel.name())?;
 
         // bind arguments (performing only the transfers the analysis
         // requires), resolve the launch geometry, and execute blockingly
@@ -672,6 +686,7 @@ impl<F: Copy + 'static> Eval<F> {
             None => runtime().default_device(),
         };
         let front = self.front(&args, &device)?;
+        admit_tenant_launch(front.kernel.name())?;
 
         let mut deps: Vec<Event> = Vec::new();
         let transfer_modeled_seconds = args.bind_all_async(&front.kernel, &device, &mut deps)?;
@@ -770,42 +785,50 @@ impl<F: Copy + 'static> Eval<F> {
                     line_map: Arc::new(line_map),
                     capture_seconds,
                     codegen_seconds,
-                    programs: Mutex::new(HashMap::new()),
                 });
                 cache().lock().insert(key, Arc::clone(&entry));
                 (entry, false)
             }
         };
 
-        // 2. per-device backend compilation (cached)
-        let built = entry.programs.lock().get(&device.id()).cloned();
-        let (built, build_seconds) = match built {
-            Some(b) => (b, 0.0),
-            None => {
-                let mut build_span = oclsim::telemetry::span("hpl", "backend_build");
-                if oclsim::telemetry::enabled() {
-                    build_span.note("kernel", &entry.recorded.name);
-                    build_span.note("device", device.name());
-                }
-                let ctx = &runtime().entry(device).context;
-                let program = Program::from_source(ctx, entry.source.as_str());
-                program.build("").map_err(|e| {
-                    Error::Internal(format!(
-                        "HPL-generated source failed to compile (this is an HPL codegen bug): \
-                         {e}\nsource:\n{}",
-                        entry.source
-                    ))
-                })?;
-                let build_seconds = program.build_duration().as_secs_f64();
-                let lints = program.diagnostics();
-                if !lints.is_empty() {
-                    kernel_lints().lock().extend(lints);
-                }
-                let b = Arc::new(BuiltProgram { program });
-                entry.programs.lock().insert(device.id(), Arc::clone(&b));
-                (b, build_seconds)
+        // 2. per-device backend compilation, routed through the serve
+        //    layer's shared kernel-binary cache: the active tenant's
+        //    service cache when a tenant scope is entered (charging that
+        //    tenant's compile quota on misses), the process-global cache
+        //    otherwise
+        let mut build_span = oclsim::telemetry::span("hpl", "backend_build");
+        if oclsim::telemetry::enabled() {
+            build_span.note("kernel", &entry.recorded.name);
+            build_span.note("device", device.name());
+        }
+        let ctx = &runtime().entry(device).context;
+        let built = match crate::session::current_tenant() {
+            Some(session) => session.build_program(ctx, device, entry.source.as_str(), ""),
+            None => oclsim::serve::global_binary_cache().get_or_build(
+                ctx,
+                device,
+                entry.source.as_str(),
+                "",
+                None,
+            ),
+        }
+        .map_err(|e| match e {
+            oclsim::Error::BuildFailure(_) => Error::Internal(format!(
+                "HPL-generated source failed to compile (this is an HPL codegen bug): \
+                 {e}\nsource:\n{}",
+                entry.source
+            )),
+            other => Error::Backend(other),
+        })?;
+        build_span.note("outcome", if built.hit { "hit" } else { "miss" });
+        drop(build_span);
+        let build_seconds = built.build_seconds;
+        if !built.hit {
+            let lints = built.program.diagnostics();
+            if !lints.is_empty() {
+                kernel_lints().lock().extend(lints);
             }
-        };
+        }
 
         let kernel = built.program.kernel(&entry.recorded.name)?;
         Ok(Front {

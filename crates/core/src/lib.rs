@@ -64,6 +64,7 @@ pub mod predef;
 pub mod profile;
 pub mod runtime;
 pub mod scalar;
+pub mod session;
 pub mod telemetry;
 
 pub use array::{Array, ArrayTransferStats, HostDataMut, HostIndex, KernelIndex};
@@ -85,6 +86,7 @@ pub use predef::{
 pub use profile::{profile, ProfileReport, ProfiledLaunch, ProfiledTransfer};
 pub use runtime::{runtime, Runtime, TransferStats};
 pub use scalar::{Double, Float, HplScalar, Int, Long, Scalar, Uint, Ulong};
+pub use session::{current_tenant, current_tenant_name, enter_tenant, with_tenant, TenantScope};
 
 /// Everything a typical HPL program needs.
 pub mod prelude {

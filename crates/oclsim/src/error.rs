@@ -64,13 +64,29 @@ pub enum Error {
     /// possible through chained user events). Real OpenCL deadlocks; the
     /// simulator rejects the enqueue instead.
     DependencyCycle(String),
+    /// A service tenant exceeded one of its configured quotas (see
+    /// [`crate::serve`]). Carries enough structure for the client to back
+    /// off intelligently instead of parsing a message.
+    QuotaExceeded {
+        tenant: String,
+        resource: &'static str,
+        limit: u64,
+        used: u64,
+    },
+    /// The service refused to admit a request before running it (cache
+    /// capacity, quota, device capability). The boxed cause is the
+    /// underlying refusal, mirroring the [`Error::DependencyFailed`]
+    /// poisoning style so `root_cause()` reaches the original fault.
+    AdmissionRejected { what: String, cause: Box<Error> },
 }
 
 impl Error {
-    /// Walk [`Error::DependencyFailed`] chains to the originating fault.
+    /// Walk [`Error::DependencyFailed`] and [`Error::AdmissionRejected`]
+    /// chains to the originating fault.
     pub fn root_cause(&self) -> &Error {
         match self {
             Error::DependencyFailed { cause } => cause.root_cause(),
+            Error::AdmissionRejected { cause, .. } => cause.root_cause(),
             other => other,
         }
     }
@@ -119,6 +135,18 @@ impl fmt::Display for Error {
                 write!(f, "command skipped: dependency failed: {cause}")
             }
             Error::DependencyCycle(msg) => write!(f, "event dependency cycle: {msg}"),
+            Error::QuotaExceeded {
+                tenant,
+                resource,
+                limit,
+                used,
+            } => write!(
+                f,
+                "quota exceeded for tenant `{tenant}`: {resource} limit is {limit}, would use {used}"
+            ),
+            Error::AdmissionRejected { what, cause } => {
+                write!(f, "admission rejected: {what}: {cause}")
+            }
         }
     }
 }
@@ -146,6 +174,41 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("global") && s.contains("40"));
+    }
+
+    #[test]
+    fn quota_exceeded_carries_structure() {
+        let e = Error::QuotaExceeded {
+            tenant: "alice".into(),
+            resource: "launches",
+            limit: 10,
+            used: 11,
+        };
+        let s = e.to_string();
+        assert!(s.contains("alice") && s.contains("launches") && s.contains("10"));
+        // a plain quota error is its own root cause
+        assert_eq!(*e.root_cause(), e);
+    }
+
+    #[test]
+    fn admission_rejection_chains_to_root_cause() {
+        let quota = Error::QuotaExceeded {
+            tenant: "bob".into(),
+            resource: "inflight launches",
+            limit: 2,
+            used: 3,
+        };
+        let rejected = Error::AdmissionRejected {
+            what: "launch of kernel `fill`".into(),
+            cause: Box::new(quota.clone()),
+        };
+        // a poisoned dependent two levels up still reaches the quota fault
+        let poisoned = Error::DependencyFailed {
+            cause: Box::new(rejected.clone()),
+        };
+        assert_eq!(*rejected.root_cause(), quota);
+        assert_eq!(*poisoned.root_cause(), quota);
+        assert!(rejected.to_string().contains("fill"), "{rejected}");
     }
 
     #[test]

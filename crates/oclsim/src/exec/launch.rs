@@ -254,8 +254,10 @@ pub fn run_ndrange(
     device: &Device,
     sanitize: bool,
 ) -> Result<TimingBreakdown> {
-    run_ndrange_profiled(module, kernel, args, geom, device, sanitize, false, None)
-        .map(|(timing, _)| timing)
+    run_ndrange_profiled(
+        module, kernel, args, geom, device, sanitize, false, None, None,
+    )
+    .map(|(timing, _)| timing)
 }
 
 /// Execute a validated launch; optionally collect profiling counters.
@@ -267,6 +269,14 @@ pub fn run_ndrange(
 /// group completion order. `workers` overrides the process-wide
 /// `OCLSIM_THREADS` pool size (used by determinism tests, which cannot
 /// re-read the cached environment variable mid-process).
+///
+/// `group_span = Some((start, end))` executes only the linearized
+/// work-groups in `[start, end)` while **keeping the full geometry**: every
+/// builtin (`get_global_id`, `get_num_groups`, `get_global_size`, group
+/// ids) reports full-launch values, so a kernel cannot tell it is running
+/// as one chunk of a partitioned launch. This is what lets the
+/// [`crate::serve`] partitioner split an NDRange across devices with
+/// bit-identical results. The modeled timing covers only the span.
 #[allow(clippy::too_many_arguments)]
 pub fn run_ndrange_profiled(
     module: &Module,
@@ -277,6 +287,7 @@ pub fn run_ndrange_profiled(
     sanitize: bool,
     collect: bool,
     workers: Option<usize>,
+    group_span: Option<(usize, usize)>,
 ) -> Result<(TimingBreakdown, Option<LaunchCounters>)> {
     let env = LaunchEnv {
         module,
@@ -289,18 +300,33 @@ pub fn run_ndrange_profiled(
         collect,
     };
     let ngroups = geom.num_groups();
-    let total = geom.total_groups();
+    let full_total = geom.total_groups();
+    let (start, total) = match group_span {
+        Some((s, e)) => {
+            if s >= e || e > full_total {
+                return Err(Error::InvalidLaunch(format!(
+                    "group span {s}..{e} is not a non-empty subrange of 0..{full_total}"
+                )));
+            }
+            (s, e)
+        }
+        None => (0, full_total),
+    };
+    let span_groups = total - start;
 
-    let nthreads = workers.unwrap_or_else(worker_threads).min(total).max(1);
-    let next = AtomicUsize::new(0);
+    let nthreads = workers
+        .unwrap_or_else(worker_threads)
+        .min(span_groups)
+        .max(1);
+    let next = AtomicUsize::new(start);
     let failed = AtomicBool::new(false);
     let first_error: Mutex<Option<Error>> = Mutex::new(None);
-    let all_stats: Mutex<Vec<GroupStats>> = Mutex::new(Vec::with_capacity(total));
+    let all_stats: Mutex<Vec<(usize, GroupStats)>> = Mutex::new(Vec::with_capacity(span_groups));
     let all_counters: Mutex<GroupCounters> = Mutex::new(GroupCounters::default());
     let all_lines: Mutex<BTreeMap<usize, GroupCounters>> = Mutex::new(BTreeMap::new());
 
     let run_worker = || {
-        let mut local_stats: Vec<GroupStats> = Vec::new();
+        let mut local_stats: Vec<(usize, GroupStats)> = Vec::new();
         let mut local_counters = GroupCounters::default();
         let mut local_lines: BTreeMap<usize, GroupCounters> = BTreeMap::new();
         loop {
@@ -317,7 +343,7 @@ pub fn run_ndrange_profiled(
             let mut run = GroupRun::new(&env, [gx, gy, gz]);
             match run.run() {
                 Ok(()) => {
-                    local_stats.push(run.stats);
+                    local_stats.push((g, run.stats));
                     if let Some(c) = &run.counters {
                         local_counters.merge(c);
                     }
@@ -362,7 +388,13 @@ pub fn run_ndrange_profiled(
     if let Some(e) = first_error.lock().take() {
         return Err(e);
     }
-    let stats = all_stats.into_inner();
+    // Re-establish linear group order before modeling: float accumulation
+    // over the stats is order-sensitive in the last ulp, and the modeled
+    // time must be a pure function of the workload, not of which worker
+    // finished first.
+    let mut stats_by_group = all_stats.into_inner();
+    stats_by_group.sort_unstable_by_key(|&(g, _)| g);
+    let stats: Vec<GroupStats> = stats_by_group.into_iter().map(|(_, s)| s).collect();
     let timing = model_launch(device.profile(), &stats);
     let counters = collect.then(|| {
         let load = cu_loads(device.profile(), &stats);

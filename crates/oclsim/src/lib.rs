@@ -60,6 +60,7 @@ pub mod prof;
 pub mod program;
 pub mod queue;
 pub mod sched;
+pub mod serve;
 pub mod telemetry;
 pub mod timing;
 pub mod types;

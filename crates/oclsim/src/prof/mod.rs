@@ -81,6 +81,7 @@ pub fn profile_launch(
         kernel.sanitize(),
         true,
         Some(workers),
+        None,
     )?;
     Ok((timing, counters.expect("collect was requested")))
 }

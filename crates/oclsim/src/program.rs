@@ -200,6 +200,26 @@ impl Program {
         Ok(names)
     }
 
+    /// Deterministic estimate of the built binary's size in bytes, used by
+    /// the shared binary cache ([`crate::serve`]) for capacity accounting.
+    /// Derived purely from the typed IR (function, slot, and statement
+    /// counts), never from wall clock or allocator state, so the figure is
+    /// identical across runs and `OCLSIM_THREADS` settings.
+    pub fn binary_size_estimate(&self) -> Result<u64> {
+        let built = self.inner.built.lock();
+        let module = built
+            .as_ref()
+            .ok_or_else(|| Error::InvalidOperation("program has not been built".into()))?;
+        let mut bytes = 128u64;
+        for func in &module.funcs {
+            bytes += 96;
+            bytes += 16 * func.slots.len() as u64;
+            bytes += 48 * func.body.len() as u64;
+            bytes += 24 * (func.local_allocs.len() + func.priv_allocs.len()) as u64;
+        }
+        Ok(bytes)
+    }
+
     /// Create a kernel object for `name`.
     pub fn kernel(&self, name: &str) -> Result<Kernel> {
         let built = self.inner.built.lock();

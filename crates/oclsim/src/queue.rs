@@ -338,7 +338,43 @@ impl CommandQueue {
         local: Option<&[usize]>,
         wait: &[Event],
     ) -> Result<Event> {
+        self.enqueue_ndrange_span_async(kernel, global, local, None, wait)
+    }
+
+    /// Enqueue a **partial** kernel launch: only the linearized work-groups
+    /// in `group_span = [start, end)` execute, while the geometry (and thus
+    /// every builtin the kernel can observe) stays that of the full launch.
+    /// Chunks of one NDRange launched this way across several devices
+    /// compose to exactly the single-device result; see [`crate::serve`]
+    /// for the partitioner built on top.
+    pub fn enqueue_ndrange_groups_async(
+        &self,
+        kernel: &Kernel,
+        global: &[usize],
+        local: Option<&[usize]>,
+        group_span: (usize, usize),
+        wait: &[Event],
+    ) -> Result<Event> {
+        self.enqueue_ndrange_span_async(kernel, global, local, Some(group_span), wait)
+    }
+
+    fn enqueue_ndrange_span_async(
+        &self,
+        kernel: &Kernel,
+        global: &[usize],
+        local: Option<&[usize]>,
+        group_span: Option<(usize, usize)>,
+        wait: &[Event],
+    ) -> Result<Event> {
         let geom = Geometry::new(global, local, &self.inner.device)?;
+        if let Some((s, e)) = group_span {
+            if s >= e || e > geom.total_groups() {
+                return Err(Error::InvalidLaunch(format!(
+                    "group span {s}..{e} is not a non-empty subrange of 0..{}",
+                    geom.total_groups()
+                )));
+            }
+        }
         let args = kernel.bound_args()?;
         validate_launch(kernel.func_ir(), &args, &geom, &self.inner.device)?;
         kernel.lint_launch(&args, &geom)?;
@@ -347,7 +383,9 @@ impl CommandQueue {
         let event = self.admit(CommandKind::NdRangeKernel, wait)?;
         let kernel = kernel.clone();
         let device = self.inner.device.clone();
-        let groups = geom.total_groups();
+        let groups = group_span
+            .map(|(s, e)| e - s)
+            .unwrap_or_else(|| geom.total_groups());
         self.submit(
             &event,
             Box::new(move || {
@@ -360,6 +398,7 @@ impl CommandQueue {
                     sanitize,
                     collect,
                     None,
+                    group_span,
                 )?;
                 Ok(Work {
                     resource: Resource::Compute { groups },

@@ -1,0 +1,81 @@
+//! Per-tenant quotas: the limits a service enforces at admission time.
+//!
+//! Quotas are deliberately coarse — they bound the *demand* a tenant can
+//! place on shared resources (launch slots, compile work), not the exact
+//! device seconds consumed, which keeps every check a cheap integer
+//! comparison on the admission path. A violated quota surfaces as
+//! [`Error::QuotaExceeded`] with the tenant, resource, limit, and
+//! attempted use, wrapped in [`Error::AdmissionRejected`] by the session
+//! layer so causal chains match the scheduler's poisoning style.
+
+use crate::error::{Error, Result};
+
+/// Limits applied to one tenant. `None` means unlimited.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Total launches the tenant may submit over the session's lifetime.
+    pub max_launches: Option<u64>,
+    /// Launches the tenant may have in flight at once.
+    pub max_inflight: Option<u64>,
+    /// Total source bytes the tenant may submit for compilation (cache
+    /// misses only — hits are free).
+    pub max_compile_bytes: Option<u64>,
+}
+
+impl TenantQuota {
+    /// A quota with every limit disabled.
+    pub fn unlimited() -> TenantQuota {
+        TenantQuota::default()
+    }
+
+    /// Check one resource against its limit: `used` is the value the
+    /// tenant would reach if admitted.
+    pub(crate) fn check(
+        tenant: &str,
+        resource: &'static str,
+        limit: Option<u64>,
+        used: u64,
+    ) -> Result<()> {
+        match limit {
+            Some(l) if used > l => Err(Error::QuotaExceeded {
+                tenant: tenant.to_string(),
+                resource,
+                limit: l,
+                used,
+            }),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_quota_admits_everything() {
+        let q = TenantQuota::unlimited();
+        assert_eq!(q.max_launches, None);
+        TenantQuota::check("t", "launches", q.max_launches, u64::MAX).unwrap();
+    }
+
+    #[test]
+    fn exceeded_limit_reports_structure() {
+        let err = TenantQuota::check("alice", "launches", Some(4), 5).unwrap_err();
+        match err {
+            Error::QuotaExceeded {
+                tenant,
+                resource,
+                limit,
+                used,
+            } => {
+                assert_eq!(tenant, "alice");
+                assert_eq!(resource, "launches");
+                assert_eq!((limit, used), (4, 5));
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        // reaching the limit exactly is admitted
+        TenantQuota::check("alice", "launches", Some(4), 4).unwrap();
+    }
+}

@@ -1,0 +1,428 @@
+//! Sessions: the multi-tenant front door of the service.
+//!
+//! A [`Service`] owns a set of simulated devices (each with its own
+//! context and out-of-order queue), one shared [`BinaryCache`], and a
+//! tenant registry. Clients open a [`Session`] per tenant and submit
+//! [`LaunchJob`]s; the session enforces the tenant's [`TenantQuota`] at
+//! admission, attributes cache traffic and launch counts to the tenant in
+//! the process metrics registry, and keeps **per-tenant state sharded**:
+//! input buffers a tenant has uploaded are pooled per `(tenant, device,
+//! content)` and reused across that tenant's launches, but never shared
+//! with other tenants — the only cross-tenant shared resource is the
+//! immutable binary cache. That split is what makes the service's metric
+//! totals a pure function of the workload: upload counts depend only on
+//! each tenant's distinct inputs, never on how tenants interleave.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::buffer::{Buffer, MemAccess};
+use crate::context::Context;
+use crate::device::{Device, DeviceProfile};
+use crate::error::{Error, Result};
+use crate::queue::CommandQueue;
+use crate::sched::Event;
+use crate::telemetry::metrics;
+
+use super::cache::{BinaryCache, CacheOutcome};
+use super::partition::{
+    run_partitioned, JobArg, LaunchJob, PartitionOutcome, PartitionStrategy, PartitionTarget,
+};
+use super::quota::TenantQuota;
+
+/// Configuration of a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Capacity of the shared binary cache in estimated bytes.
+    pub cache_capacity_bytes: u64,
+    /// One simulated device per profile, in order.
+    pub profiles: Vec<DeviceProfile>,
+}
+
+impl Default for ServiceConfig {
+    /// A two-GPU heterogeneous box mirroring the paper's testbed: a Tesla
+    /// C2050-class device and a Quadro FX380-class device, with a 16 MiB
+    /// binary cache.
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            cache_capacity_bytes: 16 << 20,
+            profiles: vec![DeviceProfile::tesla_c2050(), DeviceProfile::quadro_fx380()],
+        }
+    }
+}
+
+/// One device of the service with its context and queue.
+struct ServeDevice {
+    device: Device,
+    context: Context,
+    queue: CommandQueue,
+}
+
+struct ServiceInner {
+    devices: Vec<ServeDevice>,
+    cache: BinaryCache,
+    tenants: Mutex<BTreeMap<String, Arc<TenantState>>>,
+}
+
+/// Admission bookkeeping for one tenant.
+struct TenantState {
+    name: String,
+    quota: TenantQuota,
+    launches: AtomicU64,
+    inflight: AtomicU64,
+    compile_bytes: AtomicU64,
+}
+
+/// A multi-tenant kernel service over simulated devices (see the module
+/// docs).
+#[derive(Clone)]
+pub struct Service {
+    inner: Arc<ServiceInner>,
+}
+
+impl Service {
+    /// Build a service from `config`.
+    pub fn new(config: ServiceConfig) -> Result<Service> {
+        let mut devices = Vec::with_capacity(config.profiles.len());
+        for profile in config.profiles {
+            let device = Device::new(profile);
+            let context = Context::new(std::slice::from_ref(&device))?;
+            let queue = CommandQueue::new_out_of_order(&context, &device)?;
+            devices.push(ServeDevice {
+                device,
+                context,
+                queue,
+            });
+        }
+        if devices.is_empty() {
+            return Err(Error::InvalidOperation(
+                "a service needs at least one device".into(),
+            ));
+        }
+        let cache = BinaryCache::new(config.cache_capacity_bytes);
+        metrics()
+            .serve_cache_capacity_bytes
+            .set(config.cache_capacity_bytes as i64);
+        Ok(Service {
+            inner: Arc::new(ServiceInner {
+                devices,
+                cache,
+                tenants: Mutex::new(BTreeMap::new()),
+            }),
+        })
+    }
+
+    /// The shared binary cache.
+    pub fn cache(&self) -> &BinaryCache {
+        &self.inner.cache
+    }
+
+    /// The service's devices, in configuration order.
+    pub fn devices(&self) -> Vec<Device> {
+        self.inner
+            .devices
+            .iter()
+            .map(|d| d.device.clone())
+            .collect()
+    }
+
+    /// Open (or re-join) the session of `tenant`. The quota is fixed at
+    /// first join; re-joining with a different quota keeps the original.
+    pub fn session(&self, tenant: &str, quota: TenantQuota) -> Session {
+        let state = {
+            let mut tenants = self.inner.tenants.lock();
+            Arc::clone(tenants.entry(tenant.to_string()).or_insert_with(|| {
+                Arc::new(TenantState {
+                    name: tenant.to_string(),
+                    quota,
+                    launches: AtomicU64::new(0),
+                    inflight: AtomicU64::new(0),
+                    compile_bytes: AtomicU64::new(0),
+                })
+            }))
+        };
+        Session {
+            svc: Arc::clone(&self.inner),
+            tenant: state,
+            input_pool: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Prepare one [`PartitionTarget`] per service device for `job`,
+    /// building through the shared cache (no tenant attribution).
+    pub fn partition_targets(&self, job: &LaunchJob) -> Result<Vec<PartitionTarget>> {
+        self.inner
+            .devices
+            .iter()
+            .map(|d| {
+                PartitionTarget::new(
+                    &d.device,
+                    &d.context,
+                    &d.queue,
+                    &self.inner.cache,
+                    job,
+                    None,
+                )
+            })
+            .collect()
+    }
+}
+
+/// Outcome of one admitted and executed launch.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Final bytes of each writable (`Out`/`InOut`) argument, in argument
+    /// order.
+    pub outputs: Vec<Vec<u8>>,
+    /// Modeled seconds the kernel occupied the device.
+    pub modeled_seconds: f64,
+    /// Whether the binary came out of the shared cache without a build.
+    pub cache_hit: bool,
+    /// Host wall seconds from admission to results (recorded in the
+    /// non-canonical latency histogram too).
+    pub wall_seconds: f64,
+}
+
+/// RAII guard for one in-flight launch slot of a tenant.
+struct LaunchPermit {
+    tenant: Arc<TenantState>,
+}
+
+impl Drop for LaunchPermit {
+    fn drop(&mut self) {
+        self.tenant.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// One tenant's handle on a [`Service`].
+pub struct Session {
+    svc: Arc<ServiceInner>,
+    tenant: Arc<TenantState>,
+    /// Per-tenant pool of uploaded read-only inputs:
+    /// `(device index, content hash, len)` → resident buffer.
+    input_pool: Mutex<HashMap<(usize, u64, usize), Buffer>>,
+}
+
+impl Session {
+    /// The tenant this session belongs to.
+    pub fn tenant(&self) -> &str {
+        &self.tenant.name
+    }
+
+    /// Launches this tenant has had admitted so far.
+    pub fn launches(&self) -> u64 {
+        self.tenant.launches.load(Ordering::Relaxed)
+    }
+
+    /// The service's shared binary cache (the one this session's builds
+    /// go through).
+    pub fn binary_cache(&self) -> &BinaryCache {
+        &self.svc.cache
+    }
+
+    /// Admit one launch against the tenant's quotas; the permit holds an
+    /// in-flight slot until dropped. Rejections surface as
+    /// [`Error::AdmissionRejected`] wrapping the [`Error::QuotaExceeded`].
+    fn admit_launch(&self, what: &str) -> Result<LaunchPermit> {
+        let t = &self.tenant;
+        let reject = |cause: Error| {
+            let m = metrics();
+            m.serve_rejections.inc();
+            m.note_tenant(&t.name, |s| s.rejections += 1);
+            Err(Error::AdmissionRejected {
+                what: what.to_string(),
+                cause: Box::new(cause),
+            })
+        };
+        let launched = t.launches.load(Ordering::Relaxed) + 1;
+        if let Err(e) = TenantQuota::check(&t.name, "launches", t.quota.max_launches, launched) {
+            return reject(e);
+        }
+        let inflight = t.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Err(e) =
+            TenantQuota::check(&t.name, "inflight launches", t.quota.max_inflight, inflight)
+        {
+            t.inflight.fetch_sub(1, Ordering::Relaxed);
+            return reject(e);
+        }
+        t.launches.fetch_add(1, Ordering::Relaxed);
+        let m = metrics();
+        m.serve_launches.inc();
+        m.note_tenant(&t.name, |s| s.launches += 1);
+        Ok(LaunchPermit {
+            tenant: Arc::clone(t),
+        })
+    }
+
+    /// Build (or fetch) a program through the shared cache on this
+    /// tenant's behalf, charging compile bytes on misses. Usable with any
+    /// context/device pair — the HPL runtime facade passes its own.
+    pub fn build_program(
+        &self,
+        context: &Context,
+        device: &Device,
+        source: &str,
+        options: &str,
+    ) -> Result<CacheOutcome> {
+        let t = &self.tenant;
+        // the quota only applies to actual builds: resident binaries are
+        // free for every tenant, so the check runs inside the miss path
+        let admit = || {
+            let charged = t.compile_bytes.load(Ordering::Relaxed) + source.len() as u64;
+            TenantQuota::check(&t.name, "compile bytes", t.quota.max_compile_bytes, charged)
+                .map_err(|e| {
+                    let m = metrics();
+                    m.serve_rejections.inc();
+                    m.note_tenant(&t.name, |s| s.rejections += 1);
+                    Error::AdmissionRejected {
+                        what: format!("compilation of {} source bytes", source.len()),
+                        cause: Box::new(e),
+                    }
+                })
+        };
+        let outcome = self.svc.cache.get_or_build_admitted(
+            context,
+            device,
+            source,
+            options,
+            Some(&t.name),
+            admit,
+        )?;
+        if !outcome.hit {
+            t.compile_bytes
+                .fetch_add(source.len() as u64, Ordering::Relaxed);
+        }
+        Ok(outcome)
+    }
+
+    /// Admit one HPL-facade launch (quota check + accounting) without
+    /// running anything here; the caller performs the launch. Used by the
+    /// `hpl` Session facade, which launches through its own runtime.
+    pub fn admit_external_launch(&self, what: &str) -> Result<()> {
+        let permit = self.admit_launch(what)?;
+        // the facade's launch is synchronous: the slot frees immediately
+        drop(permit);
+        Ok(())
+    }
+
+    /// Submit one launch on service device `device_index`, blocking until
+    /// the results are read back.
+    pub fn submit(&self, device_index: usize, job: &LaunchJob) -> Result<JobOutcome> {
+        let started = std::time::Instant::now();
+        let dev = self.svc.devices.get(device_index).ok_or_else(|| {
+            Error::InvalidOperation(format!(
+                "device index {device_index} out of range ({} devices)",
+                self.svc.devices.len()
+            ))
+        })?;
+        let what = format!("launch of kernel `{}`", job.kernel);
+        let _permit = self.admit_launch(&what)?;
+        let built =
+            self.build_program(&dev.context, &dev.device, &job.source, &job.build_options)?;
+        let kernel = built.program.kernel(&job.kernel)?;
+
+        let mut wait: Vec<Event> = Vec::new();
+        let mut writable: Vec<(usize, Buffer, usize)> = Vec::new();
+        for (i, arg) in job.args.iter().enumerate() {
+            match arg {
+                JobArg::In(data) => {
+                    let buf = self.pooled_input(device_index, dev, data)?;
+                    kernel.set_arg_buffer(i, &buf)?;
+                }
+                JobArg::InOut(data) => {
+                    let buf = dev
+                        .context
+                        .create_buffer(data.len(), MemAccess::ReadWrite)?;
+                    wait.push(dev.queue.enqueue_write_async(&buf, 0, data, &[])?);
+                    kernel.set_arg_buffer(i, &buf)?;
+                    writable.push((i, buf, data.len()));
+                }
+                JobArg::Out(len) => {
+                    let buf = dev.context.create_buffer(*len, MemAccess::ReadWrite)?;
+                    kernel.set_arg_buffer(i, &buf)?;
+                    writable.push((i, buf, *len));
+                }
+                JobArg::Scalar(v) => kernel.set_arg_scalar(i, *v)?,
+            }
+        }
+        let ev =
+            dev.queue
+                .enqueue_ndrange_async(&kernel, &job.global, job.local.as_deref(), &wait)?;
+        ev.wait()?;
+        let modeled_seconds = ev
+            .kernel_timing()
+            .map(|t| t.device_seconds)
+            .unwrap_or_else(|| ev.modeled_seconds());
+        let mut outputs = Vec::with_capacity(writable.len());
+        for (_, buf, len) in &writable {
+            let handle =
+                dev.queue
+                    .enqueue_read_async::<u8>(buf, 0, *len, std::slice::from_ref(&ev))?;
+            outputs.push(handle.wait()?);
+        }
+        let wall_seconds = started.elapsed().as_secs_f64();
+        metrics()
+            .serve_launch_wall_us
+            .observe((wall_seconds * 1.0e6) as u64);
+        Ok(JobOutcome {
+            outputs,
+            modeled_seconds,
+            cache_hit: built.hit,
+            wall_seconds,
+        })
+    }
+
+    /// Submit one launch split across **all** service devices with
+    /// `strategy`, blocking until the merged results are ready. Counts as
+    /// a single admitted launch for the tenant.
+    pub fn submit_partitioned(
+        &self,
+        job: &LaunchJob,
+        strategy: PartitionStrategy,
+    ) -> Result<PartitionOutcome> {
+        let started = std::time::Instant::now();
+        let what = format!("partitioned launch of kernel `{}`", job.kernel);
+        let _permit = self.admit_launch(&what)?;
+        let targets: Vec<PartitionTarget> = self
+            .svc
+            .devices
+            .iter()
+            .map(|d| {
+                PartitionTarget::new(
+                    &d.device,
+                    &d.context,
+                    &d.queue,
+                    &self.svc.cache,
+                    job,
+                    Some(&self.tenant.name),
+                )
+            })
+            .collect::<Result<_>>()?;
+        let outcome = run_partitioned(&targets, job, strategy)?;
+        metrics()
+            .serve_launch_wall_us
+            .observe((started.elapsed().as_secs_f64() * 1.0e6) as u64);
+        Ok(outcome)
+    }
+
+    /// Fetch (or upload) the tenant's pooled read-only copy of `data` on
+    /// device `device_index`. Repeated launches over the same input do not
+    /// re-upload — the serve-layer analogue of HPL's coherence validity.
+    fn pooled_input(&self, device_index: usize, dev: &ServeDevice, data: &[u8]) -> Result<Buffer> {
+        let key = (device_index, super::cache::fnv1a(data), data.len());
+        let mut pool = self.input_pool.lock();
+        if let Some(buf) = pool.get(&key) {
+            return Ok(buf.clone());
+        }
+        let buf = dev.context.create_buffer(data.len(), MemAccess::ReadOnly)?;
+        let ev = dev.queue.enqueue_write_async(&buf, 0, data, &[])?;
+        // the upload completes before the buffer enters the pool, so later
+        // launches may reuse it without re-waiting
+        ev.wait()?;
+        pool.insert(key, buf.clone());
+        Ok(buf)
+    }
+}

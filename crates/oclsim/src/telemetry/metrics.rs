@@ -134,6 +134,22 @@ impl Histogram {
 const TRANSFER_BOUNDS: &[u64] = &[1 << 10, 1 << 16, 1 << 20, 1 << 24];
 /// Compile wall time in µs: 100 µs … 1 s / +Inf.
 const COMPILE_BOUNDS: &[u64] = &[100, 1_000, 10_000, 100_000, 1_000_000];
+/// Service launch wall latency in µs: 100 µs … 1 s / +Inf.
+const LATENCY_BOUNDS: &[u64] = &[100, 1_000, 10_000, 100_000, 1_000_000];
+
+/// Per-tenant service accounting (updated under the registry mutex; each
+/// field is a plain event count, so totals are interleaving-independent).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Launches the service admitted and ran for this tenant.
+    pub launches: u64,
+    /// Requests rejected at admission (quota or capacity).
+    pub rejections: u64,
+    /// Shared-binary-cache hits attributed to this tenant.
+    pub cache_hits: u64,
+    /// Shared-binary-cache misses (builds) attributed to this tenant.
+    pub cache_misses: u64,
+}
 
 /// The registry. One static instance per process, reached via
 /// [`metrics`]; fields are updated directly at the instrumented sites.
@@ -183,7 +199,26 @@ pub struct Metrics {
     pub dma_bytes: Counter,
     /// `Program::build` invocations.
     pub builds: Counter,
+    // --- oclsim::serve shared binary cache + sessions (canonical) ---
+    /// Shared binary-cache lookups served from a resident binary.
+    pub serve_cache_hits: Counter,
+    /// Shared binary-cache lookups that compiled a new binary.
+    pub serve_cache_misses: Counter,
+    /// Binaries evicted from the shared cache (LRU, capacity pressure).
+    pub serve_cache_evictions: Counter,
+    /// Bytes currently resident in the shared binary cache.
+    pub serve_cache_bytes: Gauge,
+    /// Configured capacity of the shared binary cache.
+    pub serve_cache_capacity_bytes: Gauge,
+    /// Launches admitted and executed by the service layer.
+    pub serve_launches: Counter,
+    /// Service requests rejected at admission (quota or capacity).
+    pub serve_rejections: Counter,
+    /// Per-tenant service accounting: tenant name → event counts.
+    serve_tenants: Mutex<BTreeMap<String, TenantStats>>,
     // --- non-canonical: wall-clock or interleaving dependent ---
+    /// Distribution of service launch wall latency (µs).
+    pub serve_launch_wall_us: Histogram,
     /// Distribution of `Program::build` wall time (µs).
     pub compile_seconds: Histogram,
     /// Live commands in the most recently touched queue.
@@ -218,6 +253,15 @@ impl Metrics {
             dma_commands: Counter::default(),
             dma_bytes: Counter::default(),
             builds: Counter::default(),
+            serve_cache_hits: Counter::default(),
+            serve_cache_misses: Counter::default(),
+            serve_cache_evictions: Counter::default(),
+            serve_cache_bytes: Gauge::default(),
+            serve_cache_capacity_bytes: Gauge::default(),
+            serve_launches: Counter::default(),
+            serve_rejections: Counter::default(),
+            serve_tenants: Mutex::new(BTreeMap::new()),
+            serve_launch_wall_us: Histogram::new(LATENCY_BOUNDS),
             compile_seconds: Histogram::new(COMPILE_BOUNDS),
             queue_depth: Gauge::default(),
             queue_depth_peak: Gauge::default(),
@@ -238,6 +282,17 @@ impl Metrics {
     /// Per-kernel compile accounting snapshot: name → (builds, seconds).
     pub fn compile_by_kernel(&self) -> BTreeMap<String, (u64, f64)> {
         lock(&self.per_kernel_compile).clone()
+    }
+
+    /// Update (or create) the per-tenant accounting row for `tenant`.
+    pub fn note_tenant(&self, tenant: &str, f: impl FnOnce(&mut TenantStats)) {
+        let mut map = lock(&self.serve_tenants);
+        f(map.entry(tenant.to_string()).or_default());
+    }
+
+    /// Per-tenant service accounting snapshot.
+    pub fn tenant_stats(&self) -> BTreeMap<String, TenantStats> {
+        lock(&self.serve_tenants).clone()
     }
 }
 
@@ -273,6 +328,15 @@ pub fn reset_metrics() {
     m.dma_commands.reset();
     m.dma_bytes.reset();
     m.builds.reset();
+    m.serve_cache_hits.reset();
+    m.serve_cache_misses.reset();
+    m.serve_cache_evictions.reset();
+    m.serve_cache_bytes.reset();
+    m.serve_cache_capacity_bytes.reset();
+    m.serve_launches.reset();
+    m.serve_rejections.reset();
+    lock(&m.serve_tenants).clear();
+    m.serve_launch_wall_us.reset();
     m.compile_seconds.reset();
     m.queue_depth.reset();
     m.queue_depth_peak.reset();
@@ -424,7 +488,84 @@ pub fn metrics_text(canonical: bool) -> String {
         "Program::build invocations",
         &m.builds,
     );
+    counter(
+        &mut out,
+        "oclsim_serve_cache_hits_total",
+        "shared binary-cache lookups served from a resident binary",
+        &m.serve_cache_hits,
+    );
+    counter(
+        &mut out,
+        "oclsim_serve_cache_misses_total",
+        "shared binary-cache lookups that compiled a new binary",
+        &m.serve_cache_misses,
+    );
+    counter(
+        &mut out,
+        "oclsim_serve_cache_evictions_total",
+        "binaries evicted from the shared cache",
+        &m.serve_cache_evictions,
+    );
+    gauge(
+        &mut out,
+        "oclsim_serve_cache_bytes",
+        "bytes resident in the shared binary cache",
+        &m.serve_cache_bytes,
+    );
+    gauge(
+        &mut out,
+        "oclsim_serve_cache_capacity_bytes",
+        "configured capacity of the shared binary cache",
+        &m.serve_cache_capacity_bytes,
+    );
+    counter(
+        &mut out,
+        "oclsim_serve_launches_total",
+        "launches admitted and executed by the service layer",
+        &m.serve_launches,
+    );
+    counter(
+        &mut out,
+        "oclsim_serve_rejections_total",
+        "service requests rejected at admission",
+        &m.serve_rejections,
+    );
+    let tenants = m.tenant_stats();
+    if !tenants.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP oclsim_serve_tenant per-tenant service accounting"
+        );
+        for (tenant, t) in &tenants {
+            let _ = writeln!(
+                out,
+                "oclsim_serve_tenant_launches_total{{tenant=\"{tenant}\"}} {}",
+                t.launches
+            );
+            let _ = writeln!(
+                out,
+                "oclsim_serve_tenant_rejections_total{{tenant=\"{tenant}\"}} {}",
+                t.rejections
+            );
+            let _ = writeln!(
+                out,
+                "oclsim_serve_tenant_cache_hits_total{{tenant=\"{tenant}\"}} {}",
+                t.cache_hits
+            );
+            let _ = writeln!(
+                out,
+                "oclsim_serve_tenant_cache_misses_total{{tenant=\"{tenant}\"}} {}",
+                t.cache_misses
+            );
+        }
+    }
     if !canonical {
+        let _ = writeln!(
+            out,
+            "# HELP oclsim_serve_launch_wall_us service launch wall latency distribution (us)"
+        );
+        m.serve_launch_wall_us
+            .render(&mut out, "oclsim_serve_launch_wall_us");
         let _ = writeln!(
             out,
             "# HELP oclsim_compile_us Program::build wall time distribution (us)"
@@ -510,6 +651,43 @@ mod tests {
             text.contains("hpl_transfer_bytes_bucket{le=\"+Inf\"} 3"),
             "{text}"
         );
+        reset_metrics();
+    }
+
+    #[test]
+    fn serve_metrics_render_with_sorted_tenant_labels() {
+        let _g = lock(&SERIAL);
+        reset_metrics();
+        let m = metrics();
+        m.serve_cache_capacity_bytes.set(1 << 20);
+        m.serve_cache_bytes.set(4096);
+        m.serve_cache_evictions.add(2);
+        m.note_tenant("zeta", |t| t.launches += 5);
+        m.note_tenant("alpha", |t| {
+            t.launches += 3;
+            t.rejections += 1;
+        });
+        m.serve_launch_wall_us.observe(250);
+        let canonical = metrics_text(true);
+        assert!(
+            canonical.contains("oclsim_serve_cache_capacity_bytes 1048576"),
+            "{canonical}"
+        );
+        assert!(
+            canonical.contains("oclsim_serve_cache_evictions_total 2"),
+            "{canonical}"
+        );
+        // tenants render sorted by name, so the snapshot is byte-stable
+        let alpha = canonical
+            .find("oclsim_serve_tenant_launches_total{tenant=\"alpha\"} 3")
+            .expect("alpha row");
+        let zeta = canonical
+            .find("oclsim_serve_tenant_launches_total{tenant=\"zeta\"} 5")
+            .expect("zeta row");
+        assert!(alpha < zeta);
+        // wall latency is interleaving/wall-clock dependent: non-canonical
+        assert!(!canonical.contains("serve_launch_wall_us"), "{canonical}");
+        assert!(metrics_text(false).contains("oclsim_serve_launch_wall_us_count 1"),);
         reset_metrics();
     }
 

@@ -42,7 +42,9 @@
 mod metrics;
 mod span;
 
-pub use metrics::{metrics, metrics_text, reset_metrics, Counter, Gauge, Histogram, Metrics};
+pub use metrics::{
+    metrics, metrics_text, reset_metrics, Counter, Gauge, Histogram, Metrics, TenantStats,
+};
 pub use span::{
     check_nesting, drain_spans, enabled, render_span_tree, set_enabled, span, spans_jsonl, Span,
     SpanRecord,
