@@ -23,6 +23,22 @@ OCLSIM_THREADS=1 cargo test --workspace -q
 echo "== cargo test (OCLSIM_THREADS=4)"
 OCLSIM_THREADS=4 cargo test --workspace -q
 
+# The optimizing mid-end must not change observable behaviour at any
+# level: the full suite repeats with every HPL build pinned to -O0 (the
+# untouched reference IR) and -O2 (all passes), each under both dispatcher
+# pool sizes. The default runs above already cover -O1.
+echo "== cargo test (HPL_OPT_LEVEL=-O0, OCLSIM_THREADS=1)"
+HPL_OPT_LEVEL=-O0 OCLSIM_THREADS=1 cargo test --workspace -q
+
+echo "== cargo test (HPL_OPT_LEVEL=-O0, OCLSIM_THREADS=4)"
+HPL_OPT_LEVEL=-O0 OCLSIM_THREADS=4 cargo test --workspace -q
+
+echo "== cargo test (HPL_OPT_LEVEL=-O2, OCLSIM_THREADS=1)"
+HPL_OPT_LEVEL=-O2 OCLSIM_THREADS=1 cargo test --workspace -q
+
+echo "== cargo test (HPL_OPT_LEVEL=-O2, OCLSIM_THREADS=4)"
+HPL_OPT_LEVEL=-O2 OCLSIM_THREADS=4 cargo test --workspace -q
+
 echo "== kernel sanitizer over the benchmark corpus (Deny gate)"
 # lints every handwritten and HPL-generated benchmark kernel; exits
 # nonzero if any kernel has a finding, so a regression that introduces a
@@ -45,6 +61,21 @@ echo "== report -- annotate (per-line source listings byte-identical across OCLS
 OCLSIM_THREADS=1 cargo run --release -p bench --bin report -- annotate > target/annotate-t1.out
 OCLSIM_THREADS=4 cargo run --release -p bench --bin report -- annotate > target/annotate-t4.out
 diff target/annotate-t1.out target/annotate-t4.out
+
+echo "== report -- annotate at -O2 (attribution survives the mid-end, byte-identical across OCLSIM_THREADS)"
+# the same gate with every kernel optimized: DCE/CSE/LICM rewrite the IR
+# but every statement keeps its source span, so per-line sums still equal
+# launch totals and the listing cannot depend on the worker pool
+HPL_OPT_LEVEL=-O2 OCLSIM_THREADS=1 cargo run --release -p bench --bin report -- annotate > target/annotate-o2-t1.out
+HPL_OPT_LEVEL=-O2 OCLSIM_THREADS=4 cargo run --release -p bench --bin report -- annotate > target/annotate-o2-t4.out
+diff target/annotate-o2-t1.out target/annotate-o2-t4.out
+
+echo "== report -- passes (mid-end per-pass deltas; >=3 of 5 benchmarks reduced at -O2)"
+# builds every benchmark at -O0/-O1/-O2, prints the per-pass rewrite
+# counters with instruction and modeled-time deltas, writes
+# target/passes.json; exits nonzero unless -O2 strictly reduces executed
+# instructions or modeled time on at least three of the five benchmarks
+cargo run --release -p bench --bin report -- passes
 
 echo "== telemetry is zero-overhead when off (and invisible to the counter tables when on)"
 # same profile run with span collection enabled: the counter tables, the

@@ -199,9 +199,20 @@ fn rig(device: &Device) -> Result<Rig, String> {
 fn build_kernel(r: &Rig, source: &str, name: &str) -> Result<oclsim::Kernel, String> {
     let program = Program::from_source(&r.ctx, source);
     program
-        .build("")
+        .build(hpl::opt_level().flag())
         .map_err(|e| format!("{name} failed to build: {e}\n{}", program.build_log()))?;
     program.kernel(name).map_err(|e| e.to_string())
+}
+
+/// Total executed instructions of one benchmark's handwritten kernels,
+/// compiled at the current process-global opt level and profiled at the
+/// same tiny scale the `annotate` experiment uses. The `passes` report
+/// uses the O0→O2 delta of this count as its optimization evidence — the
+/// roofline timing model hides ALU savings on memory-bound kernels, but
+/// the instruction counter does not.
+pub fn handwritten_instructions(bench: &str, device: &Device) -> Result<u64, String> {
+    let (_, _, counters, _) = run_handwritten(bench, device)?;
+    Ok(counters.totals.instr.total())
 }
 
 /// Launch one benchmark's handwritten kernel through a profiled queue at

@@ -42,8 +42,8 @@
 //! unaffected either way.
 
 use bench::{
-    ablation, annotate, caching, fig6, fig7, fig8, fig9, lint, overlap, profile, runtime_metrics,
-    soak, table1, tesla, trajectory,
+    ablation, annotate, caching, fig6, fig7, fig8, fig9, lint, overlap, passes, profile,
+    runtime_metrics, soak, table1, tesla, trajectory,
 };
 
 fn main() {
@@ -66,6 +66,7 @@ fn main() {
         "metrics" => run_metrics(),
         "bench" => run_bench_trajectory(),
         "soak" => run_soak(),
+        "passes" => run_passes(),
         "all" => {
             run_table1()
                 & run_fig6()
@@ -81,10 +82,11 @@ fn main() {
                 & run_metrics()
                 & run_bench_trajectory()
                 & run_soak()
+                & run_passes()
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; use table1|fig6|fig7|fig8|fig9|caching|ablation|overlap|lint|profile|annotate|metrics|bench|soak|all"
+                "unknown experiment `{other}`; use table1|fig6|fig7|fig8|fig9|caching|ablation|overlap|lint|profile|annotate|metrics|bench|soak|passes|all"
             );
             std::process::exit(2);
         }
@@ -815,4 +817,79 @@ fn run_overlap() -> bool {
             false
         }
     }
+}
+
+fn run_passes() -> bool {
+    banner("Passes — optimizing mid-end deltas per benchmark at -O0/-O1/-O2");
+    let device = tesla();
+    let report = match passes::compute(&device) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("passes failed: {e}");
+            return false;
+        }
+    };
+    println!(
+        "{:<12} {:<4} {:>6} {:>6} {:>5} {:>7} {:>5} {:>6} {:>10} {:>16} {:>9} {:>16} {:>9}",
+        "benchmark",
+        "lvl",
+        "fold",
+        "prop",
+        "dce",
+        "branch",
+        "cse",
+        "licm",
+        "instrs",
+        "OpenCL model(s)",
+        "vs -O0",
+        "HPL model(s)",
+        "vs -O0"
+    );
+    for r in &report.rows {
+        let delta = |now: f64, base: f64| {
+            if base > 0.0 {
+                format!("{:+.1}%", 100.0 * (now - base) / base)
+            } else {
+                "-".into()
+            }
+        };
+        let (od, hd) = match report.baseline(&r.bench) {
+            Some(b) if r.level != oclsim::OptLevel::O0 => (
+                delta(r.opencl_modeled_s, b.opencl_modeled_s),
+                delta(r.hpl_modeled_s, b.hpl_modeled_s),
+            ),
+            _ => ("-".into(), "-".into()),
+        };
+        let s = r.opencl_stats;
+        println!(
+            "{:<12} {:<4} {:>6} {:>6} {:>5} {:>7} {:>5} {:>6} {:>10} {:>16.9} {:>9} {:>16.9} {:>9}",
+            r.bench,
+            r.level.to_string(),
+            s.const_folded,
+            s.const_propagated,
+            s.dce_removed,
+            s.branches_simplified,
+            s.cse_replaced,
+            s.licm_hoisted,
+            r.opencl_instructions,
+            r.opencl_modeled_s,
+            od,
+            r.hpl_modeled_s,
+            hd
+        );
+    }
+    let reduced = report.reduced_benches(oclsim::OptLevel::O2);
+    println!(
+        "\n-O2 reduces executed instructions or modeled time on {} of 5 benchmarks: {:?}",
+        reduced.len(),
+        reduced
+    );
+    let json = passes::to_json(&report);
+    let out = std::path::Path::new("target").join("passes.json");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("failed to write {}: {e}", out.display());
+        return false;
+    }
+    println!("wrote {}", out.display());
+    reduced.len() >= 3
 }

@@ -19,8 +19,10 @@
 //! | Telemetry registry snapshot (`report -- metrics`) | [`runtime_metrics::compute`] |
 //! | Perf trajectory + gate (`report -- bench`) | [`trajectory::compute`] |
 //! | Multi-tenant service soak (`report -- soak`) | [`soak::compute`] |
+//! | Mid-end pass deltas (`report -- passes`) | [`passes::compute`] |
 
 pub mod annotate;
+pub mod passes;
 pub mod profile;
 pub mod runtime_metrics;
 pub mod soak;

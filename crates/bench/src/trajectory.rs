@@ -24,7 +24,7 @@ use std::path::Path;
 
 use hpl::telemetry::{self, SpanRecord};
 use oclsim::prof::json::{parse, Value};
-use oclsim::{chrome_trace_with_host, validate_chrome_trace, Device, Event};
+use oclsim::{chrome_trace_with_host, validate_chrome_trace, Device, Event, OptLevel, PassStats};
 
 use crate::profile::{profile_one, HotLineInfo, BENCHES};
 use crate::table1;
@@ -69,6 +69,14 @@ pub struct BenchEntry {
     /// schema: the baseline gate ignores it, so hot-line drift shows up
     /// in the committed JSON diff without ever failing the build.
     pub hot_line: Option<HotLineInfo>,
+    /// Modeled device seconds of the same workload rebuilt at `-O2`.
+    /// Additive trend field — the gate ignores it, so the committed JSON
+    /// diff shows how far the optimizing mid-end moves each benchmark
+    /// without the headroom check ever reading it.
+    pub opt_modeled_s: f64,
+    /// Mid-end rewrite counters for the benchmark's HPL-generated kernels
+    /// at `-O2`. Additive like `opt_modeled_s`.
+    pub pass_stats: PassStats,
 }
 
 /// The full trajectory run, plus the raw material for the unified
@@ -128,6 +136,7 @@ fn compute_inner(device: &Device) -> Result<BenchRun, benchsuite::Error> {
             for s in &spans {
                 *host_wall_seconds.entry(s.category).or_insert(0.0) += s.wall_seconds();
             }
+            let (opt_modeled_s, pass_stats) = o2_trend(bench, sync, device)?;
             entries.push(BenchEntry {
                 bench,
                 mode: p.mode,
@@ -141,6 +150,8 @@ fn compute_inner(device: &Device) -> Result<BenchRun, benchsuite::Error> {
                 hpl_sloc: hpl_sloc(bench),
                 host_wall_seconds,
                 hot_line: p.hot_line.clone(),
+                opt_modeled_s,
+                pass_stats,
             });
             if bench == "floyd" && sync {
                 floyd_events = p.events.clone();
@@ -153,6 +164,40 @@ fn compute_inner(device: &Device) -> Result<BenchRun, benchsuite::Error> {
         floyd_events,
         floyd_spans,
     })
+}
+
+/// The additive `-O2` trend fields: re-run the workload with the mid-end
+/// at full strength and collect the modeled seconds plus the rewrite
+/// counters of the benchmark's generated kernels. Restores the
+/// process-global opt level and clears the kernel cache both ways so the
+/// surrounding `-O1` measurements never see `-O2` artifacts.
+fn o2_trend(
+    bench: &'static str,
+    sync: bool,
+    device: &Device,
+) -> Result<(f64, PassStats), benchsuite::Error> {
+    use benchsuite::{ep, floyd, reduction, spmv, transpose};
+    let prev = hpl::opt_level();
+    hpl::set_opt_level(OptLevel::O2);
+    hpl::clear_kernel_cache();
+    let result = (|| {
+        let p = profile_one(bench, sync, device)?;
+        let generated = match bench {
+            "ep" => ep::hpl_version::generated_source(device),
+            "floyd" => floyd::hpl_version::generated_source(device),
+            "transpose" => transpose::hpl_version::generated_source(device),
+            "spmv" => spmv::hpl_version::generated_source(device),
+            "reduction" => reduction::hpl_version::generated_source(device),
+            other => panic!("unknown benchmark `{other}`"),
+        }?;
+        let (program, _ctx, _queue, _build) =
+            benchsuite::common::build_for(device, &generated, OptLevel::O2.flag())?;
+        let secs: f64 = p.rows.iter().map(|r| r.modeled_seconds).sum();
+        Ok((secs, program.pass_stats()))
+    })();
+    hpl::set_opt_level(prev);
+    hpl::clear_kernel_cache();
+    result
 }
 
 fn json_escape(s: &str) -> String {
@@ -220,6 +265,18 @@ pub fn to_json_with_soak(entries: &[BenchEntry], soak: Option<&SoakSummary>) -> 
         let _ = writeln!(out, "      \"cache_misses\": {},", e.cache_misses);
         let _ = writeln!(out, "      \"redundant_uploads\": {},", e.redundant_uploads);
         let _ = writeln!(out, "      \"hpl_sloc\": {},", e.hpl_sloc);
+        let _ = writeln!(out, "      \"opt_modeled_s\": {:.9},", e.opt_modeled_s);
+        let s = &e.pass_stats;
+        let _ = writeln!(
+            out,
+            "      \"pass_stats\": {{\"const_folded\": {}, \"const_propagated\": {}, \"dce_removed\": {}, \"branches_simplified\": {}, \"cse_replaced\": {}, \"licm_hoisted\": {}}},",
+            s.const_folded,
+            s.const_propagated,
+            s.dce_removed,
+            s.branches_simplified,
+            s.cse_replaced,
+            s.licm_hoisted
+        );
         match &e.hot_line {
             Some(h) => {
                 let site = match &h.site {
@@ -388,6 +445,11 @@ mod tests {
                 site: Some("crates/benchsuite/src/x.rs:42".into()),
                 tx_share: 0.5,
             }),
+            opt_modeled_s: 0.0009,
+            pass_stats: PassStats {
+                licm_hoisted: 1,
+                ..PassStats::default()
+            },
         }
     }
 
@@ -465,6 +527,50 @@ mod tests {
         assert!(ok.is_empty(), "{ok:?}");
         // and the gate still fires through the unknown fields
         let bad = check_against_baseline(&[entry("ep", "sync", 0.002, 0)], alien).unwrap();
+        assert_eq!(bad.len(), 1, "{bad:?}");
+    }
+
+    #[test]
+    fn gate_ignores_opt_fields() {
+        // `opt_modeled_s` and `pass_stats` are additive trend fields like
+        // `hot_line`: wildly different optimizer outcomes between baseline
+        // and run must not trip the >10% headroom gate, which reads only
+        // bench/mode/modeled_device_seconds/redundant_uploads
+        let mut base = entry("ep", "sync", 0.001, 0);
+        base.opt_modeled_s = 0.000001; // 1000x better than the run's
+        base.pass_stats = PassStats::default();
+        let baseline = to_json(&[base]);
+        assert!(
+            baseline.contains("\"opt_modeled_s\": 0.000001000"),
+            "{baseline}"
+        );
+        assert!(
+            baseline.contains("\"pass_stats\": {\"const_folded\": 0"),
+            "{baseline}"
+        );
+
+        let mut run = entry("ep", "sync", 0.001, 0);
+        run.opt_modeled_s = 0.5;
+        run.pass_stats = PassStats {
+            dce_removed: 99,
+            cse_replaced: 42,
+            ..PassStats::default()
+        };
+        let ok = check_against_baseline(&[run.clone()], &baseline).unwrap();
+        assert!(ok.is_empty(), "{ok:?}");
+        // and a pre-opt baseline without the fields at all still gates the
+        // same run — the fields are additive in both directions
+        let legacy = r#"{
+  "schema": "hpl-bench-trajectory-v1",
+  "pr": "pr4",
+  "benchmarks": [
+    {"bench": "ep", "mode": "sync", "modeled_device_seconds": 0.001, "redundant_uploads": 0}
+  ]
+}"#;
+        let ok = check_against_baseline(&[run.clone()], legacy).unwrap();
+        assert!(ok.is_empty(), "{ok:?}");
+        run.modeled_device_seconds = 0.0012;
+        let bad = check_against_baseline(&[run], legacy).unwrap();
         assert_eq!(bad.len(), 1, "{bad:?}");
     }
 

@@ -45,7 +45,7 @@ pub fn run(cfg: &EpConfig, device: &Device) -> Result<(EpResult, RunMetrics), Er
 
     // ---- program load and build --------------------------------------------
     let program = Program::from_source(&context, SOURCE);
-    if let Err(e) = program.build("") {
+    if let Err(e) = program.build(hpl::opt_level().flag()) {
         eprintln!(
             "ep: clBuildProgram failed, build log:\n{}",
             program.build_log()

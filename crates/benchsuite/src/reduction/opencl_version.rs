@@ -43,7 +43,7 @@ pub fn run(
 
     // ---- program load and build --------------------------------------------
     let program = Program::from_source(&context, SOURCE);
-    if let Err(e) = program.build("") {
+    if let Err(e) = program.build(hpl::opt_level().flag()) {
         eprintln!(
             "reduction: clBuildProgram failed, build log:\n{}",
             program.build_log()
@@ -119,7 +119,7 @@ pub fn modeled_serial_seconds(cfg: &ReductionConfig, data: &[f32]) -> Result<f64
     let context = Context::new(std::slice::from_ref(device))?;
     let queue = CommandQueue::new(&context, device)?;
     let program = Program::from_source(&context, SOURCE);
-    program.build("")?;
+    program.build(hpl::opt_level().flag())?;
     let kernel = program.kernel("serial_sum")?;
     let in_buf = context.create_buffer(4 * cfg.n, MemAccess::ReadOnly)?;
     queue.enqueue_write(&in_buf, 0, data)?;

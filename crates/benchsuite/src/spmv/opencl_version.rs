@@ -46,7 +46,7 @@ pub fn run(
 
     // ---- program load and build --------------------------------------------
     let program = Program::from_source(&context, SOURCE);
-    if let Err(e) = program.build("") {
+    if let Err(e) = program.build(hpl::opt_level().flag()) {
         eprintln!(
             "spmv: clBuildProgram failed, build log:\n{}",
             program.build_log()

@@ -5,6 +5,7 @@
 //! build).
 
 use oclsim::clc::analysis::analyze_source;
+use oclsim::Severity;
 
 fn assert_clean(name: &str, src: &str) {
     let analysis = analyze_source(src).unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -76,15 +77,30 @@ fn hpl_benchmarks_lint_clean_in_sync_and_async_versions() {
     transpose::async_version::run(&t_cfg, &matrix, &device).unwrap();
 
     // every per-device build above ran the sanitizer; all ten runs (five
-    // benchmarks, sync + async) must leave the lint sink empty
+    // benchmarks, sync + async) must leave the lint sink free of warnings
+    // and errors — note-severity "proved safe" verdicts from the dataflow
+    // refinement are positive findings, not lint failures
     let lints = hpl::take_kernel_lints();
+    let bad: Vec<String> = lints
+        .iter()
+        .filter(|d| d.severity >= Severity::Warning)
+        .map(|d| d.to_string())
+        .collect();
     assert!(
-        lints.is_empty(),
+        bad.is_empty(),
         "HPL-generated benchmark kernels must lint clean:\n{}",
-        lints
-            .iter()
-            .map(|d| d.to_string())
-            .collect::<Vec<_>>()
-            .join("\n")
+        bad.join("\n")
     );
+    // the default O1 build runs the refined sanitizer, which proves the
+    // reduction/spmv __local scratch accesses in bounds. At -O0 (the CI
+    // matrix pins HPL_OPT_LEVEL) builds run the unrefined reference
+    // analysis, so no positive verdicts are expected there.
+    if hpl::opt_level() != oclsim::OptLevel::O0 {
+        assert!(
+            lints
+                .iter()
+                .any(|d| d.severity == Severity::Note && d.kind == oclsim::DiagKind::ProvedSafe),
+            "expected proved-safe notes from the refined sanitizer"
+        );
+    }
 }

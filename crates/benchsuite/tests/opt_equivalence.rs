@@ -1,0 +1,157 @@
+//! Optimization-level equivalence: the mid-end must be semantics
+//! preserving, so every benchmark's handwritten OpenCL version produces
+//! **bit-identical** outputs at `-O0`, `-O1` and `-O2` — floats compared
+//! through their bit patterns, never with a tolerance. Inputs are
+//! randomized per case (sizes and RNG seeds), so the property covers many
+//! NDRange shapes, not one golden instance.
+//!
+//! The runs build through `hpl::opt_level().flag()`, the same path the
+//! benchmark harness uses, and each run creates a fresh context, so no
+//! cached binary from one level can leak into another.
+
+use benchsuite::{ep, floyd, reduction, spmv, transpose};
+use oclsim::OptLevel;
+use proptest::prelude::*;
+
+fn tesla() -> oclsim::Device {
+    hpl::runtime()
+        .device_named("tesla")
+        .expect("default platform has a Tesla-class GPU")
+}
+
+/// The opt level is process-global; tests in this binary must not race on
+/// it. (`parking` on a poisoned lock is fine — the state we guard is
+/// restored by `at_level` even on panic-free early returns.)
+static LEVEL_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Run `f` with the process-global opt level pinned to `level`.
+fn at_level<T>(level: OptLevel, f: impl FnOnce() -> T) -> T {
+    let prev = hpl::opt_level();
+    hpl::set_opt_level(level);
+    let out = f();
+    hpl::set_opt_level(prev);
+    out
+}
+
+fn bits32(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+const HIGHER: [OptLevel; 2] = [OptLevel::O1, OptLevel::O2];
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    #[test]
+    fn optimization_levels_preserve_results_bitwise(
+        seed in any::<u64>(),
+        nf in 1usize..3,
+        rf in 1usize..3,
+        cf in 1usize..3,
+        rc in 1usize..5,
+        pairs in 1usize..4,
+        rows_sp in 2usize..8,
+        dens in 5u64..30,
+    ) {
+        let _serial = LEVEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let device = tesla();
+
+        // EP: deterministic deviate generation from per-thread seeds
+        let e_cfg = ep::EpConfig { class: ep::EpClass::S, pairs_per_thread: pairs };
+        let (e0, _) = at_level(OptLevel::O0, || ep::opencl_version::run(&e_cfg, &device)).unwrap();
+        for level in HIGHER {
+            let (e, _) = at_level(level, || ep::opencl_version::run(&e_cfg, &device)).unwrap();
+            prop_assert_eq!(e.q, e0.q, "EP annulus counts at {}", level);
+            prop_assert_eq!(e.sx.to_bits(), e0.sx.to_bits(), "EP sx at {}", level);
+            prop_assert_eq!(e.sy.to_bits(), e0.sy.to_bits(), "EP sy at {}", level);
+        }
+
+        // Floyd–Warshall on a random graph
+        let f_cfg = floyd::FloydConfig { nodes: 16 * nf, seed };
+        let graph = floyd::generate_graph(&f_cfg);
+        let (f0, _) =
+            at_level(OptLevel::O0, || floyd::opencl_version::run(&f_cfg, &graph, &device)).unwrap();
+        for level in HIGHER {
+            let (f, _) =
+                at_level(level, || floyd::opencl_version::run(&f_cfg, &graph, &device)).unwrap();
+            prop_assert_eq!(&f, &f0, "Floyd distances at {}", level);
+        }
+
+        // tiled transpose at a random (multiple-of-BLOCK) shape
+        let t_cfg = transpose::TransposeConfig { rows: 16 * rf, cols: 16 * cf };
+        let matrix = transpose::generate_matrix(&t_cfg);
+        let (t0, _) =
+            at_level(OptLevel::O0, || transpose::opencl_version::run(&t_cfg, &matrix, &device))
+                .unwrap();
+        for level in HIGHER {
+            let (t, _) =
+                at_level(level, || transpose::opencl_version::run(&t_cfg, &matrix, &device))
+                    .unwrap();
+            prop_assert_eq!(bits32(&t), bits32(&t0), "transpose at {}", level);
+        }
+
+        // CSR spmv on a random sparse matrix
+        let s_cfg = spmv::SpmvConfig {
+            n: 8 * rows_sp,
+            density: dens as f64 / 100.0,
+            seed,
+        };
+        let problem = spmv::generate(&s_cfg);
+        let (s0, _) =
+            at_level(OptLevel::O0, || spmv::opencl_version::run(&s_cfg, &problem, &device))
+                .unwrap();
+        for level in HIGHER {
+            let (s, _) =
+                at_level(level, || spmv::opencl_version::run(&s_cfg, &problem, &device)).unwrap();
+            prop_assert_eq!(bits32(&s), bits32(&s0), "spmv at {}", level);
+        }
+
+        // two-stage reduction, random multiple-of-CHUNK length
+        let r_cfg = reduction::ReductionConfig { n: reduction::CHUNK * rc };
+        let data = reduction::generate_input(&r_cfg);
+        let (r0, _) =
+            at_level(OptLevel::O0, || reduction::opencl_version::run(&r_cfg, &data, &device))
+                .unwrap();
+        for level in HIGHER {
+            let (r, _) =
+                at_level(level, || reduction::opencl_version::run(&r_cfg, &data, &device))
+                    .unwrap();
+            prop_assert_eq!(r.to_bits(), r0.to_bits(), "reduction at {}", level);
+        }
+    }
+}
+
+/// The HPL paths must agree across levels too: run the full HPL version
+/// of each benchmark at every level and bit-compare the verified outputs.
+/// (The HPL runs verify against a host reference internally; this checks
+/// the device outputs against *each other* across optimization levels.)
+#[test]
+fn hpl_versions_agree_across_levels() {
+    let _serial = LEVEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let device = tesla();
+
+    let f_cfg = floyd::FloydConfig { nodes: 16, seed: 9 };
+    let graph = floyd::generate_graph(&f_cfg);
+    let r_cfg = reduction::ReductionConfig {
+        n: reduction::CHUNK * 2,
+    };
+    let data = reduction::generate_input(&r_cfg);
+
+    let mut floyd_out: Vec<Vec<u32>> = Vec::new();
+    let mut red_out: Vec<u32> = Vec::new();
+    for level in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
+        at_level(level, || {
+            hpl::clear_kernel_cache();
+            let (d, _) = floyd::hpl_version::run(&f_cfg, &graph, &device).unwrap();
+            floyd_out.push(d);
+            let (s, _) = reduction::hpl_version::run(&r_cfg, &data, &device).unwrap();
+            red_out.push(s.to_bits());
+        });
+    }
+    hpl::clear_kernel_cache();
+    let _ = hpl::take_kernel_lints();
+    assert_eq!(floyd_out[0], floyd_out[1], "HPL Floyd O0 vs O1");
+    assert_eq!(floyd_out[0], floyd_out[2], "HPL Floyd O0 vs O2");
+    assert_eq!(red_out[0], red_out[1], "HPL reduction O0 vs O1");
+    assert_eq!(red_out[0], red_out[2], "HPL reduction O0 vs O2");
+}

@@ -119,6 +119,53 @@ pub fn take_kernel_lints() -> Vec<oclsim::Diagnostic> {
     std::mem::take(&mut *kernel_lints().lock())
 }
 
+// process-global mid-end optimization level for HPL backend builds;
+// stored as the enum discriminant so reads stay lock-free on the hot path
+static OPT_LEVEL: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(1);
+
+// one-time seed from `HPL_OPT_LEVEL` (accepts `0`/`1`/`2` or
+// `-O0`/`-O1`/`-O2`); lets `ci.sh` run the whole test suite at a pinned
+// level. Runs before the first read *or* write, so an explicit
+// `set_opt_level` always wins over the environment.
+fn seed_opt_level_from_env() {
+    static INIT: std::sync::Once = std::sync::Once::new();
+    INIT.call_once(|| {
+        if let Ok(v) = std::env::var("HPL_OPT_LEVEL") {
+            let lvl = match v.trim() {
+                "0" | "-O0" => 0,
+                "2" | "-O2" => 2,
+                _ => 1,
+            };
+            OPT_LEVEL.store(lvl, Ordering::Relaxed);
+        }
+    });
+}
+
+/// Set the `oclsim` mid-end [`oclsim::OptLevel`] used when compiling
+/// HPL-generated kernels (default `O1`, or `HPL_OPT_LEVEL` from the
+/// environment). Takes effect for subsequent builds; already-cached
+/// binaries are keyed by build options, so kernels compiled at different
+/// levels coexist in the binary cache.
+pub fn set_opt_level(level: oclsim::OptLevel) {
+    seed_opt_level_from_env();
+    let v = match level {
+        oclsim::OptLevel::O0 => 0,
+        oclsim::OptLevel::O1 => 1,
+        oclsim::OptLevel::O2 => 2,
+    };
+    OPT_LEVEL.store(v, Ordering::Relaxed);
+}
+
+/// The mid-end optimization level applied to HPL backend builds.
+pub fn opt_level() -> oclsim::OptLevel {
+    seed_opt_level_from_env();
+    match OPT_LEVEL.load(Ordering::Relaxed) {
+        0 => oclsim::OptLevel::O0,
+        2 => oclsim::OptLevel::O2,
+        _ => oclsim::OptLevel::O1,
+    }
+}
+
 /// Drop every cached kernel (test/bench hook: lets harnesses measure
 /// first-invocation behaviour repeatedly). Dropped entries count as
 /// evictions in [`cache_stats`].
@@ -802,13 +849,16 @@ impl<F: Copy + 'static> Eval<F> {
             build_span.note("device", device.name());
         }
         let ctx = &runtime().entry(device).context;
+        let build_options = opt_level().flag();
         let built = match crate::session::current_tenant() {
-            Some(session) => session.build_program(ctx, device, entry.source.as_str(), ""),
+            Some(session) => {
+                session.build_program(ctx, device, entry.source.as_str(), build_options)
+            }
             None => oclsim::serve::global_binary_cache().get_or_build(
                 ctx,
                 device,
                 entry.source.as_str(),
-                "",
+                build_options,
                 None,
             ),
         }

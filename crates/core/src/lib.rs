@@ -71,8 +71,9 @@ pub use array::{Array, ArrayTransferStats, HostDataMut, HostIndex, KernelIndex};
 pub use codegen::{LineMap, LineMapEntry};
 pub use error::{Error, Result};
 pub use eval::{
-    cache_stats, clear_kernel_cache, eval, kernel_cache_len, kernel_provenance, take_kernel_lints,
-    AsyncEval, CacheEntryInfo, CacheStats, Eval, EvalProfile, KernelArg, KernelProvenance,
+    cache_stats, clear_kernel_cache, eval, kernel_cache_len, kernel_provenance, opt_level,
+    set_opt_level, take_kernel_lints, AsyncEval, CacheEntryInfo, CacheStats, Eval, EvalProfile,
+    KernelArg, KernelProvenance,
 };
 pub use expr::{Expr, IntoExpr};
 pub use ir::{MemFlag, RecordSite};

@@ -36,8 +36,10 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 
 use crate::clc::ast::{self, AddrSpace, BinOp, ClType, Expr, PostOp, Span, Stmt, StmtKind, UnOp};
+use crate::clc::dataflow::IrFacts;
 use crate::clc::{parser, pp, sema};
 use crate::error::Result;
+use crate::exec::ir::Module as IrModule;
 
 // ---------------------------------------------------------------------------
 // public diagnostics types
@@ -46,6 +48,9 @@ use crate::error::Result;
 /// How bad a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Severity {
+    /// Informational: a conservative finding ruled out (or an access proved
+    /// safe) by the IR dataflow analyses. Never fails a build.
+    Note,
     /// Possible problem the analysis could not prove either way.
     Warning,
     /// Definite problem (undefined behaviour or a guaranteed fault).
@@ -58,6 +63,9 @@ pub enum DiagKind {
     BarrierDivergence,
     DataRace,
     OutOfBounds,
+    /// A conservative finding demoted (or an access positively verified) by
+    /// the dataflow-backed refinement; always [`Severity::Note`].
+    ProvedSafe,
 }
 
 impl DiagKind {
@@ -66,6 +74,7 @@ impl DiagKind {
             DiagKind::BarrierDivergence => "barrier-divergence",
             DiagKind::DataRace => "race",
             DiagKind::OutOfBounds => "out-of-bounds",
+            DiagKind::ProvedSafe => "proved-safe",
         }
     }
 }
@@ -83,6 +92,7 @@ pub struct Diagnostic {
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let sev = match self.severity {
+            Severity::Note => "note",
             Severity::Warning => "warning",
             Severity::Error => "error",
         };
@@ -413,6 +423,21 @@ struct FuncMeta {
 
 /// Analyse a parsed translation unit (assumed to have passed `sema`).
 pub fn analyze_tu(tu: &ast::TranslationUnit) -> Analysis {
+    analyze_tu_inner(tu, None)
+}
+
+/// Analyse a translation unit with IR-dataflow refinement: per-line
+/// constant/uniformity facts about stored values demote conservative race
+/// warnings to [`Severity::Note`] findings of kind [`DiagKind::ProvedSafe`],
+/// and interval analysis adds positive "proved in bounds" notes for
+/// fixed-extent array accesses. `module` must be the (unoptimized) sema
+/// output for the same translation unit. Error-severity findings are never
+/// affected — only warnings can be demoted, and only notes can be added.
+pub fn analyze_tu_refined(tu: &ast::TranslationUnit, module: &IrModule) -> Analysis {
+    analyze_tu_inner(tu, Some(module))
+}
+
+fn analyze_tu_inner(tu: &ast::TranslationUnit, module: Option<&IrModule>) -> Analysis {
     let metas = compute_func_metas(tu);
     let mut out = Analysis::default();
     for f in &tu.funcs {
@@ -420,7 +445,30 @@ pub fn analyze_tu(tu: &ast::TranslationUnit) -> Analysis {
             continue;
         }
         let mut ck = Checker::new(tu, &metas, f);
+        ck.ir = module
+            .and_then(|m| m.kernels.get(&f.name).map(|&id| &m.funcs[id]))
+            .map(IrFacts::for_func);
         ck.run(f);
+        if let Some(ir) = &ck.ir {
+            // positive verdicts: every fixed-extent array access on the line
+            // is proved in bounds by the interval analysis
+            let notes: Vec<(usize, Span)> = ir
+                .fixed_bounds
+                .iter()
+                .filter(|(_, &(_, ok))| ok)
+                .map(|(&line, &(span, _))| (line, span))
+                .collect();
+            for (_, span) in notes {
+                ck.diags.push(Diagnostic {
+                    kernel: f.name.clone(),
+                    span,
+                    severity: Severity::Note,
+                    kind: DiagKind::ProvedSafe,
+                    message: "fixed-array access proved in bounds by value-range analysis"
+                        .to_string(),
+                });
+            }
+        }
         let mut seen = HashSet::new();
         for d in ck.diags {
             if seen.insert((d.span, d.kind)) {
@@ -446,6 +494,15 @@ pub fn analyze_source(source: &str) -> Result<Analysis> {
     let tu = parser::parse(&src)?;
     sema::analyze(&tu)?;
     Ok(analyze_tu(&tu))
+}
+
+/// [`analyze_source`] with the IR-dataflow refinement of
+/// [`analyze_tu_refined`] applied.
+pub fn analyze_source_refined(source: &str) -> Result<Analysis> {
+    let src = pp::preprocess(source, &HashMap::new())?;
+    let tu = parser::parse(&src)?;
+    let module = sema::analyze(&tu)?;
+    Ok(analyze_tu_refined(&tu, &module))
 }
 
 fn compute_func_metas(tu: &ast::TranslationUnit) -> HashMap<String, FuncMeta> {
@@ -610,6 +667,9 @@ struct Checker<'a> {
     buf_names: HashMap<Buf, String>,
     /// Declared extents of local/private arrays, by `Buf`.
     arr_lens: HashMap<Buf, i128>,
+    /// Per-line IR dataflow facts for the refined pass; `None` runs the
+    /// purely syntactic PR 2 analysis.
+    ir: Option<IrFacts>,
 }
 
 impl<'a> Checker<'a> {
@@ -635,6 +695,7 @@ impl<'a> Checker<'a> {
             used_axes,
             buf_names: HashMap::new(),
             arr_lens: HashMap::new(),
+            ir: None,
         }
     }
 
@@ -1620,10 +1681,15 @@ impl<'a> Checker<'a> {
                     } else {
                         format!(" (other access at line {})", x.span)
                     };
+                    let kind = if severity == Severity::Note {
+                        DiagKind::ProvedSafe
+                    } else {
+                        DiagKind::DataRace
+                    };
                     self.diag(
                         w.span,
                         severity,
-                        DiagKind::DataRace,
+                        kind,
                         format!("{msg}: {what} conflict on `{name}` between work-items with no intervening barrier{other}"),
                     );
                 }
@@ -1635,6 +1701,9 @@ impl<'a> Checker<'a> {
     fn judge_pair(&self, w: &Access, x: &Access) -> Option<(Severity, String)> {
         let cross_group = w.space == AddrSpace::Global;
         let (Some(pw), Some(px)) = (&w.idx, &x.idx) else {
+            if let Some(note) = self.ir_same_value_note(w, x, cross_group) {
+                return Some(note);
+            }
             return Some((
                 Severity::Warning,
                 "possible data race (index not analysable)".into(),
@@ -1663,6 +1732,9 @@ impl<'a> Checker<'a> {
             if pw.sub(px).is_const().is_some_and(|c| c != 0) {
                 return None; // two distinct fixed cells
             }
+            if let Some(note) = self.ir_same_value_note(w, x, cross_group) {
+                return Some(note);
+            }
             return Some((Severity::Warning, "possible data race".into()));
         }
         if pw == px && self.injective_per_item(pw, w.space, &w.cons, &x.cons) {
@@ -1679,7 +1751,59 @@ impl<'a> Checker<'a> {
         if gap_positive(&w_lo, &x_hi) {
             return None;
         }
+        if let Some(note) = self.ir_same_value_note(w, x, cross_group) {
+            return Some(note);
+        }
         Some((Severity::Warning, "possible data race".into()))
+    }
+
+    /// IR-dataflow demotion of a would-be race warning: if every write in
+    /// the pair provably stores a value that is identical across the
+    /// conflicting work-items, a collision — whether or not the indices
+    /// overlap — cannot produce divergent memory contents, mirroring the
+    /// uniform-address/uniform-value rule the syntactic pass already applies.
+    /// Two *distinct* write sites additionally need the same constant bits
+    /// (per-site uniformity alone allows two different uniform values).
+    fn ir_same_value_note(
+        &self,
+        w: &Access,
+        x: &Access,
+        cross_group: bool,
+    ) -> Option<(Severity, String)> {
+        let ir = self.ir.as_ref()?;
+        if !w.is_write {
+            return None;
+        }
+        let uni_ok = |acc: &Access| -> bool {
+            if !acc.is_write {
+                return true;
+            }
+            match ir.store_uni.get(&acc.span.line) {
+                Some(u) => {
+                    if cross_group {
+                        u.guniform
+                    } else {
+                        u.uniform
+                    }
+                }
+                None => false,
+            }
+        };
+        if !uni_ok(w) || !uni_ok(x) {
+            return None;
+        }
+        let same_site = std::ptr::eq(w, x) || w.span.line == x.span.line;
+        if !same_site && x.is_write {
+            let cw = ir.store_const.get(&w.span.line).copied().flatten()?;
+            let cx = ir.store_const.get(&x.span.line).copied().flatten()?;
+            if cw != cx {
+                return None;
+            }
+        }
+        Some((
+            Severity::Note,
+            "data race ruled out (dataflow proves all work-items store one value)".into(),
+        ))
     }
 
     /// Is the index injective over the executing work-items? Requires the

@@ -3,7 +3,9 @@
 
 pub mod analysis;
 pub mod ast;
+pub mod dataflow;
 pub mod lexer;
+pub mod opt;
 pub mod parser;
 pub mod pp;
 pub mod sema;

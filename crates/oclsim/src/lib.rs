@@ -67,6 +67,7 @@ pub mod types;
 
 pub use buffer::{Buffer, MemAccess};
 pub use clc::analysis::{Analysis, DiagKind, Diagnostic, Severity, Strictness};
+pub use clc::opt::{OptLevel, PassStats};
 pub use context::Context;
 pub use device::{Device, DeviceProfile, DeviceType};
 pub use error::{Error, Result};

@@ -10,6 +10,7 @@ use parking_lot::Mutex;
 use crate::buffer::Buffer;
 use crate::clc::analysis::{self, Analysis, DiagKind, Diagnostic, Severity, Strictness};
 use crate::clc::ast::AddrSpace;
+use crate::clc::opt::{self, OptLevel, PassStats};
 use crate::clc::{parser, pp, sema};
 use crate::context::Context;
 use crate::error::{Error, Result};
@@ -37,6 +38,10 @@ struct ProgramInner {
     strictness: Mutex<Strictness>,
     /// Run the dynamic shadow-memory race sanitizer on launches.
     sanitize: Mutex<bool>,
+    /// Mid-end optimization level applied by [`Program::build`].
+    opt_level: Mutex<OptLevel>,
+    /// Per-pass rewrite statistics from the last successful build.
+    pass_stats: Mutex<PassStats>,
 }
 
 impl Program {
@@ -53,29 +58,39 @@ impl Program {
                 diags: Mutex::new(Vec::new()),
                 strictness: Mutex::new(Strictness::default()),
                 sanitize: Mutex::new(false),
+                opt_level: Mutex::new(OptLevel::default()),
+                pass_stats: Mutex::new(PassStats::default()),
             }),
         }
     }
 
     /// Compile the program. `options` supports `-D NAME[=VALUE]` (and the
     /// attached `-DNAME[=VALUE]` form); `-w` / `-Werror` set the sanitizer
-    /// [`Strictness`] to [`Strictness::Off`] / [`Strictness::Deny`]; `-cl-*`
-    /// flags are accepted and ignored, as a real driver would for
-    /// unknown-but-valid options.
+    /// [`Strictness`] to [`Strictness::Off`] / [`Strictness::Deny`];
+    /// `-O0`/`-O1`/`-O2` set the mid-end [`OptLevel`]; `-cl-*` flags are
+    /// accepted and ignored, as a real driver would for unknown-but-valid
+    /// options.
     ///
     /// After semantic analysis the kernel sanitizer runs over the AST
     /// (unless strictness is `Off`): its findings are appended to the build
     /// log and to the [`Program::diagnostics`] sink, and under
-    /// [`Strictness::Deny`] any error-severity finding fails the build.
+    /// [`Strictness::Deny`] any error-severity finding fails the build. At
+    /// `-O1` and above the sanitizer uses the IR dataflow refinement
+    /// ([`analysis::analyze_tu_refined`]) and the [`opt`] pass pipeline then
+    /// rewrites the module (spans preserved; see [`Program::pass_stats`]).
     pub fn build(&self, options: &str) -> Result<()> {
         let mut build_span = crate::telemetry::span("clc", "build");
         crate::telemetry::metrics().builds.inc();
         let start = std::time::Instant::now();
-        let (defines, strict_opt) = parse_build_options(options)?;
+        let (defines, strict_opt, level_opt) = parse_build_options(options)?;
         if let Some(s) = strict_opt {
             *self.inner.strictness.lock() = s;
         }
+        if let Some(l) = level_opt {
+            *self.inner.opt_level.lock() = l;
+        }
         let strictness = *self.inner.strictness.lock();
+        let opt_level = *self.inner.opt_level.lock();
         let result = {
             let pp_span = crate::telemetry::span("clc", "preprocess");
             let preprocessed = pp::preprocess(&self.inner.source, &defines);
@@ -106,12 +121,18 @@ impl Program {
             }
         }
         match result {
-            Ok((tu, module)) => {
+            Ok((tu, mut module)) => {
                 let mut log = String::from("build successful");
                 let mut denied = false;
                 if strictness != Strictness::Off {
                     let analysis_span = crate::telemetry::span("clc", "analysis");
-                    let analysis = analysis::analyze_tu(&tu);
+                    // at O1+ the IR dataflow analyses sharpen the sanitizer
+                    // (the module here is still the unoptimized sema output)
+                    let analysis = if opt_level == OptLevel::O0 {
+                        analysis::analyze_tu(&tu)
+                    } else {
+                        analysis::analyze_tu_refined(&tu, &module)
+                    };
                     drop(analysis_span);
                     for d in &analysis.diagnostics {
                         log.push('\n');
@@ -133,6 +154,14 @@ impl Program {
                     *self.inner.build_log.lock() = log.clone();
                     return Err(Error::BuildFailure(log));
                 }
+                let mut opt_span = crate::telemetry::span("clc", "opt");
+                let stats = opt::optimize(&mut module, opt_level);
+                if crate::telemetry::enabled() {
+                    opt_span.note("level", opt_level.to_string());
+                    opt_span.note("rewrites", stats.total());
+                }
+                drop(opt_span);
+                *self.inner.pass_stats.lock() = stats;
                 *self.inner.built.lock() = Some(Arc::new(module));
                 *self.inner.build_log.lock() = log;
                 Ok(())
@@ -154,6 +183,23 @@ impl Program {
     /// The current sanitizer strictness.
     pub fn strictness(&self) -> Strictness {
         *self.inner.strictness.lock()
+    }
+
+    /// Set the mid-end optimization level for subsequent
+    /// [`Program::build`] calls (equivalent to passing `-O0`/`-O1`/`-O2`
+    /// in the build options, which take precedence when present).
+    pub fn set_opt_level(&self, level: OptLevel) {
+        *self.inner.opt_level.lock() = level;
+    }
+
+    /// The current mid-end optimization level.
+    pub fn opt_level(&self) -> OptLevel {
+        *self.inner.opt_level.lock()
+    }
+
+    /// Per-pass rewrite statistics from the last successful build.
+    pub fn pass_stats(&self) -> PassStats {
+        *self.inner.pass_stats.lock()
     }
 
     /// Enable/disable the dynamic shadow-memory race sanitizer for kernels
@@ -243,9 +289,16 @@ impl Program {
     }
 }
 
-fn parse_build_options(options: &str) -> Result<(HashMap<String, String>, Option<Strictness>)> {
+type BuildOptions = (
+    HashMap<String, String>,
+    Option<Strictness>,
+    Option<OptLevel>,
+);
+
+fn parse_build_options(options: &str) -> Result<BuildOptions> {
     let mut defines = HashMap::new();
     let mut strictness = None;
+    let mut level = None;
     let mut it = options.split_whitespace().peekable();
     while let Some(tok) = it.next() {
         if tok == "-D" {
@@ -259,13 +312,15 @@ fn parse_build_options(options: &str) -> Result<(HashMap<String, String>, Option
             strictness = Some(Strictness::Off);
         } else if tok == "-Werror" {
             strictness = Some(Strictness::Deny);
+        } else if let Some(l) = OptLevel::from_flag(tok) {
+            level = Some(l);
         } else if tok.starts_with("-cl-") {
             // accepted and ignored
         } else {
             return Err(Error::BuildFailure(format!("unknown build option `{tok}`")));
         }
     }
-    Ok((defines, strictness))
+    Ok((defines, strictness, level))
 }
 
 fn insert_define(defines: &mut HashMap<String, String>, def: &str) {

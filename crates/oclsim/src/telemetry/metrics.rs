@@ -199,6 +199,19 @@ pub struct Metrics {
     pub dma_bytes: Counter,
     /// `Program::build` invocations.
     pub builds: Counter,
+    // --- oclsim::clc optimizing mid-end (canonical: per-pass work) ---
+    /// Expressions folded to constants by the mid-end.
+    pub opt_const_folded: Counter,
+    /// Slot reads replaced with constants/copies by const-prop.
+    pub opt_const_propagated: Counter,
+    /// Dead statements removed by DCE.
+    pub opt_dce_removed: Counter,
+    /// Branches/loops resolved statically by CFG simplify.
+    pub opt_branches_simplified: Counter,
+    /// Redundant evaluations replaced by local CSE.
+    pub opt_cse_replaced: Counter,
+    /// Loop-invariant expressions hoisted by LICM.
+    pub opt_licm_hoisted: Counter,
     // --- oclsim::serve shared binary cache + sessions (canonical) ---
     /// Shared binary-cache lookups served from a resident binary.
     pub serve_cache_hits: Counter,
@@ -253,6 +266,12 @@ impl Metrics {
             dma_commands: Counter::default(),
             dma_bytes: Counter::default(),
             builds: Counter::default(),
+            opt_const_folded: Counter::default(),
+            opt_const_propagated: Counter::default(),
+            opt_dce_removed: Counter::default(),
+            opt_branches_simplified: Counter::default(),
+            opt_cse_replaced: Counter::default(),
+            opt_licm_hoisted: Counter::default(),
             serve_cache_hits: Counter::default(),
             serve_cache_misses: Counter::default(),
             serve_cache_evictions: Counter::default(),
@@ -328,6 +347,12 @@ pub fn reset_metrics() {
     m.dma_commands.reset();
     m.dma_bytes.reset();
     m.builds.reset();
+    m.opt_const_folded.reset();
+    m.opt_const_propagated.reset();
+    m.opt_dce_removed.reset();
+    m.opt_branches_simplified.reset();
+    m.opt_cse_replaced.reset();
+    m.opt_licm_hoisted.reset();
     m.serve_cache_hits.reset();
     m.serve_cache_misses.reset();
     m.serve_cache_evictions.reset();
@@ -487,6 +512,42 @@ pub fn metrics_text(canonical: bool) -> String {
         "oclsim_builds_total",
         "Program::build invocations",
         &m.builds,
+    );
+    counter(
+        &mut out,
+        "oclsim_clc_opt_const_folded_total",
+        "expressions folded to constants by the mid-end",
+        &m.opt_const_folded,
+    );
+    counter(
+        &mut out,
+        "oclsim_clc_opt_const_propagated_total",
+        "slot reads replaced with constants/copies by const-prop",
+        &m.opt_const_propagated,
+    );
+    counter(
+        &mut out,
+        "oclsim_clc_opt_dce_removed_total",
+        "dead statements removed by DCE",
+        &m.opt_dce_removed,
+    );
+    counter(
+        &mut out,
+        "oclsim_clc_opt_branches_simplified_total",
+        "branches/loops resolved statically by CFG simplify",
+        &m.opt_branches_simplified,
+    );
+    counter(
+        &mut out,
+        "oclsim_clc_opt_cse_replaced_total",
+        "redundant evaluations replaced by local CSE",
+        &m.opt_cse_replaced,
+    );
+    counter(
+        &mut out,
+        "oclsim_clc_opt_licm_hoisted_total",
+        "loop-invariant expressions hoisted by LICM",
+        &m.opt_licm_hoisted,
     );
     counter(
         &mut out,

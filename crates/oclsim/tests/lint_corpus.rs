@@ -238,3 +238,156 @@ fn launch_oob_rejected_in_deny_mode_and_trapped_in_warn() {
     p.set_strictness(Strictness::Deny);
     r.queue.enqueue_ndrange(&k, &[4], Some(&[4])).unwrap();
 }
+
+// ---- IR-dataflow refinement: analysis-backed sanitizer precision -------------------
+
+const PROVED_SAFE: &str = include_str!("lint_corpus/proved_safe.cl");
+
+/// Every corpus source, for whole-corpus precision accounting.
+const CORPUS: &[&str] = &[
+    DIVERGENT_BARRIER,
+    RACY_TRANSPOSE,
+    OOB_FIXED_ARRAY,
+    OOB_LAUNCH,
+    UNIFORM_ADDR_RACE,
+    PROVED_SAFE,
+];
+
+#[test]
+fn refined_analysis_strictly_reduces_corpus_warnings() {
+    use oclsim::clc::analysis::analyze_source_refined;
+    let mut plain_warnings = 0usize;
+    let mut refined_warnings = 0usize;
+    for src in CORPUS {
+        let plain = analyze_source(src).unwrap();
+        let refined = analyze_source_refined(src).unwrap();
+        plain_warnings += plain
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count();
+        refined_warnings += refined
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count();
+        // no Deny-level finding may disappear: the refinement only ever
+        // touches warnings
+        let errs = |a: &oclsim::Analysis| {
+            a.diagnostics
+                .iter()
+                .filter(|d| d.severity == Severity::Error)
+                .map(|d| (d.kernel.clone(), d.span, d.message.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(errs(&plain), errs(&refined), "errors must be preserved");
+    }
+    assert!(
+        refined_warnings < plain_warnings,
+        "refinement must strictly reduce conservative warnings \
+         ({refined_warnings} vs {plain_warnings})"
+    );
+}
+
+#[test]
+fn proved_safe_corpus_demotes_to_notes_with_ranges() {
+    use oclsim::clc::analysis::analyze_source_refined;
+    // syntactic pass: both kernels draw conservative race warnings
+    let plain = analyze_source(PROVED_SAFE).unwrap();
+    assert!(
+        plain
+            .diagnostics
+            .iter()
+            .any(|d| d.kernel == "scatter_flag" && d.severity == Severity::Warning),
+        "{:?}",
+        plain.diagnostics
+    );
+    assert!(
+        plain
+            .diagnostics
+            .iter()
+            .any(|d| d.kernel == "masked_mark" && d.severity == Severity::Warning),
+        "{:?}",
+        plain.diagnostics
+    );
+    // refined pass: no warnings left, proved-safe notes in their place
+    let refined = analyze_source_refined(PROVED_SAFE).unwrap();
+    assert!(
+        refined
+            .diagnostics
+            .iter()
+            .all(|d| d.severity != Severity::Warning && d.severity != Severity::Error),
+        "{:?}",
+        refined.diagnostics
+    );
+    for kernel in ["scatter_flag", "masked_mark"] {
+        assert!(
+            refined.diagnostics.iter().any(|d| d.kernel == kernel
+                && d.kind == DiagKind::ProvedSafe
+                && d.severity == Severity::Note),
+            "expected a proved-safe note for `{kernel}`: {:?}",
+            refined.diagnostics
+        );
+    }
+    // the loop-guarded private scratch accesses are proved in bounds by
+    // the interval analysis
+    assert!(
+        refined
+            .diagnostics
+            .iter()
+            .any(|d| d.kernel == "clamped_read" && d.message.contains("in bounds")),
+        "{:?}",
+        refined.diagnostics
+    );
+}
+
+#[test]
+fn refinement_keeps_genuine_findings() {
+    use oclsim::clc::analysis::analyze_source_refined;
+    // racy_transpose stores *loaded data* (varying per item): the dataflow
+    // pass must not prove it safe
+    let refined = analyze_source_refined(RACY_TRANSPOSE).unwrap();
+    assert!(
+        refined
+            .diagnostics
+            .iter()
+            .any(|d| d.kind == DiagKind::DataRace && d.severity == Severity::Warning),
+        "{:?}",
+        refined.diagnostics
+    );
+    // uniform_addr_race stays a definite error
+    let refined = analyze_source_refined(UNIFORM_ADDR_RACE).unwrap();
+    assert!(
+        refined
+            .diagnostics
+            .iter()
+            .any(|d| d.kind == DiagKind::DataRace && d.severity == Severity::Error),
+        "{:?}",
+        refined.diagnostics
+    );
+}
+
+#[test]
+fn notes_never_deny_and_build_at_o2() {
+    // -Werror + -O2: proved-safe notes must not fail the build
+    let r = rig();
+    let p = Program::from_source(&r.ctx, PROVED_SAFE);
+    p.build("-Werror -O2").unwrap();
+    assert!(
+        p.diagnostics()
+            .iter()
+            .any(|d| d.kind == DiagKind::ProvedSafe),
+        "{:?}",
+        p.diagnostics()
+    );
+    // and at -O0 the conservative warnings come back (reference behavior)
+    let p0 = Program::from_source(&r.ctx, PROVED_SAFE);
+    p0.build("-O0").unwrap();
+    assert!(
+        p0.diagnostics()
+            .iter()
+            .any(|d| d.severity == Severity::Warning),
+        "{:?}",
+        p0.diagnostics()
+    );
+}

@@ -1,0 +1,34 @@
+/* SAFE BUT OPAQUE TO THE SYNTACTIC PASS: the scatter index is reduced
+ * modulo a runtime parameter (scatter_flag) or derived from loaded data
+ * (masked_mark), so the affine analysis cannot prove disjointness and
+ * conservatively warns. The IR dataflow refinement proves every work-item
+ * stores the same constant, and that the masked local index stays inside
+ * the declared extent, demoting both warnings to proved-safe notes. */
+__kernel void scatter_flag(__global int* flags, const int n) {
+    int i = (int)get_global_id(0);
+    int j = (i * 7 + 3) % n;
+    flags[j] = 1;
+}
+
+__kernel void masked_mark(__global const int* in) {
+    __local int marks[16];
+    int i = (int)get_global_id(0);
+    int b = in[i] & 15;
+    marks[b] = 1;
+}
+
+/* The private scratch accesses are guarded by the loop bounds: the
+ * interval analysis proves 0 <= j < 8 against the declared extent and
+ * records positive proved-in-bounds notes. */
+__kernel void clamped_read(__global float* out, __global const float* in) {
+    float tmp[8];
+    int i = (int)get_global_id(0);
+    for (int j = 0; j < 8; j = j + 1) {
+        tmp[j] = in[i * 8 + j];
+    }
+    float s = 0.0f;
+    for (int j = 0; j < 8; j = j + 1) {
+        s = s + tmp[j];
+    }
+    out[i] = s;
+}

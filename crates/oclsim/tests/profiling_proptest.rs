@@ -71,6 +71,54 @@ fn run_with_workers(shape: Shape, workers: usize) -> (String, u64) {
     (format!("{counters:?}"), timing.device_seconds.to_bits())
 }
 
+/// A kernel with real mid-end opportunities: a foldable constant, a
+/// loop-invariant expression, and a repeated pure subexpression. Built at
+/// `-O2` this exercises span preservation through the rewrites.
+const OPT_SRC: &str = "__kernel void optk(__global float* dst, __global const float* src,
+                    const int stride, const int modr, const int iters) {
+    int i = (int)get_global_id(0);
+    float bias = (float)(2 + 3) * 0.125f;
+    float a = src[i * stride] + bias;
+    for (int j = 0; j < iters; j++) {
+        float h = (float)(stride + modr) * 0.5f;
+        a = a * 1.001f + h;
+    }
+    if ((i + modr) * (i + modr) % modr == 0) { a += src[i]; }
+    dst[i] = a;
+}";
+
+/// Like [`run_with_workers`] but building [`OPT_SRC`] at `-O2`; also
+/// returns the line-table/totals pair and the mid-end rewrite count so the
+/// caller can assert the per-line attribution survived the transforms.
+fn run_optimized(shape: Shape, workers: usize) -> (String, u64, GroupCounters, GroupCounters, u64) {
+    let device = Device::new(DeviceProfile::tesla_c2050());
+    let ctx = Context::new(std::slice::from_ref(&device)).unwrap();
+    let p = Program::from_source(&ctx, OPT_SRC);
+    p.build("-O2").unwrap();
+    let k = p.kernel("optk").unwrap();
+    let n = shape.groups * shape.local;
+    let dst = ctx
+        .create_buffer(4 * n, oclsim::MemAccess::ReadWrite)
+        .unwrap();
+    let src = ctx
+        .create_buffer(4 * n * 34, oclsim::MemAccess::ReadOnly)
+        .unwrap();
+    k.set_arg_buffer(0, &dst).unwrap();
+    k.set_arg_buffer(1, &src).unwrap();
+    k.set_arg_scalar(2, shape.stride).unwrap();
+    k.set_arg_scalar(3, shape.modr).unwrap();
+    k.set_arg_scalar(4, shape.iters).unwrap();
+    let (timing, counters) =
+        profile_launch(&k, &[n], Some(&[shape.local]), &device, workers).unwrap();
+    (
+        format!("{counters:?}"),
+        timing.device_seconds.to_bits(),
+        counters.lines_sum(),
+        counters.totals,
+        p.pass_stats().total(),
+    )
+}
+
 /// The same launch through a profiled queue of either discipline.
 fn run_on_queue(shape: Shape, out_of_order: bool) -> String {
     let device = Device::new(DeviceProfile::tesla_c2050());
@@ -112,6 +160,20 @@ proptest! {
         let (c4, t4) = run_with_workers(s, 4);
         prop_assert_eq!(&c1, &c4, "shape: {:?}", s);
         prop_assert_eq!(t1, t4, "modeled time drifted for {:?}", s);
+    }
+
+    /// The invariants survive the optimizing mid-end: at `-O2` the
+    /// counters and modeled time are still worker-count invariant, and the
+    /// per-line table still accounts for every counter — the transforms
+    /// preserved source spans, or the attribution would leak to line 0.
+    #[test]
+    fn optimized_builds_stay_deterministic_and_fully_attributed(s in shape()) {
+        let (c1, t1, lines1, totals1, rewrites) = run_optimized(s, 1);
+        let (c4, t4, _, _, _) = run_optimized(s, 4);
+        prop_assert!(rewrites > 0, "OPT_SRC gave the mid-end nothing to do");
+        prop_assert_eq!(&c1, &c4, "-O2 counters drifted for {:?}", s);
+        prop_assert_eq!(t1, t4, "-O2 modeled time drifted for {:?}", s);
+        prop_assert_eq!(lines1, totals1, "per-line sums broke at -O2 for {:?}", s);
     }
 
     /// Counters are invariant under the queue discipline.
