@@ -23,6 +23,16 @@ OCLSIM_THREADS=1 cargo test --workspace -q
 echo "== cargo test (OCLSIM_THREADS=4)"
 OCLSIM_THREADS=4 cargo test --workspace -q
 
+# The execution backend must not change observable behaviour either: the
+# default runs above exercise the compiled work-group bytecode VM (wg, the
+# default); the same suite repeats with every launch pinned to the
+# reference SIMT interpreter, under both dispatcher pool sizes.
+echo "== cargo test (OCLSIM_BACKEND=ref, OCLSIM_THREADS=1)"
+OCLSIM_BACKEND=ref OCLSIM_THREADS=1 cargo test --workspace -q
+
+echo "== cargo test (OCLSIM_BACKEND=ref, OCLSIM_THREADS=4)"
+OCLSIM_BACKEND=ref OCLSIM_THREADS=4 cargo test --workspace -q
+
 # The optimizing mid-end must not change observable behaviour at any
 # level: the full suite repeats with every HPL build pinned to -O0 (the
 # untouched reference IR) and -O2 (all passes), each under both dispatcher
@@ -61,6 +71,17 @@ echo "== report -- annotate (per-line source listings byte-identical across OCLS
 OCLSIM_THREADS=1 cargo run --release -p bench --bin report -- annotate > target/annotate-t1.out
 OCLSIM_THREADS=4 cargo run --release -p bench --bin report -- annotate > target/annotate-t4.out
 diff target/annotate-t1.out target/annotate-t4.out
+
+echo "== report -- annotate byte-identical across execution backends (ref vs wg)"
+# the compiled work-group VM routes every counter delta through the same
+# per-line chokepoints as the reference interpreter, so the entire
+# annotate listing — launch totals, per-line counters, DSL provenance —
+# must not depend on which engine executed the groups (the default runs
+# above used the wg backend)
+OCLSIM_BACKEND=ref OCLSIM_THREADS=1 cargo run --release -p bench --bin report -- annotate > target/annotate-ref.out
+diff target/annotate-t1.out target/annotate-ref.out
+OCLSIM_BACKEND=ref OCLSIM_THREADS=1 cargo run --release -p bench --bin report -- profile > target/profile-ref.out
+diff target/profile-t1.out target/profile-ref.out
 
 echo "== report -- annotate at -O2 (attribution survives the mid-end, byte-identical across OCLSIM_THREADS)"
 # the same gate with every kernel optimized: DCE/CSE/LICM rewrite the IR

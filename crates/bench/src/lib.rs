@@ -639,6 +639,10 @@ pub mod lint {
     ) -> Result<(), String> {
         let analysis = analyze_source(source)
             .map_err(|e| format!("{benchmark} ({variant}) failed to compile: {e}"))?;
+        // which kernels the compiled work-group backend declines (notes;
+        // they never make a kernel "dirty")
+        let fallbacks = oclsim::exec::wg::fallback_report(source)
+            .map_err(|e| format!("{benchmark} ({variant}) failed to plan: {e}"))?;
         let mut names: Vec<&String> = analysis.kernels.keys().collect();
         names.sort();
         for name in names {
@@ -647,6 +651,15 @@ pub mod lint {
                 .iter()
                 .filter(|d| &d.kernel == name)
                 .collect();
+            let mut messages: Vec<String> =
+                diags.iter().map(|d| d.render_with_source(source)).collect();
+            for (kernel, line, reason) in &fallbacks {
+                if kernel == name {
+                    messages.push(format!(
+                        "note[backend-fallback] kernel `{kernel}`, line {line}: runs on the                          reference interpreter: {reason}"
+                    ));
+                }
+            }
             rows.push(KernelVerdict {
                 benchmark,
                 variant,
@@ -659,7 +672,7 @@ pub mod lint {
                     .iter()
                     .filter(|d| d.severity == Severity::Error)
                     .count(),
-                messages: diags.iter().map(|d| d.render_with_source(source)).collect(),
+                messages,
             });
         }
         Ok(())

@@ -77,6 +77,16 @@ pub struct BenchEntry {
     /// Mid-end rewrite counters for the benchmark's HPL-generated kernels
     /// at `-O2`. Additive like `opt_modeled_s`.
     pub pass_stats: PassStats,
+    /// Execution backend active for the run (`"ref"` = SIMT interpreter,
+    /// `"wg"` = compiled work-group bytecode VM). Additive: the gate
+    /// never reads it, but the committed JSON records which engine
+    /// produced the trajectory.
+    pub backend: &'static str,
+    /// Host wall seconds of the `sched` span category alone (kernel
+    /// dispatch + work-group execution), pulled out of
+    /// `host_wall_seconds` for easy trend diffing. Machine-dependent,
+    /// excluded from the gate like every other wall time.
+    pub sched_host_wall_s: f64,
 }
 
 /// The full trajectory run, plus the raw material for the unified
@@ -137,6 +147,7 @@ fn compute_inner(device: &Device) -> Result<BenchRun, benchsuite::Error> {
                 *host_wall_seconds.entry(s.category).or_insert(0.0) += s.wall_seconds();
             }
             let (opt_modeled_s, pass_stats) = o2_trend(bench, sync, device)?;
+            let sched_host_wall_s = host_wall_seconds.get("sched").copied().unwrap_or(0.0);
             entries.push(BenchEntry {
                 bench,
                 mode: p.mode,
@@ -152,6 +163,8 @@ fn compute_inner(device: &Device) -> Result<BenchRun, benchsuite::Error> {
                 hot_line: p.hot_line.clone(),
                 opt_modeled_s,
                 pass_stats,
+                backend: oclsim::backend_name(),
+                sched_host_wall_s,
             });
             if bench == "floyd" && sync {
                 floyd_events = p.events.clone();
@@ -265,6 +278,12 @@ pub fn to_json_with_soak(entries: &[BenchEntry], soak: Option<&SoakSummary>) -> 
         let _ = writeln!(out, "      \"cache_misses\": {},", e.cache_misses);
         let _ = writeln!(out, "      \"redundant_uploads\": {},", e.redundant_uploads);
         let _ = writeln!(out, "      \"hpl_sloc\": {},", e.hpl_sloc);
+        let _ = writeln!(out, "      \"backend\": \"{}\",", json_escape(e.backend));
+        let _ = writeln!(
+            out,
+            "      \"sched_host_wall_s\": {:.6},",
+            e.sched_host_wall_s
+        );
         let _ = writeln!(out, "      \"opt_modeled_s\": {:.9},", e.opt_modeled_s);
         let s = &e.pass_stats;
         let _ = writeln!(
@@ -450,6 +469,8 @@ mod tests {
                 licm_hoisted: 1,
                 ..PassStats::default()
             },
+            backend: "wg",
+            sched_host_wall_s: 0.002,
         }
     }
 
@@ -519,6 +540,8 @@ mod tests {
       "mode": "sync",
       "modeled_device_seconds": 0.001,
       "redundant_uploads": 0,
+      "backend": "ref",
+      "sched_host_wall_s": 123.0,
       "future_field": "ignored"
     }
   ]

@@ -181,6 +181,15 @@ impl Buffer {
                 .is_some_and(|e| e <= self.inner.len_bytes)
     }
 
+    /// Raw word storage — the same relaxed-atomic cells `device_load` /
+    /// `device_store` go through, exposed so a pre-validated bulk access
+    /// pass can hoist the slice lookup and size dispatch out of its lane
+    /// loop.
+    #[inline]
+    pub(crate) fn device_words(&self) -> &[AtomicU32] {
+        &self.inner.words
+    }
+
     /// Load `size` (1/2/4/8) bytes at `byte_addr`, zero-extended into u64.
     /// Caller must have validated with [`Buffer::device_access_ok`].
     #[inline]

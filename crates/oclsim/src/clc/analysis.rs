@@ -66,6 +66,9 @@ pub enum DiagKind {
     /// A conservative finding demoted (or an access positively verified) by
     /// the dataflow-backed refinement; always [`Severity::Note`].
     ProvedSafe,
+    /// The compiled work-group backend declined this kernel and it will run
+    /// on the reference SIMT interpreter; always [`Severity::Note`].
+    BackendFallback,
 }
 
 impl DiagKind {
@@ -75,6 +78,7 @@ impl DiagKind {
             DiagKind::DataRace => "race",
             DiagKind::OutOfBounds => "out-of-bounds",
             DiagKind::ProvedSafe => "proved-safe",
+            DiagKind::BackendFallback => "backend-fallback",
         }
     }
 }

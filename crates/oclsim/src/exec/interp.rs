@@ -27,13 +27,13 @@ use crate::types::ScalarType;
 // ---- pointer encoding --------------------------------------------------------
 // [63:60] tag, [59:48] base (arg index), [47:0] byte offset
 
-const OFF_MASK: u64 = (1 << 48) - 1;
-const BASE_SHIFT: u32 = 48;
-const TAG_SHIFT: u32 = 60;
-const TAG_GLOBAL: u64 = 1;
-const TAG_CONST: u64 = 2;
-const TAG_LOCAL: u64 = 3;
-const TAG_PRIV: u64 = 4;
+pub(crate) const OFF_MASK: u64 = (1 << 48) - 1;
+pub(crate) const BASE_SHIFT: u32 = 48;
+pub(crate) const TAG_SHIFT: u32 = 60;
+pub(crate) const TAG_GLOBAL: u64 = 1;
+pub(crate) const TAG_CONST: u64 = 2;
+pub(crate) const TAG_LOCAL: u64 = 3;
+pub(crate) const TAG_PRIV: u64 = 4;
 
 /// Build the pointer value for kernel argument `arg_idx` in `space`.
 pub fn arg_pointer(arg_idx: usize, space: AddrSpace) -> u64 {
@@ -45,16 +45,16 @@ pub fn arg_pointer(arg_idx: usize, space: AddrSpace) -> u64 {
     (tag << TAG_SHIFT) | ((arg_idx as u64) << BASE_SHIFT)
 }
 
-fn local_pointer(byte_offset: usize) -> u64 {
+pub(crate) fn local_pointer(byte_offset: usize) -> u64 {
     (TAG_LOCAL << TAG_SHIFT) | byte_offset as u64
 }
 
-fn priv_pointer(byte_offset: usize) -> u64 {
+pub(crate) fn priv_pointer(byte_offset: usize) -> u64 {
     (TAG_PRIV << TAG_SHIFT) | byte_offset as u64
 }
 
 #[inline]
-fn ptr_add(ptr: u64, delta_elems: i64, elem_size: usize) -> u64 {
+pub(crate) fn ptr_add(ptr: u64, delta_elems: i64, elem_size: usize) -> u64 {
     let off = ptr & OFF_MASK;
     let new =
         (off as i64).wrapping_add(delta_elems.wrapping_mul(elem_size as i64)) as u64 & OFF_MASK;
@@ -155,7 +155,7 @@ pub struct GroupRun<'a> {
 /// Lines in the CPU segment cache (x 64-byte segments = a 32 KiB L1).
 const SEG_CACHE_LINES: usize = 512;
 
-const MAX_CALL_DEPTH: usize = 64;
+pub(crate) const MAX_CALL_DEPTH: usize = 64;
 
 impl<'a> GroupRun<'a> {
     /// Prepare the interpreter for work-group `group` (per-dimension index).
@@ -435,140 +435,28 @@ impl<'a> GroupRun<'a> {
     }
 
     fn buffer_for(&self, ptr: u64) -> Result<&crate::buffer::Buffer> {
-        let base = ((ptr >> BASE_SHIFT) & 0xFFF) as usize;
-        match self.env.args.get(base) {
-            Some(BoundArg::Buffer { buffer, .. }) => Ok(buffer),
-            _ => Err(Error::MemoryFault {
-                space: "global",
-                offset: ptr & OFF_MASK,
-                len: 0,
-                detail: format!("pointer references argument {base}, which is not a buffer"),
-            }),
-        }
+        buffer_for(self.env.args, ptr)
     }
 
     fn load_lane(&self, ptr: u64, elem: ScalarType) -> Result<u64> {
-        let size = elem.size();
-        let off = ptr & OFF_MASK;
-        let raw = match ptr >> TAG_SHIFT {
-            TAG_GLOBAL | TAG_CONST => {
-                let buf = self.buffer_for(ptr)?;
-                if !buf.device_access_ok(off, size) {
-                    return Err(Error::MemoryFault {
-                        space: "global",
-                        offset: off,
-                        len: size as u64,
-                        detail: format!("buffer is {} bytes", buf.len_bytes()),
-                    });
-                }
-                buf.device_load(off, size)
-            }
-            TAG_LOCAL => {
-                let off = off as usize;
-                if !off.is_multiple_of(size) || off + size > self.local_mem.len() {
-                    return Err(Error::MemoryFault {
-                        space: "local",
-                        offset: off as u64,
-                        len: size as u64,
-                        detail: format!("local memory is {} bytes", self.local_mem.len()),
-                    });
-                }
-                load_le(&self.local_mem[off..off + size])
-            }
-            TAG_PRIV => {
-                // the caller rewrote the offset to include the lane base
-                let off = off as usize;
-                if off + size > self.priv_mem.len() {
-                    return Err(Error::MemoryFault {
-                        space: "private",
-                        offset: off as u64,
-                        len: size as u64,
-                        detail: "private array overrun".into(),
-                    });
-                }
-                load_le(&self.priv_mem[off..off + size])
-            }
-            _ => {
-                return Err(Error::MemoryFault {
-                    space: "unknown",
-                    offset: off,
-                    len: size as u64,
-                    detail: "dereference of a non-pointer value".into(),
-                })
-            }
-        };
-        // canonicalise: sign-extend signed loads
-        Ok(if elem.is_signed() {
-            ops::cast_bits(raw, unsigned_twin(elem), elem)
-        } else if elem == ScalarType::F32 {
-            raw & 0xFFFF_FFFF
-        } else {
-            raw
-        })
+        load_lane_mem(self.env.args, &self.local_mem, &self.priv_mem, ptr, elem)
     }
 
     fn store_lane(&mut self, ptr: u64, elem: ScalarType, bits: u64) -> Result<()> {
-        let size = elem.size();
-        let off = ptr & OFF_MASK;
-        match ptr >> TAG_SHIFT {
-            TAG_GLOBAL => {
-                let buf = self.buffer_for(ptr)?;
-                if !buf.device_access_ok(off, size) {
-                    return Err(Error::MemoryFault {
-                        space: "global",
-                        offset: off,
-                        len: size as u64,
-                        detail: format!("buffer is {} bytes", buf.len_bytes()),
-                    });
-                }
-                buf.device_store(off, size, bits);
-                Ok(())
-            }
-            TAG_CONST => Err(Error::MemoryFault {
-                space: "constant",
-                offset: off,
-                len: size as u64,
-                detail: "store through a __constant pointer".into(),
-            }),
-            TAG_LOCAL => {
-                let off = off as usize;
-                if !off.is_multiple_of(size) || off + size > self.local_mem.len() {
-                    return Err(Error::MemoryFault {
-                        space: "local",
-                        offset: off as u64,
-                        len: size as u64,
-                        detail: format!("local memory is {} bytes", self.local_mem.len()),
-                    });
-                }
-                store_le(&mut self.local_mem[off..off + size], bits);
-                Ok(())
-            }
-            TAG_PRIV => {
-                let off = off as usize;
-                if off + size > self.priv_mem.len() {
-                    return Err(Error::MemoryFault {
-                        space: "private",
-                        offset: off as u64,
-                        len: size as u64,
-                        detail: "private array overrun".into(),
-                    });
-                }
-                store_le(&mut self.priv_mem[off..off + size], bits);
-                Ok(())
-            }
-            _ => Err(Error::MemoryFault {
-                space: "unknown",
-                offset: off,
-                len: size as u64,
-                detail: "store through a non-pointer value".into(),
-            }),
-        }
+        store_lane_mem(
+            self.env.args,
+            &mut self.local_mem,
+            &mut self.priv_mem,
+            ptr,
+            elem,
+            bits,
+        )
     }
 
     /// Rewrite a private-space pointer to the lane's own copy.
     #[inline]
     fn lane_priv(&self, ptr: u64, lane: usize) -> u64 {
-        (TAG_PRIV << TAG_SHIFT) | ((ptr & OFF_MASK) + (lane * self.priv_stride) as u64)
+        lane_priv(ptr, lane, self.priv_stride)
     }
 
     // ---- statement execution ---------------------------------------------
@@ -1174,20 +1062,178 @@ impl<'a> GroupRun<'a> {
     }
 }
 
+/// Resolve the buffer a global/constant pointer refers to (shared by the
+/// SIMT interpreter and the [`super::wg`] bytecode VM so both produce the
+/// same faults).
+pub(crate) fn buffer_for(args: &[BoundArg], ptr: u64) -> Result<&crate::buffer::Buffer> {
+    let base = ((ptr >> BASE_SHIFT) & 0xFFF) as usize;
+    match args.get(base) {
+        Some(BoundArg::Buffer { buffer, .. }) => Ok(buffer),
+        _ => Err(Error::MemoryFault {
+            space: "global",
+            offset: ptr & OFF_MASK,
+            len: 0,
+            detail: format!("pointer references argument {base}, which is not a buffer"),
+        }),
+    }
+}
+
+/// Load one lane's element through an encoded pointer. Private-space
+/// pointers must already be rewritten to the lane's copy (see
+/// [`lane_priv`]).
+pub(crate) fn load_lane_mem(
+    args: &[BoundArg],
+    local_mem: &[u8],
+    priv_mem: &[u8],
+    ptr: u64,
+    elem: ScalarType,
+) -> Result<u64> {
+    let size = elem.size();
+    let off = ptr & OFF_MASK;
+    let raw = match ptr >> TAG_SHIFT {
+        TAG_GLOBAL | TAG_CONST => {
+            let buf = buffer_for(args, ptr)?;
+            if !buf.device_access_ok(off, size) {
+                return Err(Error::MemoryFault {
+                    space: "global",
+                    offset: off,
+                    len: size as u64,
+                    detail: format!("buffer is {} bytes", buf.len_bytes()),
+                });
+            }
+            buf.device_load(off, size)
+        }
+        TAG_LOCAL => {
+            let off = off as usize;
+            if !off.is_multiple_of(size) || off + size > local_mem.len() {
+                return Err(Error::MemoryFault {
+                    space: "local",
+                    offset: off as u64,
+                    len: size as u64,
+                    detail: format!("local memory is {} bytes", local_mem.len()),
+                });
+            }
+            load_le(&local_mem[off..off + size])
+        }
+        TAG_PRIV => {
+            // the caller rewrote the offset to include the lane base
+            let off = off as usize;
+            if off + size > priv_mem.len() {
+                return Err(Error::MemoryFault {
+                    space: "private",
+                    offset: off as u64,
+                    len: size as u64,
+                    detail: "private array overrun".into(),
+                });
+            }
+            load_le(&priv_mem[off..off + size])
+        }
+        _ => {
+            return Err(Error::MemoryFault {
+                space: "unknown",
+                offset: off,
+                len: size as u64,
+                detail: "dereference of a non-pointer value".into(),
+            })
+        }
+    };
+    // canonicalise: sign-extend signed loads
+    Ok(if elem.is_signed() {
+        ops::cast_bits(raw, unsigned_twin(elem), elem)
+    } else if elem == ScalarType::F32 {
+        raw & 0xFFFF_FFFF
+    } else {
+        raw
+    })
+}
+
+/// Store one lane's element through an encoded pointer (see
+/// [`load_lane_mem`]).
+pub(crate) fn store_lane_mem(
+    args: &[BoundArg],
+    local_mem: &mut [u8],
+    priv_mem: &mut [u8],
+    ptr: u64,
+    elem: ScalarType,
+    bits: u64,
+) -> Result<()> {
+    let size = elem.size();
+    let off = ptr & OFF_MASK;
+    match ptr >> TAG_SHIFT {
+        TAG_GLOBAL => {
+            let buf = buffer_for(args, ptr)?;
+            if !buf.device_access_ok(off, size) {
+                return Err(Error::MemoryFault {
+                    space: "global",
+                    offset: off,
+                    len: size as u64,
+                    detail: format!("buffer is {} bytes", buf.len_bytes()),
+                });
+            }
+            buf.device_store(off, size, bits);
+            Ok(())
+        }
+        TAG_CONST => Err(Error::MemoryFault {
+            space: "constant",
+            offset: off,
+            len: size as u64,
+            detail: "store through a __constant pointer".into(),
+        }),
+        TAG_LOCAL => {
+            let off = off as usize;
+            if !off.is_multiple_of(size) || off + size > local_mem.len() {
+                return Err(Error::MemoryFault {
+                    space: "local",
+                    offset: off as u64,
+                    len: size as u64,
+                    detail: format!("local memory is {} bytes", local_mem.len()),
+                });
+            }
+            store_le(&mut local_mem[off..off + size], bits);
+            Ok(())
+        }
+        TAG_PRIV => {
+            let off = off as usize;
+            if off + size > priv_mem.len() {
+                return Err(Error::MemoryFault {
+                    space: "private",
+                    offset: off as u64,
+                    len: size as u64,
+                    detail: "private array overrun".into(),
+                });
+            }
+            store_le(&mut priv_mem[off..off + size], bits);
+            Ok(())
+        }
+        _ => Err(Error::MemoryFault {
+            space: "unknown",
+            offset: off,
+            len: size as u64,
+            detail: "store through a non-pointer value".into(),
+        }),
+    }
+}
+
+/// Rewrite a private-space pointer to a specific lane's copy.
 #[inline]
-fn load_le(bytes: &[u8]) -> u64 {
+pub(crate) fn lane_priv(ptr: u64, lane: usize, priv_stride: usize) -> u64 {
+    (TAG_PRIV << TAG_SHIFT) | ((ptr & OFF_MASK) + (lane * priv_stride) as u64)
+}
+
+#[inline]
+pub(crate) fn load_le(bytes: &[u8]) -> u64 {
     let mut raw = [0u8; 8];
     raw[..bytes.len()].copy_from_slice(bytes);
     u64::from_le_bytes(raw)
 }
 
 #[inline]
-fn store_le(bytes: &mut [u8], bits: u64) {
+pub(crate) fn store_le(bytes: &mut [u8], bits: u64) {
     let raw = bits.to_le_bytes();
     bytes.copy_from_slice(&raw[..bytes.len()]);
 }
 
-fn unsigned_twin(t: ScalarType) -> ScalarType {
+pub(crate) fn unsigned_twin(t: ScalarType) -> ScalarType {
     match t {
         ScalarType::I8 => ScalarType::U8,
         ScalarType::I16 => ScalarType::U16,
@@ -1197,7 +1243,7 @@ fn unsigned_twin(t: ScalarType) -> ScalarType {
     }
 }
 
-fn bin_cost(cm: &CostModel, op: crate::exec::ir::BOp, ty: ScalarType) -> u32 {
+pub(crate) fn bin_cost(cm: &CostModel, op: crate::exec::ir::BOp, ty: ScalarType) -> u32 {
     use crate::exec::ir::BOp::*;
     if ty.is_float() {
         let base = match op {
@@ -1215,7 +1261,7 @@ fn bin_cost(cm: &CostModel, op: crate::exec::ir::BOp, ty: ScalarType) -> u32 {
     }
 }
 
-fn math_cost(cm: &CostModel, b: Builtin, ty: ScalarType) -> u32 {
+pub(crate) fn math_cost(cm: &CostModel, b: Builtin, ty: ScalarType) -> u32 {
     use Builtin::*;
     let base = match b {
         Sqrt | Rsqrt => cm.f32_sqrt,
@@ -1230,7 +1276,7 @@ fn math_cost(cm: &CostModel, b: Builtin, ty: ScalarType) -> u32 {
 /// Profiler instruction class of a math builtin: integer helpers hit the
 /// integer ALU, everything the SFU evaluates counts as Special, the rest is
 /// plain float work.
-fn math_class(b: Builtin) -> InstrClass {
+pub(crate) fn math_class(b: Builtin) -> InstrClass {
     use Builtin::*;
     match b {
         MaxI | MinI | AbsI => InstrClass::Int,
@@ -1239,7 +1285,7 @@ fn math_class(b: Builtin) -> InstrClass {
     }
 }
 
-fn math1_fn(b: Builtin) -> fn(f64) -> f64 {
+pub(crate) fn math1_fn(b: Builtin) -> fn(f64) -> f64 {
     use Builtin::*;
     match b {
         Sqrt => f64::sqrt,
@@ -1260,7 +1306,7 @@ fn math1_fn(b: Builtin) -> fn(f64) -> f64 {
     }
 }
 
-fn math2_fn(b: Builtin) -> impl Fn(f64, f64) -> f64 {
+pub(crate) fn math2_fn(b: Builtin) -> impl Fn(f64, f64) -> f64 {
     use Builtin::*;
     move |x: f64, y: f64| match b {
         Pow => x.powf(y),
@@ -1271,7 +1317,7 @@ fn math2_fn(b: Builtin) -> impl Fn(f64, f64) -> f64 {
     }
 }
 
-fn int_minmax(b: Builtin, ty: ScalarType, a: u64, c: u64) -> u64 {
+pub(crate) fn int_minmax(b: Builtin, ty: ScalarType, a: u64, c: u64) -> u64 {
     let take_a = if ty.is_signed() {
         let (x, y) = (a as i64, c as i64);
         if b == Builtin::MaxI {

@@ -377,6 +377,10 @@ pub struct Module {
     pub funcs: Vec<FuncIr>,
     /// Kernel name → function index.
     pub kernels: HashMap<String, FuncId>,
+    /// Lazily computed wg-backend execution plan (identity state: clones
+    /// start empty and every instance compares equal, so the derives above
+    /// keep their value semantics).
+    pub wg_plans: crate::exec::wg::PlanCache,
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@ use crate::device::Device;
 use crate::error::{Error, Result};
 use crate::exec::interp::{GroupRun, LaunchEnv};
 use crate::exec::ir::{FuncIr, Module, ParamKind};
+use crate::exec::wg;
 use crate::prof::counters::{GroupCounters, LaunchCounters};
 use crate::timing::{cu_loads, model_launch, CostModel, GroupStats, TimingBreakdown};
 use crate::types::ScalarType;
@@ -299,6 +300,33 @@ pub fn run_ndrange_profiled(
         sanitize,
         collect,
     };
+    // Resolve the compiled work-group plan. The wg backend needs whole
+    // warps it can mask with one `u64` (2 <= simd <= 64), no dynamic race
+    // sanitizer (statement-major order), and a kernel the planner accepted;
+    // anything else runs on the reference interpreter.
+    let wg_plan = if wg::backend() == wg::Backend::Wg && !sanitize && (2..=64).contains(&env.simd) {
+        let mplan = wg::module_plan(module);
+        module
+            .kernels
+            .get(&kernel.name)
+            .and_then(|&fid| mplan.kernels.get(fid).cloned().flatten())
+            .and_then(|r| r.ok())
+            .map(|kplan| (mplan, kplan))
+    } else {
+        None
+    };
+    {
+        let m = crate::telemetry::metrics();
+        if wg_plan.is_some() {
+            m.exec_wg_launches.add(1);
+        } else {
+            m.exec_ref_launches.add(1);
+            if wg::backend() == wg::Backend::Wg {
+                m.exec_wg_fallbacks.add(1);
+            }
+        }
+    }
+    let _exec_span = crate::telemetry::span("exec", if wg_plan.is_some() { "wg" } else { "ref" });
     let ngroups = geom.num_groups();
     let full_total = geom.total_groups();
     let (start, total) = match group_span {
@@ -329,6 +357,10 @@ pub fn run_ndrange_profiled(
         let mut local_stats: Vec<(usize, GroupStats)> = Vec::new();
         let mut local_counters = GroupCounters::default();
         let mut local_lines: BTreeMap<usize, GroupCounters> = BTreeMap::new();
+        // one VM per worker, reset per group: the register frame, lane-id
+        // tables and scratch buffers are reused across every group this
+        // worker claims instead of reallocated per group
+        let mut wg_run: Option<wg::WgGroupRun> = None;
         loop {
             if failed.load(Ordering::Relaxed) {
                 break;
@@ -340,14 +372,26 @@ pub fn run_ndrange_profiled(
             let gx = g % ngroups[0];
             let gy = (g / ngroups[0]) % ngroups[1];
             let gz = g / (ngroups[0] * ngroups[1]);
-            let mut run = GroupRun::new(&env, [gx, gy, gz]);
-            match run.run() {
-                Ok(()) => {
-                    local_stats.push((g, run.stats));
-                    if let Some(c) = &run.counters {
+            let result = if let Some((mplan, kplan)) = &wg_plan {
+                let run = wg_run
+                    .get_or_insert_with(|| wg::WgGroupRun::new(&env, mplan, kplan, [gx, gy, gz]));
+                run.reset([gx, gy, gz]);
+                // counters stay inside the VM, accumulating across every
+                // group this worker claims; harvested once after the loop
+                run.run()
+                    .map(|()| (std::mem::take(&mut run.stats), None, None))
+            } else {
+                let mut run = GroupRun::new(&env, [gx, gy, gz]);
+                run.run()
+                    .map(|()| (run.stats, run.counters, run.line_counters))
+            };
+            match result {
+                Ok((stats, counters, line_counters)) => {
+                    local_stats.push((g, stats));
+                    if let Some(c) = &counters {
                         local_counters.merge(c);
                     }
-                    if let Some(lines) = &run.line_counters {
+                    if let Some(lines) = &line_counters {
                         for (&line, c) in lines {
                             local_lines.entry(line).or_default().merge(c);
                         }
@@ -360,6 +404,16 @@ pub fn run_ndrange_profiled(
                         *slot = Some(e);
                     }
                     break;
+                }
+            }
+        }
+        if let Some(run) = &mut wg_run {
+            if let Some(c) = run.counters.take() {
+                local_counters.merge(&c);
+            }
+            if let Some(lines) = run.line_counters.take() {
+                for (line, c) in lines {
+                    local_lines.entry(line).or_default().merge(&c);
                 }
             }
         }

@@ -7,3 +7,4 @@ pub mod ir;
 pub mod launch;
 pub mod mask;
 pub mod ops;
+pub mod wg;

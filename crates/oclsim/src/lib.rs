@@ -71,6 +71,7 @@ pub use clc::opt::{OptLevel, PassStats};
 pub use context::Context;
 pub use device::{Device, DeviceProfile, DeviceType};
 pub use error::{Error, Result};
+pub use exec::wg::{backend, backend_name, set_backend, Backend};
 pub use platform::Platform;
 pub use prof::{
     chrome_trace, chrome_trace_with_host, profile_launch, roofline, validate_chrome_trace,

@@ -162,6 +162,29 @@ impl Program {
                 }
                 drop(opt_span);
                 *self.inner.pass_stats.lock() = stats;
+                // plan the compiled work-group backend eagerly (memoized on
+                // the module), surfacing per-kernel fallbacks as notes
+                let mut plan_span = crate::telemetry::span("clc", "wg-plan-build");
+                let fallbacks = crate::exec::wg::fallback_reasons(&module);
+                if crate::telemetry::enabled() {
+                    plan_span.note("fallbacks", fallbacks.len());
+                }
+                drop(plan_span);
+                if strictness != Strictness::Off {
+                    let mut diags = self.inner.diags.lock();
+                    for (kernel, line, reason) in fallbacks {
+                        let d = Diagnostic {
+                            kernel,
+                            span: crate::clc::ast::Span::new(line, 1),
+                            severity: Severity::Note,
+                            kind: DiagKind::BackendFallback,
+                            message: format!("kernel runs on the reference interpreter: {reason}"),
+                        };
+                        log.push('\n');
+                        log.push_str(&d.to_string());
+                        diags.push(d);
+                    }
+                }
                 *self.inner.built.lock() = Some(Arc::new(module));
                 *self.inner.build_log.lock() = log;
                 Ok(())
@@ -567,6 +590,43 @@ mod tests {
         assert!(matches!(e, Error::BuildFailure(_)));
         assert!(!p.build_log().is_empty());
         assert!(p.kernel("broken").is_err(), "no kernels on failed build");
+    }
+
+    #[test]
+    fn wg_fallback_surfaces_as_note() {
+        let src = r#"
+            __kernel void counted(__global int* c) { atomic_add(&c[0], 1); }
+        "#;
+        let p = Program::from_source(&ctx(), src);
+        p.build("").unwrap();
+        let diags = p.diagnostics();
+        assert!(
+            diags.iter().any(|d| d.kind == DiagKind::BackendFallback
+                && d.severity == Severity::Note
+                && d.kernel == "counted"),
+            "{diags:?}"
+        );
+        assert!(
+            p.build_log().contains("backend-fallback"),
+            "{}",
+            p.build_log()
+        );
+
+        // `-w` silences the note like any other diagnostic
+        let p = Program::from_source(&ctx(), src);
+        p.build("-w").unwrap();
+        assert!(p.diagnostics().is_empty());
+
+        // a kernel the wg backend accepts produces no note
+        let p = Program::from_source(&ctx(), SRC);
+        p.build("").unwrap();
+        assert!(
+            !p.diagnostics()
+                .iter()
+                .any(|d| d.kind == DiagKind::BackendFallback),
+            "{:?}",
+            p.diagnostics()
+        );
     }
 
     #[test]

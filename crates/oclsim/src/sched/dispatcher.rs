@@ -2,11 +2,13 @@
 //!
 //! Every [`crate::Device`] lazily owns one [`DeviceSched`]: a pending list
 //! of commands from all of the device's queues, the modeled resource
-//! [`Timeline`], and a worker thread that drains the **ready set** of the
-//! dependency DAG — commands whose wait-list events have all resolved.
-//! The thread parks when only blocked commands remain (waiting on user
-//! events or another device) and exits when the list empties; completion
-//! of any dependency nudges it awake again.
+//! [`Timeline`], and a *drain claim* under which some thread executes the
+//! **ready set** of the dependency DAG — commands whose wait-list events
+//! have all resolved. The submitting thread claims the drain itself when
+//! nobody holds it (the common case of a queue whose head is immediately
+//! runnable, where a worker thread would cost a spawn plus two context
+//! switches per command); when only blocked commands remain the claim is
+//! released, and the dependency watchers re-claim on resolution.
 //!
 //! Commands execute functionally one at a time (the simulator's wall-clock
 //! cost), but their *modeled* stamps come from the shared [`Timeline`], so
@@ -15,7 +17,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use crate::error::{Error, Result};
@@ -40,7 +42,7 @@ pub(crate) struct Command {
 
 struct DispState {
     pending: VecDeque<Command>,
-    /// Whether a drain thread currently exists for this device.
+    /// Whether some thread currently holds the drain claim.
     running: bool,
 }
 
@@ -48,7 +50,6 @@ struct DispState {
 pub struct DeviceSched {
     timeline: Mutex<Timeline>,
     disp: Mutex<DispState>,
-    cond: Condvar,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -64,43 +65,51 @@ impl DeviceSched {
                 pending: VecDeque::new(),
                 running: false,
             }),
-            cond: Condvar::new(),
         })
     }
 
     /// Hand a command to the device. Registers wake-ups on its unresolved
-    /// dependencies, then makes sure a drain thread is running.
+    /// dependencies, then drains the ready set on this thread unless
+    /// another thread already holds the drain claim.
     pub(crate) fn submit(self: &Arc<Self>, cmd: Command) {
         for dep in cmd.event.deps_snapshot() {
-            // resolved deps need no watcher; the initial scan sees them
+            // resolved deps need no watcher; the drain scan sees them
             dep.notify_sched_on_resolve(self);
         }
-        let spawn = {
+        let claimed = {
             let mut st = lock(&self.disp);
             st.pending.push_back(cmd);
             if st.running {
-                self.cond.notify_all();
                 false
             } else {
                 st.running = true;
                 true
             }
         };
-        if spawn {
-            let sched = Arc::clone(self);
-            std::thread::spawn(move || sched.drain());
+        if claimed {
+            self.drain_ready();
         }
     }
 
-    /// Wake the drain thread to re-scan for newly ready commands.
-    ///
-    /// Takes the dispatch lock before notifying: event resolution happens
-    /// outside that lock, so notifying without it could slip between the
-    /// drain thread's readiness scan and its `cond.wait`, losing the
-    /// wake-up forever.
+    /// A dependency resolved: if nobody holds the drain claim and commands
+    /// are pending, claim it and run whatever became ready. Called by the
+    /// resolving thread outside any event lock; same-device resolutions
+    /// from inside [`Self::drain_ready`] see the claim taken and return
+    /// immediately (the draining loop re-scans after every command), so
+    /// dependency chains never recurse on one device.
     pub(crate) fn nudge(&self) {
-        let _guard = lock(&self.disp);
-        self.cond.notify_all();
+        let claimed = {
+            let mut st = lock(&self.disp);
+            if st.running || st.pending.is_empty() {
+                false
+            } else {
+                st.running = true;
+                true
+            }
+        };
+        if claimed {
+            self.drain_ready();
+        }
     }
 
     /// Reset the modeled timeline to the origin (all engines free at 0.0).
@@ -113,26 +122,24 @@ impl DeviceSched {
         lock(&self.timeline).horizon()
     }
 
-    /// Worker-thread body: repeatedly execute the first ready command;
-    /// park while all pending commands are blocked; exit when none remain.
-    fn drain(self: Arc<Self>) {
+    /// Drain-claim body: repeatedly execute the first ready command;
+    /// release the claim and return when every pending command is blocked
+    /// (on user events or another device) or the list is empty — the
+    /// watchers registered at submit re-claim when a dependency resolves.
+    fn drain_ready(&self) {
         loop {
             let cmd = {
                 let mut st = lock(&self.disp);
-                loop {
-                    let ready = st
-                        .pending
-                        .iter()
-                        .position(|c| c.event.deps_snapshot().iter().all(Event::is_resolved));
-                    if let Some(i) = ready {
-                        break st.pending.remove(i).expect("index from position");
-                    }
-                    if st.pending.is_empty() {
+                let ready = st
+                    .pending
+                    .iter()
+                    .position(|c| c.event.deps_snapshot().iter().all(Event::is_resolved));
+                match ready {
+                    Some(i) => st.pending.remove(i).expect("index from position"),
+                    None => {
                         st.running = false;
                         return;
                     }
-                    // blocked on user events or another device's commands
-                    st = self.cond.wait(st).unwrap_or_else(PoisonError::into_inner);
                 }
             };
             self.execute(cmd);

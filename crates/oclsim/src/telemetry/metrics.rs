@@ -199,6 +199,14 @@ pub struct Metrics {
     pub dma_bytes: Counter,
     /// `Program::build` invocations.
     pub builds: Counter,
+    // --- oclsim::exec backends (canonical) ---
+    /// NDRange launches executed by the compiled work-group (wg) backend.
+    pub exec_wg_launches: Counter,
+    /// NDRange launches executed by the reference SIMT interpreter.
+    pub exec_ref_launches: Counter,
+    /// Launches that requested the wg backend but fell back to the
+    /// reference interpreter (unsupported kernel, sanitizer, SIMD width).
+    pub exec_wg_fallbacks: Counter,
     // --- oclsim::clc optimizing mid-end (canonical: per-pass work) ---
     /// Expressions folded to constants by the mid-end.
     pub opt_const_folded: Counter,
@@ -266,6 +274,9 @@ impl Metrics {
             dma_commands: Counter::default(),
             dma_bytes: Counter::default(),
             builds: Counter::default(),
+            exec_wg_launches: Counter::default(),
+            exec_ref_launches: Counter::default(),
+            exec_wg_fallbacks: Counter::default(),
             opt_const_folded: Counter::default(),
             opt_const_propagated: Counter::default(),
             opt_dce_removed: Counter::default(),
@@ -347,6 +358,9 @@ pub fn reset_metrics() {
     m.dma_commands.reset();
     m.dma_bytes.reset();
     m.builds.reset();
+    m.exec_wg_launches.reset();
+    m.exec_ref_launches.reset();
+    m.exec_wg_fallbacks.reset();
     m.opt_const_folded.reset();
     m.opt_const_propagated.reset();
     m.opt_dce_removed.reset();
@@ -512,6 +526,24 @@ pub fn metrics_text(canonical: bool) -> String {
         "oclsim_builds_total",
         "Program::build invocations",
         &m.builds,
+    );
+    counter(
+        &mut out,
+        "oclsim_exec_wg_launches_total",
+        "NDRange launches executed by the compiled work-group backend",
+        &m.exec_wg_launches,
+    );
+    counter(
+        &mut out,
+        "oclsim_exec_ref_launches_total",
+        "NDRange launches executed by the reference SIMT interpreter",
+        &m.exec_ref_launches,
+    );
+    counter(
+        &mut out,
+        "oclsim_exec_wg_fallbacks_total",
+        "wg-backend launches that fell back to the reference interpreter",
+        &m.exec_wg_fallbacks,
     );
     counter(
         &mut out,
