@@ -127,6 +127,23 @@ OCLSIM_THREADS=4 cargo run --release -p bench --bin report -- soak
 cp target/soak-metrics.txt target/soak-metrics-t4.txt
 diff target/soak-metrics-t1.txt target/soak-metrics-t4.txt
 
+echo "== report -- cache (simulated L1/L2 counters byte-identical across OCLSIM_THREADS and backends)"
+# runs the corpus on the cache-capable Tesla variant next to the
+# roofline-only Tesla; exits nonzero if any cache-model invariant fails
+# (per-line hit/miss sums vs launch totals, probe/transaction accounting,
+# plain-device counter parity, or a frozen naive-vs-tiled transpose
+# hit-rate gap). Group-private L1 replay plus the post-join linear-order
+# shared-L2 replay make the whole listing independent of the worker pool
+# and of which engine executed the groups
+OCLSIM_THREADS=1 cargo run --release -p bench --bin report -- cache > target/cache-t1.out
+OCLSIM_THREADS=4 cargo run --release -p bench --bin report -- cache > target/cache-t4.out
+diff target/cache-t1.out target/cache-t4.out
+OCLSIM_BACKEND=ref OCLSIM_THREADS=4 cargo run --release -p bench --bin report -- cache > target/cache-ref.out
+diff target/cache-t1.out target/cache-ref.out
+# legacy profiles are untouched by the cache model: the profile/annotate
+# diffs above all ran on the plain (no-cache-capability) Tesla, and the
+# cache listing itself proves its non-cache counters match bit-for-bit
+
 echo "== report -- bench (BENCH_pr4.json perf-trajectory gate)"
 # regenerates the trajectory and diffs it against the committed baseline:
 # fails on >10% modeled-time regression, any new redundant upload, or a

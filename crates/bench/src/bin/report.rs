@@ -3,7 +3,8 @@
 //! Usage: `cargo run -p bench --release --bin report [-- EXPERIMENT]`
 //! where EXPERIMENT is one of `table1`, `fig6`, `fig7`, `fig8`, `fig9`,
 //! `caching`, `ablation`, `overlap`, `lint`, `profile`, `annotate`,
-//! `metrics`, `bench`, `soak`, or `all` (default). Measured values are printed next to the
+//! `metrics`, `bench`, `soak`, `passes`, `cache`, or `all` (default).
+//! Measured values are printed next to the
 //! paper's published numbers; EXPERIMENTS.md records the comparison.
 //! `lint` runs the kernel sanitizer over every benchmark's handwritten
 //! and HPL-generated OpenCL C and exits nonzero unless every kernel is
@@ -34,7 +35,13 @@
 //! `ci.sh` diffs it), and exits nonzero unless every soak tenant ran with
 //! zero cache misses, no upload was redundant, the quota rejection fired,
 //! and a partitioned launch beat the single-device reference
-//! bit-identically.
+//! bit-identically. `cache` runs the corpus on the cache-capable 48K-L1
+//! Tesla variant next to the roofline-only Tesla, prints per-kernel
+//! L1/L2 hit rates and cache-aware modeled times plus the naive-vs-tiled
+//! transpose annotations, and exits nonzero if any cache-model invariant
+//! fails (per-line sums, probe/transaction accounting, or plain-device
+//! counter parity); its output is byte-identical across `OCLSIM_THREADS`
+//! and `OCLSIM_BACKEND` — `ci.sh` diffs four runs.
 //!
 //! Setting `HPL_TELEMETRY=1` enables span collection for the whole run;
 //! with it unset, the telemetry layer stays off (a single relaxed atomic
@@ -42,8 +49,8 @@
 //! unaffected either way.
 
 use bench::{
-    ablation, annotate, caching, fig6, fig7, fig8, fig9, lint, overlap, passes, profile,
-    runtime_metrics, soak, table1, tesla, trajectory,
+    ablation, annotate, cachemodel, caching, fig6, fig7, fig8, fig9, lint, overlap, passes,
+    profile, runtime_metrics, soak, table1, tesla, trajectory,
 };
 
 fn main() {
@@ -67,6 +74,7 @@ fn main() {
         "bench" => run_bench_trajectory(),
         "soak" => run_soak(),
         "passes" => run_passes(),
+        "cache" => run_cache(),
         "all" => {
             run_table1()
                 & run_fig6()
@@ -83,10 +91,11 @@ fn main() {
                 & run_bench_trajectory()
                 & run_soak()
                 & run_passes()
+                & run_cache()
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; use table1|fig6|fig7|fig8|fig9|caching|ablation|overlap|lint|profile|annotate|metrics|bench|soak|passes|all"
+                "unknown experiment `{other}`; use table1|fig6|fig7|fig8|fig9|caching|ablation|overlap|lint|profile|annotate|metrics|bench|soak|passes|cache|all"
             );
             std::process::exit(2);
         }
@@ -222,17 +231,21 @@ fn run_fig8() -> bool {
 }
 
 fn run_fig9() -> bool {
-    banner("Figure 9 — HPL overhead on Tesla and Quadro FX 380 (EP excluded: no fp64)");
+    banner("Figure 9 — HPL overhead across devices (EP excluded: no fp64 on Quadro)");
     match fig9::compute() {
         Ok(rows) => {
             println!(
-                "{:<12} {:>12} {:>12}   (paper: <= ~3.5% on either device)",
-                "benchmark", "Tesla", "Quadro"
+                "{:<12} {:>12} {:>12} {:>12} {:>12}   (paper: <= ~3.5% on either device)",
+                "benchmark", "Tesla", "Quadro", "Tesla 48K", "Tesla 16K"
             );
             for r in &rows {
                 println!(
-                    "{:<12} {:>11.2}% {:>11.2}%",
-                    r.benchmark, r.tesla_percent, r.quadro_percent
+                    "{:<12} {:>11.2}% {:>11.2}% {:>11.2}% {:>11.2}%",
+                    r.benchmark,
+                    r.tesla_percent,
+                    r.quadro_percent,
+                    r.tesla48_percent,
+                    r.tesla16_percent
                 );
             }
             // EP must be absent: the Quadro cannot run doubles
@@ -361,51 +374,7 @@ fn run_profile() -> bool {
             return false;
         }
     };
-    println!(
-        "{:<10} {:<6} {:<24} {:>4} {:>7} {:>10} {:>9} {:>6} {:>6} {:>7} {:>6} {:>7} {:>9} {:>6} {:>6}  bound",
-        "bench",
-        "mode",
-        "kernel",
-        "n",
-        "groups",
-        "instr",
-        "mem-txn",
-        "coal%",
-        "occ%",
-        "stall%",
-        "div%",
-        "bankcf",
-        "flop/B",
-        "roof%",
-        "bw%"
-    );
-    for p in &profiles {
-        for r in &p.rows {
-            println!(
-                "{:<10} {:<6} {:<24} {:>4} {:>7} {:>10} {:>9} {:>6.1} {:>6.1} {:>7.1} {:>6.1} {:>7} {:>9.3} {:>6.1} {:>6.1}  {}",
-                p.bench,
-                p.mode,
-                r.kernel,
-                r.launches,
-                r.counters.num_groups,
-                r.counters.totals.instr.total(),
-                r.counters.totals.mem_transactions,
-                100.0 * r.counters.coalescing_efficiency(),
-                r.occupancy_pct,
-                100.0 * r.counters.stall_fraction(),
-                100.0 * r.counters.divergence_fraction(),
-                r.counters.totals.bank_conflicts,
-                r.roofline.arithmetic_intensity,
-                100.0 * r.roofline.fraction_of_roof,
-                100.0 * r.roofline.bandwidth_fraction,
-                if r.roofline.compute_bound {
-                    "compute"
-                } else {
-                    "memory"
-                }
-            );
-        }
-    }
+    print_profile_table(&profiles);
     let mut ok = true;
     println!("\ntransfer minimality (HPL must not add redundant uploads):");
     for p in &profiles {
@@ -433,7 +402,91 @@ fn run_profile() -> bool {
             ok = false;
         }
     }
+    // The same corpus on the cache-capable variant: identical roofline,
+    // plus L1/L2 hit-rate columns fed by the simulated tag arrays. This
+    // table rides the same ci.sh byte-diffs as the one above, so the
+    // cache counters are gated across OCLSIM_THREADS, OCLSIM_BACKEND and
+    // HPL_TELEMETRY settings.
+    println!("\nsame corpus on the cached Tesla variant (48K L1 / 768K L2):");
+    match profile::compute(&bench::tesla_cached()) {
+        Ok(cached) => print_profile_table(&cached),
+        Err(e) => {
+            eprintln!("cached-device profile failed: {e}");
+            ok = false;
+        }
+    }
     ok
+}
+
+/// Print the per-kernel counter table. When any row carries simulated
+/// cache activity (cache-capable device profile), two extra hit-rate
+/// columns appear; roofline-only profiles render exactly as before the
+/// cache model existed.
+fn print_profile_table(profiles: &[profile::ModeProfile]) {
+    let cache = profiles.iter().any(|p| {
+        p.rows
+            .iter()
+            .any(|r| r.counters.totals.l1_hits + r.counters.totals.l1_misses > 0)
+    });
+    let cache_hdr = if cache { "   l1.hit  l2.hit" } else { "" };
+    println!(
+        "{:<10} {:<6} {:<24} {:>4} {:>7} {:>10} {:>9} {:>6} {:>6} {:>7} {:>6} {:>7} {:>9} {:>6} {:>6}{cache_hdr}  bound",
+        "bench",
+        "mode",
+        "kernel",
+        "n",
+        "groups",
+        "instr",
+        "mem-txn",
+        "coal%",
+        "occ%",
+        "stall%",
+        "div%",
+        "bankcf",
+        "flop/B",
+        "roof%",
+        "bw%"
+    );
+    for p in profiles {
+        for r in &p.rows {
+            let cache_cells = if cache {
+                let cell = |rate: Option<f64>| match rate {
+                    Some(v) => format!("{:.1}%", 100.0 * v),
+                    None => "-".to_string(),
+                };
+                format!(
+                    "  {:>7} {:>7}",
+                    cell(r.counters.l1_hit_rate()),
+                    cell(r.counters.l2_hit_rate())
+                )
+            } else {
+                String::new()
+            };
+            println!(
+                "{:<10} {:<6} {:<24} {:>4} {:>7} {:>10} {:>9} {:>6.1} {:>6.1} {:>7.1} {:>6.1} {:>7} {:>9.3} {:>6.1} {:>6.1}{cache_cells}  {}",
+                p.bench,
+                p.mode,
+                r.kernel,
+                r.launches,
+                r.counters.num_groups,
+                r.counters.totals.instr.total(),
+                r.counters.totals.mem_transactions,
+                100.0 * r.counters.coalescing_efficiency(),
+                r.occupancy_pct,
+                100.0 * r.counters.stall_fraction(),
+                100.0 * r.counters.divergence_fraction(),
+                r.counters.totals.bank_conflicts,
+                r.roofline.arithmetic_intensity,
+                100.0 * r.roofline.fraction_of_roof,
+                100.0 * r.roofline.bandwidth_fraction,
+                if r.roofline.compute_bound {
+                    "compute"
+                } else {
+                    "memory"
+                }
+            );
+        }
+    }
 }
 
 fn run_annotate() -> bool {
@@ -892,4 +945,61 @@ fn run_passes() -> bool {
     }
     println!("wrote {}", out.display());
     reduced.len() >= 3
+}
+
+fn run_cache() -> bool {
+    banner("Cache hierarchy — L1/L2 hit rates on the 48K-L1 Tesla vs the roofline-only Tesla");
+    let report = match cachemodel::compute() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cache failed: {e}");
+            return false;
+        }
+    };
+    println!(
+        "{:<10} {:<14} {:>10} {:>8} {:>8} {:>14} {:>14}",
+        "benchmark", "kernel", "mem.tx", "l1.hit", "l2.hit", "cached (s)", "roofline (s)"
+    );
+    let cell = |r: Option<f64>| match r {
+        Some(v) => format!("{:.1}%", 100.0 * v),
+        None => "-".to_string(),
+    };
+    for r in &report.rows {
+        println!(
+            "{:<10} {:<14} {:>10} {:>8} {:>8} {:>14.9} {:>14.9}",
+            r.bench,
+            r.kernel,
+            r.counters.totals.mem_transactions,
+            cell(r.l1_hit_rate()),
+            cell(r.l2_hit_rate()),
+            r.cached_modeled_s,
+            r.plain_modeled_s
+        );
+    }
+    let naive = &report.transpose.naive;
+    let tiled = &report.transpose.tiled;
+    println!(
+        "\ntranspose hot-line L1 hit rate: naive {:.1}% over {} tx, tiled {:.1}% over {} tx",
+        100.0 * cachemodel::hot_line_l1_rate(naive),
+        naive.counters.totals.mem_transactions,
+        100.0 * cachemodel::hot_line_l1_rate(tiled),
+        tiled.counters.totals.mem_transactions
+    );
+    println!("\n--- naive transpose, annotated on the cached Tesla ---");
+    print!("{}", naive.render());
+    println!("--- tiled transpose, annotated on the cached Tesla ---");
+    print!("{}", tiled.render());
+    let violations = report.violations();
+    for v in &violations {
+        eprintln!("cache invariant violated: {v}");
+    }
+    println!(
+        "\ncache-model invariants (per-line sums, L1<=tx, L2==L1 misses, plain-device parity): {}",
+        if violations.is_empty() {
+            "all hold"
+        } else {
+            "VIOLATED"
+        }
+    );
+    violations.is_empty()
 }

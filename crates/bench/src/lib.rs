@@ -20,8 +20,10 @@
 //! | Perf trajectory + gate (`report -- bench`) | [`trajectory::compute`] |
 //! | Multi-tenant service soak (`report -- soak`) | [`soak::compute`] |
 //! | Mid-end pass deltas (`report -- passes`) | [`passes::compute`] |
+//! | Cache-hierarchy hit rates (`report -- cache`) | [`cachemodel::compute`] |
 
 pub mod annotate;
+pub mod cachemodel;
 pub mod passes;
 pub mod profile;
 pub mod runtime_metrics;
@@ -42,6 +44,24 @@ pub fn quadro() -> Device {
     hpl::runtime()
         .device_named("quadro")
         .expect("default platform has a Quadro-class GPU")
+}
+
+/// The cache-capable Tesla variant (48K L1 / 768K shared L2). Same
+/// roofline as [`tesla`], plus the simulated cache hierarchy — launches
+/// on it produce L1/L2 hit/miss counters and cache-aware modeled time.
+pub fn tesla_cached() -> Device {
+    hpl::runtime()
+        .device_named("48k")
+        .expect("default platform has the 48K-L1 cached Tesla variant")
+}
+
+/// The small-L1 Tesla variant (16K L1, 4-way). Differs from
+/// [`tesla_cached`] only in L1 geometry — the pair makes cache pressure
+/// visible as a hit-rate (and modeled-time) delta at identical rooflines.
+pub fn tesla_small_l1() -> Device {
+    hpl::runtime()
+        .device_named("16k")
+        .expect("default platform has the 16K-L1 cached Tesla variant")
 }
 
 /// Table I: SLOC of the OpenCL and HPL versions of the five benchmarks.
@@ -301,11 +321,15 @@ pub mod fig8 {
 }
 
 /// Figure 9: HPL overhead on the Tesla and the Quadro FX 380 (EP excluded
-/// on the Quadro — no fp64; reduced problem sizes per §V-C).
+/// on the Quadro — no fp64; reduced problem sizes per §V-C), extended
+/// with the two cache-capable Tesla variants so portability is shown
+/// across cache-differing device profiles too: the same source runs
+/// unchanged whether the profile models a 48K L1, a 16K L1, or no cache
+/// at all, and HPL's overhead stays in the same band on each.
 pub mod fig9 {
     use super::fig7::{self, Scale};
 
-    /// One benchmark's overhead on both devices.
+    /// One benchmark's overhead on all four devices.
     #[derive(Debug, Clone)]
     pub struct Row {
         /// Benchmark name.
@@ -314,6 +338,11 @@ pub mod fig9 {
         pub tesla_percent: f64,
         /// HPL overhead on the Quadro-class GPU, percent.
         pub quadro_percent: f64,
+        /// HPL overhead on the 48K-L1 cached Tesla variant, percent —
+        /// modeled time here includes the cache-aware memory term.
+        pub tesla48_percent: f64,
+        /// HPL overhead on the 16K-L1 cached Tesla variant, percent.
+        pub tesla16_percent: f64,
     }
 
     /// Run the portability experiment.
@@ -322,18 +351,25 @@ pub mod fig9 {
         let quadro = super::quadro();
         let on_tesla = fig7::compute(&tesla, Scale::PaperSmall)?;
         let on_quadro = fig7::compute(&quadro, Scale::PaperSmall)?;
-        // EP is present on Tesla only; align by name over the common set
+        let on_t48 = fig7::compute(&super::tesla_cached(), Scale::PaperSmall)?;
+        let on_t16 = fig7::compute(&super::tesla_small_l1(), Scale::PaperSmall)?;
+        // EP is present on the Teslas only; align by name over the common
+        // set (the Quadro run, which has no fp64)
         Ok(on_quadro
             .iter()
             .map(|q| {
-                let t = on_tesla
-                    .iter()
-                    .find(|t| t.name == q.name)
-                    .expect("benchmark sets align by name");
+                let find = |set: &[benchsuite::common::BenchReport]| {
+                    set.iter()
+                        .find(|t| t.name == q.name)
+                        .expect("benchmark sets align by name")
+                        .hpl_slowdown_percent()
+                };
                 Row {
                     benchmark: q.name,
-                    tesla_percent: t.hpl_slowdown_percent(),
+                    tesla_percent: find(&on_tesla),
                     quadro_percent: q.hpl_slowdown_percent(),
+                    tesla48_percent: find(&on_t48),
+                    tesla16_percent: find(&on_t16),
                 }
             })
             .collect())

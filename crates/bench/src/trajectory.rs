@@ -87,6 +87,25 @@ pub struct BenchEntry {
     /// `host_wall_seconds` for easy trend diffing. Machine-dependent,
     /// excluded from the gate like every other wall time.
     pub sched_host_wall_s: f64,
+    /// Cache-hierarchy trend: the same workload re-run on the 48K-L1
+    /// cached Tesla variant. Additive like `opt_modeled_s` — the gate
+    /// never reads it, but the committed JSON shows hit-rate and
+    /// cache-aware-time drift. `None` only if the run saw no cacheable
+    /// traffic.
+    pub cache: Option<CacheTrend>,
+}
+
+/// The additive cache-trend fields of one trajectory entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheTrend {
+    /// L1 hit rate over the run's kernel launches (hits / probes).
+    pub l1_hit_rate: f64,
+    /// L2 hit rate (of the L1 misses that reached it), 0.0 if none did.
+    pub l2_hit_rate: f64,
+    /// Modeled device seconds on the cached variant — includes the
+    /// cache-aware memory term, so it drifts when hit rates move even at
+    /// constant transaction counts.
+    pub cached_modeled_s: f64,
 }
 
 /// The full trajectory run, plus the raw material for the unified
@@ -147,6 +166,7 @@ fn compute_inner(device: &Device) -> Result<BenchRun, benchsuite::Error> {
                 *host_wall_seconds.entry(s.category).or_insert(0.0) += s.wall_seconds();
             }
             let (opt_modeled_s, pass_stats) = o2_trend(bench, sync, device)?;
+            let cache = cache_trend(bench, sync)?;
             let sched_host_wall_s = host_wall_seconds.get("sched").copied().unwrap_or(0.0);
             entries.push(BenchEntry {
                 bench,
@@ -165,6 +185,7 @@ fn compute_inner(device: &Device) -> Result<BenchRun, benchsuite::Error> {
                 pass_stats,
                 backend: oclsim::backend_name(),
                 sched_host_wall_s,
+                cache,
             });
             if bench == "floyd" && sync {
                 floyd_events = p.events.clone();
@@ -211,6 +232,37 @@ fn o2_trend(
     hpl::set_opt_level(prev);
     hpl::clear_kernel_cache();
     result
+}
+
+/// The additive cache-trend fields: re-run the workload on the 48K-L1
+/// cached Tesla variant and aggregate hit rates and cache-aware modeled
+/// seconds over its kernel launches. The cached variant shares the plain
+/// Tesla's roofline, so transaction counts match the main run exactly.
+fn cache_trend(bench: &'static str, sync: bool) -> Result<Option<CacheTrend>, benchsuite::Error> {
+    let device = crate::tesla_cached();
+    let p = profile_one(bench, sync, &device)?;
+    let (mut h1, mut m1, mut h2, mut m2) = (0u64, 0u64, 0u64, 0u64);
+    let mut cached_modeled_s = 0.0;
+    for r in &p.rows {
+        let t = &r.counters.totals;
+        h1 += t.l1_hits;
+        m1 += t.l1_misses;
+        h2 += t.l2_hits;
+        m2 += t.l2_misses;
+        cached_modeled_s += r.modeled_seconds;
+    }
+    if h1 + m1 == 0 {
+        return Ok(None);
+    }
+    Ok(Some(CacheTrend {
+        l1_hit_rate: h1 as f64 / (h1 + m1) as f64,
+        l2_hit_rate: if h2 + m2 == 0 {
+            0.0
+        } else {
+            h2 as f64 / (h2 + m2) as f64
+        },
+        cached_modeled_s,
+    }))
 }
 
 fn json_escape(s: &str) -> String {
@@ -284,6 +336,16 @@ pub fn to_json_with_soak(entries: &[BenchEntry], soak: Option<&SoakSummary>) -> 
             "      \"sched_host_wall_s\": {:.6},",
             e.sched_host_wall_s
         );
+        match &e.cache {
+            Some(c) => {
+                let _ = writeln!(
+                    out,
+                    "      \"cache\": {{\"l1_hit_rate\": {:.6}, \"l2_hit_rate\": {:.6}, \"cached_modeled_s\": {:.9}}},",
+                    c.l1_hit_rate, c.l2_hit_rate, c.cached_modeled_s
+                );
+            }
+            None => out.push_str("      \"cache\": null,\n"),
+        }
         let _ = writeln!(out, "      \"opt_modeled_s\": {:.9},", e.opt_modeled_s);
         let s = &e.pass_stats;
         let _ = writeln!(
@@ -471,6 +533,11 @@ mod tests {
             },
             backend: "wg",
             sched_host_wall_s: 0.002,
+            cache: Some(CacheTrend {
+                l1_hit_rate: 0.75,
+                l2_hit_rate: 0.5,
+                cached_modeled_s: 0.0011,
+            }),
         }
     }
 
@@ -550,6 +617,37 @@ mod tests {
         assert!(ok.is_empty(), "{ok:?}");
         // and the gate still fires through the unknown fields
         let bad = check_against_baseline(&[entry("ep", "sync", 0.002, 0)], alien).unwrap();
+        assert_eq!(bad.len(), 1, "{bad:?}");
+    }
+
+    #[test]
+    fn gate_ignores_cache_fields() {
+        // the cache object is an additive trend field: hit rates and
+        // cache-aware modeled seconds may drift arbitrarily (or vanish
+        // entirely) without tripping the gate, which reads only
+        // bench/mode/modeled_device_seconds/redundant_uploads
+        let mut base = entry("ep", "sync", 0.001, 0);
+        base.cache = Some(CacheTrend {
+            l1_hit_rate: 0.99,
+            l2_hit_rate: 0.99,
+            cached_modeled_s: 0.000001,
+        });
+        let baseline = to_json(&[base]);
+        assert!(baseline.contains("\"l1_hit_rate\": 0.990000"), "{baseline}");
+        let mut run = entry("ep", "sync", 0.001, 0);
+        run.cache = None; // cacheless run vs cache-bearing baseline
+        let ok = check_against_baseline(&[run], &baseline).unwrap();
+        assert!(ok.is_empty(), "{ok:?}");
+        // null cache serialises and parses cleanly too
+        let mut nullbase = entry("ep", "sync", 0.001, 0);
+        nullbase.cache = None;
+        let null_json = to_json(&[nullbase]);
+        assert!(null_json.contains("\"cache\": null"), "{null_json}");
+        assert!(parse(&null_json).is_ok(), "{null_json}");
+        let ok = check_against_baseline(&[entry("ep", "sync", 0.001, 0)], &null_json).unwrap();
+        assert!(ok.is_empty(), "{ok:?}");
+        // and the gate still fires through the cache fields
+        let bad = check_against_baseline(&[entry("ep", "sync", 0.002, 0)], &baseline).unwrap();
         assert_eq!(bad.len(), 1, "{bad:?}");
     }
 

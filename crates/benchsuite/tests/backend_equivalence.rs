@@ -27,6 +27,12 @@ fn tesla() -> oclsim::Device {
         .expect("default platform has a Tesla-class GPU")
 }
 
+fn tesla_cached() -> oclsim::Device {
+    hpl::runtime()
+        .device_named("48k")
+        .expect("default platform has the 48K-L1 cached Tesla variant")
+}
+
 /// Backend and opt level are process-global; tests in this binary must
 /// not race on them.
 static KNOB_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
@@ -145,6 +151,52 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// Cache-model determinism over randomized launch geometries: the
+    /// simulated L1/L2 hit/miss counters (per-launch totals and per-line
+    /// maps) must be byte-identical between the `wg` VM and the `ref`
+    /// interpreter. Transpose varies the 2D tiling, SpMV varies the
+    /// gather pattern — between them they cover strided, coalesced and
+    /// data-dependent transaction streams.
+    #[test]
+    fn cache_counters_identical_across_backends_randomized(
+        seed in any::<u64>(),
+        rf in 1usize..4,
+        cf in 1usize..4,
+        rows_sp in 2usize..8,
+        dens in 5u64..40,
+    ) {
+        let _serial = KNOB_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let device = tesla_cached();
+        let t_cfg = transpose::TransposeConfig { rows: 16 * rf, cols: 16 * cf };
+        let matrix = transpose::generate_matrix(&t_cfg);
+        let s_cfg = spmv::SpmvConfig { n: 8 * rows_sp, density: dens as f64 / 100.0, seed };
+        let problem = spmv::generate(&s_cfg);
+        let run = || {
+            let (_, report) = hpl::profile(|| {
+                transpose::hpl_version::run(&t_cfg, &matrix, &device).unwrap();
+                spmv::hpl_version::run(&s_cfg, &problem, &device).unwrap();
+            });
+            report
+                .launches
+                .iter()
+                .map(|l| (base_name(&l.kernel), l.event.counters()))
+                .collect::<Vec<_>>()
+        };
+        let reference = with_knobs(Backend::Ref, OptLevel::O2, run);
+        let compiled = with_knobs(Backend::Wg, OptLevel::O2, run);
+        prop_assert_eq!(&reference, &compiled);
+        let traffic: u64 = reference
+            .iter()
+            .filter_map(|(_, c)| c.as_ref())
+            .map(|c| c.totals.l1_hits + c.totals.l1_misses)
+            .sum();
+        prop_assert!(traffic > 0, "randomized geometry produced no cache traffic");
+    }
+}
+
 /// Per-launch profiled counters of a full benchmark run, keyed by launch
 /// order. `None` for launches whose event carried no counters.
 fn profiled_counters(
@@ -172,13 +224,19 @@ fn base_name(kernel: &str) -> String {
 
 /// The stronger property behind `report -- annotate` backend-agnosticism:
 /// every launch's counter snapshot — instruction-class totals, memory
-/// transactions, bank conflicts, barrier stalls, and the per-line map —
-/// is byte-identical between backends on all five benchmarks.
+/// transactions, bank conflicts, barrier stalls, simulated L1/L2 cache
+/// hits and misses, and the per-line map — is byte-identical between
+/// backends on all five benchmarks, on both the roofline-only Tesla and
+/// its cache-capable variant.
 #[test]
 fn launch_counters_identical_across_backends() {
     let _serial = KNOB_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    let device = tesla();
+    for device in [tesla(), tesla_cached()] {
+        launch_counters_on(&device);
+    }
+}
 
+fn launch_counters_on(device: &oclsim::Device) {
     let f_cfg = floyd::FloydConfig { nodes: 32, seed: 7 };
     let t_cfg = transpose::TransposeConfig { rows: 32, cols: 16 };
     let s_cfg = spmv::SpmvConfig {
@@ -204,20 +262,33 @@ fn launch_counters_identical_across_backends() {
         r_cfg,
     };
 
+    let has_cache = device.profile().cache.is_some();
     for level in [OptLevel::O0, OptLevel::O2] {
-        let reference = with_knobs(Backend::Ref, level, || profiled_counters(&inp, &device));
-        let compiled = with_knobs(Backend::Wg, level, || profiled_counters(&inp, &device));
+        let reference = with_knobs(Backend::Ref, level, || profiled_counters(&inp, device));
+        let compiled = with_knobs(Backend::Wg, level, || profiled_counters(&inp, device));
         assert_eq!(
             reference.len(),
             compiled.len(),
             "launch count diverged at {level}"
         );
+        let mut cache_traffic = 0u64;
         for ((rk, rc), (ck, cc)) in reference.iter().zip(&compiled) {
             assert_eq!(rk, ck, "launch order diverged at {level}");
             assert_eq!(
                 rc, cc,
                 "counters for `{rk}` diverged between backends at {level}"
             );
+            if let Some(c) = rc {
+                cache_traffic += c.totals.l1_hits + c.totals.l1_misses;
+            }
         }
+        // the comparison above must actually cover the cache model on the
+        // cached device — and must cover its absence on the plain one
+        assert_eq!(
+            cache_traffic > 0,
+            has_cache,
+            "cache traffic mismatch on `{}` at {level}",
+            device.name()
+        );
     }
 }

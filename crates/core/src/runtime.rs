@@ -168,9 +168,11 @@ mod tests {
     #[test]
     fn runtime_discovers_paper_devices() {
         let rt = runtime();
-        assert_eq!(rt.devices().len(), 3);
+        assert_eq!(rt.devices().len(), 5);
         assert_eq!(rt.default_device().device_type(), DeviceType::Gpu);
         assert!(rt.default_device().name().contains("Tesla"));
+        // the default device stays the plain (roofline-only) Tesla
+        assert!(rt.default_device().profile().cache.is_none());
     }
 
     #[test]
@@ -179,6 +181,14 @@ mod tests {
         assert!(rt.device_named("quadro").is_some());
         assert!(rt.device_named("TESLA").is_some());
         assert!(rt.device_named("does-not-exist").is_none());
+        // "tesla" keeps resolving to the paper's cache-less device; the
+        // cached variants are reachable by their L1-size fragments
+        assert!(rt.device_named("tesla").unwrap().profile().cache.is_none());
+        let d48 = rt.device_named("48k").unwrap();
+        assert!(d48.profile().cache.is_some());
+        let d16 = rt.device_named("16k").unwrap();
+        assert!(d16.profile().cache.is_some());
+        assert_ne!(d48, d16);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
+use crate::prof::cache::CacheConfig;
 use crate::sched::DeviceSched;
 
 /// Broad device classification, mirroring `CL_DEVICE_TYPE_*`.
@@ -66,6 +67,11 @@ pub struct DeviceProfile {
     /// Throughput cost multiplier for double precision relative to single
     /// (2 on Fermi Tesla, effectively infinite when `fp64` is false).
     pub fp64_cost_factor: f64,
+    /// Optional cache-hierarchy capability: profiles that declare one get
+    /// simulated L1/L2 hit/miss counters and cache-aware modeled memory
+    /// time; profiles without it keep the roofline-only numbers
+    /// bit-for-bit (see [`crate::prof::cache`]).
+    pub cache: Option<CacheConfig>,
 }
 
 impl DeviceProfile {
@@ -90,6 +96,7 @@ impl DeviceProfile {
             mem_segment_bytes: 128,
             issue_efficiency: 0.85,
             fp64_cost_factor: 2.0,
+            cache: None,
         }
     }
 
@@ -114,6 +121,7 @@ impl DeviceProfile {
             mem_segment_bytes: 128,
             issue_efficiency: 0.8,
             fp64_cost_factor: f64::INFINITY,
+            cache: None,
         }
     }
 
@@ -139,6 +147,7 @@ impl DeviceProfile {
             mem_segment_bytes: 64,
             issue_efficiency: 0.9,
             fp64_cost_factor: 1.0,
+            cache: None,
         }
     }
 
@@ -148,6 +157,38 @@ impl DeviceProfile {
         let mut p = Self::xeon_host();
         p.name = "SimCPU Xeon (1 core, serial baseline)".into();
         p.compute_units = 1;
+        p
+    }
+
+    /// [`DeviceProfile::tesla_c2050`] with its Fermi cache hierarchy
+    /// declared: 48 KB 6-way L1 (the 48/16 shared-memory split), 768 KB
+    /// 8-way L2, 128-byte lines. Otherwise identical to the plain Tesla,
+    /// so kernel behaviour and compute timing match it exactly.
+    pub fn tesla_c2050_cached() -> Self {
+        let mut p = Self::tesla_c2050();
+        p.name = "SimGPU Tesla C2050 (48K L1/768K L2)".into();
+        p.cache = Some(CacheConfig {
+            line_bytes: 128,
+            l1_bytes: 48 << 10,
+            l1_ways: 6,
+            l2_bytes: 768 << 10,
+            l2_ways: 8,
+            l1_gbps: 1030.0,
+            l2_gbps: 330.0,
+        });
+        p
+    }
+
+    /// The cache-differing sibling of [`DeviceProfile::tesla_c2050_cached`]
+    /// for the Fig. 9 portability axis: same device, configured for the
+    /// 16/48 split (16 KB 4-way L1). Locality-sensitive kernels model
+    /// slower here; everything else is identical.
+    pub fn tesla_c2050_small_l1() -> Self {
+        let mut p = Self::tesla_c2050_cached();
+        p.name = "SimGPU Tesla C2050 (16K L1/768K L2)".into();
+        let cc = p.cache.as_mut().expect("cached preset");
+        cc.l1_bytes = 16 << 10;
+        cc.l1_ways = 4;
         p
     }
 
@@ -301,6 +342,22 @@ mod tests {
         // Tesla vs one Xeon core is a few-hundred-fold gap: the raw material
         // of the paper's 257x EP speedup.
         assert!(tesla / serial > 100.0);
+    }
+
+    #[test]
+    fn cached_presets_differ_only_in_the_cache_capability() {
+        let plain = DeviceProfile::tesla_c2050();
+        assert!(plain.cache.is_none(), "legacy profiles stay cache-less");
+        let mut cached = DeviceProfile::tesla_c2050_cached();
+        let cc = cached.cache.take().unwrap();
+        assert_eq!(cc.l1_sets(), 64); // 48K / (6 ways x 128B)
+        assert_eq!(cc.l2_sets(), 768); // 768K / (8 ways x 128B)
+        cached.name = plain.name.clone();
+        assert_eq!(cached, plain, "everything but name+cache matches");
+        let small = DeviceProfile::tesla_c2050_small_l1();
+        let scc = small.cache.unwrap();
+        assert_eq!(scc.l1_sets(), 32); // 16K / (4 ways x 128B)
+        assert_eq!(scc.l2_bytes, cc.l2_bytes);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::exec::ir::{Builtin, Ex, FuncIr, Module, St, StKind};
 use crate::exec::launch::{BoundArg, Geometry};
 use crate::exec::mask::Mask;
 use crate::exec::ops;
+use crate::prof::cache::{CacheConfig, GroupCacheSim, L2Record};
 use crate::prof::counters::{GroupCounters, InstrClass};
 use crate::timing::{CostModel, GroupStats};
 use crate::types::ScalarType;
@@ -76,6 +77,13 @@ pub struct LaunchEnv<'a> {
     /// default: every counter hook is behind this flag, so a non-profiled
     /// launch pays nothing beyond the [`GroupStats`] it always kept.
     pub collect: bool,
+    /// Cache-hierarchy capability of the launch device
+    /// (`DeviceProfile::cache`). When present, both backends feed the
+    /// charged transaction stream through a per-group L1 tag array and
+    /// emit an L1-miss stream for the launch layer's shared L2 —
+    /// independent of `collect`, because the cache-aware timing path needs
+    /// the [`GroupStats`] hit/miss totals even without profiling.
+    pub cache: Option<CacheConfig>,
 }
 
 /// One function activation record.
@@ -142,6 +150,12 @@ pub struct GroupRun<'a> {
     /// a GPU's coalescer needs the accesses to be simultaneous within a
     /// warp. `None` on wide-SIMT devices.
     seg_cache: Option<Vec<u64>>,
+    /// Per-group L1 cache simulation, present iff the launch device has a
+    /// cache capability. Charged transactions are buffered per warp and
+    /// replayed through the tag array at every barrier and at the end of
+    /// the run (see [`crate::prof::cache`] for why that order is the
+    /// canonical, backend-independent one).
+    cache: Option<GroupCacheSim>,
     /// Barrier epoch of this group (counts executed barriers), used by the
     /// shadow-memory race sanitizer.
     epoch: u32,
@@ -195,6 +209,10 @@ impl<'a> GroupRun<'a> {
             } else {
                 None
             },
+            cache: env
+                .cache
+                .as_ref()
+                .map(|cc| GroupCacheSim::new(cc, env.cost.segment_bytes as u64)),
             epoch: 0,
             shadow: env.sanitize.then(HashMap::new),
         }
@@ -257,7 +275,52 @@ impl<'a> GroupRun<'a> {
             frame.slots[i].fill(v);
         }
         let full = Mask::full(self.nlanes);
-        self.exec_block(&kernel.body, &mut frame, &full)
+        let result = self.exec_block(&kernel.body, &mut frame, &full);
+        self.flush_cache();
+        result
+    }
+
+    /// Drain the L1-miss stream accumulated by the cache model (empty when
+    /// the device has no cache capability). Harvested once per group by
+    /// the launch layer and replayed through the shared L2.
+    pub fn take_l2_stream(&mut self) -> Vec<L2Record> {
+        self.cache
+            .as_mut()
+            .map(|sim| std::mem::take(&mut sim.l2_stream))
+            .unwrap_or_default()
+    }
+
+    /// Replay the buffered warp accesses through the group's L1 in
+    /// canonical order, attributing every hit/miss to its source line —
+    /// the cache model's analog of [`Self::bump`]: group totals and the
+    /// per-line map move together, so sums stay equal by construction.
+    fn flush_cache(&mut self) {
+        let Some(mut sim) = self.cache.take() else {
+            return;
+        };
+        sim.flush(|dsl, hit| {
+            if hit {
+                self.stats.l1_hits += 1;
+            } else {
+                self.stats.l1_misses += 1;
+            }
+            if let Some(c) = &mut self.counters {
+                let lc = self
+                    .line_counters
+                    .as_mut()
+                    .expect("line_counters allocated together with counters")
+                    .entry(dsl as usize)
+                    .or_default();
+                if hit {
+                    c.l1_hits += 1;
+                    lc.l1_hits += 1;
+                } else {
+                    c.l1_misses += 1;
+                    lc.l1_misses += 1;
+                }
+            }
+        });
+        self.cache = Some(sim);
     }
 
     // ---- helpers --------------------------------------------------------
@@ -318,9 +381,11 @@ impl<'a> GroupRun<'a> {
     /// models line reuse across consecutive accesses.
     fn charge_global(&mut self, addrs: &[u64], size: usize, mask: &Mask) {
         let seg = self.env.cost.segment_bytes as u64;
+        let cur_line = self.cur_line as u32;
         let mut tx = 0u64;
         let mut min_tx = 0u64;
         if let Some(cache) = &mut self.seg_cache {
+            let mut sim = self.cache.as_mut();
             for lane in mask.iter() {
                 let a = addrs[lane];
                 let first = a / seg;
@@ -331,6 +396,12 @@ impl<'a> GroupRun<'a> {
                     if cache[slot] != s {
                         cache[slot] = s;
                         tx += 1;
+                        // scalar cores have no warps: each transaction the
+                        // segment cache lets through is its own access on
+                        // stream 0 (ref-only — wg requires simd >= 2)
+                        if let Some(sim) = sim.as_deref_mut() {
+                            sim.record(0, s, cur_line, true);
+                        }
                     }
                 }
             }
@@ -363,6 +434,11 @@ impl<'a> GroupRun<'a> {
                 warp_segs.sort_unstable();
                 warp_segs.dedup();
                 tx += warp_segs.len() as u64;
+                if let Some(sim) = &mut self.cache {
+                    for (i, &s) in warp_segs.iter().enumerate() {
+                        sim.record(w, s, cur_line, i == 0);
+                    }
+                }
             }
         }
         self.stats.mem_transactions += tx;
@@ -634,6 +710,10 @@ impl<'a> GroupRun<'a> {
                 });
                 // the sanitizer's happens-before resets at the barrier
                 self.epoch += 1;
+                // the barrier is also a canonical cache replay point: both
+                // backends reach it at the same kernel position, so the L1
+                // sees identical access sequences either way
+                self.flush_cache();
                 // lock-step execution means memory is already consistent
             }
             StKind::ExprSt(e) => {

@@ -13,6 +13,7 @@ use crate::error::{Error, Result};
 use crate::exec::interp::{GroupRun, LaunchEnv};
 use crate::exec::ir::{FuncIr, Module, ParamKind};
 use crate::exec::wg;
+use crate::prof::cache::{L2Record, TagArray};
 use crate::prof::counters::{GroupCounters, LaunchCounters};
 use crate::timing::{cu_loads, model_launch, CostModel, GroupStats, TimingBreakdown};
 use crate::types::ScalarType;
@@ -299,6 +300,7 @@ pub fn run_ndrange_profiled(
         simd: device.profile().simd_width.max(1) as usize,
         sanitize,
         collect,
+        cache: device.profile().cache,
     };
     // Resolve the compiled work-group plan. The wg backend needs whole
     // warps it can mask with one `u64` (2 <= simd <= 64), no dynamic race
@@ -349,12 +351,13 @@ pub fn run_ndrange_profiled(
     let next = AtomicUsize::new(start);
     let failed = AtomicBool::new(false);
     let first_error: Mutex<Option<Error>> = Mutex::new(None);
-    let all_stats: Mutex<Vec<(usize, GroupStats)>> = Mutex::new(Vec::with_capacity(span_groups));
+    let all_stats: Mutex<Vec<(usize, GroupStats, Vec<L2Record>)>> =
+        Mutex::new(Vec::with_capacity(span_groups));
     let all_counters: Mutex<GroupCounters> = Mutex::new(GroupCounters::default());
     let all_lines: Mutex<BTreeMap<usize, GroupCounters>> = Mutex::new(BTreeMap::new());
 
     let run_worker = || {
-        let mut local_stats: Vec<(usize, GroupStats)> = Vec::new();
+        let mut local_stats: Vec<(usize, GroupStats, Vec<L2Record>)> = Vec::new();
         let mut local_counters = GroupCounters::default();
         let mut local_lines: BTreeMap<usize, GroupCounters> = BTreeMap::new();
         // one VM per worker, reset per group: the register frame, lane-id
@@ -378,16 +381,20 @@ pub fn run_ndrange_profiled(
                 run.reset([gx, gy, gz]);
                 // counters stay inside the VM, accumulating across every
                 // group this worker claims; harvested once after the loop
-                run.run()
-                    .map(|()| (std::mem::take(&mut run.stats), None, None))
+                run.run().map(|()| {
+                    let l2 = run.take_l2_stream();
+                    (std::mem::take(&mut run.stats), l2, None, None)
+                })
             } else {
                 let mut run = GroupRun::new(&env, [gx, gy, gz]);
-                run.run()
-                    .map(|()| (run.stats, run.counters, run.line_counters))
+                run.run().map(|()| {
+                    let l2 = run.take_l2_stream();
+                    (run.stats, l2, run.counters, run.line_counters)
+                })
             };
             match result {
-                Ok((stats, counters, line_counters)) => {
-                    local_stats.push((g, stats));
+                Ok((stats, l2_stream, counters, line_counters)) => {
+                    local_stats.push((g, stats, l2_stream));
                     if let Some(c) = &counters {
                         local_counters.merge(c);
                     }
@@ -447,8 +454,47 @@ pub fn run_ndrange_profiled(
     // time must be a pure function of the workload, not of which worker
     // finished first.
     let mut stats_by_group = all_stats.into_inner();
-    stats_by_group.sort_unstable_by_key(|&(g, _)| g);
-    let stats: Vec<GroupStats> = stats_by_group.into_iter().map(|(_, s)| s).collect();
+    stats_by_group.sort_unstable_by_key(|&(g, _, _)| g);
+    let mut totals = all_counters.into_inner();
+    let mut lines = all_lines.into_inner();
+    // Replay every group's L1-miss stream through the one shared L2 tag
+    // array in linear group-id order: cross-group reuse is modeled, while
+    // the result stays independent of the worker pool, the claim order and
+    // the execution backend.
+    if let Some(cc) = &device.profile().cache {
+        let mut l2 = TagArray::new(cc.l2_sets(), cc.l2_ways as usize);
+        let (mut h1, mut m1, mut h2, mut m2) = (0u64, 0u64, 0u64, 0u64);
+        for (_, stats, stream) in &mut stats_by_group {
+            h1 += stats.l1_hits;
+            m1 += stats.l1_misses;
+            for &(line, dsl) in stream.iter() {
+                let hit = l2.access(line);
+                if hit {
+                    stats.l2_hits += 1;
+                    h2 += 1;
+                } else {
+                    stats.l2_misses += 1;
+                    m2 += 1;
+                }
+                if collect {
+                    let lc = lines.entry(dsl as usize).or_default();
+                    if hit {
+                        totals.l2_hits += 1;
+                        lc.l2_hits += 1;
+                    } else {
+                        totals.l2_misses += 1;
+                        lc.l2_misses += 1;
+                    }
+                }
+            }
+        }
+        let m = crate::telemetry::metrics();
+        m.prof_cache_l1_hits.add(h1);
+        m.prof_cache_l1_misses.add(m1);
+        m.prof_cache_l2_hits.add(h2);
+        m.prof_cache_l2_misses.add(m2);
+    }
+    let stats: Vec<GroupStats> = stats_by_group.into_iter().map(|(_, s, _)| s).collect();
     let timing = model_launch(device.profile(), &stats);
     let counters = collect.then(|| {
         let load = cu_loads(device.profile(), &stats);
@@ -464,8 +510,8 @@ pub fn run_ndrange_profiled(
             })
             .collect();
         LaunchCounters {
-            totals: all_counters.into_inner(),
-            lines: all_lines.into_inner(),
+            totals,
+            lines,
             num_groups: stats.len(),
             total_cycles: timing.totals.cycles,
             cu_occupancy,
@@ -560,5 +606,65 @@ mod tests {
         let first = worker_threads();
         assert!(first >= 1);
         assert_eq!(worker_threads(), first);
+    }
+
+    /// Cache counters are byte-identical across host worker counts: L1
+    /// state is group-private (each group replays its own transaction
+    /// stream), and the shared L2 is replayed single-threaded in linear
+    /// group-id order after the workers join, so the pool size can never
+    /// reorder a probe.
+    #[test]
+    fn cache_counters_identical_across_worker_counts() {
+        let device = Device::new(DeviceProfile::tesla_c2050_cached());
+        let ctx = crate::Context::new(std::slice::from_ref(&device)).unwrap();
+        // strided gather (intra-warp line reuse + cross-group L2 reuse),
+        // a barrier (mid-group canonical flush point), then a streaming
+        // read — enough shape to catch any ordering bug
+        let src = "__kernel void stride(__global float* a, __global float* b) {
+            int i = (int)get_global_id(0);
+            float x = a[(i * 7) % 4096];
+            barrier(CLK_GLOBAL_MEM_FENCE);
+            b[i] = x + a[i];
+        }";
+        let p = crate::Program::from_source(&ctx, src);
+        p.build("").unwrap();
+        let k = p.kernel("stride").unwrap();
+        let a = ctx
+            .create_buffer(4 * 4096, crate::MemAccess::ReadOnly)
+            .unwrap();
+        let b = ctx
+            .create_buffer(4 * 4096, crate::MemAccess::ReadWrite)
+            .unwrap();
+        k.set_arg_buffer(0, &a).unwrap();
+        k.set_arg_buffer(1, &b).unwrap();
+        let args = k.bound_args().unwrap();
+        let geom = Geometry::new(&[4096], Some(&[64]), &device).unwrap();
+        let run = |workers: usize| {
+            let (_, counters) = run_ndrange_profiled(
+                k.module(),
+                k.func_ir(),
+                &args,
+                geom,
+                &device,
+                false,
+                true,
+                Some(workers),
+                None,
+            )
+            .unwrap();
+            counters.expect("collect=true yields counters")
+        };
+        let w1 = run(1);
+        let w4 = run(4);
+        assert!(
+            w1.totals.l1_hits + w1.totals.l1_misses > 0,
+            "cached device must record cache traffic"
+        );
+        assert_eq!(
+            w1.totals.l2_hits + w1.totals.l2_misses,
+            w1.totals.l1_misses,
+            "L2 sees exactly the L1 misses"
+        );
+        assert_eq!(w1, w4, "cache counters must not depend on the pool size");
     }
 }

@@ -64,6 +64,7 @@ use crate::exec::interp::{
 use crate::exec::ir::{BOp, Builtin, Ex, FuncIr, Module, St, StKind};
 use crate::exec::launch::BoundArg;
 use crate::exec::ops;
+use crate::prof::cache::{GroupCacheSim, L2Record};
 use crate::prof::counters::{GroupCounters, InstrClass};
 use crate::timing::GroupStats;
 use crate::types::ScalarType;
@@ -1575,6 +1576,12 @@ pub struct WgGroupRun<'a> {
     seg_buf: Vec<u64>,
     bank_buf: Vec<(u64, u64)>,
     call_depth: usize,
+    /// Per-group L1 tag-array simulation (present when the device profile
+    /// has the `cache` capability). Transactions are buffered per warp and
+    /// replayed in warp-index order at every barrier and at the end of the
+    /// group run, so the hit/miss stream is byte-identical to the
+    /// statement-major reference backend.
+    cache: Option<GroupCacheSim>,
 }
 
 impl<'a> WgGroupRun<'a> {
@@ -1622,6 +1629,10 @@ impl<'a> WgGroupRun<'a> {
             seg_buf: Vec::new(),
             bank_buf: Vec::new(),
             call_depth: 0,
+            cache: env
+                .cache
+                .as_ref()
+                .map(|cc| GroupCacheSim::new(cc, env.cost.segment_bytes as u64)),
         }
     }
 
@@ -1653,6 +1664,9 @@ impl<'a> WgGroupRun<'a> {
             self.regs.fill(0);
         }
         self.call_depth = 0;
+        if let Some(sim) = &mut self.cache {
+            sim.reset_group();
+        }
     }
 
     /// Run the fissioned kernel for every lane of this group.
@@ -1670,8 +1684,53 @@ impl<'a> WgGroupRun<'a> {
         let kplan = self.kplan;
         let result = self.run_group_ops(&kplan.ops, &mut regs);
         self.regs = regs;
+        self.flush_cache();
         self.flush_lines();
         result
+    }
+
+    /// Take the ordered stream of L1 misses this group produced; the
+    /// launch layer replays it through the shared L2 tag array in linear
+    /// group-id order (mirrors [`super::interp::GroupRun::take_l2_stream`]).
+    pub fn take_l2_stream(&mut self) -> Vec<L2Record> {
+        self.cache
+            .as_mut()
+            .map(|sim| std::mem::take(&mut sim.l2_stream))
+            .unwrap_or_default()
+    }
+
+    /// Replay the buffered per-warp transaction stream through the L1 tag
+    /// array in warp-index order — the canonical order both backends share.
+    /// Hit/miss deltas land directly on the totals and the per-line map
+    /// (each record carries its own source line, so the `acc` batching for
+    /// `cur_line` does not apply).
+    fn flush_cache(&mut self) {
+        let Some(mut sim) = self.cache.take() else {
+            return;
+        };
+        sim.flush(|dsl, hit| {
+            if hit {
+                self.stats.l1_hits += 1;
+            } else {
+                self.stats.l1_misses += 1;
+            }
+            if let Some(c) = &mut self.counters {
+                let lc = self
+                    .line_counters
+                    .as_mut()
+                    .expect("line_counters allocated together with counters")
+                    .entry(dsl as usize)
+                    .or_default();
+                if hit {
+                    c.l1_hits += 1;
+                    lc.l1_hits += 1;
+                } else {
+                    c.l1_misses += 1;
+                    lc.l1_misses += 1;
+                }
+            }
+        });
+        self.cache = Some(sim);
     }
 
     // ---- counter chokepoints -----------------------------------------------
@@ -1768,7 +1827,9 @@ impl<'a> WgGroupRun<'a> {
     }
 
     /// Per-warp global-memory coalescing — the single-warp body of the
-    /// reference `charge_global` loop (identical segment math).
+    /// reference `charge_global` loop (identical segment math). `warp` is
+    /// the group-relative warp index (lane offset / SIMD width), used to
+    /// key the cache simulation's per-warp record buffers.
     #[allow(clippy::too_many_arguments)]
     fn charge_global_warp(
         &mut self,
@@ -1779,6 +1840,7 @@ impl<'a> WgGroupRun<'a> {
         size: usize,
         exec: u64,
         ww: usize,
+        warp: usize,
     ) {
         debug_assert_ne!(exec, 0);
         let seg = self.env.cost.segment_bytes as u64;
@@ -1829,6 +1891,12 @@ impl<'a> WgGroupRun<'a> {
         }
         warp_segs.dedup();
         let tx = warp_segs.len() as u64;
+        if let Some(sim) = &mut self.cache {
+            let line = self.cur_line as u32;
+            for (i, &s) in warp_segs.iter().enumerate() {
+                sim.record(warp, s, line, i == 0);
+            }
+        }
         self.seg_buf = warp_segs;
         self.stats.mem_transactions += tx;
         if self.collect {
@@ -2228,6 +2296,11 @@ impl<'a> WgGroupRun<'a> {
                     // by construction every lane reaches the barrier: the
                     // preceding regions ran every warp to completion and
                     // barrier kernels contain no `return`
+                    //
+                    // the barrier is also the canonical cache replay point:
+                    // both backends flush the buffered per-warp transaction
+                    // stream here, so the tag-array probe order is identical
+                    self.flush_cache();
                     self.set_line(*line as usize);
                     self.stats.barriers += 1;
                     self.stats.cycles += self.env.cost.barrier as u64;
@@ -2413,6 +2486,7 @@ impl<'a> WgGroupRun<'a> {
                                     elem.size(),
                                     exec,
                                     ww,
+                                    w,
                                 );
                             }
                             AddrSpace::Local => {
@@ -2481,6 +2555,7 @@ impl<'a> WgGroupRun<'a> {
                                     elem.size(),
                                     exec,
                                     ww,
+                                    w,
                                 );
                             }
                             AddrSpace::Local => {
@@ -2808,6 +2883,9 @@ impl<'a> WgGroupRun<'a> {
                     if w.exec != 0 {
                         match space {
                             AddrSpace::Global | AddrSpace::Constant => {
+                                // `w.lo` is the true lane offset even inside
+                                // callee frames (Op::Call preserves it), so it
+                                // recovers the group-relative warp index
                                 self.charge_global_warp(
                                     regs,
                                     stride,
@@ -2816,6 +2894,7 @@ impl<'a> WgGroupRun<'a> {
                                     elem.size(),
                                     w.exec,
                                     ww,
+                                    w.lo / self.env.simd,
                                 );
                             }
                             AddrSpace::Local => {
@@ -2878,6 +2957,7 @@ impl<'a> WgGroupRun<'a> {
                                     elem.size(),
                                     w.exec,
                                     ww,
+                                    w.lo / self.env.simd,
                                 );
                             }
                             AddrSpace::Local => {
@@ -3322,6 +3402,7 @@ mod tests {
             simd,
             sanitize: false,
             collect: true,
+            cache: DeviceProfile::tesla_c2050_cached().cache,
         };
         let mut out = RunOut {
             stats: Vec::new(),

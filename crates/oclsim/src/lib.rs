@@ -75,7 +75,8 @@ pub use exec::wg::{backend, backend_name, set_backend, Backend};
 pub use platform::Platform;
 pub use prof::{
     chrome_trace, chrome_trace_with_host, profile_launch, roofline, validate_chrome_trace,
-    GroupCounters, InstrClass, InstrMix, LaunchCounters, RooflinePoint, TransferDir, TransferInfo,
+    CacheConfig, GroupCounters, InstrClass, InstrMix, LaunchCounters, RooflinePoint, TransferDir,
+    TransferInfo,
 };
 pub use program::{Kernel, Program};
 pub use queue::{CommandQueue, ReadHandle};

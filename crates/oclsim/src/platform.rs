@@ -17,7 +17,12 @@ pub struct Platform {
 impl Platform {
     /// The default platform, mirroring the paper's testbed (§V-B/§V-C):
     /// one Tesla C2050/C2070-class GPU, one Quadro FX 380-class GPU and the
-    /// Xeon host as a CPU device, in that order.
+    /// Xeon host as a CPU device, in that order, followed by the two
+    /// cache-capable Tesla variants used by the cache observability stack
+    /// and the extended Fig. 9 portability experiment. The paper devices
+    /// come first so default selection (`default_accelerator`) and
+    /// name-fragment lookups like `"tesla"` keep resolving to the plain
+    /// roofline-modeled Tesla.
     pub fn default_platform() -> Self {
         Platform {
             name: "oclsim (paper testbed)".into(),
@@ -25,6 +30,8 @@ impl Platform {
                 Device::new(DeviceProfile::tesla_c2050()),
                 Device::new(DeviceProfile::quadro_fx380()),
                 Device::new(DeviceProfile::xeon_host()),
+                Device::new(DeviceProfile::tesla_c2050_cached()),
+                Device::new(DeviceProfile::tesla_c2050_small_l1()),
             ],
         }
     }
@@ -75,9 +82,15 @@ mod tests {
     #[test]
     fn default_platform_has_paper_devices() {
         let p = Platform::default_platform();
-        assert_eq!(p.devices().len(), 3);
-        assert_eq!(p.devices_of_type(DeviceType::Gpu).len(), 2);
+        assert_eq!(p.devices().len(), 5);
+        assert_eq!(p.devices_of_type(DeviceType::Gpu).len(), 4);
         assert_eq!(p.devices_of_type(DeviceType::Cpu).len(), 1);
+        // the paper's three devices first, cache-capable variants appended
+        assert!(p.devices()[0].profile().cache.is_none());
+        assert!(p.devices()[1].profile().cache.is_none());
+        assert!(p.devices()[2].profile().cache.is_none());
+        assert!(p.devices()[3].profile().cache.is_some());
+        assert!(p.devices()[4].profile().cache.is_some());
     }
 
     #[test]

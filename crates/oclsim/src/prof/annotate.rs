@@ -78,16 +78,31 @@ pub fn heat_marker(share: f64) -> String {
 /// ```
 ///
 /// Rows render in line order; a provenance site, when present, is
-/// appended as a trailing `<- site` note.
+/// appended as a trailing `<- site` note. When any line carries simulated
+/// cache activity (cache-capable device profile), two extra gutter
+/// columns report per-line L1 and L2 hit rates; listings from profiles
+/// without the `cache` capability render byte-identically to before the
+/// cache model existed.
 pub fn listing(kernel: &str, annotated: &[AnnotatedLine]) -> String {
     let mut out = String::new();
     let total_tx: u64 = annotated.iter().map(|a| a.counters.mem_transactions).sum();
+    let cache = annotated
+        .iter()
+        .any(|a| a.counters.l1_hits + a.counters.l1_misses > 0);
     let _ = writeln!(out, "kernel `{kernel}` — {total_tx} mem tx");
-    let _ = writeln!(
-        out,
-        "    {:>10}  {:>6}  {:>10}  {:>8}  {:<8}  source",
-        "mem.tx", "share", "instr", "bank.cf", "heat"
-    );
+    if cache {
+        let _ = writeln!(
+            out,
+            "    {:>10}  {:>6}  {:>10}  {:>8}  {:>7}  {:>7}  {:<8}  source",
+            "mem.tx", "share", "instr", "bank.cf", "l1.hit", "l2.hit", "heat"
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "    {:>10}  {:>6}  {:>10}  {:>8}  {:<8}  source",
+            "mem.tx", "share", "instr", "bank.cf", "heat"
+        );
+    }
     let width = snippet::gutter_width(annotated.iter().map(|a| a.line).max().unwrap_or(1));
     for a in annotated {
         let gutter = if a.line == 0 {
@@ -100,17 +115,42 @@ pub fn listing(kernel: &str, annotated: &[AnnotatedLine]) -> String {
             .as_deref()
             .map(|s| format!("  <- {s}"))
             .unwrap_or_default();
-        let _ = writeln!(
-            out,
-            "    {:>10}  {:>5.1}%  {:>10}  {:>8}  {:<8}  {gutter}{site}",
-            a.counters.mem_transactions,
-            a.tx_share * 100.0,
-            a.counters.instr.total(),
-            a.counters.bank_conflicts,
-            heat_marker(a.tx_share),
-        );
+        if cache {
+            let _ = writeln!(
+                out,
+                "    {:>10}  {:>5.1}%  {:>10}  {:>8}  {:>7}  {:>7}  {:<8}  {gutter}{site}",
+                a.counters.mem_transactions,
+                a.tx_share * 100.0,
+                a.counters.instr.total(),
+                a.counters.bank_conflicts,
+                hit_rate_cell(a.counters.l1_hits, a.counters.l1_misses),
+                hit_rate_cell(a.counters.l2_hits, a.counters.l2_misses),
+                heat_marker(a.tx_share),
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "    {:>10}  {:>5.1}%  {:>10}  {:>8}  {:<8}  {gutter}{site}",
+                a.counters.mem_transactions,
+                a.tx_share * 100.0,
+                a.counters.instr.total(),
+                a.counters.bank_conflicts,
+                heat_marker(a.tx_share),
+            );
+        }
     }
     out
+}
+
+/// A hit-rate gutter cell: `hits / (hits + misses)` as a percentage, or
+/// `-` for a line with no observed traffic at that cache level.
+fn hit_rate_cell(hits: u64, misses: u64) -> String {
+    let seen = hits + misses;
+    if seen == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}%", 100.0 * hits as f64 / seen as f64)
+    }
 }
 
 /// JSONL export: one object per annotated line, in line order.
@@ -126,7 +166,9 @@ pub fn jsonl(kernel: &str, annotated: &[AnnotatedLine]) -> String {
             out,
             "{{\"kernel\":\"{}\",\"line\":{},\"site\":{site},\"text\":\"{}\",\
              \"mem_transactions\":{},\"mem_transactions_min\":{},\"global_bytes\":{},\
-             \"local_accesses\":{},\"bank_conflicts\":{},\"instructions\":{},\
+             \"local_accesses\":{},\"bank_conflicts\":{},\
+             \"l1_hits\":{},\"l1_misses\":{},\"l2_hits\":{},\"l2_misses\":{},\
+             \"instructions\":{},\
              \"flops\":{},\"barriers\":{},\"barrier_stall_cycles\":{},\
              \"divergence_lost_cycles\":{},\"tx_share\":{:.6}}}",
             escape(kernel),
@@ -137,6 +179,10 @@ pub fn jsonl(kernel: &str, annotated: &[AnnotatedLine]) -> String {
             c.global_bytes,
             c.local_accesses,
             c.bank_conflicts,
+            c.l1_hits,
+            c.l1_misses,
+            c.l2_hits,
+            c.l2_misses,
             c.instr.total(),
             c.flops,
             c.barriers,
@@ -225,6 +271,32 @@ mod tests {
         let l3 = text.find("3 | c").expect("line 3 row");
         assert!(l2 < l3, "{text}");
         assert!(text.contains("70.0%"), "{text}");
+    }
+
+    #[test]
+    fn listing_without_cache_activity_has_no_cache_columns() {
+        let lc = launch_with_lines(&[(2, 30)]);
+        let rows = annotate("a\nb\n", &lc, |_| None);
+        let text = listing("k", &rows);
+        assert!(!text.contains("l1.hit"), "{text}");
+        assert!(!text.contains("l2.hit"), "{text}");
+    }
+
+    #[test]
+    fn listing_with_cache_activity_shows_hit_rate_gutters() {
+        let mut lc = launch_with_lines(&[(2, 30), (3, 70)]);
+        let c = lc.lines.get_mut(&2).unwrap();
+        c.l1_hits = 3;
+        c.l1_misses = 1;
+        c.l2_hits = 1;
+        // line 3 saw no cache traffic (e.g. only atomics): renders `-`
+        let rows = annotate("a\nb\nc\n", &lc, |_| None);
+        let text = listing("k", &rows);
+        assert!(text.contains("l1.hit"), "{text}");
+        assert!(text.contains("75.0%"), "{text}");
+        assert!(text.contains("100.0%"), "{text}");
+        let dash_row = text.lines().find(|l| l.contains("3 | c")).unwrap();
+        assert!(dash_row.contains('-'), "{dash_row}");
     }
 
     #[test]

@@ -1,0 +1,384 @@
+//! Deterministic set-associative tag-array cache model (L1 per work-group,
+//! L2 shared across the launch).
+//!
+//! The model observes the *same* per-warp global-memory transaction stream
+//! both execution backends already charge: every coalesced transaction
+//! (one entry of the post-`dedup` segment list of a warp access) becomes
+//! one probe of a cold per-group L1 tag array, at the cache line containing
+//! the segment's first byte. L1 misses are appended — in a canonical order
+//! that does not depend on the backend or the worker pool — to a per-group
+//! miss stream, which the launch layer replays through one shared L2 tag
+//! array in linear group-id order after all workers join.
+//!
+//! Determinism is the whole design:
+//!
+//! * Accesses are **buffered per warp** as they are charged and replayed
+//!   through the group's L1 in warp-index order at every barrier and at
+//!   the end of the group. Within a warp both backends charge in program
+//!   order, so the replayed sequence is byte-identical between the
+//!   reference interpreter (statement-major) and the compiled work-group
+//!   VM (warp-major in control-flow regions, with a fused gather/scatter
+//!   fast path whose charge pass still walks warp by warp).
+//! * The L1 starts **cold for every work-group** and is private to it, so
+//!   group execution order (worker count, claim order) cannot leak into
+//!   the counters.
+//! * The shared L2 is replayed **single-threaded in group-id order**, so
+//!   cross-group reuse (e.g. SpMV's gathers into the `x` vector) is
+//!   modeled while the result stays independent of `OCLSIM_THREADS`.
+//!
+//! A simple MSHR rule merges same-line misses within one warp access: the
+//! coalescer emits the segments of an access sorted and deduplicated, so
+//! two segments of one access that fall into one cache line are adjacent —
+//! the second is counted as an L1 hit without probing (the line is already
+//! in flight).
+//!
+//! Deliberately **not** modeled: write-back/dirty lines (stores allocate
+//! like loads and miss traffic is priced identically), cross-group L1
+//! sharing within a CU, L2 banking/partition camping, and MSHR capacity
+//! limits. See DESIGN.md "The cache model".
+
+/// Cache-hierarchy capability of a device profile.
+///
+/// Profiles without one (`DeviceProfile::cache == None`) keep the
+/// roofline-only timing and all-zero cache counters, bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheConfig {
+    /// Cache-line size in bytes (both levels), power of two.
+    pub line_bytes: u32,
+    /// L1 capacity in bytes (per work-group in this model).
+    pub l1_bytes: u32,
+    /// L1 associativity.
+    pub l1_ways: u32,
+    /// Shared L2 capacity in bytes.
+    pub l2_bytes: u32,
+    /// L2 associativity.
+    pub l2_ways: u32,
+    /// Bandwidth at which L1 hits are served, GB/s.
+    pub l1_gbps: f64,
+    /// Bandwidth at which L2 hits are served, GB/s.
+    pub l2_gbps: f64,
+}
+
+impl CacheConfig {
+    /// Number of L1 sets (`capacity / (ways x line)`), at least 1.
+    pub fn l1_sets(&self) -> usize {
+        ((self.l1_bytes / (self.l1_ways * self.line_bytes)) as usize).max(1)
+    }
+
+    /// Number of L2 sets, at least 1.
+    pub fn l2_sets(&self) -> usize {
+        ((self.l2_bytes / (self.l2_ways * self.line_bytes)) as usize).max(1)
+    }
+}
+
+/// One set-associative tag array with true-LRU replacement.
+///
+/// Tags are full line addresses (`u64::MAX` = invalid), recency is a
+/// monotonic per-array stamp — entirely deterministic.
+#[derive(Debug, Clone)]
+pub struct TagArray {
+    sets: usize,
+    ways: usize,
+    tags: Vec<u64>,
+    stamps: Vec<u64>,
+    tick: u64,
+}
+
+impl TagArray {
+    /// A cold array of `sets x ways` invalid lines.
+    pub fn new(sets: usize, ways: usize) -> TagArray {
+        let sets = sets.max(1);
+        let ways = ways.max(1);
+        TagArray {
+            sets,
+            ways,
+            tags: vec![u64::MAX; sets * ways],
+            stamps: vec![0; sets * ways],
+            tick: 0,
+        }
+    }
+
+    /// Invalidate every line (cold restart for the next work-group).
+    pub fn reset(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.stamps.fill(0);
+        self.tick = 0;
+    }
+
+    /// Probe for `line`; allocates on miss (loads and stores alike).
+    /// Returns `true` on hit.
+    pub fn access(&mut self, line: u64) -> bool {
+        self.tick += 1;
+        let set = (line % self.sets as u64) as usize;
+        let ways = &mut self.tags[set * self.ways..(set + 1) * self.ways];
+        let stamps = &mut self.stamps[set * self.ways..(set + 1) * self.ways];
+        let mut victim = 0usize;
+        let mut victim_stamp = u64::MAX;
+        for (w, (&tag, stamp)) in ways.iter().zip(stamps.iter_mut()).enumerate() {
+            if tag == line {
+                *stamp = self.tick;
+                return true;
+            }
+            let s = if tag == u64::MAX { 0 } else { *stamp };
+            if s < victim_stamp {
+                victim_stamp = s;
+                victim = w;
+            }
+        }
+        ways[victim] = line;
+        stamps[victim] = self.tick;
+        false
+    }
+}
+
+/// One buffered warp access record: a coalesced transaction waiting to be
+/// replayed through the group's L1.
+#[derive(Debug, Clone, Copy)]
+struct LineAccess {
+    /// Cache-line address (derived from the segment address, tag bits of
+    /// the encoded pointer included — distinct buffers never alias).
+    line: u64,
+    /// DSL source line the transaction was charged to.
+    dsl_line: u32,
+    /// First transaction of its warp access (MSHR merge boundary).
+    first: bool,
+}
+
+/// An L1 miss bound for the shared L2, with its source-line attribution.
+pub type L2Record = (u64, u32);
+
+/// Per-work-group cache simulation state: the cold L1 tag array, the
+/// per-warp access buffers, and the outgoing L2 miss stream.
+#[derive(Debug, Clone)]
+pub struct GroupCacheSim {
+    line_bytes: u64,
+    seg_bytes: u64,
+    l1: TagArray,
+    bufs: Vec<Vec<LineAccess>>,
+    /// L1 misses in canonical replay order, harvested per group by the
+    /// launch layer and replayed through the shared L2.
+    pub l2_stream: Vec<L2Record>,
+}
+
+impl GroupCacheSim {
+    /// Fresh cold state for one work-group. `seg_bytes` is the device's
+    /// coalescing segment size (the unit the transaction stream is in).
+    pub fn new(cfg: &CacheConfig, seg_bytes: u64) -> GroupCacheSim {
+        GroupCacheSim {
+            line_bytes: cfg.line_bytes.max(1) as u64,
+            seg_bytes: seg_bytes.max(1),
+            l1: TagArray::new(cfg.l1_sets(), cfg.l1_ways as usize),
+            bufs: Vec::new(),
+            l2_stream: Vec::new(),
+        }
+    }
+
+    /// Cold-restart for the next work-group of the same launch (buffers
+    /// must already be flushed, the L2 stream already harvested).
+    pub fn reset_group(&mut self) {
+        self.l1.reset();
+        for b in &mut self.bufs {
+            b.clear();
+        }
+        self.l2_stream.clear();
+    }
+
+    /// Buffer one charged transaction: segment `seg` (in coalescing-segment
+    /// units, encoded-pointer tag bits included) of warp `warp`, attributed
+    /// to `dsl_line`. `first` marks the first transaction of its warp
+    /// access.
+    #[inline]
+    pub fn record(&mut self, warp: usize, seg: u64, dsl_line: u32, first: bool) {
+        if warp >= self.bufs.len() {
+            self.bufs.resize_with(warp + 1, Vec::new);
+        }
+        // seg = addr / seg_bytes, so seg * seg_bytes <= addr < 2^64
+        let line = seg * self.seg_bytes / self.line_bytes;
+        self.bufs[warp].push(LineAccess {
+            line,
+            dsl_line,
+            first,
+        });
+    }
+
+    /// Replay every buffered access through the group's L1 in canonical
+    /// order (warp index, then program order within the warp), calling
+    /// `sink(dsl_line, hit)` per transaction and queueing misses for the
+    /// shared L2. Called at every barrier and at the end of the group run.
+    pub fn flush(&mut self, mut sink: impl FnMut(u32, bool)) {
+        for buf in &mut self.bufs {
+            let mut prev_line = u64::MAX;
+            for a in buf.drain(..) {
+                // MSHR merge: the coalescer emits an access's segments
+                // sorted and deduplicated, so same-line transactions of one
+                // access are adjacent — the trailing ones ride the miss (or
+                // hit) already in flight and count as hits.
+                let hit = if !a.first && a.line == prev_line {
+                    true
+                } else {
+                    self.l1.access(a.line)
+                };
+                prev_line = a.line;
+                if !hit {
+                    self.l2_stream.push((a.line, a.dsl_line));
+                }
+                sink(a.dsl_line, hit);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig {
+            line_bytes: 128,
+            l1_bytes: 2 * 1024, // 4 sets x 4 ways
+            l1_ways: 4,
+            l2_bytes: 8 * 1024,
+            l2_ways: 8,
+            l1_gbps: 1000.0,
+            l2_gbps: 300.0,
+        }
+    }
+
+    #[test]
+    fn set_counts_follow_geometry() {
+        let c = cfg();
+        assert_eq!(c.l1_sets(), 4);
+        assert_eq!(c.l2_sets(), 8);
+        // degenerate configs clamp to one set
+        let tiny = CacheConfig {
+            l1_bytes: 64,
+            ..cfg()
+        };
+        assert_eq!(tiny.l1_sets(), 1);
+    }
+
+    #[test]
+    fn tag_array_hits_after_fill_and_evicts_lru() {
+        let mut t = TagArray::new(1, 2); // one set, two ways
+        assert!(!t.access(10)); // cold miss
+        assert!(!t.access(20)); // cold miss
+        assert!(t.access(10)); // hit, 10 now MRU
+        assert!(!t.access(30)); // evicts LRU = 20
+        assert!(t.access(10)); // 10 survived
+        assert!(!t.access(20)); // 20 was the victim
+    }
+
+    #[test]
+    fn tag_array_reset_is_cold() {
+        let mut t = TagArray::new(2, 2);
+        assert!(!t.access(5));
+        assert!(t.access(5));
+        t.reset();
+        assert!(!t.access(5));
+    }
+
+    /// Hand-computed ground truth for a tiny strided access pattern: one
+    /// warp touches segments 0,2,4,...,14 (stride two 128-byte segments =
+    /// one access per line, every line distinct), then re-touches them in
+    /// a second pass. First pass: 8 cold misses. The L1 holds 4 sets x 4
+    /// ways = 16 lines, so the second pass hits all 8.
+    #[test]
+    fn strided_pattern_matches_hand_computed_tag_math() {
+        let mut sim = GroupCacheSim::new(&cfg(), 128);
+        for pass in 0..2 {
+            for i in 0..8u64 {
+                sim.record(0, i * 2, 7, true);
+            }
+            let mut hits = 0;
+            let mut misses = 0;
+            sim.flush(|dsl, hit| {
+                assert_eq!(dsl, 7);
+                if hit {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
+            });
+            if pass == 0 {
+                assert_eq!((hits, misses), (0, 8));
+            } else {
+                assert_eq!((hits, misses), (8, 0));
+            }
+        }
+        // every miss went to the L2 stream, in order
+        assert_eq!(sim.l2_stream.len(), 8);
+        assert_eq!(sim.l2_stream[0], (0, 7));
+        assert_eq!(sim.l2_stream[7], (14, 7));
+    }
+
+    /// 20 distinct lines all mapping to one set of a 4-way L1 (stride =
+    /// number of sets): every access misses, both passes — the hand-
+    /// computed conflict-miss case.
+    #[test]
+    fn conflict_misses_when_stride_aliases_one_set() {
+        let mut sim = GroupCacheSim::new(&cfg(), 128);
+        for _pass in 0..2 {
+            for i in 0..20u64 {
+                sim.record(0, i * 4, 1, true); // line = i*4, set = 0 always
+            }
+            let mut misses = 0;
+            sim.flush(|_, hit| {
+                if !hit {
+                    misses += 1;
+                }
+            });
+            assert_eq!(misses, 20);
+        }
+    }
+
+    #[test]
+    fn mshr_merges_same_line_within_one_access() {
+        // seg 64B, line 128B: segments 2k and 2k+1 share line k
+        let mut sim = GroupCacheSim::new(&cfg(), 64);
+        sim.record(0, 0, 3, true); // line 0: miss
+        sim.record(0, 1, 3, false); // line 0 again, same access: MSHR hit
+        sim.record(0, 2, 3, false); // line 1: miss
+        let mut seq = Vec::new();
+        sim.flush(|_, hit| seq.push(hit));
+        assert_eq!(seq, vec![false, true, false]);
+        // a *new* access to line 0 probes the array and hits for real
+        sim.record(0, 0, 3, true);
+        let mut seq = Vec::new();
+        sim.flush(|_, hit| seq.push(hit));
+        assert_eq!(seq, vec![true]);
+        assert_eq!(sim.l2_stream.len(), 2);
+    }
+
+    #[test]
+    fn flush_replays_warps_in_index_order() {
+        let mut sim = GroupCacheSim::new(&cfg(), 128);
+        // recorded out of warp order; replay must be warp 0 then warp 1
+        sim.record(1, 5, 11, true);
+        sim.record(0, 5, 10, true);
+        let mut order = Vec::new();
+        sim.flush(|dsl, hit| order.push((dsl, hit)));
+        assert_eq!(order, vec![(10, false), (11, true)]);
+    }
+
+    #[test]
+    fn reset_group_clears_state_and_stream() {
+        let mut sim = GroupCacheSim::new(&cfg(), 128);
+        sim.record(0, 1, 0, true);
+        sim.flush(|_, _| {});
+        assert_eq!(sim.l2_stream.len(), 1);
+        sim.reset_group();
+        assert!(sim.l2_stream.is_empty());
+        sim.record(0, 1, 0, true);
+        let mut hit = true;
+        sim.flush(|_, h| hit = h);
+        assert!(!hit, "L1 must be cold after reset_group");
+    }
+
+    #[test]
+    fn lines_span_segments_when_line_exceeds_segment() {
+        // seg 64B, line 128B: segments 6 and 7 are both line 3
+        let sim = GroupCacheSim::new(&cfg(), 64);
+        assert_eq!(6 * sim.seg_bytes / sim.line_bytes, 3);
+        assert_eq!(7 * sim.seg_bytes / sim.line_bytes, 3);
+    }
+}

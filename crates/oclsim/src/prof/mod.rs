@@ -7,6 +7,10 @@
 //!   bank conflicts, per-CU occupancy), collected per work-group inside
 //!   the interpreter and merged additively so totals are independent of
 //!   `OCLSIM_THREADS`.
+//! * [`cache`] — a deterministic set-associative tag-array model of the
+//!   L1/L2 hierarchy, fed by the same per-warp transaction stream the
+//!   coalescing counters charge; active only on device profiles that
+//!   declare a [`CacheConfig`] capability.
 //! * event timestamps — OpenCL-style QUEUED/SUBMIT/START/END stamps on
 //!   every command, exposed through
 //!   [`Event::profiling_info`](crate::sched::Event::profiling_info) when
@@ -35,12 +39,14 @@
 //! always records stamps (it needs them to model overlap anyway).
 
 pub mod annotate;
+pub mod cache;
 pub mod counters;
 pub mod json;
 pub mod roofline;
 pub mod trace;
 
 pub use annotate::AnnotatedLine;
+pub use cache::{CacheConfig, GroupCacheSim, TagArray};
 pub use counters::{
     GroupCounters, InstrClass, InstrMix, LaunchCounters, TransferDir, TransferInfo,
 };

@@ -85,6 +85,14 @@ fn event_args(ev: &Event) -> String {
         arg_num(&mut body, "stall_pct", 100.0 * c.stall_fraction());
         arg_num(&mut body, "divergence_pct", 100.0 * c.divergence_fraction());
         arg_num(&mut body, "bank_conflicts", c.totals.bank_conflicts as f64);
+        // cache-capable devices only: traces from roofline-only profiles
+        // keep their pre-cache-model byte layout
+        if let Some(rate) = c.l1_hit_rate() {
+            arg_num(&mut body, "l1_hit_pct", 100.0 * rate);
+        }
+        if let Some(rate) = c.l2_hit_rate() {
+            arg_num(&mut body, "l2_hit_pct", 100.0 * rate);
+        }
         arg_num(&mut body, "work_groups", c.num_groups as f64);
         if let Some((line, hot)) = c.hot_line() {
             arg_num(&mut body, "hot_line", line as f64);

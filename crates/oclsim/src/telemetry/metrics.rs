@@ -207,6 +207,16 @@ pub struct Metrics {
     /// Launches that requested the wg backend but fell back to the
     /// reference interpreter (unsupported kernel, sanitizer, SIMD width).
     pub exec_wg_fallbacks: Counter,
+    // --- oclsim::prof cache model (canonical: workload-determined) ---
+    /// Simulated L1 hits on cache-capable devices.
+    pub prof_cache_l1_hits: Counter,
+    /// Simulated L1 misses on cache-capable devices.
+    pub prof_cache_l1_misses: Counter,
+    /// Simulated shared-L2 hits on cache-capable devices.
+    pub prof_cache_l2_hits: Counter,
+    /// Simulated shared-L2 misses (DRAM line fills) on cache-capable
+    /// devices.
+    pub prof_cache_l2_misses: Counter,
     // --- oclsim::clc optimizing mid-end (canonical: per-pass work) ---
     /// Expressions folded to constants by the mid-end.
     pub opt_const_folded: Counter,
@@ -277,6 +287,10 @@ impl Metrics {
             exec_wg_launches: Counter::default(),
             exec_ref_launches: Counter::default(),
             exec_wg_fallbacks: Counter::default(),
+            prof_cache_l1_hits: Counter::default(),
+            prof_cache_l1_misses: Counter::default(),
+            prof_cache_l2_hits: Counter::default(),
+            prof_cache_l2_misses: Counter::default(),
             opt_const_folded: Counter::default(),
             opt_const_propagated: Counter::default(),
             opt_dce_removed: Counter::default(),
@@ -361,6 +375,10 @@ pub fn reset_metrics() {
     m.exec_wg_launches.reset();
     m.exec_ref_launches.reset();
     m.exec_wg_fallbacks.reset();
+    m.prof_cache_l1_hits.reset();
+    m.prof_cache_l1_misses.reset();
+    m.prof_cache_l2_hits.reset();
+    m.prof_cache_l2_misses.reset();
     m.opt_const_folded.reset();
     m.opt_const_propagated.reset();
     m.opt_dce_removed.reset();
@@ -544,6 +562,30 @@ pub fn metrics_text(canonical: bool) -> String {
         "oclsim_exec_wg_fallbacks_total",
         "wg-backend launches that fell back to the reference interpreter",
         &m.exec_wg_fallbacks,
+    );
+    counter(
+        &mut out,
+        "oclsim_prof_cache_l1_hits_total",
+        "simulated L1 hits on cache-capable devices",
+        &m.prof_cache_l1_hits,
+    );
+    counter(
+        &mut out,
+        "oclsim_prof_cache_l1_misses_total",
+        "simulated L1 misses on cache-capable devices",
+        &m.prof_cache_l1_misses,
+    );
+    counter(
+        &mut out,
+        "oclsim_prof_cache_l2_hits_total",
+        "simulated shared-L2 hits on cache-capable devices",
+        &m.prof_cache_l2_hits,
+    );
+    counter(
+        &mut out,
+        "oclsim_prof_cache_l2_misses_total",
+        "simulated shared-L2 misses (DRAM line fills)",
+        &m.prof_cache_l2_misses,
     );
     counter(
         &mut out,
