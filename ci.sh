@@ -127,6 +127,37 @@ OCLSIM_THREADS=4 cargo run --release -p bench --bin report -- soak
 cp target/soak-metrics.txt target/soak-metrics-t4.txt
 diff target/soak-metrics-t1.txt target/soak-metrics-t4.txt
 
+echo "== report -- postmortem (causal traces and dumps byte-identical across OCLSIM_THREADS and backends)"
+# drives a successful partitioned launch, a poisoned one and a quota
+# rejection through the kernel service and prints the canonical request
+# span tree plus both postmortem dumps (error chain, span tree,
+# flight-recorder tail, cache/quota state). Trace ids are minted from
+# tenant names and per-tenant sequence numbers, modeled times are pure
+# functions of the workload, and wall-clock fields are omitted from the
+# canonical renderings — so the ENTIRE stdout and the merged
+# device+postmortem Chrome trace must be byte-identical no matter how
+# many dispatcher threads run or which execution backend launches the
+# groups. Exits nonzero if any causal chain, trace-id tag or recorder
+# tail is missing
+OCLSIM_THREADS=1 cargo run --release -p bench --bin report -- postmortem > target/postmortem-t1.out
+cp target/postmortem-trace.json target/postmortem-trace-t1.json
+OCLSIM_THREADS=4 cargo run --release -p bench --bin report -- postmortem > target/postmortem-t4.out
+cp target/postmortem-trace.json target/postmortem-trace-t4.json
+OCLSIM_BACKEND=ref OCLSIM_THREADS=1 cargo run --release -p bench --bin report -- postmortem > target/postmortem-ref-t1.out
+cp target/postmortem-trace.json target/postmortem-trace-ref-t1.json
+OCLSIM_BACKEND=ref OCLSIM_THREADS=4 cargo run --release -p bench --bin report -- postmortem > target/postmortem-ref-t4.out
+cp target/postmortem-trace.json target/postmortem-trace-ref-t4.json
+diff target/postmortem-t1.out target/postmortem-t4.out
+diff target/postmortem-t1.out target/postmortem-ref-t1.out
+diff target/postmortem-t1.out target/postmortem-ref-t4.out
+diff target/postmortem-trace-t1.json target/postmortem-trace-t4.json
+diff target/postmortem-trace-t1.json target/postmortem-trace-ref-t1.json
+diff target/postmortem-trace-t1.json target/postmortem-trace-ref-t4.json
+# the raw serve path never reads HPL_OPT_LEVEL, so the mid-end knob must
+# not leak into the dumps either
+HPL_OPT_LEVEL=-O2 OCLSIM_THREADS=4 cargo run --release -p bench --bin report -- postmortem > target/postmortem-o2.out
+diff target/postmortem-t1.out target/postmortem-o2.out
+
 echo "== report -- cache (simulated L1/L2 counters byte-identical across OCLSIM_THREADS and backends)"
 # runs the corpus on the cache-capable Tesla variant next to the
 # roofline-only Tesla; exits nonzero if any cache-model invariant fails

@@ -3,7 +3,8 @@
 //! Usage: `cargo run -p bench --release --bin report [-- EXPERIMENT]`
 //! where EXPERIMENT is one of `table1`, `fig6`, `fig7`, `fig8`, `fig9`,
 //! `caching`, `ablation`, `overlap`, `lint`, `profile`, `annotate`,
-//! `metrics`, `bench`, `soak`, `passes`, `cache`, or `all` (default).
+//! `metrics`, `bench`, `soak`, `passes`, `cache`, `postmortem`, or `all`
+//! (default).
 //! Measured values are printed next to the
 //! paper's published numbers; EXPERIMENTS.md records the comparison.
 //! `lint` runs the kernel sanitizer over every benchmark's handwritten
@@ -41,7 +42,15 @@
 //! transpose annotations, and exits nonzero if any cache-model invariant
 //! fails (per-line sums, probe/transaction accounting, or plain-device
 //! counter parity); its output is byte-identical across `OCLSIM_THREADS`
-//! and `OCLSIM_BACKEND` — `ci.sh` diffs four runs.
+//! and `OCLSIM_BACKEND` — `ci.sh` diffs four runs. `postmortem` drives
+//! three deterministic scenarios through the kernel service — a
+//! successful partitioned launch, a launch poisoned by a pre-failed gate
+//! event, and a quota rejection — and prints the canonical request span
+//! tree plus both postmortem dumps (causal error chain, span tree,
+//! flight-recorder tail, cache/quota state), writing the merged
+//! device+postmortem Chrome trace to `target/postmortem-trace.json`;
+//! its entire stdout and the trace file are byte-identical across
+//! `OCLSIM_THREADS` and `OCLSIM_BACKEND` — `ci.sh` diffs four runs.
 //!
 //! Setting `HPL_TELEMETRY=1` enables span collection for the whole run;
 //! with it unset, the telemetry layer stays off (a single relaxed atomic
@@ -50,7 +59,7 @@
 
 use bench::{
     ablation, annotate, cachemodel, caching, fig6, fig7, fig8, fig9, lint, overlap, passes,
-    profile, runtime_metrics, soak, table1, tesla, trajectory,
+    postmortem, profile, runtime_metrics, soak, table1, tesla, trajectory,
 };
 
 fn main() {
@@ -75,6 +84,7 @@ fn main() {
         "soak" => run_soak(),
         "passes" => run_passes(),
         "cache" => run_cache(),
+        "postmortem" => run_postmortem(),
         "all" => {
             run_table1()
                 & run_fig6()
@@ -92,10 +102,11 @@ fn main() {
                 & run_soak()
                 & run_passes()
                 & run_cache()
+                & run_postmortem()
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; use table1|fig6|fig7|fig8|fig9|caching|ablation|overlap|lint|profile|annotate|metrics|bench|soak|passes|cache|all"
+                "unknown experiment `{other}`; use table1|fig6|fig7|fig8|fig9|caching|ablation|overlap|lint|profile|annotate|metrics|bench|soak|passes|cache|postmortem|all"
             );
             std::process::exit(2);
         }
@@ -688,7 +699,27 @@ fn run_bench_trajectory() -> bool {
             None
         }
     };
-    let json = trajectory::to_json_with_soak(&run.entries, soak_summary.as_ref());
+    // the flight-recorder overhead trend: the identical cached-launch
+    // probe with the recorder off vs on (additive, ungated wall clock)
+    let overhead = match trajectory::trace_overhead() {
+        Ok(o) => {
+            println!(
+                "flight-recorder overhead probe: {:.6} s on vs {:.6} s off over {} cached \
+                 launches ({:+.2}%)",
+                o.recorder_on_wall_s,
+                o.recorder_off_wall_s,
+                trajectory::OVERHEAD_LAUNCHES,
+                o.overhead_percent()
+            );
+            Some(o)
+        }
+        Err(e) => {
+            eprintln!("trace-overhead probe failed: {e}");
+            ok = false;
+            None
+        }
+    };
+    let json = trajectory::to_json_full(&run.entries, soak_summary.as_ref(), overhead.as_ref());
     let out = std::path::Path::new("target").join("BENCH_pr4.json");
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("could not write {}: {e}", out.display());
@@ -779,6 +810,17 @@ fn run_soak() -> bool {
         100.0 * hits as f64 / (hits + misses).max(1) as f64,
         report.redundant_uploads
     );
+    println!(
+        "\nper-tenant latency breakdown (from the per-request causal traces):\n\
+         {:<10} {:>9} {:>7} {:>10} {:>10} {:>13}",
+        "tenant", "requests", "failed", "p50 (ms)", "p99 (ms)", "launches/sec"
+    );
+    for row in &report.latency_rows {
+        println!(
+            "{:<10} {:>9} {:>7} {:>10.3} {:>10.3} {:>13.1}",
+            row.tenant, row.requests, row.failed, row.p50_ms, row.p99_ms, row.per_sec
+        );
+    }
     println!(
         "\npartitioned saxpy_heavy across the service devices \
          (single-device reference {:.9} s):",
@@ -1001,5 +1043,39 @@ fn run_cache() -> bool {
             "VIOLATED"
         }
     );
+    violations.is_empty()
+}
+
+fn run_postmortem() -> bool {
+    banner("Postmortem — causal tracing + flight recorder on the kernel service");
+    let report = match postmortem::compute() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("postmortem demo failed: {e}");
+            return false;
+        }
+    };
+    println!("--- successful partitioned launch: request span tree ---");
+    print!("{}", report.success.render(true));
+    println!("\n--- poisoned partitioned launch: postmortem dump ---");
+    print!("{}", report.poison.render(true));
+    println!("\n--- quota rejection: postmortem dump ---");
+    print!("{}", report.quota.render(true));
+    let out = std::path::Path::new("target").join("postmortem-trace.json");
+    if let Err(e) = std::fs::write(&out, &report.merged_trace) {
+        eprintln!("could not write {}: {e}", out.display());
+        return false;
+    }
+    println!(
+        "\nmerged device+postmortem trace written: {}",
+        out.display()
+    );
+    let violations = postmortem::violations(&report);
+    for v in &violations {
+        eprintln!("postmortem gate: {v}");
+    }
+    if violations.is_empty() {
+        println!("postmortem gate: OK");
+    }
     violations.is_empty()
 }

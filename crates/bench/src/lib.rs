@@ -21,16 +21,25 @@
 //! | Multi-tenant service soak (`report -- soak`) | [`soak::compute`] |
 //! | Mid-end pass deltas (`report -- passes`) | [`passes::compute`] |
 //! | Cache-hierarchy hit rates (`report -- cache`) | [`cachemodel::compute`] |
+//! | Causal tracing + flight recorder (`report -- postmortem`) | [`postmortem::compute`] |
 
 pub mod annotate;
 pub mod cachemodel;
 pub mod passes;
+pub mod postmortem;
 pub mod profile;
 pub mod runtime_metrics;
 pub mod soak;
 pub mod trajectory;
 
 use oclsim::Device;
+
+/// Tests that drain the process-global completed-trace sink
+/// (`oclsim::obs::drain_request_traces`) — the soak and postmortem demos
+/// — serialize on this lock so one test's drain cannot swallow another's
+/// in-flight traces.
+#[cfg(test)]
+pub(crate) static OBS_SINK_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 /// The Tesla-class device of the default platform.
 pub fn tesla() -> Device {

@@ -16,7 +16,11 @@
 //! reference.
 //!
 //! Wall-clock figures (p50/p99 workload latency, launches/sec) feed the
-//! `BENCH_*.json` trajectory as additive, ungated trend fields. The
+//! `BENCH_*.json` trajectory as additive, ungated trend fields. A
+//! per-tenant latency breakdown (p50/p99 and launches/sec per tenant) is
+//! derived from the per-request causal traces the serve layer pushes
+//! into the completed-trace sink — so every figure is attributable to
+//! individual trace ids, not just to aggregate histograms. The
 //! canonical metrics snapshot — which excludes every wall-clock metric by
 //! construction — is written to `target/soak-metrics.txt`; `ci.sh` diffs
 //! it across `OCLSIM_THREADS=1/4`, so the service's counter totals must
@@ -64,6 +68,28 @@ pub struct TenantRow {
     pub stats: TenantStats,
 }
 
+/// One tenant's latency breakdown, derived from the per-request traces
+/// the serve layer pushes into the completed-trace sink
+/// ([`oclsim::obs::drain_request_traces`]) — the causal span trees, not
+/// the aggregate histograms, so every figure here is attributable to
+/// individual trace ids.
+#[derive(Debug, Clone)]
+pub struct TenantLatencyRow {
+    /// Tenant name.
+    pub tenant: String,
+    /// Completed requests the tenant submitted (traces drained).
+    pub requests: usize,
+    /// How many of them ended in an error (quota rejections included).
+    pub failed: usize,
+    /// Median request wall latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request wall latency, milliseconds.
+    pub p99_ms: f64,
+    /// Requests per second of the tenant's own active wall time
+    /// (requests / sum of its request walls).
+    pub per_sec: f64,
+}
+
 /// One strategy's partitioned-launch outcome in the demo section.
 #[derive(Debug, Clone)]
 pub struct PartitionRow {
@@ -96,6 +122,9 @@ pub struct SoakReport {
     pub p99_ms: f64,
     /// Per-tenant counters, sorted by tenant name.
     pub tenant_rows: Vec<TenantRow>,
+    /// Per-tenant latency breakdown from the per-request traces, sorted
+    /// by tenant name. Wall-clock figures — trend data, never gated.
+    pub latency_rows: Vec<TenantLatencyRow>,
     /// Admission rejections the greedy tenant provoked.
     pub greedy_rejections: u64,
     /// Redundant host→device uploads across the whole soak (must be 0).
@@ -210,6 +239,9 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
 pub fn compute(device: &oclsim::Device, config: &SoakConfig) -> Result<SoakReport, String> {
     hpl::clear_kernel_cache();
     hpl::telemetry::reset_metrics();
+    // start from an empty completed-trace sink so the per-tenant latency
+    // breakdown below covers this soak's requests only
+    drop(oclsim::obs::drain_request_traces());
     let service = Service::new(ServiceConfig::default()).map_err(|e| e.to_string())?;
 
     // Warm-up tenant: every capture, codegen and backend compile of the
@@ -321,6 +353,40 @@ pub fn compute(device: &oclsim::Device, config: &SoakConfig) -> Result<SoakRepor
         });
     }
 
+    // Per-tenant latency breakdown from the finished request traces. The
+    // sink is process-global, so keep only this soak's tenants (other
+    // experiments may complete requests of their own concurrently).
+    let mut by_tenant: std::collections::BTreeMap<String, Vec<&oclsim::RequestTrace>> =
+        std::collections::BTreeMap::new();
+    let traces = oclsim::obs::drain_request_traces();
+    for t in &traces {
+        let ours =
+            t.tenant == WARMUP_TENANT || t.tenant == "greedy" || t.tenant.starts_with("tenant");
+        if ours {
+            by_tenant.entry(t.tenant.clone()).or_default().push(t);
+        }
+    }
+    let latency_rows: Vec<TenantLatencyRow> = by_tenant
+        .into_iter()
+        .map(|(tenant, traces)| {
+            let mut walls_ms: Vec<f64> = traces.iter().map(|t| t.wall_seconds * 1.0e3).collect();
+            walls_ms.sort_by(f64::total_cmp);
+            let active_s: f64 = traces.iter().map(|t| t.wall_seconds).sum();
+            TenantLatencyRow {
+                tenant,
+                requests: traces.len(),
+                failed: traces.iter().filter(|t| t.failed).count(),
+                p50_ms: percentile(&walls_ms, 0.50),
+                p99_ms: percentile(&walls_ms, 0.99),
+                per_sec: if active_s > 0.0 {
+                    traces.len() as f64 / active_s
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+
     let m = oclsim::telemetry::metrics();
     let tenant_rows: Vec<TenantRow> = m
         .tenant_stats()
@@ -346,6 +412,7 @@ pub fn compute(device: &oclsim::Device, config: &SoakConfig) -> Result<SoakRepor
         p50_ms: percentile(&latencies_ms, 0.50),
         p99_ms: percentile(&latencies_ms, 0.99),
         tenant_rows,
+        latency_rows,
         greedy_rejections,
         redundant_uploads: m.redundant_uploads.get(),
         resident_binaries: service.cache().len(),
@@ -361,6 +428,9 @@ mod tests {
 
     #[test]
     fn short_soak_is_healthy_and_deterministic_in_counters() {
+        let _g = crate::OBS_SINK_TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let cfg = SoakConfig {
             tenants: 4,
             iterations: 1,
@@ -385,6 +455,26 @@ mod tests {
             }
         }
         assert!(report.resident_binaries > 0);
+        // the per-request traces cover every tenant, and only the greedy
+        // tenant's rejected request is marked failed
+        for t in 0..cfg.tenants {
+            let name = format!("tenant{t}");
+            let row = report
+                .latency_rows
+                .iter()
+                .find(|r| r.tenant == name)
+                .unwrap_or_else(|| panic!("no latency row for {name}"));
+            assert!(row.requests > 0, "{name}");
+            assert_eq!(row.failed, 0, "{name}");
+            assert!(row.p50_ms <= row.p99_ms, "{name}");
+            assert!(row.per_sec > 0.0, "{name}");
+        }
+        let greedy = report
+            .latency_rows
+            .iter()
+            .find(|r| r.tenant == "greedy")
+            .expect("greedy tenant has a latency row");
+        assert_eq!(greedy.failed, 1, "exactly the rejected request fails");
         // the snapshot carries the serve section
         assert!(
             report

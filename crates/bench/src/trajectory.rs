@@ -281,6 +281,95 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Host wall seconds of a fixed kernel-service workload with the flight
+/// recorder on vs off — the tracing-overhead trend of the observability
+/// layer. Additive and machine-dependent like `host_wall_seconds`, so the
+/// baseline gate never reads it; the committed JSON diff shows whether
+/// the always-on recorder stays cheap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceOverhead {
+    /// Wall seconds of the probe workload with the recorder capturing.
+    pub recorder_on_wall_s: f64,
+    /// Wall seconds of the identical workload with the recorder off.
+    pub recorder_off_wall_s: f64,
+}
+
+impl TraceOverhead {
+    /// Recorder overhead as a percentage of the recorder-off wall.
+    pub fn overhead_percent(&self) -> f64 {
+        if self.recorder_off_wall_s <= 0.0 {
+            return 0.0;
+        }
+        100.0 * (self.recorder_on_wall_s / self.recorder_off_wall_s - 1.0)
+    }
+}
+
+/// Launches per overhead-probe pass: one tenant session submitting a
+/// small cached kernel repeatedly, so the measured path is exactly the
+/// traced launch pipeline (admission → cache hit → DMA → enqueue →
+/// launch), not the one-off build.
+pub const OVERHEAD_LAUNCHES: usize = 64;
+
+const OVERHEAD_SRC: &str = r#"
+__kernel void saxpy(__global float* y, __global const float* x, float a) {
+    size_t i = get_global_id(0);
+    y[i] = a * x[i] + y[i];
+}
+"#;
+
+fn overhead_pass(service: &oclsim::serve::Service, tenant: &str) -> Result<f64, benchsuite::Error> {
+    use oclsim::serve::{JobArg, LaunchJob, TenantQuota};
+    let n = 256usize;
+    let x: Vec<u8> = (0..n).flat_map(|i| (i as f32).to_le_bytes()).collect();
+    let y: Vec<u8> = (0..n)
+        .flat_map(|i| ((i % 5) as f32).to_le_bytes())
+        .collect();
+    let job = LaunchJob {
+        source: OVERHEAD_SRC.to_string(),
+        kernel: "saxpy".to_string(),
+        build_options: String::new(),
+        args: vec![
+            JobArg::InOut(y),
+            JobArg::In(x),
+            JobArg::Scalar(oclsim::Value::F32(2.0)),
+        ],
+        global: vec![n],
+        local: Some(vec![32]),
+    };
+    let session = service.session(tenant, TenantQuota::unlimited());
+    // warm the binary cache so both passes measure cached launches only
+    session
+        .submit(0, &job)
+        .map_err(|e| benchsuite::Error::Hpl(hpl::Error::Backend(e)))?;
+    let t0 = std::time::Instant::now();
+    for _ in 0..OVERHEAD_LAUNCHES {
+        session
+            .submit(0, &job)
+            .map_err(|e| benchsuite::Error::Hpl(hpl::Error::Backend(e)))?;
+    }
+    Ok(t0.elapsed().as_secs_f64())
+}
+
+/// Measure the flight recorder's host-wall overhead: the identical probe
+/// workload twice, recorder off then on. Restores the recorder switch
+/// (production mode is always-on). The probe's completed traces stay in
+/// the bounded sink under `overhead-*` tenant names, which no other
+/// consumer selects.
+pub fn trace_overhead() -> Result<TraceOverhead, benchsuite::Error> {
+    let service = oclsim::serve::Service::new(oclsim::serve::ServiceConfig::default())
+        .map_err(|e| benchsuite::Error::Hpl(hpl::Error::Backend(e)))?;
+    let was = oclsim::obs::recorder_enabled();
+    oclsim::obs::set_recorder_enabled(false);
+    let off = overhead_pass(&service, "overhead-off");
+    oclsim::obs::set_recorder_enabled(true);
+    let on = overhead_pass(&service, "overhead-on");
+    oclsim::obs::set_recorder_enabled(was);
+    Ok(TraceOverhead {
+        recorder_on_wall_s: on?,
+        recorder_off_wall_s: off?,
+    })
+}
+
 /// Wall-clock throughput figures from a `report -- soak` run, recorded in
 /// the trajectory as additive trend fields. Like `host_wall_seconds` they
 /// are machine-dependent, so the baseline gate never reads them.
@@ -302,6 +391,17 @@ pub fn to_json(entries: &[BenchEntry]) -> String {
 /// [`to_json`] plus an optional top-level `"soak"` object carrying the
 /// multi-tenant soak trend fields.
 pub fn to_json_with_soak(entries: &[BenchEntry], soak: Option<&SoakSummary>) -> String {
+    to_json_full(entries, soak, None)
+}
+
+/// [`to_json_with_soak`] plus an optional top-level `"trace_overhead"`
+/// object carrying the flight-recorder overhead trend fields. Both
+/// objects are additive: the baseline gate reads neither.
+pub fn to_json_full(
+    entries: &[BenchEntry],
+    soak: Option<&SoakSummary>,
+    overhead: Option<&TraceOverhead>,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
@@ -311,6 +411,15 @@ pub fn to_json_with_soak(entries: &[BenchEntry], soak: Option<&SoakSummary>) -> 
             out,
             "  \"soak\": {{\"soak_p50_ms\": {:.6}, \"soak_p99_ms\": {:.6}, \"launches_per_sec\": {:.3}}},",
             s.soak_p50_ms, s.soak_p99_ms, s.launches_per_sec
+        );
+    }
+    if let Some(o) = overhead {
+        let _ = writeln!(
+            out,
+            "  \"trace_overhead\": {{\"recorder_on_wall_s\": {:.6}, \"recorder_off_wall_s\": {:.6}, \"overhead_percent\": {:.3}}},",
+            o.recorder_on_wall_s,
+            o.recorder_off_wall_s,
+            o.overhead_percent()
         );
     }
     out.push_str("  \"benchmarks\": [\n");
@@ -596,6 +705,29 @@ mod tests {
         // soak-bearing baseline vs plain run
         let ok = check_against_baseline(&[entry("ep", "sync", 0.001, 0)], &with_soak).unwrap();
         assert!(ok.is_empty(), "{ok:?}");
+        // the trace_overhead object is additive in exactly the same way
+        let with_overhead = to_json_full(
+            &[entry("ep", "sync", 0.001, 0)],
+            None,
+            Some(&TraceOverhead {
+                recorder_on_wall_s: 0.0105,
+                recorder_off_wall_s: 0.0100,
+            }),
+        );
+        assert!(
+            with_overhead.contains("\"recorder_on_wall_s\": 0.010500"),
+            "{with_overhead}"
+        );
+        assert!(
+            with_overhead.contains("\"overhead_percent\": 5.000"),
+            "{with_overhead}"
+        );
+        assert!(parse(&with_overhead).is_ok(), "{with_overhead}");
+        let ok = check_against_baseline(&[entry("ep", "sync", 0.001, 0)], &with_overhead).unwrap();
+        assert!(ok.is_empty(), "{ok:?}");
+        // and the gate still fires through it
+        let bad = check_against_baseline(&[entry("ep", "sync", 0.002, 0)], &with_overhead).unwrap();
+        assert_eq!(bad.len(), 1, "{bad:?}");
         // hand-crafted baseline with unknown keys at both levels
         let alien = r#"{
   "schema": "hpl-bench-trajectory-v1",

@@ -631,6 +631,63 @@ fn admit_tenant_launch(kernel: &str) -> Result<()> {
     Ok(())
 }
 
+// ---- per-request tracing -----------------------------------------------------------
+
+/// One eval's observability context when a tenant scope is active: the
+/// request trace under construction plus the session that emits the
+/// postmortem dump if the request fails. Outside a tenant scope evals
+/// stay untraced (there is no tenant to attribute the flight-recorder
+/// events and quota/cache snapshots to).
+struct TenantRequest {
+    session: Arc<oclsim::serve::Session>,
+    req: oclsim::obs::Request,
+}
+
+impl TenantRequest {
+    fn begin(what: String) -> Option<TenantRequest> {
+        crate::session::current_tenant().map(|session| {
+            let req = session.begin_request(what);
+            TenantRequest { session, req }
+        })
+    }
+
+    /// Close the trace as failed, attributing `err` to the root node, and
+    /// emit the postmortem dump ([`oclsim::take_postmortems`]).
+    fn fail(mut self, err: &Error) {
+        let root = self.req.root();
+        set_obs_error(&mut self.req, root, err);
+        let backend_owned;
+        let backend = match err {
+            Error::Backend(e) => e,
+            other => {
+                backend_owned = oclsim::Error::InvalidOperation(other.to_string());
+                &backend_owned
+            }
+        };
+        self.session.emit_postmortem(self.req.finish(true), backend);
+    }
+}
+
+/// Attribute a front-end [`Error`] to a trace node; non-backend errors
+/// (bad eval geometry, internal invariants) are wrapped so the span tree
+/// still carries their message.
+fn set_obs_error(req: &mut oclsim::obs::Request, node: oclsim::obs::NodeId, err: &Error) {
+    match err {
+        Error::Backend(e) => req.set_error(node, e),
+        other => req.set_error(node, &oclsim::Error::InvalidOperation(other.to_string())),
+    }
+}
+
+/// The `exec.launch` node detail for one resolved launch — built from the
+/// event's modeled timing on the request thread, identical for both exec
+/// backends.
+fn launch_node_detail(kernel: &str, timing: &Option<oclsim::TimingBreakdown>) -> String {
+    match timing {
+        Some(t) => format!("kernel `{kernel}`: {} instrs", t.totals.instructions),
+        None => format!("kernel `{kernel}`"),
+    }
+}
+
 // ---- the eval builder ---------------------------------------------------------------------
 
 /// Request the parallel evaluation of an HPL kernel function (§III-C).
@@ -677,28 +734,113 @@ impl<F: Copy + 'static> Eval<F> {
     }
 
     /// Execute the kernel with `args` (a tuple of `&Array`/`&Scalar`
-    /// references, e.g. `(&y, &x, &a)`).
+    /// references, e.g. `(&y, &x, &a)`). Inside a tenant scope the whole
+    /// request is traced (admission, cache lookups, transfers, launch)
+    /// and a failure emits a postmortem dump.
     pub fn run<A: ArgTuple>(self, args: A) -> Result<EvalProfile>
     where
         F: KernelFun<A>,
     {
-        let t_start = Instant::now();
         let device = match &self.device {
             Some(d) => d.clone(),
             None => runtime().default_device(),
         };
-        let front = self.front(&args, &device)?;
-        admit_tenant_launch(front.kernel.name())?;
+        let mut tr = TenantRequest::begin(format!("hpl eval on `{}`", device.name()));
+        let _guard = tr.as_ref().map(|t| t.req.thread_guard());
+        match self.run_traced(args, &device, tr.as_mut().map(|t| &mut t.req)) {
+            Ok(profile) => {
+                if let Some(t) = tr {
+                    t.req.finish(false);
+                }
+                Ok(profile)
+            }
+            Err(e) => {
+                if let Some(t) = tr {
+                    t.fail(&e);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn run_traced<A: ArgTuple>(
+        self,
+        args: A,
+        device: &Device,
+        mut req: Option<&mut oclsim::obs::Request>,
+    ) -> Result<EvalProfile>
+    where
+        F: KernelFun<A>,
+    {
+        let t_start = Instant::now();
+        let front = self.front(&args, device, req.as_deref_mut())?;
+        match admit_tenant_launch(front.kernel.name()) {
+            Ok(()) => {
+                if let Some(r) = req.as_mut() {
+                    let root = r.root();
+                    r.child(
+                        root,
+                        "admission",
+                        format!("ok (eval of `{}`)", front.kernel.name()),
+                    );
+                }
+            }
+            Err(e) => {
+                if let Some(r) = req.as_mut() {
+                    let root = r.root();
+                    let node = r.child(
+                        root,
+                        "admission",
+                        format!("eval of `{}`", front.kernel.name()),
+                    );
+                    set_obs_error(r, node, &e);
+                }
+                return Err(e);
+            }
+        }
 
         // bind arguments (performing only the transfers the analysis
         // requires), resolve the launch geometry, and execute blockingly
         // on the device's in-order queue
-        let transfer_modeled_seconds = args.bind_all(&front.kernel, &device)?;
+        let transfer_modeled_seconds = args.bind_all(&front.kernel, device)?;
+        if transfer_modeled_seconds > 0.0 {
+            if let Some(r) = req.as_mut() {
+                let root = r.root();
+                let dma = r.child(root, "sched.dma", "host -> device transfers");
+                r.set_modeled(dma, transfer_modeled_seconds);
+            }
+        }
         let global = self.resolved_global(&args)?;
-        let queue = &runtime().entry(&device).queue;
-        let event = queue.enqueue_ndrange(&front.kernel, &global, self.local.as_deref())?;
-        crate::profile::note_launch(front.kernel.name(), &device, &event);
-        args.post_all(&front.kernel, &device);
+        let queue = &runtime().entry(device).queue;
+        let sched = req.as_deref_mut().map(|r| {
+            let root = r.root();
+            r.child(root, "sched.enqueue", format!("ndrange global {global:?}"))
+        });
+        let event = match queue.enqueue_ndrange(&front.kernel, &global, self.local.as_deref()) {
+            Ok(ev) => ev,
+            Err(e) => {
+                if let (Some(r), Some(node)) = (req.as_mut(), sched) {
+                    r.set_error(node, &e);
+                }
+                return Err(Error::Backend(e));
+            }
+        };
+        crate::profile::note_launch(front.kernel.name(), device, &event);
+        args.post_all(&front.kernel, device);
+        if let (Some(r), Some(node)) = (req.as_mut(), sched) {
+            let timing = event.kernel_timing();
+            let modeled = timing
+                .as_ref()
+                .map(|t| t.device_seconds)
+                .unwrap_or_else(|| event.modeled_seconds());
+            r.set_modeled(node, modeled);
+            let launch = r.child(
+                node,
+                "exec.launch",
+                launch_node_detail(front.kernel.name(), &timing),
+            );
+            r.set_modeled(launch, modeled);
+        }
 
         Ok(EvalProfile {
             cache_hit: front.cache_hit,
@@ -727,26 +869,113 @@ impl<F: Copy + 'static> Eval<F> {
     where
         F: KernelFun<A>,
     {
-        let t_start = Instant::now();
         let device = match &self.device {
             Some(d) => d.clone(),
             None => runtime().default_device(),
         };
-        let front = self.front(&args, &device)?;
-        admit_tenant_launch(front.kernel.name())?;
+        let mut tr = TenantRequest::begin(format!("hpl async eval on `{}`", device.name()));
+        let _guard = tr.as_ref().map(|t| t.req.thread_guard());
+        match self.run_async_traced(args, &device, tr.as_mut().map(|t| &mut t.req)) {
+            Ok((event, profile, sched, kernel)) => Ok(AsyncEval {
+                event,
+                profile,
+                obs: tr.map(|t| AsyncObs {
+                    session: t.session,
+                    req: t.req,
+                    sched: sched.unwrap_or_default(),
+                    kernel,
+                }),
+            }),
+            Err(e) => {
+                if let Some(t) = tr {
+                    t.fail(&e);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_async_traced<A: ArgTuple>(
+        self,
+        args: A,
+        device: &Device,
+        mut req: Option<&mut oclsim::obs::Request>,
+    ) -> Result<(Event, EvalProfile, Option<oclsim::obs::NodeId>, String)>
+    where
+        F: KernelFun<A>,
+    {
+        let t_start = Instant::now();
+        let front = self.front(&args, device, req.as_deref_mut())?;
+        match admit_tenant_launch(front.kernel.name()) {
+            Ok(()) => {
+                if let Some(r) = req.as_mut() {
+                    let root = r.root();
+                    r.child(
+                        root,
+                        "admission",
+                        format!("ok (eval of `{}`)", front.kernel.name()),
+                    );
+                }
+            }
+            Err(e) => {
+                if let Some(r) = req.as_mut() {
+                    let root = r.root();
+                    let node = r.child(
+                        root,
+                        "admission",
+                        format!("eval of `{}`", front.kernel.name()),
+                    );
+                    set_obs_error(r, node, &e);
+                }
+                return Err(e);
+            }
+        }
 
         let mut deps: Vec<Event> = Vec::new();
-        let transfer_modeled_seconds = args.bind_all_async(&front.kernel, &device, &mut deps)?;
+        let transfer_modeled_seconds = args.bind_all_async(&front.kernel, device, &mut deps)?;
+        if transfer_modeled_seconds > 0.0 {
+            if let Some(r) = req.as_mut() {
+                let root = r.root();
+                let dma = r.child(root, "sched.dma", "host -> device transfers (async)");
+                r.set_modeled(dma, transfer_modeled_seconds);
+            }
+        }
         let global = self.resolved_global(&args)?;
-        let queue = &runtime().entry(&device).async_queue;
+        let queue = &runtime().entry(device).async_queue;
+        let sched = req.as_deref_mut().map(|r| {
+            let root = r.root();
+            r.child(
+                root,
+                "sched.enqueue",
+                format!(
+                    "ndrange global {global:?}{}",
+                    if deps.is_empty() {
+                        String::new()
+                    } else {
+                        format!(", {} inferred dep(s)", deps.len())
+                    }
+                ),
+            )
+        });
         let event =
-            queue.enqueue_ndrange_async(&front.kernel, &global, self.local.as_deref(), &deps)?;
-        crate::profile::note_launch(front.kernel.name(), &device, &event);
-        args.post_all_async(&front.kernel, &device, &event);
+            match queue.enqueue_ndrange_async(&front.kernel, &global, self.local.as_deref(), &deps)
+            {
+                Ok(ev) => ev,
+                Err(e) => {
+                    if let (Some(r), Some(node)) = (req.as_mut(), sched) {
+                        r.set_error(node, &e);
+                    }
+                    return Err(Error::Backend(e));
+                }
+            };
+        crate::profile::note_launch(front.kernel.name(), device, &event);
+        args.post_all_async(&front.kernel, device, &event);
 
-        Ok(AsyncEval {
+        let kernel = front.kernel.name().to_string();
+        Ok((
             event,
-            profile: EvalProfile {
+            EvalProfile {
                 cache_hit: front.cache_hit,
                 capture_seconds: front.capture_seconds,
                 codegen_seconds: front.codegen_seconds,
@@ -757,7 +986,9 @@ impl<F: Copy + 'static> Eval<F> {
                 host_seconds: t_start.elapsed().as_secs_f64(),
                 source: front.source,
             },
-        })
+            sched,
+            kernel,
+        ))
     }
 
     /// The launch geometry: explicit `.global(..)` or the first array
@@ -776,8 +1007,14 @@ impl<F: Copy + 'static> Eval<F> {
 
     /// The shared front half of `run`/`run_async`: capture + codegen
     /// (cached per kernel function) and backend compilation (cached per
-    /// device), yielding a bindable kernel.
-    fn front<A: ArgTuple>(&self, args: &A, device: &Device) -> Result<Front>
+    /// device), yielding a bindable kernel. When a request trace is open,
+    /// both lookups become `cache.lookup` nodes in its span tree.
+    fn front<A: ArgTuple>(
+        &self,
+        args: &A,
+        device: &Device,
+        mut req: Option<&mut oclsim::obs::Request>,
+    ) -> Result<Front>
     where
         F: KernelFun<A>,
     {
@@ -837,6 +1074,22 @@ impl<F: Copy + 'static> Eval<F> {
                 (entry, false)
             }
         };
+        if let Some(r) = req.as_mut() {
+            let root = r.root();
+            r.child(
+                root,
+                "cache.lookup",
+                format!(
+                    "hpl kernel cache: {} (`{}`)",
+                    if cache_hit {
+                        "hit"
+                    } else {
+                        "miss (capture + codegen)"
+                    },
+                    entry.recorded.name
+                ),
+            );
+        }
 
         // 2. per-device backend compilation, routed through the serve
         //    layer's shared kernel-binary cache: the active tenant's
@@ -872,6 +1125,18 @@ impl<F: Copy + 'static> Eval<F> {
         })?;
         build_span.note("outcome", if built.hit { "hit" } else { "miss" });
         drop(build_span);
+        if let Some(r) = req.as_mut() {
+            let root = r.root();
+            r.child(
+                root,
+                "cache.lookup",
+                format!(
+                    "binary cache, device `{}`: {}",
+                    device.name(),
+                    if built.hit { "hit" } else { "miss (build)" }
+                ),
+            );
+        }
         let build_seconds = built.build_seconds;
         if !built.hit {
             let lints = built.program.diagnostics();
@@ -912,10 +1177,29 @@ struct Front {
 
 /// Joinable handle returned by [`Eval::run_async`]: the launch's backend
 /// [`Event`] plus the front-end half of its [`EvalProfile`].
-#[derive(Debug)]
 pub struct AsyncEval {
     event: Event,
     profile: EvalProfile,
+    /// Open request trace when the eval ran inside a tenant scope; closed
+    /// (and, on failure, dumped as a postmortem) by [`AsyncEval::wait`].
+    obs: Option<AsyncObs>,
+}
+
+struct AsyncObs {
+    session: Arc<oclsim::serve::Session>,
+    req: oclsim::obs::Request,
+    /// The request's `sched.enqueue` node, completed at wait time.
+    sched: oclsim::obs::NodeId,
+    kernel: String,
+}
+
+impl std::fmt::Debug for AsyncEval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AsyncEval")
+            .field("status", &self.event.status())
+            .field("profile", &self.profile)
+            .finish_non_exhaustive()
+    }
 }
 
 impl AsyncEval {
@@ -935,12 +1219,41 @@ impl AsyncEval {
     /// Block until the launch resolves and return the completed
     /// [`EvalProfile`]. If the launch failed — including when a command it
     /// depended on failed and poisoned it — the error carries the causal
-    /// chain (`oclsim::Error::root_cause`).
+    /// chain (`oclsim::Error::root_cause`), and inside a tenant scope the
+    /// request trace is closed as failed and dumped as a postmortem
+    /// ([`oclsim::take_postmortems`]).
     pub fn wait(self) -> Result<EvalProfile> {
-        self.event.wait().map_err(Error::Backend)?;
-        let mut profile = self.profile;
-        profile.kernel_modeled_seconds = self.event.modeled_seconds();
-        Ok(profile)
+        match self.event.wait() {
+            Ok(()) => {
+                let mut profile = self.profile;
+                profile.kernel_modeled_seconds = self.event.modeled_seconds();
+                if let Some(mut obs) = self.obs {
+                    let timing = self.event.kernel_timing();
+                    let modeled = timing
+                        .as_ref()
+                        .map(|t| t.device_seconds)
+                        .unwrap_or(profile.kernel_modeled_seconds);
+                    obs.req.set_modeled(obs.sched, modeled);
+                    let launch = obs.req.child(
+                        obs.sched,
+                        "exec.launch",
+                        launch_node_detail(&obs.kernel, &timing),
+                    );
+                    obs.req.set_modeled(launch, modeled);
+                    obs.req.finish(false);
+                }
+                Ok(profile)
+            }
+            Err(e) => {
+                if let Some(mut obs) = self.obs {
+                    obs.req.set_error(obs.sched, &e);
+                    let root = obs.req.root();
+                    obs.req.set_error(root, &e);
+                    obs.session.emit_postmortem(obs.req.finish(true), &e);
+                }
+                Err(Error::Backend(e))
+            }
+        }
     }
 }
 

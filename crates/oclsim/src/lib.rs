@@ -55,6 +55,7 @@ pub mod context;
 pub mod device;
 pub mod error;
 pub mod exec;
+pub mod obs;
 pub mod platform;
 pub mod prof;
 pub mod program;
@@ -72,6 +73,7 @@ pub use context::Context;
 pub use device::{Device, DeviceProfile, DeviceType};
 pub use error::{Error, Result};
 pub use exec::wg::{backend, backend_name, set_backend, Backend};
+pub use obs::{take_postmortems, tenant_obs, Postmortem, RequestTrace, TraceId};
 pub use platform::Platform;
 pub use prof::{
     chrome_trace, chrome_trace_with_host, profile_launch, roofline, validate_chrome_trace,

@@ -52,7 +52,7 @@ pub use counters::{
 };
 pub use json::validate_chrome_trace;
 pub use roofline::{roofline, RooflinePoint};
-pub use trace::{chrome_trace, chrome_trace_with_host};
+pub use trace::{chrome_trace, chrome_trace_with_host, splice_chrome_events};
 
 use crate::device::Device;
 use crate::error::Result;

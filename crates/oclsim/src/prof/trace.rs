@@ -189,6 +189,27 @@ pub fn chrome_trace(device: &Device, events: &[Event]) -> String {
     out
 }
 
+/// Splice extra pre-rendered Chrome-trace events (comma-joined JSON
+/// objects, no enclosing array) into a trace produced by
+/// [`chrome_trace`] / [`chrome_trace_with_host`], before the closing
+/// bracket of `traceEvents`. Used to merge postmortem span trees
+/// ([`crate::obs::Postmortem::chrome_trace_events`]) into the device
+/// timeline. Returns the trace unchanged when `events` is empty.
+pub fn splice_chrome_events(trace: &str, events: &str) -> String {
+    if events.is_empty() {
+        return trace.to_string();
+    }
+    let tail = "],\n\"displayTimeUnit\":\"ms\"}\n";
+    let mut out = trace
+        .strip_suffix(tail)
+        .expect("chrome trace ends with its fixed tail")
+        .to_string();
+    out.push_str(",\n");
+    out.push_str(events);
+    out.push_str(tail);
+    out
+}
+
 /// Synthetic pid for the host-runtime tracks injected by
 /// [`chrome_trace_with_host`]; device pids are small, so this cannot
 /// collide.

@@ -148,6 +148,11 @@ impl DeviceSched {
 
     /// Run one command whose wait list has fully resolved.
     fn execute(&self, cmd: Command) {
+        // re-establish the enqueueing request's ambient trace id on this
+        // worker so spans emitted while executing (dispatch, exec.launch)
+        // tag themselves with the request — workers never touch the
+        // flight ring, keeping its content thread-count-independent
+        let _trace = cmd.event.trace().map(crate::obs::thread_trace);
         let m = crate::telemetry::metrics();
         m.dispatched.inc();
         let mut span = crate::telemetry::span("sched", "dispatch");

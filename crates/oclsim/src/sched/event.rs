@@ -151,6 +151,11 @@ pub(crate) struct EventInner {
     /// Whether the owning queue had profiling enabled at enqueue time —
     /// OpenCL's `CL_QUEUE_PROFILING_ENABLE` is sampled per command.
     profiled: bool,
+    /// The request the command belongs to, captured from the enqueueing
+    /// thread's ambient [`crate::obs`] trace. Immutable after creation;
+    /// dispatcher workers re-establish it while executing the command so
+    /// spans emitted mid-execution tag themselves with the right request.
+    trace: Option<crate::obs::TraceId>,
     state: Mutex<EventState>,
     cond: Condvar,
 }
@@ -180,6 +185,7 @@ impl Event {
                 id: NEXT_EVENT_ID.fetch_add(1, Ordering::Relaxed),
                 kind,
                 profiled,
+                trace: crate::obs::current_trace(),
                 state: Mutex::new(EventState {
                     status,
                     error: None,
@@ -229,6 +235,12 @@ impl Event {
     /// What the command was.
     pub fn kind(&self) -> CommandKind {
         self.inner.kind
+    }
+
+    /// The request this command belongs to — the [`crate::obs`] trace id
+    /// that was ambient on the enqueueing thread, if any.
+    pub fn trace(&self) -> Option<crate::obs::TraceId> {
+        self.inner.trace
     }
 
     /// Current lifecycle status.

@@ -37,8 +37,8 @@ pub mod session;
 
 pub use cache::{global_binary_cache, BinaryCache, CacheOutcome};
 pub use partition::{
-    run_partitioned, run_reference, ChunkRecord, JobArg, LaunchJob, PartitionOutcome,
-    PartitionStrategy, PartitionTarget,
+    run_partitioned, run_partitioned_with, run_reference, ChunkRecord, JobArg, LaunchJob,
+    PartitionOptions, PartitionOutcome, PartitionStrategy, PartitionTarget,
 };
 pub use quota::TenantQuota;
-pub use session::{JobOutcome, Service, ServiceConfig, Session};
+pub use session::{JobOutcome, PendingJob, Service, ServiceConfig, Session};

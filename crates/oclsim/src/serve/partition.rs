@@ -174,12 +174,36 @@ pub fn run_reference(target: &PartitionTarget, job: &LaunchJob) -> Result<Partit
     run_partitioned(std::slice::from_ref(target), job, PartitionStrategy::Static)
 }
 
+/// Observability and sequencing options for [`run_partitioned_with`].
+#[derive(Default)]
+pub struct PartitionOptions<'a> {
+    /// Record the run into a request span tree: every upload becomes a
+    /// `sched.dma` node and every chunk a `partition.chunk` node with an
+    /// `exec.launch` child, all under the given parent node.
+    pub obs: Option<(&'a mut crate::obs::Request, crate::obs::NodeId)>,
+    /// Gate every chunk whose issue index is `>= .0` on event `.1` by
+    /// appending it to the chunk's wait list. A host-failed gate poisons
+    /// those chunks with a deterministic [`Error::DependencyFailed`]
+    /// chain — the fault-injection hook the postmortem tests and demo use.
+    pub gate_from_chunk: Option<(usize, Event)>,
+}
+
 /// Split `job` across `targets` according to `strategy` and merge the
 /// per-device results (see the module docs for the exactness argument).
 pub fn run_partitioned(
     targets: &[PartitionTarget],
     job: &LaunchJob,
     strategy: PartitionStrategy,
+) -> Result<PartitionOutcome> {
+    run_partitioned_with(targets, job, strategy, PartitionOptions::default())
+}
+
+/// [`run_partitioned`] with explicit [`PartitionOptions`].
+pub fn run_partitioned_with(
+    targets: &[PartitionTarget],
+    job: &LaunchJob,
+    strategy: PartitionStrategy,
+    mut opts: PartitionOptions<'_>,
 ) -> Result<PartitionOutcome> {
     if targets.is_empty() {
         return Err(Error::InvalidOperation(
@@ -202,7 +226,7 @@ pub fn run_partitioned(
     let mut kernels: Vec<Kernel> = Vec::with_capacity(targets.len());
     let mut buffers: Vec<Vec<Option<crate::buffer::Buffer>>> = Vec::with_capacity(targets.len());
     let mut upload_events: Vec<Vec<Event>> = Vec::with_capacity(targets.len());
-    for target in targets {
+    for (d, target) in targets.iter().enumerate() {
         let kernel = target.program.kernel(&job.kernel)?;
         let mut bufs: Vec<Option<crate::buffer::Buffer>> = Vec::with_capacity(job.args.len());
         let mut events: Vec<Event> = Vec::new();
@@ -213,6 +237,13 @@ pub fn run_partitioned(
                         .context
                         .create_buffer(data.len(), MemAccess::ReadOnly)?;
                     events.push(target.queue.enqueue_write_async(&buf, 0, data, &[])?);
+                    if let Some((req, parent)) = opts.obs.as_mut() {
+                        req.child(
+                            *parent,
+                            "sched.dma",
+                            format!("upload arg {i} ({} bytes) -> device {d}", data.len()),
+                        );
+                    }
                     kernel.set_arg_buffer(i, &buf)?;
                     bufs.push(Some(buf));
                 }
@@ -221,6 +252,13 @@ pub fn run_partitioned(
                         .context
                         .create_buffer(data.len(), MemAccess::ReadWrite)?;
                     events.push(target.queue.enqueue_write_async(&buf, 0, data, &[])?);
+                    if let Some((req, parent)) = opts.obs.as_mut() {
+                        req.child(
+                            *parent,
+                            "sched.dma",
+                            format!("upload arg {i} ({} bytes) -> device {d}", data.len()),
+                        );
+                    }
                     kernel.set_arg_buffer(i, &buf)?;
                     bufs.push(Some(buf));
                 }
@@ -252,22 +290,70 @@ pub fn run_partitioned(
     let mut clocks = vec![0.0f64; targets.len()];
     let mut chunks: Vec<ChunkRecord> = Vec::new();
 
+    let mut issued = 0usize;
     let mut run_chunk = |d: usize, start: usize, end: usize, clocks: &mut Vec<f64>| -> Result<()> {
-        let ev = targets[d].queue.enqueue_ndrange_groups_async(
-            &kernels[d],
-            &job.global,
-            Some(&local),
-            (start, end),
-            &upload_events[d],
-        )?;
-        ev.wait()?;
+        let mut wait: Vec<Event> = upload_events[d].clone();
+        let gated = match &opts.gate_from_chunk {
+            Some((from, gate)) if issued >= *from => {
+                wait.push(gate.clone());
+                true
+            }
+            _ => false,
+        };
+        let chunk_node = opts.obs.as_mut().map(|(req, parent)| {
+            req.child(
+                *parent,
+                "partition.chunk",
+                format!(
+                    "chunk {issued}: groups {start}..{end} -> device {d}{}",
+                    if gated { " (gated)" } else { "" }
+                ),
+            )
+        });
+        issued += 1;
+        let result = targets[d]
+            .queue
+            .enqueue_ndrange_groups_async(
+                &kernels[d],
+                &job.global,
+                Some(&local),
+                (start, end),
+                &wait,
+            )
+            .and_then(|ev| ev.wait().map(|()| ev));
+        let ev = match result {
+            Ok(ev) => ev,
+            Err(e) => {
+                if let (Some((req, _)), Some(node)) = (opts.obs.as_mut(), chunk_node) {
+                    req.set_error(node, &e);
+                }
+                return Err(e);
+            }
+        };
         // the pure modeled duration, not a difference of absolute timeline
         // stamps — the latter loses different ulps as the device timeline
         // advances, which would make reruns disagree in the last digit
-        let seconds = ev
-            .kernel_timing()
+        let timing = ev.kernel_timing();
+        let seconds = timing
+            .as_ref()
             .map(|t| t.device_seconds)
             .unwrap_or_else(|| ev.modeled_seconds());
+        if let (Some((req, _)), Some(node)) = (opts.obs.as_mut(), chunk_node) {
+            req.set_modeled(node, seconds);
+            // the launch node is built from the event's modeled data on
+            // the request thread — identical for both exec backends
+            let detail = match &timing {
+                Some(t) => format!(
+                    "kernel `{}`: {} groups, {} instrs",
+                    job.kernel,
+                    end - start,
+                    t.totals.instructions
+                ),
+                None => format!("kernel `{}`: {} groups", job.kernel, end - start),
+            };
+            let launch = req.child(node, "exec.launch", detail);
+            req.set_modeled(launch, seconds);
+        }
         clocks[d] += seconds;
         chunks.push(ChunkRecord {
             device: d,

@@ -23,13 +23,15 @@ use crate::buffer::{Buffer, MemAccess};
 use crate::context::Context;
 use crate::device::{Device, DeviceProfile};
 use crate::error::{Error, Result};
+use crate::obs::{self, CacheState, Postmortem, QuotaState, Request, RequestTrace, TenantObs};
 use crate::queue::CommandQueue;
 use crate::sched::Event;
 use crate::telemetry::metrics;
 
 use super::cache::{BinaryCache, CacheOutcome};
 use super::partition::{
-    run_partitioned, JobArg, LaunchJob, PartitionOutcome, PartitionStrategy, PartitionTarget,
+    run_partitioned_with, JobArg, LaunchJob, PartitionOptions, PartitionOutcome, PartitionStrategy,
+    PartitionTarget,
 };
 use super::quota::TenantQuota;
 
@@ -146,6 +148,7 @@ impl Service {
         };
         Session {
             svc: Arc::clone(&self.inner),
+            obs: obs::tenant_obs(&state.name),
             tenant: state,
             input_pool: Mutex::new(HashMap::new()),
         }
@@ -201,6 +204,9 @@ impl Drop for LaunchPermit {
 pub struct Session {
     svc: Arc<ServiceInner>,
     tenant: Arc<TenantState>,
+    /// The tenant's observability state (trace-id mint + flight ring),
+    /// cached so the hot path never takes the obs registry lock.
+    obs: Arc<TenantObs>,
     /// Per-tenant pool of uploaded read-only inputs:
     /// `(device index, content hash, len)` → resident buffer.
     input_pool: Mutex<HashMap<(usize, u64, usize), Buffer>>,
@@ -221,6 +227,56 @@ impl Session {
     /// go through).
     pub fn binary_cache(&self) -> &BinaryCache {
         &self.svc.cache
+    }
+
+    /// The tenant's observability state (trace-id mint + flight ring).
+    pub fn obs_handle(&self) -> &Arc<TenantObs> {
+        &self.obs
+    }
+
+    /// Open a request span tree for an externally-driven submission (the
+    /// HPL facade builds its own tree through this).
+    pub fn begin_request(&self, what: impl Into<String>) -> Request {
+        Request::begin(&self.obs, what)
+    }
+
+    /// Snapshot of the shared cache for a postmortem dump.
+    pub fn cache_state(&self) -> CacheState {
+        let c = &self.svc.cache;
+        CacheState {
+            resident: c.len(),
+            resident_bytes: c.resident_bytes(),
+            capacity_bytes: c.capacity_bytes(),
+            evictions: c.evictions(),
+        }
+    }
+
+    /// Snapshot of this tenant's quota usage for a postmortem dump.
+    pub fn quota_state(&self) -> QuotaState {
+        let t = &self.tenant;
+        QuotaState {
+            launches: t.launches.load(Ordering::Relaxed),
+            max_launches: t.quota.max_launches,
+            inflight: t.inflight.load(Ordering::Relaxed),
+            max_inflight: t.quota.max_inflight,
+            compile_bytes: t.compile_bytes.load(Ordering::Relaxed),
+            max_compile_bytes: t.quota.max_compile_bytes,
+        }
+    }
+
+    /// Assemble and publish the postmortem dump of a failed request:
+    /// its span tree, the causal error chain, the tenant's flight-recorder
+    /// tail, and the cache/quota state at failure time.
+    pub fn emit_postmortem(&self, request: RequestTrace, err: &Error) {
+        obs::push_postmortem(Postmortem {
+            trace: request.trace,
+            tenant: request.tenant.clone(),
+            error_chain: obs::error_chain(err),
+            recorder_tail: self.obs.tail(),
+            request,
+            cache: self.cache_state(),
+            quota: self.quota_state(),
+        });
     }
 
     /// Admit one launch against the tenant's quotas; the permit holds an
@@ -309,9 +365,36 @@ impl Session {
     }
 
     /// Submit one launch on service device `device_index`, blocking until
-    /// the results are read back.
+    /// the results are read back. The request is traced end to end; a
+    /// failure emits a postmortem dump ([`crate::obs::take_postmortems`]).
     pub fn submit(&self, device_index: usize, job: &LaunchJob) -> Result<JobOutcome> {
+        let mut req = self.begin_request(format!(
+            "launch of kernel `{}` on device {device_index}",
+            job.kernel
+        ));
+        let _trace = req.thread_guard();
+        match self.submit_traced(device_index, job, &mut req) {
+            Ok(outcome) => {
+                req.finish(false);
+                Ok(outcome)
+            }
+            Err(e) => {
+                let root = req.root();
+                req.set_error(root, &e);
+                self.emit_postmortem(req.finish(true), &e);
+                Err(e)
+            }
+        }
+    }
+
+    fn submit_traced(
+        &self,
+        device_index: usize,
+        job: &LaunchJob,
+        req: &mut Request,
+    ) -> Result<JobOutcome> {
         let started = std::time::Instant::now();
+        let root = req.root();
         let dev = self.svc.devices.get(device_index).ok_or_else(|| {
             Error::InvalidOperation(format!(
                 "device index {device_index} out of range ({} devices)",
@@ -319,9 +402,40 @@ impl Session {
             ))
         })?;
         let what = format!("launch of kernel `{}`", job.kernel);
-        let _permit = self.admit_launch(&what)?;
+        let _permit = match self.admit_launch(&what) {
+            Ok(permit) => {
+                req.child(
+                    root,
+                    "admission",
+                    format!("ok (launch {})", self.launches()),
+                );
+                permit
+            }
+            Err(e) => {
+                let node = req.child(root, "admission", what);
+                req.set_error(node, &e);
+                return Err(e);
+            }
+        };
         let built =
-            self.build_program(&dev.context, &dev.device, &job.source, &job.build_options)?;
+            match self.build_program(&dev.context, &dev.device, &job.source, &job.build_options) {
+                Ok(built) => {
+                    req.child(
+                        root,
+                        "cache.lookup",
+                        format!(
+                            "device {device_index}: {}",
+                            if built.hit { "hit" } else { "miss (build)" }
+                        ),
+                    );
+                    built
+                }
+                Err(e) => {
+                    let node = req.child(root, "cache.lookup", format!("device {device_index}"));
+                    req.set_error(node, &e);
+                    return Err(e);
+                }
+            };
         let kernel = built.program.kernel(&job.kernel)?;
 
         let mut wait: Vec<Event> = Vec::new();
@@ -329,7 +443,16 @@ impl Session {
         for (i, arg) in job.args.iter().enumerate() {
             match arg {
                 JobArg::In(data) => {
-                    let buf = self.pooled_input(device_index, dev, data)?;
+                    let (buf, uploaded) = self.pooled_input(device_index, dev, data)?;
+                    req.child(
+                        root,
+                        "sched.dma",
+                        format!(
+                            "arg {i}: {} bytes -> device {device_index} ({})",
+                            data.len(),
+                            if uploaded { "upload" } else { "pooled" }
+                        ),
+                    );
                     kernel.set_arg_buffer(i, &buf)?;
                 }
                 JobArg::InOut(data) => {
@@ -337,6 +460,11 @@ impl Session {
                         .context
                         .create_buffer(data.len(), MemAccess::ReadWrite)?;
                     wait.push(dev.queue.enqueue_write_async(&buf, 0, data, &[])?);
+                    req.child(
+                        root,
+                        "sched.dma",
+                        format!("arg {i}: {} bytes -> device {device_index}", data.len()),
+                    );
                     kernel.set_arg_buffer(i, &buf)?;
                     writable.push((i, buf, data.len()));
                 }
@@ -348,22 +476,41 @@ impl Session {
                 JobArg::Scalar(v) => kernel.set_arg_scalar(i, *v)?,
             }
         }
+        let sched = req.child(
+            root,
+            "sched.enqueue",
+            format!("ndrange global {:?}", job.global),
+        );
         let ev =
             dev.queue
                 .enqueue_ndrange_async(&kernel, &job.global, job.local.as_deref(), &wait)?;
-        ev.wait()?;
-        let modeled_seconds = ev
-            .kernel_timing()
+        if let Err(e) = ev.wait() {
+            req.set_error(sched, &e);
+            return Err(e);
+        }
+        let timing = ev.kernel_timing();
+        let modeled_seconds = timing
+            .as_ref()
             .map(|t| t.device_seconds)
             .unwrap_or_else(|| ev.modeled_seconds());
+        req.set_modeled(sched, modeled_seconds);
+        let launch = req.child(sched, "exec.launch", launch_detail(&job.kernel, &timing));
+        req.set_modeled(launch, modeled_seconds);
         let mut outputs = Vec::with_capacity(writable.len());
-        for (_, buf, len) in &writable {
+        for (i, buf, len) in &writable {
             let handle =
                 dev.queue
                     .enqueue_read_async::<u8>(buf, 0, *len, std::slice::from_ref(&ev))?;
+            req.child(
+                root,
+                "sched.dma",
+                format!("arg {i}: {len} bytes <- device {device_index}"),
+            );
             outputs.push(handle.wait()?);
         }
         let wall_seconds = started.elapsed().as_secs_f64();
+        // observed inside the request's trace scope, so the latency
+        // histogram bucket gains this request's id as its exemplar
         metrics()
             .serve_launch_wall_us
             .observe((wall_seconds * 1.0e6) as u64);
@@ -375,6 +522,149 @@ impl Session {
         })
     }
 
+    /// Submit one launch on service device `device_index` without blocking:
+    /// the launch is admitted, its inputs staged and the kernel enqueued,
+    /// and a [`PendingJob`] is returned whose [`PendingJob::wait`] reads
+    /// the results back. A poisoned dependency or launch fault surfaces at
+    /// `wait()`, which emits the postmortem dump there.
+    pub fn submit_async(
+        &self,
+        device_index: usize,
+        job: &LaunchJob,
+        deps: &[Event],
+    ) -> Result<PendingJob<'_>> {
+        let mut req = self.begin_request(format!(
+            "async launch of kernel `{}` on device {device_index}",
+            job.kernel
+        ));
+        let _trace = req.thread_guard();
+        match self.submit_async_traced(device_index, job, deps, &mut req) {
+            Ok((permit, event, writable, cache_hit, sched)) => Ok(PendingJob {
+                session: self,
+                req: Some(req),
+                _permit: permit,
+                event,
+                device_index,
+                writable,
+                cache_hit,
+                sched,
+                kernel: job.kernel.clone(),
+                started: std::time::Instant::now(),
+            }),
+            Err(e) => {
+                let root = req.root();
+                req.set_error(root, &e);
+                self.emit_postmortem(req.finish(true), &e);
+                Err(e)
+            }
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn submit_async_traced(
+        &self,
+        device_index: usize,
+        job: &LaunchJob,
+        deps: &[Event],
+        req: &mut Request,
+    ) -> Result<(
+        LaunchPermit,
+        Event,
+        Vec<(usize, Buffer, usize)>,
+        bool,
+        obs::NodeId,
+    )> {
+        let root = req.root();
+        let dev = self.svc.devices.get(device_index).ok_or_else(|| {
+            Error::InvalidOperation(format!(
+                "device index {device_index} out of range ({} devices)",
+                self.svc.devices.len()
+            ))
+        })?;
+        let what = format!("async launch of kernel `{}`", job.kernel);
+        let permit = match self.admit_launch(&what) {
+            Ok(permit) => {
+                req.child(
+                    root,
+                    "admission",
+                    format!("ok (launch {})", self.launches()),
+                );
+                permit
+            }
+            Err(e) => {
+                let node = req.child(root, "admission", what);
+                req.set_error(node, &e);
+                return Err(e);
+            }
+        };
+        let built =
+            self.build_program(&dev.context, &dev.device, &job.source, &job.build_options)?;
+        req.child(
+            root,
+            "cache.lookup",
+            format!(
+                "device {device_index}: {}",
+                if built.hit { "hit" } else { "miss (build)" }
+            ),
+        );
+        let kernel = built.program.kernel(&job.kernel)?;
+        let mut wait: Vec<Event> = deps.to_vec();
+        let mut writable: Vec<(usize, Buffer, usize)> = Vec::new();
+        for (i, arg) in job.args.iter().enumerate() {
+            match arg {
+                JobArg::In(data) => {
+                    let (buf, uploaded) = self.pooled_input(device_index, dev, data)?;
+                    req.child(
+                        root,
+                        "sched.dma",
+                        format!(
+                            "arg {i}: {} bytes -> device {device_index} ({})",
+                            data.len(),
+                            if uploaded { "upload" } else { "pooled" }
+                        ),
+                    );
+                    kernel.set_arg_buffer(i, &buf)?;
+                }
+                JobArg::InOut(data) => {
+                    let buf = dev
+                        .context
+                        .create_buffer(data.len(), MemAccess::ReadWrite)?;
+                    wait.push(dev.queue.enqueue_write_async(&buf, 0, data, &[])?);
+                    req.child(
+                        root,
+                        "sched.dma",
+                        format!("arg {i}: {} bytes -> device {device_index}", data.len()),
+                    );
+                    kernel.set_arg_buffer(i, &buf)?;
+                    writable.push((i, buf, data.len()));
+                }
+                JobArg::Out(len) => {
+                    let buf = dev.context.create_buffer(*len, MemAccess::ReadWrite)?;
+                    kernel.set_arg_buffer(i, &buf)?;
+                    writable.push((i, buf, *len));
+                }
+                JobArg::Scalar(v) => kernel.set_arg_scalar(i, *v)?,
+            }
+        }
+        let sched = req.child(
+            root,
+            "sched.enqueue",
+            format!(
+                "ndrange global {:?}{}",
+                job.global,
+                if deps.is_empty() {
+                    String::new()
+                } else {
+                    format!(", {} external dep(s)", deps.len())
+                }
+            ),
+        );
+        let event =
+            dev.queue
+                .enqueue_ndrange_async(&kernel, &job.global, job.local.as_deref(), &wait)?;
+        Ok((permit, event, writable, built.hit, sched))
+    }
+
     /// Submit one launch split across **all** service devices with
     /// `strategy`, blocking until the merged results are ready. Counts as
     /// a single admitted launch for the tenant.
@@ -383,25 +673,108 @@ impl Session {
         job: &LaunchJob,
         strategy: PartitionStrategy,
     ) -> Result<PartitionOutcome> {
+        self.submit_partitioned_with(job, strategy, None)
+    }
+
+    /// [`Session::submit_partitioned`] with an optional chunk gate: every
+    /// chunk whose issue index is `>= gate.0` waits on event `gate.1`
+    /// before running. Failing the gate from the host poisons those chunks
+    /// with a deterministic [`Error::DependencyFailed`] chain — the
+    /// fault-injection hook the postmortem tests and demo use.
+    pub fn submit_partitioned_with(
+        &self,
+        job: &LaunchJob,
+        strategy: PartitionStrategy,
+        gate: Option<(usize, Event)>,
+    ) -> Result<PartitionOutcome> {
+        let mut req = self.begin_request(format!(
+            "partitioned launch of kernel `{}` across {} devices",
+            job.kernel,
+            self.svc.devices.len()
+        ));
+        let _trace = req.thread_guard();
+        match self.submit_partitioned_traced(job, strategy, gate, &mut req) {
+            Ok(outcome) => {
+                req.finish(false);
+                Ok(outcome)
+            }
+            Err(e) => {
+                let root = req.root();
+                req.set_error(root, &e);
+                self.emit_postmortem(req.finish(true), &e);
+                Err(e)
+            }
+        }
+    }
+
+    fn submit_partitioned_traced(
+        &self,
+        job: &LaunchJob,
+        strategy: PartitionStrategy,
+        gate: Option<(usize, Event)>,
+        req: &mut Request,
+    ) -> Result<PartitionOutcome> {
         let started = std::time::Instant::now();
+        let root = req.root();
         let what = format!("partitioned launch of kernel `{}`", job.kernel);
-        let _permit = self.admit_launch(&what)?;
-        let targets: Vec<PartitionTarget> = self
-            .svc
-            .devices
-            .iter()
-            .map(|d| {
-                PartitionTarget::new(
-                    &d.device,
-                    &d.context,
-                    &d.queue,
-                    &self.svc.cache,
-                    job,
-                    Some(&self.tenant.name),
-                )
-            })
-            .collect::<Result<_>>()?;
-        let outcome = run_partitioned(&targets, job, strategy)?;
+        let _permit = match self.admit_launch(&what) {
+            Ok(permit) => {
+                req.child(
+                    root,
+                    "admission",
+                    format!("ok (launch {})", self.launches()),
+                );
+                permit
+            }
+            Err(e) => {
+                let node = req.child(root, "admission", what);
+                req.set_error(node, &e);
+                return Err(e);
+            }
+        };
+        let mut targets: Vec<PartitionTarget> = Vec::with_capacity(self.svc.devices.len());
+        for (d, dev) in self.svc.devices.iter().enumerate() {
+            match PartitionTarget::new(
+                &dev.device,
+                &dev.context,
+                &dev.queue,
+                &self.svc.cache,
+                job,
+                Some(&self.tenant.name),
+            ) {
+                Ok(target) => {
+                    req.child(
+                        root,
+                        "cache.lookup",
+                        format!(
+                            "device {d}: {}",
+                            if target.cache_hit() {
+                                "hit"
+                            } else {
+                                "miss (build)"
+                            }
+                        ),
+                    );
+                    targets.push(target);
+                }
+                Err(e) => {
+                    let node = req.child(root, "cache.lookup", format!("device {d}"));
+                    req.set_error(node, &e);
+                    return Err(e);
+                }
+            }
+        }
+        let sched = req.child(root, "sched.enqueue", format!("strategy {strategy:?}"));
+        let outcome = run_partitioned_with(
+            &targets,
+            job,
+            strategy,
+            PartitionOptions {
+                obs: Some((req, sched)),
+                gate_from_chunk: gate,
+            },
+        )?;
+        req.set_modeled(sched, outcome.makespan_seconds);
         metrics()
             .serve_launch_wall_us
             .observe((started.elapsed().as_secs_f64() * 1.0e6) as u64);
@@ -409,13 +782,19 @@ impl Session {
     }
 
     /// Fetch (or upload) the tenant's pooled read-only copy of `data` on
-    /// device `device_index`. Repeated launches over the same input do not
-    /// re-upload — the serve-layer analogue of HPL's coherence validity.
-    fn pooled_input(&self, device_index: usize, dev: &ServeDevice, data: &[u8]) -> Result<Buffer> {
+    /// device `device_index`; the boolean reports whether an upload
+    /// happened. Repeated launches over the same input do not re-upload —
+    /// the serve-layer analogue of HPL's coherence validity.
+    fn pooled_input(
+        &self,
+        device_index: usize,
+        dev: &ServeDevice,
+        data: &[u8],
+    ) -> Result<(Buffer, bool)> {
         let key = (device_index, super::cache::fnv1a(data), data.len());
         let mut pool = self.input_pool.lock();
         if let Some(buf) = pool.get(&key) {
-            return Ok(buf.clone());
+            return Ok((buf.clone(), false));
         }
         let buf = dev.context.create_buffer(data.len(), MemAccess::ReadOnly)?;
         let ev = dev.queue.enqueue_write_async(&buf, 0, data, &[])?;
@@ -423,6 +802,111 @@ impl Session {
         // launches may reuse it without re-waiting
         ev.wait()?;
         pool.insert(key, buf.clone());
-        Ok(buf)
+        Ok((buf, true))
+    }
+}
+
+/// The `exec.launch` span-tree node's detail line, built from the
+/// launch event's modeled data on the request thread — identical for
+/// both exec backends.
+fn launch_detail(kernel: &str, timing: &Option<crate::timing::TimingBreakdown>) -> String {
+    match timing {
+        Some(t) => format!("kernel `{kernel}`: {} instrs", t.totals.instructions),
+        None => format!("kernel `{kernel}`"),
+    }
+}
+
+/// One asynchronously-submitted launch (see [`Session::submit_async`]).
+/// Dropping it without waiting abandons the request's trace unfinished;
+/// call [`PendingJob::wait`] to collect outputs and close the trace.
+pub struct PendingJob<'a> {
+    session: &'a Session,
+    req: Option<Request>,
+    _permit: LaunchPermit,
+    event: Event,
+    device_index: usize,
+    writable: Vec<(usize, Buffer, usize)>,
+    cache_hit: bool,
+    /// The request's `sched.enqueue` node, completed at wait time.
+    sched: obs::NodeId,
+    kernel: String,
+    started: std::time::Instant,
+}
+
+impl PendingJob<'_> {
+    /// The launch's event (e.g. to gate later submissions on it).
+    pub fn event(&self) -> &Event {
+        &self.event
+    }
+
+    /// The request's trace id.
+    pub fn trace(&self) -> obs::TraceId {
+        self.req.as_ref().expect("trace open until wait").trace()
+    }
+
+    /// Block until the launch resolves and read the outputs back. A
+    /// poisoned dependency chain or launch fault closes the trace as
+    /// failed and emits the postmortem dump before returning the error.
+    pub fn wait(mut self) -> Result<JobOutcome> {
+        let mut req = self.req.take().expect("wait consumes the request");
+        let _trace = req.thread_guard();
+        match self.wait_traced(&mut req) {
+            Ok(outcome) => {
+                req.finish(false);
+                Ok(outcome)
+            }
+            Err(e) => {
+                let root = req.root();
+                req.set_error(root, &e);
+                self.session.emit_postmortem(req.finish(true), &e);
+                Err(e)
+            }
+        }
+    }
+
+    fn wait_traced(&self, req: &mut Request) -> Result<JobOutcome> {
+        let root = req.root();
+        if let Err(e) = self.event.wait() {
+            req.set_error(self.sched, &e);
+            return Err(e);
+        }
+        let timing = self.event.kernel_timing();
+        let modeled_seconds = timing
+            .as_ref()
+            .map(|t| t.device_seconds)
+            .unwrap_or_else(|| self.event.modeled_seconds());
+        req.set_modeled(self.sched, modeled_seconds);
+        let launch = req.child(
+            self.sched,
+            "exec.launch",
+            launch_detail(&self.kernel, &timing),
+        );
+        req.set_modeled(launch, modeled_seconds);
+        let dev = &self.session.svc.devices[self.device_index];
+        let mut outputs = Vec::with_capacity(self.writable.len());
+        for (i, buf, len) in &self.writable {
+            let handle = dev.queue.enqueue_read_async::<u8>(
+                buf,
+                0,
+                *len,
+                std::slice::from_ref(&self.event),
+            )?;
+            req.child(
+                root,
+                "sched.dma",
+                format!("arg {i}: {len} bytes <- device {}", self.device_index),
+            );
+            outputs.push(handle.wait()?);
+        }
+        let wall_seconds = self.started.elapsed().as_secs_f64();
+        metrics()
+            .serve_launch_wall_us
+            .observe((wall_seconds * 1.0e6) as u64);
+        Ok(JobOutcome {
+            outputs,
+            modeled_seconds,
+            cache_hit: self.cache_hit,
+            wall_seconds,
+        })
     }
 }

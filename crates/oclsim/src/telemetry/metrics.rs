@@ -68,15 +68,40 @@ impl Gauge {
     }
 }
 
+/// Escape a label value for the Prometheus text exposition format:
+/// backslash, double-quote and newline must be escaped inside the quoted
+/// value (`\\`, `\"`, `\n`) or an adversarial tenant name corrupts the
+/// whole scrape.
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Fixed-bucket histogram over integer-valued observations (bytes,
 /// microseconds). Bucket counts and the sum are plain integer atomics,
-/// so the merged result is exact and order-independent.
+/// so the merged result is exact and order-independent. Each bucket also
+/// keeps the most recent exemplar — the packed [`crate::obs::TraceId`]
+/// of the last traced request that landed in it — linking the latency
+/// distribution back to concrete request traces.
 pub struct Histogram {
     /// Inclusive upper bounds of the finite buckets; an implicit `+Inf`
     /// bucket follows.
     bounds: &'static [u64],
     counts: Vec<AtomicU64>,
     sum: AtomicU64,
+    /// Per-bucket packed trace id of the last traced observation
+    /// (0 = none; see [`crate::obs::TraceId::pack`]).
+    exemplar_trace: Vec<AtomicU64>,
+    /// The observed value that set the bucket's exemplar.
+    exemplar_value: Vec<AtomicU64>,
 }
 
 impl Histogram {
@@ -85,11 +110,19 @@ impl Histogram {
             bounds,
             counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
             sum: AtomicU64::new(0),
+            exemplar_trace: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            exemplar_value: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
-    /// Record one observation.
+    /// Record one observation, attributing it to the calling thread's
+    /// ambient request trace (if any) as the bucket's exemplar.
     pub fn observe(&self, value: u64) {
+        self.observe_traced(value, crate::obs::current_trace());
+    }
+
+    /// Record one observation with an explicit exemplar trace.
+    pub fn observe_traced(&self, value: u64, trace: Option<crate::obs::TraceId>) {
         let idx = self
             .bounds
             .iter()
@@ -97,6 +130,19 @@ impl Histogram {
             .unwrap_or(self.bounds.len());
         self.counts[idx].fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
+        if let Some(t) = trace {
+            // value first: a racing reader may pair an exemplar value
+            // with the neighbouring trace, never with garbage
+            self.exemplar_value[idx].store(value, Ordering::Relaxed);
+            self.exemplar_trace[idx].store(t.pack(), Ordering::Relaxed);
+        }
+    }
+
+    /// The last traced (trace, value) exemplar of bucket `idx`
+    /// (`bounds.len()` = the `+Inf` bucket).
+    pub fn exemplar(&self, idx: usize) -> Option<(crate::obs::TraceId, u64)> {
+        let trace = crate::obs::TraceId::unpack(self.exemplar_trace[idx].load(Ordering::Relaxed))?;
+        Some((trace, self.exemplar_value[idx].load(Ordering::Relaxed)))
     }
 
     /// Total number of observations.
@@ -114,19 +160,40 @@ impl Histogram {
             c.store(0, Ordering::Relaxed);
         }
         self.sum.store(0, Ordering::Relaxed);
+        for e in self.exemplar_trace.iter().chain(&self.exemplar_value) {
+            e.store(0, Ordering::Relaxed);
+        }
     }
 
-    fn render(&self, out: &mut String, name: &str) {
+    /// Render the histogram. `exemplars` appends the OpenMetrics-style
+    /// exemplar suffix (` # {trace_id="..."} value`) to buckets a traced
+    /// observation landed in — only enabled for non-canonical snapshots,
+    /// since which traced observation a bucket saw last is an artifact of
+    /// thread interleaving.
+    fn render(&self, out: &mut String, name: &str, exemplars: bool) {
         let _ = writeln!(out, "# TYPE {name} histogram");
         let mut cumulative = 0u64;
         for (i, bound) in self.bounds.iter().enumerate() {
             cumulative += self.counts[i].load(Ordering::Relaxed);
-            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+            let _ = write!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+            self.render_exemplar(out, i, exemplars);
+            out.push('\n');
         }
         cumulative += self.counts[self.bounds.len()].load(Ordering::Relaxed);
-        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = write!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        self.render_exemplar(out, self.bounds.len(), exemplars);
+        out.push('\n');
         let _ = writeln!(out, "{name}_sum {}", self.sum());
         let _ = writeln!(out, "{name}_count {cumulative}");
+    }
+
+    fn render_exemplar(&self, out: &mut String, idx: usize, enabled: bool) {
+        if !enabled {
+            return;
+        }
+        if let Some((trace, value)) = self.exemplar(idx) {
+            let _ = write!(out, " # {{trace_id=\"{trace}\"}} {value}");
+        }
     }
 }
 
@@ -478,7 +545,8 @@ pub fn metrics_text(canonical: bool) -> String {
         out,
         "# HELP hpl_transfer_bytes distribution of individual transfer sizes"
     );
-    m.transfer_bytes.render(&mut out, "hpl_transfer_bytes");
+    m.transfer_bytes
+        .render(&mut out, "hpl_transfer_bytes", !canonical);
     counter(
         &mut out,
         "oclsim_enqueued_writes_total",
@@ -672,6 +740,7 @@ pub fn metrics_text(canonical: bool) -> String {
             "# HELP oclsim_serve_tenant per-tenant service accounting"
         );
         for (tenant, t) in &tenants {
+            let tenant = escape_label(tenant);
             let _ = writeln!(
                 out,
                 "oclsim_serve_tenant_launches_total{{tenant=\"{tenant}\"}} {}",
@@ -700,12 +769,13 @@ pub fn metrics_text(canonical: bool) -> String {
             "# HELP oclsim_serve_launch_wall_us service launch wall latency distribution (us)"
         );
         m.serve_launch_wall_us
-            .render(&mut out, "oclsim_serve_launch_wall_us");
+            .render(&mut out, "oclsim_serve_launch_wall_us", true);
         let _ = writeln!(
             out,
             "# HELP oclsim_compile_us Program::build wall time distribution (us)"
         );
-        m.compile_seconds.render(&mut out, "oclsim_compile_us");
+        m.compile_seconds
+            .render(&mut out, "oclsim_compile_us", true);
         gauge(
             &mut out,
             "oclsim_queue_depth",
@@ -725,6 +795,7 @@ pub fn metrics_text(canonical: bool) -> String {
                 "# HELP oclsim_kernel_compile_seconds per-kernel compile wall time"
             );
             for (kernel, (count, seconds)) in &per_kernel {
+                let kernel = escape_label(kernel);
                 let _ = writeln!(
                     out,
                     "oclsim_kernel_compile_count{{kernel=\"{kernel}\"}} {count}"
@@ -823,6 +894,57 @@ mod tests {
         // wall latency is interleaving/wall-clock dependent: non-canonical
         assert!(!canonical.contains("serve_launch_wall_us"), "{canonical}");
         assert!(metrics_text(false).contains("oclsim_serve_launch_wall_us_count 1"),);
+        reset_metrics();
+    }
+
+    #[test]
+    fn adversarial_tenant_names_escape_cleanly() {
+        let _g = lock(&SERIAL);
+        reset_metrics();
+        let m = metrics();
+        // a tenant name carrying every character the text exposition
+        // format treats specially inside a quoted label value
+        let evil = "t\\en\"ant\nx";
+        m.note_tenant(evil, |t| t.launches += 1);
+        let text = metrics_text(true);
+        assert!(
+            text.contains("oclsim_serve_tenant_launches_total{tenant=\"t\\\\en\\\"ant\\nx\"} 1"),
+            "{text}"
+        );
+        // no raw newline may survive inside any sample line
+        for line in text.lines() {
+            assert!(
+                !line.contains("tenant=\"t\\en\"") || line.ends_with("} 1"),
+                "corrupted line: {line}"
+            );
+        }
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_label("a\\b"), "a\\\\b");
+        assert_eq!(escape_label("a\"b"), "a\\\"b");
+        assert_eq!(escape_label("a\nb"), "a\\nb");
+        reset_metrics();
+    }
+
+    #[test]
+    fn histogram_exemplars_link_buckets_to_traces() {
+        let _g = lock(&SERIAL);
+        reset_metrics();
+        let m = metrics();
+        let t = crate::obs::tenant_obs("exemplar-tenant");
+        let id = t.mint();
+        m.serve_launch_wall_us.observe_traced(250, Some(id));
+        m.serve_launch_wall_us.observe(50_000); // untraced: no exemplar
+        assert_eq!(m.serve_launch_wall_us.exemplar(1), Some((id, 250)));
+        assert_eq!(m.serve_launch_wall_us.exemplar(3), None);
+        // exemplars render in the non-canonical snapshot only
+        let full = metrics_text(false);
+        assert!(
+            full.contains(&format!(
+                "oclsim_serve_launch_wall_us_bucket{{le=\"1000\"}} 1 # {{trace_id=\"{id}\"}} 250"
+            )),
+            "{full}"
+        );
+        assert!(!metrics_text(true).contains("trace_id"),);
         reset_metrics();
     }
 

@@ -43,7 +43,8 @@ mod metrics;
 mod span;
 
 pub use metrics::{
-    metrics, metrics_text, reset_metrics, Counter, Gauge, Histogram, Metrics, TenantStats,
+    escape_label, metrics, metrics_text, reset_metrics, Counter, Gauge, Histogram, Metrics,
+    TenantStats,
 };
 pub use span::{
     check_nesting, drain_spans, enabled, render_span_tree, set_enabled, span, spans_jsonl, Span,

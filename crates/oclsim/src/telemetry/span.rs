@@ -122,6 +122,12 @@ pub fn span(category: &'static str, name: impl Into<String>) -> Span {
         s.push(id);
         parent
     });
+    // causal stitching: when the thread has an ambient request trace
+    // (see crate::obs), every span tags itself with it automatically
+    let mut args = Vec::new();
+    if let Some(trace) = crate::obs::current_trace() {
+        args.push(("trace".to_string(), trace.to_string()));
+    }
     Span(Some(Active {
         id,
         parent,
@@ -130,7 +136,7 @@ pub fn span(category: &'static str, name: impl Into<String>) -> Span {
         name: name.into(),
         start: Instant::now(),
         modeled: None,
-        args: Vec::new(),
+        args,
     }))
 }
 
